@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Regenerate the measured tables of EXPERIMENTS.md.
+
+Run:  python -m benchmarks.make_report
+
+Prints (to stdout) the B01-B04 tables exactly as recorded in
+EXPERIMENTS.md, recomputed from scratch, so the document can be audited or
+refreshed after changes.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.test_ablation import CORPUS as ABLATION_CORPUS
+from benchmarks.test_ablation import (
+    _DisableMonotonic,
+    _DisableNonlinear,
+    _DisablePeriodic,
+    census,
+)
+from benchmarks.test_coverage import (
+    CORPUS,
+    classical_coverage,
+    classical_plus_patterns,
+    unified_coverage,
+)
+from benchmarks.test_dependence_precision import WORKLOADS, _edge_stats, _LinearOnly
+from benchmarks.workloads import deep_chain_loop, dependence_workload, straightline_iv_loop
+from repro.analysis.loops import find_loops
+from repro.baseline.classical import classical_induction_variables
+from repro.core.driver import classify_function
+from repro.dependence.graph import build_dependence_graph
+from repro.frontend.source import compile_source
+from repro.pipeline import analyze
+
+
+def b01() -> None:
+    print("## B01 — linear scaling vs. iterative baseline")
+    print(f"{'family size':>12} | {'graph size':>10} | {'time/node':>10}")
+    for size in (4, 16, 64, 256):
+        program = analyze(straightline_iv_loop(size))
+        start = time.perf_counter()
+        for _ in range(3):
+            result = classify_function(program.ssa)
+        elapsed = (time.perf_counter() - start) / 3
+        graph_size = result.loops["L1"].graph_size
+        print(f"{size:>12} | {graph_size:>10} | {elapsed / graph_size:>10.2e}")
+    print()
+    print(f"{'chain depth':>12} | {'classical passes':>16} | {'stmts visited':>14}")
+    for depth in (2, 8, 32, 128):
+        function = compile_source(deep_chain_loop(depth))
+        loop = find_loops(function).loop_of_header("L1")
+        result = classical_induction_variables(function, loop)
+        print(f"{depth:>12} | {result.passes:>16} | {result.statements_visited:>14}")
+    print()
+
+
+def b02() -> None:
+    print("## B02 — coverage: classical vs. +patterns vs. unified")
+    totals = [0, 0, 0]
+    for source in CORPUS:
+        a = len(classical_coverage(source))
+        b = len(classical_plus_patterns(source))
+        unified = unified_coverage(source)
+        c = len(
+            unified["iv"] | unified["wrap"] | unified["periodic"] | unified["monotonic"]
+        )
+        totals[0] += a
+        totals[1] += b
+        totals[2] += c
+    print(f"  totals over {len(CORPUS)} programs: "
+          f"classical={totals[0]}  +patterns={totals[1]}  unified={totals[2]}")
+    print()
+
+
+def b03() -> None:
+    print("## B03 — dependence precision (edges, refined, exact)")
+    for kind in WORKLOADS:
+        program = analyze(dependence_workload(kind))
+        with _LinearOnly():
+            baseline = build_dependence_graph(program.result)
+        full = build_dependence_graph(program.result)
+        print(f"  {kind:>11}: linear-only {_edge_stats(baseline)}  |  "
+              f"unified {_edge_stats(full)}")
+    print()
+
+
+def b04() -> None:
+    print("## B04 — ablation census")
+    rows = [("full", census(ABLATION_CORPUS))]
+    with _DisableNonlinear():
+        rows.append(("-nonlinear", census(ABLATION_CORPUS)))
+    with _DisableMonotonic():
+        rows.append(("-monotonic", census(ABLATION_CORPUS)))
+    with _DisablePeriodic():
+        rows.append(("-periodic", census(ABLATION_CORPUS)))
+    keys = list(rows[0][1])
+    print("  " + f"{'stage':>12} | " + " | ".join(f"{k:>12}" for k in keys))
+    for label, row in rows:
+        print("  " + f"{label:>12} | " + " | ".join(f"{row[k]:>12}" for k in keys))
+    print()
+
+
+def main() -> None:
+    b01()
+    b02()
+    b03()
+    b04()
+
+
+if __name__ == "__main__":
+    main()

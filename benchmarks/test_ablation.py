@@ -1,0 +1,155 @@
+"""B04: ablation of the recognizer stages.
+
+DESIGN.md calls out the classifier's staged structure: linear SCR rules,
+the nonlinear (polynomial/geometric) solver, the periodic rotation
+recognizer and the monotonic fallback.  This benchmark disables each
+optional stage in turn and reports (a) what is lost (classes degrade to
+Unknown -- never to something wrong) and (b) what each stage costs.
+"""
+
+from typing import Dict
+
+import pytest
+
+import repro.core.scr as scr_module
+from benchmarks.workloads import mixed_class_loop
+from repro.core.classes import (
+    InductionVariable,
+    Invariant,
+    Monotonic,
+    Periodic,
+    Unknown,
+    WrapAround,
+)
+from repro.pipeline import analyze
+
+CORPUS = [mixed_class_loop(seed, 12) for seed in range(10)]
+
+
+class _DisableNonlinear:
+    """Make the affine-recurrence solver refuse everything nonlinear."""
+
+    def __enter__(self):
+        self._original = scr_module.solve_affine_recurrence
+
+        def linear_only(multiplier, addend, init):
+            if multiplier == 1 and addend.is_invariant:
+                return self._original(multiplier, addend, init)
+            return None
+
+        scr_module.solve_affine_recurrence = linear_only
+        return self
+
+    def __exit__(self, *exc):
+        scr_module.solve_affine_recurrence = self._original
+        return False
+
+
+class _DisableMonotonic:
+    def __enter__(self):
+        self._original = scr_module._classify_monotonic
+
+        def no_monotonic(loop, members, header, carried_effects, expander, init):
+            return {m: Unknown("monotonic stage disabled") for m in members}
+
+        scr_module._classify_monotonic = no_monotonic
+        return self
+
+    def __exit__(self, *exc):
+        scr_module._classify_monotonic = self._original
+        return False
+
+
+class _DisablePeriodic:
+    def __enter__(self):
+        self._original = scr_module._classify_periodic_family
+
+        def no_periodic(members, header_phis, ctx):
+            return {m: Unknown("periodic stage disabled") for m in members}
+
+        scr_module._classify_periodic_family = no_periodic
+        return self
+
+    def __exit__(self, *exc):
+        scr_module._classify_periodic_family = self._original
+        return False
+
+
+def census(sources) -> Dict[str, int]:
+    counts = {"iv_linear": 0, "iv_nonlinear": 0, "wrap": 0, "periodic": 0,
+              "monotonic": 0, "invariant": 0, "unknown": 0}
+    for source in sources:
+        program = analyze(source)
+        for cls in program.result.loops["L1"].classifications.values():
+            if isinstance(cls, InductionVariable):
+                counts["iv_linear" if cls.is_linear else "iv_nonlinear"] += 1
+            elif isinstance(cls, WrapAround):
+                counts["wrap"] += 1
+            elif isinstance(cls, Periodic):
+                counts["periodic"] += 1
+            elif isinstance(cls, Monotonic):
+                counts["monotonic"] += 1
+            elif isinstance(cls, Invariant):
+                counts["invariant"] += 1
+            else:
+                counts["unknown"] += 1
+    return counts
+
+
+def test_ablation_census():
+    full = census(CORPUS)
+    with _DisableNonlinear():
+        no_nonlinear = census(CORPUS)
+    with _DisableMonotonic():
+        no_monotonic = census(CORPUS)
+    with _DisablePeriodic():
+        no_periodic = census(CORPUS)
+
+    print("\nB04 ablation census (classifications over the corpus):")
+    header = f"{'stage':>14} | " + " | ".join(f"{k:>12}" for k in full)
+    print("  " + header)
+    for label, row in [
+        ("full", full),
+        ("-nonlinear", no_nonlinear),
+        ("-monotonic", no_monotonic),
+        ("-periodic", no_periodic),
+    ]:
+        print(f"  {label:>14} | " + " | ".join(f"{row[k]:>12}" for k in full))
+
+    # each stage uniquely contributes its class; disabling one only ever
+    # moves mass down the lattice (nonlinear IVs degrade to the monotonic
+    # fallback when their direction is still provable, else to unknown)
+    assert no_nonlinear["iv_nonlinear"] == 0
+    assert (
+        no_nonlinear["unknown"] + no_nonlinear["monotonic"]
+        > full["unknown"] + full["monotonic"]
+    )
+    assert no_monotonic["monotonic"] == 0
+    assert no_monotonic["unknown"] > full["unknown"]
+    assert no_periodic["periodic"] == 0
+    assert no_periodic["unknown"] > full["unknown"]
+    # stages are independent: the linear core is untouched by all ablations
+    assert no_nonlinear["iv_linear"] == full["iv_linear"]
+    assert no_monotonic["iv_linear"] == full["iv_linear"]
+    assert no_periodic["iv_linear"] == full["iv_linear"]
+
+
+@pytest.mark.parametrize(
+    "variant", ["full", "no_nonlinear", "no_monotonic", "no_periodic"]
+)
+def test_ablation_speed(benchmark, variant):
+    """Per-stage cost on the mixed corpus."""
+    source = CORPUS[0]
+
+    if variant == "full":
+        program = benchmark(analyze, source)
+    elif variant == "no_nonlinear":
+        with _DisableNonlinear():
+            program = benchmark(analyze, source)
+    elif variant == "no_monotonic":
+        with _DisableMonotonic():
+            program = benchmark(analyze, source)
+    else:
+        with _DisablePeriodic():
+            program = benchmark(analyze, source)
+    assert program.result.loops

@@ -1,0 +1,126 @@
+"""B02: the unified algorithm classifies strictly more variables.
+
+"Many compilers do not include these recognition algorithms at all,
+ignoring potential optimization opportunities" (section 1); "while some of
+these cases have been classified before, they were done by special case
+analysis instead of in a unified framework" (section 7).
+
+On a generated corpus mixing all variable classes, we count source
+variables usefully classified by (a) the classical basic+derived detector,
+(b) classical + the ad hoc wrap-around pattern matcher, and (c) the
+unified SSA algorithm.  The claim reproduced: coverage(a) <= coverage(b)
+< coverage(c), with (c) also labeling the classes (a)/(b) cannot name at
+all (polynomial, geometric, periodic, monotonic).
+"""
+
+from typing import Dict, Set
+
+import pytest
+
+from benchmarks.workloads import mixed_class_loop
+from repro.analysis.loops import find_loops
+from repro.baseline.classical import classical_induction_variables
+from repro.baseline.patterns import find_wraparound_patterns
+from repro.core.classes import (
+    InductionVariable,
+    Invariant,
+    Monotonic,
+    Periodic,
+    Unknown,
+    WrapAround,
+)
+from repro.frontend.source import compile_source
+from repro.pipeline import analyze
+
+CORPUS = [mixed_class_loop(seed, 12) for seed in range(20)]
+
+
+def classical_coverage(source: str) -> Set[str]:
+    function = compile_source(source)
+    loop = find_loops(function).loop_of_header("L1")
+    result = classical_induction_variables(function, loop)
+    return set(result.all_ivs())
+
+
+def classical_plus_patterns(source: str) -> Set[str]:
+    function = compile_source(source)
+    loop = find_loops(function).loop_of_header("L1")
+    ivs = classical_induction_variables(function, loop)
+    covered = set(ivs.all_ivs())
+    covered |= {p.var for p in find_wraparound_patterns(function, loop, ivs)}
+    return covered
+
+
+def unified_coverage(source: str) -> Dict[str, Set[str]]:
+    """Source variables per classification kind (unified algorithm)."""
+    program = analyze(source)
+    summary = program.result.loops["L1"]
+    by_kind: Dict[str, Set[str]] = {
+        "iv": set(), "wrap": set(), "periodic": set(), "monotonic": set(),
+        "invariant": set(), "unknown": set(),
+    }
+    for name, cls in summary.classifications.items():
+        var = program.ssa_info.origin.get(name, name)
+        if var.startswith("$"):
+            continue
+        if isinstance(cls, InductionVariable):
+            by_kind["iv"].add(var)
+        elif isinstance(cls, WrapAround):
+            by_kind["wrap"].add(var)
+        elif isinstance(cls, Periodic):
+            by_kind["periodic"].add(var)
+        elif isinstance(cls, Monotonic):
+            by_kind["monotonic"].add(var)
+        elif isinstance(cls, Invariant):
+            by_kind["invariant"].add(var)
+        else:
+            by_kind["unknown"].add(var)
+    return by_kind
+
+
+def test_unified_strictly_more_coverage():
+    rows = []
+    total_classical = total_patterns = total_unified = 0
+    for source in CORPUS:
+        classical = classical_coverage(source)
+        with_patterns = classical_plus_patterns(source)
+        unified = unified_coverage(source)
+        unified_covered = (
+            unified["iv"] | unified["wrap"] | unified["periodic"] | unified["monotonic"]
+        )
+        assert classical <= with_patterns
+        # soundness of the comparison: whatever the classical detector
+        # classifies, the unified algorithm classifies too
+        assert classical <= unified_covered | unified["invariant"], (
+            classical - unified_covered, source
+        )
+        total_classical += len(classical)
+        total_patterns += len(with_patterns)
+        total_unified += len(unified_covered)
+        rows.append((len(classical), len(with_patterns), len(unified_covered)))
+
+    print("\nB02 coverage (variables classified per program):")
+    print("  classical | +patterns | unified")
+    for a, b, c in rows:
+        print(f"      {a:3d}   |   {b:3d}    |  {c:3d}")
+    print(f"  totals: {total_classical} | {total_patterns} | {total_unified}")
+    assert total_unified > total_patterns >= total_classical
+
+
+def test_unified_names_the_extra_classes():
+    counts = {"periodic": 0, "monotonic": 0, "wrap": 0}
+    for source in CORPUS:
+        unified = unified_coverage(source)
+        for key in counts:
+            counts[key] += len(unified[key])
+    print("\nB02 extra classes found:", counts)
+    assert counts["periodic"] > 0
+    assert counts["monotonic"] > 0
+    assert counts["wrap"] > 0
+
+
+@pytest.mark.parametrize("seed", [0, 7, 13])
+def test_unified_analysis_speed(benchmark, seed):
+    source = mixed_class_loop(seed, 12)
+    program = benchmark(analyze, source)
+    assert program.result.loops["L1"].classifications

@@ -1,0 +1,137 @@
+"""B03: dependence testing with the extended classes is more precise.
+
+Section 6's motivation: with only linear IV analysis, subscripts that are
+periodic/monotonic/wrap-around classify as *unknown* and force fully
+conservative ``(*)`` dependences.  With the paper's classes the same pairs
+get refined directions ('!=' for periodic, '='/'<=' for monotonic, flagged
+steady-state distances for wrap-around) -- the difference that legalizes
+the relaxation/pack/cylinder optimizations the paper describes.
+
+The "linear-only analyzer" ablation is realized by literally downgrading
+non-linear subscript descriptors to UNKNOWN before solving.
+"""
+
+from typing import List, Tuple
+
+import pytest
+
+import repro.dependence.testing as testing_module
+from benchmarks.workloads import dependence_workload
+from repro.dependence.direction import ANY, EQ
+from repro.dependence.graph import build_dependence_graph
+from repro.dependence.subscript import SubscriptDescriptor, SubscriptKind
+from repro.pipeline import analyze
+
+WORKLOADS = ["periodic", "monotonic", "wraparound", "linear"]
+
+
+class _LinearOnly:
+    """Context manager: degrade non-linear subscript kinds to UNKNOWN."""
+
+    def __enter__(self):
+        self._original = testing_module.describe_subscript
+
+        def downgraded(analysis, value, block):
+            descriptor = self._original(analysis, value, block)
+            if descriptor.kind in (
+                SubscriptKind.PERIODIC,
+                SubscriptKind.MONOTONIC,
+                SubscriptKind.WRAPAROUND,
+            ):
+                return SubscriptDescriptor(
+                    SubscriptKind.UNKNOWN, descriptor.loop_chain,
+                    reason="linear-only ablation",
+                )
+            return descriptor
+
+        testing_module.describe_subscript = downgraded
+        return self
+
+    def __exit__(self, *exc):
+        testing_module.describe_subscript = self._original
+        return False
+
+
+def _edge_stats(graph) -> Tuple[int, int, int]:
+    """(edges, refined edges, exact edges): refined = tighter than (*...*)."""
+    refined = 0
+    exact = 0
+    for edge in graph.edges:
+        if edge.result.exact:
+            exact += 1
+        star = all(
+            element in (ANY, frozenset({0, 1}))
+            for vector in edge.result.directions
+            for element in vector.elements
+        ) and not edge.result.distance
+        if edge.result.directions and not star:
+            refined += 1
+    return len(graph.edges), refined, exact
+
+
+def test_extended_classes_refine_dependences():
+    print("\nB03 dependence precision (edges / refined / exact):")
+    rows = {}
+    for kind in WORKLOADS:
+        program = analyze(dependence_workload(kind))
+        with _LinearOnly():
+            baseline = build_dependence_graph(program.result)
+        full = build_dependence_graph(program.result)
+        rows[kind] = (_edge_stats(baseline), _edge_stats(full))
+        print(f"  {kind:>11}: linear-only {rows[kind][0]}  |  unified {rows[kind][1]}")
+
+    # periodic: the unified analysis excludes '=' (forward half of '!=')
+    base_stats, full_stats = rows["periodic"]
+    assert full_stats[1] > base_stats[1] or full_stats[2] > base_stats[2]
+
+    # monotonic: the B flow dependence becomes exact '='
+    base_stats, full_stats = rows["monotonic"]
+    assert full_stats[2] > base_stats[2]
+
+    # wrap-around: the unified analysis produces an exact distance flagged
+    # with holds_after; linear-only cannot
+    program = analyze(dependence_workload("wraparound"))
+    full = build_dependence_graph(program.result)
+    assert any(e.result.holds_after == 1 and e.result.distance for e in full.edges)
+    with _LinearOnly():
+        baseline = build_dependence_graph(program.result)
+    assert all(e.result.distance is None for e in baseline.edges)
+
+    # linear workloads are identical under both (sanity)
+    base_stats, full_stats = rows["linear"]
+    assert base_stats == full_stats
+
+
+def test_periodic_legalizes_parallel_inner_loop():
+    """The relaxation pattern: with periodic analysis, the 2-D accesses
+    A[j, x] / A[jold, x] carry no same-iteration dependence -- the inner
+    loop is parallel, which is what the paper's flip-flop discussion is
+    for."""
+    source = (
+        "j = 1\njold = 2\nL1: for it = 1 to t do\n  L2: for x = 1 to n do\n"
+        "    A[j, x] = A[jold, x] + 1\n  endfor\n"
+        "  jt = jold\n  jold = j\n  j = jt\nendfor"
+    )
+    program = analyze(source)
+    full = build_dependence_graph(program.result)
+    cross = [e for e in full.edges if e.source != e.sink]
+    assert cross
+    for edge in cross:
+        for vector in edge.result.directions:
+            assert vector.elements[0] != EQ  # no same-outer-iteration dep
+
+    with _LinearOnly():
+        baseline = build_dependence_graph(program.result)
+    baseline_cross = [e for e in baseline.edges if e.source != e.sink]
+    # the linear-only analyzer cannot exclude the same-iteration dependence
+    assert any(
+        any(0 in element for vector in e.result.directions for element in vector.elements[:1])
+        for e in baseline_cross
+    )
+
+
+@pytest.mark.parametrize("kind", WORKLOADS)
+def test_dependence_testing_speed(benchmark, kind):
+    program = analyze(dependence_workload(kind))
+    graph = benchmark(build_dependence_graph, program.result)
+    assert graph.refs

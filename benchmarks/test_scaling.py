@@ -1,0 +1,124 @@
+"""B01: "this algorithm is linear in the size of the SSA graph, not
+iterative" (section 7).
+
+Two measurements:
+
+* the SSA classifier's running time across loops of growing size, reported
+  next to the SSA-graph size -- the time-per-graph-node ratio should stay
+  roughly flat (linear scaling);
+* the classical baseline's *pass count* on derived-IV chains of growing
+  depth -- it grows with the chain, while the SSA algorithm always makes
+  exactly one traversal (every node lands in exactly one SCR).
+"""
+
+import time
+
+import pytest
+
+from benchmarks.workloads import deep_chain_loop, straightline_iv_loop
+from repro.analysis.loops import find_loops
+from repro.baseline.classical import classical_induction_variables
+from repro.core.driver import classify_function
+from repro.frontend.source import compile_source
+from repro.pipeline import analyze, analyze_function
+
+SIZES = [4, 16, 64, 256]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_ssa_classifier_scaling(benchmark, size):
+    source = straightline_iv_loop(size)
+    program = analyze(source)  # warm compile; we time classification only
+
+    result = benchmark(classify_function, program.ssa)
+    summary = result.loops["L1"]
+    # every variable in the family was classified, in one traversal
+    assert summary.scr_count >= size
+    assert summary.graph_size >= size
+
+
+def test_linearity_shape():
+    """Time per SSA-graph node must not blow up with size (no iteration)."""
+    ratios = []
+    for size in SIZES:
+        program = analyze(straightline_iv_loop(size))
+        start = time.perf_counter()
+        for _ in range(3):
+            result = classify_function(program.ssa)
+        elapsed = (time.perf_counter() - start) / 3
+        graph_size = result.loops["L1"].graph_size
+        ratios.append(elapsed / graph_size)
+    print("\nB01 time-per-node (s):", [f"{r:.2e}" for r in ratios])
+    # allow constant-factor noise; rule out quadratic behaviour (which
+    # would multiply the ratio by ~64 across this range)
+    assert ratios[-1] < ratios[0] * 12
+
+
+@pytest.mark.parametrize("depth", [2, 8, 32, 128])
+def test_classical_pass_count_grows(depth):
+    """The classical fixed point needs ~depth passes over the body."""
+    function = compile_source(deep_chain_loop(depth))
+    loop = find_loops(function).loop_of_header("L1")
+    result = classical_induction_variables(function, loop)
+    assert len(result.derived) >= depth - 1
+    assert result.passes >= depth  # one pass per chain link + stabilization
+    print(f"\nB01 classical: depth {depth} -> {result.passes} passes, "
+          f"{result.statements_visited} statements visited")
+
+
+@pytest.mark.parametrize("depth", [2, 8, 32, 128])
+def test_classical_baseline_speed(benchmark, depth):
+    function = compile_source(deep_chain_loop(depth))
+    loop = find_loops(function).loop_of_header("L1")
+    result = benchmark(classical_induction_variables, function, loop)
+    assert result.passes >= depth
+
+
+def test_ssa_is_one_pass_regardless_of_depth():
+    """Every SSA node is visited by Tarjan exactly once: the number of SCRs
+    equals the number of region nodes for a chain (all trivial except the
+    basic IV cycles)."""
+    for depth in (2, 8, 32, 128):
+        program = analyze(deep_chain_loop(depth))
+        summary = program.result.loops["L1"]
+        # nodes = SCR members, each SCR popped once
+        members = sum(1 for _ in summary.classifications)
+        assert summary.scr_count <= members
+        classified_chain = [
+            name for name in summary.classifications if name.startswith("v")
+        ]
+        assert len(classified_chain) >= depth
+
+
+@pytest.mark.parametrize("statements", [50, 200, 800])
+def test_whole_pipeline_throughput(benchmark, statements):
+    """End-to-end compile+classify+dependence on a large mixed loop."""
+    from benchmarks.workloads import mixed_class_loop
+    from repro.dependence.graph import build_dependence_graph
+
+    source = mixed_class_loop(1, statements)
+
+    def run():
+        program = analyze(source)
+        return build_dependence_graph(program.result)
+
+    graph = benchmark(run)
+    assert graph.refs
+
+
+def test_deep_nest_pipeline():
+    """Five-deep loop nests classify without blowup."""
+    source_lines = ["s = 0"]
+    for level in range(1, 6):
+        indent = "  " * (level - 1)
+        source_lines.append(f"{indent}L{level}: for i{level} = 1 to 3 do")
+    source_lines.append("  " * 5 + "s = s + 1")
+    for level in range(5, 0, -1):
+        source_lines.append("  " * (level - 1) + "endfor")
+    source_lines.append("return s")
+    program = analyze("\n".join(source_lines))
+    outer = program.classification(program.ssa_name("s", "L1"))
+    from repro.core.classes import InductionVariable
+
+    assert isinstance(outer, InductionVariable)
+    assert outer.step == 81  # 3^4 increments per outer iteration

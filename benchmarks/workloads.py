@@ -1,0 +1,104 @@
+"""Synthetic workload generators for the benchmark harness.
+
+The paper has no machine-measured tables; its quantitative claims are
+structural (one-pass vs. iterative, strictly more classes recognized,
+more precise dependence graphs).  These generators produce families of
+loop programs whose size and composition are controlled, so the
+benchmarks can measure exactly those claims.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.pipeline import AnalyzedProgram, analyze
+
+
+def straightline_iv_loop(n_variables: int) -> str:
+    """A loop with ``n_variables`` mutually-derived linear IVs (a worst
+    case for classical *iterative* detection: each derived IV needs its
+    predecessor classified first, i.e. one extra pass)."""
+    lines = ["v0 = 0", "L1: loop", "  v0 = v0 + 1"]
+    for k in range(1, n_variables):
+        lines.append(f"  v{k} = v{k - 1} + {k}")
+    lines.append(f"  if v0 > n then")
+    lines.append("    break")
+    lines.append("  endif")
+    lines.append("endloop")
+    return "\n".join(lines)
+
+
+def mixed_class_loop(seed: int, n_statements: int) -> str:
+    """A loop mixing every variable class the paper recognizes."""
+    rng = random.Random(seed)
+    lines = [
+        "a = 1",
+        "b = 2",
+        "c = 0",
+        "w = n",
+        "g = 1",
+        "p = 1",
+        "q = 2",
+        "L1: for i = 1 to n do",
+        "  B[w] = a",  # reads w before its reassignment: the wrap-around use
+    ]
+    for k in range(n_statements):
+        choice = rng.randrange(7)
+        if choice == 0:
+            lines.append(f"  a = a + {rng.randint(1, 4)}")  # linear
+        elif choice == 1:
+            lines.append("  b = b + a")  # polynomial
+        elif choice == 2:
+            lines.append(f"  g = g * 2 + {rng.randint(0, 2)}")  # geometric
+        elif choice == 3:
+            lines.append("  t = p")
+            lines.append("  p = q")
+            lines.append("  q = t")  # periodic
+        elif choice == 4:
+            lines.append(f"  if A[i] > {rng.randint(0, 5)} then")
+            lines.append(f"    c = c + {rng.randint(1, 3)}")
+            lines.append("  endif")  # monotonic
+        elif choice == 5:
+            lines.append("  w = i")  # wrap-around (w used below)
+        else:
+            lines.append(f"  x{k} = a * {rng.randint(2, 5)}")  # derived
+    lines.append("endfor")
+    return "\n".join(lines)
+
+
+def deep_chain_loop(depth: int) -> str:
+    """A single chain v_{k} = v_{k-1} + 1 of the given depth (classical
+    detection needs ~depth passes; the SSA pass is one traversal)."""
+    lines = ["base = 0", "L1: for i = 1 to n do", "  base = base + 1", "  v0 = i + 1"]
+    for k in range(1, depth):
+        lines.append(f"  v{k} = v{k - 1} + 1")
+    lines.append(f"  A[v{depth - 1}] = i")
+    lines.append("endfor")
+    return "\n".join(lines)
+
+
+def dependence_workload(kind: str) -> str:
+    """Loops whose precise dependence testing needs the extended classes."""
+    if kind == "periodic":
+        return (
+            "j = 1\nk = 2\nl = 3\nL1: for it = 1 to n do\n"
+            "  A[2 * j] = A[2 * k] + 1\n"
+            "  t = j\n  j = k\n  k = l\n  l = t\nendfor"
+        )
+    if kind == "monotonic":
+        return (
+            "k = 0\nL1: for i = 1 to n do\n  if A[i] > 0 then\n"
+            "    k = k + 1\n    B[k] = A[i]\n    E[i] = B[k]\n  endif\nendfor"
+        )
+    if kind == "wraparound":
+        return (
+            "iml = n\nL1: for i = 1 to n do\n  A[i] = A[iml] + 1\n  iml = i\nendfor"
+        )
+    if kind == "linear":
+        return "L1: for i = 2 to n do\n  A[i] = A[i - 1] + 1\nendfor"
+    raise ValueError(kind)
+
+
+def analyzed(source: str) -> AnalyzedProgram:
+    return analyze(source)

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Loop-level conclusions: parallelism, interchange, distribution.
+
+The paper's introduction motivates the classification with "advanced loop
+transformations (such as loop distribution and loop interchanging)".  This
+example runs those legality analyses on top of the dependence graph.
+
+Run:  python examples/loop_transforms.py
+"""
+
+from repro import analyze
+from repro.dependence import (
+    analyze_parallelism,
+    build_dependence_graph,
+    check_interchange,
+    plan_distribution,
+)
+
+STENCIL = """
+L1: for i = 2 to n do
+  L2: for j = 1 to n do
+    A[i, j] = A[i - 1, j] + B[i, j]
+  endfor
+endfor
+"""
+
+TRIANGULAR = """
+L23: for i = 1 to n do
+  L24: for j = i + 1 to n do
+    A[i, j] = A[i - 1, j] + 1
+  endfor
+endfor
+"""
+
+MULTI_STATEMENT = """
+L1: for i = 2 to n do
+  A[i] = X[i] * 2
+  B[i] = A[i] + Y[i]
+  C[i] = C[i - 1] + B[i]
+endfor
+"""
+
+
+def main() -> None:
+    print("=== stencil: outer-carried, inner parallel, interchange legal ===")
+    program = analyze(STENCIL)
+    graph = build_dependence_graph(program.result)
+    verdicts = analyze_parallelism(program.result, graph)
+    for header in ("L1", "L2"):
+        print(f"  {verdicts[header]!r}")
+    print(f"  interchange(L1, L2): {check_interchange(program.result, 'L1', 'L2', graph).legal}")
+
+    print("\n=== triangular nest: the (<, >) vector blocks interchange ===")
+    program = analyze(TRIANGULAR)
+    graph = build_dependence_graph(program.result)
+    verdict = check_interchange(program.result, "L23", "L24", graph)
+    print(f"  interchange(L23, L24): {verdict.legal}")
+    for edge in verdict.blocking:
+        print(f"    blocked by {edge!r}")
+
+    print("\n=== multi-statement loop: distribution plan ===")
+    program = analyze(MULTI_STATEMENT)
+    loop = program.nest.loop_of_header("L1")
+    plan = plan_distribution(program.result, loop)
+    print("  " + plan.summary().replace("\n", "\n  "))
+    print(
+        "  The recurrence on C stays in its own loop; A and B distribute\n"
+        "  ahead of it in dependence order, and each piece can then be\n"
+        "  vectorized or parallelized independently."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Monotonic variables in packing loops (paper sections 4.4, 5.4, 6).
+
+The pack idiom conditionally copies elements of one vector into a dense
+prefix of another.  The pack counter ``k`` is not an induction variable --
+it does not advance every iteration -- but it *is* monotonic, and within
+the conditional it is strictly monotonic.  That difference decides which
+dependences are loop-carried (Figure 10 of the paper).
+
+Run:  python examples/packing_monotonic.py
+"""
+
+from repro import analyze, build_dependence_graph
+from repro.core.classes import Monotonic
+from repro.ir.interp import Interpreter, TraceRecorder
+
+SOURCE = """
+k = 0
+L15: for i = 1 to n do
+  F[k] = A[i]
+  if A[i] > 0 then
+    C[k] = D[i]
+    k = k + 1
+    B[k] = A[i]
+    E[i] = B[k]
+  endif
+  G[i] = F[k]
+endfor
+"""
+
+
+def main() -> None:
+    program = analyze(SOURCE)
+
+    print("=== the k family ===")
+    for name in program.ssa_names("k"):
+        cls = program.classification(name)
+        extra = ""
+        if isinstance(cls, Monotonic):
+            extra = f"   (family {cls.family})"
+        print(f"  {name:6} -> {cls.describe()}{extra}")
+
+    print("\n=== dependence directions (paper's Figure 10 discussion) ===")
+    graph = build_dependence_graph(program.result)
+    for edge in graph.edges:
+        if edge.source.array in ("B", "F") and edge.source != edge.sink:
+            print(f"  {edge!r}")
+    print(
+        "\n  B: strictly monotonic subscript -> direction (=): not loop-carried,\n"
+        "     the store/load pair can stay together when the loop is transformed.\n"
+        "  F: merely monotonic -> flow (<=), anti (<): loop-carried."
+    )
+
+    print("\n=== sanity: executing the pack ===")
+    trace = TraceRecorder()
+    arrays = {"A": {(i,): (1 if i % 3 == 0 else -1) for i in range(1, 11)}}
+    result = Interpreter(program.ssa, trace=trace).run({"n": 10}, arrays)
+    packed = sorted(result.arrays.get("B", {}).items())
+    print(f"  packed {len(packed)} positive elements: {packed}")
+    print(f"  {len(trace.conflicts())} dynamic conflicts observed "
+          f"(all covered by the {len(graph.edges)} static edges)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Flip-flop variables in relaxation codes (paper section 4.2 + 6).
+
+The classic red/black relaxation keeps two planes of a matrix -- "old" and
+"new" -- and flips which is which every outer iteration.  A compiler that
+recognizes ``j``/``jold`` as a periodic family can prove the two planes
+never collide in the same iteration, so the inner loop is parallel.
+
+Run:  python examples/relaxation_periodic.py
+"""
+
+from repro import analyze, build_dependence_graph
+from repro.dependence.direction import EQ
+
+SOURCE = """
+j = 1
+jold = 2
+L1: for iter = 1 to t do
+  L2: for x = 1 to n do
+    A[j, x] = A[jold, x] + A[jold, x + 1]
+  endfor
+  jtemp = jold
+  jold = j
+  j = jtemp
+endfor
+"""
+
+ARITHMETIC_FORM = """
+j = 1
+jold = 2
+L1: for iter = 1 to t do
+  L2: for x = 1 to n do
+    A[j, x] = A[jold, x] + A[jold, x + 1]
+  endfor
+  j = 3 - j
+  jold = 3 - jold
+endfor
+"""
+
+
+def report(title: str, source: str) -> None:
+    print(f"=== {title} ===")
+    program = analyze(source)
+    for var in ("j", "jold"):
+        name = program.ssa_name(var, "L1")
+        print(f"  {name:8} -> {program.result.describe(name)}")
+
+    graph = build_dependence_graph(program.result)
+    cross = [e for e in graph.edges if e.source != e.sink]
+    print(f"  {len(cross)} cross-site dependence edges:")
+    inner_parallel = True
+    for edge in cross:
+        print(f"    {edge!r}")
+        for vector in edge.result.directions:
+            if vector.elements and vector.elements[0] == EQ:
+                inner_parallel = False
+    print(
+        "  same-outer-iteration dependences: "
+        + ("NONE -- the inner loop is parallel" if inner_parallel else "present")
+    )
+    print()
+
+
+def main() -> None:
+    report("swap form (loop L11 of the paper)", SOURCE)
+    report("arithmetic form j = 3 - j (loop L12)", ARITHMETIC_FORM)
+    print(
+        "Both forms classify as periodic families with period 2 and distinct\n"
+        "values {1, 2}; the '=' solution of the dependence equation therefore\n"
+        "translates to '!=' at the loop level (paper, section 6)."
+    )
+
+
+if __name__ == "__main__":
+    main()

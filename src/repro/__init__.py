@@ -1,0 +1,65 @@
+"""repro: a reproduction of "Beyond Induction Variables" (Wolfe, PLDI 1992).
+
+A complete implementation of the paper's SSA-based classification of loop
+variables -- linear, polynomial and geometric induction variables,
+wrap-around, periodic/flip-flop and monotonic variables -- together with
+everything it rests on (a loop-language frontend, CFG IR, dominators, SSA
+construction, SCCP) and everything it feeds (trip counts, nested-loop exit
+values, data dependence testing with the extended classes, strength
+reduction, peeling, normalization), plus the classical pattern-matching
+baseline it was compared against.
+
+Quick start::
+
+    from repro import analyze
+
+    program = analyze('''
+    i = 0
+    L1: while i < n do
+      i = i + 2
+      A[i] = A[i - 2] + 1
+    endwhile
+    ''')
+    print(program.describe_all())          # {'i.2': '(L1, 0, 2)', ...}
+
+    from repro import build_dependence_graph
+    print(build_dependence_graph(program.result).summary())
+"""
+
+from repro.pipeline import AnalyzedProgram, analyze, analyze_function
+from repro.core import (
+    AnalysisResult,
+    Classification,
+    InductionVariable,
+    Invariant,
+    Monotonic,
+    Periodic,
+    TripCount,
+    TripCountKind,
+    Unknown,
+    WrapAround,
+    classify_function,
+)
+from repro.dependence import build_dependence_graph, test_dependence
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analyze",
+    "analyze_function",
+    "AnalyzedProgram",
+    "AnalysisResult",
+    "Classification",
+    "InductionVariable",
+    "Invariant",
+    "Monotonic",
+    "Periodic",
+    "TripCount",
+    "TripCountKind",
+    "Unknown",
+    "WrapAround",
+    "classify_function",
+    "build_dependence_graph",
+    "test_dependence",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Control-flow-graph analyses: orderings, dominators, loops, liveness."""
+
+from repro.analysis.rpo import reverse_postorder, postorder, reachable_blocks
+from repro.analysis.dominators import DominatorTree, dominator_tree
+from repro.analysis.domfrontier import dominance_frontiers, iterated_frontier
+from repro.analysis.loops import Loop, LoopNest, find_loops
+from repro.analysis.liveness import live_in_sets, upward_exposed
+from repro.analysis.postdom import postdominator_tree
+from repro.analysis.loopsimplify import simplify_loops
+from repro.analysis.reducibility import irreducible_edges, is_reducible
+
+__all__ = [
+    "simplify_loops",
+    "irreducible_edges",
+    "is_reducible",
+    "reverse_postorder",
+    "postorder",
+    "reachable_blocks",
+    "DominatorTree",
+    "dominator_tree",
+    "dominance_frontiers",
+    "iterated_frontier",
+    "Loop",
+    "LoopNest",
+    "find_loops",
+    "live_in_sets",
+    "upward_exposed",
+    "postdominator_tree",
+]

@@ -1,0 +1,61 @@
+"""Dominance frontiers (Cytron et al. [CFR+91]).
+
+The frontier of ``X`` is the set of blocks ``Y`` such that ``X`` dominates a
+predecessor of ``Y`` but does not strictly dominate ``Y`` -- exactly where
+phi-functions must be placed (section 2.1 of the paper defers to [CFR+91]
+for this construction; we use the standard two-level walk from Cooper's
+formulation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set
+
+from repro.analysis.dominators import DominatorTree
+from repro.ir.function import Function
+
+
+def dominance_frontiers(
+    function: Function, domtree: DominatorTree
+) -> Dict[str, Set[str]]:
+    """Label -> set of frontier labels, for all reachable blocks."""
+    frontiers: Dict[str, Set[str]] = {label: set() for label in domtree.idom}
+    preds = function.predecessors_map()
+    for label in domtree.idom:
+        reachable_preds = [p for p in preds[label] if p in domtree.idom]
+        if len(reachable_preds) < 2:
+            continue
+        idom = domtree.immediate_dominator(label)
+        for pred in reachable_preds:
+            runner = pred
+            while runner != idom:
+                frontiers[runner].add(label)
+                parent = domtree.immediate_dominator(runner)
+                if parent is None:
+                    break
+                runner = parent
+    return frontiers
+
+
+def iterated_frontier(
+    frontiers: Dict[str, Set[str]], blocks: Iterable[str]
+) -> Set[str]:
+    """The iterated dominance frontier DF+ of a set of blocks.
+
+    This is the phi-placement set for a variable whose definitions sit in
+    ``blocks``: "a phi-function for variable X is placed at the first CFG
+    vertex where two distinct definitions of X reach; the phi-function
+    itself counts as a new definition, and so the algorithm iterates."
+    """
+    result: Set[str] = set()
+    worklist = [label for label in blocks if label in frontiers]
+    on_list = set(worklist)
+    while worklist:
+        label = worklist.pop()
+        for frontier_label in frontiers[label]:
+            if frontier_label not in result:
+                result.add(frontier_label)
+                if frontier_label not in on_list:
+                    on_list.add(frontier_label)
+                    worklist.append(frontier_label)
+    return result

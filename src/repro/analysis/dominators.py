@@ -1,0 +1,111 @@
+"""Dominator tree via the Cooper-Harvey-Kennedy iterative algorithm.
+
+"A Simple, Fast Dominance Algorithm" (2001) -- the standard practical
+replacement for Lengauer-Tarjan: iterate ``idom`` to a fixed point over
+reverse postorder, intersecting paths in the partially-built tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.rpo import reverse_postorder
+from repro.ir.function import Function, IRError
+
+
+class DominatorTree:
+    """Immutable dominator tree with O(1) `dominates` via DFS intervals."""
+
+    def __init__(self, entry: str, idom: Dict[str, Optional[str]]):
+        self.entry = entry
+        self.idom = dict(idom)
+        self.children: Dict[str, List[str]] = {label: [] for label in idom}
+        for label, parent in idom.items():
+            if parent is not None:
+                self.children[parent].append(label)
+        # DFS numbering for interval-based dominance queries
+        self._enter: Dict[str, int] = {}
+        self._leave: Dict[str, int] = {}
+        clock = 0
+        stack: List[tuple] = [(entry, False)]
+        while stack:
+            label, done = stack.pop()
+            if done:
+                self._leave[label] = clock
+                clock += 1
+                continue
+            self._enter[label] = clock
+            clock += 1
+            stack.append((label, True))
+            for child in reversed(self.children[label]):
+                stack.append((child, False))
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True iff ``a`` dominates ``b`` (reflexively)."""
+        if a not in self._enter or b not in self._enter:
+            raise IRError(f"unreachable block in dominance query: {a!r} or {b!r}")
+        return self._enter[a] <= self._enter[b] and self._leave[b] <= self._leave[a]
+
+    def strictly_dominates(self, a: str, b: str) -> bool:
+        return a != b and self.dominates(a, b)
+
+    def immediate_dominator(self, label: str) -> Optional[str]:
+        return self.idom.get(label)
+
+    def dominators_of(self, label: str) -> List[str]:
+        """All dominators of ``label``, from itself up to the entry."""
+        chain = [label]
+        while True:
+            parent = self.idom.get(chain[-1])
+            if parent is None:
+                return chain
+            chain.append(parent)
+
+    def preorder(self) -> List[str]:
+        """Dominator-tree preorder (used by the SSA renamer)."""
+        out: List[str] = []
+        stack = [self.entry]
+        while stack:
+            label = stack.pop()
+            out.append(label)
+            for child in reversed(self.children[label]):
+                stack.append(child)
+        return out
+
+
+def dominator_tree(function: Function) -> DominatorTree:
+    """Compute the dominator tree of the reachable CFG."""
+    rpo = reverse_postorder(function)
+    if not rpo:
+        raise IRError("function has no reachable blocks")
+    entry = rpo[0]
+    index = {label: i for i, label in enumerate(rpo)}
+    preds = function.predecessors_map()
+
+    idom: Dict[str, Optional[str]] = {label: None for label in rpo}
+    idom[entry] = entry
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for label in rpo[1:]:
+            candidates = [p for p in preds[label] if p in index and idom[p] is not None]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for pred in candidates[1:]:
+                new_idom = intersect(pred, new_idom)
+            if idom[label] != new_idom:
+                idom[label] = new_idom
+                changed = True
+
+    idom[entry] = None
+    return DominatorTree(entry, idom)

@@ -1,0 +1,68 @@
+"""Backward liveness on the named (pre-SSA) IR.
+
+Pruned SSA construction only inserts a phi for a variable where that
+variable is live -- this avoids the flood of dead phis that minimal SSA
+would create and keeps the SSA graph (and hence Tarjan's traversal) small,
+which is part of the paper's speed argument.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.ir.function import Function
+from repro.ir.instructions import Phi
+from repro.ir.values import Ref
+
+
+def upward_exposed(function: Function) -> Dict[str, tuple]:
+    """Per block: (use-before-def set, defined set) of scalar names."""
+    out: Dict[str, tuple] = {}
+    for block in function:
+        uses: Set[str] = set()
+        defs: Set[str] = set()
+        for inst in block:
+            if isinstance(inst, Phi):
+                # phis read on edges; treat their inputs as live-out of preds,
+                # handled by the caller via phi_uses
+                pass
+            else:
+                for value in inst.uses():
+                    if isinstance(value, Ref) and value.name not in defs:
+                        uses.add(value.name)
+            if inst.result is not None:
+                defs.add(inst.result)
+        if block.terminator is not None:
+            for value in block.terminator.uses():
+                if isinstance(value, Ref) and value.name not in defs:
+                    uses.add(value.name)
+        out[block.label] = (uses, defs)
+    return out
+
+
+def live_in_sets(function: Function) -> Dict[str, Set[str]]:
+    """Variable names live on entry to each block (iterative dataflow)."""
+    local = upward_exposed(function)
+    preds = function.predecessors_map()
+    live_in: Dict[str, Set[str]] = {label: set() for label in function.blocks}
+    live_out: Dict[str, Set[str]] = {label: set() for label in function.blocks}
+
+    changed = True
+    while changed:
+        changed = False
+        for label in function.blocks:
+            uses, defs = local[label]
+            out_set: Set[str] = set()
+            for succ in function.successors(label):
+                out_set |= live_in[succ]
+                # phi inputs are live along the specific incoming edge
+                for phi in function.block(succ).phis():
+                    value = phi.incoming.get(label)
+                    if isinstance(value, Ref):
+                        out_set.add(value.name)
+            in_set = uses | (out_set - defs)
+            if in_set != live_in[label] or out_set != live_out[label]:
+                live_in[label] = in_set
+                live_out[label] = out_set
+                changed = True
+    return live_in

@@ -1,0 +1,75 @@
+"""Loop canonicalization: dedicated preheaders and single latches.
+
+Run on the *named* (pre-SSA) IR.  After this pass every natural loop header
+has exactly two predecessors -- one preheader outside the loop and one latch
+inside -- so every loop-header phi created by SSA construction has exactly
+one initial value and one loop-carried value.  That is the shape all of the
+paper's figures assume (e.g. ``i2 = phi(i1, i3)``), and it lets the
+classifier identify "the reaching SSA name from outside the loop" (the
+initial value, section 3.1) unambiguously.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.dominators import dominator_tree
+from repro.analysis.loops import find_loops
+from repro.ir.function import Function
+from repro.ir.instructions import Jump
+
+
+def simplify_loops(function: Function) -> bool:
+    """Insert preheaders/latches where needed.  Returns True if changed.
+
+    Iterates because inserting blocks invalidates the loop analysis.
+    """
+    changed_any = False
+    for _ in range(len(function.blocks) + 2):
+        changed = _simplify_once(function)
+        changed_any = changed_any or changed
+        if not changed:
+            break
+    return changed_any
+
+
+def _simplify_once(function: Function) -> bool:
+    domtree = dominator_tree(function)
+    nest = find_loops(function, domtree)
+    preds_map = function.predecessors_map()
+    for loop in nest:
+        header_preds = preds_map[loop.header]
+        outside = [p for p in header_preds if p not in loop.body]
+        inside = [p for p in header_preds if p in loop.body]
+
+        if len(outside) > 1 or (
+            len(outside) == 1
+            and function.successors(outside[0]) != (loop.header,)
+        ):
+            _merge_edges(function, outside, loop.header, f"{loop.header}.pre")
+            return True
+        if len(inside) > 1:
+            _merge_edges(function, inside, loop.header, f"{loop.header}.latch")
+            return True
+    return False
+
+
+def _merge_edges(function: Function, sources: List[str], target: str, hint: str) -> None:
+    """Create one block through which all ``sources -> target`` edges pass."""
+    label = function.fresh_label(hint)
+    block = function.add_block(label)
+    block.terminator = Jump(target)
+    for source in sources:
+        function.block(source).terminator.retarget(target, label)
+    for phi in function.block(target).phis():
+        values = [phi.incoming.pop(s) for s in sources if s in phi.incoming]
+        if values:
+            # pre-SSA IR has no phis; post-SSA callers must not need merging
+            # of distinct values (loopsimplify runs before SSA construction).
+            first = values[0]
+            if any(v != first for v in values):
+                raise ValueError(
+                    "cannot merge phi inputs with distinct values in loopsimplify; "
+                    "run this pass before SSA construction"
+                )
+            phi.incoming[label] = first

@@ -1,0 +1,102 @@
+"""Postdominators, on the reversed CFG.
+
+Section 5.4 of the paper sketches using postdominance to sharpen monotonic
+classification: "any uses of k2 in this region are post-dominated by the
+strictly monotonic assignment".  We compute the postdominator tree over a
+virtual exit that collects every Return block (and, to keep the analysis
+total on infinite loops, every block without reachable successors).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.dominators import DominatorTree
+from repro.analysis.rpo import reachable_blocks
+from repro.ir.function import Function
+
+VIRTUAL_EXIT = "<exit>"
+
+
+def postdominator_tree(function: Function) -> DominatorTree:
+    """Postdominator tree; the root is :data:`VIRTUAL_EXIT`."""
+    reachable = reachable_blocks(function)
+    succs: Dict[str, List[str]] = {
+        label: [s for s in function.successors(label) if s in reachable]
+        for label in reachable
+    }
+    preds: Dict[str, List[str]] = {label: [] for label in reachable}
+    preds[VIRTUAL_EXIT] = []
+    for label, targets in succs.items():
+        for target in targets:
+            preds[target].append(label)
+
+    # reversed-graph "successors" = original predecessors; the reversed
+    # graph's entry is the virtual exit, connected to all terminal blocks.
+    terminal = [label for label in reachable if not succs[label]]
+    # Blocks trapped in infinite loops never reach Return; attach any
+    # strongly-terminal-free region via its latest RPO block so the reverse
+    # search still covers it.
+    reverse_edges: Dict[str, List[str]] = {VIRTUAL_EXIT: list(terminal)}
+    for label in reachable:
+        reverse_edges[label] = list(preds.get(label, []))
+
+    # postorder on the reversed graph from the virtual exit
+    visited = set()
+    order: List[str] = []
+    stack: List[tuple] = [(VIRTUAL_EXIT, iter(reverse_edges[VIRTUAL_EXIT]))]
+    visited.add(VIRTUAL_EXIT)
+    while stack:
+        label, iterator = stack[-1]
+        advanced = False
+        for nxt in iterator:
+            if nxt not in visited:
+                visited.add(nxt)
+                stack.append((nxt, iter(reverse_edges[nxt])))
+                advanced = True
+                break
+        if not advanced:
+            order.append(label)
+            stack.pop()
+    rpo = list(reversed(order))
+    index = {label: i for i, label in enumerate(rpo)}
+
+    idom: Dict[str, Optional[str]] = {label: None for label in rpo}
+    idom[VIRTUAL_EXIT] = VIRTUAL_EXIT
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    # predecessors in the reversed graph = successors in the original
+    def reversed_preds(label: str) -> List[str]:
+        if label in succs:
+            out = list(succs[label])
+        else:
+            out = []
+        if label in terminal:
+            out.append(VIRTUAL_EXIT)
+        return out
+
+    changed = True
+    while changed:
+        changed = False
+        for label in rpo[1:]:
+            candidates = [
+                p for p in reversed_preds(label) if p in index and idom[p] is not None
+            ]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for pred in candidates[1:]:
+                new_idom = intersect(pred, new_idom)
+            if idom[label] != new_idom:
+                idom[label] = new_idom
+                changed = True
+
+    idom[VIRTUAL_EXIT] = None
+    return DominatorTree(VIRTUAL_EXIT, idom)

@@ -1,0 +1,42 @@
+"""Reducibility check.
+
+The paper's machinery (natural loops, loop-header phis as SCR anchors)
+assumes reducible control flow; Tarjan's SCR argument "every value cycling
+around the loop must pass through a phi [at a loop header]" fails for
+irreducible regions.  The frontend can only produce reducible CFGs, but
+hand-written IR might not -- the classifier refuses it rather than
+answering wrongly.
+
+A CFG is reducible iff every retreating edge (target earlier in RPO) is a
+back edge (target dominates source).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.analysis.dominators import DominatorTree, dominator_tree
+from repro.analysis.rpo import reverse_postorder
+from repro.ir.function import Function
+
+
+def irreducible_edges(
+    function: Function, domtree: DominatorTree = None
+) -> List[Tuple[str, str]]:
+    """Retreating edges that are not back edges ([] for reducible CFGs)."""
+    if domtree is None:
+        domtree = dominator_tree(function)
+    rpo = reverse_postorder(function)
+    position = {label: index for index, label in enumerate(rpo)}
+    offending = []
+    for label in rpo:
+        for succ in function.successors(label):
+            if succ not in position:
+                continue
+            if position[succ] <= position[label] and not domtree.dominates(succ, label):
+                offending.append((label, succ))
+    return offending
+
+
+def is_reducible(function: Function, domtree: DominatorTree = None) -> bool:
+    return not irreducible_edges(function, domtree)

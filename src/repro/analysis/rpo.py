@@ -1,0 +1,42 @@
+"""Depth-first orderings of the CFG."""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.ir.function import Function
+
+
+def postorder(function: Function) -> List[str]:
+    """Labels of reachable blocks in DFS postorder (iterative DFS)."""
+    visited: Set[str] = set()
+    order: List[str] = []
+    # stack of (label, iterator over successors)
+    entry = function.entry_label
+    if entry is None:
+        return []
+    stack = [(entry, iter(function.successors(entry)))]
+    visited.add(entry)
+    while stack:
+        label, successors = stack[-1]
+        advanced = False
+        for succ in successors:
+            if succ not in visited:
+                visited.add(succ)
+                stack.append((succ, iter(function.successors(succ))))
+                advanced = True
+                break
+        if not advanced:
+            order.append(label)
+            stack.pop()
+    return order
+
+
+def reverse_postorder(function: Function) -> List[str]:
+    """Reverse postorder: a topological order ignoring back edges."""
+    return list(reversed(postorder(function)))
+
+
+def reachable_blocks(function: Function) -> Set[str]:
+    """Labels reachable from entry."""
+    return set(postorder(function))

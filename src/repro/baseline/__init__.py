@@ -1,0 +1,19 @@
+"""Classical (pre-SSA) induction variable detection -- the comparison
+baseline.
+
+The paper's contrast class: textbook basic/derived IV detection that scans
+loop bodies repeatedly to a fixed point [ASU86, CK77, ACK81], plus the ad
+hoc pattern matcher vendors used for wrap-around variables [PW86].  Used by
+the benchmarks to reproduce the paper's two quantitative claims: the SSA
+algorithm is one-pass (the classical one iterates), and it classifies
+strictly more variables.
+"""
+
+from repro.baseline.classical import ClassicalResult, classical_induction_variables
+from repro.baseline.patterns import find_wraparound_patterns
+
+__all__ = [
+    "ClassicalResult",
+    "classical_induction_variables",
+    "find_wraparound_patterns",
+]

@@ -1,0 +1,233 @@
+"""Textbook induction variable detection on the *named* (pre-SSA) IR.
+
+The classical algorithm [ASU86 section 10.7; CK77]:
+
+* a **basic** induction variable is a variable whose only definitions in
+  the loop have the form ``i = i + c`` / ``i = i - c`` with ``c`` loop
+  invariant (extended, per [CK77, ACK81], to ``i = j + c`` where ``j`` is
+  already known to be an IV in the same family -- found by iterating);
+* a **derived** induction variable has exactly one in-loop definition
+  ``k = a * i + b`` (in one of the affine shapes) with ``i`` a known IV and
+  ``a, b`` invariant.
+
+The implementation deliberately mirrors the classical structure --
+*iterate over the loop body until nothing changes* -- because the paper's
+complexity claim is exactly that its SSA formulation replaces this
+iteration with a single linear pass.  ``ClassicalResult.passes`` records
+how many body scans the fixed point took.
+
+Limitations inherent to the approach (and shared by the textbook version):
+variables with several in-loop definitions (Figure 3's if/else), wrap-
+around, periodic, monotonic and geometric variables are all missed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.loops import Loop
+from repro.ir.function import Function
+from repro.ir.instructions import Assign, BinOp, Instruction, Phi
+from repro.ir.opcodes import BinaryOp
+from repro.ir.values import Const, Ref, Value
+
+
+@dataclass
+class ClassicalIV:
+    """``var = factor * base + offset`` where base is a basic IV.
+
+    For a basic IV, ``base`` is the variable itself, factor 1, offset 0,
+    and ``step`` its per-iteration increment.
+    """
+
+    var: str
+    base: str
+    factor: Fraction
+    offset: Fraction
+    step: Optional[Fraction] = None  # basic IVs only
+
+    @property
+    def is_basic(self) -> bool:
+        return self.var == self.base
+
+
+@dataclass
+class ClassicalResult:
+    loop: str
+    basic: Dict[str, ClassicalIV] = field(default_factory=dict)
+    derived: Dict[str, ClassicalIV] = field(default_factory=dict)
+    passes: int = 0
+    statements_visited: int = 0
+
+    def all_ivs(self) -> Dict[str, ClassicalIV]:
+        out = dict(self.basic)
+        out.update(self.derived)
+        return out
+
+
+def classical_induction_variables(function: Function, loop: Loop) -> ClassicalResult:
+    """Run the classical fixed-point detection for one loop."""
+    from repro.analysis.dominators import dominator_tree
+
+    result = ClassicalResult(loop.header)
+    domtree = dominator_tree(function)
+
+    body_insts: List[Instruction] = []
+    defs_in_loop: Dict[str, List[Instruction]] = {}
+    def_block: Dict[int, str] = {}
+    uses_in_loop: Dict[str, List[Tuple[str, int]]] = {}
+    block_position: Dict[int, int] = {}
+    for label in sorted(loop.body):
+        for position, inst in enumerate(function.block(label)):
+            body_insts.append(inst)
+            block_position[id(inst)] = position
+            if inst.result is not None:
+                defs_in_loop.setdefault(inst.result, []).append(inst)
+                def_block[id(inst)] = label
+            for value in inst.uses():
+                if isinstance(value, Ref):
+                    uses_in_loop.setdefault(value.name, []).append((label, position))
+
+    def unconditional(inst: Instruction) -> bool:
+        """The classical analysis assumes each IV update executes exactly
+        once per iteration: its block must dominate every latch."""
+        label = def_block[id(inst)]
+        return all(domtree.dominates(label, latch) for latch in loop.latches)
+
+    def defined_before_all_uses(inst: Instruction) -> bool:
+        """A derived IV is only valid at/after its definition; a use that
+        can execute earlier in the iteration (the wrap-around shape) makes
+        the classical classification wrong, so it is rejected."""
+        label = def_block[id(inst)]
+        position = block_position[id(inst)]
+        for use_label, use_position in uses_in_loop.get(inst.result, []):
+            if use_label == label:
+                if use_position < position:
+                    return False
+            elif not domtree.dominates(label, use_label):
+                return False
+        return True
+
+    def invariant_const(value: Value) -> Optional[Fraction]:
+        """Loop-invariant integer operands (constants only, like a compiler
+        without auxiliary constant propagation would see)."""
+        if isinstance(value, Const):
+            return Fraction(value.value)
+        return None
+
+    def is_invariant(value: Value) -> bool:
+        if isinstance(value, Const):
+            return True
+        if isinstance(value, Ref):
+            return value.name not in defs_in_loop
+        return False
+
+    # ------------------------------------------------------------------
+    # phase 1: basic IVs -- i = i +/- c only, all defs of i in that shape
+    # ------------------------------------------------------------------
+    candidates: Dict[str, Fraction] = {}
+    rejected: Set[str] = set()
+    for var, defs in defs_in_loop.items():
+        total = Fraction(0)
+        ok = True
+        for inst in defs:
+            result.statements_visited += 1
+            step = _basic_step(inst, var, invariant_const)
+            if step is None or not unconditional(inst):
+                ok = False
+                break
+            total += step
+        if ok and total != 0:
+            candidates[var] = total
+        else:
+            rejected.add(var)
+    for var, step in candidates.items():
+        result.basic[var] = ClassicalIV(var, var, Fraction(1), Fraction(0), step=step)
+
+    # ------------------------------------------------------------------
+    # phase 2: derived IVs -- iterate until fixed point
+    # ------------------------------------------------------------------
+    changed = True
+    while changed:
+        changed = False
+        result.passes += 1
+        known = result.all_ivs()
+        for inst in body_insts:
+            result.statements_visited += 1
+            var = inst.result
+            if var is None or var in known or var in result.basic:
+                continue
+            if len(defs_in_loop.get(var, [])) != 1:
+                continue  # classical detection needs a unique definition
+            if not defined_before_all_uses(inst):
+                continue  # use-before-def: the wrap-around shape
+            derived = _derive(inst, known, invariant_const, is_invariant)
+            if derived is not None:
+                base_iv = known[derived[0]]
+                result.derived[var] = ClassicalIV(
+                    var,
+                    base_iv.base,
+                    derived[1] * base_iv.factor,
+                    derived[1] * base_iv.offset + derived[2],
+                )
+                changed = True
+    return result
+
+
+def _basic_step(inst: Instruction, var: str, invariant_const) -> Optional[Fraction]:
+    """Step of a ``var = var +/- c`` definition, else None."""
+    if not isinstance(inst, BinOp):
+        return None
+    if inst.op is BinaryOp.ADD:
+        if isinstance(inst.lhs, Ref) and inst.lhs.name == var:
+            return invariant_const(inst.rhs)
+        if isinstance(inst.rhs, Ref) and inst.rhs.name == var:
+            return invariant_const(inst.lhs)
+        return None
+    if inst.op is BinaryOp.SUB:
+        if isinstance(inst.lhs, Ref) and inst.lhs.name == var:
+            value = invariant_const(inst.rhs)
+            return -value if value is not None else None
+        return None
+    return None
+
+
+def _derive(
+    inst: Instruction, known: Dict[str, ClassicalIV], invariant_const, is_invariant
+) -> Optional[Tuple[str, Fraction, Fraction]]:
+    """Match ``k = a*i + b`` shapes; returns (base_var, factor, offset)."""
+    if isinstance(inst, Assign) and isinstance(inst.src, Ref) and inst.src.name in known:
+        return (inst.src.name, Fraction(1), Fraction(0))
+    if not isinstance(inst, BinOp):
+        return None
+    lhs, rhs = inst.lhs, inst.rhs
+
+    def iv_name(value: Value) -> Optional[str]:
+        if isinstance(value, Ref) and value.name in known:
+            return value.name
+        return None
+
+    if inst.op is BinaryOp.ADD:
+        for a, b in ((lhs, rhs), (rhs, lhs)):
+            name = iv_name(a)
+            const = invariant_const(b)
+            if name is not None and const is not None:
+                return (name, Fraction(1), const)
+    elif inst.op is BinaryOp.SUB:
+        name = iv_name(lhs)
+        const = invariant_const(rhs)
+        if name is not None and const is not None:
+            return (name, Fraction(1), -const)
+        name = iv_name(rhs)
+        const = invariant_const(lhs)
+        if name is not None and const is not None:
+            return (name, Fraction(-1), const)
+    elif inst.op is BinaryOp.MUL:
+        for a, b in ((lhs, rhs), (rhs, lhs)):
+            name = iv_name(a)
+            const = invariant_const(b)
+            if name is not None and const is not None:
+                return (name, const, Fraction(0))
+    return None

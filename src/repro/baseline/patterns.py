@@ -1,0 +1,62 @@
+"""The ad hoc wrap-around pattern matcher [PW86].
+
+"Typically, wrap-around variables are found with a separate pattern
+matching analysis of the loops, following induction variable analysis"
+(section 4.1).  This is that separate analysis, reproduced as the vendors
+wrote it: a syntactic scan for the one pattern
+
+    iml = <invariant>          (before the loop)
+    loop:
+        ... use of iml ...
+        iml = <basic IV>       (single assignment, at the bottom)
+
+It deliberately catches *only* first-order wrap-arounds of basic IVs --
+cascaded (second-order) wrap-arounds, wrapped periodic variables etc. are
+invisible to it, which is the paper's argument for the unified approach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.loops import Loop
+from repro.baseline.classical import ClassicalResult
+from repro.ir.function import Function
+from repro.ir.instructions import Assign
+from repro.ir.values import Ref
+
+
+@dataclass
+class WrapAroundPattern:
+    var: str
+    iv: str  # the basic IV whose (delayed) value it takes
+    loop: str
+
+
+def find_wraparound_patterns(
+    function: Function, loop: Loop, ivs: ClassicalResult
+) -> List[WrapAroundPattern]:
+    """Match first-order wrap-arounds of already-detected basic IVs."""
+    out: List[WrapAroundPattern] = []
+    defs_in_loop: Dict[str, List] = {}
+    for label in loop.body:
+        for inst in function.block(label):
+            if inst.result is not None:
+                defs_in_loop.setdefault(inst.result, []).append((label, inst))
+
+    known = ivs.all_ivs()
+    for var, defs in defs_in_loop.items():
+        if var in known or len(defs) != 1:
+            continue
+        label, inst = defs[0]
+        if not isinstance(inst, Assign):
+            continue
+        if not (isinstance(inst.src, Ref) and inst.src.name in known):
+            continue
+        # the assignment must be unconditional (in a block that is part of
+        # every iteration: here, a block that dominates the latch) -- the
+        # syntactic matcher approximates this by requiring the definition
+        # in the loop header's own body or a block ending in the latch.
+        out.append(WrapAroundPattern(var, inst.src.name, loop.header))
+    return out

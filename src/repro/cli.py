@@ -1,0 +1,103 @@
+"""Command-line interface: ``python -m repro [options] file.loop``.
+
+Reads a loop-language program (or stdin with ``-``) and prints the full
+analysis report: classifications in the paper's tuple notation, trip
+counts, exit values, the dependence graph and parallelism verdicts.
+
+Options::
+
+    --dump-ir          include the SSA IR in the report
+    --dump-named-ir    print the pre-SSA IR and exit
+    --temps            include compiler temporaries ($t...) in the report
+    --no-deps          skip dependence testing
+    --no-opt           skip SCCP/simplification before classification
+    --dot-cfg          emit the CFG in Graphviz DOT instead of a report
+    --dot-ssa          emit the SSA graph in DOT
+    --dot-deps         emit the dependence graph in DOT
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.pipeline import analyze
+from repro.report import format_report
+
+
+def build_argument_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SSA-based loop variable classification "
+        "(Wolfe, 'Beyond Induction Variables', PLDI 1992)",
+    )
+    parser.add_argument("file", help="loop-language source file, or - for stdin")
+    parser.add_argument("--dump-ir", action="store_true", help="include the SSA IR")
+    parser.add_argument(
+        "--dump-named-ir", action="store_true", help="print pre-SSA IR and exit"
+    )
+    parser.add_argument(
+        "--temps", action="store_true", help="include compiler temporaries"
+    )
+    parser.add_argument("--no-deps", action="store_true", help="skip dependence testing")
+    parser.add_argument("--no-opt", action="store_true", help="skip SCCP/simplify")
+    parser.add_argument("--dot-cfg", action="store_true", help="emit CFG as DOT")
+    parser.add_argument("--dot-ssa", action="store_true", help="emit SSA graph as DOT")
+    parser.add_argument("--dot-deps", action="store_true", help="emit dep graph as DOT")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_argument_parser().parse_args(argv)
+    if args.file == "-":
+        source = sys.stdin.read()
+    else:
+        try:
+            with open(args.file) as handle:
+                source = handle.read()
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+    try:
+        program = analyze(source, optimize=not args.no_opt)
+    except Exception as error:  # frontend/IR errors carry positions
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    if args.dump_named_ir:
+        from repro.ir.printer import print_function
+
+        print(print_function(program.named_ir))
+        return 0
+    if args.dot_cfg:
+        from repro.ir.dot import cfg_to_dot
+
+        print(cfg_to_dot(program.ssa))
+        return 0
+    if args.dot_ssa:
+        from repro.ir.dot import ssa_graph_to_dot
+
+        print(ssa_graph_to_dot(program.ssa))
+        return 0
+    if args.dot_deps:
+        from repro.dependence.graph import build_dependence_graph
+        from repro.ir.dot import dependence_graph_to_dot
+
+        print(dependence_graph_to_dot(build_dependence_graph(program.result)))
+        return 0
+
+    print(
+        format_report(
+            program,
+            show_temporaries=args.temps,
+            show_dependences=not args.no_deps,
+            show_ir=args.dump_ir,
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""The paper's contribution: SSA-graph classification of loop variables.
+
+Entry point: :func:`repro.core.driver.classify_function` (or the one-call
+:func:`repro.pipeline.analyze`).  The submodules follow the paper's
+structure:
+
+* :mod:`repro.core.classes` -- the classification lattice (section 2, 4):
+  invariant, linear/polynomial/geometric induction variable, wrap-around,
+  periodic, monotonic, unknown.
+* :mod:`repro.core.tarjan` -- Tarjan's SCR algorithm, modified to classify
+  each strongly connected region "at the time the SCR is identified"
+  (section 3.1).
+* :mod:`repro.core.scr` -- classification of one nontrivial SCR: cumulative
+  effect of the cycle on the loop-header phi (sections 3.1, 4.2-4.4).
+* :mod:`repro.core.algebra` -- the "algebra of types and operators" for
+  variables outside any cycle (section 5.1).
+* :mod:`repro.core.tripcount` -- countable loops (section 5.2).
+* :mod:`repro.core.driver` -- nested loops, exit values, the inner-to-outer
+  walk and the outer-to-inner substitution (section 5.3).
+"""
+
+from repro.core.classes import (
+    Classification,
+    InductionVariable,
+    Invariant,
+    Monotonic,
+    Periodic,
+    Unknown,
+    WrapAround,
+)
+from repro.core.driver import AnalysisResult, LoopSummary, classify_function
+from repro.core.tripcount import TripCount, TripCountKind
+
+__all__ = [
+    "Classification",
+    "InductionVariable",
+    "Invariant",
+    "Monotonic",
+    "Periodic",
+    "Unknown",
+    "WrapAround",
+    "AnalysisResult",
+    "LoopSummary",
+    "classify_function",
+    "TripCount",
+    "TripCountKind",
+]

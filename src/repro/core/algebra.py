@@ -1,0 +1,455 @@
+"""The algebra of classifications (section 5.1).
+
+"The result of each type of operation depends on how its operands have been
+classified. ... In general the compiler needs an algebra of types and
+operators."  This module is that algebra: generic combinators
+(:func:`cls_add`, :func:`cls_mul`, :func:`cls_scale`) over the
+classification lattice, and :func:`classify_operator`, which classifies one
+non-cyclic SSA node from its already-classified operands.
+
+Everything here is conservative: any combination without a sound rule
+produces :class:`Unknown`.  Notable rules beyond the obvious closed-form
+arithmetic:
+
+* wrap-around +/- invariant or IV stays wrap-around (pre-values and inner
+  sequence adjusted);
+* periodic +/- invariant (and scaled by an invariant) stays periodic;
+* monotonic combined with invariants, other monotonics, or direction-
+  compatible IVs stays monotonic ("adding a monotonic variable to an
+  induction variable to get another monotonic variable");
+* integer division / modulo of invariants yields an *opaque* invariant --
+  sound even though no polynomial form exists -- and ``mod`` of an integer
+  linear IV by a positive constant is recognized as periodic (an extension
+  the paper's framework makes natural);
+* ``const ** linear-IV`` is recognized as a geometric IV.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional
+
+from repro.core.classes import (
+    Classification,
+    InductionVariable,
+    Invariant,
+    Monotonic,
+    Periodic,
+    Unknown,
+    WrapAround,
+    closedform_strict_sign,
+)
+from repro.ir.instructions import (
+    Assign,
+    BinOp,
+    Compare,
+    Load,
+    Phi,
+    Store,
+    UnOp,
+)
+from repro.ir.opcodes import BinaryOp
+from repro.symbolic.closedform import ClosedForm
+from repro.symbolic.expr import Expr
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def cf_to_class(loop: str, form: ClosedForm) -> Classification:
+    """Wrap a closed form as Invariant (if constant over h) or IV."""
+    if form.is_invariant:
+        return Invariant(form.init, loop=loop)
+    return InductionVariable(loop, form)
+
+
+def class_closed_form(cls: Classification) -> Optional[ClosedForm]:
+    """Closed form of Invariant / IV classes (None otherwise)."""
+    if isinstance(cls, (Invariant, InductionVariable)):
+        return cls.closed_form()
+    return None
+
+
+def iv_direction(cls: Classification) -> Optional[int]:
+    """Provable direction of an Invariant/IV (0 for invariant)."""
+    if isinstance(cls, Invariant):
+        return 0
+    if isinstance(cls, InductionVariable):
+        return cls.direction()
+    return None
+
+
+def iv_is_strict(cls: Classification) -> bool:
+    if isinstance(cls, InductionVariable):
+        difference = cls.form.shift(1) - cls.form
+        return closedform_strict_sign(difference) is not None
+    return False
+
+
+# ----------------------------------------------------------------------
+# generic combinators
+# ----------------------------------------------------------------------
+def cls_add(loop: str, a: Classification, b: Classification) -> Classification:
+    """Classification of ``a + b`` within loop ``loop``."""
+    if isinstance(a, Unknown) or isinstance(b, Unknown):
+        return Unknown()
+    # closed-form pair
+    form_a = class_closed_form(a)
+    form_b = class_closed_form(b)
+    if form_a is not None and form_b is not None:
+        return cf_to_class(loop, form_a + form_b)
+    # order so the "bigger" class is first
+    if isinstance(b, WrapAround) and not isinstance(a, WrapAround):
+        a, b = b, a
+        form_a, form_b = form_b, form_a
+    if isinstance(b, Periodic) and not isinstance(a, (WrapAround, Periodic)):
+        a, b = b, a
+        form_a, form_b = form_b, form_a
+    if isinstance(b, Monotonic) and not isinstance(a, (WrapAround, Periodic, Monotonic)):
+        a, b = b, a
+        form_a, form_b = form_b, form_a
+
+    if isinstance(a, WrapAround):
+        if isinstance(b, (Invariant, InductionVariable)):
+            inner = cls_add(loop, a.inner, b)
+            if isinstance(inner, Unknown):
+                return Unknown()
+            pre = []
+            for h, value in enumerate(a.pre_values):
+                other = b.value_at(h)
+                if other is None:
+                    return Unknown()
+                pre.append(value + other)
+            return WrapAround(loop, a.order, inner, tuple(pre)).simplify()
+        if isinstance(b, WrapAround):
+            order = max(a.order, b.order)
+            inner = cls_add(loop, a.inner, b.inner)
+            if isinstance(inner, Unknown):
+                return Unknown()
+            pre = []
+            for h in range(order):
+                left = a.value_at(h)
+                right = b.value_at(h)
+                if left is None or right is None:
+                    return Unknown()
+                pre.append(left + right)
+            return WrapAround(loop, order, inner, tuple(pre)).simplify()
+        return Unknown()
+
+    if isinstance(a, Periodic):
+        if isinstance(b, Invariant):
+            return Periodic(loop, tuple(v + b.expr for v in a.values))
+        if isinstance(b, Periodic):
+            period = _lcm(a.period, b.period)
+            values = tuple(a.value_at(h) + b.value_at(h) for h in range(period))
+            return Periodic(loop, values).simplify()
+        return Unknown()
+
+    if isinstance(a, Monotonic):
+        if isinstance(b, Invariant):
+            return Monotonic(loop, a.direction, a.strict)
+        if isinstance(b, Monotonic):
+            if a.direction == b.direction:
+                return Monotonic(loop, a.direction, a.strict or b.strict)
+            return Unknown()
+        if isinstance(b, InductionVariable):
+            direction = iv_direction(b)
+            if direction is not None and direction in (0, a.direction):
+                return Monotonic(loop, a.direction, a.strict or iv_is_strict(b))
+            return Unknown()
+        return Unknown()
+
+    return Unknown()
+
+
+def cls_neg(loop: str, a: Classification) -> Classification:
+    return cls_scale(loop, a, Expr.const(-1))
+
+
+def cls_sub(loop: str, a: Classification, b: Classification) -> Classification:
+    return cls_add(loop, a, cls_neg(loop, b))
+
+
+def cls_scale(loop: str, a: Classification, factor: Expr) -> Classification:
+    """Classification of ``a * factor`` with ``factor`` loop invariant."""
+    if isinstance(a, Unknown):
+        return Unknown()
+    if factor.is_zero:
+        return Invariant(Expr.zero(), loop=loop)
+    form = class_closed_form(a)
+    if form is not None:
+        return cf_to_class(loop, form.scale(factor))
+    if isinstance(a, WrapAround):
+        inner = cls_scale(loop, a.inner, factor)
+        if isinstance(inner, Unknown):
+            return Unknown()
+        return WrapAround(
+            loop, a.order, inner, tuple(v * factor for v in a.pre_values)
+        ).simplify()
+    if isinstance(a, Periodic):
+        return Periodic(loop, tuple(v * factor for v in a.values))
+    if isinstance(a, Monotonic):
+        sign = factor.known_sign()
+        if sign is None or sign == 0:
+            return Unknown()
+        return Monotonic(loop, a.direction * sign, a.strict)
+    return Unknown()
+
+
+def cls_mul(loop: str, a: Classification, b: Classification) -> Classification:
+    """Classification of ``a * b``."""
+    if isinstance(a, Unknown) or isinstance(b, Unknown):
+        return Unknown()
+    if isinstance(a, Invariant):
+        return cls_scale(loop, b, a.expr)
+    if isinstance(b, Invariant):
+        return cls_scale(loop, a, b.expr)
+    form_a = class_closed_form(a)
+    form_b = class_closed_form(b)
+    if form_a is not None and form_b is not None:
+        product = form_a.try_mul(form_b)
+        if product is not None:
+            return cf_to_class(loop, product)
+        # "it may, however, be classified as monotonic" -- only with sign
+        # information we do not track for general products; stay Unknown.
+        return Unknown()
+    return Unknown()
+
+
+def _lcm(a: int, b: int) -> int:
+    from math import gcd
+
+    return a * b // gcd(a, b)
+
+
+# ----------------------------------------------------------------------
+# per-operator classification of non-cyclic nodes
+# ----------------------------------------------------------------------
+def classify_operator(node, ctx) -> Classification:
+    """Classify one non-cyclic region node from its operand classes.
+
+    ``node`` is a :class:`repro.core.driver.RegionNode`; ``ctx`` a
+    :class:`repro.core.driver.RegionContext`.
+    """
+    inst = node.inst
+    if inst is None:
+        # synthetic exit-value node (inner-loop summary)
+        if node.exit_expr is None:
+            return Unknown("inner-loop value with unknown exit value")
+        return classify_expression(node.exit_expr, ctx)
+
+    loop = ctx.loop_label
+    if isinstance(inst, Assign):
+        return ctx.operand_class(inst.src)
+    if isinstance(inst, UnOp):
+        return cls_neg(loop, ctx.operand_class(inst.operand))
+    if isinstance(inst, Phi):
+        # a merge that is not part of any cycle: all inputs must agree
+        classes = [ctx.operand_class(v) for v in inst.incoming.values()]
+        first = classes[0]
+        if all(c == first for c in classes[1:]):
+            return first
+        return Unknown("merge of unequal classifications")
+    if isinstance(inst, Load):
+        if ctx.array_stored_in_loop(inst.array):
+            return Unknown("load from array stored in loop")
+        if inst.indices is not None:
+            for index in inst.indices:
+                index_class = ctx.operand_class(index)
+                if not isinstance(index_class, Invariant):
+                    return Unknown("load with varying address")
+        return Invariant(ctx.opaque(("load", node.name)), loop=loop)
+    if isinstance(inst, Compare):
+        return Unknown("comparison result")
+    if isinstance(inst, Store):
+        # stores define nothing; classified for completeness ("a store
+        # always takes the classification of the value being stored")
+        return ctx.operand_class(inst.value)
+    if isinstance(inst, BinOp):
+        lhs = ctx.operand_class(inst.lhs)
+        rhs = ctx.operand_class(inst.rhs)
+        return _classify_binop(node, inst.op, lhs, rhs, ctx)
+    return Unknown(f"unhandled instruction {type(inst).__name__}")
+
+
+def _classify_binop(node, op: BinaryOp, lhs, rhs, ctx) -> Classification:
+    loop = ctx.loop_label
+    if op is BinaryOp.ADD:
+        return cls_add(loop, lhs, rhs)
+    if op is BinaryOp.SUB:
+        return cls_sub(loop, lhs, rhs)
+    if op is BinaryOp.MUL:
+        return cls_mul(loop, lhs, rhs)
+    if op is BinaryOp.DIV:
+        if isinstance(lhs, Invariant) and isinstance(rhs, Invariant):
+            # integer division of invariants is invariant, but truncation
+            # has no polynomial form: introduce an opaque invariant symbol.
+            quotient = _exact_const_div(lhs.expr, rhs.expr)
+            if quotient is not None:
+                return Invariant(quotient, loop=loop)
+            return Invariant(ctx.opaque(("div", lhs.expr, rhs.expr)), loop=loop)
+        if isinstance(rhs, Invariant) and rhs.expr.is_constant:
+            divisor = rhs.expr.constant_value()
+            if divisor in (1, -1):
+                return cls_scale(loop, lhs, Expr.const(divisor))
+        return Unknown("integer division")
+    if op is BinaryOp.MOD:
+        if isinstance(lhs, Invariant) and isinstance(rhs, Invariant):
+            remainder = _exact_const_mod(lhs.expr, rhs.expr)
+            if remainder is not None:
+                return Invariant(remainder, loop=loop)
+            return Invariant(ctx.opaque(("mod", lhs.expr, rhs.expr)), loop=loop)
+        periodic = _linear_mod_periodic(loop, lhs, rhs)
+        if periodic is not None:
+            return periodic
+        return Unknown("modulo")
+    if op is BinaryOp.EXP:
+        return _classify_exp(loop, lhs, rhs, ctx)
+    return Unknown(f"operator {op}")
+
+
+def _exact_const_div(lhs: Expr, rhs: Expr) -> Optional[Expr]:
+    if not (lhs.is_constant and rhs.is_constant):
+        return None
+    divisor = rhs.constant_value()
+    if divisor == 0:
+        return None
+    quotient = lhs.constant_value() / divisor
+    if quotient.denominator != 1:
+        # truncating division: fold exactly for constants
+        value = abs(lhs.constant_value().numerator * divisor.denominator) // abs(
+            divisor.numerator * lhs.constant_value().denominator
+        )
+        if (lhs.constant_value() >= 0) != (divisor >= 0):
+            value = -value
+        return Expr.const(value)
+    return Expr.const(quotient)
+
+
+def _exact_const_mod(lhs: Expr, rhs: Expr) -> Optional[Expr]:
+    if not (lhs.is_constant and rhs.is_constant):
+        return None
+    left = lhs.constant_value()
+    right = rhs.constant_value()
+    if right == 0 or left.denominator != 1 or right.denominator != 1:
+        return None
+    a = left.numerator
+    b = right.numerator
+    quotient = abs(a) // abs(b)
+    if (a >= 0) != (b >= 0):
+        quotient = -quotient
+    return Expr.const(a - quotient * b)
+
+
+def _linear_mod_periodic(loop: str, lhs, rhs) -> Optional[Classification]:
+    """``(i0 + s*h) mod m`` with integer constants and ``i0, s >= 0, m > 0``
+    is periodic with period ``m / gcd(s, m)``."""
+    from math import gcd
+
+    if not (isinstance(lhs, InductionVariable) and lhs.is_linear):
+        return None
+    if not (isinstance(rhs, Invariant) and rhs.expr.is_constant):
+        return None
+    init = lhs.form.coeff(0)
+    step = lhs.form.coeff(1)
+    if not (init.is_constant and step.is_constant):
+        return None
+    try:
+        i0 = init.as_int()
+        s = step.as_int()
+        m = rhs.expr.as_int()
+    except Exception:
+        return None
+    if m <= 0 or i0 < 0 or s < 0:
+        return None  # truncating mod differs from math mod on negatives
+    period = m // gcd(s % m if s % m else m, m)
+    if period < 2:
+        period = 1
+    values = tuple(Expr.const((i0 + s * h) % m) for h in range(max(period, 1)))
+    if len(values) == 1:
+        return Invariant(values[0], loop=loop)
+    return Periodic(loop, values)
+
+
+def _classify_exp(loop: str, lhs, rhs, ctx) -> Classification:
+    if isinstance(lhs, Invariant) and isinstance(rhs, Invariant):
+        if lhs.expr.is_constant and rhs.expr.is_constant:
+            try:
+                base = lhs.expr.as_int()
+                power = rhs.expr.as_int()
+                if power >= 0:
+                    return Invariant(Expr.const(base**power), loop=loop)
+            except Exception:
+                pass
+        return Invariant(ctx.opaque(("exp", lhs.expr, rhs.expr)), loop=loop)
+    # const ** linear IV  ->  geometric:  b**(i0 + s*h) = b**i0 * (b**s)**h
+    if (
+        isinstance(lhs, Invariant)
+        and lhs.expr.is_constant
+        and isinstance(rhs, InductionVariable)
+        and rhs.is_linear
+    ):
+        init = rhs.form.coeff(0)
+        step = rhs.form.coeff(1)
+        if init.is_constant and step.is_constant:
+            try:
+                base = lhs.expr.as_int()
+                i0 = init.as_int()
+                s = step.as_int()
+            except Exception:
+                return Unknown("exponent")
+            if i0 >= 0 and s > 0 and base not in (0, 1, -1):
+                geo_base = base**s
+                coefficient = Expr.const(base**i0)
+                return InductionVariable(loop, ClosedForm([], {geo_base: coefficient}))
+            if s == 0 and i0 >= 0:
+                return Invariant(Expr.const(base**i0), loop=loop)
+    # IV ** small constant power
+    if (
+        isinstance(rhs, Invariant)
+        and rhs.expr.is_constant
+        and isinstance(lhs, (Invariant, InductionVariable))
+    ):
+        try:
+            power = rhs.expr.as_int()
+        except Exception:
+            return Unknown("exponent")
+        if 0 <= power <= 8:
+            result = ClosedForm.invariant(Expr.one())
+            base_form = class_closed_form(lhs)
+            for _ in range(power):
+                product = result.try_mul(base_form)
+                if product is None:
+                    return Unknown("exponent")
+                result = product
+            return cf_to_class(loop, result)
+    return Unknown("exponent")
+
+
+# ----------------------------------------------------------------------
+# symbolic-expression classification (for exit-value nodes)
+# ----------------------------------------------------------------------
+def classify_expression(expr: Expr, ctx) -> Classification:
+    """Classify a polynomial expression over SSA names.
+
+    Each symbol resolves through ``ctx.operand_class``; the monomials are
+    combined with the generic algebra.  Used for synthetic exit-value nodes,
+    whose expression mixes outer-region names (possibly IVs of this loop)
+    with invariants.
+    """
+    from repro.ir.values import Ref
+
+    loop = ctx.loop_label
+    total: Classification = Invariant(Expr.zero(), loop=loop)
+    for mono, coeff in expr.terms().items():
+        term: Classification = Invariant(Expr.const(coeff), loop=loop)
+        for sym, power in mono:
+            sym_class = ctx.operand_class(Ref(sym))
+            for _ in range(power):
+                term = cls_mul(loop, term, sym_class)
+                if isinstance(term, Unknown):
+                    return Unknown("exit value expression")
+        total = cls_add(loop, total, term)
+        if isinstance(total, Unknown):
+            return Unknown("exit value expression")
+    return total

@@ -1,0 +1,383 @@
+"""The classification lattice.
+
+Every integer scalar SSA name in a loop is classified as one of:
+
+* :class:`Invariant` -- same value on every iteration of the loop.
+* :class:`InductionVariable` -- has a closed form
+  ``sum s_k h**k + sum g_b b**h`` in the 0-based basic loop counter ``h``
+  (``h = (L, 0, 1)`` in the paper's notation).  Linear, polynomial and
+  geometric IVs are all this class, distinguished by the shape of the form.
+* :class:`WrapAround` -- takes ``order`` special values on the first
+  iterations, then behaves like another classification (section 4.1).
+* :class:`Periodic` -- cycles through a fixed tuple of values
+  (section 4.2); flip-flops are period 2.
+* :class:`Monotonic` -- never decreases (or never increases); possibly
+  strictly (section 4.4).
+* :class:`Unknown` -- bottom.
+
+The paper's tuple notation ``(L, init, step)`` / ``(L, s0, s1, ..., sm)``
+is produced by :meth:`Classification.describe`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional, Tuple
+
+from repro.symbolic.closedform import ClosedForm, ClosedFormError
+from repro.symbolic.expr import Expr
+
+
+class Classification:
+    """Base class.  ``loop`` is the loop-header label (None for Unknown)."""
+
+    loop: Optional[str]
+
+    # ------------------------------------------------------------------
+    def closed_form(self) -> Optional[ClosedForm]:
+        """The value sequence as a closed form, if one exists."""
+        return None
+
+    def value_at(self, h: int) -> Optional[Expr]:
+        """Symbolic value on iteration ``h`` (0-based), when determinable."""
+        form = self.closed_form()
+        if form is None:
+            return None
+        try:
+            return form.value_at(h)
+        except ClosedFormError:
+            return None
+
+    def delayed(self) -> Optional["Classification"]:
+        """The classification of this value seen one iteration later.
+
+        If ``x`` has this classification, a loop-header phi whose carried
+        value is ``x`` satisfies ``phi(h) = x(h-1)`` for ``h >= 1``;
+        ``delayed()`` is that shifted classification (used to build
+        wrap-around variables, section 4.1).  ``None`` when shifting is not
+        meaningful for the class.
+        """
+        return None
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+
+class Invariant(Classification):
+    """A value that does not change across iterations of the loop."""
+
+    __slots__ = ("loop", "expr")
+
+    def __init__(self, expr: Expr, loop: Optional[str] = None):
+        self.loop = loop
+        self.expr = expr
+
+    def closed_form(self) -> ClosedForm:
+        return ClosedForm.invariant(self.expr)
+
+    def delayed(self) -> "Invariant":
+        return self
+
+    def describe(self) -> str:
+        return f"invariant {self.expr}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Invariant) and self.expr == other.expr
+
+    def __hash__(self) -> int:
+        return hash(("inv", self.expr))
+
+
+class InductionVariable(Classification):
+    """A generalized induction variable with closed form ``form``.
+
+    ``form.is_linear`` gives the classical case, printed as the paper's
+    ``(loop, init, step)`` triple.
+    """
+
+    __slots__ = ("loop", "form")
+
+    def __init__(self, loop: str, form: ClosedForm):
+        self.loop = loop
+        self.form = form
+
+    # shape predicates ---------------------------------------------------
+    @property
+    def is_linear(self) -> bool:
+        return self.form.is_linear
+
+    @property
+    def is_polynomial(self) -> bool:
+        return self.form.is_polynomial and not self.form.is_linear
+
+    @property
+    def is_geometric(self) -> bool:
+        return bool(self.form.geo)
+
+    @property
+    def init(self) -> Expr:
+        return self.form.init
+
+    @property
+    def step(self) -> Expr:
+        """Step of a linear IV (raises for non-linear forms)."""
+        return self.form.step
+
+    def closed_form(self) -> ClosedForm:
+        return self.form
+
+    def delayed(self) -> "InductionVariable":
+        return InductionVariable(self.loop, self.form.shift(-1))
+
+    def direction(self) -> Optional[int]:
+        """+1 if provably non-decreasing over h, -1 if non-increasing,
+        0 if invariant, None if unknown."""
+        difference = self.form.shift(1) - self.form
+        return closedform_sign(difference)
+
+    def describe(self) -> str:
+        if self.is_linear:
+            return f"({self.loop}, {self.form.coeff(0)}, {self.form.coeff(1)})"
+        if self.form.is_polynomial:
+            coeffs = ", ".join(str(self.form.coeff(k)) for k in range(self.form.degree + 1))
+            return f"({self.loop}, {coeffs})"
+        return f"({self.loop}, {self.form})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, InductionVariable)
+            and self.loop == other.loop
+            and self.form == other.form
+        )
+
+    def __hash__(self) -> int:
+        return hash(("iv", self.loop, self.form))
+
+
+class WrapAround(Classification):
+    """First ``order`` iterations take ``pre_values``; afterwards the value
+    follows ``inner`` (evaluated at the same ``h``).
+
+    ``value(h) = pre_values[h]`` for ``h < order``, else ``inner.value(h)``.
+    A first-order wrap-around of an IV is the paper's classic case; higher
+    orders cascade (Figure 4's ``k2``).
+    """
+
+    __slots__ = ("loop", "order", "inner", "pre_values")
+
+    def __init__(
+        self,
+        loop: str,
+        order: int,
+        inner: Classification,
+        pre_values: Tuple[Expr, ...],
+    ):
+        if order < 1:
+            raise ValueError("wrap-around order must be >= 1")
+        if len(pre_values) != order:
+            raise ValueError("need exactly `order` pre-values")
+        self.loop = loop
+        self.order = order
+        self.inner = inner
+        self.pre_values = tuple(pre_values)
+
+    def value_at(self, h: int) -> Optional[Expr]:
+        if h < self.order:
+            return self.pre_values[h]
+        return self.inner.value_at(h)
+
+    def delayed(self) -> Optional["Classification"]:
+        return None  # handled specially by the SCR classifier
+
+    def simplify(self) -> Classification:
+        """Collapse to ``inner`` when the pre-values fit its sequence.
+
+        "If the initial value for the wrap-around variable fits the
+        induction sequence, it may be more precisely identified as an
+        induction variable" (section 4.1).
+        """
+        for h, pre in enumerate(self.pre_values):
+            inner_value = self.inner.value_at(h)
+            if inner_value is None or inner_value != pre:
+                return self
+        return self.inner
+
+    def describe(self) -> str:
+        pre = ", ".join(str(v) for v in self.pre_values)
+        return f"wraparound(order {self.order}; [{pre}]; then {self.inner.describe()})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, WrapAround)
+            and self.loop == other.loop
+            and self.order == other.order
+            and self.pre_values == other.pre_values
+            and self.inner == other.inner
+        )
+
+    def __hash__(self) -> int:
+        return hash(("wrap", self.loop, self.order, self.pre_values))
+
+
+class Periodic(Classification):
+    """``value(h) = values[h mod period]`` (section 4.2).
+
+    Flip-flop variables are ``period == 2``.  Members of one family share a
+    rotated tuple of values; two members with distinct value tuples never
+    collide on the same iteration if their values are distinct -- that is
+    the property dependence testing exploits.
+    """
+
+    __slots__ = ("loop", "values")
+
+    def __init__(self, loop: str, values: Tuple[Expr, ...]):
+        if len(values) < 2:
+            raise ValueError("a periodic variable needs period >= 2")
+        self.loop = loop
+        self.values = tuple(values)
+
+    @property
+    def period(self) -> int:
+        return len(self.values)
+
+    def value_at(self, h: int) -> Expr:
+        return self.values[h % self.period]
+
+    def delayed(self) -> "Periodic":
+        rotated = (self.values[-1],) + self.values[:-1]
+        return Periodic(self.loop, rotated)
+
+    def simplify(self) -> Classification:
+        if all(v == self.values[0] for v in self.values[1:]):
+            return Invariant(self.values[0], loop=self.loop)
+        return self
+
+    def describe(self) -> str:
+        vals = ", ".join(str(v) for v in self.values)
+        return f"periodic({self.loop}, period {self.period}; [{vals}])"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Periodic)
+            and self.loop == other.loop
+            and self.values == other.values
+        )
+
+    def __hash__(self) -> int:
+        return hash(("per", self.loop, self.values))
+
+
+class Monotonic(Classification):
+    """Never moves against ``direction`` (+1 increasing / -1 decreasing).
+
+    ``strict`` distinguishes the paper's "monotonically strictly
+    increasing": consecutive *occurrences* of the value are strictly
+    ordered, which upgrades dependence directions from ``<=`` to ``=``/``<``
+    (sections 4.4, 5.4, 6).
+    """
+
+    __slots__ = ("loop", "direction", "strict", "init", "family")
+
+    def __init__(
+        self,
+        loop: str,
+        direction: int,
+        strict: bool,
+        init: Optional[Expr] = None,
+        family: Optional[str] = None,
+    ):
+        if direction not in (1, -1):
+            raise ValueError("direction must be +1 or -1")
+        self.loop = loop
+        self.direction = direction
+        self.strict = strict
+        self.init = init
+        # SCR identity (the header phi name): two monotonic variables are
+        # only comparable in dependence testing when they belong to the
+        # same SCR family (Figure 10).  Arithmetic drops the family.
+        self.family = family
+
+    def describe(self) -> str:
+        kind = "strictly " if self.strict else ""
+        direction = "increasing" if self.direction > 0 else "decreasing"
+        return f"monotonic({self.loop}, {kind}{direction})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Monotonic)
+            and self.loop == other.loop
+            and self.direction == other.direction
+            and self.strict == other.strict
+        )
+
+    def __hash__(self) -> int:
+        return hash(("mono", self.loop, self.direction, self.strict))
+
+
+class Unknown(Classification):
+    """Bottom of the lattice."""
+
+    __slots__ = ("loop", "reason")
+
+    def __init__(self, reason: str = "", loop: Optional[str] = None):
+        self.loop = loop
+        self.reason = reason
+
+    def describe(self) -> str:
+        return f"unknown({self.reason})" if self.reason else "unknown"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Unknown)
+
+    def __hash__(self) -> int:
+        return hash("unknown")
+
+
+# ----------------------------------------------------------------------
+# sign reasoning over closed forms (used by monotonic rules)
+# ----------------------------------------------------------------------
+def closedform_sign(form: ClosedForm) -> Optional[int]:
+    """Sign of ``form(h)`` valid for *all* ``h >= 0``, or None.
+
+    Conservative: all coefficients must have a provable sign, geometric
+    bases must be positive (so ``b**h > 0``), and the signs must agree.
+    Returns 0 only for the identically-zero form.
+    """
+    if form.is_zero:
+        return 0
+    signs = set()
+    for coeff in form.coeffs:
+        sign = coeff.known_sign()
+        if sign is None:
+            return None
+        if sign != 0:
+            signs.add(sign)
+    for base, coeff in form.geo.items():
+        if base < 0:
+            return None
+        sign = coeff.known_sign()
+        if sign is None:
+            return None
+        if sign != 0:
+            signs.add(sign)
+    if len(signs) != 1:
+        return None
+    return signs.pop()
+
+
+def closedform_strict_sign(form: ClosedForm) -> Optional[int]:
+    """+1 if ``form(h) > 0`` for all ``h >= 0``, -1 if always negative.
+
+    Requires the same-sign condition of :func:`closedform_sign` plus a
+    nonzero value at ``h = 0``.
+    """
+    sign = closedform_sign(form)
+    if sign in (None, 0):
+        return None
+    at_zero = form.value_at(0).known_sign()
+    if at_zero == sign:
+        return sign
+    return None

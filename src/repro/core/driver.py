@@ -1,0 +1,460 @@
+"""The classification driver (section 5.3).
+
+Processes loops **inner-first**.  For each loop it builds the SSA graph of
+the loop's *own* region -- the loop body minus the bodies of nested loops --
+and runs the modified Tarjan pass over it (:mod:`repro.core.tarjan`),
+classifying each SCR as it is identified.
+
+References from a loop's region into a nested loop are replaced by
+synthetic **exit-value nodes**: "when an inner loop is classified as a
+countable loop, the cumulative effect of the execution of the loop on all
+induction variables in the loop can be expressed in closed form ... this
+value can be assigned to a new variable, and all references outside this
+inner loop to the exit value are changed to refer to the new variable"
+(Figure 8's ``k6 = k2 + 101*2``).  Here the new variable is an analysis-side
+node carrying the symbolic exit expression; the IR is untouched (the
+:mod:`repro.transforms` package can materialize them).
+
+References to values defined *outside* the loop are loop invariant
+(section 5.3) and enter the algebra as plain symbols; references into inner
+loops that are not countable (or not classifiable) become Unknown, "treated
+as an unknown without tracing further".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.dominators import DominatorTree, dominator_tree
+from repro.analysis.loops import Loop, LoopNest, find_loops
+from repro.core.algebra import class_closed_form, classify_operator
+from repro.core.classes import (
+    Classification,
+    InductionVariable,
+    Invariant,
+    Monotonic,
+    Periodic,
+    Unknown,
+    WrapAround,
+)
+from repro.core.scr import classify_cycle_scr, classify_trivial_header_phi
+from repro.core.tarjan import tarjan_scrs
+from repro.core.tripcount import TripCount, TripCountKind, compute_trip_count
+from repro.ir.function import Function, IRError
+from repro.ir.instructions import Phi, Store
+from repro.ir.values import Const, Ref, Value
+from repro.symbolic.closedform import ClosedFormError
+from repro.symbolic.expr import Expr
+
+
+class RegionNode:
+    """One vertex of a loop-region SSA graph.
+
+    Either a real instruction (``inst``) or a synthetic exit-value node
+    (``inst is None``) whose value is ``exit_expr`` -- an expression over
+    names visible in this region (or ``None`` when the inner loop's exit
+    value is unknown).
+    """
+
+    __slots__ = ("name", "block", "inst", "exit_expr")
+
+    def __init__(self, name: str, block: Optional[str], inst, exit_expr: Optional[Expr] = None):
+        self.name = name
+        self.block = block
+        self.inst = inst
+        self.exit_expr = exit_expr
+
+    def operand_names(self) -> List[str]:
+        if self.inst is not None:
+            return [v.name for v in self.inst.uses() if isinstance(v, Ref)]
+        if self.exit_expr is not None:
+            return sorted(self.exit_expr.free_symbols())
+        return []
+
+
+class RegionContext:
+    """Everything :mod:`repro.core.scr` / :mod:`repro.core.algebra` need."""
+
+    def __init__(self, function: Function, loop: Loop, nodes: Dict[str, RegionNode], result: "AnalysisResult"):
+        self.function = function
+        self.loop = loop
+        self.loop_label = loop.header
+        self.header = loop.header
+        self.nodes = nodes
+        self.result = result
+        self.classifications: Dict[str, Classification] = {}
+        self._stored_arrays: Optional[Set[str]] = None
+
+    # -- graph access ----------------------------------------------------
+    def node(self, name: str) -> Optional[RegionNode]:
+        return self.nodes.get(name)
+
+    def classification(self, name: str) -> Classification:
+        return self.classifications.get(name, Unknown("unclassified"))
+
+    def is_header_phi(self, name: str) -> bool:
+        node = self.nodes.get(name)
+        return (
+            node is not None
+            and isinstance(node.inst, Phi)
+            and node.block == self.header
+        )
+
+    def phi_split(self, phi: Phi) -> Tuple[Value, Value]:
+        """Split a loop-header phi into (initial, loop-carried) values."""
+        init = None
+        carried = None
+        for pred, value in phi.incoming.items():
+            if pred in self.loop.body:
+                carried = value
+            else:
+                init = value
+        if init is None or carried is None:
+            raise ValueError(
+                f"header phi %{phi.result} of {self.header} is not in "
+                "canonical preheader/latch form (run simplify_loops)"
+            )
+        return init, carried
+
+    # -- operand classification -------------------------------------------
+    def operand_class(self, value: Value) -> Classification:
+        if isinstance(value, Const):
+            return Invariant(Expr.const(value.value), loop=self.loop_label)
+        if isinstance(value, Ref):
+            if value.name in self.nodes:
+                return self.classification(value.name)
+            block = self.result._def_block.get(value.name)
+            if block is not None and block in self.loop.body:
+                # defined inside the loop (in a nested loop) but never
+                # summarized into this region: not invariant here
+                return Unknown("unsummarized inner-loop value")
+            return Invariant(Expr.sym(value.name), loop=self.loop_label)
+        return Unknown("bad operand")
+
+    # scr.py uses this alias
+    operand_class_of_value = operand_class
+
+    def value_expr(self, value: Value) -> Optional[Expr]:
+        """Symbolic expression of an operand that must be loop invariant."""
+        cls = self.operand_class(value)
+        if isinstance(cls, Invariant):
+            return cls.expr
+        return None
+
+    def invariant_symbol(self, name: str) -> Expr:
+        return Expr.sym(name)
+
+    def opaque(self, key: tuple) -> Expr:
+        return self.result.opaque(key)
+
+    def array_stored_in_loop(self, array: str) -> bool:
+        if self._stored_arrays is None:
+            stored: Set[str] = set()
+            for label in self.loop.body:
+                for inst in self.function.block(label):
+                    if isinstance(inst, Store):
+                        stored.add(inst.array)
+            self._stored_arrays = stored
+        return array in self._stored_arrays
+
+
+@dataclass
+class LoopSummary:
+    """Classification results for one loop."""
+
+    loop: Loop
+    label: str
+    classifications: Dict[str, Classification]
+    trip: TripCount
+    graph_size: int = 0
+    scr_count: int = 0
+
+    def classification_of(self, name: str) -> Optional[Classification]:
+        return self.classifications.get(name)
+
+
+class AnalysisResult:
+    """Results of :func:`classify_function` for a whole function."""
+
+    def __init__(self, function: Function, nest: LoopNest, domtree: DominatorTree):
+        self.function = function
+        self.nest = nest
+        self.domtree = domtree
+        self.loops: Dict[str, LoopSummary] = {}
+        self._opaque: Dict[tuple, Expr] = {}
+        self.opaque_definitions: Dict[str, tuple] = {}
+        self._def_block: Dict[str, str] = {
+            name: block for name, (block, _inst) in function.definitions().items()
+        }
+
+    # -- postdominators (section 5.4 refinements) --------------------------
+    _postdom = None
+
+    def postdominators(self):
+        """Cached postdominator tree (used by the section 5.4 refinement:
+        a use postdominated by a strictly monotonic assignment is itself
+        at a strictly monotonic point)."""
+        if self._postdom is None:
+            from repro.analysis.postdom import postdominator_tree
+
+            self._postdom = postdominator_tree(self.function)
+        return self._postdom
+
+    def definition_site(self, name: str):
+        """(block, position) of a definition, or None."""
+        block = self._def_block.get(name)
+        if block is None:
+            return None
+        for position, inst in enumerate(self.function.block(block).instructions):
+            if inst.result == name:
+                return (block, position)
+        return None
+
+    # -- opaque invariant symbols -----------------------------------------
+    def opaque(self, key: tuple) -> Expr:
+        if key not in self._opaque:
+            symbol = f"$k{len(self._opaque) + 1}"
+            self._opaque[key] = Expr.sym(symbol)
+            self.opaque_definitions[symbol] = key
+        return self._opaque[key]
+
+    # -- lookups -----------------------------------------------------------
+    def defining_loop(self, name: str) -> Optional[Loop]:
+        block = self._def_block.get(name)
+        if block is None:
+            return None
+        return self.nest.innermost(block)
+
+    def classification_of(self, name: str) -> Classification:
+        """Classification of ``name`` in its innermost enclosing loop.
+
+        Names defined outside every loop (and parameters) are Invariant.
+        """
+        loop = self.defining_loop(name)
+        if loop is None:
+            return Invariant(Expr.sym(name))
+        summary = self.loops.get(loop.header)
+        if summary is None:
+            return Unknown("loop not analyzed")
+        cls = summary.classifications.get(name)
+        if cls is None:
+            return Unknown("not classified")
+        return cls
+
+    def summary(self, header: str) -> LoopSummary:
+        return self.loops[header]
+
+    def trip_count(self, header: str) -> TripCount:
+        return self.loops[header].trip
+
+    # -- exit values (section 5.3) -----------------------------------------
+    def exit_value(self, header: str, name: str) -> Optional[Expr]:
+        """Symbolic value of ``name`` after loop ``header`` exits.
+
+        The expression only mentions names invariant in that loop (i.e.
+        visible to the enclosing region), like Figure 8's
+        ``k6 = k2 + 101*2``.  ``None`` when unknown (uncountable loop,
+        non-IV variable, several exits...).
+        """
+        summary = self.loops.get(header)
+        if summary is None:
+            return None
+        trip = summary.trip
+        if trip.kind is TripCountKind.ZERO:
+            # zero trips: every name holds its h=0 value at the (first) exit
+            count: object = 0
+        elif trip.exit_block is None or not trip.exact:
+            return None
+        elif trip.kind is TripCountKind.FINITE:
+            constant = trip.constant()
+            count = constant if constant is not None else trip.count
+        else:
+            return None
+
+        cls = summary.classifications.get(name)
+        if cls is None:
+            # defined in a nested loop: its exit expression, with this
+            # loop's region names substituted by *their* exit values
+            inner_loop = self.defining_loop(name)
+            if inner_loop is None:
+                return None
+            # find the child of `header` on the path to inner_loop
+            child = inner_loop
+            while child is not None and (child.parent is None or child.parent.header != header):
+                child = child.parent
+            if child is None:
+                return None
+            inner_expr = self.exit_value(child.header, name)
+            if inner_expr is None:
+                return None
+            return self._resolve_at_exit(header, inner_expr)
+
+        form = class_closed_form(cls)
+        if form is None:
+            value = None
+            if isinstance(cls, (Periodic, WrapAround)) and isinstance(count, int):
+                value = cls.value_at(count)
+            return value
+        try:
+            return form.value_at(count)
+        except (ClosedFormError, TypeError):
+            return None
+
+    def _resolve_at_exit(self, header: str, expr: Expr) -> Optional[Expr]:
+        """Substitute region-defined symbols in ``expr`` by their exit values."""
+        summary = self.loops[header]
+        mapping: Dict[str, Expr] = {}
+        for symbol in expr.free_symbols():
+            if symbol in summary.classifications:
+                exit_expr = self.exit_value(header, symbol)
+                if exit_expr is None:
+                    return None
+                mapping[symbol] = exit_expr
+        return expr.substitute(mapping)
+
+    # -- display -----------------------------------------------------------
+    def describe(self, name: str) -> str:
+        return self.classification_of(name).describe()
+
+    def nested_describe(self, name: str) -> str:
+        """The paper's nested-tuple view: outer-loop IVs substituted into
+        inner initial values, e.g. ``(L18, (L17, 0, 204), 2)``."""
+        cls = self.classification_of(name)
+        text = cls.describe()
+        form = class_closed_form(cls)
+        if form is None:
+            return text
+        for symbol in sorted(form.free_symbols(), key=len, reverse=True):
+            outer = self.classification_of(symbol)
+            if isinstance(outer, (InductionVariable, WrapAround, Periodic, Monotonic)):
+                text = text.replace(symbol, self.nested_describe(symbol))
+        return text
+
+    def all_assumptions(self) -> Dict[str, Tuple[str, ...]]:
+        """Per-loop assumptions under which symbolic results hold.
+
+        Following the paper (which substitutes symbolic trip counts like
+        Figure 9's ``i`` without the ``max(0, .)`` guard), symbolic exit
+        values and the outer-loop classifications built on them are valid
+        only when each inner loop's trip-count expression is non-negative
+        at run time -- e.g. ``n >= 1`` for ``for i = 1 to n``.  Clients that
+        need unconditional facts should check these (or version the loop).
+        """
+        out: Dict[str, Tuple[str, ...]] = {}
+        for header, summary in self.loops.items():
+            if summary.trip.assumptions:
+                out[header] = summary.trip.assumptions
+        return out
+
+    def all_classifications(self) -> Dict[str, Classification]:
+        out: Dict[str, Classification] = {}
+        for summary in self.loops.values():
+            out.update(summary.classifications)
+        return out
+
+
+# ----------------------------------------------------------------------
+# the driver
+# ----------------------------------------------------------------------
+def classify_function(
+    function: Function,
+    nest: Optional[LoopNest] = None,
+    domtree: Optional[DominatorTree] = None,
+) -> AnalysisResult:
+    """Classify every scalar in every loop of an SSA-form function."""
+    if domtree is None:
+        domtree = dominator_tree(function)
+    from repro.analysis.reducibility import irreducible_edges
+
+    offending = irreducible_edges(function, domtree)
+    if offending:
+        raise IRError(
+            "irreducible control flow (retreating non-back edges "
+            f"{offending}): natural-loop classification would be unsound"
+        )
+    if nest is None:
+        nest = find_loops(function, domtree)
+    result = AnalysisResult(function, nest, domtree)
+    for loop in nest.inner_to_outer():
+        result.loops[loop.header] = _analyze_loop(function, loop, result)
+    return result
+
+
+def _analyze_loop(function: Function, loop: Loop, result: AnalysisResult) -> LoopSummary:
+    own_blocks = set(loop.body)
+    for child in loop.children:
+        own_blocks -= child.body
+
+    nodes: Dict[str, RegionNode] = {}
+    for label in own_blocks:
+        for inst in function.block(label):
+            if inst.result is not None:
+                nodes[inst.result] = RegionNode(inst.result, label, inst)
+
+    # synthetic exit-value nodes for inner-loop definitions referenced here
+    referenced: List[str] = []
+    for node in list(nodes.values()):
+        referenced.extend(node.operand_names())
+    seen: Set[str] = set()
+    queue = [n for n in referenced if n not in nodes]
+    while queue:
+        name = queue.pop()
+        if name in seen or name in nodes:
+            continue
+        seen.add(name)
+        defining = result.defining_loop(name)
+        if defining is None or name not in function.definitions():
+            continue  # external or parameter: plain invariant symbol
+        block = result._def_block[name]
+        if block in loop.body:
+            # defined in a nested loop: summarize via its exit value
+            child = _child_containing(loop, defining)
+            exit_expr = result.exit_value(child.header, name) if child else None
+            nodes[name] = RegionNode(name, None, None, exit_expr)
+            if exit_expr is not None:
+                for symbol in exit_expr.free_symbols():
+                    if symbol not in nodes:
+                        queue.append(symbol)
+        # names defined outside loop.body stay external (invariant)
+
+    ctx = RegionContext(function, loop, nodes, result)
+
+    def successors(name: str) -> List[str]:
+        return [n for n in nodes[name].operand_names() if n in nodes]
+
+    def on_scr(members: List[str], is_cycle: bool) -> None:
+        if is_cycle:
+            ctx.classifications.update(classify_cycle_scr(members, ctx))
+            return
+        name = members[0]
+        node = nodes[name]
+        if ctx.is_header_phi(name):
+            ctx.classifications[name] = classify_trivial_header_phi(node, ctx)
+        else:
+            ctx.classifications[name] = classify_operator(node, ctx)
+
+    scr_count = tarjan_scrs(list(nodes), successors, on_scr)
+
+    def class_of_value(value: Value) -> Classification:
+        return ctx.operand_class(value)
+
+    trip = compute_trip_count(function, loop, class_of_value, result.opaque)
+
+    graph_size = len(nodes) + sum(len(successors(n)) for n in nodes)
+    return LoopSummary(
+        loop=loop,
+        label=loop.header,
+        classifications=ctx.classifications,
+        trip=trip,
+        graph_size=graph_size,
+        scr_count=scr_count,
+    )
+
+
+def _child_containing(loop: Loop, descendant: Optional[Loop]) -> Optional[Loop]:
+    """The immediate child of ``loop`` on the path down to ``descendant``."""
+    node = descendant
+    while node is not None and node.parent is not loop:
+        node = node.parent
+    return node

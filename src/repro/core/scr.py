@@ -1,0 +1,640 @@
+"""Classification of strongly connected regions (sections 3.1, 4.1-4.4).
+
+Given one SCR of the loop's SSA graph, with every out-of-SCR operand already
+classified (Tarjan's visit order guarantees this), we compute the
+*cumulative effect* of one trip around the loop on the loop-header phi:
+every value feeding back into the phi is expanded as
+
+    ``carried  =  mult * header  +  addend(h)``
+
+per control-flow path, where ``mult`` is an exact rational and ``addend`` a
+closed form in the iteration counter ``h`` (built from the classifications
+of operands outside the SCR).  The classification then falls out:
+
+* one path effect, ``mult == 1``, invariant addend -> linear IV family;
+* one path effect, ``mult == 1``, IV addend -> polynomial/geometric IV of
+  the next order (solved with the paper's matrix method);
+* one path effect, integer ``mult`` -> geometric IV; ``mult == -1`` with an
+  invariant addend is the flip-flop, reported as periodic of period two;
+* several header phis, no arithmetic -> a family of periodic variables,
+  period = number of header phis;
+* several differing path effects with provable sign -> monotonic variables,
+  with the per-member strictness analysis of Figure 10 (``k3`` strictly
+  increasing, ``k2``/``k4`` merely non-decreasing);
+* anything else -> unknown.
+
+Trivial SCRs consisting of a loop-header phi alone are the wrap-around
+variables of section 4.1 (handled by :func:`classify_trivial_header_phi`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.classes import (
+    Classification,
+    InductionVariable,
+    Invariant,
+    Monotonic,
+    Periodic,
+    Unknown,
+    WrapAround,
+    closedform_sign,
+    closedform_strict_sign,
+)
+from repro.core.algebra import cf_to_class, class_closed_form
+from repro.ir.instructions import Assign, BinOp, Phi, UnOp
+from repro.ir.opcodes import BinaryOp
+from repro.ir.values import Const, Ref, Value
+from repro.symbolic.closedform import ClosedForm, solve_affine_recurrence
+from repro.symbolic.expr import Expr
+
+MAX_PATHS = 32
+
+
+@dataclass
+class PathEffect:
+    """Effect of one path: ``value = mult * header + addend(h)``.
+
+    ``visits`` records, for members traversed on this path, their own
+    (mult, addend) at the point of their definition -- the pairing needed
+    for the per-member strictness rule.  ``through`` additionally lists
+    members whose visit info was lost to merging (conservative fallback).
+    """
+
+    mult: Fraction
+    addend: ClosedForm
+    visits: Dict[str, Tuple[Fraction, ClosedForm]] = field(default_factory=dict)
+    through: frozenset = frozenset()
+
+    def key(self) -> Tuple[Fraction, ClosedForm]:
+        return (self.mult, self.addend)
+
+
+def _merge_visits(a: PathEffect, b: PathEffect) -> Tuple[Dict, frozenset]:
+    visits: Dict[str, Tuple[Fraction, ClosedForm]] = dict(a.visits)
+    through = set(a.through) | set(b.through)
+    for name, info in b.visits.items():
+        if name in visits and visits[name] != info:
+            del visits[name]  # conflicting pairing: keep only membership
+        else:
+            visits[name] = info
+    through |= set(a.visits) | set(b.visits)
+    return visits, frozenset(through)
+
+
+class _ExpansionFailure(Exception):
+    pass
+
+
+class _Expander:
+    """Expands SCR members into path effects relative to the header phi."""
+
+    def __init__(self, ctx, members: List[str], header_phi: str):
+        self.ctx = ctx
+        self.members = set(members)
+        self.header_phi = header_phi
+        self.memo: Dict[str, List[PathEffect]] = {}
+        self.in_progress: set = set()
+
+    # -- operand expansion: ClosedForm (header-independent) or effects ----
+    def expand_value(self, value: Value):
+        if isinstance(value, Const):
+            return ClosedForm.invariant(Expr.const(value.value))
+        if isinstance(value, Ref):
+            if value.name in self.members:
+                return self.expand(value.name)
+            node = self.ctx.node(value.name)
+            if node is not None:
+                form = class_closed_form(self.ctx.classification(value.name))
+                if form is None:
+                    raise _ExpansionFailure(f"operand {value.name} has no closed form")
+                return form
+            return ClosedForm.invariant(self.ctx.invariant_symbol(value.name))
+        raise _ExpansionFailure(f"bad operand {value!r}")
+
+    def expand(self, name: str) -> List[PathEffect]:
+        if name in self.memo:
+            return self.memo[name]
+        if name in self.in_progress:
+            raise _ExpansionFailure(f"cycle avoiding the header phi at {name}")
+        if name == self.header_phi:
+            base = [PathEffect(Fraction(1), ClosedForm.zero(), {name: (Fraction(1), ClosedForm.zero())}, frozenset({name}))]
+            self.memo[name] = base
+            return base
+        self.in_progress.add(name)
+        try:
+            effects = self._expand_node(name)
+        finally:
+            self.in_progress.discard(name)
+        if len(effects) > MAX_PATHS:
+            raise _ExpansionFailure("too many control-flow paths")
+        # record this member's own effect in each path's visits
+        stamped = []
+        for pe in effects:
+            visits = dict(pe.visits)
+            visits[name] = (pe.mult, pe.addend)
+            stamped.append(
+                PathEffect(pe.mult, pe.addend, visits, pe.through | {name})
+            )
+        self.memo[name] = stamped
+        return stamped
+
+    def _expand_node(self, name: str) -> List[PathEffect]:
+        node = self.ctx.node(name)
+        inst = node.inst
+        if inst is None:
+            if node.exit_expr is None:
+                raise _ExpansionFailure("inner-loop value with unknown exit value")
+            return self._expand_expression(node.exit_expr)
+        if isinstance(inst, Assign):
+            return self._as_effects(self.expand_value(inst.src))
+        if isinstance(inst, UnOp):
+            return self._scale(self._as_effects(self.expand_value(inst.operand)), Fraction(-1))
+        if isinstance(inst, Phi):
+            out: List[PathEffect] = []
+            for value in inst.uses():
+                expanded = self.expand_value(value)
+                if isinstance(expanded, ClosedForm):
+                    raise _ExpansionFailure(
+                        f"phi {name} merges a value independent of the header"
+                    )
+                out.extend(expanded)
+            return out
+        if isinstance(inst, BinOp):
+            if inst.op is BinaryOp.ADD:
+                return self._add(self.expand_value(inst.lhs), self.expand_value(inst.rhs))
+            if inst.op is BinaryOp.SUB:
+                return self._add(
+                    self.expand_value(inst.lhs),
+                    self._negate(self.expand_value(inst.rhs)),
+                )
+            if inst.op is BinaryOp.MUL:
+                return self._mul(self.expand_value(inst.lhs), self.expand_value(inst.rhs))
+            raise _ExpansionFailure(f"operator {inst.op} in cycle")
+        raise _ExpansionFailure(f"{type(inst).__name__} in cycle")
+
+    def _expand_expression(self, expr: Expr) -> List[PathEffect]:
+        """Expand a synthetic exit-value expression (inner-loop summary)."""
+        total = None
+        for mono, coeff in expr.terms().items():
+            member_syms = [(s, p) for s, p in mono if s in self.members]
+            other_syms = [(s, p) for s, p in mono if s not in self.members]
+            if sum(p for _, p in member_syms) > 1:
+                raise _ExpansionFailure("exit value nonlinear in the cycle")
+            # closed form of the non-member part
+            part = ClosedForm.invariant(Expr.const(coeff))
+            for sym, power in other_syms:
+                factor = self.expand_value(Ref(sym))
+                if not isinstance(factor, ClosedForm):
+                    raise _ExpansionFailure("unexpected member in exit value")
+                for _ in range(power):
+                    product = part.try_mul(factor)
+                    if product is None:
+                        raise _ExpansionFailure("exit value product not representable")
+                    part = product
+            if member_syms:
+                member_effects = self.expand(member_syms[0][0])
+                term = self._mul(member_effects, part)
+            else:
+                term = part
+            total = term if total is None else self._add(total, term)
+        if total is None:
+            total = ClosedForm.zero()
+        return self._as_effects(total)
+
+    # -- combination helpers ---------------------------------------------
+    def _as_effects(self, value) -> List[PathEffect]:
+        if isinstance(value, ClosedForm):
+            return [PathEffect(Fraction(0), value)]
+        return value
+
+    def _negate(self, value):
+        if isinstance(value, ClosedForm):
+            return -value
+        return self._scale(value, Fraction(-1))
+
+    def _scale(self, effects: List[PathEffect], factor: Fraction) -> List[PathEffect]:
+        return [
+            PathEffect(pe.mult * factor, pe.addend.scale(factor), dict(pe.visits), pe.through)
+            for pe in effects
+        ]
+
+    def _scale_cf(self, effects: List[PathEffect], form: ClosedForm) -> List[PathEffect]:
+        """Multiply effects by a header-independent closed form."""
+        if form.is_invariant and form.init.is_constant:
+            return self._scale(effects, form.init.constant_value())
+        out = []
+        for pe in effects:
+            if pe.mult != 0:
+                raise _ExpansionFailure("symbolic multiplier on the header value")
+            product = pe.addend.try_mul(form)
+            if product is None:
+                raise _ExpansionFailure("product not representable")
+            out.append(PathEffect(Fraction(0), product, dict(pe.visits), pe.through))
+        return out
+
+    def _add(self, left, right):
+        if isinstance(left, ClosedForm) and isinstance(right, ClosedForm):
+            return left + right
+        if isinstance(left, ClosedForm):
+            left, right = right, left
+        if isinstance(right, ClosedForm):
+            return [
+                PathEffect(pe.mult, pe.addend + right, dict(pe.visits), pe.through)
+                for pe in left
+            ]
+        out = []
+        for a in left:
+            for b in right:
+                visits, through = _merge_visits(a, b)
+                out.append(PathEffect(a.mult + b.mult, a.addend + b.addend, visits, through))
+        if len(out) > MAX_PATHS:
+            raise _ExpansionFailure("too many control-flow paths")
+        return out
+
+    def _mul(self, left, right):
+        if isinstance(left, ClosedForm) and isinstance(right, ClosedForm):
+            product = left.try_mul(right)
+            if product is None:
+                raise _ExpansionFailure("product not representable")
+            return product
+        if isinstance(left, ClosedForm):
+            left, right = right, left
+        if isinstance(right, ClosedForm):
+            return self._scale_cf(left, right)
+        # both sides depend on the header: only degenerate cases are affine
+        out = []
+        for a in left:
+            for b in right:
+                if a.mult == 0 and a.addend.is_invariant and a.addend.init.is_constant:
+                    factor = a.addend.init.constant_value()
+                    visits, through = _merge_visits(a, b)
+                    out.append(
+                        PathEffect(b.mult * factor, b.addend.scale(factor), visits, through)
+                    )
+                elif b.mult == 0 and b.addend.is_invariant and b.addend.init.is_constant:
+                    factor = b.addend.init.constant_value()
+                    visits, through = _merge_visits(a, b)
+                    out.append(
+                        PathEffect(a.mult * factor, a.addend.scale(factor), visits, through)
+                    )
+                else:
+                    raise _ExpansionFailure("nonlinear cycle (header * header)")
+        if len(out) > MAX_PATHS:
+            raise _ExpansionFailure("too many control-flow paths")
+        return out
+
+
+# ----------------------------------------------------------------------
+# trivial SCR: wrap-around variables (section 4.1)
+# ----------------------------------------------------------------------
+def classify_trivial_header_phi(node, ctx) -> Classification:
+    """A loop-header phi in an SCR by itself: (n+1)-order wrap-around."""
+    loop = ctx.loop_label
+    init_value, carried_value = ctx.phi_split(node.inst)
+    init = ctx.value_expr(init_value)
+    if init is None:
+        return Unknown("wrap-around with unrepresentable initial value")
+    carried = ctx.operand_class_of_value(carried_value)
+
+    if isinstance(carried, Unknown):
+        return Unknown("wrap-around of unknown")
+    if isinstance(carried, Invariant):
+        return WrapAround(loop, 1, Invariant(carried.expr, loop=loop), (init,)).simplify()
+    if isinstance(carried, (InductionVariable, Periodic)):
+        delayed = carried.delayed()
+        return WrapAround(loop, 1, delayed, (init,)).simplify()
+    if isinstance(carried, WrapAround):
+        inner_delayed = carried.inner.delayed()
+        if inner_delayed is None:
+            return Unknown("wrap-around of unshiftable class")
+        pre = (init,) + carried.pre_values
+        return WrapAround(loop, carried.order + 1, inner_delayed, pre).simplify()
+    if isinstance(carried, Monotonic):
+        # the value is monotonic from the second iteration on
+        inner = Monotonic(loop, carried.direction, carried.strict, init=None)
+        return WrapAround(loop, 1, inner, (init,))
+    return Unknown("wrap-around of unhandled class")
+
+
+# ----------------------------------------------------------------------
+# non-trivial SCRs
+# ----------------------------------------------------------------------
+def classify_cycle_scr(members: List[str], ctx) -> Dict[str, Classification]:
+    """Classify every member of one non-trivial SCR."""
+    loop = ctx.loop_label
+    header_phis = [m for m in members if ctx.is_header_phi(m)]
+    if not header_phis:
+        return {m: Unknown("cycle without a loop-header phi") for m in members}
+    if len(header_phis) > 1:
+        return _classify_periodic_family(members, header_phis, ctx)
+
+    header = header_phis[0]
+    init_value, carried_value = ctx.phi_split(ctx.node(header).inst)
+    init = ctx.value_expr(init_value)
+    if init is None:
+        return {m: Unknown("unrepresentable initial value") for m in members}
+
+    expander = _Expander(ctx, members, header)
+    try:
+        if not (isinstance(carried_value, Ref) and carried_value.name in expander.members):
+            raise _ExpansionFailure("carried value outside the SCR")
+        carried_effects = expander.expand(carried_value.name)
+    except _ExpansionFailure as failure:
+        return {m: Unknown(str(failure)) for m in members}
+
+    unique = {(pe.mult, pe.addend) for pe in carried_effects}
+    if len(unique) == 1:
+        mult, addend = next(iter(unique))
+        header_class = _solve_unique(loop, mult, addend, init)
+        if header_class is not None:
+            return _classify_members(loop, members, header, header_class, expander, init)
+    return _classify_monotonic(loop, members, header, carried_effects, expander, init)
+
+
+def _solve_unique(
+    loop: str, mult: Fraction, addend: ClosedForm, init: Expr
+) -> Optional[Classification]:
+    """Solve ``x' = mult*x + addend(h)``, ``x(0) = init``; None -> fall back."""
+    if mult == 1:
+        if addend.is_zero:
+            return Invariant(init, loop=loop)
+        if addend.is_invariant:
+            return InductionVariable(loop, ClosedForm.linear(init, addend.init))
+        form = solve_affine_recurrence(1, addend, init)
+        if form is None:
+            return None
+        return cf_to_class(loop, form)
+    if mult == -1 and addend.is_invariant:
+        # flip-flop: "equivalent to a periodic variable of period two"
+        return Periodic(loop, (init, addend.init - init)).simplify()
+    if mult == 0:
+        # the carried value ignores the header: first-order wrap-around
+        inner = cf_to_class(loop, addend.shift(-1))
+        return WrapAround(loop, 1, inner, (init,)).simplify()
+    if mult.denominator == 1:
+        form = solve_affine_recurrence(int(mult), addend, init)
+        if form is None:
+            return None
+        return cf_to_class(loop, form)
+    return None
+
+
+def _classify_members(
+    loop: str,
+    members: List[str],
+    header: str,
+    header_class: Classification,
+    expander: _Expander,
+    init: Expr,
+) -> Dict[str, Classification]:
+    """Each member is ``mult*header + addend`` applied to the header class."""
+    out: Dict[str, Classification] = {header: header_class}
+    header_form = class_closed_form(header_class)
+    for member in members:
+        if member == header:
+            continue
+        try:
+            effects = expander.expand(member)
+        except _ExpansionFailure as failure:
+            out[member] = Unknown(str(failure))
+            continue
+        unique = {(pe.mult, pe.addend) for pe in effects}
+        if len(unique) != 1:
+            out[member] = Unknown("member value differs between paths")
+            continue
+        mult, addend = next(iter(unique))
+        if header_form is not None:
+            out[member] = cf_to_class(loop, header_form.scale(mult) + addend)
+        elif isinstance(header_class, Periodic) and addend.is_invariant:
+            values = tuple(v * mult + addend.init for v in header_class.values)
+            out[member] = Periodic(loop, values).simplify()
+        elif isinstance(header_class, WrapAround):
+            from repro.core.algebra import cls_add, cls_scale
+
+            scaled = cls_scale(loop, header_class, Expr.const(mult))
+            out[member] = cls_add(loop, scaled, cf_to_class(loop, addend))
+        else:
+            out[member] = Unknown("member of unrepresentable family")
+    return out
+
+
+# ----------------------------------------------------------------------
+# periodic families (section 4.2)
+# ----------------------------------------------------------------------
+def _classify_periodic_family(
+    members: List[str], header_phis: List[str], ctx
+) -> Dict[str, Classification]:
+    """Several header phis, values rotated through copies: period = #phis."""
+    loop = ctx.loop_label
+    failure = {m: Unknown("not a periodic rotation") for m in members}
+
+    # only header phis and copies allowed ("no arithmetic and no other
+    # phi-functions")
+    copies: Dict[str, str] = {}
+    for member in members:
+        inst = ctx.node(member).inst
+        if ctx.is_header_phi(member):
+            continue
+        if isinstance(inst, Assign) and isinstance(inst.src, Ref) and inst.src.name in members:
+            copies[member] = inst.src.name
+        else:
+            return failure
+
+    # successor function sigma: header phi -> header phi reached by its
+    # carried value through copies
+    sigma: Dict[str, str] = {}
+    inits: Dict[str, Expr] = {}
+    for phi_name in header_phis:
+        init_value, carried = ctx.phi_split(ctx.node(phi_name).inst)
+        init = ctx.value_expr(init_value)
+        if init is None:
+            return failure
+        inits[phi_name] = init
+        if not isinstance(carried, Ref):
+            return failure
+        target = carried.name
+        seen = set()
+        while target in copies:
+            if target in seen:
+                return failure
+            seen.add(target)
+            target = copies[target]
+        if target not in header_phis:
+            return failure
+        sigma[phi_name] = target
+
+    period = len(header_phis)
+    out: Dict[str, Classification] = {}
+    for phi_name in header_phis:
+        values = []
+        current = phi_name
+        for _ in range(period):
+            values.append(inits[current])
+            current = sigma[current]
+        if current != phi_name:
+            return failure  # not a single rotation cycle
+        out[phi_name] = Periodic(loop, tuple(values)).simplify()
+
+    # copies take the classification of their source
+    remaining = dict(copies)
+    while remaining:
+        progressed = False
+        for member, source in list(remaining.items()):
+            if source in out:
+                out[member] = out[source]
+                del remaining[member]
+                progressed = True
+        if not progressed:
+            for member in remaining:
+                out[member] = Unknown("unresolvable copy chain")
+            break
+    return out
+
+
+# ----------------------------------------------------------------------
+# monotonic fallback (section 4.4)
+# ----------------------------------------------------------------------
+def _classify_monotonic(
+    loop: str,
+    members: List[str],
+    header: str,
+    carried_effects: List[PathEffect],
+    expander: _Expander,
+    init: Expr,
+) -> Dict[str, Classification]:
+    direction = _family_direction(carried_effects, init)
+    if direction is None:
+        return {m: Unknown("cycle is neither induction nor monotonic") for m in members}
+
+    sign_of = closedform_sign if direction > 0 else (lambda cf: -_sign_or_none(cf))
+    strict_of = (
+        closedform_strict_sign if direction > 0 else (lambda cf: -_strict_or_none(cf))
+    )
+
+    out: Dict[str, Classification] = {}
+    additive = all(pe.mult == 1 for pe in carried_effects)
+    header_strict = additive and all(strict_of(pe.addend) == 1 for pe in carried_effects)
+    out[header] = Monotonic(loop, direction, header_strict, init=init, family=header)
+
+    for member in members:
+        if member == header:
+            continue
+        if not additive:
+            out[member] = _multiplicative_member(loop, member, direction, expander, header)
+            continue
+        try:
+            effects = expander.expand(member)
+        except _ExpansionFailure as failure:
+            out[member] = Unknown(str(failure))
+            continue
+        out[member] = _additive_member(
+            loop, member, direction, effects, carried_effects, sign_of, strict_of, header
+        )
+    return out
+
+
+def _sign_or_none(form: ClosedForm):
+    sign = closedform_sign(form)
+    return sign if sign is not None else 99
+
+
+def _strict_or_none(form: ClosedForm):
+    sign = closedform_strict_sign(form)
+    return sign if sign is not None else 99
+
+
+def _family_direction(effects: List[PathEffect], init: Expr) -> Optional[int]:
+    """+1 / -1 when every path provably moves one way; None otherwise."""
+    for direction in (1, -1):
+        ok = True
+        for pe in effects:
+            sign = closedform_sign(pe.addend)
+            if sign is None or (sign != 0 and sign != direction):
+                ok = False
+                break
+            if pe.mult == 1:
+                continue
+            # multiplicative path: a*x + d keeps direction when a >= 1,
+            # d has the right sign, and x never crosses zero -- guaranteed
+            # when the initial value already lies on the right side.
+            if pe.mult.denominator != 1 or pe.mult < 1:
+                ok = False
+                break
+            init_sign = init.known_sign()
+            if init_sign is None or (init_sign != 0 and init_sign != direction):
+                ok = False
+                break
+        if ok and any(
+            closedform_sign(pe.addend) == direction or pe.mult > 1 for pe in effects
+        ):
+            return direction
+    return None
+
+
+def _additive_member(
+    loop: str,
+    member: str,
+    direction: int,
+    effects: List[PathEffect],
+    carried_effects: List[PathEffect],
+    sign_of,
+    strict_of,
+    family: str,
+) -> Classification:
+    """Per-member monotonicity with the pairing rule (see module docstring).
+
+    For occurrences at iterations h1 < h2 of member ``m = x + d_m``:
+    ``m(h2) - m(h1) >= (f(p1) - d_m(p1)) + d_m(h2)`` where ``f(p1)`` is the
+    full-cycle addend of the path taken at h1 (which went through ``m``).
+    Non-decreasing needs every ``d_m >= 0`` and ``f(p) - d_m(p) >= 0`` per
+    path; strictness needs ``f(p) - d_m(p) + min(d_m) > 0``.
+    """
+    if any(pe.mult != 1 for pe in effects):
+        return Unknown("member with multiplier in monotonic cycle")
+    offsets = [pe.addend for pe in effects]
+    if any(sign_of(d) not in (0, 1) for d in offsets):
+        return Unknown("member offset with wrong sign")
+
+    relevant = [pe for pe in carried_effects if member in pe.through]
+    if not relevant:
+        return Unknown("member not on any carried path")
+
+    nondecreasing = True
+    strict = True
+    for pe in relevant:
+        if member in pe.visits:
+            _, offset_here = pe.visits[member]
+            candidates = [offset_here]
+        else:
+            candidates = offsets  # pairing lost: check all offsets
+        for offset in candidates:
+            slack = pe.addend - offset
+            if sign_of(slack) not in (0, 1):
+                nondecreasing = False
+            # strict needs slack + min(d_m) > 0; without a provable minimum
+            # we conservatively require slack + d > 0 for every offset d
+            if not all(strict_of(slack + other) == 1 for other in offsets):
+                strict = False
+    if not nondecreasing:
+        return Unknown("member not provably monotonic")
+    return Monotonic(loop, direction, strict, family=family)
+
+
+def _multiplicative_member(
+    loop: str, member: str, direction: int, expander, family: str
+) -> Classification:
+    try:
+        effects = expander.expand(member)
+    except _ExpansionFailure as failure:
+        return Unknown(str(failure))
+    for pe in effects:
+        if pe.mult.denominator != 1 or pe.mult < 1:
+            return Unknown("member with non-positive multiplier")
+        sign = closedform_sign(pe.addend)
+        if sign is None or (sign != 0 and sign != direction):
+            return Unknown("member offset with wrong sign")
+    return Monotonic(loop, direction, False, family=family)

@@ -1,0 +1,90 @@
+"""Tarjan's strongly-connected-region algorithm, classification-ready.
+
+"Our algorithm to find the induction variables is based on Tarjan's
+well-known algorithm to find strongly connected regions in directed graphs.
+... The advantage to using Tarjan's algorithm is that when it identifies an
+SCR in the graph, it will have visited all the successors of the SCR;
+because of the way the edges are directed in our graph, when an SCR is
+identified, all the source operands reaching the SCR will already have been
+visited and identified.  Our modifications to Tarjan's algorithm are to
+classify each SCR ... at the time the SCR is identified" (section 3.1).
+
+This module implements exactly that: an iterative (explicit stack) Tarjan
+that invokes a callback on each SCR at pop time.  The callback sees SCRs in
+reverse topological order of the condensation, so every out-of-SCR operand
+is already classified -- the single property the whole paper rests on.
+The run is one pass, linear in nodes + edges.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Sequence, Set
+
+
+def tarjan_scrs(
+    nodes: Iterable[str],
+    successors: Callable[[str], Sequence[str]],
+    on_scr: Callable[[List[str], bool], None],
+) -> int:
+    """Run Tarjan over ``nodes``; call ``on_scr(members, is_cycle)`` per SCR.
+
+    ``is_cycle`` is True for nontrivial SCRs *and* for single nodes with a
+    self-edge.  Returns the number of SCRs found.
+    """
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = 0
+    scr_count = 0
+
+    all_nodes = list(nodes)
+    node_set = set(all_nodes)
+
+    for root in all_nodes:
+        if root in index:
+            continue
+        # iterative DFS: work stack of (node, iterator position)
+        work: List[List] = [[root, 0, None]]  # node, child index, cached succs
+        while work:
+            frame = work[-1]
+            node, child_index = frame[0], frame[1]
+            if frame[2] is None:
+                frame[2] = [s for s in successors(node) if s in node_set]
+            if child_index == 0:
+                index[node] = counter
+                lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            succs = frame[2]
+            advanced = False
+            while frame[1] < len(succs):
+                succ = succs[frame[1]]
+                frame[1] += 1
+                if succ not in index:
+                    work.append([succ, 0, None])
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            # node finished
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                members: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    members.append(member)
+                    if member == node:
+                        break
+                members.reverse()
+                is_cycle = len(members) > 1 or node in successors(node)
+                on_scr(members, is_cycle)
+                scr_count += 1
+    return scr_count

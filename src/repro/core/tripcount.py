@@ -1,0 +1,254 @@
+"""Trip counts of countable loops (section 5.2).
+
+"If there is a single loop exit and the condition is an integer comparison,
+the compiler can convert the comparison into the form ``if (left >= right)
+exit`` ... treat the comparison as a subtraction, and try to classify it as
+a linear induction sequence (L, i, s).  The trip count can be computed as::
+
+    tripcount = 0            if i <= 0
+                ceil(i / -s) if i > 0 and s < 0
+                infinity     if i > 0 and s >= 0"
+
+where here ``(i, s)`` describes ``q = right - left`` (the loop stays while
+``q > 0``).  The conversion table for all four relations, on both the true-
+and false-exits, is :data:`CONVERSION_TABLE`.
+
+For symbolic bounds the count is an :class:`~repro.symbolic.expr.Expr`
+(e.g. the triangular inner loop of Figure 9 has trip count ``i``); when the
+ceiling division does not simplify, an opaque invariant symbol is returned
+instead, with the definition recorded.  When several exits exist only a
+maximum trip count may be found ("this information is useful for dependence
+testing, to place bounds on the solution space").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.algebra import class_closed_form
+from repro.core.classes import Classification
+from repro.ir.function import Function
+from repro.ir.instructions import Branch, Compare
+from repro.ir.opcodes import Relation
+from repro.ir.values import Ref, Value
+from repro.symbolic.closedform import ClosedForm
+from repro.symbolic.expr import Expr
+
+
+class TripCountKind(enum.Enum):
+    ZERO = "zero"
+    FINITE = "finite"
+    INFINITE = "infinite"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class TripCount:
+    """Trip count of one loop.
+
+    ``count`` is the symbolic count for FINITE results.  ``exact`` is False
+    when ``count`` is only an upper bound (multi-exit loops).
+    ``assumptions`` lists conditions under which a symbolic count is valid
+    (the paper's formula returns 0 when the initial difference is already
+    non-positive; a symbolic count like ``n`` carries ``n >= 0``).
+    ``exit_block`` is the block whose test fires, when unique -- exit
+    values are computed there.
+    """
+
+    kind: TripCountKind
+    count: Optional[Expr] = None
+    exact: bool = True
+    assumptions: Tuple[str, ...] = ()
+    exit_block: Optional[str] = None
+
+    @property
+    def is_countable(self) -> bool:
+        return self.kind is TripCountKind.FINITE and self.exact
+
+    def constant(self) -> Optional[int]:
+        if self.kind is TripCountKind.ZERO:
+            return 0
+        if self.kind is TripCountKind.FINITE and self.count is not None and self.count.is_constant:
+            try:
+                return self.count.as_int()
+            except Exception:
+                return None
+        return None
+
+
+#: exit condition -> canonical ``exit if left >= right`` (section 5.2 table).
+#: Key: (relation, True if the *true* branch exits).  Value: a function
+#: mapping the operand forms (a, b) to (left, right).
+CONVERSION_TABLE = {
+    # true branch exits: exit when a REL b
+    (Relation.LT, True): lambda a, b: (b, a + ClosedForm.invariant(1)),
+    (Relation.LE, True): lambda a, b: (b, a),
+    (Relation.GT, True): lambda a, b: (a, b + ClosedForm.invariant(1)),
+    (Relation.GE, True): lambda a, b: (a, b),
+    # false branch exits: exit when NOT (a REL b)
+    (Relation.LT, False): lambda a, b: (a, b),
+    (Relation.LE, False): lambda a, b: (a, b + ClosedForm.invariant(1)),
+    (Relation.GT, False): lambda a, b: (b, a),
+    (Relation.GE, False): lambda a, b: (b, a + ClosedForm.invariant(1)),
+}
+
+
+def compute_trip_count(
+    function: Function,
+    loop,
+    class_of_value: Callable[[Value], Classification],
+    opaque: Callable[[tuple], Expr],
+) -> TripCount:
+    """Trip count of ``loop`` given the finished classification of its body."""
+    exits = loop.exit_edges(function)
+    if not exits:
+        return TripCount(TripCountKind.INFINITE)
+
+    per_exit: List[TripCount] = []
+    for source, _target in exits:
+        per_exit.append(_one_exit(function, loop, source, class_of_value, opaque))
+
+    if len(per_exit) == 1:
+        return per_exit[0]
+
+    # several exits: the real count is the minimum over the exits
+    finites = [t for t in per_exit if t.kind is TripCountKind.FINITE]
+    zeros = [t for t in per_exit if t.kind is TripCountKind.ZERO]
+    if zeros:
+        return TripCount(TripCountKind.ZERO)
+    if not finites:
+        if all(t.kind is TripCountKind.INFINITE for t in per_exit):
+            return TripCount(TripCountKind.INFINITE)
+        return TripCount(TripCountKind.UNKNOWN)
+    if len(finites) == 1 and all(
+        t.kind is TripCountKind.INFINITE for t in per_exit if t is not finites[0]
+    ):
+        return finites[0]
+    constants = [t.constant() for t in finites]
+    if all(c is not None for c in constants):
+        best = min(range(len(finites)), key=lambda k: constants[k])
+        exact = all(t.kind is TripCountKind.INFINITE or t is finites[best] for t in per_exit)
+        chosen = finites[best]
+        return TripCount(
+            TripCountKind.FINITE,
+            chosen.count,
+            exact=exact and chosen.exact,
+            assumptions=chosen.assumptions,
+            exit_block=chosen.exit_block if exact else None,
+        )
+    # symbolic counts from several exits: only an unordered bound; report
+    # the first as a non-exact bound
+    first = finites[0]
+    return TripCount(
+        TripCountKind.FINITE, first.count, exact=False, assumptions=first.assumptions
+    )
+
+
+def _one_exit(
+    function: Function,
+    loop,
+    source_label: str,
+    class_of_value,
+    opaque,
+) -> TripCount:
+    """Trip count implied by the exit edge leaving ``source_label``."""
+    block = function.block(source_label)
+    terminator = block.terminator
+    if not isinstance(terminator, Branch):
+        return TripCount(TripCountKind.UNKNOWN, exit_block=source_label)
+    true_exits = terminator.true_target not in loop.body
+    false_exits = terminator.false_target not in loop.body
+    if true_exits and false_exits:
+        # both targets leave: executes at most once; treat as unknown
+        return TripCount(TripCountKind.UNKNOWN, exit_block=source_label)
+
+    cond = terminator.cond
+    if not isinstance(cond, Ref):
+        # constant condition (typically folded by SCCP)
+        from repro.ir.values import Const
+
+        if isinstance(cond, Const):
+            exits_now = bool(cond.value) if true_exits else not cond.value
+            if not exits_now:
+                return TripCount(TripCountKind.INFINITE, exit_block=source_label)
+            if source_label == loop.header:
+                # the header runs on iteration 0 and exits immediately
+                return TripCount(TripCountKind.ZERO, exit_block=source_label)
+        return TripCount(TripCountKind.UNKNOWN, exit_block=source_label)
+    compare = _find_definition(function, loop, cond.name)
+    if not isinstance(compare, Compare):
+        return TripCount(TripCountKind.UNKNOWN, exit_block=source_label)
+
+    form_a = class_closed_form(class_of_value(compare.lhs))
+    form_b = class_closed_form(class_of_value(compare.rhs))
+    if form_a is None or form_b is None:
+        return TripCount(TripCountKind.UNKNOWN, exit_block=source_label)
+
+    relation = compare.relation
+    if relation in (Relation.EQ, Relation.NE):
+        return TripCount(TripCountKind.UNKNOWN, exit_block=source_label)
+    convert = CONVERSION_TABLE[(relation, true_exits)]
+    left, right = convert(form_a, form_b)
+
+    # q = right - left; stay while q > 0, exit when q <= 0
+    q = right - left
+    if not q.is_linear:
+        return TripCount(TripCountKind.UNKNOWN, exit_block=source_label)
+    init = q.coeff(0)
+    step = q.coeff(1)
+
+    init_sign = init.known_sign()
+    step_sign = step.known_sign()
+
+    if init_sign is not None and init_sign <= 0:
+        return TripCount(TripCountKind.ZERO, exit_block=source_label)
+    if step_sign is not None and step_sign >= 0:
+        if init_sign == 1:
+            return TripCount(TripCountKind.INFINITE, exit_block=source_label)
+        # symbolic init, non-decreasing difference: 0 or infinity
+        return TripCount(TripCountKind.UNKNOWN, exit_block=source_label)
+    if step_sign is None:
+        return TripCount(TripCountKind.UNKNOWN, exit_block=source_label)
+
+    # step < 0: count = ceil(init / -step), valid when init > 0
+    divisor = -step.constant_value()
+    assumptions: Tuple[str, ...] = ()
+    if init_sign is None:
+        assumptions = (f"{init} >= 1",)
+    if init.is_constant:
+        value = init.constant_value()
+        count = -((-value) // divisor)  # ceil for positive value
+        count_int = int(count) if count == int(count) else int(count)
+        return TripCount(
+            TripCountKind.FINITE,
+            Expr.const(count_int),
+            exit_block=source_label,
+        )
+    quotient = init.try_div(Expr.const(divisor))
+    if quotient is not None and divisor == 1:
+        # exact symbolic count (ceil(x/1) = x)
+        return TripCount(
+            TripCountKind.FINITE,
+            quotient,
+            assumptions=assumptions,
+            exit_block=source_label,
+        )
+    # ceil of a symbolic quantity: opaque invariant symbol
+    symbol = opaque(("ceildiv", init, divisor))
+    return TripCount(
+        TripCountKind.FINITE,
+        symbol,
+        assumptions=assumptions + (f"{symbol} = ceil(({init}) / {divisor})",),
+        exit_block=source_label,
+    )
+
+
+def _find_definition(function: Function, loop, name: str):
+    for label in loop.body:
+        for inst in function.block(label):
+            if inst.result == name:
+                return inst
+    return None

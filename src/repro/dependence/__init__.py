@@ -1,0 +1,51 @@
+"""Data dependence testing with the extended variable classes (section 6).
+
+"The driving force for classifying the variables in loops as shown in this
+paper is to improve the generality of dependence testing."  The flow:
+
+1. :mod:`repro.dependence.subscript` turns a classified subscript value
+   into an affine descriptor over the counters of the enclosing loops
+   (or flags it periodic / monotonic / wrap-around).
+2. :mod:`repro.dependence.testing` builds the dependence equation for a
+   pair of references and dispatches to the solvers: ZIV, strong/weak SIV
+   (:mod:`repro.dependence.siv`), GCD (:mod:`repro.dependence.gcd`) and
+   Banerjee bounds (:mod:`repro.dependence.banerjee`) under a hierarchy of
+   direction vectors (:mod:`repro.dependence.direction`).
+3. :mod:`repro.dependence.extended` applies the paper's translations:
+   periodic ``=`` solutions become loop-level ``!=``; monotonic solutions
+   become ``<=`` / ``=`` (strict); wrap-around dependences are flagged as
+   holding only after the first ``k`` iterations.
+4. :mod:`repro.dependence.graph` assembles the dependence graph of a whole
+   function (flow / anti / output edges between array references).
+"""
+
+from repro.dependence.direction import Direction, DirectionVector
+from repro.dependence.subscript import SubscriptDescriptor, SubscriptKind, describe_subscript
+from repro.dependence.testing import DependenceResult, test_dependence
+from repro.dependence.graph import DependenceEdge, DependenceGraph, build_dependence_graph
+from repro.dependence.loopinfo import (
+    InterchangeVerdict,
+    LoopParallelism,
+    analyze_parallelism,
+    check_interchange,
+)
+from repro.dependence.distribution import DistributionPlan, plan_distribution
+
+__all__ = [
+    "InterchangeVerdict",
+    "LoopParallelism",
+    "analyze_parallelism",
+    "check_interchange",
+    "DistributionPlan",
+    "plan_distribution",
+    "Direction",
+    "DirectionVector",
+    "SubscriptDescriptor",
+    "SubscriptKind",
+    "describe_subscript",
+    "DependenceResult",
+    "test_dependence",
+    "DependenceEdge",
+    "DependenceGraph",
+    "build_dependence_graph",
+]

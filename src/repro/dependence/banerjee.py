@@ -1,0 +1,158 @@
+"""Banerjee-style bound testing [BCKT79].
+
+For the dependence equation ``sum_k (a_k h_k - b_k h'_k) = delta`` with
+``h, h' in [0, U_k - 1]`` and a direction constraint per common loop, we
+bound the left side by interval arithmetic and declare independence when
+``delta`` falls outside.  Unknown (symbolic) trip counts give half-infinite
+ranges.  The per-direction term bounds use the decoupled relaxation
+
+* ``=`` : ``(a-b) * h``,                   ``h  in [0, U-1]``
+* ``<`` : ``(a-b) * h - b * d``,           ``h  in [0, U-2], d in [1, U-1]``
+* ``>`` : ``(a-b) * h' + a * d``,          ``h' in [0, U-2], d in [1, U-1]``
+
+which over-approximates the true polytope (sound: a superset of achievable
+values can only miss independence, never fabricate it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple
+
+NEG_INF = "-inf"
+POS_INF = "+inf"
+Bound = object  # Fraction | NEG_INF | POS_INF
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval with possibly infinite endpoints; may be empty."""
+
+    lo: Bound
+    hi: Bound
+    empty: bool = False
+
+    @staticmethod
+    def point(value: Fraction) -> "Interval":
+        return Interval(value, value)
+
+    @staticmethod
+    def empty_interval() -> "Interval":
+        return Interval(Fraction(0), Fraction(0), empty=True)
+
+    def __add__(self, other: "Interval") -> "Interval":
+        if self.empty or other.empty:
+            return Interval.empty_interval()
+        return Interval(_add(self.lo, other.lo), _add(self.hi, other.hi))
+
+    def union(self, other: "Interval") -> "Interval":
+        if self.empty:
+            return other
+        if other.empty:
+            return self
+        return Interval(_min(self.lo, other.lo), _max(self.hi, other.hi))
+
+    def contains(self, value: Fraction) -> bool:
+        if self.empty:
+            return False
+        lo_ok = self.lo is NEG_INF or (self.lo is not POS_INF and self.lo <= value)
+        hi_ok = self.hi is POS_INF or (self.hi is not NEG_INF and value <= self.hi)
+        return lo_ok and hi_ok
+
+
+def _add(a: Bound, b: Bound) -> Bound:
+    if a is NEG_INF or b is NEG_INF:
+        return NEG_INF
+    if a is POS_INF or b is POS_INF:
+        return POS_INF
+    return a + b
+
+
+def _min(a: Bound, b: Bound) -> Bound:
+    if a is NEG_INF or b is NEG_INF:
+        return NEG_INF
+    if a is POS_INF:
+        return b
+    if b is POS_INF:
+        return a
+    return min(a, b)
+
+
+def _max(a: Bound, b: Bound) -> Bound:
+    if a is POS_INF or b is POS_INF:
+        return POS_INF
+    if a is NEG_INF:
+        return b
+    if b is NEG_INF:
+        return a
+    return max(a, b)
+
+
+def scaled_range(coeff: Fraction, lo: int, hi: Optional[int]) -> Interval:
+    """Values of ``coeff * v`` for integer ``v in [lo, hi]`` (hi None = inf).
+
+    Empty when hi is not None and hi < lo.
+    """
+    if coeff == 0:
+        return Interval.point(Fraction(0))
+    if hi is not None and hi < lo:
+        return Interval.empty_interval()
+    low_end = coeff * lo
+    if hi is None:
+        if coeff > 0:
+            return Interval(low_end, POS_INF)
+        return Interval(NEG_INF, low_end)
+    high_end = coeff * hi
+    return Interval(min(low_end, high_end), max(low_end, high_end))
+
+
+def direction_term_interval(
+    a: Fraction, b: Fraction, trip: Optional[int], signs: FrozenSet[int]
+) -> Interval:
+    """Bounds of ``a*h - b*h'`` under the direction constraint ``signs``.
+
+    ``trip`` is the loop's trip count (``h, h' in [0, trip-1]``), or None
+    when unknown/unbounded.  ``signs`` is the allowed sign set of
+    ``h' - h`` ({1} = '<', {0} = '=', {-1} = '>').
+    """
+    upper = None if trip is None else trip - 1
+    result = Interval.empty_interval()
+    if 0 in signs:
+        result = result.union(scaled_range(a - b, 0, upper))
+    if 1 in signs:
+        # h' = h + d, d >= 1
+        h_upper = None if upper is None else upper - 1
+        part = scaled_range(a - b, 0, h_upper) + scaled_range(-b, 1, upper)
+        result = result.union(part)
+    if -1 in signs:
+        h_upper = None if upper is None else upper - 1
+        part = scaled_range(a - b, 0, h_upper) + scaled_range(a, 1, upper)
+        result = result.union(part)
+    return result
+
+
+def banerjee_feasible(
+    common: Sequence[Tuple[Fraction, Fraction, Optional[int]]],
+    private: Sequence[Tuple[Fraction, Optional[int]]],
+    delta: Fraction,
+    signs_per_level: Sequence[FrozenSet[int]],
+) -> bool:
+    """May the equation hold under the given direction vector?
+
+    ``common``: per common loop (a_k, b_k, trip_k).
+    ``private``: (coefficient, trip) for loop variables private to one side
+    (sign convention: already folded so the equation reads
+    ``sum common-terms + sum coeff*v = delta``).
+    """
+    total = Interval.point(Fraction(0))
+    for (a, b, trip), signs in zip(common, signs_per_level):
+        total = total + direction_term_interval(a, b, trip, signs)
+        if total.empty:
+            return False
+    for coeff, trip in private:
+        upper = None if trip is None else trip - 1
+        total = total + scaled_range(coeff, 0, upper)
+        if total.empty:
+            return False
+    return total.contains(delta)

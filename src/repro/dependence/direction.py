@@ -1,0 +1,142 @@
+"""Direction and distance vectors.
+
+A *direction* per loop level is the set of possible signs of ``h2 - h1``
+(sink iteration minus source iteration): ``<`` means the source runs in an
+earlier iteration.  The classic lattice refines ``*`` (all three) into
+``<``, ``=``, ``>`` children.
+
+Representation: a frozenset drawn from {-1, 0, +1} (sign of ``h2 - h1``);
+``+1`` prints as ``<`` (source earlier), ``-1`` as ``>``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+LT: FrozenSet[int] = frozenset({1})
+EQ: FrozenSet[int] = frozenset({0})
+GT: FrozenSet[int] = frozenset({-1})
+LE: FrozenSet[int] = frozenset({0, 1})
+GE: FrozenSet[int] = frozenset({-1, 0})
+NE: FrozenSet[int] = frozenset({-1, 1})
+ANY: FrozenSet[int] = frozenset({-1, 0, 1})
+
+_NAMES = {
+    LT: "<",
+    EQ: "=",
+    GT: ">",
+    LE: "<=",
+    GE: ">=",
+    NE: "!=",
+    ANY: "*",
+    frozenset(): "none",
+}
+
+
+class Direction:
+    """Helpers for the per-level sign sets."""
+
+    LT = LT
+    EQ = EQ
+    GT = GT
+    LE = LE
+    GE = GE
+    NE = NE
+    ANY = ANY
+
+    @staticmethod
+    def name(signs: FrozenSet[int]) -> str:
+        return _NAMES.get(frozenset(signs), "?")
+
+
+class DirectionVector:
+    """One direction per common loop, outermost first."""
+
+    __slots__ = ("elements",)
+
+    def __init__(self, elements: Iterable[FrozenSet[int]]):
+        self.elements: Tuple[FrozenSet[int], ...] = tuple(frozenset(e) for e in elements)
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __getitem__(self, index: int) -> FrozenSet[int]:
+        return self.elements[index]
+
+    def refine(self, level: int, signs: FrozenSet[int]) -> "DirectionVector":
+        out = list(self.elements)
+        out[level] = frozenset(out[level] & signs)
+        return DirectionVector(out)
+
+    @property
+    def is_empty(self) -> bool:
+        return any(not e for e in self.elements)
+
+    @property
+    def is_exact(self) -> bool:
+        """Every level fixed to a single sign."""
+        return all(len(e) == 1 for e in self.elements)
+
+    def leading_sign(self) -> Optional[int]:
+        """Sign of the first non-'=' level, when determined."""
+        for element in self.elements:
+            if element == EQ:
+                continue
+            if len(element) == 1:
+                return next(iter(element))
+            return None
+        return 0
+
+    @property
+    def is_plausible(self) -> bool:
+        """A dependence from source to sink requires the source not to run
+        *after* the sink: lexicographically non-negative direction."""
+        for element in self.elements:
+            if element == EQ:
+                continue
+            return 1 in element or 0 in element
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DirectionVector) and self.elements == other.elements
+
+    def __hash__(self) -> int:
+        return hash(self.elements)
+
+    def __repr__(self) -> str:
+        return f"({', '.join(Direction.name(e) for e in self.elements)})"
+
+    @staticmethod
+    def star(levels: int) -> "DirectionVector":
+        return DirectionVector([ANY] * levels)
+
+
+class DistanceVector:
+    """Exact per-level iteration distances ``h2 - h1`` (ints), when known."""
+
+    __slots__ = ("distances",)
+
+    def __init__(self, distances: Sequence[Optional[int]]):
+        self.distances: Tuple[Optional[int], ...] = tuple(distances)
+
+    def direction(self) -> DirectionVector:
+        out: List[FrozenSet[int]] = []
+        for d in self.distances:
+            if d is None:
+                out.append(ANY)
+            elif d > 0:
+                out.append(LT)
+            elif d < 0:
+                out.append(GT)
+            else:
+                out.append(EQ)
+        return DirectionVector(out)
+
+    def __repr__(self) -> str:
+        return f"({', '.join('*' if d is None else str(d) for d in self.distances)})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DistanceVector) and self.distances == other.distances
+
+    def __hash__(self) -> int:
+        return hash(self.distances)

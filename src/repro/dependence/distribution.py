@@ -1,0 +1,162 @@
+"""Loop distribution planning (Kennedy's pi-block algorithm).
+
+Loop distribution -- splitting one loop into several, one per group of
+statements -- is the first transformation the paper's introduction names
+("loop distribution and loop interchanging ... require analysis of array
+subscripts").  The classical legality algorithm:
+
+1. build the statement-level dependence graph of the loop body
+   (array dependences from :mod:`repro.dependence.graph`, attributed to
+   *statements* = each store together with the loads feeding it through
+   same-iteration scalar flow);
+2. find its strongly connected components (Tarjan again!) -- each SCC is a
+   **pi-block** that must stay in one distributed loop (it contains a
+   dependence cycle);
+3. emit the pi-blocks in a topological order of the condensation; the
+   remaining (loop-independent and forward loop-carried) dependences are
+   then respected.
+
+A loop distributes non-trivially iff it has more than one pi-block.  The
+classification pays off exactly as in parallelization: periodic/monotonic/
+wrap-around subscripts that a linear-only analyzer must treat as '*'
+create spurious cycles that fuse everything into one pi-block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.loops import Loop
+from repro.core.driver import AnalysisResult
+from repro.core.tarjan import tarjan_scrs
+from repro.dependence.graph import DependenceGraph, build_dependence_graph
+from repro.dependence.testing import RefSite
+from repro.ir.instructions import Load, Store
+from repro.ir.values import Ref
+
+
+@dataclass
+class Statement:
+    """One distributable unit: a store and the loads that feed it."""
+
+    store: RefSite
+    loads: Tuple[RefSite, ...] = ()
+
+    @property
+    def sites(self) -> Tuple[RefSite, ...]:
+        return (self.store,) + self.loads
+
+    def __repr__(self) -> str:
+        return f"S({self.store!r})"
+
+
+@dataclass
+class DistributionPlan:
+    """Pi-blocks in a legal execution order."""
+
+    loop: str
+    pi_blocks: List[List[Statement]] = field(default_factory=list)
+
+    @property
+    def distributable(self) -> bool:
+        return len(self.pi_blocks) > 1
+
+    def summary(self) -> str:
+        lines = [f"loop {self.loop}: {len(self.pi_blocks)} pi-block(s)"]
+        for index, block in enumerate(self.pi_blocks):
+            members = ", ".join(repr(s.store) for s in block)
+            lines.append(f"  pi{index}: {members}")
+        return "\n".join(lines)
+
+
+def _statements_of_loop(analysis: AnalysisResult, loop: Loop) -> List[Statement]:
+    """Group each store with the loads that flow into it (same iteration,
+    through SSA scalar defs inside the loop)."""
+    function = analysis.function
+    defs = function.definitions()
+
+    # map: SSA name -> RefSite of the load defining it (inside the loop)
+    load_sites: Dict[str, RefSite] = {}
+    for label in sorted(loop.body):
+        for position, inst in enumerate(function.block(label).instructions):
+            if isinstance(inst, Load):
+                indices = tuple(inst.indices) if inst.indices is not None else None
+                load_sites[inst.result] = RefSite(
+                    inst.array, indices, label, position, False
+                )
+
+    def reaching_loads(value) -> Set[str]:
+        """Loads feeding ``value`` through defs inside the loop."""
+        out: Set[str] = set()
+        stack = [value]
+        seen = set()
+        while stack:
+            v = stack.pop()
+            if not isinstance(v, Ref) or v.name in seen:
+                continue
+            seen.add(v.name)
+            if v.name in load_sites:
+                out.add(v.name)
+                continue
+            entry = defs.get(v.name)
+            if entry is None or entry[0] not in loop.body:
+                continue
+            stack.extend(entry[1].uses())
+        return out
+
+    statements: List[Statement] = []
+    for label in sorted(loop.body):
+        for position, inst in enumerate(function.block(label).instructions):
+            if not isinstance(inst, Store):
+                continue
+            indices = tuple(inst.indices) if inst.indices is not None else None
+            store = RefSite(inst.array, indices, label, position, True)
+            feeders = set()
+            for value in inst.uses():
+                feeders |= reaching_loads(value)
+            loads = tuple(sorted((load_sites[n] for n in feeders), key=repr))
+            statements.append(Statement(store, loads))
+    return statements
+
+
+def plan_distribution(
+    analysis: AnalysisResult,
+    loop: Loop,
+    graph: Optional[DependenceGraph] = None,
+) -> DistributionPlan:
+    """Compute the pi-block partition of ``loop``'s stores."""
+    if graph is None:
+        graph = build_dependence_graph(analysis)
+    statements = _statements_of_loop(analysis, loop)
+    site_owner: Dict[Tuple[str, int], int] = {}
+    for index, statement in enumerate(statements):
+        for site in statement.sites:
+            site_owner[(site.block, site.position)] = index
+
+    # statement dependence edges (within this loop)
+    successors: Dict[str, Set[str]] = {str(i): set() for i in range(len(statements))}
+    for edge in graph.edges:
+        src = site_owner.get((edge.source.block, edge.source.position))
+        dst = site_owner.get((edge.sink.block, edge.sink.position))
+        if src is None or dst is None or src == dst:
+            continue
+        if loop.header not in edge.result.common_loops:
+            continue
+        # dependence source must precede the sink: edge src -> dst
+        successors[str(src)].add(str(dst))
+
+    # Tarjan pops SCCs in reverse topological order of the condensation:
+    # collecting them in pop order and reversing yields a legal schedule.
+    blocks: List[List[Statement]] = []
+
+    def on_scr(members: List[str], _is_cycle: bool) -> None:
+        blocks.append([statements[int(m)] for m in sorted(members, key=int)])
+
+    tarjan_scrs(
+        [str(i) for i in range(len(statements))],
+        lambda n: sorted(successors[n]),
+        on_scr,
+    )
+    blocks.reverse()
+    return DistributionPlan(loop.header, blocks)

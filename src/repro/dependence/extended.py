@@ -1,0 +1,231 @@
+"""Dependence testing for the new variable classes (section 6).
+
+* **Wrap-around** subscripts: "the same dependence equation can be
+  constructed and solved, but the dependence relation should be flagged as
+  holding only after k iterations, the order of the wrap-around variable."
+* **Periodic** subscripts: the equation is solved in family-member space;
+  an ``=`` solution between members with distinct values translates to a
+  ``!=`` loop direction ("j_h = k_h' only when h != h'").
+* **Monotonic** subscripts: an ``m = m'`` solution translates to ``=`` for
+  strictly monotonic same-member references and to ``<=`` otherwise
+  (Figure 10: dependence on B has direction ``(=)``; the flow dependence on
+  F has ``(<=)`` and the anti-dependence ``(<)`` -- the ``<`` arises here
+  from the intra-iteration plausibility filter).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+from repro.core.classes import InductionVariable, Invariant, Monotonic, Periodic, WrapAround
+from repro.dependence.direction import ANY, EQ, GE, GT, LE, LT, NE, DirectionVector
+from repro.dependence.subscript import SubscriptDescriptor, SubscriptKind
+from repro.dependence.testing import DependenceResult
+from repro.symbolic.expr import Expr
+
+
+# ----------------------------------------------------------------------
+# wrap-around (section 4.1 + 6)
+# ----------------------------------------------------------------------
+def test_wraparound(analysis, d_source, d_sink, common, source, sink, source_first):
+    from repro.dependence.testing import _dispatch
+
+    holds_after = 0
+    stripped_source, k1 = _strip_wraparound(analysis, d_source)
+    stripped_sink, k2 = _strip_wraparound(analysis, d_sink)
+    holds_after = max(k1, k2)
+    if stripped_source is None or stripped_sink is None:
+        return DependenceResult.conservative(common, "wrap-around with unknown inner class")
+    result = _dispatch(
+        analysis, stripped_source, stripped_sink, common, source, sink, source_first
+    )
+    result.holds_after = max(result.holds_after, holds_after)
+    if holds_after:
+        result.notes.append(
+            f"valid after the first {holds_after} iteration(s); peel to be exact"
+        )
+        result.exact = False
+    return result
+
+
+def _strip_wraparound(
+    analysis, descriptor: SubscriptDescriptor
+) -> Tuple[Optional[SubscriptDescriptor], int]:
+    """Replace a wrap-around descriptor by its steady-state inner form."""
+    if descriptor.kind is not SubscriptKind.WRAPAROUND:
+        return descriptor, 0
+    cls = descriptor.cls
+    assert isinstance(cls, WrapAround)
+    inner = cls.inner
+    if isinstance(inner, InductionVariable) and inner.is_linear:
+        from repro.dependence.subscript import _resolve_affine
+
+        step = inner.form.coeff(1)
+        if not step.is_constant:
+            return None, cls.order
+        resolved = _resolve_affine(analysis, inner.form.coeff(0), set(descriptor.loop_chain))
+        if resolved is None:
+            const, coeffs = inner.form.coeff(0), {}
+        else:
+            const, coeffs = resolved
+        coeffs = dict(coeffs)
+        coeffs[cls.loop] = coeffs.get(cls.loop, Fraction(0)) + step.constant_value()
+        return (
+            SubscriptDescriptor(
+                SubscriptKind.LINEAR, descriptor.loop_chain, const=const, coeffs=coeffs
+            ),
+            cls.order,
+        )
+    if isinstance(inner, Invariant):
+        return (
+            SubscriptDescriptor(
+                SubscriptKind.LINEAR, descriptor.loop_chain, const=inner.expr
+            ),
+            cls.order,
+        )
+    if isinstance(inner, (Periodic, Monotonic)):
+        kind = (
+            SubscriptKind.PERIODIC if isinstance(inner, Periodic) else SubscriptKind.MONOTONIC
+        )
+        return (
+            SubscriptDescriptor(
+                kind,
+                descriptor.loop_chain,
+                cls=inner,
+                base_name=descriptor.base_name,
+            ),
+            cls.order,
+        )
+    return None, cls.order
+
+
+# ----------------------------------------------------------------------
+# periodic (section 4.2 + 6)
+# ----------------------------------------------------------------------
+def _provably_different(a: Expr, b: Expr) -> bool:
+    difference = a - b
+    return difference.is_constant and not difference.is_zero
+
+
+def test_periodic(d_source, d_sink, common) -> DependenceResult:
+    source_cls = d_source.cls
+    sink_cls = d_sink.cls
+    assert isinstance(source_cls, Periodic) and isinstance(sink_cls, Periodic)
+    if source_cls.loop != sink_cls.loop or source_cls.loop not in common:
+        return DependenceResult.conservative(common, "periodic in different loops")
+    if source_cls.period != sink_cls.period:
+        return DependenceResult.conservative(common, "different periods")
+    period = source_cls.period
+    level = common.index(source_cls.loop)
+
+    # offsets (h' - h) mod period at which the values may collide
+    possible = set()
+    for r1 in range(period):
+        for r2 in range(period):
+            if not _provably_different(source_cls.values[r1], sink_cls.values[r2]):
+                possible.add((r2 - r1) % period)
+    if not possible:
+        return DependenceResult.independent(common, "periodic values never collide")
+
+    elements = [ANY] * len(common)
+    notes = [f"collision offsets mod {period}: {sorted(possible)}"]
+    if 0 not in possible:
+        elements[level] = NE
+        notes.append("periodic '=' solution translates to '!=' loop direction")
+        exact = True
+    else:
+        exact = False
+    return DependenceResult(
+        True, common, [DirectionVector(elements)], exact=exact, notes=notes
+    )
+
+
+# ----------------------------------------------------------------------
+# monotonic (section 4.4 + 6)
+# ----------------------------------------------------------------------
+def _site_strict(analysis, cls: Monotonic, site) -> bool:
+    """Section 5.4's refinement: a use site is *effectively strict* when a
+    strictly monotonic assignment of the same family postdominates it ("any
+    uses of k2 in this region are post-dominated by the strictly monotonic
+    assignment") -- between two executions of the site, the family value
+    must strictly advance."""
+    if cls.strict:
+        return True
+    if analysis is None or site is None or cls.family is None:
+        return False
+    summary = analysis.loops.get(cls.loop)
+    if summary is None:
+        return False
+    postdom = analysis.postdominators()
+    for name, other in summary.classifications.items():
+        if not isinstance(other, Monotonic):
+            continue
+        if other.family != cls.family or not other.strict:
+            continue
+        defsite = analysis.definition_site(name)
+        if defsite is None:
+            continue
+        def_block, def_position = defsite
+        if def_block == site.block:
+            if def_position > site.position:
+                return True
+        else:
+            try:
+                if postdom.dominates(def_block, site.block):
+                    return True
+            except Exception:
+                continue
+    return False
+
+
+def test_monotonic(
+    d_source, d_sink, common, source_first, analysis=None, source_site=None
+) -> DependenceResult:
+    source_cls = d_source.cls
+    sink_cls = d_sink.cls
+    assert isinstance(source_cls, Monotonic) and isinstance(sink_cls, Monotonic)
+    if source_cls.loop != sink_cls.loop or source_cls.loop not in common:
+        return DependenceResult.conservative(common, "monotonic in different loops")
+    if source_cls.direction != sink_cls.direction:
+        return DependenceResult.conservative(common, "opposite monotonic directions")
+    same_family = (
+        source_cls.family is not None and source_cls.family == sink_cls.family
+    )
+    if not same_family:
+        return DependenceResult.conservative(common, "unrelated monotonic variables")
+
+    level = common.index(source_cls.loop)
+    elements = [ANY] * len(common)
+    notes: List[str] = []
+
+    same_member = (
+        d_source.base_name is not None and d_source.base_name == d_sink.base_name
+    )
+    if same_member and (
+        (source_cls.strict and sink_cls.strict)
+        or _site_strict(analysis, source_cls, source_site)
+    ):
+        # "k3 is monotonically strictly increasing ... the dependence due to
+        # the assignment and reuse of array B will have direction (=)";
+        # the section 5.4 refinement extends this to uses postdominated by
+        # the strict assignment (e.g. C[k2] inside the conditional)
+        elements[level] = EQ
+        if not source_cls.strict:
+            notes.append("strict at this site (postdominated by the strict assignment)")
+        else:
+            notes.append("strictly monotonic: solutions only at equal iterations")
+        exact = True
+    elif source_cls.direction > 0:
+        # "since k2 and k4 are only monotonic, the flow dependence due to
+        # array F has dependence direction (<=)"
+        elements[level] = LE
+        notes.append("monotonic increasing: dependence direction (<=)")
+        exact = False
+    else:
+        elements[level] = GE
+        notes.append("monotonic decreasing: dependence direction (>=)")
+        exact = False
+    return DependenceResult(
+        True, common, [DirectionVector(elements)], exact=exact, notes=notes
+    )

@@ -1,0 +1,47 @@
+"""The GCD test.
+
+A linear diophantine equation ``sum c_i x_i = delta`` has integer solutions
+iff ``gcd(c_i) | delta``.  Applied per direction vector: under an ``=``
+constraint the pair contributes one coefficient ``a - b``; otherwise ``a``
+and ``b`` enter separately.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+
+def _to_int_coeffs(values: Sequence[Fraction]) -> Tuple[Tuple[int, ...], int]:
+    """Scale rationals to a common integer basis; returns (ints, scale)."""
+    lcm = 1
+    for v in values:
+        lcm = lcm * v.denominator // gcd(lcm, v.denominator)
+    return tuple(int(v * lcm) for v in values), lcm
+
+
+def gcd_feasible(
+    common: Sequence[Tuple[Fraction, Fraction]],
+    private: Sequence[Fraction],
+    delta: Fraction,
+    signs_per_level: Sequence[FrozenSet[int]],
+) -> bool:
+    """May integer solutions exist (ignoring bounds)?"""
+    coeffs = []
+    for (a, b), signs in zip(common, signs_per_level):
+        if signs == frozenset({0}):
+            coeffs.append(a - b)
+        else:
+            coeffs.append(a)
+            coeffs.append(-b)
+    coeffs.extend(private)
+
+    scaled, lcm = _to_int_coeffs(list(coeffs) + [delta])
+    *int_coeffs, int_delta = scaled
+    g = 0
+    for c in int_coeffs:
+        g = gcd(g, abs(c))
+    if g == 0:
+        return int_delta == 0
+    return int_delta % g == 0

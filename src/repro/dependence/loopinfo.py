@@ -1,0 +1,125 @@
+"""Loop-level conclusions from the dependence graph.
+
+The paper's motivation: "advanced loop transformations (such as loop
+distribution and loop interchanging) ... require analysis of array
+subscripts to determine the data dependence relations in loops"
+(section 1).  This module draws the standard conclusions:
+
+* **parallelizable (DOALL)**: a loop is parallelizable when no dependence
+  is carried by it — every direction vector is '=' at its level, or the
+  dependence is already carried by an outer level;
+* **interchange legality** for a pair of adjacent levels: interchanging is
+  illegal iff some direction vector has the form (…, <, >, …) at exactly
+  those levels with '=' further out (the interchange would reverse it);
+* per-loop lists of the carried dependence edges (for diagnostics).
+
+Wrap-around dependences flagged ``holds_after > 0`` are treated as real
+(sound); a client that peels can re-run the analysis on the peeled loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.driver import AnalysisResult
+from repro.dependence.direction import EQ, DirectionVector
+from repro.dependence.graph import DependenceEdge, DependenceGraph, build_dependence_graph
+
+
+@dataclass
+class LoopParallelism:
+    header: str
+    parallelizable: bool
+    carried: List[DependenceEdge] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        verdict = "DOALL" if self.parallelizable else "serial"
+        return f"<{self.header}: {verdict}, {len(self.carried)} carried deps>"
+
+
+def _carried_at_level(vector: DirectionVector, level: int) -> bool:
+    """May this direction vector represent a dependence carried by
+    ``level``?  Carried there = '=' on all outer levels and a '<'
+    possibility at the level itself."""
+    if level >= len(vector.elements):
+        return False
+    for outer in vector.elements[:level]:
+        if 0 not in outer:
+            return False  # always carried further out
+    return 1 in vector.elements[level] or -1 in vector.elements[level]
+
+
+def edge_carried_by(edge: DependenceEdge, header: str) -> bool:
+    """Is the dependence (possibly) carried by loop ``header``?"""
+    common = edge.result.common_loops
+    if header not in common:
+        return False
+    level = common.index(header)
+    if not edge.result.directions:
+        return True  # conservative: no direction information
+    return any(_carried_at_level(v, level) for v in edge.result.directions)
+
+
+def analyze_parallelism(
+    analysis: AnalysisResult, graph: Optional[DependenceGraph] = None
+) -> Dict[str, LoopParallelism]:
+    """DOALL verdict for every loop of the function."""
+    if graph is None:
+        graph = build_dependence_graph(analysis)
+    verdicts: Dict[str, LoopParallelism] = {}
+    for header in analysis.loops:
+        carried = [e for e in graph.edges if edge_carried_by(e, header)]
+        verdicts[header] = LoopParallelism(header, not carried, carried)
+    return verdicts
+
+
+@dataclass
+class InterchangeVerdict:
+    outer: str
+    inner: str
+    legal: bool
+    blocking: List[DependenceEdge] = field(default_factory=list)
+
+
+def _blocks_interchange(vector: DirectionVector, outer_level: int) -> bool:
+    """A (<, >) pattern at (outer, inner) with '=' possible further out
+    becomes (>, <) after interchange: lexicographically negative (illegal).
+    """
+    inner_level = outer_level + 1
+    if inner_level >= len(vector.elements):
+        return False
+    for further_out in vector.elements[:outer_level]:
+        if 0 not in further_out:
+            return False  # carried further out: unaffected by interchange
+    return 1 in vector.elements[outer_level] and -1 in vector.elements[inner_level]
+
+
+def check_interchange(
+    analysis: AnalysisResult,
+    outer: str,
+    inner: str,
+    graph: Optional[DependenceGraph] = None,
+) -> InterchangeVerdict:
+    """Legality of interchanging the (perfectly nested) ``outer``/``inner``
+    pair, by the classical direction-vector criterion.
+
+    This is exactly the transformation the paper's L23/L24 discussion is
+    about: the (<, >) vector of the triangular loop blocks interchange.
+    """
+    if graph is None:
+        graph = build_dependence_graph(analysis)
+    blocking: List[DependenceEdge] = []
+    for edge in graph.edges:
+        common = edge.result.common_loops
+        if outer not in common or inner not in common:
+            continue
+        outer_level = common.index(outer)
+        if common.index(inner) != outer_level + 1:
+            continue
+        if not edge.result.directions:
+            blocking.append(edge)  # conservative
+            continue
+        if any(_blocks_interchange(v, outer_level) for v in edge.result.directions):
+            blocking.append(edge)
+    return InterchangeVerdict(outer, inner, not blocking, blocking)

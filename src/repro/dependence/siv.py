@@ -1,0 +1,86 @@
+"""Exact single-index-variable (SIV) tests [GKT91].
+
+When the dependence equation involves exactly one common loop (and no
+private variables), the classic special cases give exact answers:
+
+* **strong SIV** (``a == b != 0``): the distance is ``(h' - h) = -delta/a``;
+  integer and within the trip count, or independent.
+* **weak-zero SIV** (``b == 0``): the source iteration is pinned to
+  ``h = delta/a``; dependence to every sink iteration.
+* **weak-crossing SIV** (``b == -a``): ``h + h' = delta/a``; solutions mirror
+  around the crossing point.
+
+Results feed the exact distance/direction of
+:class:`repro.dependence.testing.DependenceResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional
+
+from repro.dependence.direction import (
+    ANY,
+    EQ,
+    GT,
+    LT,
+    NE,
+    DirectionVector,
+    DistanceVector,
+)
+
+
+@dataclass
+class SIVResult:
+    independent: bool
+    directions: Optional[List[DirectionVector]] = None  # length-1 vectors
+    distance: Optional[int] = None  # h' - h when exact
+    note: str = ""
+
+
+def strong_siv(a: Fraction, delta: Fraction, trip: Optional[int]) -> SIVResult:
+    """``a*h - a*h' = delta``."""
+    d = -delta / a
+    if d.denominator != 1:
+        return SIVResult(True, note="non-integer distance")
+    distance = int(d)
+    if trip is not None and abs(distance) >= trip:
+        return SIVResult(True, note="distance exceeds trip count")
+    if distance > 0:
+        direction = LT
+    elif distance < 0:
+        direction = GT
+    else:
+        direction = EQ
+    return SIVResult(
+        False, [DirectionVector([direction])], distance, note=f"strong SIV distance {distance}"
+    )
+
+
+def weak_zero_siv(
+    a: Fraction, delta: Fraction, trip: Optional[int], zero_side_is_sink: bool
+) -> SIVResult:
+    """One coefficient is zero: the other side's iteration is pinned."""
+    h = delta / a
+    if h.denominator != 1:
+        return SIVResult(True, note="non-integer pinned iteration")
+    pinned = int(h)
+    if pinned < 0 or (trip is not None and pinned >= trip):
+        return SIVResult(True, note="pinned iteration outside loop")
+    # the pinned side runs at one iteration; the other side at any
+    return SIVResult(False, [DirectionVector([ANY])], note=f"weak-zero SIV at h={pinned}")
+
+
+def weak_crossing_siv(a: Fraction, delta: Fraction, trip: Optional[int]) -> SIVResult:
+    """``b == -a``: ``h + h' = delta/a``."""
+    total = delta / a
+    # h + h' must be a non-negative integer; crossing at total/2
+    if total.denominator != 1:
+        return SIVResult(True, note="non-integer crossing sum")
+    crossing_sum = int(total)
+    if crossing_sum < 0:
+        return SIVResult(True, note="crossing before the loop")
+    if trip is not None and crossing_sum > 2 * (trip - 1):
+        return SIVResult(True, note="crossing after the loop")
+    return SIVResult(False, [DirectionVector([ANY])], note="weak-crossing SIV")

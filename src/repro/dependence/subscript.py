@@ -1,0 +1,210 @@
+"""Subscript descriptors.
+
+"The algorithm used to classify variables will actually classify each
+subexpression as one of the generalized variable types.  Thus, each
+subscript expression will be classified as an induction expression,
+monotonic expression, etc." (section 6).
+
+:func:`describe_subscript` turns a subscript operand (at a specific array
+reference site) into one of:
+
+* ``LINEAR``: an affine form ``const + sum coeff[L] * h_L`` over the
+  counters of the enclosing loops, with exact rational coefficients --
+  the input to the classical dependence solvers;
+* ``PERIODIC`` / ``MONOTONIC`` / ``WRAPAROUND``: ``scale * v + offset``
+  where ``v`` carries that classification -- the inputs to the section-6
+  translations;
+* ``UNKNOWN``: anything else (coupled nonlinear subscripts, loads, ...).
+
+Polynomial/geometric IVs with a provable direction degrade gracefully to
+``MONOTONIC`` (the paper: "there are currently few dependence testing
+algorithms that can take advantage of this additional knowledge").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.algebra import iv_is_strict
+from repro.core.classes import (
+    Classification,
+    InductionVariable,
+    Invariant,
+    Monotonic,
+    Periodic,
+    Unknown,
+    WrapAround,
+)
+from repro.core.driver import AnalysisResult
+from repro.ir.values import Const, Ref, Value
+from repro.symbolic.expr import Expr
+
+
+class SubscriptKind(enum.Enum):
+    LINEAR = "linear"
+    PERIODIC = "periodic"
+    MONOTONIC = "monotonic"
+    WRAPAROUND = "wraparound"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class SubscriptDescriptor:
+    """Classified subscript at one reference site."""
+
+    kind: SubscriptKind
+    loop_chain: Tuple[str, ...]  # enclosing loops, outermost first
+    const: Expr = field(default_factory=Expr.zero)
+    coeffs: Dict[str, Fraction] = field(default_factory=dict)  # loop -> coeff
+    # non-linear kinds: subscript = scale * variable + offset
+    cls: Optional[Classification] = None
+    base_name: Optional[str] = None
+    scale: Fraction = Fraction(1)
+    offset: Expr = field(default_factory=Expr.zero)
+    reason: str = ""
+
+    @property
+    def is_ziv(self) -> bool:
+        return self.kind is SubscriptKind.LINEAR and not any(self.coeffs.values())
+
+    def coeff(self, loop: str) -> Fraction:
+        return self.coeffs.get(loop, Fraction(0))
+
+    def __repr__(self) -> str:
+        if self.kind is SubscriptKind.LINEAR:
+            parts = [str(self.const)]
+            for loop, coeff in self.coeffs.items():
+                if coeff:
+                    parts.append(f"{coeff}*h[{loop}]")
+            return f"linear({' + '.join(parts)})"
+        return f"{self.kind.value}({self.scale}*{self.base_name} + {self.offset})"
+
+
+def loop_chain_of(result: AnalysisResult, block: str) -> Tuple[str, ...]:
+    """Headers of the loops enclosing ``block``, outermost first."""
+    chain: List[str] = []
+    loop = result.nest.innermost(block)
+    while loop is not None:
+        chain.append(loop.header)
+        loop = loop.parent
+    chain.reverse()
+    return tuple(chain)
+
+
+def describe_subscript(
+    result: AnalysisResult, value: Value, block: str
+) -> SubscriptDescriptor:
+    """Classify the subscript ``value`` used at a reference in ``block``."""
+    chain = loop_chain_of(result, block)
+    if isinstance(value, Const):
+        return SubscriptDescriptor(
+            SubscriptKind.LINEAR, chain, const=Expr.const(value.value)
+        )
+    if not isinstance(value, Ref):
+        return SubscriptDescriptor(SubscriptKind.UNKNOWN, chain, reason="bad operand")
+
+    linear = _resolve_affine(result, Expr.sym(value.name), set(chain))
+    if linear is not None:
+        const, coeffs = linear
+        return SubscriptDescriptor(SubscriptKind.LINEAR, chain, const=const, coeffs=coeffs)
+
+    special = _resolve_special(result, value.name, chain)
+    if special is not None:
+        return special
+    return SubscriptDescriptor(
+        SubscriptKind.UNKNOWN, chain, base_name=value.name, reason="unclassifiable subscript"
+    )
+
+
+def _resolve_affine(
+    result: AnalysisResult, expr: Expr, loops: set, depth: int = 0
+) -> Optional[Tuple[Expr, Dict[str, Fraction]]]:
+    """Rewrite ``expr`` as ``const + sum coeff[L]*h_L`` with constant coeffs.
+
+    Symbols classified as linear IVs of enclosing loops are expanded as
+    ``init + step*h``; their inits recurse (multi-loop IVs), their steps
+    must resolve to rational constants (a step varying in an outer loop
+    makes the subscript bilinear -- not affine -- and fails here).
+    """
+    if depth > 16:
+        return None
+    affine = expr.as_affine()
+    if affine is None:
+        return None
+    const_part, sym_coeffs = affine
+    const = Expr.const(const_part)
+    coeffs: Dict[str, Fraction] = {}
+    for symbol, factor in sym_coeffs.items():
+        cls = result.classification_of(symbol)
+        if isinstance(cls, Invariant):
+            if cls.expr == Expr.sym(symbol):
+                const = const + Expr.sym(symbol) * factor
+            else:
+                inner = _resolve_affine(result, cls.expr, loops, depth + 1)
+                if inner is None:
+                    return None
+                inner_const, inner_coeffs = inner
+                const = const + inner_const * factor
+                for loop, coeff in inner_coeffs.items():
+                    coeffs[loop] = coeffs.get(loop, Fraction(0)) + coeff * factor
+        elif isinstance(cls, InductionVariable) and cls.is_linear and cls.loop in loops:
+            step = cls.form.coeff(1)
+            if not step.is_constant:
+                return None
+            init = _resolve_affine(result, cls.form.coeff(0), loops, depth + 1)
+            if init is None:
+                return None
+            init_const, init_coeffs = init
+            const = const + init_const * factor
+            for loop, coeff in init_coeffs.items():
+                coeffs[loop] = coeffs.get(loop, Fraction(0)) + coeff * factor
+            coeffs[cls.loop] = coeffs.get(cls.loop, Fraction(0)) + step.constant_value() * factor
+        else:
+            return None
+    return const, coeffs
+
+
+def _resolve_special(
+    result: AnalysisResult, name: str, chain: Tuple[str, ...]
+) -> Optional[SubscriptDescriptor]:
+    """``scale * v + offset`` where ``v`` is periodic/monotonic/wrap-around
+    (or a directionally-monotonic nonlinear IV)."""
+    cls = result.classification_of(name)
+    scale = Fraction(1)
+    offset = Expr.zero()
+    base = name
+
+    # one level of affine wrapping: the subscript may be e.g. ``2*j`` (L22)
+    if isinstance(cls, Invariant) or isinstance(cls, Unknown):
+        return None
+    if isinstance(cls, InductionVariable):
+        direction = cls.direction()
+        if direction in (1, -1):
+            # the degraded view of a nonlinear IV: its own name is the
+            # family (one SSA name always denotes one value per iteration)
+            mono = Monotonic(cls.loop, direction, iv_is_strict(cls), family=name)
+            return SubscriptDescriptor(
+                SubscriptKind.MONOTONIC,
+                chain,
+                cls=mono,
+                base_name=base,
+                scale=scale,
+                offset=offset,
+            )
+        return None
+    if isinstance(cls, Periodic):
+        return SubscriptDescriptor(
+            SubscriptKind.PERIODIC, chain, cls=cls, base_name=base, scale=scale, offset=offset
+        )
+    if isinstance(cls, Monotonic):
+        return SubscriptDescriptor(
+            SubscriptKind.MONOTONIC, chain, cls=cls, base_name=base, scale=scale, offset=offset
+        )
+    if isinstance(cls, WrapAround):
+        return SubscriptDescriptor(
+            SubscriptKind.WRAPAROUND, chain, cls=cls, base_name=base, scale=scale, offset=offset
+        )
+    return None

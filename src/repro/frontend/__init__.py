@@ -1,0 +1,73 @@
+"""Frontend for a small structured loop language.
+
+The paper's examples are written in a Fortran-flavoured pseudocode
+(``loop/endloop``, ``for i = 1 to n loop``, ``if/endif``).  This frontend
+accepts exactly that shape of program, e.g.::
+
+    iml = n
+    L9: for i = 1 to n do
+      A[i] = A[iml] + 1
+      iml = i
+    endfor
+
+Variables read before any assignment (like ``n`` above) become function
+parameters; names used with ``[...]`` are arrays.  Loops may be labelled
+(``L9:``) and the label becomes the loop-header block label, so analysis
+results read like the paper's ("``iml.2`` is a wrap-around variable of
+``L9``").
+
+Pipeline: :func:`parse_program` -> AST -> :func:`lower_program` -> named IR.
+"""
+
+from repro.frontend.lexer import Token, TokenKind, tokenize, FrontendError
+from repro.frontend.ast import (
+    ArrayRef,
+    Assign,
+    BinaryExpr,
+    BoolExpr,
+    Break,
+    CompareExpr,
+    ForLoop,
+    If,
+    IntLit,
+    Loop,
+    Name,
+    NotExpr,
+    Program,
+    Return,
+    Statement,
+    StoreStmt,
+    UnaryExpr,
+    WhileLoop,
+)
+from repro.frontend.parser import parse_program
+from repro.frontend.lower import lower_program
+from repro.frontend.source import compile_source
+
+__all__ = [
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "FrontendError",
+    "ArrayRef",
+    "Assign",
+    "BinaryExpr",
+    "BoolExpr",
+    "Break",
+    "CompareExpr",
+    "ForLoop",
+    "If",
+    "IntLit",
+    "Loop",
+    "Name",
+    "NotExpr",
+    "Program",
+    "Return",
+    "Statement",
+    "StoreStmt",
+    "UnaryExpr",
+    "WhileLoop",
+    "parse_program",
+    "lower_program",
+    "compile_source",
+]

@@ -1,0 +1,139 @@
+"""Tokenizer for the loop language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+
+class FrontendError(Exception):
+    """Raised for lexical and syntactic errors, with source position."""
+
+    def __init__(self, line: int, column: int, message: str):
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class TokenKind(enum.Enum):
+    NAME = "name"
+    NUMBER = "number"
+    KEYWORD = "keyword"
+    OP = "op"
+    NEWLINE = "newline"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "loop",
+    "endloop",
+    "for",
+    "endfor",
+    "to",
+    "downto",
+    "by",
+    "do",
+    "while",
+    "endwhile",
+    "if",
+    "then",
+    "else",
+    "endif",
+    "break",
+    "continue",
+    "return",
+    "and",
+    "or",
+    "not",
+    "mod",
+}
+
+# multi-character operators first (longest match wins)
+_OPERATORS = [
+    "**",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "(",
+    ")",
+    "[",
+    "]",
+    ",",
+    ":",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.value}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize; newlines are significant (statement separators)."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            # collapse consecutive newlines into one token
+            if tokens and tokens[-1].kind is not TokenKind.NEWLINE:
+                tokens.append(Token(TokenKind.NEWLINE, "\n", line, column))
+            i += 1
+            line += 1
+            column = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch == "#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and source[i].isdigit():
+                i += 1
+            tokens.append(Token(TokenKind.NUMBER, source[start:i], line, column))
+            column += i - start
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.NAME
+            tokens.append(Token(kind, text, line, column))
+            column += i - start
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token(TokenKind.OP, op, line, column))
+                i += len(op)
+                column += len(op)
+                break
+        else:
+            raise FrontendError(line, column, f"unexpected character {ch!r}")
+    if tokens and tokens[-1].kind is not TokenKind.NEWLINE:
+        tokens.append(Token(TokenKind.NEWLINE, "\n", line, column))
+    tokens.append(Token(TokenKind.EOF, "", line, column))
+    return tokens

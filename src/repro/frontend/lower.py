@@ -1,0 +1,392 @@
+"""Lowering: AST -> named (pre-SSA) IR.
+
+Conventions that matter to the rest of the system:
+
+* Loop labels from the source (``L18: loop``) become the loop-header block
+  labels, so the classifier's results are phrased exactly like the paper's
+  (``(L18, 1, 1)``).
+* ``for v = lo to hi`` evaluates ``hi`` into a temporary *before* the loop
+  header (once per loop entry), tests ``v <= hi`` (or ``>=`` for ``downto``)
+  at the header, and increments in a dedicated latch block.  The exit test
+  therefore precedes all body code, giving the classical countable-loop
+  shape of section 5.2.
+* ``loop ... endloop`` only exits through ``break``; a ``break`` guarded by
+  ``if`` reproduces the paper's mid-loop exits (Figure 7), where code above
+  the exit runs one more time than code below it.
+* Temporaries are named ``$tN`` -- the ``$`` cannot appear in source
+  identifiers, so there are no collisions.
+* Variables read before any (syntactically preceding) assignment become
+  function parameters; names indexed with ``[...]`` become arrays.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.frontend import ast
+from repro.frontend.lexer import FrontendError
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Assign,
+    BinOp,
+    Branch,
+    Compare,
+    Jump,
+    Load,
+    Return,
+    Store,
+    UnOp,
+)
+from repro.ir.opcodes import BinaryOp, Relation
+from repro.ir.values import Const, Ref, Value
+
+_BINOPS = {
+    "+": BinaryOp.ADD,
+    "-": BinaryOp.SUB,
+    "*": BinaryOp.MUL,
+    "/": BinaryOp.DIV,
+    "%": BinaryOp.MOD,
+    "**": BinaryOp.EXP,
+}
+
+_RELATIONS = {
+    "<": Relation.LT,
+    "<=": Relation.LE,
+    ">": Relation.GT,
+    ">=": Relation.GE,
+    "==": Relation.EQ,
+    "!=": Relation.NE,
+}
+
+
+def analyze_names(program: ast.Program) -> Tuple[List[str], List[str]]:
+    """Infer (params, arrays) from use order, as documented above."""
+    params: List[str] = []
+    arrays: List[str] = []
+    written: Set[str] = set()
+
+    def note_read(name: str) -> None:
+        if name not in written and name not in params:
+            params.append(name)
+
+    def note_array(name: str) -> None:
+        if name not in arrays:
+            arrays.append(name)
+
+    def walk_expr(expr: ast.Expression) -> None:
+        if isinstance(expr, ast.Name):
+            note_read(expr.name)
+        elif isinstance(expr, ast.ArrayRef):
+            note_array(expr.array)
+            for index in expr.indices:
+                walk_expr(index)
+        elif isinstance(expr, ast.BinaryExpr):
+            walk_expr(expr.lhs)
+            walk_expr(expr.rhs)
+        elif isinstance(expr, ast.UnaryExpr):
+            walk_expr(expr.operand)
+
+    def walk_cond(cond: ast.Condition) -> None:
+        if isinstance(cond, ast.CompareExpr):
+            walk_expr(cond.lhs)
+            walk_expr(cond.rhs)
+        elif isinstance(cond, ast.BoolExpr):
+            walk_cond(cond.lhs)
+            walk_cond(cond.rhs)
+        elif isinstance(cond, ast.NotExpr):
+            walk_cond(cond.operand)
+
+    def walk_body(body: List[ast.Statement]) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.Assign):
+                walk_expr(stmt.value)
+                written.add(stmt.target)
+            elif isinstance(stmt, ast.StoreStmt):
+                note_array(stmt.array)
+                for index in stmt.indices:
+                    walk_expr(index)
+                walk_expr(stmt.value)
+            elif isinstance(stmt, ast.If):
+                walk_cond(stmt.condition)
+                walk_body(stmt.then_body)
+                walk_body(stmt.else_body)
+            elif isinstance(stmt, ast.Loop):
+                walk_body(stmt.body)
+            elif isinstance(stmt, ast.WhileLoop):
+                walk_cond(stmt.condition)
+                walk_body(stmt.body)
+            elif isinstance(stmt, ast.ForLoop):
+                walk_expr(stmt.start)
+                walk_expr(stmt.stop)
+                if stmt.step is not None:
+                    walk_expr(stmt.step)
+                written.add(stmt.var)
+                walk_body(stmt.body)
+            elif isinstance(stmt, ast.Return):
+                if stmt.value is not None:
+                    walk_expr(stmt.value)
+
+    walk_body(program.body)
+    clash = set(params) & set(arrays)
+    if clash:
+        raise FrontendError(0, 0, f"names used as both scalar and array: {sorted(clash)}")
+    return params, arrays
+
+
+class _Lowerer:
+    def __init__(self, name: str, program: ast.Program):
+        params, arrays = analyze_names(program)
+        self.function = Function(name, params=params, arrays=arrays)
+        self.arrays = set(arrays)
+        self.scalars: Set[str] = set(params)
+        self.current: BasicBlock = self.function.add_block("entry")
+        self.temp_counter = 0
+        self.loop_counter = 0
+        self.exit_stack: List[str] = []  # break targets
+        self.continue_stack: List[str] = []  # continue targets (latch/header)
+
+    # ------------------------------------------------------------------
+    def temp(self) -> str:
+        self.temp_counter += 1
+        return f"$t{self.temp_counter}"
+
+    def new_block(self, hint: str) -> BasicBlock:
+        return self.function.add_block(self.function.fresh_label(hint))
+
+    def set_current(self, block: BasicBlock) -> None:
+        self.current = block
+
+    def loop_label(self, user_label: Optional[str]) -> str:
+        if user_label is not None:
+            if user_label in self.function.blocks:
+                raise FrontendError(0, 0, f"duplicate loop label {user_label!r}")
+            return user_label
+        self.loop_counter += 1
+        return self.function.fresh_label(f"loop{self.loop_counter}")
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def lower_expr(self, expr: ast.Expression, target: Optional[str] = None) -> Value:
+        """Lower ``expr``; if ``target`` is given, the result is stored there."""
+        if isinstance(expr, ast.IntLit):
+            value: Value = Const(expr.value)
+            if target is not None:
+                self.current.append(Assign(target, value))
+                return Ref(target)
+            return value
+        if isinstance(expr, ast.Name):
+            if expr.name in self.arrays:
+                raise FrontendError(0, 0, f"array {expr.name!r} used as a scalar")
+            self.scalars.add(expr.name)
+            value = Ref(expr.name)
+            if target is not None:
+                self.current.append(Assign(target, value))
+                return Ref(target)
+            return value
+        if isinstance(expr, ast.ArrayRef):
+            indices = [self.lower_expr(i) for i in expr.indices]
+            result = target if target is not None else self.temp()
+            self.current.append(Load(result, expr.array, indices))
+            return Ref(result)
+        if isinstance(expr, ast.BinaryExpr):
+            lhs = self.lower_expr(expr.lhs)
+            rhs = self.lower_expr(expr.rhs)
+            result = target if target is not None else self.temp()
+            self.current.append(BinOp(result, _BINOPS[expr.op], lhs, rhs))
+            return Ref(result)
+        if isinstance(expr, ast.UnaryExpr):
+            operand = self.lower_expr(expr.operand)
+            if isinstance(operand, Const):
+                value = Const(-operand.value)
+                if target is not None:
+                    self.current.append(Assign(target, value))
+                    return Ref(target)
+                return value
+            result = target if target is not None else self.temp()
+            self.current.append(UnOp(result, operand))
+            return Ref(result)
+        raise FrontendError(0, 0, f"cannot lower expression {expr!r}")
+
+    # ------------------------------------------------------------------
+    # conditions (short-circuit)
+    # ------------------------------------------------------------------
+    def lower_condition(self, cond: ast.Condition, true_label: str, false_label: str) -> None:
+        if isinstance(cond, ast.CompareExpr):
+            lhs = self.lower_expr(cond.lhs)
+            rhs = self.lower_expr(cond.rhs)
+            result = self.temp()
+            self.current.append(Compare(result, _RELATIONS[cond.relation], lhs, rhs))
+            self.current.terminator = Branch(Ref(result), true_label, false_label)
+            return
+        if isinstance(cond, ast.NotExpr):
+            self.lower_condition(cond.operand, false_label, true_label)
+            return
+        if isinstance(cond, ast.BoolExpr):
+            if cond.op == "and":
+                mid = self.new_block("and")
+                self.lower_condition(cond.lhs, mid.label, false_label)
+                self.set_current(mid)
+                self.lower_condition(cond.rhs, true_label, false_label)
+            else:
+                mid = self.new_block("or")
+                self.lower_condition(cond.lhs, true_label, mid.label)
+                self.set_current(mid)
+                self.lower_condition(cond.rhs, true_label, false_label)
+            return
+        raise FrontendError(0, 0, f"cannot lower condition {cond!r}")
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def lower_body(self, body: List[ast.Statement]) -> None:
+        for stmt in body:
+            self.lower_statement(stmt)
+
+    def lower_statement(self, stmt: ast.Statement) -> None:
+        if isinstance(stmt, ast.Assign):
+            if stmt.target in self.arrays:
+                raise FrontendError(0, 0, f"array {stmt.target!r} assigned as a scalar")
+            self.scalars.add(stmt.target)
+            self.lower_expr(stmt.value, target=stmt.target)
+        elif isinstance(stmt, ast.StoreStmt):
+            indices = [self.lower_expr(i) for i in stmt.indices]
+            value = self.lower_expr(stmt.value)
+            self.current.append(Store(stmt.array, indices, value))
+        elif isinstance(stmt, ast.If):
+            self.lower_if(stmt)
+        elif isinstance(stmt, ast.Loop):
+            self.lower_loop(stmt)
+        elif isinstance(stmt, ast.WhileLoop):
+            self.lower_while(stmt)
+        elif isinstance(stmt, ast.ForLoop):
+            self.lower_for(stmt)
+        elif isinstance(stmt, ast.Break):
+            if not self.exit_stack:
+                raise FrontendError(0, 0, "break outside of a loop")
+            self.current.terminator = Jump(self.exit_stack[-1])
+            self.set_current(self.new_block("dead"))
+        elif isinstance(stmt, ast.Continue):
+            if not self.continue_stack:
+                raise FrontendError(0, 0, "continue outside of a loop")
+            self.current.terminator = Jump(self.continue_stack[-1])
+            self.set_current(self.new_block("dead"))
+        elif isinstance(stmt, ast.Return):
+            value = self.lower_expr(stmt.value) if stmt.value is not None else None
+            self.current.terminator = Return(value)
+            self.set_current(self.new_block("dead"))
+        else:
+            raise FrontendError(0, 0, f"cannot lower statement {stmt!r}")
+
+    def lower_if(self, stmt: ast.If) -> None:
+        then_block = self.new_block("then")
+        join_block = self.new_block("endif")
+        if stmt.else_body:
+            else_block = self.new_block("else")
+            self.lower_condition(stmt.condition, then_block.label, else_block.label)
+            self.set_current(else_block)
+            self.lower_body(stmt.else_body)
+            self.current.terminator = Jump(join_block.label)
+        else:
+            self.lower_condition(stmt.condition, then_block.label, join_block.label)
+        self.set_current(then_block)
+        self.lower_body(stmt.then_body)
+        self.current.terminator = Jump(join_block.label)
+        self.set_current(join_block)
+
+    def lower_loop(self, stmt: ast.Loop) -> None:
+        header_label = self.loop_label(stmt.label)
+        header = self.function.add_block(header_label)
+        exit_block = self.new_block(f"{header_label}.exit")
+        self.current.terminator = Jump(header_label)
+        self.set_current(header)
+        self.exit_stack.append(exit_block.label)
+        self.continue_stack.append(header_label)
+        self.lower_body(stmt.body)
+        self.continue_stack.pop()
+        self.exit_stack.pop()
+        self.current.terminator = Jump(header_label)
+        self.set_current(exit_block)
+
+    def lower_while(self, stmt: ast.WhileLoop) -> None:
+        header_label = self.loop_label(stmt.label)
+        header = self.function.add_block(header_label)
+        body_block = self.new_block(f"{header_label}.body")
+        exit_block = self.new_block(f"{header_label}.exit")
+        self.current.terminator = Jump(header_label)
+        self.set_current(header)
+        self.lower_condition(stmt.condition, body_block.label, exit_block.label)
+        self.set_current(body_block)
+        self.exit_stack.append(exit_block.label)
+        self.continue_stack.append(header_label)
+        self.lower_body(stmt.body)
+        self.continue_stack.pop()
+        self.exit_stack.pop()
+        self.current.terminator = Jump(header_label)
+        self.set_current(exit_block)
+
+    def lower_for(self, stmt: ast.ForLoop) -> None:
+        if stmt.var in self.arrays:
+            raise FrontendError(0, 0, f"array {stmt.var!r} used as a loop variable")
+        self.scalars.add(stmt.var)
+        # initial value and (once-evaluated) limit & step
+        self.lower_expr(stmt.start, target=stmt.var)
+        limit = self.lower_expr(stmt.stop)
+        if isinstance(limit, Ref) and not limit.name.startswith("$"):
+            # copy into a temp so reassignment of the limit variable in the
+            # body does not change the loop bound (Fortran DO semantics)
+            fresh = self.temp()
+            self.current.append(Assign(fresh, limit))
+            limit = Ref(fresh)
+        if stmt.step is not None:
+            step = self.lower_expr(stmt.step)
+        else:
+            step = Const(-1) if stmt.downward else Const(1)
+        if isinstance(step, Ref) and not step.name.startswith("$"):
+            fresh = self.temp()
+            self.current.append(Assign(fresh, step))
+            step = Ref(fresh)
+
+        header_label = self.loop_label(stmt.label)
+        header = self.function.add_block(header_label)
+        body_block = self.new_block(f"{header_label}.body")
+        latch_block = self.new_block(f"{header_label}.latch")
+        exit_block = self.new_block(f"{header_label}.exit")
+
+        self.current.terminator = Jump(header_label)
+        self.set_current(header)
+        relation = Relation.GE if stmt.downward else Relation.LE
+        cond = self.temp()
+        self.current.append(Compare(cond, relation, Ref(stmt.var), limit))
+        self.current.terminator = Branch(Ref(cond), body_block.label, exit_block.label)
+
+        self.set_current(body_block)
+        self.exit_stack.append(exit_block.label)
+        self.continue_stack.append(latch_block.label)
+        self.lower_body(stmt.body)
+        self.continue_stack.pop()
+        self.exit_stack.pop()
+        self.current.terminator = Jump(latch_block.label)
+
+        self.set_current(latch_block)
+        latch_block.append(BinOp(stmt.var, BinaryOp.ADD, Ref(stmt.var), step))
+        latch_block.terminator = Jump(header_label)
+
+        self.set_current(exit_block)
+
+
+def lower_program(program: ast.Program, name: str = "main") -> Function:
+    """Lower an AST to named IR (with a final implicit ``return``)."""
+    lowerer = _Lowerer(name, program)
+    lowerer.lower_body(program.body)
+    if lowerer.current.terminator is None:
+        lowerer.current.terminator = Return()
+    # any dangling block (e.g. trailing dead block) gets a return
+    for block in lowerer.function:
+        if block.terminator is None:
+            block.terminator = Return()
+    from repro.ir.verify import verify_function
+
+    verify_function(lowerer.function, ssa=False)
+    return lowerer.function

@@ -1,0 +1,344 @@
+"""Recursive-descent parser for the loop language.
+
+Grammar (newline-separated statements)::
+
+    program  :=  { stmt NEWLINE }
+    stmt     :=  [ NAME ':' ] loop | simple
+    loop     :=  'loop' NEWLINE body 'endloop'
+              |  'while' cond 'do' NEWLINE body 'endwhile'
+              |  'for' NAME '=' expr ('to'|'downto') expr ['by' expr] 'do'
+                     NEWLINE body 'endfor'
+    simple   :=  NAME '=' expr
+              |  NAME '[' expr ']' '=' expr
+              |  'if' cond 'then' NEWLINE body ['else' NEWLINE body] 'endif'
+              |  'break' | 'return' [expr]
+    cond     :=  orcond ;  orcond := andcond { 'or' andcond }
+    andcond  :=  notcond { 'and' notcond }
+    notcond  :=  'not' notcond | '(' cond ')' | expr REL expr
+    expr     :=  term  { ('+'|'-') term }
+    term     :=  factor { ('*'|'/'|'%'|'mod') factor }
+    factor   :=  base [ '**' factor ]          (right associative)
+    base     :=  NUMBER | NAME | NAME '[' expr ']' | '(' expr ')' | '-' base
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.frontend import ast
+from repro.frontend.lexer import FrontendError, Token, TokenKind, tokenize
+
+_RELATIONS = {"<", "<=", ">", ">=", "==", "!="}
+_BLOCK_ENDERS = {"endloop", "endwhile", "endfor", "endif", "else"}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def check(self, text: str) -> bool:
+        token = self.peek()
+        return token.kind in (TokenKind.KEYWORD, TokenKind.OP) and token.text == text
+
+    def accept(self, text: str) -> bool:
+        if self.check(text):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        if not self.check(text):
+            token = self.peek()
+            raise FrontendError(
+                token.line, token.column, f"expected {text!r}, found {token.text!r}"
+            )
+        return self.advance()
+
+    def expect_name(self) -> str:
+        token = self.peek()
+        if token.kind is not TokenKind.NAME:
+            raise FrontendError(
+                token.line, token.column, f"expected a name, found {token.text!r}"
+            )
+        return self.advance().text
+
+    def skip_newlines(self) -> None:
+        while self.peek().kind is TokenKind.NEWLINE:
+            self.advance()
+
+    def end_statement(self) -> None:
+        token = self.peek()
+        if token.kind is TokenKind.NEWLINE:
+            self.advance()
+        elif token.kind is not TokenKind.EOF:
+            raise FrontendError(
+                token.line, token.column, f"unexpected {token.text!r} after statement"
+            )
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        body = self.parse_body(until=None)
+        token = self.peek()
+        if token.kind is not TokenKind.EOF:
+            raise FrontendError(token.line, token.column, f"unexpected {token.text!r}")
+        return ast.Program(body)
+
+    def parse_body(self, until: Optional[set]) -> List[ast.Statement]:
+        statements: List[ast.Statement] = []
+        while True:
+            self.skip_newlines()
+            token = self.peek()
+            if token.kind is TokenKind.EOF:
+                if until:
+                    raise FrontendError(
+                        token.line, token.column, f"missing {sorted(until)}"
+                    )
+                return statements
+            if until and token.kind is TokenKind.KEYWORD and token.text in until:
+                return statements
+            if token.kind is TokenKind.KEYWORD and token.text in _BLOCK_ENDERS:
+                raise FrontendError(
+                    token.line, token.column, f"unexpected {token.text!r}"
+                )
+            statements.append(self.parse_statement())
+
+    def parse_statement(self) -> ast.Statement:
+        label: Optional[str] = None
+        if (
+            self.peek().kind is TokenKind.NAME
+            and self.peek(1).kind is TokenKind.OP
+            and self.peek(1).text == ":"
+        ):
+            label = self.advance().text
+            self.expect(":")
+            self.skip_newlines()
+
+        token = self.peek()
+        if token.kind is TokenKind.KEYWORD:
+            if token.text == "loop":
+                return self.parse_loop(label)
+            if token.text == "while":
+                return self.parse_while(label)
+            if token.text == "for":
+                return self.parse_for(label)
+            if label is not None:
+                raise FrontendError(
+                    token.line, token.column, "labels may only precede loops"
+                )
+            if token.text == "if":
+                return self.parse_if()
+            if token.text == "break":
+                self.advance()
+                self.end_statement()
+                return ast.Break()
+            if token.text == "continue":
+                self.advance()
+                self.end_statement()
+                return ast.Continue()
+            if token.text == "return":
+                self.advance()
+                if self.peek().kind in (TokenKind.NEWLINE, TokenKind.EOF):
+                    self.end_statement()
+                    return ast.Return(None)
+                value = self.parse_expression()
+                self.end_statement()
+                return ast.Return(value)
+            raise FrontendError(token.line, token.column, f"unexpected {token.text!r}")
+        if label is not None:
+            raise FrontendError(token.line, token.column, "labels may only precede loops")
+        return self.parse_assignment()
+
+    def parse_loop(self, label: Optional[str]) -> ast.Loop:
+        self.expect("loop")
+        self.end_statement()
+        body = self.parse_body({"endloop"})
+        self.expect("endloop")
+        self.end_statement()
+        return ast.Loop(body, label=label)
+
+    def parse_while(self, label: Optional[str]) -> ast.WhileLoop:
+        self.expect("while")
+        condition = self.parse_condition()
+        self.expect("do")
+        self.end_statement()
+        body = self.parse_body({"endwhile"})
+        self.expect("endwhile")
+        self.end_statement()
+        return ast.WhileLoop(condition, body, label=label)
+
+    def parse_for(self, label: Optional[str]) -> ast.ForLoop:
+        self.expect("for")
+        var = self.expect_name()
+        self.expect("=")
+        start = self.parse_expression()
+        downward = False
+        if self.accept("to"):
+            pass
+        elif self.accept("downto"):
+            downward = True
+        else:
+            token = self.peek()
+            raise FrontendError(
+                token.line, token.column, "expected 'to' or 'downto' in for loop"
+            )
+        stop = self.parse_expression()
+        step = None
+        if self.accept("by"):
+            step = self.parse_expression()
+        self.expect("do")
+        self.end_statement()
+        body = self.parse_body({"endfor"})
+        self.expect("endfor")
+        self.end_statement()
+        return ast.ForLoop(var, start, stop, body, downward=downward, step=step, label=label)
+
+    def parse_if(self) -> ast.If:
+        self.expect("if")
+        condition = self.parse_condition()
+        self.expect("then")
+        self.end_statement()
+        then_body = self.parse_body({"endif", "else"})
+        else_body: List[ast.Statement] = []
+        if self.accept("else"):
+            self.end_statement()
+            else_body = self.parse_body({"endif"})
+        self.expect("endif")
+        self.end_statement()
+        return ast.If(condition, then_body, else_body)
+
+    def parse_assignment(self) -> ast.Statement:
+        target = self.expect_name()
+        if self.accept("["):
+            indices = self.parse_index_list()
+            self.expect("=")
+            value = self.parse_expression()
+            self.end_statement()
+            return ast.StoreStmt(target, indices, value)
+        self.expect("=")
+        value = self.parse_expression()
+        self.end_statement()
+        return ast.Assign(target, value)
+
+    # ------------------------------------------------------------------
+    # conditions
+    # ------------------------------------------------------------------
+    def parse_condition(self) -> ast.Condition:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.Condition:
+        left = self.parse_and()
+        while self.accept("or"):
+            right = self.parse_and()
+            left = ast.BoolExpr("or", left, right)
+        return left
+
+    def parse_and(self) -> ast.Condition:
+        left = self.parse_not()
+        while self.accept("and"):
+            right = self.parse_not()
+            left = ast.BoolExpr("and", left, right)
+        return left
+
+    def parse_not(self) -> ast.Condition:
+        if self.accept("not"):
+            return ast.NotExpr(self.parse_not())
+        # lookahead for a parenthesized *condition* vs an expression
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> ast.Condition:
+        if self.check("("):
+            # could be '(cond)' or the lhs expression '(a+b) < c'; try cond
+            saved = self.pos
+            try:
+                self.expect("(")
+                condition = self.parse_condition()
+                self.expect(")")
+                if not any(self.check(rel) for rel in _RELATIONS):
+                    return condition
+            except FrontendError:
+                pass
+            self.pos = saved
+        lhs = self.parse_expression()
+        for rel in ("<=", ">=", "==", "!=", "<", ">"):
+            if self.accept(rel):
+                rhs = self.parse_expression()
+                return ast.CompareExpr(rel, lhs, rhs)
+        token = self.peek()
+        raise FrontendError(token.line, token.column, "expected a comparison operator")
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def parse_index_list(self) -> tuple:
+        """Comma-separated subscript list after '['; consumes the ']'."""
+        indices = [self.parse_expression()]
+        while self.accept(","):
+            indices.append(self.parse_expression())
+        self.expect("]")
+        return tuple(indices)
+
+    def parse_expression(self) -> ast.Expression:
+        left = self.parse_term()
+        while True:
+            if self.accept("+"):
+                left = ast.BinaryExpr("+", left, self.parse_term())
+            elif self.accept("-"):
+                left = ast.BinaryExpr("-", left, self.parse_term())
+            else:
+                return left
+
+    def parse_term(self) -> ast.Expression:
+        left = self.parse_factor()
+        while True:
+            if self.accept("*"):
+                left = ast.BinaryExpr("*", left, self.parse_factor())
+            elif self.accept("/"):
+                left = ast.BinaryExpr("/", left, self.parse_factor())
+            elif self.accept("%") or self.accept("mod"):
+                left = ast.BinaryExpr("%", left, self.parse_factor())
+            else:
+                return left
+
+    def parse_factor(self) -> ast.Expression:
+        base = self.parse_base()
+        if self.accept("**"):
+            return ast.BinaryExpr("**", base, self.parse_factor())
+        return base
+
+    def parse_base(self) -> ast.Expression:
+        token = self.peek()
+        if token.kind is TokenKind.NUMBER:
+            self.advance()
+            return ast.IntLit(int(token.text))
+        if token.kind is TokenKind.NAME:
+            name = self.advance().text
+            if self.accept("["):
+                return ast.ArrayRef(name, self.parse_index_list())
+            return ast.Name(name)
+        if self.accept("("):
+            inner = self.parse_expression()
+            self.expect(")")
+            return inner
+        if self.accept("-"):
+            return ast.UnaryExpr("-", self.parse_base())
+        raise FrontendError(token.line, token.column, f"unexpected {token.text!r}")
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse source text into an AST."""
+    return _Parser(tokenize(source)).parse_program()

@@ -1,0 +1,20 @@
+"""One-call front half: source text -> loop-simplified named IR."""
+
+from __future__ import annotations
+
+from repro.analysis.loopsimplify import simplify_loops
+from repro.frontend.lower import lower_program
+from repro.frontend.parser import parse_program
+from repro.ir.function import Function
+
+
+def compile_source(source: str, name: str = "main") -> Function:
+    """Parse, lower and canonicalize loops.  The result is named (pre-SSA) IR.
+
+    Use :func:`repro.pipeline.analyze` for the full pipeline through SSA
+    construction and induction-variable classification.
+    """
+    program = parse_program(source)
+    function = lower_program(program, name=name)
+    simplify_loops(function)
+    return function

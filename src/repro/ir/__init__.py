@@ -1,0 +1,72 @@
+"""A small three-address CFG IR.
+
+This is the substrate the paper assumes: "the program is represented by a
+CFG ... each basic block is represented by a linked list of tuples of the
+form (op, left, right, ssalink)" (section 3).  We use a conventional
+object-per-instruction encoding of the same information:
+
+* operands are :class:`~repro.ir.values.Const` or :class:`~repro.ir.values.Ref`;
+* the operator set is the paper's Figure 2 table (AD SB MP DV EX NG PH LD ST
+  LT) plus comparisons and block terminators;
+* a :class:`~repro.ir.function.Function` owns an ordered set of
+  :class:`~repro.ir.basicblock.BasicBlock` with distinguished entry/exit.
+
+The IR exists in two flavours sharing these classes: the *named* form
+produced by the frontend (variables assigned many times, no phis) and the
+*SSA* form produced by :mod:`repro.ssa` (unique definitions plus
+:class:`~repro.ir.instructions.Phi` at joins).
+"""
+
+from repro.ir.opcodes import BinaryOp, Relation
+from repro.ir.values import Const, Ref, Value
+from repro.ir.instructions import (
+    Assign,
+    BinOp,
+    Branch,
+    Compare,
+    Instruction,
+    Jump,
+    Load,
+    Phi,
+    Return,
+    Store,
+    Terminator,
+    UnOp,
+)
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function, IRError
+from repro.ir.builder import FunctionBuilder
+from repro.ir.printer import print_function
+from repro.ir.parser import parse_function
+from repro.ir.verify import verify_function
+from repro.ir.interp import Interpreter, AccessEvent, TraceRecorder
+
+__all__ = [
+    "BinaryOp",
+    "Relation",
+    "Const",
+    "Ref",
+    "Value",
+    "Assign",
+    "BinOp",
+    "Branch",
+    "Compare",
+    "Instruction",
+    "Jump",
+    "Load",
+    "Phi",
+    "Return",
+    "Store",
+    "Terminator",
+    "UnOp",
+    "BasicBlock",
+    "Function",
+    "IRError",
+    "FunctionBuilder",
+    "print_function",
+    "parse_function",
+    "verify_function",
+    "Interpreter",
+    "AccessEvent",
+    "TraceRecorder",
+]

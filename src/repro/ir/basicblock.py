@@ -1,0 +1,54 @@
+"""Basic blocks: a label, a list of instructions, and a terminator."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.ir.instructions import Instruction, Phi, Terminator
+
+
+class BasicBlock:
+    """A straight-line sequence of instructions ending in a terminator.
+
+    Phi instructions, when present (SSA form), must form a prefix of the
+    instruction list; :meth:`phis` and :meth:`body` split on that boundary.
+    """
+
+    __slots__ = ("label", "instructions", "terminator")
+
+    def __init__(self, label: str):
+        if not label:
+            raise ValueError("block label must be non-empty")
+        self.label = label
+        self.instructions: List[Instruction] = []
+        self.terminator: Optional[Terminator] = None
+
+    def append(self, instruction: Instruction) -> Instruction:
+        self.instructions.append(instruction)
+        return instruction
+
+    def phis(self) -> List[Phi]:
+        out = []
+        for inst in self.instructions:
+            if isinstance(inst, Phi):
+                out.append(inst)
+            else:
+                break
+        return out
+
+    def body(self) -> List[Instruction]:
+        return self.instructions[len(self.phis()):]
+
+    def successors(self) -> tuple:
+        if self.terminator is None:
+            return ()
+        return self.terminator.successors()
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock {self.label}: {len(self.instructions)} insts>"

@@ -1,0 +1,122 @@
+"""A convenience builder for constructing IR by hand (tests, examples)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Assign,
+    BinOp,
+    Branch,
+    Compare,
+    Jump,
+    Load,
+    Phi,
+    Return,
+    Store,
+    UnOp,
+)
+from repro.ir.opcodes import BinaryOp, Relation
+
+
+class FunctionBuilder:
+    """Builds a :class:`Function` with a current-insertion-block cursor.
+
+    >>> fb = FunctionBuilder("f", params=["n"])
+    >>> entry = fb.block("entry")
+    >>> fb.assign("i", 0)
+    >>> fb.jump("loop")
+    """
+
+    def __init__(self, name: str, params=(), arrays=()):
+        self.function = Function(name, params=params, arrays=arrays)
+        self._current = None
+        self._temp_counter = 0
+
+    # ------------------------------------------------------------------
+    # cursor
+    # ------------------------------------------------------------------
+    def block(self, label: str):
+        """Create block ``label`` and make it current."""
+        self._current = self.function.add_block(label)
+        return self._current
+
+    def switch_to(self, label: str):
+        """Make an existing block current (to append more instructions)."""
+        self._current = self.function.block(label)
+        return self._current
+
+    @property
+    def current(self):
+        if self._current is None:
+            raise RuntimeError("no current block; call block() first")
+        return self._current
+
+    def temp(self, hint: str = "t") -> str:
+        self._temp_counter += 1
+        return f"{hint}{self._temp_counter}"
+
+    # ------------------------------------------------------------------
+    # instructions
+    # ------------------------------------------------------------------
+    def assign(self, result: str, src) -> str:
+        self.current.append(Assign(result, src))
+        return result
+
+    def binop(self, result: str, op: BinaryOp, lhs, rhs) -> str:
+        self.current.append(BinOp(result, op, lhs, rhs))
+        return result
+
+    def add(self, result: str, lhs, rhs) -> str:
+        return self.binop(result, BinaryOp.ADD, lhs, rhs)
+
+    def sub(self, result: str, lhs, rhs) -> str:
+        return self.binop(result, BinaryOp.SUB, lhs, rhs)
+
+    def mul(self, result: str, lhs, rhs) -> str:
+        return self.binop(result, BinaryOp.MUL, lhs, rhs)
+
+    def div(self, result: str, lhs, rhs) -> str:
+        return self.binop(result, BinaryOp.DIV, lhs, rhs)
+
+    def neg(self, result: str, operand) -> str:
+        self.current.append(UnOp(result, operand))
+        return result
+
+    def phi(self, result: str, incoming: Optional[Dict[str, object]] = None) -> Phi:
+        phi = Phi(result, incoming or {})
+        # phis must prefix the block
+        nphis = len(self.current.phis())
+        self.current.instructions.insert(nphis, phi)
+        return phi
+
+    def load(self, result: str, array: str, index=None) -> str:
+        self.current.append(Load(result, array, index))
+        return result
+
+    def store(self, array: str, index, value) -> None:
+        self.current.append(Store(array, index, value))
+
+    def compare(self, result: str, relation: Relation, lhs, rhs) -> str:
+        self.current.append(Compare(result, relation, lhs, rhs))
+        return result
+
+    # ------------------------------------------------------------------
+    # terminators
+    # ------------------------------------------------------------------
+    def jump(self, target: str) -> None:
+        self.current.terminator = Jump(target)
+
+    def branch(self, cond, true_target: str, false_target: str) -> None:
+        self.current.terminator = Branch(cond, true_target, false_target)
+
+    def ret(self, value=None) -> None:
+        self.current.terminator = Return(value)
+
+    def done(self) -> Function:
+        """Finish and return the function (verifying basic well-formedness)."""
+        from repro.ir.verify import verify_function
+
+        verify_function(self.function, ssa=False)
+        return self.function

@@ -1,0 +1,60 @@
+"""Deep-copying IR functions (transforms keep the original intact)."""
+
+from __future__ import annotations
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Assign,
+    BinOp,
+    Branch,
+    Compare,
+    Jump,
+    Load,
+    Phi,
+    Return,
+    Store,
+    UnOp,
+)
+
+
+def clone_function(function: Function, name: str = None) -> Function:
+    """Structural deep copy (values are immutable and shared)."""
+    out = Function(name or function.name, params=function.params, arrays=function.arrays)
+    for block in function:
+        new_block = out.add_block(block.label)
+        for inst in block:
+            new_block.append(_clone_instruction(inst))
+        new_block.terminator = _clone_terminator(block.terminator)
+    out.entry_label = function.entry_label
+    return out
+
+
+def _clone_instruction(inst):
+    if isinstance(inst, Assign):
+        return Assign(inst.result, inst.src)
+    if isinstance(inst, BinOp):
+        return BinOp(inst.result, inst.op, inst.lhs, inst.rhs)
+    if isinstance(inst, UnOp):
+        return UnOp(inst.result, inst.operand)
+    if isinstance(inst, Phi):
+        return Phi(inst.result, dict(inst.incoming))
+    if isinstance(inst, Load):
+        return Load(inst.result, inst.array, inst.indices)
+    if isinstance(inst, Store):
+        return Store(inst.array, inst.indices, inst.value)
+    if isinstance(inst, Compare):
+        return Compare(inst.result, inst.relation, inst.lhs, inst.rhs)
+    raise TypeError(f"cannot clone {type(inst).__name__}")
+
+
+def _clone_terminator(term):
+    if term is None:
+        return None
+    if isinstance(term, Jump):
+        return Jump(term.target)
+    if isinstance(term, Branch):
+        return Branch(term.cond, term.true_target, term.false_target)
+    if isinstance(term, Return):
+        return Return(term.value)
+    raise TypeError(f"cannot clone terminator {type(term).__name__}")

@@ -1,0 +1,72 @@
+"""Graphviz (DOT) exports of the CFG, the SSA graph and dependence graphs.
+
+Pure string generation (no graphviz dependency); feed the output to
+``dot -Tsvg``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.function import Function
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\l")
+
+
+def cfg_to_dot(function: Function, include_instructions: bool = True) -> str:
+    """The control flow graph, one record node per basic block."""
+    lines = [f'digraph "{function.name}" {{', "  node [shape=box, fontname=monospace];"]
+    for block in function:
+        if include_instructions:
+            body = "\\l".join(_escape(str(inst)) for inst in block.instructions)
+            terminator = _escape(str(block.terminator)) if block.terminator else "?"
+            label = f"{block.label}:\\l{body}\\l{terminator}\\l"
+        else:
+            label = block.label
+        lines.append(f'  "{block.label}" [label="{label}"];')
+    for block in function:
+        for succ in block.successors():
+            lines.append(f'  "{block.label}" -> "{succ}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def ssa_graph_to_dot(function: Function, region: Optional[set] = None) -> str:
+    """The SSA graph of section 3: edges from operators to their operands."""
+    from repro.ssa.graph import build_ssa_graph
+
+    graph = build_ssa_graph(function, region)
+    lines = ['digraph "ssa" {', "  node [shape=ellipse, fontname=monospace];"]
+    for name in graph.nodes():
+        inst = graph.instruction(name)
+        label = _escape(str(inst))
+        lines.append(f'  "{name}" [label="{label}"];')
+    for name in graph.nodes():
+        for succ in graph.successors(name):
+            lines.append(f'  "{name}" -> "{succ}";')
+        for external in graph.external_operands(name):
+            lines.append(
+                f'  "ext:{external}" [label="{external}", shape=plaintext];'
+            )
+            lines.append(f'  "{name}" -> "ext:{external}" [style=dashed];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def dependence_graph_to_dot(graph) -> str:
+    """The dependence graph (flow solid, anti dashed, output dotted)."""
+    styles = {"flow": "solid", "anti": "dashed", "output": "dotted", "input": "dotted"}
+    lines = ['digraph "deps" {', "  node [shape=box, fontname=monospace];"]
+    for ref in graph.refs:
+        lines.append(f'  "{ref!r}" [label="{_escape(repr(ref))}"];')
+    for edge in graph.edges:
+        style = styles.get(edge.kind.value, "solid")
+        label = ", ".join(repr(v) for v in edge.result.directions)
+        lines.append(
+            f'  "{edge.source!r}" -> "{edge.sink!r}" '
+            f'[style={style}, label="{_escape(label)}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""Functions: the control flow graph.
+
+Following section 2.1 of the paper, a function is a graph
+``G = (V, E, Entry, Exit)``: basic blocks, sequential control-flow edges,
+and distinguished entry/exit.  Exit is implicit here -- every block whose
+terminator is a :class:`~repro.ir.instructions.Return` flows to it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.instructions import Instruction, Phi, Ref, Terminator
+
+
+class IRError(Exception):
+    """Raised for malformed IR (duplicate labels, missing blocks, ...)."""
+
+
+class Function:
+    """A named CFG with parameters and array declarations.
+
+    ``params`` are scalar values defined on entry (symbolic inputs);
+    ``arrays`` are names of memory objects referenced by Load/Store.
+    Blocks keep insertion order, which the printer and tests rely on; the
+    entry block is the first one added unless overridden.
+    """
+
+    def __init__(self, name: str, params: Sequence[str] = (), arrays: Sequence[str] = ()):
+        self.name = name
+        self.params: List[str] = list(params)
+        self.arrays: List[str] = list(arrays)
+        self.blocks: Dict[str, BasicBlock] = {}
+        self.entry_label: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # block management
+    # ------------------------------------------------------------------
+    def add_block(self, label: str) -> BasicBlock:
+        if label in self.blocks:
+            raise IRError(f"duplicate block label {label!r}")
+        block = BasicBlock(label)
+        self.blocks[label] = block
+        if self.entry_label is None:
+            self.entry_label = label
+        return block
+
+    def block(self, label: str) -> BasicBlock:
+        try:
+            return self.blocks[label]
+        except KeyError:
+            raise IRError(f"no block labelled {label!r}") from None
+
+    @property
+    def entry(self) -> BasicBlock:
+        if self.entry_label is None:
+            raise IRError("function has no blocks")
+        return self.blocks[self.entry_label]
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks.values())
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    # ------------------------------------------------------------------
+    # graph queries
+    # ------------------------------------------------------------------
+    def successors(self, label: str) -> tuple:
+        return self.block(label).successors()
+
+    def predecessors_map(self) -> Dict[str, List[str]]:
+        """Label -> list of predecessor labels (stable order)."""
+        preds: Dict[str, List[str]] = {label: [] for label in self.blocks}
+        for block in self:
+            for succ in block.successors():
+                if succ not in preds:
+                    raise IRError(
+                        f"block {block.label!r} targets unknown label {succ!r}"
+                    )
+                preds[succ].append(block.label)
+        return preds
+
+    def definitions(self) -> Dict[str, tuple]:
+        """SSA-name -> (block_label, instruction) for every defined value."""
+        defs: Dict[str, tuple] = {}
+        for block in self:
+            for inst in block:
+                if inst.result is not None:
+                    defs[inst.result] = (block.label, inst)
+        return defs
+
+    def instruction_count(self) -> int:
+        return sum(len(block) for block in self)
+
+    # ------------------------------------------------------------------
+    # mutation helpers used by SSA construction and transforms
+    # ------------------------------------------------------------------
+    def split_edge(self, pred_label: str, succ_label: str, new_label: str) -> BasicBlock:
+        """Insert an empty block on the edge ``pred -> succ``.
+
+        Phi incoming labels in ``succ`` are retargeted to the new block.
+        """
+        from repro.ir.instructions import Jump
+
+        pred = self.block(pred_label)
+        succ = self.block(succ_label)
+        if succ_label not in pred.successors():
+            raise IRError(f"no edge {pred_label!r} -> {succ_label!r}")
+        new_block = self.add_block(new_label)
+        new_block.terminator = Jump(succ_label)
+        pred.terminator.retarget(succ_label, new_label)
+        for phi in succ.phis():
+            if pred_label in phi.incoming:
+                phi.incoming[new_label] = phi.incoming.pop(pred_label)
+        return new_block
+
+    def fresh_name(self, hint: str) -> str:
+        """A value name not yet defined anywhere in the function."""
+        taken = set(self.definitions())
+        taken.update(self.params)
+        if hint not in taken:
+            return hint
+        counter = 1
+        while f"{hint}.{counter}" in taken:
+            counter += 1
+        return f"{hint}.{counter}"
+
+    def fresh_label(self, hint: str) -> str:
+        if hint not in self.blocks:
+            return hint
+        counter = 1
+        while f"{hint}.{counter}" in self.blocks:
+            counter += 1
+        return f"{hint}.{counter}"
+
+    def __repr__(self) -> str:
+        return f"<Function {self.name}: {len(self.blocks)} blocks>"

@@ -1,0 +1,332 @@
+"""Instruction classes.
+
+Every non-terminator instruction optionally *defines* a named value
+(``result``); terminators end a basic block.  Instructions expose a uniform
+``uses()`` / ``replace_uses()`` interface so the SSA renamer, the SSA graph
+and the transforms can treat them generically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.ir.opcodes import BinaryOp, Relation
+from repro.ir.values import Const, Ref, Value, as_value
+
+
+class Instruction:
+    """Base class for non-terminator instructions."""
+
+    __slots__ = ("result",)
+
+    result: Optional[str]
+
+    def uses(self) -> List[Value]:
+        """All operand values, in a stable order."""
+        raise NotImplementedError
+
+    def replace_uses(self, mapping: Dict[str, Value]) -> None:
+        """Rewrite ``Ref`` operands through ``mapping`` (in place)."""
+        raise NotImplementedError
+
+    def _subst(self, value: Value, mapping: Dict[str, Value]) -> Value:
+        if isinstance(value, Ref) and value.name in mapping:
+            return mapping[value.name]
+        return value
+
+
+class BinOp(Instruction):
+    """``result = op(lhs, rhs)``."""
+
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, result: str, op: BinaryOp, lhs, rhs):
+        self.result = result
+        self.op = op
+        self.lhs = as_value(lhs)
+        self.rhs = as_value(rhs)
+
+    def uses(self) -> List[Value]:
+        return [self.lhs, self.rhs]
+
+    def replace_uses(self, mapping: Dict[str, Value]) -> None:
+        self.lhs = self._subst(self.lhs, mapping)
+        self.rhs = self._subst(self.rhs, mapping)
+
+    def __str__(self) -> str:
+        return f"%{self.result} = {self.op} {self.lhs}, {self.rhs}"
+
+
+class UnOp(Instruction):
+    """``result = neg(operand)`` (the only unary operator is NG)."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, result: str, operand):
+        self.result = result
+        self.operand = as_value(operand)
+
+    def uses(self) -> List[Value]:
+        return [self.operand]
+
+    def replace_uses(self, mapping: Dict[str, Value]) -> None:
+        self.operand = self._subst(self.operand, mapping)
+
+    def __str__(self) -> str:
+        return f"%{self.result} = neg {self.operand}"
+
+
+class Assign(Instruction):
+    """``result = src``: a copy (also how literals enter named values)."""
+
+    __slots__ = ("src",)
+
+    def __init__(self, result: str, src):
+        self.result = result
+        self.src = as_value(src)
+
+    def uses(self) -> List[Value]:
+        return [self.src]
+
+    def replace_uses(self, mapping: Dict[str, Value]) -> None:
+        self.src = self._subst(self.src, mapping)
+
+    def __str__(self) -> str:
+        return f"%{self.result} = copy {self.src}"
+
+
+class Phi(Instruction):
+    """``result = phi [pred1: v1, pred2: v2, ...]``.
+
+    ``incoming`` maps predecessor block labels to values.  Only present in
+    SSA form; the phi at a loop header is the anchor of every SCR the
+    classifier inspects (section 3.1).
+    """
+
+    __slots__ = ("incoming",)
+
+    def __init__(self, result: str, incoming: Optional[Dict[str, Value]] = None):
+        self.result = result
+        self.incoming: Dict[str, Value] = {}
+        if incoming:
+            for label, value in incoming.items():
+                self.incoming[label] = as_value(value)
+
+    def set_incoming(self, label: str, value) -> None:
+        self.incoming[label] = as_value(value)
+
+    def uses(self) -> List[Value]:
+        return [self.incoming[label] for label in sorted(self.incoming)]
+
+    def replace_uses(self, mapping: Dict[str, Value]) -> None:
+        for label in list(self.incoming):
+            self.incoming[label] = self._subst(self.incoming[label], mapping)
+
+    def __str__(self) -> str:
+        args = ", ".join(f"{label}: {value}" for label, value in sorted(self.incoming.items()))
+        return f"%{self.result} = phi [{args}]"
+
+
+def _as_indices(index) -> Optional[List[Value]]:
+    """Coerce an index argument: None, a single value, or a sequence."""
+    if index is None:
+        return None
+    if isinstance(index, (list, tuple)):
+        return [as_value(v) for v in index]
+    return [as_value(index)]
+
+
+class Load(Instruction):
+    """``result = load array[i1, i2, ...]`` or ``result = load scalar``.
+
+    ``indices is None`` models an unsubscripted (scalar memory) load, whose
+    address is trivially loop invariant -- the case the paper's SCR
+    constraints admit ("any loads and stores are to unsubscripted
+    variables", section 3.1).  Multi-dimensional subscripts (the paper's
+    ``A(i, j)``, ``A(2, *, *)``) are one index value per dimension.
+    """
+
+    __slots__ = ("array", "indices")
+
+    def __init__(self, result: str, array: str, index=None):
+        self.result = result
+        self.array = array
+        self.indices = _as_indices(index)
+
+    @property
+    def index(self) -> Optional[Value]:
+        """The single index of a 1-D reference (None for scalars)."""
+        if self.indices is None:
+            return None
+        if len(self.indices) == 1:
+            return self.indices[0]
+        raise ValueError("multi-dimensional reference has no single index")
+
+    def uses(self) -> List[Value]:
+        return list(self.indices) if self.indices is not None else []
+
+    def replace_uses(self, mapping: Dict[str, Value]) -> None:
+        if self.indices is not None:
+            self.indices = [self._subst(v, mapping) for v in self.indices]
+
+    def __str__(self) -> str:
+        if self.indices is None:
+            return f"%{self.result} = load @{self.array}"
+        subscript = ", ".join(str(v) for v in self.indices)
+        return f"%{self.result} = load @{self.array}[{subscript}]"
+
+
+class Store(Instruction):
+    """``store array[i1, i2, ...], value`` (no result)."""
+
+    __slots__ = ("array", "indices", "value")
+
+    def __init__(self, array: str, index, value):
+        self.result = None
+        self.array = array
+        self.indices = _as_indices(index)
+        self.value = as_value(value)
+
+    @property
+    def index(self) -> Optional[Value]:
+        if self.indices is None:
+            return None
+        if len(self.indices) == 1:
+            return self.indices[0]
+        raise ValueError("multi-dimensional reference has no single index")
+
+    def uses(self) -> List[Value]:
+        out = list(self.indices) if self.indices is not None else []
+        out.append(self.value)
+        return out
+
+    def replace_uses(self, mapping: Dict[str, Value]) -> None:
+        if self.indices is not None:
+            self.indices = [self._subst(v, mapping) for v in self.indices]
+        self.value = self._subst(self.value, mapping)
+
+    def __str__(self) -> str:
+        if self.indices is None:
+            return f"store @{self.array}, {self.value}"
+        subscript = ", ".join(str(v) for v in self.indices)
+        return f"store @{self.array}[{subscript}], {self.value}"
+
+
+class Compare(Instruction):
+    """``result = lhs REL rhs`` producing 0/1."""
+
+    __slots__ = ("relation", "lhs", "rhs")
+
+    def __init__(self, result: str, relation: Relation, lhs, rhs):
+        self.result = result
+        self.relation = relation
+        self.lhs = as_value(lhs)
+        self.rhs = as_value(rhs)
+
+    def uses(self) -> List[Value]:
+        return [self.lhs, self.rhs]
+
+    def replace_uses(self, mapping: Dict[str, Value]) -> None:
+        self.lhs = self._subst(self.lhs, mapping)
+        self.rhs = self._subst(self.rhs, mapping)
+
+    def __str__(self) -> str:
+        return f"%{self.result} = cmp {self.lhs} {self.relation} {self.rhs}"
+
+
+# ----------------------------------------------------------------------
+# terminators
+# ----------------------------------------------------------------------
+class Terminator:
+    """Base class for block terminators."""
+
+    def successors(self) -> Tuple[str, ...]:
+        raise NotImplementedError
+
+    def uses(self) -> List[Value]:
+        return []
+
+    def replace_uses(self, mapping: Dict[str, Value]) -> None:
+        pass
+
+    def retarget(self, old_label: str, new_label: str) -> None:
+        """Replace successor ``old_label`` with ``new_label``."""
+        raise NotImplementedError
+
+    def _subst(self, value: Value, mapping: Dict[str, Value]) -> Value:
+        if isinstance(value, Ref) and value.name in mapping:
+            return mapping[value.name]
+        return value
+
+
+class Jump(Terminator):
+    __slots__ = ("target",)
+
+    def __init__(self, target: str):
+        self.target = target
+
+    def successors(self) -> Tuple[str, ...]:
+        return (self.target,)
+
+    def retarget(self, old_label: str, new_label: str) -> None:
+        if self.target == old_label:
+            self.target = new_label
+
+    def __str__(self) -> str:
+        return f"jump {self.target}"
+
+
+class Branch(Terminator):
+    """``branch cond, true_target, false_target``."""
+
+    __slots__ = ("cond", "true_target", "false_target")
+
+    def __init__(self, cond, true_target: str, false_target: str):
+        self.cond = as_value(cond)
+        self.true_target = true_target
+        self.false_target = false_target
+
+    def successors(self) -> Tuple[str, ...]:
+        if self.true_target == self.false_target:
+            return (self.true_target,)
+        return (self.true_target, self.false_target)
+
+    def uses(self) -> List[Value]:
+        return [self.cond]
+
+    def replace_uses(self, mapping: Dict[str, Value]) -> None:
+        self.cond = self._subst(self.cond, mapping)
+
+    def retarget(self, old_label: str, new_label: str) -> None:
+        if self.true_target == old_label:
+            self.true_target = new_label
+        if self.false_target == old_label:
+            self.false_target = new_label
+
+    def __str__(self) -> str:
+        return f"branch {self.cond}, {self.true_target}, {self.false_target}"
+
+
+class Return(Terminator):
+    __slots__ = ("value",)
+
+    def __init__(self, value=None):
+        self.value = as_value(value) if value is not None else None
+
+    def successors(self) -> Tuple[str, ...]:
+        return ()
+
+    def uses(self) -> List[Value]:
+        return [self.value] if self.value is not None else []
+
+    def replace_uses(self, mapping: Dict[str, Value]) -> None:
+        if self.value is not None:
+            self.value = self._subst(self.value, mapping)
+
+    def retarget(self, old_label: str, new_label: str) -> None:
+        pass
+
+    def __str__(self) -> str:
+        if self.value is None:
+            return "return"
+        return f"return {self.value}"

@@ -1,0 +1,321 @@
+"""A reference interpreter for the IR.
+
+The interpreter serves three purposes in this reproduction:
+
+* **ground truth for classification** -- every closed form the classifier
+  produces can be checked against the actual value sequence of the SSA name
+  (property tests do exactly this);
+* **ground truth for dependence testing** -- the memory trace
+  (:class:`TraceRecorder`) yields the real dependences of an execution, so
+  analysis results can be audited for soundness;
+* **transform validation** -- strength reduction / peeling / substitution
+  must preserve the observable array state.
+
+It executes both the named (pre-SSA) and SSA forms; phis are resolved using
+the dynamically preceding block, evaluated in parallel as usual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.function import Function, IRError
+from repro.ir.instructions import (
+    Assign,
+    BinOp,
+    Branch,
+    Compare,
+    Jump,
+    Load,
+    Phi,
+    Return,
+    Store,
+    UnOp,
+)
+from repro.ir.opcodes import BinaryOp
+from repro.ir.values import Const, Ref, Value
+
+
+class InterpreterError(IRError):
+    """Raised on runtime errors (unbound names, division by zero, fuel)."""
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One dynamic memory access.
+
+    ``iterations`` (when loop tracking is enabled) maps loop-header labels
+    to the 0-based iteration index active at the access -- the ground
+    truth for auditing dependence *direction vectors*.
+    """
+
+    time: int
+    array: str
+    index: Optional[Tuple[int, ...]]
+    is_write: bool
+    block: str
+    position: int
+    iterations: Optional[Tuple[Tuple[str, int], ...]] = None
+
+    def iteration_of(self, header: str) -> Optional[int]:
+        if self.iterations is None:
+            return None
+        for label, h in self.iterations:
+            if label == header:
+                return h
+        return None
+
+    @property
+    def site(self) -> Tuple[str, int]:
+        """Static identity of the accessing instruction."""
+        return (self.block, self.position)
+
+
+class TraceRecorder:
+    """Collects :class:`AccessEvent` objects during execution."""
+
+    def __init__(self) -> None:
+        self.events: List[AccessEvent] = []
+
+    def record(self, event: AccessEvent) -> None:
+        self.events.append(event)
+
+    def conflicts(self) -> List[Tuple[AccessEvent, AccessEvent]]:
+        """All pairs touching the same array element, at least one a write.
+
+        This is the ground-truth dependence relation of the execution
+        (ordered by time: the earlier access first).
+        """
+        by_cell: Dict[Tuple[str, Optional[int]], List[AccessEvent]] = {}
+        for event in self.events:
+            by_cell.setdefault((event.array, event.index), []).append(event)
+        pairs = []
+        for cell_events in by_cell.values():
+            for i, first in enumerate(cell_events):
+                for second in cell_events[i + 1:]:
+                    if first.is_write or second.is_write:
+                        pairs.append((first, second))
+        return pairs
+
+
+@dataclass
+class ExecutionResult:
+    """Final state of an execution."""
+
+    scalars: Dict[str, int]
+    arrays: Dict[str, Dict[int, int]]
+    return_value: Optional[int]
+    steps: int
+    value_history: Dict[str, List[int]] = field(default_factory=dict)
+
+
+class Interpreter:
+    """Executes a function with integer semantics.
+
+    Division truncates toward zero (Fortran/C style), matching the
+    assumptions of the trip-count arithmetic.  ``record_history`` collects
+    the full sequence of values each name is assigned, which the property
+    tests compare against classifier closed forms.
+    """
+
+    def __init__(
+        self,
+        function: Function,
+        fuel: int = 1_000_000,
+        trace: Optional[TraceRecorder] = None,
+        record_history: bool = False,
+        track_loops: Optional[Dict[str, set]] = None,
+    ):
+        self.function = function
+        self.fuel = fuel
+        self.trace = trace
+        self.record_history = record_history
+        # header label -> set of body block labels; enables per-access
+        # iteration stamping in the trace
+        self.track_loops = track_loops
+
+    def run(
+        self,
+        args: Optional[Dict[str, int]] = None,
+        arrays: Optional[Dict[str, Dict[int, int]]] = None,
+    ) -> ExecutionResult:
+        env: Dict[str, int] = {}
+        for param in self.function.params:
+            if args is None or param not in args:
+                raise InterpreterError(f"missing argument for parameter {param!r}")
+            env[param] = int(args[param])
+        if args:
+            unknown = set(args) - set(self.function.params)
+            if unknown:
+                raise InterpreterError(f"unknown arguments: {sorted(unknown)}")
+        memory: Dict[str, Dict[int, int]] = {name: {} for name in self.function.arrays}
+        if arrays:
+            for name, contents in arrays.items():
+                memory.setdefault(name, {}).update(contents)
+        history: Dict[str, List[int]] = {}
+
+        steps = 0
+        time = 0
+        label = self.function.entry_label
+        previous_label: Optional[str] = None
+        return_value: Optional[int] = None
+        loop_iteration: Dict[str, Optional[int]] = (
+            {header: None for header in self.track_loops} if self.track_loops else {}
+        )
+
+        while label is not None:
+            if self.track_loops:
+                for header, body in self.track_loops.items():
+                    if label == header:
+                        if (
+                            previous_label is not None
+                            and previous_label in body
+                            and loop_iteration[header] is not None
+                        ):
+                            loop_iteration[header] += 1  # back edge
+                        else:
+                            loop_iteration[header] = 0  # loop entry
+                    elif label not in body:
+                        loop_iteration[header] = None  # left the loop
+                self._loop_snapshot = tuple(
+                    (h, k) for h, k in loop_iteration.items() if k is not None
+                )
+            block = self.function.block(label)
+            # phis evaluate in parallel against the pre-block environment
+            phis = block.phis()
+            if phis:
+                if previous_label is None:
+                    raise InterpreterError(f"phi in entry block {label!r}")
+                staged = {}
+                for phi in phis:
+                    if previous_label not in phi.incoming:
+                        raise InterpreterError(
+                            f"phi %{phi.result} has no incoming for edge "
+                            f"{previous_label!r} -> {label!r}"
+                        )
+                    staged[phi.result] = self._value(phi.incoming[previous_label], env)
+                env.update(staged)
+                if self.record_history:
+                    for name, value in staged.items():
+                        history.setdefault(name, []).append(value)
+
+            for position, inst in enumerate(block.instructions):
+                if isinstance(inst, Phi):
+                    continue
+                steps += 1
+                if steps > self.fuel:
+                    raise InterpreterError("out of fuel (possible infinite loop)")
+                self._execute(inst, env, memory, history, label, position, time)
+                if isinstance(inst, (Load, Store)):
+                    time += 1
+
+            terminator = block.terminator
+            previous_label = label
+            if isinstance(terminator, Jump):
+                label = terminator.target
+            elif isinstance(terminator, Branch):
+                cond = self._value(terminator.cond, env)
+                label = terminator.true_target if cond else terminator.false_target
+            elif isinstance(terminator, Return):
+                if terminator.value is not None:
+                    return_value = self._value(terminator.value, env)
+                label = None
+            else:
+                raise InterpreterError(f"block {label!r} has no terminator")
+            steps += 1
+            if steps > self.fuel:
+                raise InterpreterError("out of fuel (possible infinite loop)")
+
+        return ExecutionResult(
+            scalars=env,
+            arrays=memory,
+            return_value=return_value,
+            steps=steps,
+            value_history=history,
+        )
+
+    # ------------------------------------------------------------------
+    def _cell(self, indices, env: Dict[str, int]):
+        """Memory cell key: a tuple of index values (() for scalars)."""
+        if indices is None:
+            return ()
+        return tuple(self._value(v, env) for v in indices)
+
+    def _value(self, value: Value, env: Dict[str, int]) -> int:
+        if isinstance(value, Const):
+            return value.value
+        if isinstance(value, Ref):
+            if value.name not in env:
+                raise InterpreterError(f"use of undefined value %{value.name}")
+            return env[value.name]
+        raise InterpreterError(f"bad operand {value!r}")
+
+    def _execute(self, inst, env, memory, history, label, position, time) -> None:
+        result_value: Optional[int] = None
+        snapshot = getattr(self, "_loop_snapshot", None) if self.track_loops else None
+        if isinstance(inst, Assign):
+            result_value = self._value(inst.src, env)
+        elif isinstance(inst, UnOp):
+            result_value = -self._value(inst.operand, env)
+        elif isinstance(inst, BinOp):
+            lhs = self._value(inst.lhs, env)
+            rhs = self._value(inst.rhs, env)
+            result_value = _apply(inst.op, lhs, rhs)
+        elif isinstance(inst, Compare):
+            lhs = self._value(inst.lhs, env)
+            rhs = self._value(inst.rhs, env)
+            result_value = 1 if inst.relation.holds(lhs, rhs) else 0
+        elif isinstance(inst, Load):
+            index = self._cell(inst.indices, env)
+            cells = memory.setdefault(inst.array, {})
+            result_value = cells.get(index, 0)
+            if self.trace is not None:
+                self.trace.record(
+                    AccessEvent(
+                        time, inst.array, index, False, label, position,
+                        iterations=snapshot,
+                    )
+                )
+        elif isinstance(inst, Store):
+            index = self._cell(inst.indices, env)
+            value = self._value(inst.value, env)
+            memory.setdefault(inst.array, {})[index] = value
+            if self.trace is not None:
+                self.trace.record(
+                    AccessEvent(
+                        time, inst.array, index, True, label, position,
+                        iterations=snapshot,
+                    )
+                )
+            return
+        else:
+            raise InterpreterError(f"cannot execute {inst!r}")
+
+        if inst.result is not None:
+            env[inst.result] = result_value
+            if self.record_history:
+                history.setdefault(inst.result, []).append(result_value)
+
+
+def _apply(op: BinaryOp, lhs: int, rhs: int) -> int:
+    if op is BinaryOp.ADD:
+        return lhs + rhs
+    if op is BinaryOp.SUB:
+        return lhs - rhs
+    if op is BinaryOp.MUL:
+        return lhs * rhs
+    if op is BinaryOp.DIV:
+        if rhs == 0:
+            raise InterpreterError("division by zero")
+        quotient = abs(lhs) // abs(rhs)
+        return quotient if (lhs >= 0) == (rhs >= 0) else -quotient
+    if op is BinaryOp.MOD:
+        if rhs == 0:
+            raise InterpreterError("modulo by zero")
+        return lhs - _apply(BinaryOp.DIV, lhs, rhs) * rhs
+    if op is BinaryOp.EXP:
+        if rhs < 0:
+            raise InterpreterError("negative exponent")
+        return lhs**rhs
+    raise InterpreterError(f"unknown operator {op}")

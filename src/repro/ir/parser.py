@@ -1,0 +1,197 @@
+"""Parser for the textual IR form produced by :mod:`repro.ir.printer`.
+
+Useful for writing IR fixtures in tests without the builder, and to verify
+the printer round-trips.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from repro.ir.function import Function, IRError
+from repro.ir.instructions import (
+    Assign,
+    BinOp,
+    Branch,
+    Compare,
+    Jump,
+    Load,
+    Phi,
+    Return,
+    Store,
+    UnOp,
+)
+from repro.ir.opcodes import BinaryOp, Relation
+from repro.ir.values import Const, Ref, Value
+
+_HEADER = re.compile(r"^func\s+(\w+)\s*\(([^)]*)\)(?:\s*arrays\(([^)]*)\))?\s*\{$")
+_LABEL = re.compile(r"^(\w[\w.]*):$")
+_BINOPS = {op.value: op for op in BinaryOp}
+_RELS = {rel.value: rel for rel in Relation}
+
+
+class IRParseError(IRError):
+    """Raised on malformed textual IR."""
+
+    def __init__(self, line_number: int, message: str):
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+def _parse_value(text: str, lineno: int) -> Value:
+    text = text.strip()
+    if text.startswith("%"):
+        return Ref(text[1:])
+    try:
+        return Const(int(text))
+    except ValueError:
+        raise IRParseError(lineno, f"bad operand {text!r}") from None
+
+
+def _split_args(text: str) -> List[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def parse_function(source: str) -> Function:
+    """Parse one function from its textual form."""
+    lines = [(i + 1, line.strip()) for i, line in enumerate(source.splitlines())]
+    lines = [(no, line) for no, line in lines if line and not line.startswith("#")]
+    if not lines:
+        raise IRParseError(0, "empty input")
+
+    lineno, header = lines[0]
+    match = _HEADER.match(header)
+    if not match:
+        raise IRParseError(lineno, f"bad function header: {header!r}")
+    name, params_text, arrays_text = match.groups()
+    params = _split_args(params_text)
+    arrays = _split_args(arrays_text) if arrays_text else []
+    function = Function(name, params=params, arrays=arrays)
+
+    current = None
+    closed = False
+    for lineno, line in lines[1:]:
+        if closed:
+            raise IRParseError(lineno, "content after closing brace")
+        if line == "}":
+            closed = True
+            continue
+        label_match = _LABEL.match(line)
+        if label_match:
+            current = function.add_block(label_match.group(1))
+            continue
+        if current is None:
+            raise IRParseError(lineno, "instruction before first block label")
+        _parse_line(function, current, line, lineno)
+    if not closed:
+        raise IRParseError(lines[-1][0], "missing closing brace")
+    return function
+
+
+def _parse_line(function: Function, block, line: str, lineno: int) -> None:
+    # terminators
+    if line.startswith("jump "):
+        block.terminator = Jump(line[5:].strip())
+        return
+    if line.startswith("branch "):
+        parts = _split_args(line[7:])
+        if len(parts) != 3:
+            raise IRParseError(lineno, "branch needs cond, true, false")
+        block.terminator = Branch(_parse_value(parts[0], lineno), parts[1], parts[2])
+        return
+    if line == "return":
+        block.terminator = Return()
+        return
+    if line.startswith("return "):
+        block.terminator = Return(_parse_value(line[7:], lineno))
+        return
+    if line.startswith("store "):
+        rest = line[6:]
+        target, _, value_text = rest.rpartition(",")
+        if not target:
+            raise IRParseError(lineno, "store needs a target and a value")
+        target = target.strip()
+        value = _parse_value(value_text, lineno)
+        arr_match = re.match(r"^@(\w+)(?:\[(.+)\])?$", target)
+        if not arr_match:
+            raise IRParseError(lineno, f"bad store target {target!r}")
+        array, index_text = arr_match.groups()
+        indices = (
+            [_parse_value(t, lineno) for t in _split_args(index_text)]
+            if index_text
+            else None
+        )
+        block.append(Store(array, indices, value))
+        return
+
+    # definitions: "%name = ..."
+    def_match = re.match(r"^%(\S+)\s*=\s*(.+)$", line)
+    if not def_match:
+        raise IRParseError(lineno, f"unrecognized instruction {line!r}")
+    result, rhs = def_match.groups()
+
+    if rhs.startswith("phi "):
+        body = rhs[4:].strip()
+        if not (body.startswith("[") and body.endswith("]")):
+            raise IRParseError(lineno, "phi arguments must be bracketed")
+        phi = Phi(result)
+        inner = body[1:-1].strip()
+        if inner:
+            for part in inner.split(","):
+                if ":" not in part:
+                    raise IRParseError(lineno, f"bad phi argument {part!r}")
+                label, value_text = part.split(":", 1)
+                phi.set_incoming(label.strip(), _parse_value(value_text, lineno))
+        block.append(phi)
+        return
+    if rhs.startswith("copy "):
+        block.append(Assign(result, _parse_value(rhs[5:], lineno)))
+        return
+    if rhs.startswith("neg "):
+        block.append(UnOp(result, _parse_value(rhs[4:], lineno)))
+        return
+    if rhs.startswith("load "):
+        target = rhs[5:].strip()
+        arr_match = re.match(r"^@(\w+)(?:\[(.+)\])?$", target)
+        if not arr_match:
+            raise IRParseError(lineno, f"bad load source {target!r}")
+        array, index_text = arr_match.groups()
+        indices = (
+            [_parse_value(t, lineno) for t in _split_args(index_text)]
+            if index_text
+            else None
+        )
+        block.append(Load(result, array, indices))
+        return
+    if rhs.startswith("cmp "):
+        body = rhs[4:]
+        for symbol in ("<=", ">=", "==", "!=", "<", ">"):
+            if f" {symbol} " in body:
+                lhs_text, rhs_text = body.split(f" {symbol} ", 1)
+                block.append(
+                    Compare(
+                        result,
+                        _RELS[symbol],
+                        _parse_value(lhs_text, lineno),
+                        _parse_value(rhs_text, lineno),
+                    )
+                )
+                return
+        raise IRParseError(lineno, f"bad comparison {body!r}")
+
+    op_match = re.match(r"^(\w+)\s+(.+)$", rhs)
+    if op_match and op_match.group(1) in _BINOPS:
+        operands = _split_args(op_match.group(2))
+        if len(operands) != 2:
+            raise IRParseError(lineno, "binary op needs two operands")
+        block.append(
+            BinOp(
+                result,
+                _BINOPS[op_match.group(1)],
+                _parse_value(operands[0], lineno),
+                _parse_value(operands[1], lineno),
+            )
+        )
+        return
+    raise IRParseError(lineno, f"unrecognized instruction {line!r}")

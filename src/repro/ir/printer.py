@@ -1,0 +1,41 @@
+"""Textual form of the IR.
+
+The format round-trips through :mod:`repro.ir.parser`:
+
+.. code-block:: text
+
+    func example(n) arrays(A) {
+    entry:
+      %i = copy 0
+      jump loop
+    loop:
+      %i1 = phi [entry: %i, loop: %i2]
+      %i2 = add %i1, 1
+      %c = cmp %i2 > %n
+      branch %c, exit, loop
+    exit:
+      return
+    }
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+
+
+def print_function(function: Function) -> str:
+    """Render a function to its textual form."""
+    header = f"func {function.name}({', '.join(function.params)})"
+    if function.arrays:
+        header += f" arrays({', '.join(function.arrays)})"
+    lines = [header + " {"]
+    for block in function:
+        lines.append(f"{block.label}:")
+        for inst in block:
+            lines.append(f"  {inst}")
+        if block.terminator is not None:
+            lines.append(f"  {block.terminator}")
+        else:
+            lines.append("  <no terminator>")
+    lines.append("}")
+    return "\n".join(lines)

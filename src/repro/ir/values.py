@@ -1,0 +1,50 @@
+"""Operand values: integer constants and references to named values."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class Const:
+    """An integer literal operand (the paper's LT tuples)."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, int) or isinstance(self.value, bool):
+            raise TypeError("Const value must be an int")
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Ref:
+    """A reference to a named value (variable before SSA, SSA name after)."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("Ref name must be non-empty")
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+Value = Union[Const, Ref]
+
+
+def as_value(operand: Union[Value, int, str]) -> Value:
+    """Coerce builder-friendly operands: int -> Const, str -> Ref."""
+    if isinstance(operand, (Const, Ref)):
+        return operand
+    if isinstance(operand, bool):
+        raise TypeError("bool is not a valid IR operand")
+    if isinstance(operand, int):
+        return Const(operand)
+    if isinstance(operand, str):
+        return Ref(operand)
+    raise TypeError(f"cannot use {type(operand).__name__} as an IR operand")

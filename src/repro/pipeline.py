@@ -1,0 +1,120 @@
+"""One-call pipeline: source text -> classified program.
+
+>>> from repro.pipeline import analyze
+>>> program = analyze('''
+... i = 0
+... L1: while i < n do
+...   i = i + 2
+... endwhile
+... ''')
+>>> program.result.describe(program.ssa_name("i", "L1"))
+'(L1, 0, 2)'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.dominators import DominatorTree, dominator_tree
+from repro.analysis.loops import LoopNest, find_loops
+from repro.analysis.loopsimplify import simplify_loops
+from repro.core.driver import AnalysisResult, classify_function
+from repro.frontend.lower import lower_program
+from repro.frontend.parser import parse_program
+from repro.ir.clone import clone_function
+from repro.ir.function import Function
+from repro.ssa.construct import SSAInfo, construct_ssa
+
+
+@dataclass
+class AnalyzedProgram:
+    """Source + all intermediate forms + classification results."""
+
+    source: Optional[str]
+    named_ir: Function  # pre-SSA (kept for the classical baseline / interp)
+    ssa: Function  # SSA form (shares labels with named_ir)
+    ssa_info: SSAInfo
+    domtree: DominatorTree
+    nest: LoopNest
+    result: AnalysisResult
+
+    # ------------------------------------------------------------------
+    def ssa_names(self, var: str) -> List[str]:
+        """All SSA names of one source variable."""
+        return self.ssa_info.names_of(var)
+
+    def ssa_name(self, var: str, loop_header: str) -> str:
+        """The SSA name of ``var`` defined by the phi at ``loop_header``.
+
+        This is "the first member of the family" (section 3.1): the name the
+        paper's tuples describe, e.g. ``i2`` in ``i2 = phi(i1, i3)``.
+        """
+        for phi in self.ssa.block(loop_header).phis():
+            if self.ssa_info.origin.get(phi.result) == var:
+                return phi.result
+        raise KeyError(f"no loop-header phi for {var!r} at {loop_header!r}")
+
+    def classification(self, name: str):
+        return self.result.classification_of(name)
+
+    def describe_all(self) -> Dict[str, str]:
+        """Readable classification of every loop variable."""
+        out = {}
+        for summary in self.result.loops.values():
+            for name, cls in sorted(summary.classifications.items()):
+                out[name] = cls.describe()
+        return out
+
+
+def analyze(source: str, name: str = "main", optimize: bool = True) -> AnalyzedProgram:
+    """Compile and classify a source program.
+
+    ``optimize`` runs SCCP / simplification / copy propagation before
+    classification, resolving constant initial values the way the paper
+    assumes ("the initial value ... can often be evaluated and substituted,
+    using an algorithm such as constant propagation").
+    """
+    program = parse_program(source)
+    named = lower_program(program, name=name)
+    simplify_loops(named)
+    return analyze_function(named, source=source, optimize=optimize)
+
+
+def analyze_function(
+    named: Function, source: Optional[str] = None, optimize: bool = True
+) -> AnalyzedProgram:
+    """Run SSA construction + classification on named IR.
+
+    ``named`` is kept intact (a clone is converted to SSA).
+    """
+    from repro.scalar.copyprop import propagate_copies
+    from repro.scalar.gvn import run_gvn
+    from repro.scalar.sccp import run_sccp
+    from repro.scalar.simplify import simplify_instructions
+
+    ssa = clone_function(named)
+    ssa_info = construct_ssa(ssa)
+    if optimize:
+        from repro.ir.verify import verify_function
+
+        for _ in range(3):
+            run_sccp(ssa)
+            changed = simplify_instructions(ssa)
+            changed += run_gvn(ssa)
+            changed += propagate_copies(ssa)
+            if not changed:
+                break
+        verify_function(ssa, ssa=True)
+    domtree = dominator_tree(ssa)
+    nest = find_loops(ssa, domtree)
+    result = classify_function(ssa, nest, domtree)
+    return AnalyzedProgram(
+        source=source,
+        named_ir=named,
+        ssa=ssa,
+        ssa_info=ssa_info,
+        domtree=domtree,
+        nest=nest,
+        result=result,
+    )

@@ -1,0 +1,91 @@
+"""Human-readable analysis reports.
+
+``format_report(program)`` renders everything the pipeline learned about a
+program -- per-loop classifications (in the paper's tuple notation), trip
+counts, exit values, the dependence graph and per-loop parallelism
+verdicts -- the way a compiler's ``-fdump-loop-analysis`` would.
+Used by the command-line interface (``python -m repro``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.tripcount import TripCountKind
+from repro.dependence.graph import build_dependence_graph
+from repro.dependence.loopinfo import analyze_parallelism
+from repro.pipeline import AnalyzedProgram
+
+
+def format_report(
+    program: AnalyzedProgram,
+    show_temporaries: bool = False,
+    show_dependences: bool = True,
+    show_ir: bool = False,
+) -> str:
+    lines: List[str] = []
+    result = program.result
+
+    if show_ir:
+        from repro.ir.printer import print_function
+
+        lines.append("== SSA form ==")
+        lines.append(print_function(program.ssa))
+        lines.append("")
+
+    if not result.loops:
+        lines.append("no loops found")
+        return "\n".join(lines)
+
+    graph = build_dependence_graph(result) if show_dependences else None
+    parallelism = analyze_parallelism(result, graph) if graph is not None else {}
+
+    for loop in sorted(result.loops.values(), key=lambda s: s.loop.depth):
+        summary = loop
+        header = summary.label
+        indent = "  " * (summary.loop.depth - 1)
+        lines.append(f"{indent}loop {header} (depth {summary.loop.depth}):")
+
+        trip = summary.trip
+        if trip.kind is TripCountKind.FINITE:
+            extra = "" if trip.exact else " (upper bound)"
+            assumption = f"  [{'; '.join(trip.assumptions)}]" if trip.assumptions else ""
+            lines.append(f"{indent}  trip count: {trip.count}{extra}{assumption}")
+        else:
+            lines.append(f"{indent}  trip count: {trip.kind.value}")
+
+        lines.append(f"{indent}  SSA graph size: {summary.graph_size}, "
+                     f"SCRs: {summary.scr_count}")
+
+        for name in sorted(summary.classifications):
+            if not show_temporaries and name.startswith("$"):
+                continue
+            cls = summary.classifications[name]
+            nested = result.nested_describe(name)
+            plain = cls.describe()
+            shown = nested if nested != plain else plain
+            lines.append(f"{indent}  {name:12} {shown}")
+            exit_value = result.exit_value(header, name)
+            if exit_value is not None:
+                lines.append(f"{indent}  {'':12}   exits with {exit_value}")
+
+        verdict = parallelism.get(header)
+        if verdict is not None:
+            if verdict.parallelizable:
+                lines.append(f"{indent}  parallelizable: yes (DOALL)")
+            else:
+                lines.append(
+                    f"{indent}  parallelizable: no "
+                    f"({len(verdict.carried)} carried dependence(s))"
+                )
+        lines.append("")
+
+    if graph is not None:
+        lines.append("== dependence graph ==")
+        if graph.edges:
+            for edge in graph.edges:
+                note = f"   [{edge.result.notes[-1]}]" if edge.result.notes else ""
+                lines.append(f"  {edge!r}{note}")
+        else:
+            lines.append("  no dependences")
+    return "\n".join(lines)

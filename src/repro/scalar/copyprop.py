@@ -1,0 +1,56 @@
+"""Copy propagation on SSA: forward ``x = copy y`` to uses of ``x``.
+
+SSA makes this trivial (a copy's source is unique and dominates every use
+of the copy).  Chains are collapsed transitively.  The copies themselves
+are left in place for :mod:`repro.scalar.dce` to remove.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir.function import Function
+from repro.ir.instructions import Assign
+from repro.ir.values import Const, Ref, Value
+
+
+def propagate_copies(function: Function) -> int:
+    """Replace uses of copy results by their (transitive) sources."""
+    forward: Dict[str, Value] = {}
+    for block in function:
+        for inst in block:
+            if isinstance(inst, Assign):
+                forward[inst.result] = inst.src
+
+    def resolve(value: Value) -> Value:
+        seen = set()
+        while isinstance(value, Ref) and value.name in forward:
+            if value.name in seen:
+                break
+            seen.add(value.name)
+            value = forward[value.name]
+        return value
+
+    mapping: Dict[str, Value] = {}
+    for name in forward:
+        final = resolve(Ref(name))
+        if not (isinstance(final, Ref) and final.name == name):
+            mapping[name] = final
+
+    if not mapping:
+        return 0
+    count = 0
+    for block in function:
+        for inst in block:
+            if isinstance(inst, Assign) and inst.result in mapping:
+                # keep the copy's own source pointing one step (not through
+                # itself) -- harmless either way
+                pass
+            before = [str(u) for u in inst.uses()]
+            inst.replace_uses(mapping)
+            count += sum(
+                1 for b, a in zip(before, (str(u) for u in inst.uses())) if b != a
+            )
+        if block.terminator is not None:
+            block.terminator.replace_uses(mapping)
+    return count

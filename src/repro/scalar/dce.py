@@ -1,0 +1,54 @@
+"""Dead code elimination on SSA.
+
+A definition is live if it (transitively) feeds a store, a return, or a
+branch condition.  Dead definitions are removed; control flow is untouched.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.ir.function import Function
+from repro.ir.instructions import Store
+from repro.ir.values import Ref
+
+
+def eliminate_dead_code(function: Function) -> int:
+    """Delete dead value definitions.  Returns how many were removed."""
+    live: Set[str] = set()
+    worklist: List[str] = []
+
+    def mark(value) -> None:
+        if isinstance(value, Ref) and value.name not in live:
+            live.add(value.name)
+            worklist.append(value.name)
+
+    defs = function.definitions()
+    for block in function:
+        for inst in block:
+            if isinstance(inst, Store):
+                for value in inst.uses():
+                    mark(value)
+        if block.terminator is not None:
+            for value in block.terminator.uses():
+                mark(value)
+
+    while worklist:
+        name = worklist.pop()
+        entry = defs.get(name)
+        if entry is None:
+            continue
+        _, inst = entry
+        for value in inst.uses():
+            mark(value)
+
+    removed = 0
+    for block in function:
+        kept = []
+        for inst in block:
+            if isinstance(inst, Store) or inst.result is None or inst.result in live:
+                kept.append(inst)
+            else:
+                removed += 1
+        block.instructions = kept
+    return removed

@@ -1,0 +1,59 @@
+"""Promotion of unsubscripted memory scalars to registers.
+
+The paper's tuples carry an ``ssalink`` because its compiler kept scalars
+in memory: "load and store operations ... the ssalink [indicates] the
+single reaching SSA name for this variable" and the SCR constraints allow
+"loads and stores to unsubscripted variables" (section 3.1).  Our frontend
+keeps scalars in registers, but IR written by hand (or imported) may use
+``load @x`` / ``store @x, v``.  This pass promotes such memory scalars to
+ordinary variables on the *named* IR — after which SSA construction gives
+them the paper's ssalink for free — making the classifier's rules apply to
+memory-resident counters too.
+
+A memory name is promotable iff **every** access to it in the function is
+unsubscripted (no aliasing is possible: memory objects are identified by
+name).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.ir.function import Function
+from repro.ir.instructions import Assign, Load, Store
+
+
+def promote_scalars(function: Function) -> List[str]:
+    """Rewrite unsubscripted loads/stores into copies (named IR, in place).
+
+    Returns the promoted memory names.  The promoted variable is named
+    ``<array>`` if free, else ``<array>.mem``.
+    """
+    subscripted: Set[str] = set()
+    scalar_use: Set[str] = set()
+    for block in function:
+        for inst in block:
+            if isinstance(inst, (Load, Store)):
+                if inst.indices is None:
+                    scalar_use.add(inst.array)
+                else:
+                    subscripted.add(inst.array)
+
+    promotable = sorted(scalar_use - subscripted)
+    if not promotable:
+        return []
+
+    taken = set(function.definitions()) | set(function.params)
+    names = {}
+    for array in promotable:
+        names[array] = array if array not in taken else function.fresh_name(f"{array}.mem")
+
+    for block in function:
+        for position, inst in enumerate(block.instructions):
+            if isinstance(inst, Load) and inst.array in names and inst.indices is None:
+                block.instructions[position] = Assign(inst.result, names[inst.array])
+            elif isinstance(inst, Store) and inst.array in names and inst.indices is None:
+                block.instructions[position] = Assign(names[inst.array], inst.value)
+
+    function.arrays = [a for a in function.arrays if a not in names]
+    return promotable

@@ -1,0 +1,237 @@
+"""Sparse conditional constant propagation (Wegman & Zadeck [WZ91]).
+
+The classic SSA lattice pass: each SSA name is TOP (unexecuted), a known
+integer constant, or BOTTOM (varying).  Flow edges become executable as
+branches are decided; phi functions only merge over executable edges.
+
+``run_sccp`` computes the lattice; ``apply`` rewrites constant uses to
+:class:`~repro.ir.values.Const` operands (leaving the CFG shape intact --
+we do not delete never-executed branches here, since later passes rely on
+the loop structure; :mod:`repro.scalar.dce` can clean up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Assign,
+    BinOp,
+    Branch,
+    Compare,
+    Jump,
+    Load,
+    Phi,
+    Return,
+    Store,
+    UnOp,
+)
+from repro.ir.interp import _apply as apply_binop  # reference integer semantics
+from repro.ir.opcodes import BinaryOp
+from repro.ir.values import Const, Ref, Value
+
+TOP = "top"
+BOTTOM = "bottom"
+# lattice values: TOP | int | BOTTOM
+
+
+@dataclass
+class SCCPResult:
+    values: Dict[str, object]  # name -> TOP | int | BOTTOM
+    executable_blocks: Set[str] = field(default_factory=set)
+
+    def constant_of(self, name: str) -> Optional[int]:
+        value = self.values.get(name, BOTTOM)
+        if isinstance(value, int):
+            return value
+        return None
+
+
+def run_sccp(function: Function, apply: bool = True) -> SCCPResult:
+    """Run SCCP; if ``apply``, rewrite constant uses in place."""
+    values: Dict[str, object] = {}
+    for name in function.definitions():
+        values[name] = TOP
+    for param in function.params:
+        values[param] = BOTTOM
+
+    executable_edges: Set[Tuple[Optional[str], str]] = set()
+    executable_blocks: Set[str] = set()
+    flow_worklist: List[Tuple[Optional[str], str]] = [(None, function.entry_label)]
+    ssa_worklist: List[str] = []
+
+    uses_of: Dict[str, List[Tuple[str, object]]] = {}
+    for block in function:
+        for inst in block:
+            for value in inst.uses():
+                if isinstance(value, Ref):
+                    uses_of.setdefault(value.name, []).append((block.label, inst))
+        if block.terminator is not None:
+            for value in block.terminator.uses():
+                if isinstance(value, Ref):
+                    uses_of.setdefault(value.name, []).append((block.label, block.terminator))
+
+    def lattice_of(value: Value) -> object:
+        if isinstance(value, Const):
+            return value.value
+        if isinstance(value, Ref):
+            return values.get(value.name, BOTTOM)
+        return BOTTOM
+
+    def meet(a: object, b: object) -> object:
+        if a == TOP:
+            return b
+        if b == TOP:
+            return a
+        if a == b:
+            return a
+        return BOTTOM
+
+    def set_value(name: str, new: object) -> None:
+        old = values.get(name, TOP)
+        merged = meet(old, new)
+        # lattice only ever descends
+        if merged != old:
+            values[name] = merged
+            ssa_worklist.append(name)
+
+    def evaluate(inst, block_label: str) -> None:
+        if isinstance(inst, Phi):
+            acc: object = TOP
+            for pred, value in inst.incoming.items():
+                if (pred, block_label) in executable_edges:
+                    acc = meet(acc, lattice_of(value))
+            set_value(inst.result, acc)
+            return
+        if isinstance(inst, Assign):
+            set_value(inst.result, lattice_of(inst.src))
+            return
+        if isinstance(inst, UnOp):
+            operand = lattice_of(inst.operand)
+            if isinstance(operand, int):
+                set_value(inst.result, -operand)
+            elif operand == BOTTOM:
+                set_value(inst.result, BOTTOM)
+            return
+        if isinstance(inst, BinOp):
+            lhs = lattice_of(inst.lhs)
+            rhs = lattice_of(inst.rhs)
+            if isinstance(lhs, int) and isinstance(rhs, int):
+                try:
+                    set_value(inst.result, apply_binop(inst.op, lhs, rhs))
+                except Exception:
+                    set_value(inst.result, BOTTOM)
+            elif lhs == BOTTOM or rhs == BOTTOM:
+                folded = _algebraic_identity(inst.op, lhs, rhs)
+                set_value(inst.result, folded if folded is not None else BOTTOM)
+            return
+        if isinstance(inst, Compare):
+            lhs = lattice_of(inst.lhs)
+            rhs = lattice_of(inst.rhs)
+            if isinstance(lhs, int) and isinstance(rhs, int):
+                set_value(inst.result, 1 if inst.relation.holds(lhs, rhs) else 0)
+            elif lhs == BOTTOM or rhs == BOTTOM:
+                set_value(inst.result, BOTTOM)
+            return
+        if isinstance(inst, Load):
+            if inst.result is not None:
+                set_value(inst.result, BOTTOM)
+            return
+        # stores define nothing
+
+    def flow_into(pred: Optional[str], label: str) -> None:
+        edge = (pred, label)
+        if edge in executable_edges:
+            # re-evaluate phis: a new edge may refine them -- handled when
+            # the edge is first added; repeated adds are no-ops
+            return
+        flow_worklist.append(edge)
+
+    def process_block(label: str) -> None:
+        block = function.block(label)
+        for inst in block:
+            evaluate(inst, label)
+        terminator = block.terminator
+        if isinstance(terminator, Jump):
+            flow_into(label, terminator.target)
+        elif isinstance(terminator, Branch):
+            cond = lattice_of(terminator.cond)
+            if cond == BOTTOM or cond == TOP:
+                # TOP conservatively treated as both (keeps termination)
+                flow_into(label, terminator.true_target)
+                flow_into(label, terminator.false_target)
+            elif isinstance(cond, int):
+                flow_into(label, terminator.true_target if cond else terminator.false_target)
+        # Return: nothing
+
+    def process_terminator(label: str) -> None:
+        terminator = function.block(label).terminator
+        if isinstance(terminator, Branch):
+            cond = lattice_of(terminator.cond)
+            if cond == BOTTOM:
+                flow_into(label, terminator.true_target)
+                flow_into(label, terminator.false_target)
+            elif isinstance(cond, int):
+                flow_into(
+                    label,
+                    terminator.true_target if cond else terminator.false_target,
+                )
+
+    while flow_worklist or ssa_worklist:
+        if flow_worklist:
+            pred, label = flow_worklist.pop()
+            first_visit = label not in executable_blocks
+            edge_new = (pred, label) not in executable_edges
+            executable_edges.add((pred, label))
+            executable_blocks.add(label)
+            if first_visit:
+                process_block(label)
+            elif edge_new:
+                # only phis need re-evaluation for a new incoming edge
+                for phi in function.block(label).phis():
+                    evaluate(phi, label)
+            continue
+        name = ssa_worklist.pop()
+        for block_label, user in uses_of.get(name, []):
+            if block_label not in executable_blocks:
+                continue
+            if isinstance(user, (Jump, Branch, Return)):
+                process_terminator(block_label)
+            else:
+                evaluate(user, block_label)
+
+    result = SCCPResult(values=values, executable_blocks=executable_blocks)
+    if apply:
+        apply_sccp(function, result)
+    return result
+
+
+def _algebraic_identity(op: BinaryOp, lhs: object, rhs: object) -> Optional[int]:
+    """x*0 = 0 even when x is BOTTOM (and similar)."""
+    if op is BinaryOp.MUL and (lhs == 0 or rhs == 0):
+        return 0
+    if op is BinaryOp.MOD and rhs == 1:
+        return 0
+    return None
+
+
+def apply_sccp(function: Function, result: SCCPResult) -> int:
+    """Rewrite uses of constant names to literal operands.  Returns count."""
+    mapping: Dict[str, Value] = {}
+    for name, value in result.values.items():
+        if isinstance(value, int):
+            mapping[name] = Const(value)
+    if not mapping:
+        return 0
+    count = 0
+    for block in function:
+        for inst in block:
+            before = [str(u) for u in inst.uses()]
+            inst.replace_uses(mapping)
+            after = [str(u) for u in inst.uses()]
+            count += sum(1 for b, a in zip(before, after) if b != a)
+        if block.terminator is not None:
+            block.terminator.replace_uses(mapping)
+    return count

@@ -1,0 +1,21 @@
+"""Static Single Assignment construction, destruction, and the SSA graph.
+
+The paper's algorithm runs on the SSA form of the program (section 2.1,
+following Cytron et al. [CFR+91]): phi placement at iterated dominance
+frontiers, then renaming so that "every use of any variable has exactly one
+reaching definition".  :mod:`repro.ssa.graph` provides the *SSA graph* of
+section 3 -- the def-use structure whose strongly connected regions the
+classifier inspects.
+"""
+
+from repro.ssa.construct import SSAInfo, construct_ssa
+from repro.ssa.destruct import destruct_ssa
+from repro.ssa.graph import SSAGraph, build_ssa_graph
+
+__all__ = [
+    "SSAInfo",
+    "construct_ssa",
+    "destruct_ssa",
+    "SSAGraph",
+    "build_ssa_graph",
+]

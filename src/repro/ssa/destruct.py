@@ -1,0 +1,86 @@
+"""Out-of-SSA translation.
+
+Phi functions are replaced by copies in predecessor blocks.  Copies on each
+edge are *parallel*: the classic lost-copy and swap problems (e.g. the
+paper's periodic variables ``t = j; j = k; k = t`` after SSA) are handled by
+emitting the parallel copy group in dependence order and breaking cycles
+with a temporary.
+
+Critical edges (predecessor with several successors into a block with
+several predecessors) are split first so copies cannot execute on the wrong
+path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instructions import Assign, Phi
+from repro.ir.values import Const, Ref, Value
+
+
+def destruct_ssa(function: Function) -> None:
+    """Replace all phis with copies (in place)."""
+    _split_critical_edges(function)
+
+    # gather parallel copy groups per edge (pred -> block)
+    copies: Dict[Tuple[str, str], List[Tuple[str, Value]]] = {}
+    for block in function:
+        for phi in block.phis():
+            for pred, value in phi.incoming.items():
+                copies.setdefault((pred, block.label), []).append((phi.result, value))
+        block.instructions = [i for i in block.instructions if not isinstance(i, Phi)]
+
+    for (pred_label, _succ), group in copies.items():
+        pred = function.block(pred_label)
+        for dest, src in _sequence_parallel_copies(group, function):
+            pred.append(Assign(dest, src))
+
+
+def _split_critical_edges(function: Function) -> None:
+    preds = function.predecessors_map()
+    for label in list(function.blocks):
+        block = function.block(label)
+        if not block.phis():
+            continue
+        if len(preds[label]) < 2:
+            continue
+        for pred_label in list(preds[label]):
+            if len(function.block(pred_label).successors()) > 1:
+                new_label = function.fresh_label(f"{pred_label}.crit")
+                function.split_edge(pred_label, label, new_label)
+
+
+def _sequence_parallel_copies(
+    group: List[Tuple[str, Value]], function: Function
+) -> List[Tuple[str, Value]]:
+    """Order a parallel copy group; break cycles with temporaries.
+
+    ``group`` is a list of (dest, src) with all dests distinct.  A copy may
+    be emitted once no *pending* copy still reads its destination.
+    """
+    pending = [(dest, src) for dest, src in group if not (isinstance(src, Ref) and src.name == dest)]
+    ordered: List[Tuple[str, Value]] = []
+    while pending:
+        progressed = False
+        for i, (dest, src) in enumerate(pending):
+            dest_read = any(
+                isinstance(other_src, Ref) and other_src.name == dest
+                for j, (_, other_src) in enumerate(pending)
+                if j != i
+            )
+            if not dest_read:
+                ordered.append((dest, src))
+                del pending[i]
+                progressed = True
+                break
+        if not progressed:
+            # cycle: rotate through a temporary
+            dest, src = pending[0]
+            temp = function.fresh_name(f"{dest}.swap")
+            ordered.append((temp, Ref(dest)))
+            for j, (other_dest, other_src) in enumerate(pending):
+                if isinstance(other_src, Ref) and other_src.name == dest:
+                    pending[j] = (other_dest, Ref(temp))
+    return ordered

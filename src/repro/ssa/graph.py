@@ -1,0 +1,77 @@
+"""The SSA graph of section 3.
+
+"When analyzing a loop, the vertices in the SSA graph are the tuples
+representing operations within that loop.  The edges go from each tuple to
+the left and right operands ... Note that the edges go from the operators to
+the source operands."
+
+Concretely: one node per value-defining instruction, identified by its SSA
+name; edges from each node to the defining nodes of its ``Ref`` operands.
+A :class:`SSAGraph` may be restricted to a *region* (a set of block labels,
+i.e. a loop body): edges to definitions outside the region are reported via
+:meth:`external_operands` instead -- those are the values the paper treats
+as loop invariant during classification (section 5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Phi
+from repro.ir.values import Const, Ref
+
+
+class SSAGraph:
+    """Def-use graph over the value-defining instructions of a region."""
+
+    def __init__(
+        self,
+        function: Function,
+        region: Optional[Set[str]] = None,
+    ):
+        self.function = function
+        self.region: Optional[Set[str]] = set(region) if region is not None else None
+        self.defs: Dict[str, Tuple[str, Instruction]] = {}
+        for block in function:
+            if self.region is not None and block.label not in self.region:
+                continue
+            for inst in block:
+                if inst.result is not None:
+                    self.defs[inst.result] = (block.label, inst)
+
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self.defs
+
+    def nodes(self) -> List[str]:
+        return list(self.defs)
+
+    def instruction(self, name: str) -> Instruction:
+        return self.defs[name][1]
+
+    def block_of(self, name: str) -> str:
+        return self.defs[name][0]
+
+    def operand_names(self, name: str) -> List[str]:
+        """Names of all Ref operands (whether or not in the region)."""
+        _, inst = self.defs[name]
+        return [v.name for v in inst.uses() if isinstance(v, Ref)]
+
+    def successors(self, name: str) -> List[str]:
+        """Graph edges: operand definitions *inside* the region."""
+        return [n for n in self.operand_names(name) if n in self.defs]
+
+    def external_operands(self, name: str) -> List[str]:
+        """Ref operands defined outside the region (loop invariant here)."""
+        return [n for n in self.operand_names(name) if n not in self.defs]
+
+    def size(self) -> int:
+        """Node count plus edge count (the paper's 'size of the SSA graph')."""
+        edges = sum(len(self.successors(n)) for n in self.defs)
+        return len(self.defs) + edges
+
+
+def build_ssa_graph(function: Function, region: Optional[Iterable[str]] = None) -> SSAGraph:
+    """Build the SSA graph of a whole function or of one region."""
+    return SSAGraph(function, set(region) if region is not None else None)

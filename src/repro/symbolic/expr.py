@@ -1,0 +1,365 @@
+"""Symbolic polynomial expressions.
+
+Initial values and steps of induction variables are "represented symbolically
+if [they] cannot be determined" (paper, section 2).  The symbolic domain used
+throughout this reproduction is the ring of multivariate polynomials over
+named symbols (SSA value names) with exact rational coefficients.  That is
+rich enough for everything the paper does -- linear combinations of invariant
+names for linear IVs, rational coefficients from matrix inversion for
+polynomial IVs, products for triangular trip counts -- while staying exact.
+
+An :class:`Expr` is immutable and hashable; all operators return new values.
+Division is only supported when exact (by a rational constant, or by an
+expression that divides every term); anything else must be handled by the
+caller (the classifier falls back to ``unknown`` in that case, as the paper's
+algebra of types does).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+
+Rat = Union[int, Fraction]
+# A monomial is a sorted tuple of (symbol, exponent) pairs with exponent >= 1.
+Monomial = Tuple[Tuple[str, int], ...]
+
+_ONE_MONO: Monomial = ()
+
+
+class ExprError(Exception):
+    """Raised for unsupported symbolic operations (inexact division, ...)."""
+
+
+def _as_fraction(value: Rat) -> Fraction:
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    raise ExprError(f"expected int or Fraction, got {type(value).__name__}")
+
+
+def _mono_mul(a: Monomial, b: Monomial) -> Monomial:
+    powers: Dict[str, int] = dict(a)
+    for sym, exp in b:
+        powers[sym] = powers.get(sym, 0) + exp
+    return tuple(sorted((s, e) for s, e in powers.items() if e != 0))
+
+
+def _mono_degree(mono: Monomial) -> int:
+    return sum(exp for _, exp in mono)
+
+
+class Expr:
+    """An immutable multivariate polynomial with Fraction coefficients."""
+
+    __slots__ = ("_terms", "_hash")
+
+    def __init__(self, terms: Optional[Mapping[Monomial, Rat]] = None):
+        clean: Dict[Monomial, Fraction] = {}
+        if terms:
+            for mono, coeff in terms.items():
+                frac = _as_fraction(coeff)
+                if frac != 0:
+                    clean[mono] = frac
+        self._terms = clean
+        self._hash: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def const(value: Rat) -> "Expr":
+        """A constant expression."""
+        return Expr({_ONE_MONO: _as_fraction(value)})
+
+    @staticmethod
+    def sym(name: str) -> "Expr":
+        """A single symbol (an SSA value name, usually)."""
+        if not name:
+            raise ExprError("symbol name must be non-empty")
+        return Expr({((name, 1),): Fraction(1)})
+
+    @staticmethod
+    def zero() -> "Expr":
+        return Expr()
+
+    @staticmethod
+    def one() -> "Expr":
+        return Expr.const(1)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def is_zero(self) -> bool:
+        return not self._terms
+
+    @property
+    def is_constant(self) -> bool:
+        return all(mono == _ONE_MONO for mono in self._terms)
+
+    def constant_value(self) -> Fraction:
+        """The value of a constant expression; raises if symbolic."""
+        if not self.is_constant:
+            raise ExprError(f"{self} is not constant")
+        return self._terms.get(_ONE_MONO, Fraction(0))
+
+    def constant_term(self) -> Fraction:
+        """The coefficient of the constant monomial (0 if absent)."""
+        return self._terms.get(_ONE_MONO, Fraction(0))
+
+    def as_int(self) -> int:
+        """The value of an integer constant expression; raises otherwise."""
+        value = self.constant_value()
+        if value.denominator != 1:
+            raise ExprError(f"{self} is not an integer")
+        return value.numerator
+
+    def free_symbols(self) -> frozenset:
+        syms = set()
+        for mono in self._terms:
+            for name, _ in mono:
+                syms.add(name)
+        return frozenset(syms)
+
+    def degree(self) -> int:
+        """Total degree (0 for constants, including zero)."""
+        if not self._terms:
+            return 0
+        return max(_mono_degree(m) for m in self._terms)
+
+    def degree_in(self, name: str) -> int:
+        """Degree in one particular symbol."""
+        best = 0
+        for mono in self._terms:
+            for sym, exp in mono:
+                if sym == name:
+                    best = max(best, exp)
+        return best
+
+    def coefficient(self, name: str, power: int) -> "Expr":
+        """The coefficient (an Expr in the remaining symbols) of ``name**power``."""
+        if power < 0:
+            raise ExprError("power must be non-negative")
+        out: Dict[Monomial, Fraction] = {}
+        for mono, coeff in self._terms.items():
+            exp_here = 0
+            rest = []
+            for sym, exp in mono:
+                if sym == name:
+                    exp_here = exp
+                else:
+                    rest.append((sym, exp))
+            if exp_here == power:
+                out[tuple(rest)] = out.get(tuple(rest), Fraction(0)) + coeff
+        return Expr(out)
+
+    def as_affine(self) -> Optional[Tuple[Fraction, Dict[str, Fraction]]]:
+        """Decompose as ``c0 + sum coeff[s]*s`` if total degree <= 1.
+
+        Returns ``None`` for non-affine expressions.  This is what dependence
+        testing consumes (subscripts must be linear combinations of IVs).
+        """
+        const = Fraction(0)
+        coeffs: Dict[str, Fraction] = {}
+        for mono, coeff in self._terms.items():
+            if mono == _ONE_MONO:
+                const = coeff
+            elif len(mono) == 1 and mono[0][1] == 1:
+                coeffs[mono[0][0]] = coeff
+            else:
+                return None
+        return const, coeffs
+
+    def terms(self) -> Dict[Monomial, Fraction]:
+        """A copy of the internal monomial -> coefficient map."""
+        return dict(self._terms)
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def _coerce(self, other: Union["Expr", Rat]) -> "Expr":
+        if isinstance(other, Expr):
+            return other
+        if isinstance(other, (int, Fraction)):
+            return Expr.const(other)
+        raise ExprError(f"cannot combine Expr with {type(other).__name__}")
+
+    def __add__(self, other: Union["Expr", Rat]) -> "Expr":
+        rhs = self._coerce(other)
+        out = dict(self._terms)
+        for mono, coeff in rhs._terms.items():
+            out[mono] = out.get(mono, Fraction(0)) + coeff
+        return Expr(out)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Expr":
+        return Expr({mono: -coeff for mono, coeff in self._terms.items()})
+
+    def __sub__(self, other: Union["Expr", Rat]) -> "Expr":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other: Union["Expr", Rat]) -> "Expr":
+        return self._coerce(other) + (-self)
+
+    def __mul__(self, other: Union["Expr", Rat]) -> "Expr":
+        rhs = self._coerce(other)
+        out: Dict[Monomial, Fraction] = {}
+        for m1, c1 in self._terms.items():
+            for m2, c2 in rhs._terms.items():
+                mono = _mono_mul(m1, m2)
+                out[mono] = out.get(mono, Fraction(0)) + c1 * c2
+        return Expr(out)
+
+    __rmul__ = __mul__
+
+    def __pow__(self, power: int) -> "Expr":
+        if not isinstance(power, int) or power < 0:
+            raise ExprError("Expr exponent must be a non-negative int")
+        result = Expr.one()
+        base = self
+        n = power
+        while n:
+            if n & 1:
+                result = result * base
+            base = base * base
+            n >>= 1
+        return result
+
+    def __truediv__(self, other: Union["Expr", Rat]) -> "Expr":
+        rhs = self._coerce(other)
+        if rhs.is_zero:
+            raise ExprError("division by zero")
+        if rhs.is_constant:
+            value = rhs.constant_value()
+            return Expr({mono: coeff / value for mono, coeff in self._terms.items()})
+        quotient = self.try_div(rhs)
+        if quotient is None:
+            raise ExprError(f"inexact symbolic division: ({self}) / ({rhs})")
+        return quotient
+
+    def try_div(self, divisor: "Expr") -> Optional["Expr"]:
+        """Exact polynomial division; ``None`` if the division is inexact.
+
+        Only single-term (monomial) divisors and trial multiplication are
+        attempted -- enough for the classifier's needs (e.g. dividing a step
+        expression by a constant or a single invariant symbol).
+        """
+        if divisor.is_zero:
+            return None
+        if divisor.is_constant:
+            return self / divisor.constant_value()
+        if len(divisor._terms) == 1:
+            (dmono, dcoeff), = divisor._terms.items()
+            out: Dict[Monomial, Fraction] = {}
+            for mono, coeff in self._terms.items():
+                powers = dict(mono)
+                for sym, exp in dmono:
+                    if powers.get(sym, 0) < exp:
+                        return None
+                    powers[sym] -= exp
+                new_mono = tuple(sorted((s, e) for s, e in powers.items() if e != 0))
+                out[new_mono] = out.get(new_mono, Fraction(0)) + coeff / dcoeff
+            return Expr(out)
+        return None
+
+    # ------------------------------------------------------------------
+    # substitution / evaluation
+    # ------------------------------------------------------------------
+    def substitute(self, mapping: Mapping[str, "Expr"]) -> "Expr":
+        """Replace symbols by expressions (simultaneous substitution)."""
+        if not mapping:
+            return self
+        relevant = self.free_symbols() & set(mapping)
+        if not relevant:
+            return self
+        result = Expr.zero()
+        for mono, coeff in self._terms.items():
+            term = Expr.const(coeff)
+            for sym, exp in mono:
+                base = mapping.get(sym)
+                if base is None:
+                    base = Expr.sym(sym)
+                term = term * (base**exp)
+            result = result + term
+        return result
+
+    def evaluate(self, env: Mapping[str, Rat]) -> Fraction:
+        """Numeric evaluation; every free symbol must be bound in ``env``."""
+        total = Fraction(0)
+        for mono, coeff in self._terms.items():
+            value = coeff
+            for sym, exp in mono:
+                if sym not in env:
+                    raise ExprError(f"unbound symbol {sym!r} in evaluation")
+                value *= _as_fraction(env[sym]) ** exp
+            total += value
+        return total
+
+    def rename(self, mapping: Mapping[str, str]) -> "Expr":
+        """Rename symbols (a cheap special case of substitute)."""
+        out: Dict[Monomial, Fraction] = {}
+        for mono, coeff in self._terms.items():
+            new_mono = tuple(sorted((mapping.get(s, s), e) for s, e in mono))
+            out[new_mono] = out.get(new_mono, Fraction(0)) + coeff
+        return Expr(out)
+
+    # ------------------------------------------------------------------
+    # sign reasoning (constants only; conservative elsewhere)
+    # ------------------------------------------------------------------
+    def known_sign(self) -> Optional[int]:
+        """-1, 0 or 1 if the sign is provable; ``None`` otherwise.
+
+        Only constants have a provable sign in this conservative kernel;
+        monotonic classification uses this and simply gives up on symbolic
+        steps, exactly as a production compiler would without range info.
+        """
+        if self.is_zero:
+            return 0
+        if self.is_constant:
+            value = self.constant_value()
+            return -1 if value < 0 else 1
+        return None
+
+    # ------------------------------------------------------------------
+    # dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, Fraction)):
+            return self.is_constant and self.constant_value() == other
+        if not isinstance(other, Expr):
+            return NotImplemented
+        return self._terms == other._terms
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._terms.items()))
+        return self._hash
+
+    def __bool__(self) -> bool:
+        return not self.is_zero
+
+    def __repr__(self) -> str:
+        return f"Expr({self})"
+
+    def __str__(self) -> str:
+        if not self._terms:
+            return "0"
+        parts = []
+        for mono, coeff in sorted(self._terms.items(), key=lambda kv: (_mono_degree(kv[0]), kv[0])):
+            factors = []
+            if mono == _ONE_MONO:
+                factors.append(str(coeff))
+            else:
+                if coeff == -1:
+                    factors.append("-")
+                elif coeff != 1:
+                    factors.append(str(coeff) + "*")
+                factors.append(
+                    "*".join(sym if exp == 1 else f"{sym}^{exp}" for sym, exp in mono)
+                )
+            parts.append("".join(factors))
+        text = " + ".join(parts)
+        return text.replace("+ -", "- ")

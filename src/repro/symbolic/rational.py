@@ -1,0 +1,243 @@
+"""Exact rational matrices.
+
+Section 4.3 of the paper recovers the coefficients of polynomial and
+geometric induction variables by inverting a small integer matrix: "Since the
+entries of the matrix are all integer, the inverse will have only rational
+entries."  This module implements that arithmetic exactly, on top of
+:class:`fractions.Fraction`, with Gauss-Jordan elimination and partial
+pivoting (pivoting only matters for zero pivots here; there is no rounding).
+
+The matrices involved are tiny (order of the polynomial plus one or two), so
+no effort is spent on asymptotics.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, List, Sequence, Union
+
+Rat = Union[int, Fraction]
+
+
+class MatrixError(Exception):
+    """Raised for shape mismatches and singular systems."""
+
+
+def _as_fraction(value: Rat) -> Fraction:
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    raise MatrixError(f"matrix entries must be int or Fraction, got {type(value).__name__}")
+
+
+class Matrix:
+    """A dense matrix of :class:`~fractions.Fraction` entries.
+
+    Instances are immutable from the caller's point of view: all operations
+    return new matrices.
+    """
+
+    __slots__ = ("rows", "ncols", "_data")
+
+    def __init__(self, data: Iterable[Iterable[Rat]]):
+        rows: List[List[Fraction]] = [[_as_fraction(x) for x in row] for row in data]
+        if not rows:
+            raise MatrixError("matrix must have at least one row")
+        width = len(rows[0])
+        if width == 0:
+            raise MatrixError("matrix must have at least one column")
+        for row in rows:
+            if len(row) != width:
+                raise MatrixError("ragged rows in matrix literal")
+        self._data = rows
+        self.rows = len(rows)
+        self.ncols = width
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def identity(n: int) -> "Matrix":
+        """The ``n x n`` identity matrix."""
+        if n <= 0:
+            raise MatrixError("identity size must be positive")
+        return Matrix([[1 if i == j else 0 for j in range(n)] for i in range(n)])
+
+    @staticmethod
+    def vandermonde(points: Sequence[Rat], degree: int) -> "Matrix":
+        """Rows ``[1, x, x**2, ..., x**degree]`` for each point ``x``.
+
+        This is the matrix the paper inverts to find polynomial induction
+        variable coefficients, with ``points = 0, 1, ..., m``.
+        """
+        if degree < 0:
+            raise MatrixError("degree must be non-negative")
+        pts = [_as_fraction(p) for p in points]
+        return Matrix([[p**k for k in range(degree + 1)] for p in pts])
+
+    # ------------------------------------------------------------------
+    # basics
+    # ------------------------------------------------------------------
+    def __getitem__(self, index: tuple) -> Fraction:
+        i, j = index
+        return self._data[i][j]
+
+    def row(self, i: int) -> List[Fraction]:
+        return list(self._data[i])
+
+    def col(self, j: int) -> List[Fraction]:
+        return [row[j] for row in self._data]
+
+    def tolists(self) -> List[List[Fraction]]:
+        return [list(row) for row in self._data]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Matrix):
+            return NotImplemented
+        return self._data == other._data
+
+    def __hash__(self) -> int:
+        return hash(tuple(tuple(row) for row in self._data))
+
+    def __repr__(self) -> str:
+        body = "; ".join(" ".join(str(x) for x in row) for row in self._data)
+        return f"Matrix[{body}]"
+
+    @property
+    def is_square(self) -> bool:
+        return self.rows == self.ncols
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: "Matrix") -> "Matrix":
+        if not isinstance(other, Matrix):
+            return NotImplemented
+        if (self.rows, self.ncols) != (other.rows, other.ncols):
+            raise MatrixError("shape mismatch in matrix addition")
+        return Matrix(
+            [
+                [a + b for a, b in zip(ra, rb)]
+                for ra, rb in zip(self._data, other._data)
+            ]
+        )
+
+    def __sub__(self, other: "Matrix") -> "Matrix":
+        if not isinstance(other, Matrix):
+            return NotImplemented
+        if (self.rows, self.ncols) != (other.rows, other.ncols):
+            raise MatrixError("shape mismatch in matrix subtraction")
+        return Matrix(
+            [
+                [a - b for a, b in zip(ra, rb)]
+                for ra, rb in zip(self._data, other._data)
+            ]
+        )
+
+    def scale(self, factor: Rat) -> "Matrix":
+        f = _as_fraction(factor)
+        return Matrix([[f * x for x in row] for row in self._data])
+
+    def __matmul__(self, other: "Matrix") -> "Matrix":
+        if not isinstance(other, Matrix):
+            return NotImplemented
+        if self.ncols != other.rows:
+            raise MatrixError("shape mismatch in matrix multiplication")
+        out = []
+        for i in range(self.rows):
+            row = []
+            for j in range(other.ncols):
+                acc = Fraction(0)
+                for k in range(self.ncols):
+                    acc += self._data[i][k] * other._data[k][j]
+                row.append(acc)
+            out.append(row)
+        return Matrix(out)
+
+    def mul_vector(self, vector: Sequence[Rat]) -> List[Fraction]:
+        """Matrix-vector product, returning a plain list."""
+        if len(vector) != self.ncols:
+            raise MatrixError("vector length does not match matrix width")
+        vec = [_as_fraction(v) for v in vector]
+        return [sum((row[k] * vec[k] for k in range(self.ncols)), Fraction(0)) for row in self._data]
+
+    def transpose(self) -> "Matrix":
+        return Matrix([[self._data[i][j] for i in range(self.rows)] for j in range(self.ncols)])
+
+    # ------------------------------------------------------------------
+    # elimination
+    # ------------------------------------------------------------------
+    def inverse(self) -> "Matrix":
+        """Gauss-Jordan inverse.  Raises :class:`MatrixError` if singular."""
+        if not self.is_square:
+            raise MatrixError("only square matrices can be inverted")
+        n = self.rows
+        work = [list(row) + [Fraction(1) if i == j else Fraction(0) for j in range(n)] for i, row in enumerate(self._data)]
+        for col in range(n):
+            pivot_row = None
+            for r in range(col, n):
+                if work[r][col] != 0:
+                    pivot_row = r
+                    break
+            if pivot_row is None:
+                raise MatrixError("matrix is singular")
+            work[col], work[pivot_row] = work[pivot_row], work[col]
+            pivot = work[col][col]
+            work[col] = [x / pivot for x in work[col]]
+            for r in range(n):
+                if r != col and work[r][col] != 0:
+                    factor = work[r][col]
+                    work[r] = [a - factor * b for a, b in zip(work[r], work[col])]
+        return Matrix([row[n:] for row in work])
+
+    def solve(self, rhs: Sequence[Rat]) -> List[Fraction]:
+        """Solve ``A x = rhs`` for square ``A`` by elimination."""
+        if not self.is_square:
+            raise MatrixError("solve requires a square matrix")
+        if len(rhs) != self.rows:
+            raise MatrixError("right-hand side has wrong length")
+        n = self.rows
+        work = [list(row) + [_as_fraction(rhs[i])] for i, row in enumerate(self._data)]
+        for col in range(n):
+            pivot_row = None
+            for r in range(col, n):
+                if work[r][col] != 0:
+                    pivot_row = r
+                    break
+            if pivot_row is None:
+                raise MatrixError("matrix is singular")
+            work[col], work[pivot_row] = work[pivot_row], work[col]
+            pivot = work[col][col]
+            work[col] = [x / pivot for x in work[col]]
+            for r in range(n):
+                if r != col and work[r][col] != 0:
+                    factor = work[r][col]
+                    work[r] = [a - factor * b for a, b in zip(work[r], work[col])]
+        return [work[i][n] for i in range(n)]
+
+    def determinant(self) -> Fraction:
+        """Determinant by fraction-free-ish elimination (exact anyway)."""
+        if not self.is_square:
+            raise MatrixError("determinant requires a square matrix")
+        n = self.rows
+        work = [list(row) for row in self._data]
+        det = Fraction(1)
+        for col in range(n):
+            pivot_row = None
+            for r in range(col, n):
+                if work[r][col] != 0:
+                    pivot_row = r
+                    break
+            if pivot_row is None:
+                return Fraction(0)
+            if pivot_row != col:
+                work[col], work[pivot_row] = work[pivot_row], work[col]
+                det = -det
+            pivot = work[col][col]
+            det *= pivot
+            for r in range(col + 1, n):
+                if work[r][col] != 0:
+                    factor = work[r][col] / pivot
+                    work[r] = [a - factor * b for a, b in zip(work[r], work[col])]
+        return det

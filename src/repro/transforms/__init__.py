@@ -1,0 +1,34 @@
+"""Transformations consuming the classification.
+
+* :mod:`repro.transforms.strengthreduce` -- the classical consumer
+  ("induction variable recognition is inextricably linked to the strength
+  reduction transformation", section 1): multiplications of linear IVs by
+  invariants become additive recurrences.
+* :mod:`repro.transforms.ivsubst` -- induction variable substitution:
+  rewrite IV updates as closed forms of a fresh canonical counter,
+  removing cross-iteration scalar recurrences.
+* :mod:`repro.transforms.peel` -- first-iteration peeling, "the standard
+  compiler trick, once a wrap-around variable is found" (section 4.1);
+  after peeling the classifier sees a plain IV.
+* :mod:`repro.transforms.normalize` -- loop normalization (section 6.1),
+  implemented to demonstrate that the IV-based representation is the same
+  whether or not the source loop was normalized.
+"""
+
+from repro.transforms.materialize import materialize_expr
+from repro.transforms.strengthreduce import strength_reduce
+from repro.transforms.ivsubst import substitute_induction_variables
+from repro.transforms.peel import peel_first_iteration
+from repro.transforms.normalize import normalize_loop
+from repro.transforms.licm import hoist_invariants
+from repro.transforms.unroll import fully_unroll
+
+__all__ = [
+    "hoist_invariants",
+    "fully_unroll",
+    "materialize_expr",
+    "strength_reduce",
+    "substitute_induction_variables",
+    "peel_first_iteration",
+    "normalize_loop",
+]

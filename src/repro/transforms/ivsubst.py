@@ -1,0 +1,93 @@
+"""Induction variable substitution.
+
+Rewrites every linear-IV definition in a loop as a closed-form computation
+``init + step * h`` of one fresh canonical counter ``h = (L, 0, 1)``.
+After the pass the only cross-iteration scalar recurrence left is the
+counter itself -- which is what lets a parallelizer privatize the rest.
+This is the inverse view of strength reduction, and the transformation
+the paper's representation ``(L, init, step)`` implicitly performs.
+
+Runs on SSA form; definitions whose init/step cannot be materialized
+(opaque invariants, rational coefficients) are left alone.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.loops import Loop
+from repro.core.classes import InductionVariable
+from repro.core.driver import AnalysisResult
+from repro.ir.function import Function
+from repro.ir.instructions import Assign, BinOp, Phi
+from repro.ir.opcodes import BinaryOp
+from repro.ir.values import Const, Ref
+from repro.transforms.materialize import MaterializeError, materialize_expr
+
+
+def substitute_induction_variables(
+    function: Function, analysis: AnalysisResult, loop: Loop
+) -> List[str]:
+    """Rewrite linear IVs of ``loop`` in closed form.  Returns rewritten names."""
+    preheader_label = loop.preheader(function)
+    if preheader_label is None or len(loop.latches) != 1:
+        return []
+    summary = analysis.loops.get(loop.header)
+    if summary is None:
+        return []
+    header = function.block(loop.header)
+    latch = function.block(loop.latches[0])
+
+    # candidates first (the counter phi we add must not itself be rewritten);
+    # only the loop's own region -- names in nested loops are summarized by
+    # exit values in `summary` and must not be rewritten here
+    own_blocks = set(loop.body)
+    for child in loop.children:
+        own_blocks -= child.body
+    candidates = []
+    for label in sorted(own_blocks):
+        block = function.block(label)
+        for position, inst in enumerate(block.instructions):
+            if inst.result is None:
+                continue
+            cls = summary.classifications.get(inst.result)
+            if not (isinstance(cls, InductionVariable) and cls.is_linear):
+                continue
+            if isinstance(inst, Phi) and block.label == loop.header:
+                continue  # keep loop-header phis: they feed the recurrence
+            candidates.append((block, position, inst, cls))
+    if not candidates:
+        return []
+
+    counter = function.fresh_name(f"{loop.header}.h")
+    counter_next = function.fresh_name(f"{loop.header}.hn")
+    header.instructions.insert(
+        0,
+        Phi(counter, {preheader_label: Const(0), latch.label: Ref(counter_next)}),
+    )
+    latch.append(BinOp(counter_next, BinaryOp.ADD, Ref(counter), 1))
+
+    rewritten: List[str] = []
+    for block, position, inst, cls in candidates:
+        init = cls.form.coeff(0)
+        step = cls.form.coeff(1)
+        try:
+            # value = init + step * h, inserted in place of the definition
+            insert_at = block.instructions.index(inst)
+            step_value, nxt = materialize_expr(
+                function, block, insert_at, step, hint=f"ivs.{inst.result}.s"
+            )
+            scaled = function.fresh_name(f"${inst.result}.sh")
+            block.instructions.insert(
+                nxt, BinOp(scaled, BinaryOp.MUL, step_value, Ref(counter))
+            )
+            init_value, nxt2 = materialize_expr(
+                function, block, nxt + 1, init, hint=f"ivs.{inst.result}.i"
+            )
+            block.instructions[nxt2] = BinOp(
+                inst.result, BinaryOp.ADD, init_value, Ref(scaled)
+            )
+        except MaterializeError:
+            continue
+        rewritten.append(inst.result)
+    return rewritten

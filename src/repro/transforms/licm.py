@@ -1,0 +1,101 @@
+"""Loop-invariant code motion, driven by the classification.
+
+A pure computation classified :class:`~repro.core.classes.Invariant` in a
+loop produces the same value on every iteration; if its block executes on
+every iteration (dominates the latches) it can be hoisted to the
+preheader.  This is the third classical consumer of the analysis (after
+strength reduction and IV substitution): the paper's classification gives
+the invariance facts for free, no separate reaching-definitions pass.
+
+Loads are hoisted only when the loop provably does not store to the array
+(the same condition under which the classifier marked them invariant).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.dominators import dominator_tree
+from repro.analysis.loops import Loop
+from repro.core.classes import Invariant
+from repro.core.driver import AnalysisResult
+from repro.ir.function import Function
+from repro.ir.instructions import Assign, BinOp, Compare, Load, Phi, UnOp
+from repro.ir.opcodes import BinaryOp
+from repro.ir.values import Ref
+
+
+HOISTABLE = (Assign, BinOp, UnOp, Load, Compare)
+
+
+def hoist_invariants(
+    function: Function, analysis: AnalysisResult, loop: Loop
+) -> List[str]:
+    """Hoist invariant computations of ``loop`` into its preheader.
+
+    Returns the hoisted value names (in hoist order).  Runs on SSA form;
+    the result remains valid SSA (a hoisted definition dominates strictly
+    more of the function than before).
+    """
+    preheader_label = loop.preheader(function)
+    if preheader_label is None:
+        return []
+    summary = analysis.loops.get(loop.header)
+    if summary is None:
+        return []
+    preheader = function.block(preheader_label)
+    domtree = dominator_tree(function)
+
+    own_blocks = set(loop.body)
+    for child in loop.children:
+        own_blocks -= child.body
+
+    hoisted: List[str] = []
+    moved = set()
+
+    def operands_available(inst) -> bool:
+        """All operands must be defined outside the loop or already moved."""
+        for value in inst.uses():
+            if not isinstance(value, Ref):
+                continue
+            block = analysis._def_block.get(value.name)
+            if block is None or block not in loop.body:
+                continue
+            if value.name not in moved:
+                return False
+        return True
+
+    changed = True
+    while changed:
+        changed = False
+        for label in sorted(own_blocks):
+            block = function.block(label)
+            for inst in list(block.instructions):
+                if inst.result is None or inst.result in moved:
+                    continue
+                if not isinstance(inst, HOISTABLE) or isinstance(inst, Phi):
+                    continue
+                if isinstance(inst, BinOp) and inst.op in (
+                    BinaryOp.DIV,
+                    BinaryOp.MOD,
+                    BinaryOp.EXP,
+                ):
+                    # potentially trapping: executing it when the loop would
+                    # have run zero iterations changes behaviour
+                    continue
+                cls = summary.classifications.get(inst.result)
+                if not isinstance(cls, Invariant):
+                    continue
+                # must execute every iteration (else hoisting may introduce
+                # a computation -- harmless for our pure ops, but a trapping
+                # divide would change behaviour; be uniformly careful)
+                if not all(domtree.dominates(label, latch) for latch in loop.latches):
+                    continue
+                if not operands_available(inst):
+                    continue
+                block.instructions.remove(inst)
+                preheader.instructions.append(inst)
+                moved.add(inst.result)
+                hoisted.append(inst.result)
+                changed = True
+    return hoisted

@@ -1,0 +1,77 @@
+"""Materializing symbolic expressions as IR instructions.
+
+The analysis works with :class:`~repro.symbolic.expr.Expr` values over SSA
+names; transforms that introduce new computations (strength-reduction
+initializers, exit values, normalized bounds) must turn those expressions
+back into instructions.  Only expressions with integer coefficients over
+plain SSA names can be materialized -- opaque invariants (``$k...``) name
+computations whose defining instruction is elsewhere, and rational
+coefficients have no integer IR form; both raise.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import BinOp, Instruction
+from repro.ir.opcodes import BinaryOp
+from repro.ir.values import Const, Ref, Value
+from repro.symbolic.expr import Expr
+
+
+class MaterializeError(Exception):
+    """Raised when an expression has no direct IR encoding."""
+
+
+def materialize_expr(
+    function: Function,
+    block: BasicBlock,
+    position: int,
+    expr: Expr,
+    hint: str = "mat",
+) -> Tuple[Value, int]:
+    """Insert instructions computing ``expr`` at ``block.instructions[position]``.
+
+    Returns ``(value, next_position)``; ``value`` is a Const for constant
+    expressions (no instructions emitted).
+    """
+    instructions: List[Instruction] = []
+
+    def fresh() -> str:
+        return function.fresh_name(f"${hint}{len(instructions)}")
+
+    def emit(op: BinaryOp, lhs: Value, rhs: Value) -> Value:
+        name = fresh()
+        instructions.append(BinOp(name, op, lhs, rhs))
+        return Ref(name)
+
+    def const_value(fraction) -> Value:
+        if fraction.denominator != 1:
+            raise MaterializeError(f"non-integer coefficient {fraction} in {expr}")
+        return Const(fraction.numerator)
+
+    total: Value = None  # type: ignore[assignment]
+    for mono, coeff in sorted(expr.terms().items()):
+        # build the monomial product
+        term: Value = None  # type: ignore[assignment]
+        for sym, power in mono:
+            if sym.startswith("$k"):
+                raise MaterializeError(f"opaque invariant {sym} cannot be rebuilt")
+            for _ in range(power):
+                factor: Value = Ref(sym)
+                term = factor if term is None else emit(BinaryOp.MUL, term, factor)
+        if term is None:
+            term = const_value(coeff)
+        elif coeff == -1:
+            term = emit(BinaryOp.SUB, Const(0), term)
+        elif coeff != 1:
+            term = emit(BinaryOp.MUL, const_value(coeff), term)
+        total = term if total is None else emit(BinaryOp.ADD, total, term)
+    if total is None:
+        total = Const(0)
+
+    for offset, inst in enumerate(instructions):
+        block.instructions.insert(position + offset, inst)
+    return total, position + len(instructions)

@@ -1,0 +1,144 @@
+"""Loop normalization (section 6.1).
+
+"Loop normalization is a linear transformation on the index set of a for
+loop to change the sequence of values of the loop variable to start at zero
+... with a step of one."  The paper argues the transformation is largely
+obsolete under IV-based analysis (the representation *implicitly*
+normalizes); we implement it anyway so the L23/L24 experiment can show
+both source forms produce identical classifications.
+
+Operates on the named IR, on loops in the shape the frontend emits for
+``for`` statements::
+
+    pre:     v = <init> ; ...
+    header:  t = cmp v <= <limit> ; branch t, body, exit
+    latch:   v = v + <step-const> ; jump header
+
+and rewrites to ``t0 = 0 ; t0 <= (limit - init) / step ; t0 = t0 + 1`` with
+``v`` recomputed as ``init + t0 * step`` at the top of the body.  The
+division is emitted as an integer DIV instruction, exactly like the
+paper's ``(n-2)/3`` example.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.loops import find_loops
+from repro.ir.function import Function, IRError
+from repro.ir.instructions import Assign, BinOp, Branch, Compare
+from repro.ir.opcodes import BinaryOp, Relation
+from repro.ir.values import Const, Ref, Value
+
+
+def normalize_loop(function: Function, header: str) -> Optional[str]:
+    """Normalize the counted loop at ``header``; returns the new counter
+    variable name, or None if the loop does not match the counted shape."""
+    nest = find_loops(function)
+    loop = nest.loop_of_header(header)
+    if loop is None:
+        raise IRError(f"no loop headed at {header!r}")
+    if len(loop.latches) != 1:
+        return None
+    preheader_label = loop.preheader(function)
+    if preheader_label is None:
+        return None
+
+    header_block = function.block(header)
+    latch = function.block(loop.latches[0])
+
+    # match the counted-loop shape
+    if not (
+        len(header_block.instructions) >= 1
+        and isinstance(header_block.instructions[-1], Compare)
+        and isinstance(header_block.terminator, Branch)
+    ):
+        return None
+    compare = header_block.instructions[-1]
+    if compare.relation not in (Relation.LE, Relation.GE):
+        return None
+    if not isinstance(compare.lhs, Ref):
+        return None
+    var = compare.lhs.name
+    limit = compare.rhs
+
+    increments = [
+        inst
+        for inst in latch.instructions
+        if isinstance(inst, BinOp) and inst.result == var and inst.op is BinaryOp.ADD
+    ]
+    if len(increments) != 1:
+        return None
+    increment = increments[0]
+    if isinstance(increment.lhs, Ref) and increment.lhs.name == var:
+        step_value = increment.rhs
+    elif isinstance(increment.rhs, Ref) and increment.rhs.name == var:
+        step_value = increment.lhs
+    else:
+        return None
+    if not isinstance(step_value, Const) or step_value.value == 0:
+        return None
+    step = step_value.value
+    if (step > 0) != (compare.relation is Relation.LE):
+        return None
+
+    # the initial value: last assignment of `var` in the preheader chain
+    init = _initial_value(function, preheader_label, var)
+    if init is None:
+        return None
+
+    counter = function.fresh_name(f"{header}.norm")
+    preheader = function.block(preheader_label)
+
+    # preheader: counter = 0 ; bound = (limit - init) / step, with a
+    # zero-trip guard -- integer division truncates toward zero, so a
+    # negative difference would otherwise yield bound 0 (one spurious trip)
+    bound = function.fresh_name(f"{header}.bound")
+    diff = function.fresh_name(f"{header}.diff")
+    guard = function.fresh_name(f"{header}.guard")
+    preheader.append(Assign(counter, Const(0)))
+    preheader.append(BinOp(diff, BinaryOp.SUB, limit, init))
+    preheader.append(BinOp(bound, BinaryOp.DIV, diff, Const(step)))
+    guard_relation = Relation.LE if step > 0 else Relation.GE
+    preheader.append(Compare(guard, guard_relation, init, limit))
+    exit_target = (
+        header_block.terminator.false_target
+        if header_block.terminator.true_target in loop.body
+        else header_block.terminator.true_target
+    )
+    preheader.terminator = Branch(Ref(guard), header, exit_target)
+
+    # header: compare the counter against the normalized bound
+    header_block.instructions[-1] = Compare(
+        compare.result, Relation.LE, Ref(counter), Ref(bound)
+    )
+
+    # body entry: recompute var = init + counter * step
+    body_label = header_block.terminator.true_target
+    body = function.block(body_label)
+    scaled = function.fresh_name(f"{header}.scaled")
+    body.instructions.insert(0, BinOp(scaled, BinaryOp.MUL, Ref(counter), Const(step)))
+    body.instructions.insert(1, BinOp(var, BinaryOp.ADD, init, Ref(scaled)))
+
+    # latch: advance the counter instead of var
+    position = latch.instructions.index(increment)
+    latch.instructions[position] = BinOp(counter, BinaryOp.ADD, Ref(counter), Const(1))
+    return counter
+
+
+def _initial_value(function: Function, preheader_label: str, var: str) -> Optional[Value]:
+    """The value assigned to ``var`` on entry (scanned up the preheader)."""
+    label = preheader_label
+    visited = set()
+    preds = function.predecessors_map()
+    while label is not None and label not in visited:
+        visited.add(label)
+        block = function.block(label)
+        for inst in reversed(block.instructions):
+            if inst.result == var:
+                if isinstance(inst, Assign):
+                    return inst.src
+                return None
+        incoming = preds.get(label, [])
+        label = incoming[0] if len(incoming) == 1 else None
+    return None

@@ -1,0 +1,69 @@
+"""First-iteration loop peeling.
+
+"The standard compiler trick, once a wrap-around variable is found, is to
+peel off the first iteration of the loop and replace the wrap-around
+variable with the appropriate induction variable" (section 4.1).
+
+Runs on the *named* (pre-SSA) IR, where copying blocks needs no phi
+surgery: every loop block is cloned with a ``.peel`` suffix; in the clones,
+back edges to the header are redirected to the *original* header, and the
+preheader enters the clone.  Exits from the clone keep their original
+targets, so zero- and one-trip loops remain correct (the cloned exit test
+runs first).
+
+After peeling (and re-running the pipeline), a first-order wrap-around's
+initial value comes from the peeled iteration and "fits the induction
+sequence": the classifier collapses it to a plain IV -- tested in
+``tests/transforms/test_peel.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.loops import Loop, find_loops
+from repro.ir.clone import _clone_instruction, _clone_terminator
+from repro.ir.function import Function, IRError
+
+
+def peel_first_iteration(function: Function, header: str) -> List[str]:
+    """Peel one iteration of the loop headed at ``header`` (named IR).
+
+    Returns the labels of the cloned blocks.  Requires a canonical loop
+    (dedicated preheader; run ``simplify_loops`` first).
+    """
+    for block in function:
+        for inst in block:
+            from repro.ir.instructions import Phi
+
+            if isinstance(inst, Phi):
+                raise IRError("peel_first_iteration runs on named (pre-SSA) IR")
+
+    nest = find_loops(function)
+    loop = nest.loop_of_header(header)
+    if loop is None:
+        raise IRError(f"no loop headed at {header!r}")
+    preheader = loop.preheader(function)
+    if preheader is None:
+        raise IRError(f"loop {header!r} has no dedicated preheader (run simplify_loops)")
+
+    mapping: Dict[str, str] = {}
+    for label in sorted(loop.body):
+        mapping[label] = function.fresh_label(f"{label}.peel")
+
+    for label in sorted(loop.body):
+        source = function.block(label)
+        clone = function.add_block(mapping[label])
+        for inst in source:
+            clone.append(_clone_instruction(inst))
+        clone.terminator = _clone_terminator(source.terminator)
+        # redirect: in-loop targets to clones, except the back edge to the
+        # header, which enters the original loop (second iteration onward)
+        for succ in list(clone.successors()):
+            if succ == header:
+                continue  # back edge: fall into the original loop
+            if succ in mapping:
+                clone.terminator.retarget(succ, mapping[succ])
+
+    function.block(preheader).terminator.retarget(header, mapping[header])
+    return [mapping[label] for label in sorted(loop.body)]

@@ -1,0 +1,141 @@
+"""Strength reduction of linear induction variable multiplications.
+
+"The most common candidates for strength reduction (and therefore the most
+important induction variable candidates) are array address calculations in
+inner loops" (section 1).  For each in-loop multiplication ``t = m * c``
+where ``m`` is a linear IV of the loop (closed form ``init + step*h`` with
+materializable ``init``/``step``) and ``c`` is loop invariant, we create
+
+* in the preheader:  ``t0 = init * c``
+* at the header:     ``t.phi = phi(preheader: t0, latch: t.next)``
+* in the latch:      ``t.next = t.phi + step * c``
+
+and replace the multiplication by a copy of ``t.phi`` plus the member's
+constant offset.  Runs on SSA form; the result stays valid SSA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.loops import Loop
+from repro.core.algebra import class_closed_form
+from repro.core.classes import InductionVariable, Invariant
+from repro.core.driver import AnalysisResult
+from repro.ir.function import Function
+from repro.ir.instructions import Assign, BinOp, Phi
+from repro.ir.opcodes import BinaryOp
+from repro.ir.values import Const, Ref, Value
+from repro.symbolic.expr import Expr
+from repro.transforms.materialize import MaterializeError, materialize_expr
+
+
+@dataclass
+class ReducedMultiply:
+    """Record of one reduced multiplication."""
+
+    instruction_result: str
+    loop: str
+    new_phi: str
+
+
+def strength_reduce(
+    function: Function, analysis: AnalysisResult, loop: Loop
+) -> List[ReducedMultiply]:
+    """Reduce all eligible multiplications in ``loop``.  Returns records."""
+    preheader_label = loop.preheader(function)
+    if preheader_label is None or len(loop.latches) != 1:
+        return []
+    preheader = function.block(preheader_label)
+    latch = function.block(loop.latches[0])
+    header = function.block(loop.header)
+    summary = analysis.loops.get(loop.header)
+    if summary is None:
+        return []
+
+    # only the loop's own region: names inside nested loops are summarized
+    # by exit values in `summary`, which describe post-loop values, not the
+    # per-iteration values a reduction would need
+    own_blocks = set(loop.body)
+    for child in loop.children:
+        own_blocks -= child.body
+
+    reduced: List[ReducedMultiply] = []
+    for label in sorted(own_blocks):
+        block = function.block(label)
+        for position, inst in enumerate(block.instructions):
+            if not (isinstance(inst, BinOp) and inst.op is BinaryOp.MUL):
+                continue
+            candidate = _match(analysis, summary, inst, own_blocks)
+            if candidate is None:
+                continue
+            init_expr, step_expr = candidate
+            try:
+                record = _reduce_one(
+                    function, loop, preheader, header, latch, inst, init_expr, step_expr
+                )
+            except MaterializeError:
+                continue
+            block.instructions[position] = Assign(inst.result, Ref(record.new_phi))
+            reduced.append(record)
+    return reduced
+
+
+def _match(analysis, summary, inst: BinOp, own_blocks):
+    """``iv * invariant``: returns (init*c, step*c) as Exprs, or None."""
+
+    def classify(value: Value):
+        if isinstance(value, Const):
+            return Invariant(Expr.const(value.value))
+        defining = analysis._def_block.get(value.name)
+        if defining is not None and defining in own_blocks:
+            cls = summary.classifications.get(value.name)
+            if cls is not None:
+                return cls
+            return None
+        if defining is not None and defining in summary.loop.body:
+            return None  # defined in a nested loop: not invariant here
+        return Invariant(Expr.sym(value.name))
+
+    lhs = classify(inst.lhs)
+    rhs = classify(inst.rhs)
+    if lhs is None or rhs is None:
+        return None
+    iv, inv = None, None
+    if isinstance(lhs, InductionVariable) and isinstance(rhs, Invariant):
+        iv, inv = lhs, rhs
+    elif isinstance(rhs, InductionVariable) and isinstance(lhs, Invariant):
+        iv, inv = rhs, lhs
+    if iv is None or not iv.is_linear:
+        return None
+    return iv.form.coeff(0) * inv.expr, iv.form.coeff(1) * inv.expr
+
+
+def _reduce_one(
+    function: Function,
+    loop: Loop,
+    preheader,
+    header,
+    latch,
+    inst: BinOp,
+    init_expr: Expr,
+    step_expr: Expr,
+) -> ReducedMultiply:
+    base = inst.result
+    # initializer in the preheader (before its terminator)
+    init_value, _ = materialize_expr(
+        function, preheader, len(preheader.instructions), init_expr, hint=f"sr.{base}.i"
+    )
+    phi_name = function.fresh_name(f"{base}.sr")
+    next_name = function.fresh_name(f"{base}.srn")
+
+    # increment in the latch
+    step_value, position = materialize_expr(
+        function, latch, len(latch.instructions), step_expr, hint=f"sr.{base}.s"
+    )
+    latch.instructions.insert(position, BinOp(next_name, BinaryOp.ADD, Ref(phi_name), step_value))
+
+    phi = Phi(phi_name, {preheader.label: init_value, latch.label: Ref(next_name)})
+    header.instructions.insert(0, phi)
+    return ReducedMultiply(base, loop.header, phi_name)

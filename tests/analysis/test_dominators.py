@@ -1,0 +1,111 @@
+"""Tests for dominator computation."""
+
+import pytest
+
+from repro.analysis.dominators import dominator_tree
+from repro.ir.function import IRError
+from repro.ir.parser import parse_function
+
+DIAMOND = """
+func f(c) {
+entry:
+  branch %c, left, right
+left:
+  jump join
+right:
+  jump join
+join:
+  return
+}
+"""
+
+LOOP = """
+func f(c) {
+entry:
+  jump header
+header:
+  branch %c, body, exit
+body:
+  jump header
+exit:
+  return
+}
+"""
+
+# the classic irreducible-ish / multi-path example
+COMPLEX = """
+func f(c) {
+a:
+  branch %c, b, c
+b:
+  jump d
+c:
+  branch %c, d, e
+d:
+  branch %c, e, b
+e:
+  return
+}
+"""
+
+
+class TestDiamond:
+    def test_idoms(self):
+        f = parse_function(DIAMOND)
+        dt = dominator_tree(f)
+        assert dt.immediate_dominator("left") == "entry"
+        assert dt.immediate_dominator("right") == "entry"
+        assert dt.immediate_dominator("join") == "entry"
+        assert dt.immediate_dominator("entry") is None
+
+    def test_dominates(self):
+        dt = dominator_tree(parse_function(DIAMOND))
+        assert dt.dominates("entry", "join")
+        assert dt.dominates("join", "join")
+        assert not dt.dominates("left", "join")
+        assert not dt.strictly_dominates("join", "join")
+
+    def test_dominators_of(self):
+        dt = dominator_tree(parse_function(DIAMOND))
+        assert dt.dominators_of("join") == ["join", "entry"]
+
+
+class TestLoop:
+    def test_header_dominates_body(self):
+        dt = dominator_tree(parse_function(LOOP))
+        assert dt.dominates("header", "body")
+        assert dt.dominates("header", "exit")
+        assert not dt.dominates("body", "exit")
+
+
+class TestComplex:
+    def test_all_dominated_by_entry(self):
+        dt = dominator_tree(parse_function(COMPLEX))
+        for label in "abcde":
+            assert dt.dominates("a", label)
+
+    def test_e_not_dominated_by_intermediates(self):
+        dt = dominator_tree(parse_function(COMPLEX))
+        assert dt.immediate_dominator("e") == "a"
+        assert dt.immediate_dominator("d") == "a"
+        assert dt.immediate_dominator("b") == "a"
+
+
+class TestStructure:
+    def test_preorder_starts_at_entry(self):
+        dt = dominator_tree(parse_function(COMPLEX))
+        order = dt.preorder()
+        assert order[0] == "a"
+        assert set(order) == {"a", "b", "c", "d", "e"}
+
+    def test_unreachable_blocks_excluded(self):
+        f = parse_function(
+            "func f() {\nentry:\n  return\ndead:\n  jump dead\n}"
+        )
+        dt = dominator_tree(f)
+        with pytest.raises(IRError):
+            dt.dominates("entry", "dead")
+
+    def test_children_partition(self):
+        dt = dominator_tree(parse_function(DIAMOND))
+        assert sorted(dt.children["entry"]) == ["join", "left", "right"]

@@ -1,0 +1,237 @@
+"""Tests for dominance frontiers, natural loops, RPO, liveness, postdom."""
+
+from repro.analysis.domfrontier import dominance_frontiers, iterated_frontier
+from repro.analysis.dominators import dominator_tree
+from repro.analysis.liveness import live_in_sets
+from repro.analysis.loops import find_loops
+from repro.analysis.loopsimplify import simplify_loops
+from repro.analysis.postdom import VIRTUAL_EXIT, postdominator_tree
+from repro.analysis.rpo import postorder, reachable_blocks, reverse_postorder
+from repro.frontend.source import compile_source
+from repro.ir.parser import parse_function
+
+NESTED = """
+func f(c) {
+entry:
+  jump outer
+outer:
+  branch %c, inner, exit
+inner:
+  branch %c, inner, outer_latch
+outer_latch:
+  jump outer
+exit:
+  return
+}
+"""
+
+
+class TestRPO:
+    def test_rpo_topological_for_dag(self):
+        f = parse_function(
+            "func f(c) {\na:\n  branch %c, b, c\nb:\n  jump d\nc:\n  jump d\nd:\n  return\n}"
+        )
+        rpo = reverse_postorder(f)
+        assert rpo[0] == "a" and rpo[-1] == "d"
+
+    def test_postorder_reverse_relationship(self):
+        f = parse_function(NESTED)
+        assert list(reversed(postorder(f))) == reverse_postorder(f)
+
+    def test_reachable(self):
+        f = parse_function("func f() {\na:\n  return\nzombie:\n  jump zombie\n}")
+        assert reachable_blocks(f) == {"a"}
+
+
+class TestFrontiers:
+    def test_diamond_frontier(self):
+        f = parse_function(
+            "func f(c) {\nentry:\n  branch %c, l, r\nl:\n  jump j\nr:\n  jump j\nj:\n  return\n}"
+        )
+        dt = dominator_tree(f)
+        df = dominance_frontiers(f, dt)
+        assert df["l"] == {"j"}
+        assert df["r"] == {"j"}
+        assert df["entry"] == set()
+
+    def test_loop_header_in_own_frontier(self):
+        f = parse_function(NESTED)
+        dt = dominator_tree(f)
+        df = dominance_frontiers(f, dt)
+        assert "outer" in df["outer"]  # back edge makes the header its own frontier
+        assert "inner" in df["inner"]
+
+    def test_iterated_frontier(self):
+        f = parse_function(NESTED)
+        df = dominance_frontiers(f, dominator_tree(f))
+        result = iterated_frontier(df, {"inner"})
+        assert "inner" in result and "outer" in result
+
+
+class TestLoops:
+    def test_nested_loops_found(self):
+        nest = find_loops(parse_function(NESTED))
+        assert len(nest) == 2
+        outer = nest.loop_of_header("outer")
+        inner = nest.loop_of_header("inner")
+        assert inner.parent is outer
+        assert outer.parent is None
+        assert inner.depth == 2
+
+    def test_bodies(self):
+        nest = find_loops(parse_function(NESTED))
+        outer = nest.loop_of_header("outer")
+        assert outer.body == {"outer", "inner", "outer_latch"}
+        inner = nest.loop_of_header("inner")
+        assert inner.body == {"inner"}
+
+    def test_innermost(self):
+        nest = find_loops(parse_function(NESTED))
+        assert nest.innermost("inner").header == "inner"
+        assert nest.innermost("outer_latch").header == "outer"
+        assert nest.innermost("exit") is None
+
+    def test_inner_to_outer_order(self):
+        nest = find_loops(parse_function(NESTED))
+        order = [l.header for l in nest.inner_to_outer()]
+        assert order.index("inner") < order.index("outer")
+
+    def test_exits_and_latches(self):
+        f = parse_function(NESTED)
+        nest = find_loops(f)
+        outer = nest.loop_of_header("outer")
+        assert outer.exit_edges(f) == [("outer", "exit")]
+        assert outer.latches == ["outer_latch"]
+
+    def test_no_loops(self):
+        f = parse_function("func f() {\na:\n  return\n}")
+        assert len(find_loops(f)) == 0
+
+
+class TestLoopSimplify:
+    def test_preheader_inserted(self):
+        # two entries into the header
+        f = parse_function(
+            """
+func f(c) {
+entry:
+  branch %c, header, side
+side:
+  jump header
+header:
+  branch %c, header, exit
+exit:
+  return
+}
+"""
+        )
+        assert simplify_loops(f)
+        nest = find_loops(f)
+        loop = nest.loop_of_header("header")
+        assert loop.preheader(f) is not None
+
+    def test_latch_merged(self):
+        f = parse_function(
+            """
+func f(c) {
+entry:
+  jump header
+header:
+  branch %c, a, exit
+a:
+  branch %c, header, b
+b:
+  jump header
+exit:
+  return
+}
+"""
+        )
+        simplify_loops(f)
+        nest = find_loops(f)
+        loop = nest.loop_of_header("header")
+        assert len(loop.latches) == 1
+
+    def test_frontend_output_already_canonical(self):
+        f = compile_source(
+            "i = 0\nL1: for i = 1 to n do\n  x = i\nendfor"
+        )
+        assert not simplify_loops(f)  # nothing to do
+
+
+class TestLiveness:
+    def test_live_in(self):
+        f = parse_function(
+            """
+func f(n) {
+entry:
+  %a = copy 1
+  jump next
+next:
+  %b = add %a, %n
+  return %b
+}
+"""
+        )
+        live = live_in_sets(f)
+        assert "a" in live["next"] and "n" in live["next"]
+        assert "a" not in live["entry"]
+
+    def test_loop_carried_liveness(self):
+        f = compile_source("i = 0\nL1: loop\n  i = i + 1\n  if i > n then\n    break\n  endif\nendloop")
+        live = live_in_sets(f)
+        assert "i" in live["L1"]
+
+
+class TestPostdom:
+    def test_virtual_exit_root(self):
+        f = parse_function(NESTED)
+        pdt = postdominator_tree(f)
+        assert pdt.entry == VIRTUAL_EXIT
+        assert pdt.dominates(VIRTUAL_EXIT, "entry")
+
+    def test_join_postdominates_branches(self):
+        f = parse_function(
+            "func f(c) {\nentry:\n  branch %c, l, r\nl:\n  jump j\nr:\n  jump j\nj:\n  return\n}"
+        )
+        pdt = postdominator_tree(f)
+        assert pdt.dominates("j", "l")
+        assert pdt.dominates("j", "entry")
+        assert not pdt.dominates("l", "entry")
+
+
+class TestReducibility:
+    IRREDUCIBLE = """
+func f(c) {
+entry:
+  branch %c, a, b
+a:
+  jump b
+b:
+  branch %c, a, exit
+exit:
+  return
+}
+"""
+
+    def test_irreducible_detected(self):
+        from repro.analysis.reducibility import irreducible_edges, is_reducible
+
+        f = parse_function(self.IRREDUCIBLE)
+        assert not is_reducible(f)
+        assert ("b", "a") in irreducible_edges(f)
+
+    def test_reducible_ok(self):
+        from repro.analysis.reducibility import is_reducible
+
+        f = compile_source("i = 0\nL1: while i < n do\n  i = i + 1\nendwhile")
+        assert is_reducible(f)
+
+    def test_classifier_refuses_irreducible(self):
+        import pytest
+        from repro.core.driver import classify_function
+        from repro.ir.function import IRError
+
+        f = parse_function(self.IRREDUCIBLE)
+        with pytest.raises(IRError, match="irreducible"):
+            classify_function(f)

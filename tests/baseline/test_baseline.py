@@ -1,0 +1,111 @@
+"""Tests for the classical baseline (and its blind spots)."""
+
+from repro.analysis.loops import find_loops
+from repro.baseline.classical import classical_induction_variables
+from repro.baseline.patterns import find_wraparound_patterns
+from repro.frontend.source import compile_source
+
+
+def run_classical(source, header="L1"):
+    f = compile_source(source)
+    nest = find_loops(f)
+    loop = nest.loop_of_header(header)
+    return f, loop, classical_induction_variables(f, loop)
+
+
+class TestBasicDetection:
+    def test_simple_basic_iv(self):
+        _, _, result = run_classical(
+            "i = 0\nL1: loop\n  i = i + 1\n  if i > n then\n    break\n  endif\nendloop"
+        )
+        assert "i" in result.basic
+        assert result.basic["i"].step == 1
+
+    def test_for_loop_var(self):
+        _, _, result = run_classical("L1: for i = 1 to n do\n  x = i\nendfor")
+        assert "i" in result.basic
+
+    def test_multiple_increments(self):
+        _, _, result = run_classical(
+            "i = 0\nL1: loop\n  i = i + 2\n  i = i + 3\n  if i > n then\n    break\n  endif\nendloop"
+        )
+        assert result.basic["i"].step == 5
+
+    def test_derived_iv(self):
+        _, _, result = run_classical(
+            "L1: for i = 1 to n do\n  j = 4 * i\n  k = j + 2\n  A[k] = 0\nendfor"
+        )
+        assert "j" in result.derived
+        assert result.derived["j"].factor == 4
+        assert "k" in result.derived
+        assert result.derived["k"].factor == 4 and result.derived["k"].offset == 2
+
+    def test_derived_chain_needs_iteration(self):
+        _, _, result = run_classical(
+            "L1: for i = 1 to n do\n  a = i + 1\n  b = a + 1\n  c = b + 1\n  A[c] = 0\nendfor"
+        )
+        assert {"a", "b", "c"} <= set(result.derived)
+        assert result.passes >= 3  # one body pass per chain link + fixpoint
+
+    def test_pass_count_recorded(self):
+        _, _, result = run_classical("L1: for i = 1 to n do\n  x = i\nendfor")
+        assert result.passes >= 2  # at least one productive + one stabilizing
+
+
+class TestBlindSpots:
+    """Everything the unified SSA algorithm sees and the classical one misses."""
+
+    def test_conditional_equal_increments_missed(self):
+        _, _, result = run_classical(
+            "i = 0\nL1: for it = 1 to n do\n  if x > 0 then\n    i = i + 2\n  else\n    i = i + 2\n  endif\n  A[i] = 0\nendfor"
+        )
+        assert "i" not in result.basic  # two defs, not the i=i+c shape
+
+    def test_geometric_missed(self):
+        _, _, result = run_classical("l = 1\nL1: for it = 1 to n do\n  l = l * 2 + 1\nendfor")
+        assert "l" not in result.all_ivs()
+
+    def test_polynomial_missed(self):
+        _, _, result = run_classical(
+            "j = 1\nL1: for i = 1 to n do\n  j = j + i\nendfor"
+        )
+        # j's increment is not invariant: rejected
+        assert "j" not in result.all_ivs()
+
+    def test_periodic_missed(self):
+        _, _, result = run_classical(
+            "j = 1\nk = 2\nL1: for it = 1 to n do\n  t = j\n  j = k\n  k = t\nendfor"
+        )
+        assert not ({"j", "k"} & set(result.all_ivs()))
+
+    def test_monotonic_missed(self):
+        _, _, result = run_classical(
+            "k = 0\nL1: for i = 1 to n do\n  if A[i] > 0 then\n    k = k + 1\n  endif\nendfor"
+        )
+        assert "k" not in result.all_ivs()
+
+
+class TestWrapAroundPattern:
+    def test_pattern_found(self):
+        f, loop, ivs = run_classical(
+            "iml = n\nL1: for i = 1 to n do\n  A[i] = A[iml]\n  iml = i\nendfor"
+        )
+        patterns = find_wraparound_patterns(f, loop, ivs)
+        assert len(patterns) == 1
+        assert patterns[0].var == "iml" and patterns[0].iv == "i"
+
+    def test_second_order_missed(self):
+        """The ad hoc matcher cannot cascade -- the paper's criticism."""
+        f, loop, ivs = run_classical(
+            "k = a\nj = b\nL1: for i = 1 to n do\n  A[k] = 0\n  k = j\n  j = i\nendfor"
+        )
+        patterns = find_wraparound_patterns(f, loop, ivs)
+        names = {p.var for p in patterns}
+        assert "j" in names  # first order found
+        assert "k" not in names  # second order missed
+
+    def test_no_false_positives(self):
+        f, loop, ivs = run_classical(
+            "L1: for i = 1 to n do\n  x = A[i]\n  A[i] = x\nendfor"
+        )
+        assert find_wraparound_patterns(f, loop, ivs) == []

@@ -1,0 +1,115 @@
+"""Shared test helpers.
+
+The central oracle is :func:`assert_closed_forms_match_execution`: every
+closed form the classifier produces is checked, value by value, against the
+interpreter's recorded history of the same SSA name.  A classifier bug that
+produces a *wrong* closed form cannot hide from it.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, Optional
+
+import pytest
+
+from repro.core.algebra import class_closed_form
+from repro.core.classes import Invariant, Monotonic, Periodic, WrapAround
+from repro.ir.interp import Interpreter
+from repro.pipeline import AnalyzedProgram, analyze
+from repro.symbolic.expr import ExprError
+
+
+def analyze_src(source: str, **kwargs) -> AnalyzedProgram:
+    return analyze(source, **kwargs)
+
+
+def run_ssa(program: AnalyzedProgram, args: Optional[Dict[str, int]] = None, **kwargs):
+    """Interpret the SSA form with history recording."""
+    interp = Interpreter(program.ssa, record_history=True, **kwargs)
+    return interp.run(args or {})
+
+
+def classification_by_var(program: AnalyzedProgram, var: str, loop: str):
+    """Classification of the loop-header phi of ``var`` at ``loop``."""
+    return program.classification(program.ssa_name(var, loop))
+
+
+def assert_closed_forms_match_execution(
+    program: AnalyzedProgram,
+    args: Optional[Dict[str, int]] = None,
+    skip: Iterable[str] = (),
+    min_checked: int = 1,
+):
+    """Run the program and compare every checkable closed form against the
+    recorded value history of its SSA name.
+
+    Checks names classified in *top-level* loops (a nested loop's closed
+    form is relative to values that change per outer iteration, which a
+    single flat history cannot be segmented against here).  Names whose
+    form references opaque invariants are skipped.  Wrap-around and
+    periodic classifications are checked through ``value_at``.
+    """
+    args = args or {}
+    result = run_ssa(program, args)
+    env: Dict[str, Fraction] = {k: Fraction(v) for k, v in args.items()}
+    for name, values in result.value_history.items():
+        if len(values) == 1:
+            env.setdefault(name, Fraction(values[0]))
+    for name, value in result.scalars.items():
+        env.setdefault(name, Fraction(value))
+
+    checked = 0
+    skip = set(skip)
+    for header, summary in program.result.loops.items():
+        if summary.loop.parent is not None:
+            continue  # only top-level loops: see docstring
+        latches = summary.loop.latches
+        for name, cls in summary.classifications.items():
+            if name in skip or name not in result.value_history:
+                continue
+            # closed forms are indexed by loop iteration; the recorded
+            # history is indexed by *occurrence*: they only align for
+            # definitions executed on every iteration
+            block = program.result._def_block.get(name)
+            if block is None or not all(
+                program.domtree.dominates(block, latch) for latch in latches
+            ):
+                continue
+            defining = program.result.defining_loop(name)
+            if defining is None or defining.header != summary.label:
+                continue  # exit-value view of an inner name
+            history = result.value_history[name]
+            for h, observed in enumerate(history):
+                expected = cls.value_at(h)
+                if expected is None:
+                    break
+                if any(s.startswith("$k") for s in expected.free_symbols()):
+                    break
+                try:
+                    predicted = expected.evaluate(env)
+                except ExprError:
+                    break
+                assert predicted == observed, (
+                    f"{name} (classified {cls.describe()}): iteration {h} "
+                    f"predicted {predicted}, observed {observed}"
+                )
+            else:
+                if history and cls.value_at(0) is not None:
+                    checked += 1
+
+            if isinstance(cls, Monotonic):
+                direction = cls.direction
+                pairs = zip(history, history[1:])
+                for earlier, later in pairs:
+                    if direction > 0:
+                        assert later >= earlier, f"{name} not non-decreasing"
+                        if cls.strict:
+                            assert later > earlier, f"{name} not strictly increasing"
+                    else:
+                        assert later <= earlier, f"{name} not non-increasing"
+                        if cls.strict:
+                            assert later < earlier, f"{name} not strictly decreasing"
+                checked += 1
+    assert checked >= min_checked, f"only {checked} closed forms were checkable"
+    return result

@@ -1,0 +1,202 @@
+"""Unit tests for the operator algebra (paper section 5.1)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.algebra import (
+    cf_to_class,
+    class_closed_form,
+    cls_add,
+    cls_mul,
+    cls_neg,
+    cls_scale,
+    cls_sub,
+    iv_direction,
+    iv_is_strict,
+)
+from repro.core.classes import (
+    InductionVariable,
+    Invariant,
+    Monotonic,
+    Periodic,
+    Unknown,
+    WrapAround,
+)
+from repro.symbolic.closedform import ClosedForm
+from repro.symbolic.expr import Expr
+
+L = "L1"
+
+
+def inv(value):
+    return Invariant(Expr.const(value) if isinstance(value, int) else Expr.sym(value), loop=L)
+
+
+def iv(init, step):
+    return InductionVariable(L, ClosedForm.linear(init, step))
+
+
+def wrap(pre, inner):
+    return WrapAround(L, 1, inner, (Expr.const(pre),))
+
+
+def periodic(*values):
+    return Periodic(L, tuple(Expr.const(v) for v in values))
+
+
+def mono(direction=1, strict=False):
+    return Monotonic(L, direction, strict, family="k")
+
+
+class TestAdd:
+    def test_inv_plus_inv(self):
+        out = cls_add(L, inv(2), inv("n"))
+        assert isinstance(out, Invariant)
+        assert str(out.expr) == "2 + n"
+
+    def test_iv_plus_inv(self):
+        out = cls_add(L, iv(0, 1), inv(5))
+        assert out.describe() == "(L1, 5, 1)"
+
+    def test_iv_plus_iv(self):
+        out = cls_add(L, iv(0, 1), iv(3, 2))
+        assert out.describe() == "(L1, 3, 3)"
+
+    def test_iv_minus_iv_collapses_to_invariant(self):
+        out = cls_sub(L, iv(5, 2), iv(1, 2))
+        assert isinstance(out, Invariant)
+        assert out.expr == 4
+
+    def test_wrap_plus_inv(self):
+        out = cls_add(L, wrap(9, iv(-1, 1)), inv(10))
+        assert isinstance(out, WrapAround)
+        assert out.pre_values[0] == 19
+        assert out.inner.describe() == "(L1, 9, 1)"
+
+    def test_wrap_plus_iv(self):
+        out = cls_add(L, wrap(9, iv(-1, 1)), iv(0, 2))
+        assert isinstance(out, WrapAround)
+        assert out.value_at(0) == 9
+        assert out.value_at(3) == 2 + 6
+
+    def test_wrap_plus_wrap(self):
+        a = wrap(9, iv(-1, 1))
+        b = WrapAround(L, 2, inv(0), (Expr.const(1), Expr.const(2)))
+        out = cls_add(L, a, b)
+        assert isinstance(out, WrapAround)
+        assert out.order == 2
+        assert out.value_at(0) == 10
+        assert out.value_at(1) == 2
+        assert out.value_at(5) == 4
+
+    def test_wrap_collapse_after_add(self):
+        # a wrap-around whose pre-value fits the inner sequence collapses
+        # to the plain IV when the combinators re-simplify
+        a = WrapAround(L, 1, iv(-1, 1), (Expr.const(-1),))
+        out = cls_add(L, a, inv(1))
+        assert isinstance(out, InductionVariable)
+        assert out.describe() == "(L1, 0, 1)"
+
+    def test_periodic_plus_inv(self):
+        out = cls_add(L, periodic(1, 2), inv(10))
+        assert isinstance(out, Periodic)
+        assert [v.constant_value() for v in out.values] == [11, 12]
+
+    def test_periodic_plus_periodic_lcm(self):
+        out = cls_add(L, periodic(0, 1), periodic(0, 10, 20))
+        assert isinstance(out, Periodic)
+        assert out.period == 6
+
+    def test_periodic_plus_iv_unknown(self):
+        assert isinstance(cls_add(L, periodic(1, 2), iv(0, 1)), Unknown)
+
+    def test_mono_plus_inv(self):
+        out = cls_add(L, mono(1, True), inv("n"))
+        assert isinstance(out, Monotonic) and out.strict
+
+    def test_mono_plus_mono_same_direction(self):
+        out = cls_add(L, mono(1, False), mono(1, True))
+        assert isinstance(out, Monotonic) and out.strict
+
+    def test_mono_plus_mono_opposite(self):
+        assert isinstance(cls_add(L, mono(1), mono(-1)), Unknown)
+
+    def test_mono_plus_compatible_iv(self):
+        out = cls_add(L, mono(1, False), iv(0, 2))
+        assert isinstance(out, Monotonic) and out.strict
+
+    def test_mono_plus_opposing_iv(self):
+        assert isinstance(cls_add(L, mono(1), iv(0, -1)), Unknown)
+
+    def test_unknown_propagates(self):
+        assert isinstance(cls_add(L, Unknown(), iv(0, 1)), Unknown)
+
+    def test_commutes(self):
+        # the dispatcher must not care about operand order
+        assert not isinstance(cls_add(L, inv(10), wrap(9, iv(-1, 1))), Unknown)
+        assert not isinstance(cls_add(L, inv(10), periodic(1, 2)), Unknown)
+        assert not isinstance(cls_add(L, inv(10), mono()), Unknown)
+
+
+class TestScaleMulNeg:
+    def test_neg_iv(self):
+        assert cls_neg(L, iv(1, 2)).describe() == "(L1, -1, -2)"
+
+    def test_scale_by_zero(self):
+        out = cls_scale(L, mono(), Expr.zero())
+        assert isinstance(out, Invariant) and out.expr.is_zero
+
+    def test_scale_periodic_symbolic(self):
+        out = cls_scale(L, periodic(1, 2), Expr.sym("c"))
+        assert isinstance(out, Periodic)
+        assert str(out.values[1]) == "2*c"
+
+    def test_scale_mono_negative(self):
+        out = cls_scale(L, mono(1, True), Expr.const(-3))
+        assert isinstance(out, Monotonic)
+        assert out.direction == -1 and out.strict
+
+    def test_scale_mono_symbolic_unknown(self):
+        assert isinstance(cls_scale(L, mono(), Expr.sym("c")), Unknown)
+
+    def test_mul_iv_iv_polynomial(self):
+        out = cls_mul(L, iv(1, 2), iv(-5, 3))
+        assert isinstance(out, InductionVariable)
+        assert out.form.degree == 2
+        assert out.value_at(2) == 5  # (1+4)(-5+6) = 5
+
+    def test_mul_poly_geo_unknown(self):
+        h = InductionVariable(L, ClosedForm.linear(0, 1))
+        g = InductionVariable(L, ClosedForm([], {2: 1}))
+        assert isinstance(cls_mul(L, h, g), Unknown)
+
+    def test_mul_wrap_by_const(self):
+        out = cls_mul(L, inv(2), wrap(9, iv(-1, 1)))
+        assert isinstance(out, WrapAround)
+        assert out.value_at(0) == 18
+
+    def test_mul_mono_mono_unknown(self):
+        assert isinstance(cls_mul(L, mono(), mono()), Unknown)
+
+
+class TestHelpers:
+    def test_cf_to_class(self):
+        assert isinstance(cf_to_class(L, ClosedForm.invariant(3)), Invariant)
+        assert isinstance(cf_to_class(L, ClosedForm.linear(0, 1)), InductionVariable)
+
+    def test_class_closed_form(self):
+        assert class_closed_form(inv(3)) is not None
+        assert class_closed_form(mono()) is None
+        assert class_closed_form(Unknown()) is None
+
+    def test_iv_direction(self):
+        assert iv_direction(iv(0, 2)) == 1
+        assert iv_direction(iv(0, -2)) == -1
+        assert iv_direction(inv(5)) == 0
+        assert iv_direction(mono()) is None
+
+    def test_iv_is_strict(self):
+        assert iv_is_strict(iv(0, 1))
+        assert not iv_is_strict(iv(0, 0))
+        assert not iv_is_strict(inv(5))

@@ -1,0 +1,159 @@
+"""Tests for the classification lattice objects."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.classes import (
+    InductionVariable,
+    Invariant,
+    Monotonic,
+    Periodic,
+    Unknown,
+    WrapAround,
+    closedform_sign,
+    closedform_strict_sign,
+)
+from repro.symbolic.closedform import ClosedForm
+from repro.symbolic.expr import Expr
+
+
+def sym(name):
+    return Expr.sym(name)
+
+
+class TestInvariant:
+    def test_value_constant_over_h(self):
+        inv = Invariant(sym("n"))
+        assert inv.value_at(0) == sym("n")
+        assert inv.value_at(99) == sym("n")
+        assert inv.delayed() is inv
+
+
+class TestInductionVariable:
+    def test_linear_accessors(self):
+        iv = InductionVariable("L1", ClosedForm.linear(sym("n"), 2))
+        assert iv.is_linear and not iv.is_polynomial and not iv.is_geometric
+        assert iv.init == sym("n")
+        assert iv.step == 2
+        assert iv.describe() == "(L1, n, 2)"
+
+    def test_polynomial_describe(self):
+        iv = InductionVariable("L14", ClosedForm([2, Fraction(3, 2), Fraction(1, 2)]))
+        assert iv.is_polynomial
+        assert iv.describe() == "(L14, 2, 3/2, 1/2)"
+
+    def test_geometric(self):
+        iv = InductionVariable("L14", ClosedForm([-1], {2: 4}))
+        assert iv.is_geometric
+        assert iv.value_at(2) == 15
+
+    def test_delayed_shifts(self):
+        iv = InductionVariable("L", ClosedForm.linear(0, 3))
+        assert iv.delayed().value_at(5) == iv.value_at(4)
+
+    def test_direction(self):
+        assert InductionVariable("L", ClosedForm.linear(0, 3)).direction() == 1
+        assert InductionVariable("L", ClosedForm.linear(0, -3)).direction() == -1
+        assert InductionVariable("L", ClosedForm.linear(0, sym("s"))).direction() is None
+        assert InductionVariable("L", ClosedForm([0, 1, 1])).direction() == 1
+
+
+class TestWrapAround:
+    def make(self, order=1):
+        inner = InductionVariable("L", ClosedForm.linear(-1, 1))
+        pre = tuple(sym(f"p{k}") for k in range(order))
+        return WrapAround("L", order, inner, pre)
+
+    def test_value_at(self):
+        w = self.make(2)
+        assert w.value_at(0) == sym("p0")
+        assert w.value_at(1) == sym("p1")
+        assert w.value_at(2) == 1
+        assert w.value_at(5) == 4
+
+    def test_simplify_no_collapse(self):
+        w = self.make(1)
+        assert w.simplify() is w
+
+    def test_simplify_collapses_when_init_fits(self):
+        inner = InductionVariable("L", ClosedForm.linear(0, 1))
+        w = WrapAround("L", 1, inner, (Expr.zero(),))
+        assert w.simplify() is inner
+
+    def test_validation(self):
+        inner = Invariant(Expr.zero())
+        with pytest.raises(ValueError):
+            WrapAround("L", 0, inner, ())
+        with pytest.raises(ValueError):
+            WrapAround("L", 2, inner, (Expr.zero(),))
+
+    def test_describe(self):
+        assert "order 2" in self.make(2).describe()
+
+
+class TestPeriodic:
+    def test_values_cycle(self):
+        p = Periodic("L", (sym("a"), sym("b"), sym("c")))
+        assert p.period == 3
+        assert p.value_at(0) == sym("a")
+        assert p.value_at(4) == sym("b")
+
+    def test_delayed_rotates(self):
+        p = Periodic("L", (sym("a"), sym("b"), sym("c")))
+        d = p.delayed()
+        for h in range(1, 7):
+            assert d.value_at(h) == p.value_at(h - 1)
+
+    def test_simplify_constant(self):
+        p = Periodic("L", (sym("a"), sym("a")))
+        assert isinstance(p.simplify(), Invariant)
+
+    def test_needs_period_two(self):
+        with pytest.raises(ValueError):
+            Periodic("L", (sym("a"),))
+
+
+class TestMonotonic:
+    def test_fields(self):
+        m = Monotonic("L", 1, True, family="k.2")
+        assert m.direction == 1 and m.strict
+        assert "strictly increasing" in m.describe()
+        assert Monotonic("L", -1, False).describe().endswith("decreasing)")
+
+    def test_direction_validation(self):
+        with pytest.raises(ValueError):
+            Monotonic("L", 0, False)
+
+    def test_no_closed_form(self):
+        assert Monotonic("L", 1, False).closed_form() is None
+        assert Monotonic("L", 1, False).value_at(3) is None
+
+    def test_equality_ignores_family(self):
+        assert Monotonic("L", 1, True, family="a") == Monotonic("L", 1, True, family="b")
+
+
+class TestUnknown:
+    def test_bottom(self):
+        u = Unknown("why")
+        assert u.value_at(0) is None
+        assert u == Unknown("other reason")
+        assert "why" in u.describe()
+
+
+class TestSigns:
+    def test_closedform_sign(self):
+        assert closedform_sign(ClosedForm.zero()) == 0
+        assert closedform_sign(ClosedForm([1, 2])) == 1
+        assert closedform_sign(ClosedForm([-1, -2])) == -1
+        assert closedform_sign(ClosedForm([1, -2])) is None
+        assert closedform_sign(ClosedForm([sym("x")])) is None
+        assert closedform_sign(ClosedForm([0], {2: 1})) == 1
+        # negative base alternates sign: unprovable
+        assert closedform_sign(ClosedForm([], {-2: 1})) is None
+
+    def test_strict_sign(self):
+        assert closedform_strict_sign(ClosedForm([1, 1])) == 1
+        assert closedform_strict_sign(ClosedForm([0, 1])) is None  # zero at h=0
+        assert closedform_strict_sign(ClosedForm([-1, -1])) == -1
+        assert closedform_strict_sign(ClosedForm.zero()) is None

@@ -1,0 +1,164 @@
+"""Edge cases of the classifier: path explosion, nonlinear cycles,
+grandchild exit values, degenerate SCR shapes."""
+
+from tests.conftest import analyze_src, classification_by_var
+from repro.core.classes import InductionVariable, Invariant, Monotonic, Unknown
+
+
+class TestPathExplosion:
+    def test_many_conditionals_give_up_gracefully(self):
+        """More than MAX_PATHS control-flow paths: classification must
+        degrade to Unknown, never crash or mis-classify."""
+        body = []
+        for k in range(7):  # 2^7 = 128 paths > MAX_PATHS = 32
+            body.append(f"  if A[{k}] > 0 then")
+            body.append(f"    s = s + {k + 1}")
+            body.append("  else")
+            body.append(f"    s = s + {k + 2}")
+            body.append("  endif")
+        source = "s = 0\nL1: for i = 1 to n do\n" + "\n".join(body) + "\nendfor"
+        p = analyze_src(source)
+        s = classification_by_var(p, "s", "L1")
+        # all increments positive: the monotonic rules may still succeed if
+        # the path count stays in bounds; otherwise Unknown -- both are
+        # sound, but a linear IV claim would be wrong
+        assert not isinstance(s, InductionVariable)
+
+    def test_moderate_conditionals_still_monotonic(self):
+        body = []
+        for k in range(4):  # 16 paths <= MAX_PATHS
+            body.append(f"  if A[{k}] > 0 then")
+            body.append(f"    s = s + {k + 1}")
+            body.append("  else")
+            body.append(f"    s = s + {k + 2}")
+            body.append("  endif")
+        source = "s = 0\nL1: for i = 1 to n do\n" + "\n".join(body) + "\nendfor"
+        p = analyze_src(source)
+        s = classification_by_var(p, "s", "L1")
+        assert isinstance(s, Monotonic) and s.strict
+
+
+class TestNonlinearCycles:
+    def test_header_times_header(self):
+        p = analyze_src(
+            "x = 2\nL1: loop\n  x = x * x\n  if x > n then\n    break\n  endif\nendloop"
+        )
+        x = classification_by_var(p, "x", "L1")
+        assert isinstance(x, Unknown)
+
+    def test_division_in_cycle(self):
+        p = analyze_src(
+            "x = 1000\nL1: loop\n  x = x / 2\n  if x < 1 then\n    break\n  endif\nendloop"
+        )
+        x = classification_by_var(p, "x", "L1")
+        assert isinstance(x, Unknown)
+
+    def test_load_in_cycle(self):
+        p = analyze_src(
+            "x = 0\nL1: for i = 1 to n do\n  x = A[x] + 1\nendfor"
+        )
+        x = classification_by_var(p, "x", "L1")
+        assert isinstance(x, Unknown)
+
+    def test_symbolic_multiplier(self):
+        p = analyze_src(
+            "x = 1\nL1: for i = 1 to n do\n  x = x * m\nendfor"
+        )
+        x = classification_by_var(p, "x", "L1")
+        assert isinstance(x, Unknown)  # geometric base must be a known int
+
+    def test_zero_multiplier_wraparound(self):
+        """x = x*0 + i: the carried value ignores the header -> wrap-around."""
+        from repro.core.classes import WrapAround
+
+        p = analyze_src(
+            "x = 99\nL1: for i = 1 to n do\n  B[x] = i\n  x = x * 0 + i\nendfor",
+            optimize=False,
+        )
+        x = classification_by_var(p, "x", "L1")
+        assert isinstance(x, (WrapAround, InductionVariable, Unknown))
+        if isinstance(x, WrapAround):
+            assert str(x.pre_values[0]) == "x.1"
+
+
+class TestGrandchildExitValues:
+    def test_exit_value_through_two_levels(self):
+        """The outermost loop reads a value defined two loops down."""
+        p = analyze_src(
+            "s = 0\nL1: for i = 1 to 3 do\n"
+            "  L2: for j = 1 to 4 do\n"
+            "    L3: for k = 1 to 5 do\n      s = s + 1\n    endfor\n"
+            "  endfor\nendfor\nreturn s"
+        )
+        s1 = classification_by_var(p, "s", "L1")
+        assert isinstance(s1, InductionVariable)
+        assert s1.step == 20
+        s3 = p.ssa_name("s", "L3")
+        # the exit value of the innermost phi, resolved at L1's exit
+        value = p.result.exit_value("L1", s3)
+        assert value is not None and value.is_constant
+
+    def test_sibling_loops_feed_each_other(self):
+        p = analyze_src(
+            "s = 0\nL1: for i = 1 to 3 do\n"
+            "  L2: for j = 1 to 2 do\n    s = s + 1\n  endfor\n"
+            "  L3: for k = 1 to 5 do\n    s = s + 1\n  endfor\n"
+            "endfor\nreturn s"
+        )
+        s1 = classification_by_var(p, "s", "L1")
+        assert isinstance(s1, InductionVariable)
+        assert s1.step == 7
+        from tests.conftest import run_ssa
+
+        assert run_ssa(p).return_value == 21
+
+
+class TestDegenerateShapes:
+    def test_single_block_self_loop(self):
+        from repro.ir.parser import parse_function
+        from repro.core.driver import classify_function
+
+        f = parse_function(
+            """
+func f(n) {
+entry:
+  %i.0 = copy 0
+  jump L
+L:
+  %i.1 = phi [entry: %i.0, L: %i.2]
+  %i.2 = add %i.1, 1
+  %c = cmp %i.2 < %n
+  branch %c, L, exit
+exit:
+  return
+}
+"""
+        )
+        result = classify_function(f)
+        # no constant propagation here: the init stays symbolic (i.0)
+        assert result.classification_of("i.1").describe() == "(L, i.0, 1)"
+
+    def test_empty_loop_body(self):
+        p = analyze_src("L1: for i = 1 to n do\n  x = 1\nendfor")
+        assert classification_by_var(p, "i", "L1").describe() == "(L1, 1, 1)"
+
+    def test_two_interleaved_families(self):
+        p = analyze_src(
+            "a = 0\nb = 100\nL1: loop\n  a = a + 1\n  b = b - 2\n"
+            "  if a > n then\n    break\n  endif\nendloop"
+        )
+        assert classification_by_var(p, "a", "L1").describe() == "(L1, 0, 1)"
+        assert classification_by_var(p, "b", "L1").describe() == "(L1, 100, -2)"
+
+    def test_cycle_between_two_loops_headers(self):
+        """A value that cycles through two sibling loops of a parent."""
+        p = analyze_src(
+            "x = 0\nL1: for i = 1 to 3 do\n"
+            "  L2: for j = 1 to 2 do\n    x = x + 1\n  endfor\n"
+            "  L3: for k = 1 to 2 do\n    x = x * 1\n  endfor\n"
+            "endfor\nreturn x"
+        )
+        x1 = classification_by_var(p, "x", "L1")
+        # x grows by 2 per outer iteration (the L3 loop is identity)
+        assert isinstance(x1, InductionVariable)
+        assert x1.step == 2

@@ -1,0 +1,150 @@
+"""Monotonic variable detection (paper section 4.4, Figure 10)."""
+
+from tests.conftest import analyze_src, assert_closed_forms_match_execution, classification_by_var
+from repro.core.classes import Monotonic, Unknown
+
+
+class TestBasicMonotonic:
+    def test_conditional_increment_pack(self):
+        """The pack idiom of loop L15: k incremented under a condition."""
+        p = analyze_src(
+            "k = 0\nL15: for i = 1 to n do\n  if A[i] > 0 then\n    k = k + 1\n    B[k] = A[i]\n  endif\nendfor"
+        )
+        k = classification_by_var(p, "k", "L15")
+        assert isinstance(k, Monotonic)
+        assert k.direction == 1 and not k.strict
+
+    def test_figure6_strictly_increasing(self):
+        """Figure 6 (loop L16): +1 or +2 on every path -> strictly."""
+        p = analyze_src(
+            "k = 0\nL16: for i = 1 to n do\n  if A[i] > 0 then\n    k = k + 1\n  else\n    k = k + 2\n  endif\n  B[k] = i\nendfor"
+        )
+        k = classification_by_var(p, "k", "L16")
+        assert isinstance(k, Monotonic)
+        assert k.strict
+        assert_closed_forms_match_execution(p, {"n": 6})
+
+    def test_figure10_member_strictness(self):
+        """k3 strictly increasing; k2, k4 merely non-decreasing."""
+        p = analyze_src(
+            "k = 0\nL15: for i = 1 to n do\n  F[k] = A[i]\n  if A[i] > 0 then\n"
+            "    k = k + 1\n    B[k] = A[i]\n  endif\n  G[i] = F[k]\nendfor"
+        )
+        classes = {n: p.classification(n) for n in p.ssa_names("k")}
+        by_strict = {
+            name: cls.strict for name, cls in classes.items() if isinstance(cls, Monotonic)
+        }
+        assert sum(by_strict.values()) == 1  # exactly k3
+        assert len(by_strict) == 3
+        # all in one family
+        families = {
+            cls.family for cls in classes.values() if isinstance(cls, Monotonic)
+        }
+        assert len(families) == 1
+
+    def test_decreasing(self):
+        p = analyze_src(
+            "k = 100\nL1: for i = 1 to n do\n  if A[i] > 0 then\n    k = k - 2\n  endif\n  B[k] = i\nendfor"
+        )
+        k = classification_by_var(p, "k", "L1")
+        assert isinstance(k, Monotonic)
+        assert k.direction == -1 and not k.strict
+
+    def test_strictly_decreasing(self):
+        p = analyze_src(
+            "k = 0\nL1: for i = 1 to n do\n  if A[i] > 0 then\n    k = k - 1\n  else\n    k = k - 3\n  endif\n  B[k] = i\nendfor"
+        )
+        k = classification_by_var(p, "k", "L1")
+        assert k.direction == -1 and k.strict
+        assert_closed_forms_match_execution(p, {"n": 5})
+
+    def test_mixed_signs_unknown(self):
+        p = analyze_src(
+            "k = 0\nL1: for i = 1 to n do\n  if A[i] > 0 then\n    k = k + 1\n  else\n    k = k - 1\n  endif\n  B[k] = i\nendfor"
+        )
+        k = classification_by_var(p, "k", "L1")
+        assert isinstance(k, Unknown)
+
+    def test_symbolic_increment_unknown(self):
+        """Without sign information on s, conservatively unknown."""
+        p = analyze_src(
+            "k = 0\nL1: for i = 1 to n do\n  if A[i] > 0 then\n    k = k + s\n  endif\n  B[k] = i\nendfor"
+        )
+        k = classification_by_var(p, "k", "L1")
+        assert isinstance(k, Unknown)
+
+    def test_increment_by_iv(self):
+        """k += i with i a non-negative IV: monotonic (step varies)."""
+        p = analyze_src(
+            "k = 0\nL1: for i = 1 to n do\n  if A[i] > 0 then\n    k = k + i\n  endif\n  B[k] = i\nendfor"
+        )
+        k = classification_by_var(p, "k", "L1")
+        assert isinstance(k, Monotonic)
+        assert k.direction == 1
+
+
+class TestMultiplicative:
+    def test_doubling_under_condition(self):
+        """'Multiply operations can also be allowed, such as 2*i+i, as long
+        as the initial value of i is known.'"""
+        p = analyze_src(
+            "k = 1\nL1: for i = 1 to n do\n  if A[i] > 0 then\n    k = k * 2 + k\n  endif\n  B[k] = i\nendfor"
+        )
+        k = classification_by_var(p, "k", "L1")
+        assert isinstance(k, Monotonic)
+        assert k.direction == 1
+
+    def test_multiplicative_with_unknown_init(self):
+        p = analyze_src(
+            "k = k0\nL1: for i = 1 to n do\n  if A[i] > 0 then\n    k = k * 3\n  endif\n  B[k] = i\nendfor"
+        )
+        k = classification_by_var(p, "k", "L1")
+        assert isinstance(k, Unknown)
+
+    def test_execution_check(self):
+        p = analyze_src(
+            "k = 1\nL1: for i = 1 to n do\n  if i % 3 == 0 then\n    k = k * 2\n  endif\n  B[k] = i\nendfor"
+        )
+        k = classification_by_var(p, "k", "L1")
+        assert isinstance(k, Monotonic)
+        assert_closed_forms_match_execution(p, {"n": 9})
+
+
+class TestAlgebraCombinations:
+    def test_monotonic_plus_invariant(self):
+        p = analyze_src(
+            "k = 0\nL1: for i = 1 to n do\n  if A[i] > 0 then\n    k = k + 1\n  endif\n  j = k + 5\n  B[j] = i\nendfor"
+        )
+        j = p.classification(p.ssa_names("j")[0])
+        assert isinstance(j, Monotonic) and j.direction == 1
+
+    def test_monotonic_plus_iv(self):
+        """'adding a monotonic variable to an induction variable to get
+        another monotonic variable' (section 5.1)."""
+        p = analyze_src(
+            "k = 0\nL1: for i = 1 to n do\n  if A[i] > 0 then\n    k = k + 1\n  endif\n  j = k + i\n  B[j] = i\nendfor"
+        )
+        j = p.classification(p.ssa_names("j")[0])
+        assert isinstance(j, Monotonic)
+        assert j.strict  # the IV part is strictly increasing
+
+    def test_monotonic_times_negative_const(self):
+        p = analyze_src(
+            "k = 0\nL1: for i = 1 to n do\n  if A[i] > 0 then\n    k = k + 1\n  endif\n  j = k * -1\n  B[j] = i\nendfor"
+        )
+        j = p.classification(p.ssa_names("j")[0])
+        assert isinstance(j, Monotonic) and j.direction == -1
+
+    def test_monotonic_plus_opposing_iv_unknown(self):
+        p = analyze_src(
+            "k = 0\nL1: for i = 1 to n do\n  if A[i] > 0 then\n    k = k + 1\n  endif\n  j = k - i\n  B[j] = i\nendfor"
+        )
+        j = p.classification(p.ssa_names("j")[0])
+        assert isinstance(j, Unknown)
+
+    def test_arithmetic_drops_family(self):
+        p = analyze_src(
+            "k = 0\nL1: for i = 1 to n do\n  if A[i] > 0 then\n    k = k + 1\n  endif\n  j = k + 5\n  B[j] = i\nendfor"
+        )
+        j = p.classification(p.ssa_names("j")[0])
+        assert j.family is None

@@ -1,0 +1,222 @@
+"""Nested induction variables (paper section 5.3, Figures 7-9)."""
+
+from fractions import Fraction
+
+from tests.conftest import analyze_src, classification_by_var
+from repro.core.classes import InductionVariable, Invariant, Unknown
+
+
+class TestMultiLoop:
+    def test_paper_section2_multiloop(self):
+        """Section 2: i=(L5,2,2), j=(L6, i+1, 1), nested (L6,(L5,...),1)."""
+        p = analyze_src(
+            "i = 0\nL5: loop\n  i = i + 2\n  j = i\n  L6: loop\n    j = j + 1\n"
+            "    if j > i + 10 then\n      break\n    endif\n  endloop\n"
+            "  if i > n then\n    break\n  endif\nendloop"
+        )
+        i3 = p.classification([n for n in p.ssa_names("i") if n != p.ssa_name("i", "L5")][1 - 1])
+        j2 = classification_by_var(p, "j", "L6")
+        assert isinstance(j2, InductionVariable) and j2.is_linear
+        assert j2.step == 1
+        nested = p.result.nested_describe(p.ssa_name("j", "L6"))
+        assert nested == "(L6, (L5, 2, 2), 1)"
+
+    def test_inner_initial_value_varies_outer(self):
+        p = analyze_src(
+            "L1: for i = 1 to n do\n  L2: for j = i to n do\n    A[j] = i\n  endfor\nendfor"
+        )
+        j2 = classification_by_var(p, "j", "L2")
+        assert isinstance(j2, InductionVariable)
+        assert str(j2.init) == p.ssa_name("i", "L1")
+        assert "(L1, 1, 1)" in p.result.nested_describe(p.ssa_name("j", "L2"))
+
+
+class TestFig7and8:
+    SOURCE = (
+        "k = 0\nL17: loop\n  i = 1\n  L18: loop\n    k = k + 2\n"
+        "    if i > 100 then\n      break\n    endif\n    i = i + 1\n  endloop\n"
+        "  k = k + 2\n  if k > 1000000 then\n    break\n  endif\nendloop"
+    )
+
+    def test_outer_family(self):
+        p = analyze_src(self.SOURCE)
+        k2 = classification_by_var(p, "k", "L17")
+        assert k2.describe() == "(L17, 0, 204)"
+        outer_members = {
+            n: p.classification(n)
+            for n in p.ssa_names("k")
+            if p.result.defining_loop(n) and p.result.defining_loop(n).header == "L17"
+        }
+        inits = sorted(
+            int(c.init.constant_value())
+            for c in outer_members.values()
+            if isinstance(c, InductionVariable)
+        )
+        assert inits == [0, 204]  # k2 and k5 (the paper also lists k6 = 202)
+
+    def test_exitval_view_is_papers_k6(self):
+        """The L17 summary holds the synthetic k6 = (L17, 202, 204)."""
+        p = analyze_src(self.SOURCE)
+        summary = p.result.loops["L17"]
+        k_views = {
+            name: cls
+            for name, cls in summary.classifications.items()
+            if name.startswith("k")
+        }
+        descriptions = {cls.describe() for cls in k_views.values()}
+        assert "(L17, 202, 204)" in descriptions  # k4's exit value = paper's k6
+
+    def test_inner_nested_tuple(self):
+        p = analyze_src(self.SOURCE)
+        assert p.result.nested_describe(p.ssa_name("k", "L18")) == "(L18, (L17, 0, 204), 2)"
+
+
+class TestFig9Triangular:
+    """The triangular nest that [EHLP92] found difficult."""
+
+    SOURCE = (
+        "j = 0\nL19: for i = 1 to n do\n  j = j + i\n"
+        "  L20: for kk = 1 to i do\n    j = j + 1\n  endfor\nendfor"
+    )
+
+    def test_outer_quadratic_family(self):
+        p = analyze_src(self.SOURCE)
+        j2 = classification_by_var(p, "j", "L19")
+        assert isinstance(j2, InductionVariable)
+        # j2(h) = h^2 + h: 0, 2, 6, 12 ...
+        assert j2.describe() == "(L19, 0, 1, 1)"
+        j3 = p.classification(
+            [
+                n
+                for n in p.ssa_names("j")
+                if p.result.defining_loop(n)
+                and p.result.defining_loop(n).header == "L19"
+                and n != p.ssa_name("j", "L19")
+            ][0]
+        )
+        # j3 = j2 + i = (h+1)^2: init 1 (the paper's j3 init is 1)
+        assert j3.describe() == "(L19, 1, 2, 1)"
+
+    def test_exit_value_is_quadratic_j6(self):
+        p = analyze_src(self.SOURCE)
+        summary = p.result.loops["L19"]
+        descriptions = {
+            cls.describe()
+            for name, cls in summary.classifications.items()
+            if name.startswith("j")
+        }
+        # the paper's j6 has initial value 2
+        assert "(L19, 2, 3, 1)" in descriptions
+
+    def test_inner_linear_with_quadratic_init(self):
+        p = analyze_src(self.SOURCE)
+        j4 = classification_by_var(p, "j", "L20")
+        assert isinstance(j4, InductionVariable) and j4.is_linear
+        assert j4.step == 1
+        nested = p.result.nested_describe(p.ssa_name("j", "L20"))
+        assert nested == "(L20, (L19, 1, 2, 1), 1)"
+
+    def test_values_against_execution(self):
+        """Gold standard: simulate and compare the quadratic closed form."""
+        from tests.conftest import run_ssa
+
+        p = analyze_src(self.SOURCE)
+        result = run_ssa(p, {"n": 7})
+        j2_name = p.ssa_name("j", "L19")
+        j2 = p.classification(j2_name)
+        history = result.value_history[j2_name]
+        for h, observed in enumerate(history):
+            assert j2.value_at(h).constant_value() == observed
+
+    def test_pure_triangular_sum(self):
+        """Without the j = j + i statement: j2 = (L19, 0, 1/2, 1/2)."""
+        p = analyze_src(
+            "j = 0\nL19: for i = 1 to n do\n  L20: for kk = 1 to i do\n    j = j + 1\n  endfor\nendfor"
+        )
+        j2 = classification_by_var(p, "j", "L19")
+        assert j2.describe() == "(L19, 0, 1/2, 1/2)"
+
+
+class TestUncountableInner:
+    def test_unknown_inner_exit_poisons_outer(self):
+        """'These must correspond to ... induction variables for which the
+        exit value is unknown; the value can be treated as an unknown.'"""
+        p = analyze_src(
+            "k = 0\nL1: for i = 1 to n do\n  L2: loop\n    k = k + 1\n"
+            "    if A[k] > 0 then\n      break\n    endif\n  endloop\nendfor"
+        )
+        k_outer = classification_by_var(p, "k", "L1")
+        assert isinstance(k_outer, Unknown)
+
+    def test_countable_inner_with_geometric_value(self):
+        """Exit values of geometric IVs with constant trips work too."""
+        p = analyze_src(
+            "x = 1\nL1: for i = 1 to n do\n  L2: for j = 1 to 3 do\n    x = x * 2\n  endfor\nendfor"
+        )
+        x_outer = classification_by_var(p, "x", "L1")
+        assert isinstance(x_outer, InductionVariable)
+        # per outer iteration x multiplies by 8
+        assert x_outer.is_geometric
+        assert [x_outer.value_at(h).constant_value() for h in range(3)] == [1, 8, 64]
+
+    def test_geometric_inner_symbolic_trips_unknown(self):
+        p = analyze_src(
+            "x = 1\nL1: for i = 1 to n do\n  L2: for j = 1 to m do\n    x = x * 2\n  endfor\nendfor"
+        )
+        x_outer = classification_by_var(p, "x", "L1")
+        # 2^m per iteration: the exit value needs b**m, unrepresentable
+        assert isinstance(x_outer, Unknown)
+
+
+class TestDeepNesting:
+    def test_three_levels(self):
+        p = analyze_src(
+            "s = 0\nL1: for i = 1 to 4 do\n  L2: for j = 1 to 5 do\n"
+            "    L3: for k = 1 to 6 do\n      s = s + 1\n    endfor\n  endfor\nendfor\nreturn s"
+        )
+        s_outer = classification_by_var(p, "s", "L1")
+        assert isinstance(s_outer, InductionVariable)
+        assert s_outer.step == 30
+        from tests.conftest import run_ssa
+
+        assert run_ssa(p).return_value == 120
+
+    def test_triangular_three_levels(self):
+        p = analyze_src(
+            "s = 0\nL1: for i = 1 to n do\n  L2: for j = 1 to i do\n"
+            "    L3: for k = 1 to j do\n      s = s + 1\n    endfor\n  endfor\nendfor\nreturn s"
+        )
+        s_outer = classification_by_var(p, "s", "L1")
+        assert isinstance(s_outer, InductionVariable)
+        # tetrahedral numbers: degree 3
+        assert s_outer.form.degree == 3
+        from tests.conftest import run_ssa
+
+        # C(n+2, 3) for n = 6 -> C(8,3) = 56
+        assert run_ssa(p, {"n": 6}).return_value == 56
+
+
+class TestAssumptions:
+    def test_symbolic_exit_values_carry_assumptions(self):
+        """Paper-faithful caveat: a symbolic trip count like `n` assumes the
+        loop actually runs max(0, n) times; the recorded assumption makes
+        the validity condition explicit."""
+        p = analyze_src(
+            "s = 0\nL1: for i = 1 to n do\n  s = s + 2\nendfor\nreturn s"
+        )
+        assumptions = p.result.all_assumptions()
+        assert "L1" in assumptions
+        assert any("n" in a for a in assumptions["L1"])
+        # the exit value 2*n is exactly right for n >= 0...
+        s2 = p.ssa_name("s", "L1")
+        assert str(p.result.exit_value("L1", s2)) == "2*n"
+        # ...and the interpreter confirms the boundary of validity
+        from tests.conftest import run_ssa
+
+        assert run_ssa(p, {"n": 5}).return_value == 10
+        assert run_ssa(p, {"n": 0}).return_value == 0   # 2*0: still fine
+        assert run_ssa(p, {"n": -4}).return_value == 0  # NOT 2*(-4): assumption violated
+
+    def test_constant_trip_loops_have_no_assumptions(self):
+        p = analyze_src("s = 0\nL1: for i = 1 to 7 do\n  s = s + 2\nendfor")
+        assert "L1" not in p.result.all_assumptions()

@@ -1,0 +1,180 @@
+"""Polynomial and geometric induction variables (paper section 4.3)."""
+
+from fractions import Fraction
+
+from tests.conftest import analyze_src, assert_closed_forms_match_execution, classification_by_var
+from repro.core.classes import InductionVariable, Monotonic, Unknown
+
+
+class TestL14:
+    """The paper's table of closed forms for loop L14."""
+
+    SOURCE = (
+        "j = 1\nk = 1\nl = 1\nm = 0\n"
+        "L14: for i = 1 to n do\n"
+        "  j = j + i\n"
+        "  k = k + j + 1\n"
+        "  l = l * 2 + 1\n"
+        "  m = 3 * m + 2 * i + 1\n"
+        "endfor\nreturn j + k + l + m"
+    )
+
+    def analyze(self):
+        return analyze_src(self.SOURCE)
+
+    def _post_assignment(self, p, var, loop="L14"):
+        """The classification of the post-assignment member (x.3 name)."""
+        header = p.ssa_name(var, loop)
+        others = [n for n in p.ssa_names(var) if n != header]
+        in_loop = [
+            n for n in others
+            if p.result.defining_loop(n) is not None
+        ]
+        assert len(in_loop) == 1
+        return p.classification(in_loop[0])
+
+    def test_j_quadratic(self):
+        p = self.analyze()
+        j3 = self._post_assignment(p, "j")
+        # (h^2 + 3h + 4) / 2
+        assert j3.describe() == "(L14, 2, 3/2, 1/2)"
+        assert [j3.value_at(h).constant_value() for h in range(4)] == [2, 4, 7, 11]
+
+    def test_k_cubic(self):
+        p = self.analyze()
+        k3 = self._post_assignment(p, "k")
+        # (h^3 + 6h^2 + 23h + 24) / 6
+        assert k3.describe() == "(L14, 4, 23/6, 1, 1/6)"
+        assert [k3.value_at(h).constant_value() for h in range(4)] == [4, 9, 17, 29]
+
+    def test_l_geometric(self):
+        p = self.analyze()
+        l3 = self._post_assignment(p, "l")
+        assert isinstance(l3, InductionVariable) and l3.is_geometric
+        # 2^(h+2) - 1
+        assert [l3.value_at(h).constant_value() for h in range(4)] == [3, 7, 15, 31]
+
+    def test_m_mixed_geometric(self):
+        """The paper's garbled closed form is 6*3^h - h - 3; the quadratic
+        term it conservatively allowed comes out zero."""
+        p = self.analyze()
+        m3 = self._post_assignment(p, "m")
+        assert isinstance(m3, InductionVariable) and m3.is_geometric
+        assert m3.form.coeff(2).is_zero
+        assert [m3.value_at(h).constant_value() for h in range(4)] == [3, 14, 49, 156]
+        assert m3.value_at(5) == 6 * 3**5 - 5 - 3
+
+    def test_against_execution(self):
+        assert_closed_forms_match_execution(self.analyze(), {"n": 8})
+
+
+class TestPolynomialOrders:
+    def test_order_four(self):
+        p = analyze_src(
+            "a = 0\nb = 0\nc = 0\nd = 0\nL1: for i = 1 to n do\n"
+            "  a = a + 1\n  b = b + a\n  c = c + b\n  d = d + c\nendfor\nreturn d"
+        )
+        d = classification_by_var(p, "d", "L1")
+        assert isinstance(d, InductionVariable)
+        assert d.form.degree == 4
+        assert_closed_forms_match_execution(p, {"n": 7})
+
+    def test_triangular_numbers(self):
+        p = analyze_src("t = 0\nL1: for i = 1 to n do\n  t = t + i\nendfor\nreturn t")
+        t = classification_by_var(p, "t", "L1")
+        # t(h) = sum_{u<h} (u+1) = h(h+1)/2: the triangular numbers
+        assert t.describe() == "(L1, 0, 1/2, 1/2)"
+        assert [t.value_at(h).constant_value() for h in range(5)] == [0, 1, 3, 6, 10]
+
+    def test_symbolic_coefficients(self):
+        p = analyze_src(
+            "j = j0\nL1: for i = 0 to n do\n  j = j + i\n  j = j + c\nendfor\nreturn j"
+        )
+        j = classification_by_var(p, "j", "L1")
+        assert isinstance(j, InductionVariable)
+        assert "j0" in str(j.form.coeff(0))
+
+    def test_incrementing_by_quadratic_gives_cubic(self):
+        p = analyze_src(
+            "sq = 0\ncu = 0\nL1: for i = 0 to n do\n  sq = sq + 2 * i + 1\n  cu = cu + sq\nendfor\nreturn cu"
+        )
+        sq = classification_by_var(p, "sq", "L1")
+        cu = classification_by_var(p, "cu", "L1")
+        assert sq.form.degree == 2
+        assert cu.form.degree == 3
+        assert_closed_forms_match_execution(p, {"n": 6})
+
+
+class TestGeometric:
+    def test_pure_doubling(self):
+        p = analyze_src("x = 1\nL1: for i = 1 to n do\n  x = x * 2\nendfor\nreturn x")
+        x = classification_by_var(p, "x", "L1")
+        assert x.is_geometric
+        assert [x.value_at(h).constant_value() for h in range(5)] == [1, 2, 4, 8, 16]
+
+    def test_negative_multiplier(self):
+        p = analyze_src("x = 1\nL1: for i = 1 to n do\n  x = x * -2 + 1\nendfor\nreturn x")
+        x = classification_by_var(p, "x", "L1")
+        assert isinstance(x, InductionVariable)
+        assert_closed_forms_match_execution(p, {"n": 6})
+
+    def test_symbolic_initial_value(self):
+        p = analyze_src("x = x0\nL1: for i = 1 to n do\n  x = x * 3\nendfor\nreturn x")
+        x = classification_by_var(p, "x", "L1")
+        assert x.is_geometric
+        assert str(x.value_at(2)) == "9*x0"
+
+    def test_exponentiation_of_iv(self):
+        """2 ** i recognized as geometric via the operator algebra."""
+        p = analyze_src("L1: for i = 0 to n do\n  g = 2 ** i\n  A[g] = 0\nendfor")
+        g = p.classification(p.ssa_names("g")[0])
+        assert isinstance(g, InductionVariable) and g.is_geometric
+        assert [g.value_at(h).constant_value() for h in range(4)] == [1, 2, 4, 8]
+
+    def test_exponentiation_with_step(self):
+        p = analyze_src("L1: for i = 0 to n by 2 do\n  g = 3 ** i\n  A[g] = 0\nendfor")
+        g = p.classification(p.ssa_names("g")[0])
+        assert g.is_geometric
+        assert [g.value_at(h).constant_value() for h in range(3)] == [1, 9, 81]
+
+    def test_iv_squared_polynomial(self):
+        p = analyze_src("L1: for i = 0 to n do\n  s = i ** 2\n  A[s] = 0\nendfor")
+        s = p.classification(p.ssa_names("s")[0])
+        assert isinstance(s, InductionVariable)
+        assert s.form.degree == 2
+
+    def test_product_of_two_ivs(self):
+        """(2i+1)(3i-5): the paper's section 5.1 example of IV * IV."""
+        p = analyze_src(
+            "L1: for i = 0 to n do\n  a = 2 * i + 1\n  b = 3 * i - 5\n  c = a * b\n  A[c] = 0\nendfor"
+        )
+        c = p.classification(p.ssa_names("c")[0])
+        assert isinstance(c, InductionVariable)
+        assert c.form.degree == 2
+        assert_closed_forms_match_execution(p, {"n": 5})
+
+    def test_geo_times_geo(self):
+        p = analyze_src(
+            "L1: for i = 0 to n do\n  a = 2 ** i\n  b = 3 ** i\n  c = a * b\n  A[c] = 0\nendfor"
+        )
+        c = p.classification(p.ssa_names("c")[0])
+        assert c.is_geometric
+        assert c.value_at(2) == 36
+
+    def test_poly_times_geo_unknown(self):
+        """h * 2^h has no representation: falls out of the IV classes."""
+        p = analyze_src(
+            "L1: for i = 0 to n do\n  a = 2 ** i\n  c = i * a\n  A[c] = 0\nendfor"
+        )
+        c = p.classification(p.ssa_names("c")[0])
+        assert isinstance(c, Unknown)
+
+    def test_factorial_like_rejected(self):
+        """'This could be taken to extreme, such as recognizing that
+        multiplying by a linear IV generates a factorial sequence' -- we,
+        like the paper, do not."""
+        p = analyze_src(
+            "f = 1\nL1: for i = 1 to n do\n  f = f * i\nendfor\nreturn f"
+        )
+        f = classification_by_var(p, "f", "L1")
+        assert not isinstance(f, InductionVariable)

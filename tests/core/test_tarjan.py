@@ -1,0 +1,101 @@
+"""Tests for the modified Tarjan SCR traversal."""
+
+from repro.core.tarjan import tarjan_scrs
+
+
+def run(edges, nodes=None):
+    """edges: dict node -> list of successors."""
+    if nodes is None:
+        nodes = list(edges)
+    seen = []
+
+    def on_scr(members, is_cycle):
+        seen.append((tuple(sorted(members)), is_cycle))
+
+    count = tarjan_scrs(nodes, lambda n: edges.get(n, []), on_scr)
+    return seen, count
+
+
+class TestBasics:
+    def test_dag_all_trivial(self):
+        seen, count = run({"a": ["b"], "b": ["c"], "c": []})
+        assert count == 3
+        assert all(not cycle for _, cycle in seen)
+
+    def test_simple_cycle(self):
+        seen, _ = run({"a": ["b"], "b": ["a"]})
+        assert (("a", "b"), True) in seen
+
+    def test_self_loop_is_cycle(self):
+        seen, _ = run({"a": ["a"]})
+        assert seen == [(("a",), True)]
+
+    def test_trivial_single_node(self):
+        seen, _ = run({"a": []})
+        assert seen == [(("a",), False)]
+
+    def test_two_cycles(self):
+        seen, _ = run(
+            {"a": ["b"], "b": ["a", "c"], "c": ["d"], "d": ["c"]}
+        )
+        sccs = {members for members, cycle in seen if cycle}
+        assert sccs == {("a", "b"), ("c", "d")}
+
+
+class TestVisitOrder:
+    def test_operands_classified_before_users(self):
+        """The paper's key property: when an SCR pops, its out-of-SCR
+        successors (operands) have already popped."""
+        edges = {
+            "user": ["cycle1"],
+            "cycle1": ["cycle2", "operand"],
+            "cycle2": ["cycle1"],
+            "operand": ["leaf"],
+            "leaf": [],
+        }
+        seen, _ = run(edges)
+        order = [members for members, _ in seen]
+        position = {members: i for i, members in enumerate(order)}
+        assert position[("leaf",)] < position[("operand",)]
+        assert position[("operand",)] < position[("cycle1", "cycle2")]
+        assert position[("cycle1", "cycle2")] < position[("user",)]
+
+    def test_all_roots_visited(self):
+        # disconnected components
+        seen, count = run({"a": [], "b": ["c"], "c": ["b"]}, nodes=["a", "b", "c"])
+        assert count == 2
+        assert (("a",), False) in seen
+
+    def test_external_successors_ignored(self):
+        # successors outside the node set are filtered
+        seen, count = run({"a": ["ghost"]}, nodes=["a"])
+        assert count == 1
+
+
+class TestScale:
+    def test_long_chain_no_recursion_error(self):
+        n = 50_000
+        edges = {str(i): [str(i + 1)] for i in range(n)}
+        edges[str(n)] = []
+        seen, count = run(edges, nodes=[str(i) for i in range(n + 1)])
+        assert count == n + 1
+
+    def test_large_cycle(self):
+        n = 10_000
+        edges = {str(i): [str((i + 1) % n)] for i in range(n)}
+        seen, count = run(edges)
+        assert count == 1
+        assert len(seen[0][0]) == n
+
+    def test_linear_visit_count(self):
+        """Each node appears in exactly one SCR (one pass, not iterative)."""
+        import random
+
+        rng = random.Random(7)
+        nodes = [str(i) for i in range(500)]
+        edges = {
+            n: rng.sample(nodes, k=rng.randint(0, 3)) for n in nodes
+        }
+        seen, _ = run(edges)
+        flat = [m for members, _ in seen for m in members]
+        assert sorted(flat) == sorted(nodes)

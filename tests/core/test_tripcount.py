@@ -1,0 +1,192 @@
+"""Trip counts (paper section 5.2)."""
+
+import pytest
+
+from tests.conftest import analyze_src
+from repro.core.tripcount import TripCountKind
+
+
+def trip(source, loop="L1", **kwargs):
+    p = analyze_src(source, **kwargs)
+    return p.result.trip_count(loop)
+
+
+class TestConstantCounts:
+    def test_simple_for(self):
+        t = trip("L1: for i = 1 to 100 do\n  x = i\nendfor")
+        assert t.kind is TripCountKind.FINITE
+        assert t.constant() == 100
+
+    def test_step(self):
+        t = trip("L1: for i = 0 to 10 by 3 do\n  x = i\nendfor")
+        assert t.constant() == 4  # 0, 3, 6, 9
+
+    def test_downto(self):
+        t = trip("L1: for i = 10 downto 1 do\n  x = i\nendfor")
+        assert t.constant() == 10
+
+    def test_zero_trips(self):
+        t = trip("L1: for i = 5 to 1 do\n  x = i\nendfor")
+        assert t.kind is TripCountKind.ZERO
+        assert t.constant() == 0
+
+    def test_while_form(self):
+        t = trip("i = 0\nL1: while i < 7 do\n  i = i + 2\nendwhile")
+        assert t.constant() == 4  # i = 0, 2, 4, 6
+
+    def test_mid_loop_exit_paper_l18(self):
+        """'The exit condition converted ... thus the trip count is 100.'"""
+        t = trip(
+            "i = 1\nk = 0\nL18: loop\n  k = k + 2\n  if i > 100 then\n    break\n  endif\n  i = i + 1\nendloop",
+            loop="L18",
+        )
+        assert t.constant() == 100
+
+    def test_all_relations(self):
+        # each source relation exercises a different row of the table
+        assert trip("i = 0\nL1: while i < 5 do\n  i = i + 1\nendwhile").constant() == 5
+        assert trip("i = 0\nL1: while i <= 5 do\n  i = i + 1\nendwhile").constant() == 6
+        assert trip("i = 9\nL1: while i > 2 do\n  i = i - 1\nendwhile").constant() == 7
+        assert trip("i = 9\nL1: while i >= 2 do\n  i = i - 1\nendwhile").constant() == 8
+
+    def test_true_branch_exits(self):
+        # trip count = times the exit chose to *stay*; the increment above
+        # the test runs tc+1 times (i reaches 4 on the exiting pass)
+        assert (
+            trip("i = 0\nL1: loop\n  i = i + 1\n  if i >= 4 then\n    break\n  endif\nendloop").constant()
+            == 3
+        )
+        assert (
+            trip("i = 9\nL1: loop\n  i = i - 3\n  if i <= 0 then\n    break\n  endif\nendloop").constant()
+            == 2
+        )
+
+    def test_ceiling_division(self):
+        # i = 0, stays while i < 10, step 3: ceil(10/3) = 4 trips
+        t = trip("i = 0\nL1: while i < 10 do\n  i = i + 3\nendwhile")
+        assert t.constant() == 4
+
+
+class TestSymbolicCounts:
+    def test_symbolic_bound(self):
+        t = trip("L1: for i = 1 to n do\n  x = i\nendfor")
+        assert t.kind is TripCountKind.FINITE
+        assert str(t.count) == "n"
+        assert t.assumptions  # n >= 0 style guard
+
+    def test_triangular_inner_count_is_outer_iv(self):
+        p = analyze_src(
+            "L19: for i = 1 to n do\n  L20: for k = 1 to i do\n    x = k\n  endfor\nendfor"
+        )
+        t = p.result.trip_count("L20")
+        assert t.kind is TripCountKind.FINITE
+        assert t.count == __import__("repro.symbolic.expr", fromlist=["Expr"]).Expr.sym(
+            p.ssa_name("i", "L19")
+        )
+
+    def test_symbolic_with_offset(self):
+        t = trip("L1: for i = 3 to n do\n  x = i\nendfor")
+        assert str(t.count) == "-2 + n"
+
+    def test_symbolic_nonunit_step_is_opaque(self):
+        t = trip("L1: for i = 0 to n by 4 do\n  x = i\nendfor")
+        assert t.kind is TripCountKind.FINITE
+        assert str(t.count).startswith("$k")
+        assert any("ceil" in a for a in t.assumptions)
+
+
+class TestDegenerate:
+    def test_infinite(self):
+        t = trip("i = 0\nL1: loop\n  i = i + 1\n  if i < 0 then\n    break\n  endif\nendloop")
+        assert t.kind is TripCountKind.INFINITE
+
+    def test_no_exit_at_all(self):
+        t = trip("i = 0\nL1: loop\n  i = i + 1\nendloop")
+        assert t.kind is TripCountKind.INFINITE
+
+    def test_wrong_direction_step(self):
+        t = trip("i = 0\nL1: while i < 10 do\n  i = i - 1\nendwhile")
+        assert t.kind is TripCountKind.INFINITE
+
+    def test_equality_exit_unknown(self):
+        t = trip("i = 0\nL1: loop\n  i = i + 1\n  if i == 5 then\n    break\n  endif\nendloop")
+        assert t.kind is TripCountKind.UNKNOWN
+
+    def test_unknown_condition(self):
+        t = trip(
+            "i = 0\nL1: loop\n  i = i + 1\n  if A[i] > 0 then\n    break\n  endif\nendloop"
+        )
+        assert t.kind is TripCountKind.UNKNOWN
+
+    def test_nonlinear_exit_unknown(self):
+        t = trip(
+            "x = 1\nL1: loop\n  x = x * 2\n  if x > 1000 then\n    break\n  endif\nendloop"
+        )
+        # the exit quantity is geometric, not linear
+        assert t.kind is TripCountKind.UNKNOWN
+
+
+class TestMultipleExits:
+    def test_min_of_constant_exits(self):
+        t = trip(
+            "i = 0\nL1: loop\n  i = i + 1\n  if i > 10 then\n    break\n  endif\n"
+            "  if i > 5 then\n    break\n  endif\nendloop"
+        )
+        assert t.kind is TripCountKind.FINITE
+        assert t.constant() == 5
+
+    def test_finite_beats_infinite(self):
+        t = trip(
+            "i = 0\nj = 0\nL1: loop\n  i = i + 1\n  if j > 1 then\n    break\n  endif\n"
+            "  if i > 7 then\n    break\n  endif\nendloop"
+        )
+        assert t.constant() == 7
+
+    def test_unknown_with_bound(self):
+        t = trip(
+            "i = 0\nL1: loop\n  i = i + 1\n  if A[i] > 0 then\n    break\n  endif\n"
+            "  if i > 100 then\n    break\n  endif\nendloop"
+        )
+        # exact count unknown (data-dependent first exit)
+        assert t.kind in (TripCountKind.UNKNOWN, TripCountKind.FINITE)
+        if t.kind is TripCountKind.FINITE:
+            assert not t.exact
+
+
+class TestExitValues:
+    def test_paper_fig8_exit_values(self):
+        p = analyze_src(
+            "k = 0\nL17: loop\n  i = 1\n  L18: loop\n    k = k + 2\n"
+            "    if i > 100 then\n      break\n    endif\n    i = i + 1\n  endloop\n"
+            "  k = k + 2\n  if k > 100000 then\n    break\n  endif\nendloop"
+        )
+        k2 = p.ssa_name("k", "L17")
+        k3 = p.ssa_name("k", "L18")
+        # k3's exit value is k2 + 202 (the early increment runs 101 times)
+        exit_k3 = p.result.exit_value("L18", k3)
+        assert str(exit_k3) == f"200 + {k2}"
+        inner_names = [n for n in p.ssa_names("k") if p.result.defining_loop(n) and p.result.defining_loop(n).header == "L18"]
+        k4 = [n for n in inner_names if n != k3][0]
+        assert str(p.result.exit_value("L18", k4)) == f"202 + {k2}"
+        # i exits at 101 = 1 + 100*1 (paper: i4 = i1 + 100*1)
+        i2 = p.ssa_name("i", "L18")
+        assert p.result.exit_value("L18", i2) == 101
+
+    def test_exit_value_symbolic_trip(self):
+        p = analyze_src("s = 0\nL1: for i = 1 to n do\n  s = s + 2\nendfor\nreturn s")
+        s2 = p.ssa_name("s", "L1")
+        value = p.result.exit_value("L1", s2)
+        assert str(value) == "2*n"
+
+    def test_exit_value_zero_trip(self):
+        p = analyze_src("s = 7\nL1: for i = 5 to 1 do\n  s = 0\nendfor\nreturn s")
+        s2 = p.ssa_name("s", "L1")
+        # zero trips: the phi holds its initial value at the exit
+        assert p.result.exit_value("L1", s2) == 7
+
+    def test_no_exit_value_for_uncountable(self):
+        p = analyze_src(
+            "s = 0\nL1: loop\n  s = s + 1\n  if A[s] > 0 then\n    break\n  endif\nendloop"
+        )
+        s2 = p.ssa_name("s", "L1")
+        assert p.result.exit_value("L1", s2) is None

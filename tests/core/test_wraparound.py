@@ -1,0 +1,133 @@
+"""Wrap-around variable detection (paper section 4.1)."""
+
+from tests.conftest import analyze_src, assert_closed_forms_match_execution, classification_by_var
+from repro.core.classes import InductionVariable, Invariant, Monotonic, Periodic, Unknown, WrapAround
+
+
+class TestFirstOrder:
+    def test_classic_iml(self):
+        """The paper's L9: iml is i delayed by one iteration."""
+        p = analyze_src(
+            "iml = n\nL9: for i = 1 to n do\n  A[i] = A[iml] + 1\n  iml = i\nendfor"
+        )
+        w = classification_by_var(p, "iml", "L9")
+        assert isinstance(w, WrapAround)
+        assert w.order == 1
+        assert str(w.pre_values[0]) == "n"
+        inner = w.inner
+        assert isinstance(inner, InductionVariable)
+        # steady state: iml(h) = i(h-1) = h  (i = 1 + h)
+        assert inner.value_at(3) == 3
+
+    def test_value_at_semantics(self):
+        p = analyze_src(
+            "iml = 77\nL9: for i = 1 to n do\n  A[i] = A[iml] + 1\n  iml = i\nendfor"
+        )
+        w = classification_by_var(p, "iml", "L9")
+        assert w.value_at(0) == 77
+        assert w.value_at(1) == 1
+        assert w.value_at(4) == 4
+        assert_closed_forms_match_execution(p, {"n": 6})
+
+    def test_collapse_when_init_fits(self):
+        """'If the initial value of j1 had been 0, j2 could have been
+        identified as the induction variable (L10, 0, 1).'"""
+        p = analyze_src(
+            "j = 0\ni = 1\nL10: loop\n  A[j] = 0\n  j = i\n  i = i + 1\n"
+            "  if i > n then\n    break\n  endif\nendloop"
+        )
+        j = classification_by_var(p, "j", "L10")
+        assert isinstance(j, InductionVariable)
+        assert j.describe() == "(L10, 0, 1)"
+
+    def test_wraparound_of_invariant(self):
+        p = analyze_src(
+            "x = a\nL1: for i = 1 to n do\n  A[x] = i\n  x = b\nendfor"
+        )
+        x = classification_by_var(p, "x", "L1")
+        assert isinstance(x, WrapAround)
+        assert isinstance(x.inner, Invariant)
+        assert str(x.inner.expr) == "b"
+
+
+class TestSecondOrder:
+    def test_fig4_cascade(self):
+        """Figure 4: k takes j's value, j takes i's: k is second order."""
+        p = analyze_src(
+            "k = kinit\nj = jinit\ni = 1\nL10: loop\n  A[k] = 0\n  k = j\n  j = i\n  i = i + 1\n"
+            "  if i > n then\n    break\n  endif\nendloop"
+        )
+        k = classification_by_var(p, "k", "L10")
+        assert isinstance(k, WrapAround)
+        assert k.order == 2
+        assert [str(v) for v in k.pre_values] == ["kinit", "jinit"]
+        # steady state: k(h) = h - 1
+        assert k.value_at(2) == 1
+        assert k.value_at(5) == 4
+        j = classification_by_var(p, "j", "L10")
+        assert isinstance(j, WrapAround) and j.order == 1
+
+    def test_third_order(self):
+        p = analyze_src(
+            "a = p1\nb = p2\nc = p3\ni = 0\nL1: loop\n  A[a] = 0\n  a = b\n  b = c\n  c = i\n  i = i + 1\n"
+            "  if i > n then\n    break\n  endif\nendloop"
+        )
+        a = classification_by_var(p, "a", "L1")
+        assert isinstance(a, WrapAround)
+        assert a.order == 3
+        # a(h) = i(h-3) = h - 3 for h >= 3
+        assert a.value_at(7) == 4
+
+    def test_partial_collapse(self):
+        """Pre-values that fit partially still leave a wrap-around."""
+        p = analyze_src(
+            "k = 99\nj = 0\ni = 1\nL10: loop\n  A[k] = 0\n  k = j\n  j = i\n  i = i + 1\n"
+            "  if i > n then\n    break\n  endif\nendloop"
+        )
+        # j collapses (j1 = 0 fits); k2 = phi(99, j) with j a plain IV now:
+        # k is order 1 with pre 99
+        k = classification_by_var(p, "k", "L10")
+        assert isinstance(k, WrapAround)
+        assert k.order == 1
+        assert k.value_at(0) == 99
+        assert k.value_at(3) == 2
+
+
+class TestWrappedOtherClasses:
+    def test_wraparound_of_periodic(self):
+        """'Any of the other known classes could also be wrapped around.'"""
+        p = analyze_src(
+            "t = t0\nj = 1\nk = 2\nL1: for it = 1 to n do\n  A[t] = 0\n  t = j\n"
+            "  tmp = j\n  j = k\n  k = tmp\nendfor"
+        )
+        t = classification_by_var(p, "t", "L1")
+        assert isinstance(t, WrapAround)
+        assert isinstance(t.inner, Periodic)
+        # t(h) = j(h-1): j = 1,2,1,2... so t = t0,1,2,1,2...
+        assert t.value_at(0) == Exprs("t0")
+        assert t.value_at(1) == 1
+        assert t.value_at(2) == 2
+        assert t.value_at(3) == 1
+
+    def test_wraparound_of_monotonic(self):
+        p = analyze_src(
+            "m = m0\nk = 0\nL1: for i = 1 to n do\n  A[m] = 0\n  m = k\n"
+            "  if A[i] > 0 then\n    k = k + 1\n  endif\nendfor"
+        )
+        m = classification_by_var(p, "m", "L1")
+        assert isinstance(m, WrapAround)
+        assert isinstance(m.inner, Monotonic)
+        assert m.inner.direction == 1
+
+    def test_wraparound_of_unknown_is_unknown(self):
+        p = analyze_src(
+            "m = m0\nL1: for i = 1 to n do\n  A[m] = 0\n  m = A[i]\nendfor"
+        )
+        m = classification_by_var(p, "m", "L1")
+        assert isinstance(m, Unknown)
+
+
+def Exprs(name):
+    from repro.symbolic.expr import Expr
+
+    return Expr.sym(name)

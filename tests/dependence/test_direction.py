@@ -1,0 +1,76 @@
+"""Tests for direction/distance vectors."""
+
+from repro.dependence.direction import (
+    ANY,
+    EQ,
+    GE,
+    GT,
+    LE,
+    LT,
+    NE,
+    Direction,
+    DirectionVector,
+    DistanceVector,
+)
+
+
+class TestNames:
+    def test_printable(self):
+        assert Direction.name(LT) == "<"
+        assert Direction.name(EQ) == "="
+        assert Direction.name(GT) == ">"
+        assert Direction.name(LE) == "<="
+        assert Direction.name(GE) == ">="
+        assert Direction.name(NE) == "!="
+        assert Direction.name(ANY) == "*"
+
+
+class TestDirectionVector:
+    def test_repr(self):
+        assert repr(DirectionVector([LT, EQ])) == "(<, =)"
+
+    def test_refine(self):
+        v = DirectionVector([ANY, ANY])
+        refined = v.refine(0, LT)
+        assert refined.elements[0] == LT and refined.elements[1] == ANY
+
+    def test_refine_to_empty(self):
+        v = DirectionVector([LT])
+        assert v.refine(0, GT).is_empty
+
+    def test_is_exact(self):
+        assert DirectionVector([LT, EQ]).is_exact
+        assert not DirectionVector([LE]).is_exact
+
+    def test_leading_sign(self):
+        assert DirectionVector([EQ, LT]).leading_sign() == 1
+        assert DirectionVector([EQ, EQ]).leading_sign() == 0
+        assert DirectionVector([GT]).leading_sign() == -1
+        assert DirectionVector([ANY]).leading_sign() is None
+
+    def test_plausible(self):
+        assert DirectionVector([LT, GT]).is_plausible
+        assert DirectionVector([EQ, EQ]).is_plausible
+        assert not DirectionVector([GT, LT]).is_plausible
+        assert DirectionVector([ANY, GT]).is_plausible
+
+    def test_star(self):
+        v = DirectionVector.star(3)
+        assert len(v) == 3 and all(e == ANY for e in v.elements)
+
+    def test_eq_hash(self):
+        assert DirectionVector([LT]) == DirectionVector([LT])
+        assert hash(DirectionVector([LT])) == hash(DirectionVector([frozenset({1})]))
+
+
+class TestDistanceVector:
+    def test_direction_from_distance(self):
+        d = DistanceVector([1, 0, -2, None])
+        assert d.direction().elements == (LT, EQ, GT, ANY)
+
+    def test_repr(self):
+        assert repr(DistanceVector([1, None])) == "(1, *)"
+
+    def test_eq(self):
+        assert DistanceVector([1]) == DistanceVector([1])
+        assert DistanceVector([1]) != DistanceVector([2])

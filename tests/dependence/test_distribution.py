@@ -1,0 +1,114 @@
+"""Tests for loop distribution planning."""
+
+from tests.conftest import analyze_src
+from repro.dependence.distribution import plan_distribution
+
+
+def plan(source, header="L1"):
+    p = analyze_src(source)
+    loop = p.nest.loop_of_header(header)
+    return p, plan_distribution(p.result, loop)
+
+
+class TestPiBlocks:
+    def test_independent_statements_distribute(self):
+        _, result = plan(
+            "L1: for i = 1 to n do\n  A[i] = X[i] + 1\n  B[i] = Y[i] * 2\nendfor"
+        )
+        assert result.distributable
+        assert len(result.pi_blocks) == 2
+
+    def test_recurrence_is_one_block(self):
+        _, result = plan(
+            "L1: for i = 2 to n do\n  A[i] = A[i - 1] + 1\nendfor"
+        )
+        assert len(result.pi_blocks) == 1
+
+    def test_forward_dependence_orders_blocks(self):
+        _, result = plan(
+            "L1: for i = 1 to n do\n  A[i] = X[i]\n  B[i] = A[i] + 1\nendfor"
+        )
+        assert result.distributable
+        first, second = result.pi_blocks
+        assert first[0].store.array == "A"
+        assert second[0].store.array == "B"
+
+    def test_backward_carried_cycle_fuses(self):
+        """A[i] uses B[i-1] and B[i] uses A[i]: a cross-statement cycle."""
+        _, result = plan(
+            "L1: for i = 2 to n do\n  A[i] = B[i - 1]\n  B[i] = A[i] + 1\nendfor"
+        )
+        assert len(result.pi_blocks) == 1
+        assert len(result.pi_blocks[0]) == 2
+
+    def test_carried_forward_dependence_still_distributes(self):
+        """B reads A from an *earlier* iteration: still src-before-dst."""
+        _, result = plan(
+            "L1: for i = 2 to n do\n  A[i] = X[i]\n  B[i] = A[i - 1]\nendfor"
+        )
+        assert result.distributable
+        assert result.pi_blocks[0][0].store.array == "A"
+
+    def test_statement_includes_feeding_loads(self):
+        _, result = plan(
+            "L1: for i = 1 to n do\n  t = X[i] + Y[i]\n  A[i] = t * 2\nendfor"
+        )
+        statement = result.pi_blocks[0][0]
+        assert {load.array for load in statement.loads} == {"X", "Y"}
+
+    def test_summary(self):
+        _, result = plan("L1: for i = 1 to n do\n  A[i] = X[i]\nendfor")
+        text = result.summary()
+        assert "pi-block" in text and "pi0" in text
+
+
+class TestClassificationPayoff:
+    def test_periodic_both_ways_fuses_correctly(self):
+        """A '!=' dependence is carried in *both* statement directions
+        (earlier write/later read and vice versa): the two statements
+        genuinely form a cycle and must stay together."""
+        _, result = plan(
+            "j = 1\nk = 2\nL1: for it = 1 to n do\n"
+            "  A[j] = X[it]\n  B[it] = A[k]\n"
+            "  t = j\n  j = k\n  k = t\nendfor"
+        )
+        assert len(result.pi_blocks) == 1
+
+    def test_strict_monotonic_subscripts_distribute(self):
+        """Figure 10's payoff: B[k3] collides only at equal iterations and
+        the store precedes the read, so the forward '=' dependence does not
+        create a cycle -- the statements distribute.  A linear-only
+        analyzer sees '*' both ways and fuses them."""
+        source = (
+            "k = 0\nL1: for i = 1 to n do\n"
+            "  if X[i] > 0 then\n"
+            "    k = k + 1\n"
+            "    B[k] = X[i]\n"
+            "    C[i] = B[k]\n"
+            "  endif\nendfor"
+        )
+        _, result = plan(source)
+        assert result.distributable
+        assert result.pi_blocks[0][0].store.array == "B"
+        assert result.pi_blocks[1][0].store.array == "C"
+
+        # ablate to linear-only: the same loop fuses into one pi-block
+        import repro.dependence.testing as testing_module
+        from repro.dependence.subscript import SubscriptDescriptor, SubscriptKind
+
+        original = testing_module.describe_subscript
+
+        def downgraded(analysis, value, block):
+            descriptor = original(analysis, value, block)
+            if descriptor.kind is SubscriptKind.MONOTONIC:
+                return SubscriptDescriptor(
+                    SubscriptKind.UNKNOWN, descriptor.loop_chain, reason="ablation"
+                )
+            return descriptor
+
+        testing_module.describe_subscript = downgraded
+        try:
+            _, fused = plan(source)
+        finally:
+            testing_module.describe_subscript = original
+        assert not fused.distributable

@@ -1,0 +1,103 @@
+"""Tests for loop parallelism and interchange legality."""
+
+from tests.conftest import analyze_src
+from repro.dependence.graph import build_dependence_graph
+from repro.dependence.loopinfo import (
+    analyze_parallelism,
+    check_interchange,
+    edge_carried_by,
+)
+
+
+def verdicts(source):
+    p = analyze_src(source)
+    return p, analyze_parallelism(p.result)
+
+
+class TestParallelism:
+    def test_independent_loop_is_doall(self):
+        _, v = verdicts("L1: for i = 1 to n do\n  A[i] = B[i] * 2\nendfor")
+        assert v["L1"].parallelizable
+
+    def test_recurrence_is_serial(self):
+        _, v = verdicts("L1: for i = 2 to n do\n  A[i] = A[i - 1] + 1\nendfor")
+        assert not v["L1"].parallelizable
+        assert v["L1"].carried
+
+    def test_same_iteration_dependence_still_doall(self):
+        _, v = verdicts("L1: for i = 1 to n do\n  A[i] = B[i]\n  C[i] = A[i]\nendfor")
+        assert v["L1"].parallelizable
+
+    def test_outer_carried_inner_parallel(self):
+        _, v = verdicts(
+            "L1: for i = 2 to n do\n  L2: for j = 1 to n do\n"
+            "    A[i, j] = A[i - 1, j] + 1\n  endfor\nendfor"
+        )
+        assert not v["L1"].parallelizable
+        assert v["L2"].parallelizable  # distance (1, 0): inner is DOALL
+
+    def test_periodic_relaxation_inner_parallel(self):
+        """The paper's payoff: periodic analysis makes the inner loop DOALL."""
+        _, v = verdicts(
+            "j = 1\njold = 2\nL1: for it = 1 to t do\n  L2: for x = 1 to n do\n"
+            "    A[j, x] = A[jold, x] + 1\n  endfor\n"
+            "  jt = jold\n  jold = j\n  j = jt\nendfor"
+        )
+        assert v["L2"].parallelizable
+        assert not v["L1"].parallelizable
+
+    def test_strictly_monotonic_store_is_doall(self):
+        _, v = verdicts(
+            "k = 0\nL1: for i = 1 to n do\n  if A[i] > 0 then\n"
+            "    k = k + 1\n    B[k] = A[i]\n  endif\nendfor"
+        )
+        # the only B accesses use the strictly monotonic k: never collide
+        # across iterations, and reads of A are input-only
+        assert v["L1"].parallelizable
+
+    def test_monotonic_nonstrict_is_serial(self):
+        _, v = verdicts(
+            "k = 0\nL1: for i = 1 to n do\n  F[k] = A[i]\n"
+            "  if A[i] > 0 then\n    k = k + 1\n  endif\nendfor"
+        )
+        assert not v["L1"].parallelizable
+
+
+class TestInterchange:
+    def test_rectangular_distance_1_0_legal(self):
+        p, _ = verdicts(
+            "L1: for i = 2 to n do\n  L2: for j = 1 to n do\n"
+            "    A[i, j] = A[i - 1, j] + 1\n  endfor\nendfor"
+        )
+        verdict = check_interchange(p.result, "L1", "L2")
+        assert verdict.legal
+
+    def test_triangular_lt_gt_blocks(self):
+        """The paper's L23/L24 point: the (<, >) vector forbids interchange."""
+        p, _ = verdicts(
+            "L23: for i = 1 to n do\n  L24: for j = i + 1 to n do\n"
+            "    A[i, j] = A[i - 1, j] + 1\n  endfor\nendfor"
+        )
+        verdict = check_interchange(p.result, "L23", "L24")
+        assert not verdict.legal
+        assert verdict.blocking
+
+    def test_fully_independent_legal(self):
+        p, _ = verdicts(
+            "L1: for i = 1 to n do\n  L2: for j = 1 to n do\n"
+            "    A[i, j] = B[i, j]\n  endfor\nendfor"
+        )
+        assert check_interchange(p.result, "L1", "L2").legal
+
+
+class TestEdgeCarriedBy:
+    def test_levels(self):
+        p = analyze_src(
+            "L1: for i = 2 to n do\n  L2: for j = 1 to n do\n"
+            "    A[i, j] = A[i - 1, j] + 1\n  endfor\nendfor"
+        )
+        graph = build_dependence_graph(p.result)
+        flow = [e for e in graph.edges if e.source.is_write and not e.sink.is_write][0]
+        assert edge_carried_by(flow, "L1")
+        assert not edge_carried_by(flow, "L2")
+        assert not edge_carried_by(flow, "ghost")

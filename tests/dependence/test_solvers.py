@@ -1,0 +1,140 @@
+"""Unit tests for the ZIV/SIV/GCD/Banerjee solver layers."""
+
+from fractions import Fraction
+
+from repro.dependence.banerjee import (
+    Interval,
+    banerjee_feasible,
+    direction_term_interval,
+    scaled_range,
+)
+from repro.dependence.direction import ANY, EQ, GT, LT
+from repro.dependence.gcd import gcd_feasible
+from repro.dependence.siv import strong_siv, weak_crossing_siv, weak_zero_siv
+
+F = Fraction
+
+
+class TestIntervals:
+    def test_scaled_range_finite(self):
+        assert scaled_range(F(2), 0, 5) == Interval(F(0), F(10))
+        assert scaled_range(F(-2), 0, 5) == Interval(F(-10), F(0))
+
+    def test_scaled_range_infinite(self):
+        up = scaled_range(F(3), 1, None)
+        assert up.lo == F(3) and up.hi == "+inf"
+        down = scaled_range(F(-3), 1, None)
+        assert down.lo == "-inf" and down.hi == F(-3)
+
+    def test_scaled_range_empty(self):
+        assert scaled_range(F(1), 1, 0).empty
+
+    def test_zero_coefficient(self):
+        assert scaled_range(F(0), 0, None) == Interval(F(0), F(0))
+
+    def test_interval_add_union_contains(self):
+        a = Interval(F(0), F(5))
+        b = Interval(F(-2), F(2))
+        total = a + b
+        assert total == Interval(F(-2), F(7))
+        assert total.contains(F(0)) and not total.contains(F(8))
+        assert a.union(b) == Interval(F(-2), F(5))
+
+    def test_empty_propagates(self):
+        assert (Interval.empty_interval() + Interval(F(0), F(1))).empty
+        assert not Interval.empty_interval().contains(F(0))
+
+
+class TestDirectionTermIntervals:
+    def test_equal_direction(self):
+        # a*h - b*h with h in [0, 9]: (a-b)*h
+        iv = direction_term_interval(F(3), F(1), 10, EQ)
+        assert iv == Interval(F(0), F(18))
+
+    def test_less_direction(self):
+        # h' > h: term (a-b)h - b*d
+        iv = direction_term_interval(F(1), F(1), 10, LT)
+        assert iv.lo == F(-9) and iv.hi == F(-1)
+
+    def test_greater_direction(self):
+        iv = direction_term_interval(F(1), F(1), 10, GT)
+        assert iv.lo == F(1) and iv.hi == F(9)
+
+    def test_star_is_union(self):
+        star = direction_term_interval(F(1), F(1), 10, ANY)
+        assert star.lo == F(-9) and star.hi == F(9)
+
+    def test_trip_too_small_for_lt(self):
+        assert direction_term_interval(F(1), F(1), 1, LT).empty
+
+
+class TestBanerjee:
+    def test_infeasible_delta(self):
+        # h - h' = 100 with both in [0, 9]: impossible
+        assert not banerjee_feasible([(F(1), F(1), 10)], [], F(100), [ANY])
+
+    def test_feasible(self):
+        assert banerjee_feasible([(F(1), F(1), 10)], [], F(5), [ANY])
+        assert not banerjee_feasible([(F(1), F(1), 10)], [], F(5), [EQ])
+        assert banerjee_feasible([(F(1), F(1), 10)], [], F(-5), [LT])
+
+    def test_private_variables_extend_range(self):
+        # delta 50 reachable only through the private term
+        assert banerjee_feasible([(F(1), F(1), 10)], [(F(10), 11)], F(50), [EQ])
+        assert not banerjee_feasible([(F(1), F(1), 10)], [(F(10), 3)], F(50), [EQ])
+
+    def test_unbounded_trip(self):
+        assert banerjee_feasible([(F(1), F(1), None)], [], F(-1000), [LT])
+
+
+class TestGCD:
+    def test_basic(self):
+        # 2h - 2h' = 1 has no integer solutions
+        assert not gcd_feasible([(F(2), F(2))], [], F(1), [ANY])
+        assert gcd_feasible([(F(2), F(2))], [], F(4), [ANY])
+
+    def test_equal_direction_uses_difference(self):
+        # under '=', coefficient is a - b = 3: delta must divide by 3
+        assert not gcd_feasible([(F(5), F(2))], [], F(1), [EQ])
+        assert gcd_feasible([(F(5), F(2))], [], F(6), [EQ])
+        # under '*', 5h - 2h' hits everything
+        assert gcd_feasible([(F(5), F(2))], [], F(1), [ANY])
+
+    def test_all_zero_coefficients(self):
+        assert gcd_feasible([], [], F(0), [])
+        assert not gcd_feasible([], [], F(3), [])
+
+    def test_rational_scaling(self):
+        # (1/2)h - (1/2)h' = 1/4: scaled to 2h - 2h' = 1: infeasible
+        assert not gcd_feasible([(F(1, 2), F(1, 2))], [], F(1, 4), [ANY])
+
+
+class TestSIV:
+    def test_strong_distance(self):
+        r = strong_siv(F(2), F(-6), 100)
+        assert not r.independent and r.distance == 3
+
+    def test_strong_non_integer(self):
+        assert strong_siv(F(2), F(-5), 100).independent
+
+    def test_strong_exceeds_trip(self):
+        assert strong_siv(F(1), F(-200), 100).independent
+        assert not strong_siv(F(1), F(-200), None).independent
+
+    def test_strong_zero_distance(self):
+        r = strong_siv(F(3), F(0), 10)
+        assert r.distance == 0
+
+    def test_weak_zero(self):
+        r = weak_zero_siv(F(2), F(6), 100, True)
+        assert not r.independent
+        assert weak_zero_siv(F(2), F(5), 100, True).independent  # non-integer
+        assert weak_zero_siv(F(2), F(-4), 100, True).independent  # pinned < 0
+        assert weak_zero_siv(F(1), F(200), 100, True).independent  # pinned >= trip
+
+    def test_weak_crossing(self):
+        r = weak_crossing_siv(F(1), F(6), 100)
+        assert not r.independent
+        assert weak_crossing_siv(F(2), F(5), 100).independent  # fractional sum
+        assert weak_crossing_siv(F(1), F(-2), 100).independent  # before loop
+        assert weak_crossing_siv(F(1), F(300), 100).independent  # after loop

@@ -1,0 +1,120 @@
+"""Tests for subscript classification."""
+
+from fractions import Fraction
+
+from tests.conftest import analyze_src
+from repro.dependence.subscript import SubscriptKind, describe_subscript
+from repro.ir.instructions import Load, Store
+
+
+def subscript_of_store(p, array, dim=0):
+    for block in p.ssa:
+        for inst in block:
+            if isinstance(inst, Store) and inst.array == array:
+                return describe_subscript(p.result, inst.indices[dim], block.label)
+    raise AssertionError(f"no store to {array}")
+
+
+class TestLinear:
+    def test_simple_iv(self):
+        p = analyze_src("L1: for i = 1 to n do\n  A[i] = 0\nendfor")
+        d = subscript_of_store(p, "A")
+        assert d.kind is SubscriptKind.LINEAR
+        assert d.coeff("L1") == 1
+        assert d.const == 1  # i = 1 + h
+
+    def test_affine(self):
+        p = analyze_src("L1: for i = 0 to n do\n  A[3 * i + 7] = 0\nendfor")
+        d = subscript_of_store(p, "A")
+        assert d.coeff("L1") == 3 and d.const == 7
+
+    def test_constant(self):
+        p = analyze_src("L1: for i = 0 to n do\n  A[42] = 0\nendfor")
+        d = subscript_of_store(p, "A")
+        assert d.is_ziv and d.const == 42
+
+    def test_symbolic_offset(self):
+        p = analyze_src("L1: for i = 0 to n do\n  A[i + m] = 0\nendfor")
+        d = subscript_of_store(p, "A")
+        assert d.kind is SubscriptKind.LINEAR
+        assert "m" in str(d.const)
+
+    def test_two_loop_affine(self):
+        p = analyze_src(
+            "L1: for i = 0 to n do\n  L2: for j = 0 to n do\n    A[10 * i + j] = 0\n  endfor\nendfor"
+        )
+        d = subscript_of_store(p, "A")
+        assert d.coeff("L1") == 10 and d.coeff("L2") == 1
+
+    def test_inner_init_depends_on_outer(self):
+        p = analyze_src(
+            "L1: for i = 0 to n do\n  L2: for j = i to n do\n    A[j] = 0\n  endfor\nendfor"
+        )
+        d = subscript_of_store(p, "A")
+        # j = i + h2 = h1 + h2: coefficient 1 on both levels
+        assert d.coeff("L1") == 1 and d.coeff("L2") == 1
+
+    def test_bilinear_not_linear(self):
+        """Step varying in the outer loop: not affine in the counters."""
+        p = analyze_src(
+            "L1: for i = 1 to n do\n  L2: for j = 0 to n do\n    A[i * j] = 0\n  endfor\nendfor"
+        )
+        d = subscript_of_store(p, "A")
+        assert d.kind is not SubscriptKind.LINEAR
+
+
+class TestSpecialKinds:
+    def test_periodic(self):
+        p = analyze_src(
+            "j = 1\nk = 2\nL1: for it = 1 to n do\n  A[j] = 0\n  t = j\n  j = k\n  k = t\nendfor"
+        )
+        d = subscript_of_store(p, "A")
+        assert d.kind is SubscriptKind.PERIODIC
+        assert d.cls.period == 2
+
+    def test_scaled_periodic_via_algebra(self):
+        p = analyze_src(
+            "j = 1\nk = 2\nL1: for it = 1 to n do\n  A[2 * j] = 0\n  t = j\n  j = k\n  k = t\nendfor"
+        )
+        d = subscript_of_store(p, "A")
+        assert d.kind is SubscriptKind.PERIODIC
+        assert [v.constant_value() for v in d.cls.values] == [2, 4]
+
+    def test_monotonic(self):
+        p = analyze_src(
+            "k = 0\nL1: for i = 1 to n do\n  if A[i] > 0 then\n    k = k + 1\n  endif\n  B[k] = 0\nendfor"
+        )
+        d = subscript_of_store(p, "B")
+        assert d.kind is SubscriptKind.MONOTONIC
+        assert d.base_name is not None
+
+    def test_wraparound(self):
+        p = analyze_src(
+            "iml = n\nL1: for i = 1 to n do\n  B[iml] = 0\n  iml = i\nendfor"
+        )
+        d = subscript_of_store(p, "B")
+        assert d.kind is SubscriptKind.WRAPAROUND
+
+    def test_polynomial_iv_degrades_to_monotonic(self):
+        p = analyze_src(
+            "t = 0\nL1: for i = 1 to n do\n  t = t + i\n  B[t] = 0\nendfor"
+        )
+        d = subscript_of_store(p, "B")
+        assert d.kind is SubscriptKind.MONOTONIC
+        assert d.cls.direction == 1
+
+    def test_unknown_load_subscript(self):
+        p = analyze_src("L1: for i = 1 to n do\n  B[A[i]] = 0\nendfor")
+        d = subscript_of_store(p, "B")
+        assert d.kind is SubscriptKind.UNKNOWN
+
+
+class TestMultiDim:
+    def test_per_dimension(self):
+        p = analyze_src(
+            "L1: for i = 1 to n do\n  L2: for j = 1 to n do\n    A[i, j + 1] = 0\n  endfor\nendfor"
+        )
+        d0 = subscript_of_store(p, "A", 0)
+        d1 = subscript_of_store(p, "A", 1)
+        assert d0.coeff("L1") == 1 and d0.coeff("L2") == 0
+        assert d1.coeff("L2") == 1 and d1.const == 2

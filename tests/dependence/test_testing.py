@@ -1,0 +1,212 @@
+"""End-to-end dependence tests (linear path + plausibility filtering)."""
+
+from tests.conftest import analyze_src
+from repro.dependence.direction import EQ, GT, LE, LT, NE
+from repro.dependence.graph import DependenceKind, build_dependence_graph
+
+
+def graph_of(source, **kwargs):
+    p = analyze_src(source, **kwargs)
+    return p, build_dependence_graph(p.result)
+
+
+def single_edge(graph, kind):
+    edges = [e for e in graph.edges if e.kind is kind]
+    assert len(edges) == 1, f"expected one {kind}, got {edges}"
+    return edges[0]
+
+
+class TestZIV:
+    def test_distinct_constants_independent(self):
+        _, g = graph_of("L1: for i = 1 to n do\n  A[1] = A[2]\nendfor")
+        # the only dependence is the store's own output self-dependence
+        assert all(e.kind is DependenceKind.OUTPUT for e in g.edges)
+        assert all(e.source == e.sink for e in g.edges)
+
+    def test_same_constant_dependent(self):
+        _, g = graph_of("L1: for i = 1 to n do\n  A[5] = A[5] + 1\nendfor")
+        kinds = {e.kind for e in g.edges}
+        assert DependenceKind.FLOW in kinds and DependenceKind.OUTPUT in kinds
+
+    def test_symbolic_equal_offsets(self):
+        _, g = graph_of("L1: for i = 1 to n do\n  A[m] = A[m] + 1\nendfor")
+        assert any(e.kind is DependenceKind.FLOW for e in g.edges)
+
+    def test_symbolic_different_unprovable(self):
+        # m vs m2: cannot prove distinct -> conservative dependence
+        _, g = graph_of("L1: for i = 1 to n do\n  A[m] = A[m2] + 1\nendfor")
+        cross = [e for e in g.edges if e.source != e.sink]
+        assert cross  # conservative
+        assert all(not e.result.exact for e in cross)
+
+
+class TestStrongSIV:
+    def test_classic_distance_one(self):
+        _, g = graph_of("L1: for i = 2 to n do\n  A[i] = A[i - 1] + 1\nendfor")
+        flow = single_edge(g, DependenceKind.FLOW)
+        assert flow.result.distance.distances == (1,)
+        assert flow.result.directions[0].elements == (LT,)
+
+    def test_independent_beyond_trip_count(self):
+        _, g = graph_of("L1: for i = 1 to 10 do\n  A[i] = A[i + 100] + 1\nendfor")
+        assert g.edges == []
+
+    def test_non_integer_distance_independent(self):
+        _, g = graph_of("L1: for i = 1 to n do\n  A[2 * i] = A[2 * i + 1]\nendfor")
+        assert g.edges == []
+
+    def test_same_subscript_output_self(self):
+        _, g = graph_of("L1: for i = 1 to n do\n  A[i] = 0\n  A[i] = 1\nendfor")
+        outputs = [e for e in g.edges if e.kind is DependenceKind.OUTPUT]
+        # two sites -> forward orientation same-iteration only
+        same_iter = [e for e in outputs if e.result.directions[0].elements == (EQ,)]
+        assert same_iter
+
+
+class TestWeakSIV:
+    def test_weak_zero(self):
+        """A[5] = A[i]: the write is pinned to one iteration."""
+        _, g = graph_of("L1: for i = 1 to 10 do\n  A[5] = A[i] + 1\nendfor")
+        assert any(e.kind is DependenceKind.FLOW for e in g.edges)
+
+    def test_weak_zero_out_of_range_independent(self):
+        _, g = graph_of("L1: for i = 1 to 10 do\n  B[i] = A[i] + 1\n  A[50] = 0\nendfor")
+        assert [e for e in g.edges if e.source.array == "A"] == [
+            e for e in g.edges if e.source.array == "A" and e.kind is DependenceKind.OUTPUT
+        ]
+
+    def test_weak_crossing(self):
+        _, g = graph_of("L1: for i = 1 to n do\n  A[i] = A[10 - i]\nendfor")
+        assert g.edges  # crossing dependence exists
+
+
+class TestMIV:
+    def test_gcd_disproof(self):
+        _, g = graph_of("L1: for i = 1 to n do\n  A[2 * i] = A[2 * i + 1]\nendfor")
+        assert g.edges == []
+
+    def test_coupled_two_loops(self):
+        p, g = graph_of(
+            "L23: for i = 1 to n do\n  L24: for j = 1 to n do\n"
+            "    A[i, j] = A[i - 1, j] + 1\n  endfor\nendfor"
+        )
+        flow = single_edge(g, DependenceKind.FLOW)
+        assert flow.result.distance.distances == (1, 0)
+
+    def test_l23_l24_triangular_matches_paper(self):
+        """Section 6.1: the triangular loop has the *same* representation
+        whether the source is normalized or not; in normalized counters the
+        distance is (1, -1)."""
+        _, g1 = graph_of(
+            "L23: for i = 1 to n do\n  L24: for j = i + 1 to n do\n"
+            "    A[i, j] = A[i - 1, j] + 1\n  endfor\nendfor"
+        )
+        _, g2 = graph_of(
+            "L23: for i = 1 to n do\n  L24: for j = 1 to n - i do\n"
+            "    A[i, j + i] = A[i - 1, j + i] + 1\n  endfor\nendfor"
+        )
+        f1 = single_edge(g1, DependenceKind.FLOW)
+        f2 = single_edge(g2, DependenceKind.FLOW)
+        assert f1.result.directions == f2.result.directions
+        assert f1.result.directions[0].elements == (LT, GT)
+
+    def test_independent_dimensions(self):
+        _, g = graph_of(
+            "L1: for i = 1 to n do\n  L2: for j = 1 to n do\n"
+            "    A[i, j] = A[i, j + 3] * 2\n  endfor\nendfor"
+        )
+        # the read runs ahead of the write: an anti dependence at (=, <)
+        # with exact distance (0, 3); dimension 0 pins the outer level to =
+        anti = [e for e in g.edges if e.kind is DependenceKind.ANTI]
+        assert len(anti) == 1
+        assert anti[0].result.directions[0].elements == (EQ, LT)
+        assert anti[0].result.distance.distances == (0, 3)
+
+    def test_rank_mismatch_conservative(self):
+        _, g = graph_of("L1: for i = 1 to n do\n  A[i] = A[i, 2] + 1\nendfor")
+        assert g.edges
+        assert not g.edges[0].result.exact
+
+
+class TestPrivateLoops:
+    def test_non_common_loop_variable(self):
+        source = (
+            "L1: for i = 1 to 10 do\n"
+            "  L2: for j = 0 to 2 do\n    A[10 * i + j] = 1\n  endfor\n"
+            "  L3: for k = 5 to 7 do\n    x = A[10 * i + k]\n  endfor\n"
+            "endfor"
+        )
+        _, g = graph_of(source)
+        # j in [0,2], k in [5,7]: ranges disjoint within the same i
+        flow = [e for e in g.edges if e.kind is DependenceKind.FLOW]
+        for e in flow:
+            assert all(v.elements[0] != EQ for v in e.result.directions) or not e.result.directions
+
+    def test_private_overlap_detected(self):
+        source = (
+            "L1: for i = 1 to 10 do\n"
+            "  L2: for j = 0 to 5 do\n    A[j] = 1\n  endfor\n"
+            "  L3: for k = 3 to 8 do\n    x = A[k]\n  endfor\n"
+            "endfor"
+        )
+        _, g = graph_of(source)
+        assert any(e.kind is DependenceKind.FLOW for e in g.edges)
+
+
+class TestOrientation:
+    def test_backward_directions_move_to_reversed_pair(self):
+        p, g = graph_of("L1: for i = 2 to n do\n  A[i] = A[i - 1] + 1\nendfor")
+        # anti: read A[i-1] then write A[i]: distance would be -1: dropped
+        anti = [e for e in g.edges if e.kind is DependenceKind.ANTI]
+        assert anti == []
+
+    def test_anti_when_read_ahead(self):
+        _, g = graph_of("L1: for i = 1 to n do\n  A[i] = A[i + 1] + 1\nendfor")
+        anti = [e for e in g.edges if e.kind is DependenceKind.ANTI]
+        assert len(anti) == 1
+        assert anti[0].result.directions[0].elements == (LT,)
+        flow = [e for e in g.edges if e.kind is DependenceKind.FLOW]
+        assert flow == []
+
+    def test_same_iteration_needs_program_order(self):
+        _, g = graph_of("L1: for i = 1 to n do\n  x = A[i]\n  A[i] = x + 1\nendfor")
+        # read before write in the body: anti with (=), no same-iter flow
+        anti = [e for e in g.edges if e.kind is DependenceKind.ANTI]
+        assert any(v.elements == (EQ,) for e in anti for v in e.result.directions)
+        flow = [e for e in g.edges if e.kind is DependenceKind.FLOW]
+        assert all(v.elements != (EQ,) for e in flow for v in e.result.directions)
+
+
+class TestLoopIndependent:
+    def test_no_common_loops(self):
+        _, g = graph_of(
+            "L1: for i = 1 to n do\n  A[i] = 1\nendfor\n"
+            "L2: for j = 1 to n do\n  x = A[j]\nendfor"
+        )
+        flow = [e for e in g.edges if e.kind is DependenceKind.FLOW]
+        assert flow
+        assert flow[0].result.common_loops == ()
+
+    def test_different_arrays_independent(self):
+        _, g = graph_of("L1: for i = 1 to n do\n  A[i] = B[i]\nendfor")
+        assert g.edges == []
+
+
+class TestDownwardLoops:
+    def test_downward_recurrence(self):
+        """for i = n downto 2: A[i] = A[i-1]: read is 'ahead' in time."""
+        _, g = graph_of("L1: for i = n downto 2 do\n  A[i] = A[i - 1] + 1\nendfor")
+        anti = [e for e in g.edges if e.kind is DependenceKind.ANTI]
+        flow = [e for e in g.edges if e.kind is DependenceKind.FLOW]
+        assert len(anti) == 1 and flow == []
+        assert anti[0].result.distance.distances == (1,)
+
+    def test_downward_flow(self):
+        _, g = graph_of("L1: for i = n downto 1 do\n  A[i] = A[i + 1] + 1\nendfor")
+        flow = [e for e in g.edges if e.kind is DependenceKind.FLOW]
+        assert len(flow) == 1
+        assert flow[0].result.distance.distances == (1,)
+
+    def test_downward_independent(self):
+        _, g = graph_of("L1: for i = n downto 1 do\n  A[2 * i] = A[2 * i + 1]\nendfor")
+        assert g.edges == []

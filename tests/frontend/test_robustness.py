@@ -1,0 +1,53 @@
+"""Frontend robustness: malformed input must fail with FrontendError
+(position-carrying), never with an internal exception."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+import pytest
+
+from repro.frontend.lexer import FrontendError
+from repro.frontend.parser import parse_program
+from repro.frontend.source import compile_source
+
+FRAGMENTS = [
+    "for", "endfor", "if", "then", "else", "endif", "loop", "endloop",
+    "while", "do", "endwhile", "break", "continue", "return", "to", "by",
+    "x", "y", "A", "=", "+", "-", "*", "/", "%", "**", "(", ")", "[", "]",
+    ",", "<", "<=", "==", "1", "42", ":", "L1", "and", "or", "not", "\n",
+    "x = 1", "A[i] = 2", "for i = 1 to 3 do", "endfor",
+]
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.lists(st.sampled_from(FRAGMENTS), min_size=1, max_size=12))
+def test_parser_never_crashes(fragments):
+    source = " ".join(fragments)
+    try:
+        compile_source(source)
+    except FrontendError:
+        pass  # rejected with a diagnostic: fine
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(alphabet="abcx=+-*/()[]<>,:\n 0123456789", max_size=80))
+def test_lexer_parser_arbitrary_text(source):
+    try:
+        parse_program(source)
+    except FrontendError:
+        pass
+
+
+class TestDiagnostics:
+    def test_position_reported(self):
+        with pytest.raises(FrontendError) as excinfo:
+            parse_program("x = 1\ny = @")
+        assert excinfo.value.line == 2
+
+    def test_unclosed_loop_names_missing_keyword(self):
+        with pytest.raises(FrontendError, match="endfor"):
+            parse_program("for i = 1 to 3 do\n  x = i")
+
+    def test_helpful_equality_message(self):
+        with pytest.raises(FrontendError, match="comparison"):
+            parse_program("if x then\n  y = 1\nendif")

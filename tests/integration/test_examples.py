@@ -1,0 +1,32 @@
+"""Smoke tests: every example script must run and print its key results."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+CASES = {
+    "quickstart.py": ["(L14, 1, 1)", "wraparound", "dependence graph"],
+    "relaxation_periodic.py": ["periodic", "parallel"],
+    "packing_monotonic.py": ["strictly increasing", "(=)"],
+    "triangular_nest.py": ["quadratic", "ok"],
+    "strength_reduction.py": ["reduced 1 multiplication", "verified"],
+    "paper_tour.py": ["(L8, 1, 2)", "period 3", "6*3^h"],
+    "loop_transforms.py": ["DOALL", "interchange(L23, L24): False", "pi-block"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(CASES))
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    for needle in CASES[script]:
+        assert needle in proc.stdout, f"{script}: missing {needle!r}\n{proc.stdout}"

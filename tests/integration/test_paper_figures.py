@@ -1,0 +1,359 @@
+"""Every worked example of the paper, as a checked experiment (E01-E15).
+
+These are the reproduction's "tables and figures": each test encodes the
+paper's stated result for one figure/loop and asserts our pipeline produces
+it.  EXPERIMENTS.md cross-references these by experiment id.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from tests.conftest import analyze_src, assert_closed_forms_match_execution, classification_by_var
+from repro.core.classes import (
+    InductionVariable,
+    Invariant,
+    Monotonic,
+    Periodic,
+    Unknown,
+    WrapAround,
+)
+from repro.core.tripcount import TripCountKind
+from repro.dependence.direction import EQ, LE, LT, NE
+from repro.dependence.graph import DependenceKind, build_dependence_graph
+
+
+class TestE01_Figure1:
+    """Fig. 1 / L7: the mutually-defined linear family."""
+
+    def test_family(self):
+        p = analyze_src(
+            "j = n1\nL7: loop\n  i = j + c1\n  j = i + k1\n"
+            "  if j > 100000 then\n    break\n  endif\nendloop"
+        )
+        assert classification_by_var(p, "j", "L7").describe() == "(L7, n1, c1 + k1)"
+        descriptions = {p.classification(n).describe() for n in p.ssa_names("i") + p.ssa_names("j")}
+        assert "(L7, c1 + n1, c1 + k1)" in descriptions  # i3 = (L7, n1+c1, c1+k1)
+        assert "(L7, c1 + k1 + n1, c1 + k1)" in descriptions  # j3
+
+
+class TestE02_Figure3:
+    """Fig. 3 / L8: equal increments on both branches."""
+
+    def test_family(self):
+        p = analyze_src(
+            "i = 1\nL8: loop\n  if x > 0 then\n    i = i + 2\n  else\n    i = i + 2\n  endif\n"
+            "  if i > 100 then\n    break\n  endif\nendloop"
+        )
+        assert classification_by_var(p, "i", "L8").describe() == "(L8, 1, 2)"
+        member_descriptions = {p.classification(n).describe() for n in p.ssa_names("i")}
+        assert "(L8, 3, 2)" in member_descriptions  # i3, i4, i5 in the paper
+
+
+class TestE03_Figure4:
+    """Fig. 4 / L10: first- and second-order wrap-around."""
+
+    SOURCE = (
+        "k = k1\nj = j1\ni = 1\nL10: loop\n  A[k] = 0\n  k = j\n  j = i\n  i = i + 1\n"
+        "  if i > n then\n    break\n  endif\nendloop"
+    )
+
+    def test_orders(self):
+        p = analyze_src(self.SOURCE)
+        j = classification_by_var(p, "j", "L10")
+        k = classification_by_var(p, "k", "L10")
+        assert isinstance(j, WrapAround) and j.order == 1
+        assert isinstance(k, WrapAround) and k.order == 2
+        assert [str(v) for v in k.pre_values] == ["k1", "j1"]
+
+    def test_collapse_with_fitting_init(self):
+        p = analyze_src(self.SOURCE.replace("j = j1", "j = 0"))
+        j = classification_by_var(p, "j", "L10")
+        assert isinstance(j, InductionVariable)
+        assert j.describe() == "(L10, 0, 1)"
+
+
+class TestE04_Figure5:
+    """Fig. 5 / L13: a period-3 family."""
+
+    def test_rotation(self):
+        p = analyze_src(
+            "t = t1\nj = j1\nk = k1\nl = l1\nL13: for it = 1 to n do\n"
+            "  A[t] = 0\n  t = j\n  j = k\n  k = l\n  l = t\nendfor"
+        )
+        # NOTE: with `l = t` the rotation includes t's previous value; the
+        # paper's figure copies through t within one iteration:
+        p = analyze_src(
+            "j = j1\nk = k1\nl = l1\nL13: for it = 1 to n do\n"
+            "  t = j\n  j = k\n  k = l\n  l = t\n  A[j] = 0\nendfor"
+        )
+        j = classification_by_var(p, "j", "L13")
+        assert isinstance(j, Periodic) and j.period == 3
+        assert [str(v) for v in j.values] == ["j1", "k1", "l1"]
+
+
+class TestE05_L14Table:
+    """L14: the closed-form table (j, k, l)."""
+
+    def test_table(self):
+        p = analyze_src(
+            "j = 1\nk = 1\nl = 1\nL14: for i = 1 to n do\n"
+            "  j = j + i\n  k = k + j + 1\n  l = l * 2 + 1\nendfor\nreturn j"
+        )
+        values = {}
+        for var in "jkl":
+            names = [
+                n for n in p.ssa_names(var)
+                if p.result.defining_loop(n) is not None
+                and n != p.ssa_name(var, "L14")
+            ]
+            cls = p.classification(names[0])
+            values[var] = [cls.value_at(h).constant_value() for h in range(4)]
+        assert values["j"] == [2, 4, 7, 11]  # (h^2+3h+4)/2
+        assert values["k"] == [4, 9, 17, 29]  # (h^3+6h^2+23h+24)/6
+        assert values["l"] == [3, 7, 15, 31]  # 2^(h+2)-1
+
+
+class TestE06_GeometricM:
+    """Section 4.3's m = 3*m + 2*i + 1 example: 6*3^h - h - 3."""
+
+    def test_closed_form(self):
+        p = analyze_src(
+            "m = 0\nL14: for i = 1 to n do\n  m = 3 * m + 2 * i + 1\nendfor\nreturn m"
+        )
+        m3 = p.classification(
+            [n for n in p.ssa_names("m")
+             if p.result.defining_loop(n) is not None and n != p.ssa_name("m", "L14")][0]
+        )
+        assert m3.form.coeff(2).is_zero  # "no quadratic term after all"
+        for h in range(6):
+            assert m3.value_at(h).constant_value() == 6 * 3**h - h - 3
+
+
+class TestE07_Figure6:
+    """Fig. 6 / L16: strictly monotonic."""
+
+    def test_strict(self):
+        p = analyze_src(
+            "k = 0\nL16: loop\n  if exp > 0 then\n    k = k + 1\n  else\n    k = k + 2\n  endif\n"
+            "  if k > n then\n    break\n  endif\nendloop"
+        )
+        k = classification_by_var(p, "k", "L16")
+        assert isinstance(k, Monotonic) and k.strict and k.direction == 1
+
+
+class TestE08_Figures7and8:
+    """Figs. 7-8: nested loop, trip count, exit values."""
+
+    SOURCE = (
+        "k = 0\nL17: loop\n  i = 1\n  L18: loop\n    k = k + 2\n"
+        "    if i > 100 then\n      break\n    endif\n    i = i + 1\n  endloop\n"
+        "  k = k + 2\n  if k > 1000000 then\n    break\n  endif\nendloop"
+    )
+
+    def test_trip_count_100(self):
+        p = analyze_src(self.SOURCE)
+        assert p.result.trip_count("L18").constant() == 100
+
+    def test_inner_family(self):
+        p = analyze_src(self.SOURCE)
+        k2 = p.ssa_name("k", "L17")
+        assert p.classification(p.ssa_name("k", "L18")).describe() == f"(L18, {k2}, 2)"
+
+    def test_outer_family_step_204(self):
+        p = analyze_src(self.SOURCE)
+        assert classification_by_var(p, "k", "L17").describe() == "(L17, 0, 204)"
+        summary = p.result.loops["L17"]
+        descriptions = {c.describe() for c in summary.classifications.values()}
+        assert "(L17, 202, 204)" in descriptions  # the paper's k6
+        assert "(L17, 204, 204)" in descriptions  # k5
+
+    def test_exit_values(self):
+        p = analyze_src(self.SOURCE)
+        k2 = p.ssa_name("k", "L17")
+        i2 = p.ssa_name("i", "L18")
+        assert p.result.exit_value("L18", i2) == 101
+        k_inner = [n for n in p.ssa_names("k")
+                   if p.result.defining_loop(n) and p.result.defining_loop(n).header == "L18"]
+        exits = {str(p.result.exit_value("L18", n)) for n in k_inner}
+        assert f"202 + {k2}" in exits  # paper: k6 = k2 + 101*2
+
+    def test_nested_tuple(self):
+        p = analyze_src(self.SOURCE)
+        assert (
+            p.result.nested_describe(p.ssa_name("k", "L18"))
+            == "(L18, (L17, 0, 204), 2)"
+        )
+
+
+class TestE09_Figure9:
+    """Fig. 9 / L19-L20: the triangular nest [EHLP92] found difficult."""
+
+    SOURCE = (
+        "j = 0\nL19: for i = 1 to n do\n  j = j + i\n"
+        "  L20: for kk = 1 to i do\n    j = j + 1\n  endfor\nendfor"
+    )
+
+    def test_inner_trip_count_is_outer_iv(self):
+        p = analyze_src(self.SOURCE)
+        trip = p.result.trip_count("L20")
+        assert trip.kind is TripCountKind.FINITE
+        assert str(trip.count) == p.ssa_name("i", "L19")
+
+    def test_quadratic_family(self):
+        p = analyze_src(self.SOURCE)
+        # inits 0 (j2), 1 (j3), 2 (j6): the paper's figures
+        summary = p.result.loops["L19"]
+        inits = set()
+        for name, cls in summary.classifications.items():
+            if name.startswith("j") and isinstance(cls, InductionVariable):
+                inits.add(int(cls.init.constant_value()))
+        assert inits == {0, 1, 2}
+
+    def test_inner_linear_with_outer_quadratic_init(self):
+        p = analyze_src(self.SOURCE)
+        nested = p.result.nested_describe(p.ssa_name("j", "L20"))
+        assert nested == "(L20, (L19, 1, 2, 1), 1)"
+
+    def test_matches_execution(self):
+        from tests.conftest import run_ssa
+
+        p = analyze_src(self.SOURCE)
+        result = run_ssa(p, {"n": 8})
+        j2 = p.ssa_name("j", "L19")
+        cls = p.classification(j2)
+        for h, observed in enumerate(result.value_history[j2]):
+            assert cls.value_at(h).constant_value() == observed
+
+
+class TestE10_Figure10:
+    """Fig. 10: mixed monotonic/strict + dependence directions."""
+
+    SOURCE = (
+        "k = 0\nL15: for i = 1 to n do\n  F[k] = A[i]\n  if A[i] > 0 then\n"
+        "    C[k] = D[i]\n    k = k + 1\n    B[k] = A[i]\n    E[i] = B[k]\n  endif\n"
+        "  G[i] = F[k]\nendfor"
+    )
+
+    def test_classifications(self):
+        p = analyze_src(self.SOURCE)
+        classes = [p.classification(n) for n in p.ssa_names("k")]
+        monotonic = [c for c in classes if isinstance(c, Monotonic)]
+        assert len(monotonic) == 3
+        assert sum(c.strict for c in monotonic) == 1  # k3 only
+
+    def test_dependence_directions(self):
+        p = analyze_src(self.SOURCE)
+        g = build_dependence_graph(p.result)
+        b_flow = [e for e in g.edges if e.source.array == "B" and e.kind is DependenceKind.FLOW]
+        f_flow = [e for e in g.edges if e.source.array == "F" and e.kind is DependenceKind.FLOW]
+        f_anti = [e for e in g.edges if e.source.array == "F" and e.kind is DependenceKind.ANTI]
+        assert b_flow[0].result.directions[0].elements == (EQ,)
+        assert f_flow[0].result.directions[0].elements == (LE,)
+        assert f_anti[0].result.directions[0].elements == (LT,)
+
+
+class TestE11_L21:
+    """Section 6's L21: subscripts (L21,1,1) and (L21,2,2)."""
+
+    def test_subscript_classification_and_dependence(self):
+        p = analyze_src(
+            "i = 0\nj = 3\nL21: loop\n  i = i + 1\n  A[i] = A[j - 1] + 1\n  j = j + 2\n"
+            "  if i > 1000 then\n    break\n  endif\nendloop"
+        )
+        from repro.dependence.subscript import describe_subscript
+        from repro.ir.instructions import Load, Store
+
+        store = next(i for b in p.ssa for i in b if isinstance(i, Store))
+        load = next(i for b in p.ssa for i in b if isinstance(i, Load))
+        d_w = describe_subscript(p.result, store.indices[0], "L21")
+        d_r = describe_subscript(p.result, load.indices[0], "L21")
+        assert (d_w.const, d_w.coeff("L21")) == (1, 1)
+        assert (d_r.const, d_r.coeff("L21")) == (2, 2)
+        # the dependence equation h+1 = 2h'+2 has solutions with h > h':
+        # only the anti orientation survives
+        g = build_dependence_graph(p.result)
+        kinds = {e.kind for e in g.edges if e.source != e.sink}
+        assert kinds == {DependenceKind.ANTI}
+
+
+class TestE12_L22:
+    """Section 6's L22: periodic '=' translates to '!='."""
+
+    def test_not_equal_direction(self):
+        p = analyze_src(
+            "j = 1\nk = 2\nl = 3\nL22: for it = 1 to n do\n  A[2 * j] = A[2 * k] + 1\n"
+            "  temp = j\n  j = k\n  k = l\n  l = temp\nendfor"
+        )
+        g = build_dependence_graph(p.result)
+        cross = [e for e in g.edges if e.source != e.sink]
+        assert cross
+        for edge in cross:
+            for vector in edge.result.directions:
+                assert vector.elements[0] != EQ
+
+
+class TestE13_L23L24:
+    """Section 6.1: normalization changes distance vectors, but not the
+    IV-based representation."""
+
+    def test_identical_representations(self):
+        original = analyze_src(
+            "L23: for i = 1 to n do\n  L24: for j = i + 1 to n do\n"
+            "    A[i, j] = A[i - 1, j] + 1\n  endfor\nendfor"
+        )
+        normalized = analyze_src(
+            "L23: for i = 1 to n do\n  L24: for j = 1 to n - i do\n"
+            "    A[i, j + i] = A[i - 1, j + i] + 1\n  endfor\nendfor"
+        )
+        g1 = build_dependence_graph(original.result)
+        g2 = build_dependence_graph(normalized.result)
+        f1 = [e for e in g1.edges if e.kind is DependenceKind.FLOW][0]
+        f2 = [e for e in g2.edges if e.kind is DependenceKind.FLOW][0]
+        assert f1.result.directions == f2.result.directions
+
+    def test_rectangular_distance_vector(self):
+        p = analyze_src(
+            "L23: for i = 1 to n do\n  L24: for j = 1 to n do\n"
+            "    A[i, j] = A[i - 1, j] + 1\n  endfor\nendfor"
+        )
+        g = build_dependence_graph(p.result)
+        flow = [e for e in g.edges if e.kind is DependenceKind.FLOW][0]
+        assert flow.result.distance.distances == (1, 0)
+
+
+class TestE14_TripCountTable:
+    """Section 5.2's conversion table, all rows (see also core tests)."""
+
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            # stay-in comparisons at the header (false branch exits)
+            ("i = 0\nL1: while i < 10 do\n  i = i + 1\nendwhile", 10),
+            ("i = 0\nL1: while i <= 10 do\n  i = i + 1\nendwhile", 11),
+            ("i = 10\nL1: while i > 0 do\n  i = i - 1\nendwhile", 10),
+            ("i = 10\nL1: while i >= 0 do\n  i = i - 1\nendwhile", 11),
+            # exit comparisons mid-loop (true branch exits)
+            ("i = 0\nL1: loop\n  i = i + 1\n  if i > 6 then\n    break\n  endif\nendloop", 6),
+            ("i = 0\nL1: loop\n  i = i + 1\n  if i >= 6 then\n    break\n  endif\nendloop", 5),
+            ("i = 9\nL1: loop\n  i = i - 1\n  if i < 3 then\n    break\n  endif\nendloop", 6),
+            ("i = 9\nL1: loop\n  i = i - 1\n  if i <= 3 then\n    break\n  endif\nendloop", 5),
+        ],
+    )
+    def test_row(self, source, expected):
+        p = analyze_src(source)
+        assert p.result.trip_count("L1").constant() == expected
+
+
+class TestE15_MultiloopIV:
+    """Section 2's L5/L6: j = (L6, (L5, 3, 2), 1)."""
+
+    def test_nested_tuple(self):
+        p = analyze_src(
+            "i = 0\nL5: loop\n  i = i + 2\n  j = i + 1\n  L6: loop\n    j = j + 1\n"
+            "    if j > i + 10 then\n      break\n    endif\n  endloop\n"
+            "  if i > n then\n    break\n  endif\nendloop"
+        )
+        nested = p.result.nested_describe(p.ssa_name("j", "L6"))
+        # exactly the paper's tuple: j = (L6, (L5, 3, 2), 1)
+        assert nested == "(L6, (L5, 3, 2), 1)"

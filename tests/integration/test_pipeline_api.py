@@ -1,0 +1,108 @@
+"""Tests for the public pipeline API (AnalyzedProgram and friends)."""
+
+import pytest
+
+import repro
+from repro import analyze
+from repro.pipeline import analyze_function
+from repro.frontend.source import compile_source
+
+SOURCE = """
+s = 0
+L1: for i = 1 to n do
+  s = s + i
+  A[s] = i
+endfor
+return s
+"""
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_analyze_returns_everything(self):
+        program = analyze(SOURCE)
+        assert program.source == SOURCE
+        assert program.named_ir is not program.ssa
+        assert program.nest.loop_of_header("L1") is not None
+        assert "L1" in program.result.loops
+
+    def test_named_ir_untouched(self):
+        """The named IR keeps its pre-SSA form for the baseline."""
+        from repro.ir.instructions import Phi
+
+        program = analyze(SOURCE)
+        assert not any(isinstance(i, Phi) for b in program.named_ir for i in b)
+        assert any(isinstance(i, Phi) for b in program.ssa for i in b)
+
+    def test_ssa_names_and_lookup(self):
+        program = analyze(SOURCE)
+        names = program.ssa_names("s")
+        assert len(names) >= 3
+        header_name = program.ssa_name("s", "L1")
+        assert header_name in names
+
+    def test_ssa_name_missing_raises(self):
+        program = analyze(SOURCE)
+        with pytest.raises(KeyError):
+            program.ssa_name("nosuch", "L1")
+
+    def test_describe_all(self):
+        program = analyze(SOURCE)
+        table = program.describe_all()
+        assert any(v.startswith("(L1,") for v in table.values())
+
+    def test_classification_shortcut(self):
+        program = analyze(SOURCE)
+        name = program.ssa_name("i", "L1")
+        assert program.classification(name).describe() == "(L1, 1, 1)"
+
+    def test_analyze_function_entry_point(self):
+        named = compile_source(SOURCE)
+        program = analyze_function(named)
+        assert program.source is None
+        assert "L1" in program.result.loops
+
+    def test_optimize_flag(self):
+        unopt = analyze(SOURCE, optimize=False)
+        opt = analyze(SOURCE, optimize=True)
+        # with optimization the init constant 1 is folded into the tuple
+        assert opt.classification(opt.ssa_name("i", "L1")).describe() == "(L1, 1, 1)"
+        cls = unopt.classification(unopt.ssa_name("i", "L1"))
+        assert "i.1" in cls.describe()  # unresolved symbolic init
+
+
+class TestAnalysisResultAPI:
+    def test_all_classifications(self):
+        program = analyze(SOURCE)
+        table = program.result.all_classifications()
+        assert program.ssa_name("i", "L1") in table
+
+    def test_classification_of_param(self):
+        program = analyze(SOURCE)
+        cls = program.result.classification_of("n")
+        assert cls.describe() == "invariant n"
+
+    def test_defining_loop(self):
+        program = analyze(SOURCE)
+        assert program.result.defining_loop(program.ssa_name("i", "L1")).header == "L1"
+        assert program.result.defining_loop("n") is None
+
+    def test_opaque_definitions_recorded(self):
+        program = analyze("L1: for i = 0 to n by 4 do\n  x = i\nendfor")
+        trip = program.result.trip_count("L1")
+        symbol = str(trip.count)
+        assert symbol in program.result.opaque_definitions
+        key = program.result.opaque_definitions[symbol]
+        assert key[0] == "ceildiv"
+
+    def test_opaque_symbols_deduplicated(self):
+        source = (
+            "L1: for i = 0 to n by 4 do\n  x = i\nendfor\n"
+            "L2: for j = 0 to n by 4 do\n  y = j\nendfor"
+        )
+        program = analyze(source)
+        t1 = program.result.trip_count("L1").count
+        t2 = program.result.trip_count("L2").count
+        assert t1 == t2  # same ceil-division => same opaque symbol

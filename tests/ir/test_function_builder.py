@@ -1,0 +1,130 @@
+"""Tests for Function, BasicBlock and the builder."""
+
+import pytest
+
+from repro.ir.builder import FunctionBuilder
+from repro.ir.function import Function, IRError
+from repro.ir.instructions import Assign, Jump, Phi, Return
+
+
+def small_loop() -> Function:
+    fb = FunctionBuilder("f", params=["n"])
+    fb.block("entry")
+    fb.assign("i", 0)
+    fb.jump("loop")
+    fb.block("loop")
+    fb.add("i", "i", 1)
+    c = fb.compare(fb.temp(), __import__("repro.ir.opcodes", fromlist=["Relation"]).Relation.LT, "i", "n")
+    fb.branch(c, "loop", "exit")
+    fb.block("exit")
+    fb.ret("i")
+    return fb.done()
+
+
+class TestFunction:
+    def test_entry_is_first_block(self):
+        f = Function("f")
+        f.add_block("a")
+        f.add_block("b")
+        assert f.entry.label == "a"
+
+    def test_duplicate_label_rejected(self):
+        f = Function("f")
+        f.add_block("a")
+        with pytest.raises(IRError):
+            f.add_block("a")
+
+    def test_missing_block_raises(self):
+        f = Function("f")
+        with pytest.raises(IRError):
+            f.block("nope")
+
+    def test_no_blocks_entry_raises(self):
+        with pytest.raises(IRError):
+            _ = Function("f").entry
+
+    def test_predecessors(self):
+        f = small_loop()
+        preds = f.predecessors_map()
+        assert set(preds["loop"]) == {"entry", "loop"}
+        assert preds["exit"] == ["loop"]
+
+    def test_unknown_target_detected(self):
+        f = Function("f")
+        block = f.add_block("a")
+        block.terminator = Jump("ghost")
+        with pytest.raises(IRError):
+            f.predecessors_map()
+
+    def test_definitions(self):
+        f = small_loop()
+        defs = f.definitions()
+        assert "i" in defs
+        assert defs["i"][0] in ("entry", "loop")
+
+    def test_fresh_name_and_label(self):
+        f = small_loop()
+        assert f.fresh_name("i") != "i"
+        assert f.fresh_label("loop") != "loop"
+        assert f.fresh_label("new") == "new"
+
+    def test_instruction_count(self):
+        assert small_loop().instruction_count() == 3
+
+    def test_split_edge(self):
+        f = small_loop()
+        f.split_edge("entry", "loop", "mid")
+        assert f.successors("entry") == ("mid",)
+        assert f.successors("mid") == ("loop",)
+
+    def test_split_edge_updates_phis(self):
+        f = Function("f")
+        a = f.add_block("a")
+        a.terminator = Jump("b")
+        b = f.add_block("b")
+        b.instructions.insert(0, Phi("x", {"a": 1}))
+        b.terminator = Return()
+        f.split_edge("a", "b", "mid")
+        phi = f.block("b").phis()[0]
+        assert "mid" in phi.incoming and "a" not in phi.incoming
+
+    def test_split_missing_edge_raises(self):
+        f = small_loop()
+        with pytest.raises(IRError):
+            f.split_edge("exit", "entry", "x")
+
+
+class TestBasicBlock:
+    def test_phi_prefix_split(self):
+        f = Function("f")
+        b = f.add_block("b")
+        b.instructions = [Phi("x", {}), Phi("y", {}), Assign("z", 1)]
+        assert [p.result for p in b.phis()] == ["x", "y"]
+        assert [i.result for i in b.body()] == ["z"]
+
+    def test_len_iter(self):
+        f = small_loop()
+        assert len(f.block("entry")) == 1
+        assert [i.result for i in f.block("entry")] == ["i"]
+
+
+class TestBuilder:
+    def test_builder_produces_verified_function(self):
+        f = small_loop()
+        assert set(f.blocks) == {"entry", "loop", "exit"}
+
+    def test_builder_requires_block(self):
+        fb = FunctionBuilder("f")
+        with pytest.raises(RuntimeError):
+            fb.assign("x", 1)
+
+    def test_phi_inserted_at_prefix(self):
+        fb = FunctionBuilder("f")
+        fb.block("b")
+        fb.assign("z", 1)
+        fb.phi("p", {})
+        assert isinstance(fb.current.instructions[0], Phi)
+
+    def test_temps_unique(self):
+        fb = FunctionBuilder("f")
+        assert fb.temp() != fb.temp()

@@ -1,0 +1,141 @@
+"""Tests for instruction classes: uses, replacement, printing."""
+
+import pytest
+
+from repro.ir.instructions import (
+    Assign,
+    BinOp,
+    Branch,
+    Compare,
+    Jump,
+    Load,
+    Phi,
+    Return,
+    Store,
+    UnOp,
+)
+from repro.ir.opcodes import BinaryOp, Relation
+from repro.ir.values import Const, Ref
+
+
+class TestBinOp:
+    def test_uses_and_replace(self):
+        inst = BinOp("t", BinaryOp.ADD, "a", 1)
+        assert inst.uses() == [Ref("a"), Const(1)]
+        inst.replace_uses({"a": Ref("b")})
+        assert inst.lhs == Ref("b")
+
+    def test_str(self):
+        assert str(BinOp("t", BinaryOp.MUL, "a", 2)) == "%t = mul %a, 2"
+
+
+class TestPhi:
+    def test_incoming(self):
+        phi = Phi("x", {"entry": 0, "latch": "x2"})
+        assert sorted(map(str, phi.uses())) == ["%x2", "0"]
+        phi.set_incoming("other", 5)
+        assert phi.incoming["other"] == Const(5)
+
+    def test_replace(self):
+        phi = Phi("x", {"a": "y", "b": "y"})
+        phi.replace_uses({"y": Const(2)})
+        assert all(v == Const(2) for v in phi.incoming.values())
+
+    def test_str(self):
+        text = str(Phi("x", {"b": 1, "a": "z"}))
+        assert text.startswith("%x = phi [")
+        assert "a: %z" in text and "b: 1" in text
+
+
+class TestMemory:
+    def test_scalar_load(self):
+        load = Load("v", "counter")
+        assert load.indices is None and load.index is None
+        assert load.uses() == []
+        assert str(load) == "%v = load @counter"
+
+    def test_1d_load(self):
+        load = Load("v", "A", "i")
+        assert load.index == Ref("i")
+        assert load.uses() == [Ref("i")]
+
+    def test_2d_load(self):
+        load = Load("v", "A", ["i", "j"])
+        assert len(load.indices) == 2
+        with pytest.raises(ValueError):
+            _ = load.index
+        assert str(load) == "%v = load @A[%i, %j]"
+
+    def test_store(self):
+        store = Store("A", ["i", 3], "v")
+        assert store.result is None
+        assert store.uses() == [Ref("i"), Const(3), Ref("v")]
+        store.replace_uses({"i": Const(0), "v": Const(9)})
+        assert str(store) == "store @A[0, 3], 9"
+
+    def test_scalar_store(self):
+        store = Store("s", None, 5)
+        assert str(store) == "store @s, 5"
+        assert store.uses() == [Const(5)]
+
+
+class TestOther:
+    def test_assign(self):
+        inst = Assign("x", "y")
+        inst.replace_uses({"y": Const(3)})
+        assert inst.src == Const(3)
+
+    def test_unop(self):
+        inst = UnOp("n", "x")
+        assert str(inst) == "%n = neg %x"
+
+    def test_compare(self):
+        inst = Compare("c", Relation.LE, "i", "n")
+        assert str(inst) == "%c = cmp %i <= %n"
+        inst.replace_uses({"n": Const(10)})
+        assert inst.rhs == Const(10)
+
+
+class TestTerminators:
+    def test_jump(self):
+        jump = Jump("exit")
+        assert jump.successors() == ("exit",)
+        jump.retarget("exit", "other")
+        assert jump.target == "other"
+
+    def test_branch(self):
+        branch = Branch("c", "a", "b")
+        assert branch.successors() == ("a", "b")
+        assert branch.uses() == [Ref("c")]
+        branch.retarget("a", "z")
+        assert branch.successors() == ("z", "b")
+        branch.replace_uses({"c": Const(1)})
+        assert branch.cond == Const(1)
+
+    def test_branch_same_targets_dedup(self):
+        assert Branch("c", "x", "x").successors() == ("x",)
+
+    def test_return(self):
+        ret = Return("v")
+        assert ret.successors() == ()
+        assert ret.uses() == [Ref("v")]
+        assert Return().uses() == []
+        assert str(Return()) == "return"
+
+
+class TestRelations:
+    def test_negate(self):
+        assert Relation.LT.negate() is Relation.GE
+        assert Relation.EQ.negate() is Relation.NE
+
+    def test_swap(self):
+        assert Relation.LT.swap() is Relation.GT
+        assert Relation.EQ.swap() is Relation.EQ
+
+    def test_holds(self):
+        assert Relation.LE.holds(3, 3)
+        assert not Relation.LT.holds(3, 3)
+        assert Relation.NE.holds(1, 2)
+        assert Relation.GE.holds(4, 2)
+        assert Relation.GT.holds(4, 2)
+        assert Relation.EQ.holds(2, 2)

@@ -1,0 +1,167 @@
+"""Tests for the reference interpreter."""
+
+import pytest
+
+from repro.ir.interp import Interpreter, InterpreterError, TraceRecorder
+from repro.ir.parser import parse_function
+
+COUNT_TO_N = """
+func f(n) arrays(A) {
+entry:
+  %i.0 = copy 0
+  jump loop
+loop:
+  %i.1 = phi [entry: %i.0, loop: %i.2]
+  %i.2 = add %i.1, 1
+  store @A[%i.2], %i.2
+  %c = cmp %i.2 < %n
+  branch %c, loop, exit
+exit:
+  return %i.2
+}
+"""
+
+
+class TestBasics:
+    def test_simple_loop(self):
+        f = parse_function(COUNT_TO_N)
+        result = Interpreter(f).run({"n": 5})
+        assert result.return_value == 5
+        assert result.arrays["A"] == {(k,): k for k in range(1, 6)}
+
+    def test_missing_argument(self):
+        f = parse_function(COUNT_TO_N)
+        with pytest.raises(InterpreterError, match="missing argument"):
+            Interpreter(f).run({})
+
+    def test_unknown_argument(self):
+        f = parse_function(COUNT_TO_N)
+        with pytest.raises(InterpreterError, match="unknown"):
+            Interpreter(f).run({"n": 1, "zzz": 2})
+
+    def test_fuel(self):
+        f = parse_function(
+            "func f() {\ne:\n  jump e2\ne2:\n  jump e\n}"
+        )
+        with pytest.raises(InterpreterError, match="fuel"):
+            Interpreter(f, fuel=100).run({})
+
+    def test_initial_arrays(self):
+        f = parse_function(
+            "func f() arrays(A) {\ne:\n  %x = load @A[3]\n  return %x\n}"
+        )
+        assert Interpreter(f).run({}, arrays={"A": {(3,): 42}}).return_value == 42
+
+    def test_uninitialized_cells_read_zero(self):
+        f = parse_function(
+            "func f() arrays(A) {\ne:\n  %x = load @A[9]\n  return %x\n}"
+        )
+        assert Interpreter(f).run({}).return_value == 0
+
+    def test_history(self):
+        f = parse_function(COUNT_TO_N)
+        result = Interpreter(f, record_history=True).run({"n": 3})
+        assert result.value_history["i.1"] == [0, 1, 2]
+        assert result.value_history["i.2"] == [1, 2, 3]
+
+
+class TestSemantics:
+    def _run_expr(self, op, a, b):
+        f = parse_function(
+            f"func f() {{\ne:\n  %r = {op} {a}, {b}\n  return %r\n}}"
+        )
+        return Interpreter(f).run({}).return_value
+
+    def test_div_truncates_toward_zero(self):
+        assert self._run_expr("div", 7, 2) == 3
+        assert self._run_expr("div", -7, 2) == -3
+        assert self._run_expr("div", 7, -2) == -3
+        assert self._run_expr("div", -7, -2) == 3
+
+    def test_mod_sign_follows_dividend(self):
+        assert self._run_expr("mod", 7, 3) == 1
+        assert self._run_expr("mod", -7, 3) == -1
+        assert self._run_expr("mod", 7, -3) == 1
+
+    def test_div_by_zero(self):
+        with pytest.raises(InterpreterError):
+            self._run_expr("div", 1, 0)
+
+    def test_exp(self):
+        assert self._run_expr("exp", 2, 10) == 1024
+        with pytest.raises(InterpreterError):
+            self._run_expr("exp", 2, -1)
+
+    def test_neg(self):
+        f = parse_function("func f(x) {\ne:\n  %r = neg %x\n  return %r\n}")
+        assert Interpreter(f).run({"x": 4}).return_value == -4
+
+    def test_phi_parallel_evaluation(self):
+        # the classic swap: t <-> u must rotate, not collapse
+        f = parse_function(
+            """
+func f() {
+entry:
+  %t.0 = copy 1
+  %u.0 = copy 2
+  %i.0 = copy 0
+  jump loop
+loop:
+  %t.1 = phi [entry: %t.0, loop: %u.1]
+  %u.1 = phi [entry: %u.0, loop: %t.1]
+  %i.1 = phi [entry: %i.0, loop: %i.2]
+  %i.2 = add %i.1, 1
+  %c = cmp %i.2 < 3
+  branch %c, loop, exit
+exit:
+  %r = mul %t.1, 10
+  %r2 = add %r, %u.1
+  return %r2
+}
+"""
+        )
+        # after 3 header evaluations: t,u = 1,2 -> 2,1 -> 1,2
+        assert Interpreter(f).run({}).return_value == 12
+
+
+class TestTrace:
+    def test_conflicts(self):
+        f = parse_function(COUNT_TO_N)
+        trace = TraceRecorder()
+        Interpreter(f, trace=trace).run({"n": 3})
+        assert len(trace.events) == 3
+        assert all(e.is_write for e in trace.events)
+        assert trace.conflicts() == []  # distinct cells: no conflicts
+
+    def test_conflicts_detected(self):
+        f = parse_function(
+            """
+func f(n) arrays(A) {
+entry:
+  %i.0 = copy 0
+  jump loop
+loop:
+  %i.1 = phi [entry: %i.0, loop: %i.2]
+  %i.2 = add %i.1, 1
+  store @A[0], %i.2
+  %c = cmp %i.2 < %n
+  branch %c, loop, exit
+exit:
+  return
+}
+"""
+        )
+        trace = TraceRecorder()
+        Interpreter(f, trace=trace).run({"n": 3})
+        conflicts = trace.conflicts()
+        assert len(conflicts) == 3  # 3 writes to one cell: C(3,2) pairs
+        first, second = conflicts[0]
+        assert first.time < second.time
+
+    def test_scalar_memory_key(self):
+        f = parse_function(
+            "func f() arrays(s) {\ne:\n  store @s, 7\n  %x = load @s\n  return %x\n}"
+        )
+        trace = TraceRecorder()
+        assert Interpreter(f, trace=trace).run({}).return_value == 7
+        assert len(trace.conflicts()) == 1

@@ -1,0 +1,95 @@
+"""Round-trip tests for the textual IR form."""
+
+import pytest
+
+from repro.ir.parser import IRParseError, parse_function
+from repro.ir.printer import print_function
+
+EXAMPLE = """
+func example(n) arrays(A, B) {
+entry:
+  %i = copy 0
+  %z = neg %n
+  jump loop
+loop:
+  %i1 = phi [entry: %i, loop: %i2]
+  %i2 = add %i1, 1
+  %x = load @A[%i2]
+  %y = load @B[%i2, %i1]
+  %s = load @scalar
+  store @A[%i2], %x
+  store @B[%i1, 0], 3
+  store @scalar, %i2
+  %c = cmp %i2 <= %n
+  branch %c, loop, exit
+exit:
+  return %i2
+}
+"""
+
+
+class TestRoundTrip:
+    def test_parse_print_parse(self):
+        f1 = parse_function(EXAMPLE)
+        text1 = print_function(f1)
+        f2 = parse_function(text1)
+        assert print_function(f2) == text1
+
+    def test_header_parsed(self):
+        f = parse_function(EXAMPLE)
+        assert f.name == "example"
+        assert f.params == ["n"]
+        assert f.arrays == ["A", "B"]
+
+    def test_structure(self):
+        f = parse_function(EXAMPLE)
+        assert list(f.blocks) == ["entry", "loop", "exit"]
+        assert len(f.block("loop").phis()) == 1
+
+    def test_multidim_roundtrip(self):
+        f = parse_function(EXAMPLE)
+        load = f.block("loop").instructions[3]
+        assert len(load.indices) == 2
+
+    def test_no_arrays_header(self):
+        f = parse_function("func f() {\nentry:\n  return\n}")
+        assert f.arrays == []
+        assert "arrays" not in print_function(f)
+
+
+class TestErrors:
+    def test_bad_header(self):
+        with pytest.raises(IRParseError):
+            parse_function("function f() {\nentry:\n return\n}")
+
+    def test_missing_close(self):
+        with pytest.raises(IRParseError):
+            parse_function("func f() {\nentry:\n  return")
+
+    def test_instruction_before_label(self):
+        with pytest.raises(IRParseError):
+            parse_function("func f() {\n  %x = copy 1\n}")
+
+    def test_bad_operand(self):
+        with pytest.raises(IRParseError):
+            parse_function("func f() {\ne:\n  %x = copy ?\n  return\n}")
+
+    def test_unknown_instruction(self):
+        with pytest.raises(IRParseError):
+            parse_function("func f() {\ne:\n  %x = frobnicate 1\n  return\n}")
+
+    def test_bad_branch(self):
+        with pytest.raises(IRParseError):
+            parse_function("func f() {\ne:\n  branch %c, only_one\n}")
+
+    def test_content_after_close(self):
+        with pytest.raises(IRParseError):
+            parse_function("func f() {\ne:\n  return\n}\n%x = copy 1")
+
+    def test_empty_input(self):
+        with pytest.raises(IRParseError):
+            parse_function("   \n  ")
+
+    def test_comments_ignored(self):
+        f = parse_function("# leading\nfunc f() {\n# inner\ne:\n  return\n}")
+        assert f.name == "f"

@@ -1,0 +1,46 @@
+"""Tests for IR operand values."""
+
+import pytest
+
+from repro.ir.values import Const, Ref, as_value
+
+
+class TestConst:
+    def test_basic(self):
+        assert Const(5).value == 5
+        assert str(Const(-3)) == "-3"
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            Const("5")  # type: ignore[arg-type]
+        with pytest.raises(TypeError):
+            Const(True)
+
+    def test_equality(self):
+        assert Const(1) == Const(1)
+        assert Const(1) != Const(2)
+        assert Const(1) != Ref("1")
+
+
+class TestRef:
+    def test_basic(self):
+        assert Ref("x").name == "x"
+        assert str(Ref("x")) == "%x"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Ref("")
+
+
+class TestAsValue:
+    def test_coercions(self):
+        assert as_value(3) == Const(3)
+        assert as_value("x") == Ref("x")
+        assert as_value(Const(1)) == Const(1)
+        assert as_value(Ref("y")) == Ref("y")
+
+    def test_rejects_bool_and_junk(self):
+        with pytest.raises(TypeError):
+            as_value(True)
+        with pytest.raises(TypeError):
+            as_value(1.5)

@@ -1,0 +1,115 @@
+"""Tests for the IR verifier."""
+
+import pytest
+
+from repro.ir.function import Function, IRError
+from repro.ir.instructions import Assign, BinOp, Branch, Jump, Phi, Return
+from repro.ir.opcodes import BinaryOp
+from repro.ir.parser import parse_function
+from repro.ir.values import Ref
+from repro.ir.verify import verify_function
+
+
+def make_diamond(ssa=True):
+    text = """
+func f(c) {
+entry:
+  branch %c, left, right
+left:
+  %x.1 = copy 1
+  jump join
+right:
+  %x.2 = copy 2
+  jump join
+join:
+  %x.3 = phi [left: %x.1, right: %x.2]
+  return %x.3
+}
+"""
+    return parse_function(text)
+
+
+class TestStructural:
+    def test_good_function(self):
+        verify_function(make_diamond())
+
+    def test_missing_terminator(self):
+        f = Function("f")
+        f.add_block("entry")
+        with pytest.raises(IRError, match="terminator"):
+            verify_function(f)
+
+    def test_no_blocks(self):
+        with pytest.raises(IRError):
+            verify_function(Function("f"))
+
+    def test_phi_after_non_phi(self):
+        f = Function("f")
+        b = f.add_block("entry")
+        b.append(Assign("x", 1))
+        b.instructions.append(Phi("y", {}))
+        b.terminator = Return()
+        with pytest.raises(IRError, match="phi after"):
+            verify_function(f)
+
+    def test_branch_to_unknown_label(self):
+        f = Function("f")
+        f.add_block("entry").terminator = Jump("nowhere")
+        with pytest.raises(IRError):
+            verify_function(f)
+
+
+class TestSSA:
+    def test_good_ssa(self):
+        verify_function(make_diamond(), ssa=True)
+
+    def test_double_definition(self):
+        f = make_diamond()
+        f.block("right").append(Assign("x.1", 3))
+        with pytest.raises(IRError, match="defined in both"):
+            verify_function(f, ssa=True)
+
+    def test_parameter_shadowed(self):
+        f = make_diamond()
+        f.block("left").append(Assign("c", 3))
+        with pytest.raises(IRError, match="shadows"):
+            verify_function(f, ssa=True)
+
+    def test_phi_incoming_mismatch(self):
+        f = make_diamond()
+        phi = f.block("join").phis()[0]
+        del phi.incoming["left"]
+        with pytest.raises(IRError, match="incoming"):
+            verify_function(f, ssa=True)
+
+    def test_use_not_dominated(self):
+        f = make_diamond()
+        # use %x.1 in `right`, where `left` does not dominate
+        f.block("right").append(BinOp("y", BinaryOp.ADD, Ref("x.1"), 1))
+        phi = f.block("join").phis()[0]
+        with pytest.raises(IRError, match="dominated"):
+            verify_function(f, ssa=True)
+
+    def test_phi_edge_value_not_available(self):
+        f = make_diamond()
+        phi = f.block("join").phis()[0]
+        phi.incoming["left"] = Ref("x.2")  # defined in `right`, not on edge
+        with pytest.raises(IRError, match="not available on edge"):
+            verify_function(f, ssa=True)
+
+    def test_use_before_def_same_block(self):
+        f = Function("f")
+        b = f.add_block("entry")
+        b.append(BinOp("a", BinaryOp.ADD, Ref("b"), 1))
+        b.append(Assign("b", 1))
+        b.terminator = Return()
+        with pytest.raises(IRError, match="dominated"):
+            verify_function(f, ssa=True)
+
+    def test_terminator_use_checked(self):
+        f = Function("f")
+        e = f.add_block("entry")
+        e.terminator = Branch(Ref("ghost"), "a", "a")
+        f.add_block("a").terminator = Return()
+        with pytest.raises(IRError, match="terminator uses"):
+            verify_function(f, ssa=True)

@@ -1,0 +1,113 @@
+"""Property tests on the compilation substrate itself.
+
+* SSA construction and destruction preserve behaviour on random programs.
+* The textual IR printer/parser round-trips behaviour.
+* SCCP + simplification + copy propagation preserve behaviour.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.frontend.source import compile_source
+from repro.ir.clone import clone_function
+from repro.ir.interp import Interpreter
+from repro.ir.parser import parse_function
+from repro.ir.printer import print_function
+from repro.scalar.copyprop import propagate_copies
+from repro.scalar.sccp import run_sccp
+from repro.scalar.simplify import simplify_instructions
+from repro.ssa.construct import construct_ssa
+from repro.ssa.destruct import destruct_ssa
+
+VARS = ["a", "b", "c"]
+
+
+@st.composite
+def programs(draw):
+    lines = [f"{v} = {draw(st.integers(-3, 3))}" for v in VARS]
+    n1 = draw(st.integers(0, 5))
+    lines.append(f"L1: for i = 1 to {n1} do")
+    for _ in range(draw(st.integers(1, 4))):
+        kind = draw(st.sampled_from(["arith", "swap", "cond", "store"]))
+        t = draw(st.sampled_from(VARS))
+        s = draw(st.sampled_from(VARS))
+        c = draw(st.integers(-2, 3))
+        if kind == "arith":
+            op = draw(st.sampled_from(["+", "-", "*"]))
+            lines.append(f"  {t} = {s} {op} {c}")
+        elif kind == "swap":
+            lines.append(f"  t0 = {t}")
+            lines.append(f"  {t} = {s}")
+            lines.append(f"  {s} = t0")
+        elif kind == "cond":
+            lines.append(f"  if {s} > {c} then")
+            lines.append(f"    {t} = {t} + 1")
+            lines.append("  else")
+            lines.append(f"    {t} = {t} - 1")
+            lines.append("  endif")
+        else:
+            lines.append(f"  A[i] = {t}")
+    lines.append("endfor")
+    lines.append(f"return a * 100 + b * 10 + c")
+    return "\n".join(lines)
+
+
+def observe(function):
+    result = Interpreter(function).run({})
+    return result.return_value, result.arrays
+
+
+@settings(max_examples=80, deadline=None)
+@given(programs())
+def test_ssa_construct_destruct_roundtrip(source):
+    named = compile_source(source)
+    expected = observe(named)
+
+    ssa = clone_function(named)
+    construct_ssa(ssa)
+    assert observe(ssa) == expected
+
+    destruct_ssa(ssa)
+    assert observe(ssa) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs())
+def test_printer_parser_roundtrip(source):
+    named = compile_source(source)
+    expected = observe(named)
+    reparsed = parse_function(print_function(named))
+    assert observe(reparsed) == expected
+    # idempotent printing
+    assert print_function(reparsed) == print_function(named)
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs())
+def test_scalar_opts_preserve_behaviour(source):
+    named = compile_source(source)
+    expected = observe(named)
+    ssa = clone_function(named)
+    construct_ssa(ssa)
+    for _ in range(3):
+        run_sccp(ssa)
+        changed = simplify_instructions(ssa)
+        changed += propagate_copies(ssa)
+        if not changed:
+            break
+    assert observe(ssa) == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(programs())
+def test_full_unrolling_preserves_behaviour(source):
+    """Unrolling is the litmus test for trip counts: tc copies of the body
+    must reproduce the loop exactly."""
+    from repro.transforms import fully_unroll
+
+    named = compile_source(source)
+    expected = observe(named)
+    count = fully_unroll(named, "L1", max_trips=8)
+    if count is None:
+        return
+    assert observe(named) == expected

@@ -1,0 +1,88 @@
+"""Tests for scalar-memory promotion (the paper's LD/ST ssalink shape)."""
+
+from repro.ir.interp import Interpreter
+from repro.ir.parser import parse_function
+from repro.pipeline import analyze_function
+from repro.scalar.mem2reg import promote_scalars
+
+MEMORY_COUNTER = """
+func f(n) arrays(count, A) {
+entry:
+  store @count, 0
+  jump L1
+L1:
+  %c = load @count
+  %c2 = add %c, 1
+  store @count, %c2
+  store @A[%c2], %c2
+  %t = cmp %c2 < %n
+  branch %t, L1, exit
+exit:
+  %r = load @count
+  return %r
+}
+"""
+
+
+class TestPromotion:
+    def test_promotes_and_preserves(self):
+        f = parse_function(MEMORY_COUNTER)
+        expected = Interpreter(f).run({"n": 5})
+        f2 = parse_function(MEMORY_COUNTER)
+        promoted = promote_scalars(f2)
+        assert promoted == ["count"]
+        assert "count" not in f2.arrays
+        result = Interpreter(f2).run({"n": 5})
+        assert result.return_value == expected.return_value == 5
+        assert result.arrays.get("A") == expected.arrays.get("A")
+
+    def test_promoted_counter_classifies_as_iv(self):
+        """The paper's memory-resident counter becomes a plain linear IV."""
+        from repro.core.classes import InductionVariable
+
+        f = parse_function(MEMORY_COUNTER)
+        promote_scalars(f)
+        from repro.analysis.loopsimplify import simplify_loops
+
+        simplify_loops(f)
+        program = analyze_function(f)
+        header_phi = program.ssa.block("L1").phis()
+        classes = [program.classification(p.result) for p in header_phi]
+        assert any(
+            isinstance(c, InductionVariable) and c.step == 1 for c in classes
+        )
+
+    def test_subscripted_arrays_untouched(self):
+        f = parse_function(MEMORY_COUNTER)
+        promote_scalars(f)
+        from repro.ir.instructions import Load, Store
+
+        accesses = [i for b in f for i in b if isinstance(i, (Load, Store))]
+        assert all(i.array == "A" for i in accesses)
+
+    def test_mixed_use_not_promoted(self):
+        source = """
+func f() arrays(x) {
+entry:
+  store @x, 1
+  %v = load @x[0]
+  return %v
+}
+"""
+        f = parse_function(source)
+        assert promote_scalars(f) == []
+
+    def test_name_collision_resolved(self):
+        source = """
+func f(count) arrays(count2) {
+entry:
+  %a = copy %count
+  store @count2, %a
+  %v = load @count2
+  return %v
+}
+"""
+        f = parse_function(source)
+        promoted = promote_scalars(f)
+        assert promoted == ["count2"]
+        assert Interpreter(f).run({"count": 9}).return_value == 9

@@ -1,0 +1,323 @@
+"""Tests for SCCP, copy propagation, DCE and simplification."""
+
+from repro.frontend.source import compile_source
+from repro.ir.instructions import Assign, Phi
+from repro.ir.interp import Interpreter
+from repro.ir.parser import parse_function
+from repro.ir.values import Const, Ref
+from repro.scalar.copyprop import propagate_copies
+from repro.scalar.dce import eliminate_dead_code
+from repro.scalar.sccp import BOTTOM, run_sccp
+from repro.scalar.simplify import simplify_instructions
+from repro.ssa.construct import construct_ssa
+
+
+def to_ssa(source):
+    f = compile_source(source)
+    construct_ssa(f)
+    return f
+
+
+class TestSCCP:
+    def test_constant_chain(self):
+        f = to_ssa("a = 2\nb = a + 3\nc = b * b\nreturn c")
+        result = run_sccp(f, apply=False)
+        constants = {
+            name: v for name, v in result.values.items() if isinstance(v, int)
+        }
+        assert 2 in constants.values()
+        assert 5 in constants.values()
+        assert 25 in constants.values()
+
+    def test_params_are_bottom(self):
+        f = to_ssa("return n")
+        result = run_sccp(f, apply=False)
+        assert result.values["n"] == BOTTOM
+
+    def test_loop_variable_is_bottom(self):
+        f = to_ssa("i = 0\nfor i = 1 to n do\n  x = i\nendfor\nreturn i")
+        result = run_sccp(f, apply=False)
+        header_phi = f.block("loop1").phis()[0] if "loop1" in f.blocks else None
+        bottoms = [n for n, v in result.values.items() if v == BOTTOM]
+        assert any(n.startswith("i.") for n in bottoms)
+
+    def test_conditional_constant(self):
+        """SCCP's defining feature: the false branch is never executed."""
+        f = to_ssa("x = 1\nif x > 0 then\n  y = 5\nelse\n  y = 7\nendif\nreturn y")
+        result = run_sccp(f, apply=False)
+        assert result.constant_of(_phi_result(f)) == 5
+
+    def test_apply_rewrites_uses(self):
+        f = to_ssa("a = 4\nb = a + n\nreturn b")
+        run_sccp(f)
+        add = [i for b in f for i in b if i.result and i.result.startswith("b")][0]
+        assert Const(4) in add.uses()
+
+    def test_mul_zero_identity(self):
+        f = to_ssa("b = n * 0\nreturn b")
+        result = run_sccp(f, apply=False)
+        assert result.constant_of(_name_of(f, "b")) == 0
+
+    def test_constant_compare_folds(self):
+        f = to_ssa("x = 3\nc = 0\nif x < 5 then\n  c = 1\nendif\nreturn c")
+        result = run_sccp(f, apply=False)
+        values = set(result.values.values())
+        assert 1 in values
+
+    def test_semantics_preserved(self):
+        source = "a = 3\ns = 0\nfor i = a to n do\n  s = s + i\nendfor\nreturn s"
+        f1 = to_ssa(source)
+        expected = Interpreter(f1).run({"n": 9}).return_value
+        f2 = to_ssa(source)
+        run_sccp(f2)
+        assert Interpreter(f2).run({"n": 9}).return_value == expected
+
+
+class TestCopyProp:
+    def test_chain_collapsed(self):
+        f = parse_function(
+            "func f(n) {\ne:\n  %a = copy %n\n  %b = copy %a\n  %c = add %b, 1\n  return %c\n}"
+        )
+        assert propagate_copies(f) >= 1
+        add = f.block("e").instructions[2]
+        assert add.lhs == Ref("n")
+
+    def test_constant_copy(self):
+        f = parse_function(
+            "func f() {\ne:\n  %a = copy 7\n  %b = add %a, 1\n  return %b\n}"
+        )
+        propagate_copies(f)
+        assert Const(7) in f.block("e").instructions[1].uses()
+
+    def test_no_copies_no_change(self):
+        f = parse_function("func f(n) {\ne:\n  %b = add %n, 1\n  return %b\n}")
+        assert propagate_copies(f) == 0
+
+
+class TestDCE:
+    def test_dead_removed_live_kept(self):
+        f = parse_function(
+            """
+func f(n) arrays(A) {
+e:
+  %dead = add %n, 1
+  %live = add %n, 2
+  store @A[0], %live
+  return
+}
+"""
+        )
+        assert eliminate_dead_code(f) == 1
+        names = [i.result for b in f for i in b if i.result]
+        assert names == ["live"]
+
+    def test_transitive_liveness(self):
+        f = parse_function(
+            "func f(n) {\ne:\n  %a = add %n, 1\n  %b = add %a, 1\n  return %b\n}"
+        )
+        assert eliminate_dead_code(f) == 0
+
+    def test_branch_condition_live(self):
+        f = parse_function(
+            "func f(n) {\ne:\n  %c = cmp %n < 3\n  branch %c, a, b\na:\n  return\nb:\n  return\n}"
+        )
+        assert eliminate_dead_code(f) == 0
+
+    def test_dead_phi_cycle_removed(self):
+        f = parse_function(
+            """
+func f(c) {
+e:
+  %x.0 = copy 1
+  jump h
+h:
+  %x.1 = phi [e: %x.0, h: %x.2]
+  %x.2 = add %x.1, 1
+  branch %c, h, out
+out:
+  return
+}
+"""
+        )
+        assert eliminate_dead_code(f) == 3
+
+
+class TestSimplify:
+    def test_identities(self):
+        f = parse_function(
+            """
+func f(n) {
+e:
+  %a = add %n, 0
+  %b = mul %a, 1
+  %c = sub %b, %b
+  %d = exp %n, 0
+  %e1 = div %n, 1
+  %f1 = mod %n, 1
+  return %c
+}
+"""
+        )
+        count = simplify_instructions(f)
+        assert count == 6
+        kinds = [type(i).__name__ for i in f.block("e").instructions]
+        assert all(k == "Assign" for k in kinds)
+
+    def test_single_input_phi(self):
+        f = parse_function(
+            "func f(n) {\ne:\n  jump b\nb:\n  %p = phi [e: %n]\n  return %p\n}"
+        )
+        assert simplify_instructions(f) == 1
+        assert isinstance(f.block("b").instructions[0], Assign)
+
+    def test_phi_with_equal_inputs(self):
+        f = parse_function(
+            """
+func f(c, n) {
+e:
+  branch %c, a, b
+a:
+  jump j
+b:
+  jump j
+j:
+  %p = phi [a: %n, b: %n]
+  return %p
+}
+"""
+        )
+        assert simplify_instructions(f) == 1
+
+    def test_semantics_preserved(self):
+        source = "y = x * 1 + 0\nz = y - 0\nreturn z + x * 0"
+        f1 = to_ssa(source)
+        expected = Interpreter(f1).run({"x": 13}).return_value
+        f2 = to_ssa(source)
+        simplify_instructions(f2)
+        propagate_copies(f2)
+        assert Interpreter(f2).run({"x": 13}).return_value == expected
+
+
+def _phi_result(f):
+    for block in f:
+        for inst in block:
+            if isinstance(inst, Phi):
+                return inst.result
+    raise AssertionError("no phi found")
+
+
+def _name_of(f, prefix):
+    for block in f:
+        for inst in block:
+            if inst.result and inst.result.startswith(prefix):
+                return inst.result
+    raise AssertionError(f"no {prefix}* definition")
+
+
+class TestGVN:
+    def to_ssa_fn(self, source):
+        return to_ssa(source)
+
+    def test_redundant_binop_eliminated(self):
+        from repro.scalar.gvn import run_gvn
+
+        f = parse_function(
+            "func f(a, b) {\ne:\n  %x = add %a, %b\n  %y = add %a, %b\n"
+            "  %z = add %x, %y\n  return %z\n}"
+        )
+        assert run_gvn(f) == 1
+        inst = f.block("e").instructions[1]
+        assert isinstance(inst, Assign)
+        # the final add now uses x twice
+        final = f.block("e").instructions[2]
+        assert str(final.lhs) == "%x" and str(final.rhs) == "%x"
+
+    def test_commutative_operands(self):
+        from repro.scalar.gvn import run_gvn
+
+        f = parse_function(
+            "func f(a, b) {\ne:\n  %x = add %a, %b\n  %y = add %b, %a\n  %z = add %x, %y\n  return %z\n}"
+        )
+        assert run_gvn(f) == 1
+
+    def test_subtraction_not_commutative(self):
+        from repro.scalar.gvn import run_gvn
+
+        f = parse_function(
+            "func f(a, b) {\ne:\n  %x = sub %a, %b\n  %y = sub %b, %a\n  %z = add %x, %y\n  return %z\n}"
+        )
+        assert run_gvn(f) == 0
+
+    def test_scoping_respects_dominance(self):
+        from repro.scalar.gvn import run_gvn
+
+        # the same expression in two sibling branches must NOT unify
+        f = parse_function(
+            """
+func f(c, a) {
+e:
+  branch %c, l, r
+l:
+  %x = add %a, 1
+  jump j
+r:
+  %y = add %a, 1
+  jump j
+j:
+  %p = phi [l: %x, r: %y]
+  return %p
+}
+"""
+        )
+        assert run_gvn(f) == 0
+
+    def test_dominating_definition_reused_in_branch(self):
+        from repro.scalar.gvn import run_gvn
+
+        f = parse_function(
+            """
+func f(c, a) {
+e:
+  %x = add %a, 1
+  branch %c, l, j
+l:
+  %y = add %a, 1
+  jump j
+j:
+  return %x
+}
+"""
+        )
+        assert run_gvn(f) == 1
+
+    def test_numbers_through_copies(self):
+        from repro.scalar.gvn import run_gvn
+
+        f = parse_function(
+            "func f(a) {\ne:\n  %x = copy %a\n  %y = add %x, 1\n  %z = add %a, 1\n  %w = add %y, %z\n  return %w\n}"
+        )
+        assert run_gvn(f) == 1
+
+    def test_loads_not_unified(self):
+        from repro.scalar.gvn import run_gvn
+
+        f = parse_function(
+            "func f(i) arrays(A) {\ne:\n  %x = load @A[%i]\n  store @A[%i], 9\n  %y = load @A[%i]\n  %z = add %x, %y\n  return %z\n}"
+        )
+        assert run_gvn(f) == 0  # the store may change the value
+
+    def test_semantics_preserved(self):
+        from repro.scalar.gvn import run_gvn
+
+        source = (
+            "x = a * b + a\ny = a * b + a\nz = 0\n"
+            "for i = 1 to n do\n  z = z + x + y\nendfor\nreturn z"
+        )
+        f1 = to_ssa(source)
+        expected = Interpreter(f1).run({"a": 2, "b": 3, "n": 4}).return_value
+        f2 = to_ssa(source)
+        run_gvn(f2)
+        from repro.ir.verify import verify_function
+
+        verify_function(f2, ssa=True)
+        assert Interpreter(f2).run({"a": 2, "b": 3, "n": 4}).return_value == expected

@@ -1,0 +1,108 @@
+"""Tests for SSA construction."""
+
+import pytest
+
+from repro.frontend.source import compile_source
+from repro.ir.function import IRError
+from repro.ir.instructions import Phi
+from repro.ir.interp import Interpreter
+from repro.ir.verify import verify_function
+from repro.ssa.construct import construct_ssa
+
+
+def build(source):
+    f = compile_source(source)
+    info = construct_ssa(f)
+    return f, info
+
+
+class TestBasics:
+    def test_loop_gets_header_phi(self):
+        f, info = build("i = 0\nL1: loop\n  i = i + 1\n  if i > n then\n    break\n  endif\nendloop\nreturn i")
+        phis = f.block("L1").phis()
+        assert len(phis) == 1
+        assert info.origin[phis[0].result] == "i"
+
+    def test_unique_definitions(self):
+        f, _ = build("x = 1\nx = x + 1\nx = x * 2\nreturn x")
+        names = [i.result for b in f for i in b if i.result]
+        assert len(names) == len(set(names))
+
+    def test_verifies_as_ssa(self):
+        f, _ = build(
+            "s = 0\nfor i = 1 to n do\n  if i > 3 then\n    s = s + i\n  endif\nendfor\nreturn s"
+        )
+        verify_function(f, ssa=True)
+
+    def test_diamond_phi(self):
+        f, info = build("if c > 0 then\n  x = 1\nelse\n  x = 2\nendif\nreturn x")
+        all_phis = [i for b in f for i in b if isinstance(i, Phi)]
+        assert len(all_phis) == 1
+        assert info.origin[all_phis[0].result] == "x"
+
+    def test_pruned_no_dead_phis(self):
+        # `t` is dead after the if; pruned SSA must not merge it
+        f, info = build(
+            "x = 0\nif c > 0 then\n  t = 1\nelse\n  t = 2\nendif\nreturn x"
+        )
+        all_phis = [i for b in f for i in b if isinstance(i, Phi)]
+        assert all(info.origin[p.result] != "t" for p in all_phis)
+
+    def test_rejects_existing_phis(self):
+        f, _ = build("x = 0\nfor i = 1 to n do\n  x = x + 1\nendfor\nreturn x")
+        with pytest.raises(IRError):
+            construct_ssa(f)
+
+
+class TestSemantics:
+    def runs_same(self, source, args, arrays=None):
+        f1 = compile_source(source)
+        before = Interpreter(f1).run(dict(args), arrays and {k: dict(v) for k, v in arrays.items()})
+        f2 = compile_source(source)
+        construct_ssa(f2)
+        after = Interpreter(f2).run(dict(args), arrays and {k: dict(v) for k, v in arrays.items()})
+        assert before.return_value == after.return_value
+        assert before.arrays == after.arrays
+
+    def test_loop_sum(self):
+        self.runs_same("s = 0\nfor i = 1 to n do\n  s = s + i\nendfor\nreturn s", {"n": 9})
+
+    def test_swap_rotation(self):
+        self.runs_same(
+            "a = 1\nb = 2\nc = 3\nfor i = 1 to n do\n  t = a\n  a = b\n  b = c\n  c = t\nendfor\nreturn a * 100 + b * 10 + c",
+            {"n": 5},
+        )
+
+    def test_conditional_updates(self):
+        self.runs_same(
+            "k = 0\nfor i = 1 to n do\n  if i % 2 == 0 then\n    k = k + 1\n  else\n    k = k + 3\n  endif\nendfor\nreturn k",
+            {"n": 8},
+        )
+
+    def test_nested_loops(self):
+        self.runs_same(
+            "s = 0\nfor i = 1 to n do\n  for j = 1 to i do\n    s = s + 1\n  endfor\nendfor\nreturn s",
+            {"n": 6},
+        )
+
+
+class TestUndef:
+    def test_maybe_uninitialized_becomes_input(self):
+        f = compile_source("if c > 0 then\n  x = 1\nendif\nreturn x")
+        info = construct_ssa(f)
+        assert any(name.endswith(".undef") for name in info.undef_inputs)
+        # the undef input behaves like a parameter
+        result = Interpreter(f).run({"c": 0, info.undef_inputs[0]: 42})
+        assert result.return_value == 42
+
+
+class TestOrigin:
+    def test_names_of(self):
+        f, info = build("i = 0\nfor i = 1 to n do\n  x = i\nendfor\nreturn i")
+        names = info.names_of("i")
+        assert len(names) >= 3
+        assert all(info.origin[n] == "i" for n in names)
+
+    def test_params_map_to_themselves(self):
+        _, info = build("return n")
+        assert info.origin["n"] == "n"

@@ -1,0 +1,89 @@
+"""Tests for SSA destruction and the SSA graph."""
+
+from repro.frontend.source import compile_source
+from repro.ir.instructions import Phi
+from repro.ir.interp import Interpreter
+from repro.ssa.construct import construct_ssa
+from repro.ssa.destruct import destruct_ssa
+from repro.ssa.graph import build_ssa_graph
+
+
+def to_ssa(source):
+    f = compile_source(source)
+    construct_ssa(f)
+    return f
+
+
+class TestDestruct:
+    def check_roundtrip(self, source, args):
+        f_named = compile_source(source)
+        expected = Interpreter(f_named).run(dict(args))
+        f = to_ssa(source)
+        destruct_ssa(f)
+        assert not any(isinstance(i, Phi) for b in f for i in b)
+        actual = Interpreter(f).run(dict(args))
+        assert actual.return_value == expected.return_value
+        assert actual.arrays == expected.arrays
+
+    def test_simple_loop(self):
+        self.check_roundtrip("s = 0\nfor i = 1 to n do\n  s = s + i\nendfor\nreturn s", {"n": 7})
+
+    def test_swap_cycle_needs_temp(self):
+        """The periodic rotation is the classic swap problem."""
+        self.check_roundtrip(
+            "a = 1\nb = 2\nfor i = 1 to n do\n  t = a\n  a = b\n  b = t\nendfor\nreturn a * 10 + b",
+            {"n": 3},
+        )
+
+    def test_three_way_rotation(self):
+        self.check_roundtrip(
+            "a = 1\nb = 2\nc = 3\nfor i = 1 to n do\n  t = a\n  a = b\n  b = c\n  c = t\nendfor\n"
+            "return a * 100 + b * 10 + c",
+            {"n": 4},
+        )
+
+    def test_conditional_merge(self):
+        self.check_roundtrip(
+            "x = 0\nif c > 0 then\n  x = 1\nelse\n  x = 2\nendif\nreturn x",
+            {"c": 1},
+        )
+
+
+class TestSSAGraph:
+    def test_whole_function_graph(self):
+        f = to_ssa("i = 0\nL1: loop\n  i = i + 1\n  if i > n then\n    break\n  endif\nendloop")
+        g = build_ssa_graph(f)
+        assert len(g.nodes()) == f.instruction_count() - sum(
+            1 for b in f for inst in b if inst.result is None
+        )
+
+    def test_edges_point_to_operand_defs(self):
+        f = to_ssa("i = 0\nL1: loop\n  i = i + 1\n  if i > n then\n    break\n  endif\nendloop")
+        g = build_ssa_graph(f)
+        phi = f.block("L1").phis()[0]
+        # the phi uses the add; the add uses the phi: a 2-cycle
+        add_name = next(
+            n for n in g.nodes() if phi.result in g.successors(n)
+        )
+        assert add_name in g.successors(phi.result)
+
+    def test_region_restriction(self):
+        f = to_ssa("i = 0\nL1: loop\n  i = i + n\n  if i > m then\n    break\n  endif\nendloop")
+        g = build_ssa_graph(f, region={"L1", "then", "endif"})
+        phi = f.block("L1").phis()[0]
+        # n is defined outside the region
+        add_node = next(n for n in g.successors(phi.result))
+        assert "n" in g.external_operands(add_node)
+
+    def test_size_counts_nodes_plus_edges(self):
+        f = to_ssa("x = a + b\nreturn x")
+        g = build_ssa_graph(f)
+        # x = add a b: a,b are params (not nodes): 1 node, 0 internal edges
+        assert g.size() == 1
+
+    def test_block_of_and_instruction(self):
+        f = to_ssa("x = a + b\nreturn x")
+        g = build_ssa_graph(f)
+        name = g.nodes()[0]
+        assert g.block_of(name) == "entry"
+        assert g.instruction(name).result == name

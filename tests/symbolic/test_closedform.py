@@ -1,0 +1,259 @@
+"""Tests for the closed-form sequence domain and the recurrence solver."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.symbolic.closedform import ClosedForm, ClosedFormError, solve_affine_recurrence
+from repro.symbolic.expr import Expr
+
+
+def sym(name):
+    return Expr.sym(name)
+
+
+class TestConstruction:
+    def test_invariant(self):
+        cf = ClosedForm.invariant(5)
+        assert cf.is_invariant and cf.is_linear and cf.is_polynomial
+        assert cf.init == 5
+        assert cf.step == 0
+
+    def test_linear(self):
+        cf = ClosedForm.linear(sym("n"), 2)
+        assert cf.is_linear and not cf.is_invariant
+        assert cf.init == sym("n")
+        assert cf.step == 2
+
+    def test_counter(self):
+        h = ClosedForm.counter()
+        assert [h.value_at(k).constant_value() for k in range(4)] == [0, 1, 2, 3]
+
+    def test_trailing_zero_normalized(self):
+        assert ClosedForm([1, 0, 0]) == ClosedForm([1])
+
+    def test_zero_geo_dropped(self):
+        assert ClosedForm([1], {2: 0}) == ClosedForm([1])
+
+    def test_bad_base_rejected(self):
+        with pytest.raises(ClosedFormError):
+            ClosedForm([], {1: 1})
+        with pytest.raises(ClosedFormError):
+            ClosedForm([], {0: 1})
+
+    def test_step_of_nonlinear_raises(self):
+        with pytest.raises(ClosedFormError):
+            _ = ClosedForm([0, 1, 1]).step
+
+
+class TestEvaluation:
+    def test_polynomial_value_at(self):
+        # (h^2 + 3h + 4)/2: the paper's closed form for j in L14
+        cf = ClosedForm([2, Fraction(3, 2), Fraction(1, 2)])
+        assert [cf.value_at(h).constant_value() for h in range(4)] == [2, 4, 7, 11]
+
+    def test_geometric_value_at(self):
+        # 2^(h+2) - 1: the paper's closed form for l in L14
+        cf = ClosedForm([-1], {2: 4})
+        assert [cf.value_at(h).constant_value() for h in range(4)] == [3, 7, 15, 31]
+
+    def test_symbolic_iteration_polynomial(self):
+        cf = ClosedForm.linear(1, 2)
+        assert cf.value_at(sym("t")) == 1 + 2 * sym("t")
+
+    def test_symbolic_iteration_geometric_raises(self):
+        with pytest.raises(ClosedFormError):
+            ClosedForm([], {2: 1}).value_at(sym("t"))
+
+    def test_negative_iteration_raises(self):
+        with pytest.raises(ClosedFormError):
+            ClosedForm.counter().value_at(-1)
+
+    def test_evaluate_with_env(self):
+        cf = ClosedForm.linear(sym("n"), 1)
+        assert cf.evaluate(3, {"n": 10}) == 13
+
+    def test_init_includes_geo(self):
+        cf = ClosedForm([1], {2: 3})
+        assert cf.init == 4
+
+
+class TestArithmetic:
+    def test_add(self):
+        a = ClosedForm.linear(1, 2)
+        b = ClosedForm([0, 0, 1], {3: 1})
+        total = a + b
+        for h in range(5):
+            assert total.value_at(h) == a.value_at(h) + b.value_at(h)
+
+    def test_sub_neg(self):
+        a = ClosedForm([5, 1], {2: 2})
+        assert (a - a).is_zero
+        assert (-a).value_at(3) == -(a.value_at(3))
+
+    def test_scale(self):
+        a = ClosedForm.linear(1, 1)
+        assert a.scale(sym("c")).value_at(2) == 3 * sym("c")
+
+    def test_mul_poly_poly(self):
+        a = ClosedForm.linear(1, 1)  # h + 1
+        product = a.try_mul(a)
+        assert product == ClosedForm([1, 2, 1])
+
+    def test_mul_geo_geo(self):
+        a = ClosedForm([], {2: 1})
+        b = ClosedForm([], {3: 1})
+        assert a.try_mul(b) == ClosedForm([], {6: 1})
+
+    def test_mul_const_geo(self):
+        a = ClosedForm.invariant(5)
+        b = ClosedForm([7], {2: 1})
+        assert a.try_mul(b) == ClosedForm([35], {2: 5})
+
+    def test_mul_poly_geo_unrepresentable(self):
+        a = ClosedForm.linear(0, 1)  # h
+        b = ClosedForm([], {2: 1})  # 2^h
+        assert a.try_mul(b) is None  # would need h * 2^h
+
+    def test_mul_geo_geo_base_collapse_to_one_fails(self):
+        a = ClosedForm([], {2: 1})
+        b = ClosedForm([], {-1: 1})
+        # 2^h * (-1)^h = (-2)^h is fine
+        assert a.try_mul(b) == ClosedForm([], {-2: 1})
+        c = ClosedForm([], {Fraction: 1} if False else {-1: 1})
+        # (-1)^h * (-1)^h = 1^h: not representable as a geo term
+        assert c.try_mul(ClosedForm([], {-1: 1})) is None
+
+
+class TestShift:
+    def test_polynomial_shift(self):
+        cf = ClosedForm([0, 0, 1])  # h^2
+        shifted = cf.shift(1)  # (h+1)^2
+        for h in range(5):
+            assert shifted.value_at(h) == cf.value_at(h + 1)
+
+    def test_negative_shift(self):
+        cf = ClosedForm([0, 1, 1], {2: 4})
+        shifted = cf.shift(-1)
+        for h in range(1, 5):
+            assert shifted.value_at(h) == cf.value_at(h - 1)
+
+    def test_shift_roundtrip(self):
+        cf = ClosedForm([sym("a"), 2, 3], {2: sym("g")})
+        assert cf.shift(3).shift(-3) == cf
+
+
+class TestPrefixSumAndFit:
+    def test_prefix_sum_of_constant(self):
+        assert ClosedForm.invariant(3).prefix_sum() == ClosedForm.linear(0, 3)
+
+    def test_prefix_sum_of_counter(self):
+        # sum_{t<h} t = h(h-1)/2
+        s = ClosedForm.counter().prefix_sum()
+        assert [s.value_at(h).constant_value() for h in range(5)] == [0, 0, 1, 3, 6]
+
+    def test_prefix_sum_symbolic_coefficients(self):
+        s = ClosedForm.linear(sym("a"), sym("b")).prefix_sum()
+        # sum_{t<h} (a + b t) = a h + b h(h-1)/2
+        assert s.value_at(3) == 3 * sym("a") + 3 * sym("b")
+
+    def test_prefix_sum_geometric(self):
+        # sum_{t<h} 2^t = 2^h - 1
+        s = ClosedForm([], {2: 1}).prefix_sum()
+        assert [s.value_at(h).constant_value() for h in range(5)] == [0, 1, 3, 7, 15]
+
+    def test_fit_polynomial(self):
+        cf = ClosedForm.fit_polynomial([4, 9, 17, 29])
+        assert cf == ClosedForm([4, Fraction(23, 6), 1, Fraction(1, 6)])
+
+    def test_fit_polynomial_empty_raises(self):
+        with pytest.raises(ClosedFormError):
+            ClosedForm.fit_polynomial([])
+
+    def test_fit_with_bases(self):
+        # 6*3^h - h - 3: the paper's m example
+        values = [3, 14, 49, 156]
+        cf = ClosedForm.fit(values, 2, [3])
+        assert cf == ClosedForm([-3, -1], {3: 6})
+
+    def test_fit_wrong_count_raises(self):
+        with pytest.raises(ClosedFormError):
+            ClosedForm.fit([1, 2], 2, [2])
+
+
+class TestRecurrenceSolver:
+    def test_pure_accumulation(self):
+        # x' = x + (h+1), x0 = 1  ->  the paper's j in L14
+        form = solve_affine_recurrence(1, ClosedForm.linear(1, 1), 1)
+        assert form == ClosedForm([1, Fraction(1, 2), Fraction(1, 2)])
+
+    def test_geometric_paper_l(self):
+        # l' = 2l + 1, l0 = 1  ->  2^(h+1) ... value sequence 1, 3, 7, 15
+        form = solve_affine_recurrence(2, ClosedForm.invariant(1), 1)
+        assert form == ClosedForm([-1], {2: 2})
+
+    def test_geometric_with_linear_addend_paper_m(self):
+        # m' = 3m + (2h + 3), m0 = 0  ->  2*3^h - h - 2
+        form = solve_affine_recurrence(3, ClosedForm.linear(3, 2), 0)
+        assert form == ClosedForm([-2, -1], {3: 2})
+        # and the paper's quadratic coefficient is indeed zero
+        assert form.coeff(2).is_zero
+
+    def test_symbolic_init(self):
+        form = solve_affine_recurrence(1, ClosedForm.invariant(sym("s")), sym("x0"))
+        assert form == ClosedForm([sym("x0"), sym("s")])
+
+    def test_resonance_returns_none(self):
+        # x' = 2x + 2^h needs h*2^h: unrepresentable
+        assert solve_affine_recurrence(2, ClosedForm([], {2: 1}), 0) is None
+
+    def test_multiplier_zero_none(self):
+        assert solve_affine_recurrence(0, ClosedForm.invariant(1), 0) is None
+
+    def test_minus_one_is_flip_flop(self):
+        # x' = -x + 3, x0 = 1: 1, 2, 1, 2, ...  (geo base -1 form)
+        form = solve_affine_recurrence(-1, ClosedForm.invariant(3), 1)
+        assert form is not None
+        assert [form.value_at(h).constant_value() for h in range(4)] == [1, 2, 1, 2]
+
+    def test_validation_against_next_iterate(self):
+        """The solver simulates one extra step to reject accidental fits."""
+        # a contrived recurrence that genuinely solves: x' = 5x, x0 = 7
+        form = solve_affine_recurrence(5, ClosedForm.zero(), 7)
+        assert form == ClosedForm([], {5: 7})
+
+    def test_matches_simulation_generic(self):
+        import random
+
+        rng = random.Random(42)
+        for _ in range(25):
+            mult = rng.choice([1, 2, 3, -2, 5])
+            addend = ClosedForm([rng.randint(-3, 3) for _ in range(rng.randint(0, 3))])
+            x0 = rng.randint(-5, 5)
+            form = solve_affine_recurrence(mult, addend, x0)
+            assert form is not None
+            x = Fraction(x0)
+            for h in range(8):
+                assert form.value_at(h).constant_value() == x
+                x = mult * x + addend.value_at(h).constant_value()
+
+
+class TestDunder:
+    def test_equality_hash(self):
+        a = ClosedForm([1, 2], {2: 3})
+        b = ClosedForm([1, 2], {2: 3})
+        assert a == b and hash(a) == hash(b)
+
+    def test_str(self):
+        assert str(ClosedForm.zero()) == "0"
+        text = str(ClosedForm([1, 2], {2: 3}))
+        assert "h" in text and "2^h" in text
+        assert "(-2)^h" in str(ClosedForm([], {-2: 1}))
+
+    def test_free_symbols(self):
+        cf = ClosedForm([sym("a")], {2: sym("b")})
+        assert cf.free_symbols() == {"a", "b"}
+
+    def test_substitute(self):
+        cf = ClosedForm([sym("a"), 1])
+        assert cf.substitute({"a": Expr.const(9)}) == ClosedForm([9, 1])

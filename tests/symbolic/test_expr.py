@@ -1,0 +1,185 @@
+"""Tests for symbolic polynomial expressions."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.symbolic.expr import Expr, ExprError
+
+
+def sym(name):
+    return Expr.sym(name)
+
+
+class TestConstruction:
+    def test_const(self):
+        e = Expr.const(5)
+        assert e.is_constant and e.constant_value() == 5
+
+    def test_zero(self):
+        assert Expr.zero().is_zero
+        assert Expr.const(0).is_zero
+        assert not Expr.const(1).is_zero
+
+    def test_sym(self):
+        e = sym("n")
+        assert not e.is_constant
+        assert e.free_symbols() == {"n"}
+
+    def test_empty_symbol_rejected(self):
+        with pytest.raises(ExprError):
+            Expr.sym("")
+
+    def test_zero_coefficients_dropped(self):
+        e = sym("x") - sym("x")
+        assert e.is_zero
+        assert e.terms() == {}
+
+
+class TestArithmetic:
+    def test_add_commutes_with_ints(self):
+        assert sym("x") + 1 == 1 + sym("x")
+
+    def test_polynomial_product(self):
+        # (x + 1)(x - 1) = x^2 - 1
+        e = (sym("x") + 1) * (sym("x") - 1)
+        assert e == sym("x") ** 2 - 1
+
+    def test_multivariate(self):
+        e = (sym("a") + sym("b")) ** 2
+        assert e == sym("a") ** 2 + 2 * sym("a") * sym("b") + sym("b") ** 2
+
+    def test_negate_and_sub(self):
+        assert -(sym("x") - 3) == 3 - sym("x")
+
+    def test_pow_zero_and_one(self):
+        assert sym("x") ** 0 == Expr.one()
+        assert sym("x") ** 1 == sym("x")
+
+    def test_pow_negative_rejected(self):
+        with pytest.raises(ExprError):
+            sym("x") ** -1
+
+    def test_fraction_coefficients(self):
+        e = sym("h") / 2
+        assert e * 2 == sym("h")
+
+    def test_division_by_constant(self):
+        assert (2 * sym("x") + 4) / 2 == sym("x") + 2
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExprError):
+            sym("x") / 0
+
+    def test_exact_symbolic_division(self):
+        e = sym("x") * sym("y") + sym("x")
+        assert e / sym("x") == sym("y") + 1
+
+    def test_inexact_division_raises(self):
+        with pytest.raises(ExprError):
+            (sym("x") + 1) / sym("y")
+
+    def test_try_div(self):
+        assert (sym("x") ** 2).try_div(sym("x")) == sym("x")
+        assert (sym("x") + 1).try_div(sym("x")) is None
+        assert sym("x").try_div(Expr.zero()) is None
+
+
+class TestInspection:
+    def test_degree(self):
+        assert Expr.zero().degree() == 0
+        assert Expr.const(7).degree() == 0
+        assert (sym("x") * sym("y") + sym("x")).degree() == 2
+
+    def test_degree_in(self):
+        e = sym("x") ** 3 * sym("y") + sym("y") ** 5
+        assert e.degree_in("x") == 3
+        assert e.degree_in("y") == 5
+        assert e.degree_in("z") == 0
+
+    def test_coefficient_extraction(self):
+        e = 3 * sym("x") ** 2 + sym("y") * sym("x") + 5
+        assert e.coefficient("x", 2) == Expr.const(3)
+        assert e.coefficient("x", 1) == sym("y")
+        assert e.coefficient("x", 0) == Expr.const(5)
+
+    def test_as_affine(self):
+        const, coeffs = (2 * sym("i") - 3 * sym("j") + 7).as_affine()
+        assert const == 7
+        assert coeffs == {"i": 2, "j": -3}
+
+    def test_as_affine_rejects_quadratic(self):
+        assert (sym("i") ** 2).as_affine() is None
+        assert (sym("i") * sym("j")).as_affine() is None
+
+    def test_constant_value_raises_on_symbolic(self):
+        with pytest.raises(ExprError):
+            sym("x").constant_value()
+
+    def test_as_int(self):
+        assert Expr.const(4).as_int() == 4
+        with pytest.raises(ExprError):
+            Expr.const(Fraction(1, 2)).as_int()
+
+    def test_known_sign(self):
+        assert Expr.const(3).known_sign() == 1
+        assert Expr.const(-3).known_sign() == -1
+        assert Expr.zero().known_sign() == 0
+        assert sym("x").known_sign() is None
+
+
+class TestSubstitutionEvaluation:
+    def test_substitute(self):
+        e = sym("i") ** 2 + sym("j")
+        out = e.substitute({"i": sym("k") + 1})
+        assert out == sym("k") ** 2 + 2 * sym("k") + 1 + sym("j")
+
+    def test_substitute_simultaneous(self):
+        e = sym("a") + sym("b")
+        out = e.substitute({"a": sym("b"), "b": sym("a")})
+        assert out == sym("a") + sym("b")
+
+    def test_substitute_irrelevant_is_identity(self):
+        e = sym("a") + 1
+        assert e.substitute({"z": Expr.const(9)}) is e
+
+    def test_evaluate(self):
+        e = 2 * sym("x") ** 2 + sym("y")
+        assert e.evaluate({"x": 3, "y": 4}) == 22
+
+    def test_evaluate_unbound_raises(self):
+        with pytest.raises(ExprError):
+            sym("x").evaluate({})
+
+    def test_rename(self):
+        e = sym("a") * sym("b")
+        assert e.rename({"a": "c"}) == sym("c") * sym("b")
+
+    def test_rename_merging(self):
+        e = sym("a") + sym("b")
+        assert e.rename({"a": "b"}) == 2 * sym("b")
+
+
+class TestDunder:
+    def test_equality_with_numbers(self):
+        assert Expr.const(5) == 5
+        assert Expr.const(Fraction(1, 2)) == Fraction(1, 2)
+        assert sym("x") != 5
+
+    def test_hash_consistency(self):
+        assert hash(sym("x") + 1) == hash(1 + sym("x"))
+
+    def test_bool(self):
+        assert not Expr.zero()
+        assert sym("x")
+
+    def test_str_forms(self):
+        assert str(Expr.zero()) == "0"
+        assert str(sym("x")) == "x"
+        assert str(-sym("x")) == "-x"
+        assert "x^2" in str(sym("x") ** 2)
+        assert str(sym("x") - 1) == "-1 + x"
+
+    def test_coerce_rejects_junk(self):
+        with pytest.raises(ExprError):
+            sym("x") + "hello"  # type: ignore[operator]

@@ -1,0 +1,169 @@
+"""Tests for exact rational matrices."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.symbolic.rational import Matrix, MatrixError
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = Matrix([[1, 2], [3, 4]])
+        assert m.rows == 2 and m.ncols == 2
+        assert m[0, 1] == 2
+        assert isinstance(m[0, 0], Fraction)
+
+    def test_fraction_entries(self):
+        m = Matrix([[Fraction(1, 2)]])
+        assert m[0, 0] == Fraction(1, 2)
+
+    def test_ragged_rejected(self):
+        with pytest.raises(MatrixError):
+            Matrix([[1, 2], [3]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(MatrixError):
+            Matrix([])
+        with pytest.raises(MatrixError):
+            Matrix([[]])
+
+    def test_bad_entry_type(self):
+        with pytest.raises(MatrixError):
+            Matrix([[1.5]])
+
+    def test_identity(self):
+        i3 = Matrix.identity(3)
+        assert i3[0, 0] == 1 and i3[0, 1] == 0 and i3[2, 2] == 1
+
+    def test_identity_bad_size(self):
+        with pytest.raises(MatrixError):
+            Matrix.identity(0)
+
+    def test_vandermonde_is_the_papers_matrix(self):
+        # the paper's third-order matrix for k in L14 (section 4.3)
+        m = Matrix.vandermonde([0, 1, 2, 3], 3)
+        assert m.tolists() == [
+            [1, 0, 0, 0],
+            [1, 1, 1, 1],
+            [1, 2, 4, 8],
+            [1, 3, 9, 27],
+        ]
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        a = Matrix([[1, 2], [3, 4]])
+        b = Matrix([[5, 6], [7, 8]])
+        assert (a + b).tolists() == [[6, 8], [10, 12]]
+        assert (b - a).tolists() == [[4, 4], [4, 4]]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(MatrixError):
+            Matrix([[1]]) + Matrix([[1, 2]])
+
+    def test_scale(self):
+        assert Matrix([[2, 4]]).scale(Fraction(1, 2)).tolists() == [[1, 2]]
+
+    def test_matmul(self):
+        a = Matrix([[1, 2], [3, 4]])
+        assert (a @ Matrix.identity(2)) == a
+        b = Matrix([[0, 1], [1, 0]])
+        assert (a @ b).tolists() == [[2, 1], [4, 3]]
+
+    def test_matmul_shape_mismatch(self):
+        with pytest.raises(MatrixError):
+            Matrix([[1, 2]]) @ Matrix([[1, 2]])
+
+    def test_mul_vector(self):
+        a = Matrix([[1, 2], [3, 4]])
+        assert a.mul_vector([1, 1]) == [3, 7]
+
+    def test_transpose(self):
+        assert Matrix([[1, 2, 3]]).transpose().tolists() == [[1], [2], [3]]
+
+
+class TestInverse:
+    def test_identity_inverse(self):
+        assert Matrix.identity(4).inverse() == Matrix.identity(4)
+
+    def test_paper_inverse_roundtrip(self):
+        """The paper inverts the 4x4 Vandermonde matrix exactly."""
+        m = Matrix.vandermonde([0, 1, 2, 3], 3)
+        inv = m.inverse()
+        assert m @ inv == Matrix.identity(4)
+        assert inv @ m == Matrix.identity(4)
+        # all-rational entries (the paper's observation)
+        assert all(isinstance(x, Fraction) for row in inv.tolists() for x in row)
+
+    def test_paper_k_coefficients(self):
+        """A^-1 [4 9 17 29]^T = [4 23/6 1 1/6]^T (paper, section 4.3)."""
+        inv = Matrix.vandermonde([0, 1, 2, 3], 3).inverse()
+        coeffs = inv.mul_vector([4, 9, 17, 29])
+        assert coeffs == [4, Fraction(23, 6), 1, Fraction(1, 6)]
+
+    def test_geometric_basis_matrix(self):
+        """The paper's matrix for m = 3m + 2i + 1: columns 1, h, h^2, 3^h."""
+        rows = [[1, h, h * h, 3**h] for h in range(4)]
+        m = Matrix(rows)
+        assert m.tolists() == [
+            [1, 0, 0, 1],
+            [1, 1, 1, 3],
+            [1, 2, 4, 9],
+            [1, 3, 9, 27],
+        ]
+        inv = m.inverse()
+        # first four values of m3 are 3, 14, 49, 156 (see closedform tests)
+        coeffs = inv.mul_vector([3, 14, 49, 156])
+        # closed form 6*3^h - h - 3: constant -3, h coeff -1, no h^2, 6*3^h
+        assert coeffs == [-3, -1, 0, 6]
+
+    def test_singular_raises(self):
+        with pytest.raises(MatrixError):
+            Matrix([[1, 2], [2, 4]]).inverse()
+
+    def test_non_square_raises(self):
+        with pytest.raises(MatrixError):
+            Matrix([[1, 2]]).inverse()
+
+    def test_pivoting_handles_zero_leading_entry(self):
+        m = Matrix([[0, 1], [1, 0]])
+        assert m.inverse() == m
+
+
+class TestSolveAndDeterminant:
+    def test_solve(self):
+        a = Matrix([[2, 1], [1, 3]])
+        x = a.solve([3, 5])
+        assert a.mul_vector(x) == [3, 5]
+
+    def test_solve_singular(self):
+        with pytest.raises(MatrixError):
+            Matrix([[1, 1], [1, 1]]).solve([1, 2])
+
+    def test_solve_wrong_rhs_length(self):
+        with pytest.raises(MatrixError):
+            Matrix.identity(2).solve([1, 2, 3])
+
+    def test_determinant(self):
+        assert Matrix([[1, 2], [3, 4]]).determinant() == -2
+        assert Matrix([[1, 2], [2, 4]]).determinant() == 0
+        assert Matrix.identity(5).determinant() == 1
+
+    def test_determinant_with_row_swap(self):
+        assert Matrix([[0, 1], [1, 0]]).determinant() == -1
+
+    def test_determinant_non_square(self):
+        with pytest.raises(MatrixError):
+            Matrix([[1, 2]]).determinant()
+
+
+class TestDunder:
+    def test_eq_and_hash(self):
+        a = Matrix([[1, 2]])
+        b = Matrix([[1, 2]])
+        assert a == b and hash(a) == hash(b)
+        assert a != Matrix([[2, 1]])
+
+    def test_repr(self):
+        assert "1" in repr(Matrix([[1]]))

@@ -1,0 +1,86 @@
+"""Tests for loop-invariant code motion."""
+
+from repro.ir.instructions import BinOp
+from repro.ir.interp import Interpreter
+from repro.ir.verify import verify_function
+from repro.pipeline import analyze
+from repro.transforms import hoist_invariants
+
+
+def hoist(source, header="L1"):
+    program = analyze(source)
+    loop = program.nest.loop_of_header(header)
+    names = hoist_invariants(program.ssa, program.result, loop)
+    verify_function(program.ssa, ssa=True)
+    return program, names
+
+
+def equivalent(source, cases, header="L1"):
+    reference = analyze(source)
+    program, names = hoist(source, header)
+    for args in cases:
+        r1 = Interpreter(reference.ssa).run(dict(args))
+        r2 = Interpreter(program.ssa).run(dict(args))
+        assert r1.return_value == r2.return_value
+        assert r1.arrays == r2.arrays
+    return program, names
+
+
+class TestHoisting:
+    def test_simple_invariant_hoisted(self):
+        program, names = hoist(
+            "L1: for i = 1 to n do\n  x = a + b\n  A[i] = x\nendfor"
+        )
+        assert len(names) == 1
+        preheader = program.nest.loop_of_header("L1").preheader(program.ssa)
+        block = program.ssa.block(preheader)
+        assert any(inst.result == names[0] for inst in block.instructions)
+
+    def test_chain_hoisted_in_order(self):
+        program, names = hoist(
+            "L1: for i = 1 to n do\n  x = a + b\n  y = x * 2\n  A[i] = y\nendfor"
+        )
+        assert len(names) == 2
+
+    def test_iv_not_hoisted(self):
+        _, names = hoist("L1: for i = 1 to n do\n  A[i] = i\nendfor")
+        assert names == []
+
+    def test_conditional_not_hoisted(self):
+        _, names = hoist(
+            "L1: for i = 1 to n do\n  if A[i] > 0 then\n    x = a + b\n    B[i] = x\n  endif\nendfor"
+        )
+        assert names == []
+
+    def test_division_not_hoisted(self):
+        _, names = hoist(
+            "L1: for i = 1 to n do\n  x = a / b\n  A[i] = x\nendfor"
+        )
+        assert names == []
+
+    def test_load_from_readonly_array_hoisted(self):
+        program, names = hoist(
+            "L1: for i = 1 to n do\n  x = T[5]\n  A[i] = x\nendfor"
+        )
+        assert len(names) == 1
+
+    def test_load_from_written_array_not_hoisted(self):
+        _, names = hoist(
+            "L1: for i = 1 to n do\n  x = A[5]\n  A[i] = x\nendfor"
+        )
+        assert names == []
+
+    def test_semantics_preserved(self):
+        equivalent(
+            "s = 0\nL1: for i = 1 to n do\n  x = a * b + a\n  s = s + x\nendfor\nreturn s",
+            [{"n": k, "a": 3, "b": 4} for k in (0, 1, 7)],
+        )
+
+    def test_inner_loop_hoist(self):
+        program, names = equivalent(
+            "s = 0\nL1: for i = 1 to n do\n  L2: for j = 1 to n do\n"
+            "    x = a + a\n    s = s + x\n  endfor\nendfor\nreturn s",
+            [{"n": k, "a": 5} for k in (0, 2, 4)],
+            header="L2",
+        )
+        assert names
