@@ -1,0 +1,19 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-check bench-baseline report
+
+test:
+	$(PYTHON) -m pytest -m "not bench" -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks --benchmark-only
+
+bench-check:
+	$(PYTHON) -m benchmarks.regress --check BENCH_0001.json
+
+bench-baseline:
+	$(PYTHON) -m benchmarks.regress --emit BENCH_0001.json
+
+report:
+	$(PYTHON) -m benchmarks.make_report

@@ -6,10 +6,15 @@ Run:  python -m benchmarks.make_report
 Prints (to stdout) the B01-B04 tables exactly as recorded in
 EXPERIMENTS.md, recomputed from scratch, so the document can be audited or
 refreshed after changes.
+
+``--json PATH`` additionally writes the machine-readable timing document
+used by the regression harness (same schema as ``benchmarks.regress
+--emit``; see ``python -m benchmarks.regress --help``).
 """
 
 from __future__ import annotations
 
+import argparse
 import time
 
 from benchmarks.test_ablation import CORPUS as ABLATION_CORPUS
@@ -103,10 +108,22 @@ def b04() -> None:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write machine-readable timings (benchmarks.regress schema)",
+    )
+    options = parser.parse_args()
     b01()
     b02()
     b03()
     b04()
+    if options.json:
+        from benchmarks.regress import measure, write_document
+
+        write_document(measure(), options.json)
+        print(f"wrote {options.json}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Benchmark regression harness: measure, record, and compare.
+
+The paper's headline performance claim (section 7) is that SSA-based
+classification is *linear in the size of the SSA graph*.  This harness
+turns that claim into a checked-in, machine-readable baseline:
+
+* ``python -m benchmarks.regress --emit BENCH_0001.json`` measures the
+  tracked workloads (wall time of classification, of the whole pipeline,
+  graph size, and time per graph node) and writes them as JSON;
+* ``python -m benchmarks.regress --check BENCH_0001.json`` re-measures and
+  **fails (exit 1) when any tracked metric regresses more than the
+  threshold** (default 1.5x) against the checked-in baseline.
+
+Timing uses best-of-N (default 5) to suppress scheduler noise; the 1.5x
+threshold leaves headroom for machine-to-machine variance while still
+catching accidentally super-linear hot paths.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import platform
+import sys
+import time
+from typing import Callable, Dict, List, Tuple
+
+from benchmarks.workloads import deep_chain_loop, mixed_class_loop, straightline_iv_loop
+from repro.core.driver import classify_function
+from repro.pipeline import analyze
+
+SCHEMA_VERSION = 1
+
+#: metrics compared by ``--check`` (lower is better for all of them)
+TRACKED_METRICS = ("classify_s", "pipeline_s", "time_per_node_s")
+
+#: structural metrics that must match *exactly* between baseline and current
+EXACT_METRICS = ("graph_size",)
+
+
+def workloads() -> List[Tuple[str, str]]:
+    """The tracked (name, source) pairs.
+
+    These are the B01 scaling families at their largest sizes -- the
+    programs whose "time per node stays flat" assertion the paper's
+    linearity claim rests on -- plus the mixed-class family that exercises
+    every classification the paper defines.
+    """
+    return [
+        ("straightline_iv_loop/64", straightline_iv_loop(64)),
+        ("straightline_iv_loop/256", straightline_iv_loop(256)),
+        ("deep_chain_loop/64", deep_chain_loop(64)),
+        ("deep_chain_loop/128", deep_chain_loop(128)),
+        ("mixed_class_loop/200", mixed_class_loop(1, 200)),
+        ("mixed_class_loop/800", mixed_class_loop(1, 800)),
+    ]
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+    finally:
+        if was_enabled:
+            gc.enable()
+    return best
+
+
+def measure(repeats: int = 5) -> Dict:
+    """Measure every tracked workload; returns the JSON-serializable report."""
+    results: Dict[str, Dict] = {}
+    for name, source in workloads():
+        program = analyze(source)  # warm compile; classify_s times analysis only
+        classify_s = _best_of(lambda: classify_function(program.ssa), repeats)
+        pipeline_s = _best_of(lambda: analyze(source), max(3, repeats * 2 // 3))
+        result = classify_function(program.ssa)
+        graph_size = sum(s.graph_size for s in result.loops.values())
+        results[name] = {
+            "classify_s": classify_s,
+            "pipeline_s": pipeline_s,
+            "graph_size": graph_size,
+            "time_per_node_s": classify_s / max(1, graph_size),
+        }
+    return {
+        "schema": SCHEMA_VERSION,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "workloads": results,
+    }
+
+
+def compare(current: Dict, baseline: Dict, threshold: float = 1.5) -> List[str]:
+    """Compare a fresh measurement against a baseline report.
+
+    Returns a list of human-readable regression messages (empty = pass).
+    Prints a per-workload ratio table to stdout as a side effect.
+    """
+    failures: List[str] = []
+    base_workloads = baseline.get("workloads", {})
+    cur_workloads = current.get("workloads", {})
+    header = f"{'workload':>26} | " + " | ".join(f"{m:>16}" for m in TRACKED_METRICS)
+    print(header)
+    print("-" * len(header))
+    for name, base in base_workloads.items():
+        cur = cur_workloads.get(name)
+        if cur is None:
+            failures.append(f"{name}: workload missing from current measurement")
+            continue
+        cells = []
+        for metric in TRACKED_METRICS:
+            base_value = base.get(metric)
+            cur_value = cur.get(metric)
+            if not base_value or cur_value is None:
+                cells.append(f"{'n/a':>16}")
+                continue
+            ratio = cur_value / base_value
+            cells.append(f"{cur_value:>9.2e} {ratio:>5.2f}x")
+            if ratio > threshold:
+                failures.append(
+                    f"{name}: {metric} regressed {ratio:.2f}x "
+                    f"({base_value:.3e} -> {cur_value:.3e}, threshold {threshold}x)"
+                )
+        for metric in EXACT_METRICS:
+            if metric in base and base[metric] != cur.get(metric):
+                failures.append(
+                    f"{name}: {metric} changed {base[metric]} -> {cur.get(metric)} "
+                    "(structural metrics must be stable)"
+                )
+        print(f"{name:>26} | " + " | ".join(cells))
+    return failures
+
+
+def write_document(report: Dict, path: str) -> None:
+    """Write a measurement document as stable, diff-friendly JSON."""
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.regress", description=__doc__.splitlines()[0]
+    )
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--emit", metavar="PATH", help="measure and write a baseline JSON")
+    mode.add_argument("--check", metavar="PATH", help="measure and compare against a baseline JSON")
+    parser.add_argument("--threshold", type=float, default=1.5,
+                        help="max allowed slowdown ratio per metric (default 1.5)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="best-of-N timing repeats (default 5; --check "
+                             "defaults to the baseline's recorded repeats)")
+    args = parser.parse_args(argv)
+
+    if args.emit:
+        report = measure(repeats=args.repeats or 5)
+        write_document(report, args.emit)
+        print(f"wrote baseline for {len(report['workloads'])} workloads to {args.emit}")
+        return 0
+
+    try:
+        with open(args.check) as handle:
+            baseline = json.load(handle)
+    except OSError as error:
+        print(f"error: cannot read baseline {args.check}: {error}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as error:
+        print(f"error: baseline {args.check} is not valid JSON: {error}", file=sys.stderr)
+        return 2
+    # measure with the same best-of-N protocol the baseline was recorded
+    # with, so both sides see the same noise floor
+    report = measure(repeats=args.repeats or baseline.get("repeats", 5))
+    failures = compare(report, baseline, threshold=args.threshold)
+    if failures:
+        print("\nREGRESSIONS:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nok: no metric regressed more than {args.threshold}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,8 @@ from typing import Dict
 
 import pytest
 
+pytestmark = pytest.mark.bench
+
 import repro.core.scr as scr_module
 from benchmarks.workloads import mixed_class_loop
 from repro.core.classes import (
@@ -49,7 +51,7 @@ class _DisableMonotonic:
     def __enter__(self):
         self._original = scr_module._classify_monotonic
 
-        def no_monotonic(loop, members, header, carried_effects, expander, init):
+        def no_monotonic(loop, members, header, carried_effects, expander, init, ctx=None):
             return {m: Unknown("monotonic stage disabled") for m in members}
 
         scr_module._classify_monotonic = no_monotonic

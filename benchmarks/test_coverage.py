@@ -17,6 +17,8 @@ from typing import Dict, Set
 
 import pytest
 
+pytestmark = pytest.mark.bench
+
 from benchmarks.workloads import mixed_class_loop
 from repro.analysis.loops import find_loops
 from repro.baseline.classical import classical_induction_variables

@@ -15,6 +15,8 @@ from typing import List, Tuple
 
 import pytest
 
+pytestmark = pytest.mark.bench
+
 import repro.dependence.testing as testing_module
 from benchmarks.workloads import dependence_workload
 from repro.dependence.direction import ANY, EQ

@@ -8,6 +8,8 @@ EXPERIMENTS.md records paper-vs-measured for each id.
 
 import pytest
 
+pytestmark = pytest.mark.bench
+
 from repro.core.classes import InductionVariable, Monotonic, Periodic, WrapAround
 from repro.pipeline import analyze
 

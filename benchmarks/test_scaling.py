@@ -15,6 +15,8 @@ import time
 
 import pytest
 
+pytestmark = pytest.mark.bench
+
 from benchmarks.workloads import deep_chain_loop, straightline_iv_loop
 from repro.analysis.loops import find_loops
 from repro.baseline.classical import classical_induction_variables
@@ -51,7 +53,7 @@ def test_linearity_shape():
     print("\nB01 time-per-node (s):", [f"{r:.2e}" for r in ratios])
     # allow constant-factor noise; rule out quadratic behaviour (which
     # would multiply the ratio by ~64 across this range)
-    assert ratios[-1] < ratios[0] * 12
+    assert ratios[-1] < ratios[0] * 8
 
 
 @pytest.mark.parametrize("depth", [2, 8, 32, 128])

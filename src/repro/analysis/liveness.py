@@ -8,7 +8,8 @@ which is part of the paper's speed argument.
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from collections import deque
+from typing import Dict, Set, Tuple
 
 from repro.ir.function import Function
 from repro.ir.instructions import Phi
@@ -41,28 +42,47 @@ def upward_exposed(function: Function) -> Dict[str, tuple]:
 
 
 def live_in_sets(function: Function) -> Dict[str, Set[str]]:
-    """Variable names live on entry to each block (iterative dataflow)."""
+    """Variable names live on entry to each block (worklist dataflow).
+
+    A block is (re)processed only when the live-in set of one of its
+    successors changes, and the per-edge phi uses are precomputed once --
+    the naive alternative (full round-robin sweeps in forward block order
+    for a *backward* problem) is quadratic on long chains of blocks.
+    """
     local = upward_exposed(function)
     preds = function.predecessors_map()
-    live_in: Dict[str, Set[str]] = {label: set() for label in function.blocks}
-    live_out: Dict[str, Set[str]] = {label: set() for label in function.blocks}
+    labels = list(function.blocks)
 
-    changed = True
-    while changed:
-        changed = False
-        for label in function.blocks:
-            uses, defs = local[label]
-            out_set: Set[str] = set()
-            for succ in function.successors(label):
-                out_set |= live_in[succ]
-                # phi inputs are live along the specific incoming edge
-                for phi in function.block(succ).phis():
-                    value = phi.incoming.get(label)
-                    if isinstance(value, Ref):
-                        out_set.add(value.name)
-            in_set = uses | (out_set - defs)
-            if in_set != live_in[label] or out_set != live_out[label]:
-                live_in[label] = in_set
-                live_out[label] = out_set
-                changed = True
+    # phi inputs are live along their specific incoming edge
+    edge_uses: Dict[Tuple[str, str], Set[str]] = {}
+    for block in function:
+        for phi in block.phis():
+            for pred, value in phi.incoming.items():
+                if isinstance(value, Ref):
+                    edge_uses.setdefault((pred, block.label), set()).add(value.name)
+
+    successors = {label: function.successors(label) for label in labels}
+    live_in: Dict[str, Set[str]] = {label: set() for label in labels}
+
+    # seed in reverse insertion order: blocks are roughly topologically
+    # ordered, so liveness mostly propagates in one pass
+    worklist = deque(reversed(labels))
+    queued: Set[str] = set(labels)
+    while worklist:
+        label = worklist.popleft()
+        queued.discard(label)
+        uses, defs = local[label]
+        out_set: Set[str] = set()
+        for succ in successors[label]:
+            out_set |= live_in[succ]
+            extra = edge_uses.get((label, succ))
+            if extra:
+                out_set |= extra
+        in_set = uses | (out_set - defs)
+        if in_set != live_in[label]:
+            live_in[label] = in_set
+            for pred in preds[label]:
+                if pred not in queued:
+                    queued.add(pred)
+                    worklist.append(pred)
     return live_in

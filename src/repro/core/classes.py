@@ -69,14 +69,17 @@ class Classification:
 class Invariant(Classification):
     """A value that does not change across iterations of the loop."""
 
-    __slots__ = ("loop", "expr")
+    __slots__ = ("loop", "expr", "_cf")
 
     def __init__(self, expr: Expr, loop: Optional[str] = None):
         self.loop = loop
         self.expr = expr
+        self._cf: Optional[ClosedForm] = None
 
     def closed_form(self) -> ClosedForm:
-        return ClosedForm.invariant(self.expr)
+        if self._cf is None:
+            self._cf = ClosedForm.invariant(self.expr)
+        return self._cf
 
     def delayed(self) -> "Invariant":
         return self

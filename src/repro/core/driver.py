@@ -57,20 +57,28 @@ class RegionNode:
     value is unknown).
     """
 
-    __slots__ = ("name", "block", "inst", "exit_expr")
+    __slots__ = ("name", "block", "inst", "exit_expr", "_operands")
 
     def __init__(self, name: str, block: Optional[str], inst, exit_expr: Optional[Expr] = None):
         self.name = name
         self.block = block
         self.inst = inst
         self.exit_expr = exit_expr
+        self._operands: Optional[List[str]] = None
 
     def operand_names(self) -> List[str]:
-        if self.inst is not None:
-            return [v.name for v in self.inst.uses() if isinstance(v, Ref)]
-        if self.exit_expr is not None:
-            return sorted(self.exit_expr.free_symbols())
-        return []
+        """Operand (source) names; computed once and cached -- region nodes
+        are immutable for the lifetime of the analysis."""
+        operands = self._operands
+        if operands is None:
+            if self.inst is not None:
+                operands = [v.name for v in self.inst.uses() if isinstance(v, Ref)]
+            elif self.exit_expr is not None:
+                operands = sorted(self.exit_expr.free_symbols())
+            else:
+                operands = []
+            self._operands = operands
+        return operands
 
 
 class RegionContext:
@@ -202,14 +210,12 @@ class AnalysisResult:
         return self._postdom
 
     def definition_site(self, name: str):
-        """(block, position) of a definition, or None."""
-        block = self._def_block.get(name)
-        if block is None:
-            return None
-        for position, inst in enumerate(self.function.block(block).instructions):
-            if inst.result == name:
-                return (block, position)
-        return None
+        """(block, position) of a definition, or None.
+
+        Delegates to the function's precomputed ``def_site`` index (one
+        whole-function walk, cached) instead of scanning the block.
+        """
+        return self.function.def_site(name)
 
     # -- opaque invariant symbols -----------------------------------------
     def opaque(self, key: tuple) -> Expr:
@@ -404,7 +410,7 @@ def _analyze_loop(function: Function, loop: Loop, result: AnalysisResult) -> Loo
             continue
         seen.add(name)
         defining = result.defining_loop(name)
-        if defining is None or name not in function.definitions():
+        if defining is None or name not in result._def_block:
             continue  # external or parameter: plain invariant symbol
         block = result._def_block[name]
         if block in loop.body:
@@ -420,8 +426,13 @@ def _analyze_loop(function: Function, loop: Loop, result: AnalysisResult) -> Loo
 
     ctx = RegionContext(function, loop, nodes, result)
 
-    def successors(name: str) -> List[str]:
-        return [n for n in nodes[name].operand_names() if n in nodes]
+    # the region's adjacency, built exactly once: operand edges restricted
+    # to region members.  Tarjan consumes it directly (prefiltered) and the
+    # graph size falls out of that same single traversal.
+    adjacency: Dict[str, List[str]] = {
+        name: [n for n in node.operand_names() if n in nodes]
+        for name, node in nodes.items()
+    }
 
     def on_scr(members: List[str], is_cycle: bool) -> None:
         if is_cycle:
@@ -434,21 +445,20 @@ def _analyze_loop(function: Function, loop: Loop, result: AnalysisResult) -> Loo
         else:
             ctx.classifications[name] = classify_operator(node, ctx)
 
-    scr_count = tarjan_scrs(list(nodes), successors, on_scr)
+    stats = tarjan_scrs(nodes, adjacency.__getitem__, on_scr, prefiltered=True)
 
     def class_of_value(value: Value) -> Classification:
         return ctx.operand_class(value)
 
     trip = compute_trip_count(function, loop, class_of_value, result.opaque)
 
-    graph_size = len(nodes) + sum(len(successors(n)) for n in nodes)
     return LoopSummary(
         loop=loop,
         label=loop.header,
         classifications=ctx.classifications,
         trip=trip,
-        graph_size=graph_size,
-        scr_count=scr_count,
+        graph_size=stats.node_count + stats.edge_count,
+        scr_count=stats.scr_count,
     )
 
 

@@ -217,8 +217,9 @@ class _Expander:
         return self._scale(value, Fraction(-1))
 
     def _scale(self, effects: List[PathEffect], factor: Fraction) -> List[PathEffect]:
+        # visits dicts are shared, never mutated in place (copied on stamp)
         return [
-            PathEffect(pe.mult * factor, pe.addend.scale(factor), dict(pe.visits), pe.through)
+            PathEffect(pe.mult * factor, pe.addend.scale(factor), pe.visits, pe.through)
             for pe in effects
         ]
 
@@ -233,7 +234,7 @@ class _Expander:
             product = pe.addend.try_mul(form)
             if product is None:
                 raise _ExpansionFailure("product not representable")
-            out.append(PathEffect(Fraction(0), product, dict(pe.visits), pe.through))
+            out.append(PathEffect(Fraction(0), product, pe.visits, pe.through))
         return out
 
     def _add(self, left, right):
@@ -243,7 +244,7 @@ class _Expander:
             left, right = right, left
         if isinstance(right, ClosedForm):
             return [
-                PathEffect(pe.mult, pe.addend + right, dict(pe.visits), pe.through)
+                PathEffect(pe.mult, pe.addend + right, pe.visits, pe.through)
                 for pe in left
             ]
         out = []
@@ -352,7 +353,7 @@ def classify_cycle_scr(members: List[str], ctx) -> Dict[str, Classification]:
         header_class = _solve_unique(loop, mult, addend, init)
         if header_class is not None:
             return _classify_members(loop, members, header, header_class, expander, init)
-    return _classify_monotonic(loop, members, header, carried_effects, expander, init)
+    return _classify_monotonic(loop, members, header, carried_effects, expander, init, ctx)
 
 
 def _solve_unique(
@@ -498,6 +499,24 @@ def _classify_periodic_family(
 # ----------------------------------------------------------------------
 # monotonic fallback (section 4.4)
 # ----------------------------------------------------------------------
+def _unconditional_in_loop(ctx, member: str) -> bool:
+    """True when ``member``'s definition executes on *every* iteration
+    (its block dominates every latch).  Such a member is observed each
+    iteration even on carried paths that bypass it in the phi web -- e.g.
+    when GVN reuses an unconditional computation as a conditional phi
+    input -- so every carried path is relevant to its monotonicity."""
+    if ctx is None:
+        return False
+    node = ctx.node(member)
+    if node is None or node.block is None:
+        return False
+    domtree = ctx.result.domtree
+    latches = ctx.loop.latches
+    return bool(latches) and all(
+        domtree.dominates(node.block, latch) for latch in latches
+    )
+
+
 def _classify_monotonic(
     loop: str,
     members: List[str],
@@ -505,6 +524,7 @@ def _classify_monotonic(
     carried_effects: List[PathEffect],
     expander: _Expander,
     init: Expr,
+    ctx=None,
 ) -> Dict[str, Classification]:
     direction = _family_direction(carried_effects, init)
     if direction is None:
@@ -532,7 +552,8 @@ def _classify_monotonic(
             out[member] = Unknown(str(failure))
             continue
         out[member] = _additive_member(
-            loop, member, direction, effects, carried_effects, sign_of, strict_of, header
+            loop, member, direction, effects, carried_effects, sign_of, strict_of, header,
+            all_paths_relevant=_unconditional_in_loop(ctx, member),
         )
     return out
 
@@ -584,14 +605,20 @@ def _additive_member(
     sign_of,
     strict_of,
     family: str,
+    all_paths_relevant: bool = False,
 ) -> Classification:
     """Per-member monotonicity with the pairing rule (see module docstring).
 
     For occurrences at iterations h1 < h2 of member ``m = x + d_m``:
     ``m(h2) - m(h1) >= (f(p1) - d_m(p1)) + d_m(h2)`` where ``f(p1)`` is the
     full-cycle addend of the path taken at h1 (which went through ``m``).
-    Non-decreasing needs every ``d_m >= 0`` and ``f(p) - d_m(p) >= 0`` per
-    path; strictness needs ``f(p) - d_m(p) + min(d_m) > 0``.
+    Non-decreasing needs ``f(p) - d_m(p) + d_m >= 0`` per path and next
+    offset; strictness needs ``f(p) - d_m(p) + min(d_m) > 0``.
+
+    A path that bypasses ``m`` in the phi web is normally irrelevant (``m``
+    is only observed when a path through it runs) -- but a member that
+    executes unconditionally (``all_paths_relevant``) is observed on every
+    iteration, so all carried paths count for it.
     """
     if any(pe.mult != 1 for pe in effects):
         return Unknown("member with multiplier in monotonic cycle")
@@ -602,6 +629,8 @@ def _additive_member(
     relevant = [pe for pe in carried_effects if member in pe.through]
     if not relevant:
         return Unknown("member not on any carried path")
+    if all_paths_relevant:
+        relevant = carried_effects
 
     nondecreasing = True
     strict = True
@@ -613,7 +642,12 @@ def _additive_member(
             candidates = offsets  # pairing lost: check all offsets
         for offset in candidates:
             slack = pe.addend - offset
-            if sign_of(slack) not in (0, 1):
+            # the next execution contributes its own offset: the difference
+            # is slack + d(h2), so a negative slack can be compensated by
+            # every possible next offset
+            if sign_of(slack) not in (0, 1) and not all(
+                sign_of(slack + other) in (0, 1) for other in offsets
+            ):
                 nondecreasing = False
             # strict needs slack + min(d_m) > 0; without a provable minimum
             # we conservatively require slack + d > 0 for every offset d

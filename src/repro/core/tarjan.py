@@ -13,69 +13,103 @@ This module implements exactly that: an iterative (explicit stack) Tarjan
 that invokes a callback on each SCR at pop time.  The callback sees SCRs in
 reverse topological order of the condensation, so every out-of-SCR operand
 is already classified -- the single property the whole paper rests on.
-The run is one pass, linear in nodes + edges.
+
+The run is one pass, linear in nodes + edges -- and it *proves* it: the
+returned :class:`TraversalStats` carries the exact node and edge counts of
+the traversed graph, so callers (the driver's ``graph_size``, the B01
+linearity benchmark) get the graph size as a byproduct of the single
+traversal instead of re-deriving every node's successors a second time.
+``successors`` is called exactly once per node.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Sequence, Set
+from typing import Callable, Dict, Iterable, List, NamedTuple, Sequence, Set
+
+
+class TraversalStats(NamedTuple):
+    """What one Tarjan run saw: SCRs popped, nodes visited, edges followed.
+
+    ``edge_count`` counts edges between in-set nodes (successors outside the
+    node set are filtered before counting, matching the region graph the
+    classification actually runs on).  ``node_count + edge_count`` is the
+    SSA-graph size of the paper's linearity claim.
+    """
+
+    scr_count: int
+    node_count: int
+    edge_count: int
 
 
 def tarjan_scrs(
     nodes: Iterable[str],
     successors: Callable[[str], Sequence[str]],
     on_scr: Callable[[List[str], bool], None],
-) -> int:
+    prefiltered: bool = False,
+) -> TraversalStats:
     """Run Tarjan over ``nodes``; call ``on_scr(members, is_cycle)`` per SCR.
 
     ``is_cycle`` is True for nontrivial SCRs *and* for single nodes with a
-    self-edge.  Returns the number of SCRs found.
+    self-edge.  ``successors`` is invoked exactly once per node; pass
+    ``prefiltered=True`` when every returned successor is already known to
+    be a member of ``nodes`` (e.g. a precomputed adjacency dict) to skip
+    the membership filter.  Returns :class:`TraversalStats`.
     """
     index: Dict[str, int] = {}
     lowlink: Dict[str, int] = {}
     on_stack: Set[str] = set()
     stack: List[str] = []
+    self_loops: Set[str] = set()
     counter = 0
     scr_count = 0
+    edge_count = 0
 
     all_nodes = list(nodes)
     node_set = set(all_nodes)
 
+    index_get = index.get
+
     for root in all_nodes:
         if root in index:
             continue
-        # iterative DFS: work stack of (node, iterator position)
-        work: List[List] = [[root, 0, None]]  # node, child index, cached succs
+        # iterative DFS: work stack of [node, successor iterator]
+        work: List[List] = [[root, None]]
         while work:
             frame = work[-1]
-            node, child_index = frame[0], frame[1]
-            if frame[2] is None:
-                frame[2] = [s for s in successors(node) if s in node_set]
-            if child_index == 0:
+            node = frame[0]
+            child_iter = frame[1]
+            if child_iter is None:
                 index[node] = counter
                 lowlink[node] = counter
                 counter += 1
                 stack.append(node)
                 on_stack.add(node)
-            succs = frame[2]
+                succs = successors(node)
+                if not prefiltered:
+                    succs = [s for s in succs if s in node_set]
+                edge_count += len(succs)
+                if node in succs:
+                    self_loops.add(node)
+                child_iter = frame[1] = iter(succs)
             advanced = False
-            while frame[1] < len(succs):
-                succ = succs[frame[1]]
-                frame[1] += 1
-                if succ not in index:
-                    work.append([succ, 0, None])
+            for succ in child_iter:
+                succ_index = index_get(succ)
+                if succ_index is None:
+                    work.append([succ, None])
                     advanced = True
                     break
-                if succ in on_stack:
-                    lowlink[node] = min(lowlink[node], index[succ])
+                if succ in on_stack and succ_index < lowlink[node]:
+                    lowlink[node] = succ_index
             if advanced:
                 continue
             # node finished
             work.pop()
+            low = lowlink[node]
             if work:
                 parent = work[-1][0]
-                lowlink[parent] = min(lowlink[parent], lowlink[node])
-            if lowlink[node] == index[node]:
+                if low < lowlink[parent]:
+                    lowlink[parent] = low
+            if low == index[node]:
                 members: List[str] = []
                 while True:
                     member = stack.pop()
@@ -84,7 +118,7 @@ def tarjan_scrs(
                     if member == node:
                         break
                 members.reverse()
-                is_cycle = len(members) > 1 or node in successors(node)
+                is_cycle = len(members) > 1 or node in self_loops
                 on_scr(members, is_cycle)
                 scr_count += 1
-    return scr_count
+    return TraversalStats(scr_count, len(index), edge_count)

@@ -153,10 +153,12 @@ def plan_distribution(
     def on_scr(members: List[str], _is_cycle: bool) -> None:
         blocks.append([statements[int(m)] for m in sorted(members, key=int)])
 
+    # every successor is a statement index, so the traversal is prefiltered
     tarjan_scrs(
         [str(i) for i in range(len(statements))],
         lambda n: sorted(successors[n]),
         on_scr,
+        prefiltered=True,
     )
     blocks.reverse()
     return DistributionPlan(loop.header, blocks)

@@ -4,14 +4,36 @@ Following section 2.1 of the paper, a function is a graph
 ``G = (V, E, Entry, Exit)``: basic blocks, sequential control-flow edges,
 and distinguished entry/exit.  Exit is implicit here -- every block whose
 terminator is a :class:`~repro.ir.instructions.Return` flows to it.
+
+The definition indexes (:meth:`Function.definitions` and
+:meth:`Function.def_site`) are **cached**: they are rebuilt lazily only
+after a mutation.  Mutating passes must call :meth:`Function.dirty` after
+changing instructions (``transforms/*`` and ``scalar/*`` all do); as a
+safety net against forgotten invalidations, each cache also records a cheap
+structural fingerprint (block count + total instruction count) and rebuilds
+itself whenever the fingerprint changes -- that catches every insertion and
+deletion automatically, leaving only same-size in-place *moves* dependent
+on the explicit ``dirty()`` contract.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.ir.basicblock import BasicBlock
 from repro.ir.instructions import Instruction, Phi, Ref, Terminator
+
+#: module-level switch for the definition-index caches; the equivalence
+#: tests flip it off to prove cached and uncached runs agree.
+_CACHING_ENABLED = True
+
+
+def set_caching(enabled: bool) -> bool:
+    """Enable/disable the Function definition caches; returns prior state."""
+    global _CACHING_ENABLED
+    previous = _CACHING_ENABLED
+    _CACHING_ENABLED = bool(enabled)
+    return previous
 
 
 class IRError(Exception):
@@ -33,6 +55,37 @@ class Function:
         self.arrays: List[str] = list(arrays)
         self.blocks: Dict[str, BasicBlock] = {}
         self.entry_label: Optional[str] = None
+        self._version = 0
+        self._defs_cache: Optional[Tuple[tuple, Dict[str, tuple]]] = None
+        self._sites_cache: Optional[Tuple[tuple, Dict[str, Tuple[str, int]]]] = None
+
+    # ------------------------------------------------------------------
+    # cache management
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (bumped by :meth:`dirty`)."""
+        return self._version
+
+    def dirty(self) -> None:
+        """Invalidate the cached definition indexes after a mutation.
+
+        Every pass that inserts, deletes, moves, or renames instructions
+        must call this once it is done mutating (calling it more often is
+        harmless).  Structure-changing helpers on ``Function`` itself
+        (:meth:`add_block`, :meth:`split_edge`) call it automatically.
+        """
+        self._version += 1
+        self._defs_cache = None
+        self._sites_cache = None
+
+    def _fingerprint(self) -> tuple:
+        """Cheap structural stamp: O(#blocks), no per-instruction work."""
+        return (
+            self._version,
+            len(self.blocks),
+            sum(len(block.instructions) for block in self.blocks.values()),
+        )
 
     # ------------------------------------------------------------------
     # block management
@@ -44,6 +97,7 @@ class Function:
         self.blocks[label] = block
         if self.entry_label is None:
             self.entry_label = label
+        self.dirty()
         return block
 
     def block(self, label: str) -> BasicBlock:
@@ -83,13 +137,44 @@ class Function:
         return preds
 
     def definitions(self) -> Dict[str, tuple]:
-        """SSA-name -> (block_label, instruction) for every defined value."""
+        """SSA-name -> (block_label, instruction) for every defined value.
+
+        Cached between mutations; treat the returned dict as read-only.
+        """
+        if _CACHING_ENABLED:
+            fingerprint = self._fingerprint()
+            if self._defs_cache is not None and self._defs_cache[0] == fingerprint:
+                return self._defs_cache[1]
         defs: Dict[str, tuple] = {}
         for block in self:
             for inst in block:
                 if inst.result is not None:
                     defs[inst.result] = (block.label, inst)
+        if _CACHING_ENABLED:
+            self._defs_cache = (fingerprint, defs)
         return defs
+
+    def def_site(self, name: str) -> Optional[Tuple[str, int]]:
+        """(block_label, position) of the definition of ``name``, or None.
+
+        Backed by a precomputed whole-function index (built in one walk,
+        cached between mutations) instead of a per-query linear scan.
+        """
+        if not _CACHING_ENABLED:
+            for block in self:
+                for position, inst in enumerate(block.instructions):
+                    if inst.result == name:
+                        return (block.label, position)
+            return None
+        fingerprint = self._fingerprint()
+        if self._sites_cache is None or self._sites_cache[0] != fingerprint:
+            sites: Dict[str, Tuple[str, int]] = {}
+            for block in self:
+                for position, inst in enumerate(block.instructions):
+                    if inst.result is not None:
+                        sites[inst.result] = (block.label, position)
+            self._sites_cache = (fingerprint, sites)
+        return self._sites_cache[1].get(name)
 
     def instruction_count(self) -> int:
         return sum(len(block) for block in self)
@@ -114,6 +199,7 @@ class Function:
         for phi in succ.phis():
             if pred_label in phi.incoming:
                 phi.incoming[new_label] = phi.incoming.pop(pred_label)
+        self.dirty()
         return new_block
 
     def fresh_name(self, hint: str) -> str:

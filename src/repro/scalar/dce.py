@@ -51,4 +51,6 @@ def eliminate_dead_code(function: Function) -> int:
             else:
                 removed += 1
         block.instructions = kept
+    if removed:
+        function.dirty()
     return removed

@@ -119,4 +119,6 @@ def run_gvn(function: Function, domtree: Optional[DominatorTree] = None) -> int:
                 inst.replace_uses(mapping)
             if block.terminator is not None:
                 block.terminator.replace_uses(mapping)
+    if eliminated:
+        function.dirty()
     return eliminated

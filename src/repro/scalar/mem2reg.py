@@ -56,4 +56,5 @@ def promote_scalars(function: Function) -> List[str]:
                 block.instructions[position] = Assign(names[inst.array], inst.value)
 
     function.arrays = [a for a in function.arrays if a not in names]
+    function.dirty()
     return promotable

@@ -32,6 +32,8 @@ def simplify_instructions(function: Function) -> int:
             phis = [i for i in block.instructions if isinstance(i, Phi)]
             rest = [i for i in block.instructions if not isinstance(i, Phi)]
             block.instructions = phis + rest
+    if count:
+        function.dirty()
     return count
 
 

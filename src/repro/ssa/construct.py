@@ -172,4 +172,5 @@ def construct_ssa(function: Function) -> SSAInfo:
     from repro.ir.verify import verify_function
 
     verify_function(function, ssa=True)
+    function.dirty()
     return info

@@ -36,6 +36,7 @@ def destruct_ssa(function: Function) -> None:
         pred = function.block(pred_label)
         for dest, src in _sequence_parallel_copies(group, function):
             pred.append(Assign(dest, src))
+    function.dirty()
 
 
 def _split_critical_edges(function: Function) -> None:

@@ -35,6 +35,9 @@ def _as_expr(value: Union[Expr, Rat]) -> Expr:
     return Expr.const(value)
 
 
+_EXPR_ONE = Expr.const(1)
+
+
 class ClosedForm:
     """``value(h) = sum_k coeffs[k] * h**k + sum_b geo[b] * b**h``.
 
@@ -70,10 +73,21 @@ class ClosedForm:
     # ------------------------------------------------------------------
     # constructors
     # ------------------------------------------------------------------
+    @classmethod
+    def _raw(cls, coeffs: Tuple[Expr, ...], geo: Dict[int, Expr]) -> "ClosedForm":
+        """Internal constructor for operands already validated/normalized."""
+        form = cls.__new__(cls)
+        form.coeffs = coeffs
+        form.geo = geo
+        return form
+
     @staticmethod
     def invariant(value: Union[Expr, Rat]) -> "ClosedForm":
         """A sequence that is the same value on every iteration."""
-        return ClosedForm([_as_expr(value)])
+        expr = _as_expr(value)
+        if expr.is_zero:
+            return ClosedForm._raw((), {})
+        return ClosedForm._raw((expr,), {})
 
     @staticmethod
     def linear(init: Union[Expr, Rat], step: Union[Expr, Rat]) -> "ClosedForm":
@@ -189,12 +203,22 @@ class ClosedForm:
     def __add__(self, other: "ClosedForm") -> "ClosedForm":
         if not isinstance(other, ClosedForm):
             return NotImplemented
+        if not other.coeffs and not other.geo:
+            return self
+        if not self.coeffs and not self.geo:
+            return other
         n = max(len(self.coeffs), len(other.coeffs))
         coeffs = [self.coeff(k) + other.coeff(k) for k in range(n)]
+        while coeffs and coeffs[-1].is_zero:
+            coeffs.pop()
         geo = dict(self.geo)
         for base, coeff in other.geo.items():
-            geo[base] = geo.get(base, Expr.zero()) + coeff
-        return ClosedForm(coeffs, geo)
+            merged = coeff if base not in geo else geo[base] + coeff
+            if merged.is_zero:
+                geo.pop(base, None)
+            else:
+                geo[base] = merged
+        return ClosedForm._raw(tuple(coeffs), geo)
 
     def __neg__(self) -> "ClosedForm":
         return ClosedForm([-c for c in self.coeffs], {b: -c for b, c in self.geo.items()})
@@ -206,7 +230,16 @@ class ClosedForm:
 
     def scale(self, factor: Union[Expr, Rat]) -> "ClosedForm":
         f = _as_expr(factor)
-        return ClosedForm([c * f for c in self.coeffs], {b: c * f for b, c in self.geo.items()})
+        if f == _EXPR_ONE or (not self.coeffs and not self.geo):
+            return self
+        if f.is_zero:
+            return ClosedForm()
+        # a product of nonzero Exprs is nonzero (polynomials over Q), so
+        # scaling normalized coefficients needs no re-normalization
+        return ClosedForm._raw(
+            tuple(c * f for c in self.coeffs),
+            {b: c * f for b, c in self.geo.items()},
+        )
 
     def try_mul(self, other: "ClosedForm") -> Optional["ClosedForm"]:
         """Product, if representable in the ``poly + geo`` form.

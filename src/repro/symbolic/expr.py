@@ -13,6 +13,14 @@ Division is only supported when exact (by a rational constant, or by an
 expression that divides every term); anything else must be handled by the
 caller (the classifier falls back to ``unknown`` in that case, as the paper's
 algebra of types does).
+
+Because expressions are immutable, the hot constructors are **hash-consed**
+(zero, one, small integer constants, and single symbols are interned) and
+the hot queries are **memoized**: ``free_symbols()`` is computed once per
+instance, and ``substitute`` results are cached globally keyed on the
+(expression, relevant bindings) pair.  Interning and memoization are
+semantically invisible -- they can be switched off with
+:func:`set_memoization` (the equivalence tests do exactly that).
 """
 
 from __future__ import annotations
@@ -31,11 +39,15 @@ class ExprError(Exception):
     """Raised for unsupported symbolic operations (inexact division, ...)."""
 
 
+_FRACTION_CACHE: Dict[int, Fraction] = {n: Fraction(n) for n in range(-64, 65)}
+
+
 def _as_fraction(value: Rat) -> Fraction:
     if isinstance(value, Fraction):
         return value
     if isinstance(value, int):
-        return Fraction(value)
+        cached = _FRACTION_CACHE.get(value)
+        return cached if cached is not None else Fraction(value)
     raise ExprError(f"expected int or Fraction, got {type(value).__name__}")
 
 
@@ -53,7 +65,7 @@ def _mono_degree(mono: Monomial) -> int:
 class Expr:
     """An immutable multivariate polynomial with Fraction coefficients."""
 
-    __slots__ = ("_terms", "_hash")
+    __slots__ = ("_terms", "_hash", "_free")
 
     def __init__(self, terms: Optional[Mapping[Monomial, Rat]] = None):
         clean: Dict[Monomial, Fraction] = {}
@@ -64,6 +76,17 @@ class Expr:
                     clean[mono] = frac
         self._terms = clean
         self._hash: Optional[int] = None
+        self._free: Optional[frozenset] = None
+
+    @classmethod
+    def _raw(cls, terms: Dict[Monomial, Fraction]) -> "Expr":
+        """Internal fast constructor: ``terms`` must already be a fresh dict
+        of nonzero Fraction coefficients (no validation, no copy)."""
+        expr = cls.__new__(cls)
+        expr._terms = terms
+        expr._hash = None
+        expr._free = None
+        return expr
 
     # ------------------------------------------------------------------
     # constructors
@@ -71,6 +94,10 @@ class Expr:
     @staticmethod
     def const(value: Rat) -> "Expr":
         """A constant expression."""
+        if _MEMO_ENABLED and isinstance(value, int):
+            cached = _CONST_CACHE.get(value)
+            if cached is not None:
+                return cached
         return Expr({_ONE_MONO: _as_fraction(value)})
 
     @staticmethod
@@ -78,10 +105,21 @@ class Expr:
         """A single symbol (an SSA value name, usually)."""
         if not name:
             raise ExprError("symbol name must be non-empty")
+        if _MEMO_ENABLED:
+            cached = _SYM_CACHE.get(name)
+            if cached is not None:
+                return cached
+            if len(_SYM_CACHE) >= _CACHE_LIMIT:
+                _SYM_CACHE.clear()
+            expr = Expr({((name, 1),): Fraction(1)})
+            _SYM_CACHE[name] = expr
+            return expr
         return Expr({((name, 1),): Fraction(1)})
 
     @staticmethod
     def zero() -> "Expr":
+        if _MEMO_ENABLED:
+            return _ZERO
         return Expr()
 
     @staticmethod
@@ -117,11 +155,13 @@ class Expr:
         return value.numerator
 
     def free_symbols(self) -> frozenset:
-        syms = set()
-        for mono in self._terms:
-            for name, _ in mono:
-                syms.add(name)
-        return frozenset(syms)
+        if self._free is None:
+            syms = set()
+            for mono in self._terms:
+                for name, _ in mono:
+                    syms.add(name)
+            self._free = frozenset(syms)
+        return self._free
 
     def degree(self) -> int:
         """Total degree (0 for constants, including zero)."""
@@ -188,15 +228,23 @@ class Expr:
 
     def __add__(self, other: Union["Expr", Rat]) -> "Expr":
         rhs = self._coerce(other)
+        if not rhs._terms:
+            return self
+        if not self._terms:
+            return rhs
         out = dict(self._terms)
         for mono, coeff in rhs._terms.items():
-            out[mono] = out.get(mono, Fraction(0)) + coeff
-        return Expr(out)
+            total = out.get(mono, _F0) + coeff
+            if total:
+                out[mono] = total
+            elif mono in out:
+                del out[mono]
+        return Expr._raw(out)
 
     __radd__ = __add__
 
     def __neg__(self) -> "Expr":
-        return Expr({mono: -coeff for mono, coeff in self._terms.items()})
+        return Expr._raw({mono: -coeff for mono, coeff in self._terms.items()})
 
     def __sub__(self, other: Union["Expr", Rat]) -> "Expr":
         return self + (-self._coerce(other))
@@ -206,18 +254,41 @@ class Expr:
 
     def __mul__(self, other: Union["Expr", Rat]) -> "Expr":
         rhs = self._coerce(other)
+        if not self._terms or not rhs._terms:
+            return Expr.zero()
+        if rhs._terms == _ONE_TERMS:
+            return self
+        if self._terms == _ONE_TERMS:
+            return rhs
+        # scaling by a nonzero constant never cancels terms
+        if len(rhs._terms) == 1:
+            ((rmono, rcoeff),) = rhs._terms.items()
+            if not rmono:
+                return Expr._raw({m: c * rcoeff for m, c in self._terms.items()})
+        if len(self._terms) == 1:
+            ((smono, scoeff),) = self._terms.items()
+            if not smono:
+                return Expr._raw({m: c * scoeff for m, c in rhs._terms.items()})
         out: Dict[Monomial, Fraction] = {}
         for m1, c1 in self._terms.items():
             for m2, c2 in rhs._terms.items():
                 mono = _mono_mul(m1, m2)
-                out[mono] = out.get(mono, Fraction(0)) + c1 * c2
-        return Expr(out)
+                total = out.get(mono, _F0) + c1 * c2
+                if total:
+                    out[mono] = total
+                elif mono in out:
+                    del out[mono]
+        return Expr._raw(out)
 
     __rmul__ = __mul__
 
     def __pow__(self, power: int) -> "Expr":
         if not isinstance(power, int) or power < 0:
             raise ExprError("Expr exponent must be a non-negative int")
+        if power == 0:
+            return Expr.one()
+        if power == 1:
+            return self
         result = Expr.one()
         base = self
         n = power
@@ -275,6 +346,12 @@ class Expr:
         relevant = self.free_symbols() & set(mapping)
         if not relevant:
             return self
+        key = None
+        if _MEMO_ENABLED:
+            key = (self, tuple((sym, mapping[sym]) for sym in sorted(relevant)))
+            cached = _SUBST_CACHE.get(key)
+            if cached is not None:
+                return cached
         result = Expr.zero()
         for mono, coeff in self._terms.items():
             term = Expr.const(coeff)
@@ -284,6 +361,10 @@ class Expr:
                     base = Expr.sym(sym)
                 term = term * (base**exp)
             result = result + term
+        if key is not None:
+            if len(_SUBST_CACHE) >= _CACHE_LIMIT:
+                _SUBST_CACHE.clear()
+            _SUBST_CACHE[key] = result
         return result
 
     def evaluate(self, env: Mapping[str, Rat]) -> Fraction:
@@ -363,3 +444,42 @@ class Expr:
             parts.append("".join(factors))
         text = " + ".join(parts)
         return text.replace("+ -", "- ")
+
+
+# ----------------------------------------------------------------------
+# hash-consing / memoization state
+# ----------------------------------------------------------------------
+_F0 = Fraction(0)
+_ONE_TERMS: Dict[Monomial, Fraction] = {_ONE_MONO: Fraction(1)}
+
+_MEMO_ENABLED = True
+_CACHE_LIMIT = 4096
+
+_ZERO = Expr()
+_CONST_CACHE: Dict[int, Expr] = {
+    n: Expr({_ONE_MONO: Fraction(n)}) for n in range(-64, 65) if n != 0
+}
+_SYM_CACHE: Dict[str, Expr] = {}
+_SUBST_CACHE: Dict[tuple, Expr] = {}
+
+
+def set_memoization(enabled: bool) -> bool:
+    """Enable/disable interning and memoization; returns the previous state.
+
+    Memoization never changes results (``Expr`` is immutable and every
+    cached operation is pure) -- this switch exists so equivalence tests can
+    prove exactly that, and as an escape hatch.  Disabling also clears the
+    mutable caches.
+    """
+    global _MEMO_ENABLED
+    previous = _MEMO_ENABLED
+    _MEMO_ENABLED = bool(enabled)
+    if not _MEMO_ENABLED:
+        clear_caches()
+    return previous
+
+
+def clear_caches() -> None:
+    """Drop the global symbol/substitution caches (interned constants stay)."""
+    _SYM_CACHE.clear()
+    _SUBST_CACHE.clear()

@@ -90,4 +90,5 @@ def substitute_induction_variables(
         except MaterializeError:
             continue
         rewritten.append(inst.result)
+    function.dirty()
     return rewritten

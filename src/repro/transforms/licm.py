@@ -98,4 +98,8 @@ def hoist_invariants(
                 moved.add(inst.result)
                 hoisted.append(inst.result)
                 changed = True
+    if hoisted:
+        # a hoist moves an instruction between blocks without changing the
+        # instruction count, which the fingerprint safety net cannot see
+        function.dirty()
     return hoisted

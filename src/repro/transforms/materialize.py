@@ -72,6 +72,8 @@ def materialize_expr(
     if total is None:
         total = Const(0)
 
-    for offset, inst in enumerate(instructions):
-        block.instructions.insert(position + offset, inst)
+    if instructions:
+        for offset, inst in enumerate(instructions):
+            block.instructions.insert(position + offset, inst)
+        function.dirty()
     return total, position + len(instructions)

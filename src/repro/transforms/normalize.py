@@ -123,6 +123,7 @@ def normalize_loop(function: Function, header: str) -> Optional[str]:
     # latch: advance the counter instead of var
     position = latch.instructions.index(increment)
     latch.instructions[position] = BinOp(counter, BinaryOp.ADD, Ref(counter), Const(1))
+    function.dirty()
     return counter
 
 

@@ -66,4 +66,5 @@ def peel_first_iteration(function: Function, header: str) -> List[str]:
                 clone.terminator.retarget(succ, mapping[succ])
 
     function.block(preheader).terminator.retarget(header, mapping[header])
+    function.dirty()
     return [mapping[label] for label in sorted(loop.body)]

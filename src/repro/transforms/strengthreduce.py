@@ -79,6 +79,8 @@ def strength_reduce(
                 continue
             block.instructions[position] = Assign(inst.result, Ref(record.new_phi))
             reduced.append(record)
+    if reduced:
+        function.dirty()
     return reduced
 
 

@@ -142,6 +142,27 @@ class TestAlgebraCombinations:
         j = p.classification(p.ssa_names("j")[0])
         assert isinstance(j, Unknown)
 
+    def test_unconditional_member_of_conditional_cycle_not_strict(self):
+        """An unconditional computation that GVN reuses as a conditional
+        phi input joins the cycle SCR -- but it is observed on *every*
+        iteration, including those whose carried path bypasses it, so it
+        must not inherit the conditional path's strictness.
+
+        Here ``a = b + 2`` (every iteration) is the same value number as
+        the conditional ``b = b + 2``; ``a`` stays constant whenever the
+        branch is not taken, so it is increasing but NOT strictly.
+        """
+        p = analyze_src(
+            "a = 0\nb = 0\nL1: for i = 1 to n do\n  a = b + 2\n"
+            "  if i % 3 == 2 then\n    b = b + 2\n  endif\nendfor"
+        )
+        classes = [p.classification(name) for name in p.ssa_names("a")]
+        monotonics = [cls for cls in classes if isinstance(cls, Monotonic)]
+        assert monotonics, "in-loop a should classify as monotonic"
+        for cls in monotonics:
+            assert cls.direction == 1
+            assert not cls.strict
+
     def test_arithmetic_drops_family(self):
         p = analyze_src(
             "k = 0\nL1: for i = 1 to n do\n  if A[i] > 0 then\n    k = k + 1\n  endif\n  j = k + 5\n  B[j] = i\nendfor"

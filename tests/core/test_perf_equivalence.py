@@ -1,0 +1,106 @@
+"""Caching must never change results.
+
+The performance layer (cached ``Function`` definition indexes, interned /
+memoized ``Expr``) is semantically invisible: this test runs every program
+it can find -- all string-literal programs embedded in ``examples/`` plus
+the benchmark workload generators -- through ``classify_function`` with the
+caches disabled and enabled, and asserts the ``describe()`` /
+``nested_describe()`` output of every classified name is identical.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import pytest
+
+from benchmarks.workloads import (
+    deep_chain_loop,
+    dependence_workload,
+    mixed_class_loop,
+    straightline_iv_loop,
+)
+from repro.ir import function as function_module
+from repro.pipeline import analyze
+from repro.symbolic import expr as expr_module
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _looks_like_program(text: str) -> bool:
+    return any(kw in text for kw in ("loop", "for ", "while ")) and "\n" in text
+
+
+def example_programs() -> List[Tuple[str, str]]:
+    """Every string literal in examples/*.py that parses as a program."""
+    programs: List[Tuple[str, str]] = []
+    for path in sorted(EXAMPLES_DIR.glob("*.py")):
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                text = node.value
+                if not _looks_like_program(text):
+                    continue
+                try:
+                    analyze(text)
+                except Exception:
+                    continue  # not a source program (docstring etc.)
+                programs.append((f"{path.name}:{node.lineno}", text))
+    return programs
+
+
+def workload_programs() -> List[Tuple[str, str]]:
+    programs = [
+        ("straightline_iv_loop/32", straightline_iv_loop(32)),
+        ("deep_chain_loop/32", deep_chain_loop(32)),
+        ("mixed_class_loop/60", mixed_class_loop(7, 60)),
+    ]
+    for kind in ("periodic", "monotonic", "wraparound", "linear"):
+        programs.append((f"dependence_workload/{kind}", dependence_workload(kind)))
+    return programs
+
+
+def snapshot(source: str) -> Dict[str, Tuple[str, str]]:
+    """name -> (describe, nested_describe) for every classified name."""
+    program = analyze(source)
+    out: Dict[str, Tuple[str, str]] = {}
+    for summary in program.result.loops.values():
+        for name in summary.classifications:
+            out[name] = (
+                program.result.describe(name),
+                program.result.nested_describe(name),
+            )
+    return out
+
+
+def uncached_snapshot(source: str) -> Dict[str, Tuple[str, str]]:
+    prior_fn = function_module.set_caching(False)
+    prior_expr = expr_module.set_memoization(False)
+    try:
+        return snapshot(source)
+    finally:
+        function_module.set_caching(prior_fn)
+        expr_module.set_memoization(prior_expr)
+
+
+ALL_PROGRAMS = example_programs() + workload_programs()
+
+
+def test_corpus_nonempty():
+    # the extraction must actually find the example programs
+    assert len(example_programs()) >= 10
+    assert len(ALL_PROGRAMS) >= 14
+
+
+@pytest.mark.parametrize("label,source", ALL_PROGRAMS, ids=[l for l, _ in ALL_PROGRAMS])
+def test_cached_equals_uncached(label, source):
+    cached = snapshot(source)
+    uncached = uncached_snapshot(source)
+    assert cached == uncached, f"caching changed classifications for {label}"
+
+
+def test_toggles_restore():
+    assert function_module._CACHING_ENABLED
+    assert expr_module._MEMO_ENABLED

@@ -1,9 +1,9 @@
 """Tests for the modified Tarjan SCR traversal."""
 
-from repro.core.tarjan import tarjan_scrs
+from repro.core.tarjan import TraversalStats, tarjan_scrs
 
 
-def run(edges, nodes=None):
+def run(edges, nodes=None, prefiltered=False):
     """edges: dict node -> list of successors."""
     if nodes is None:
         nodes = list(edges)
@@ -12,8 +12,8 @@ def run(edges, nodes=None):
     def on_scr(members, is_cycle):
         seen.append((tuple(sorted(members)), is_cycle))
 
-    count = tarjan_scrs(nodes, lambda n: edges.get(n, []), on_scr)
-    return seen, count
+    stats = tarjan_scrs(nodes, lambda n: edges.get(n, []), on_scr, prefiltered=prefiltered)
+    return seen, stats.scr_count
 
 
 class TestBasics:
@@ -70,6 +70,39 @@ class TestVisitOrder:
         # successors outside the node set are filtered
         seen, count = run({"a": ["ghost"]}, nodes=["a"])
         assert count == 1
+
+
+class TestTraversalStats:
+    """The single traversal reports the graph size as a byproduct."""
+
+    def collect(self, edges, nodes=None, prefiltered=False):
+        if nodes is None:
+            nodes = list(edges)
+        return tarjan_scrs(
+            nodes, lambda n: edges.get(n, []), lambda m, c: None, prefiltered=prefiltered
+        )
+
+    def test_counts_nodes_and_edges(self):
+        stats = self.collect({"a": ["b", "c"], "b": ["c"], "c": []})
+        assert stats == TraversalStats(scr_count=3, node_count=3, edge_count=3)
+
+    def test_external_edges_not_counted(self):
+        stats = self.collect({"a": ["ghost", "b"], "b": []}, nodes=["a", "b"])
+        assert stats.node_count == 2
+        assert stats.edge_count == 1  # a -> ghost filtered out
+
+    def test_self_loop_counts_one_edge(self):
+        stats = self.collect({"a": ["a"]})
+        assert stats == TraversalStats(scr_count=1, node_count=1, edge_count=1)
+
+    def test_prefiltered_matches_filtered(self):
+        edges = {"a": ["b"], "b": ["a", "c"], "c": ["d"], "d": ["c"]}
+        assert self.collect(edges) == self.collect(edges, prefiltered=True)
+
+    def test_cycle_detection_with_prefiltered_adjacency(self):
+        seen, _ = run({"a": ["a"], "b": []}, prefiltered=True)
+        assert (("a",), True) in seen
+        assert (("b",), False) in seen
 
 
 class TestScale:

@@ -1,0 +1,136 @@
+"""The Function definition caches must never go stale.
+
+``Function.definitions()`` / ``Function.def_site()`` are cached behind a
+version counter plus a structural fingerprint.  These tests mutate an
+already-analyzed function through real passes (strength reduction inserts
+instructions, DCE removes them) and assert the cached indexes reflect the
+mutation immediately.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import function as function_module
+from repro.ir.basicblock import BasicBlock
+from repro.ir.instructions import Assign
+from repro.ir.values import Const
+from repro.pipeline import analyze
+from repro.scalar.dce import eliminate_dead_code
+from repro.transforms.strengthreduce import strength_reduce
+
+SOURCE = "L1: for i = 0 to n do\n  A[i * 8] = i\nendfor\nreturn 0"
+
+
+def all_results(function):
+    return {
+        inst.result
+        for block in function
+        for inst in block
+        if inst.result is not None
+    }
+
+
+def fresh_scan_site(function, name):
+    """Ground truth: re-scan the blocks linearly, no cache involved."""
+    for block in function:
+        for position, inst in enumerate(block.instructions):
+            if inst.result == name:
+                return (block.label, position)
+    return None
+
+
+class TestStrengthReduceInvalidates:
+    def test_definitions_sees_inserted_phi(self):
+        p = analyze(SOURCE)
+        before = dict(p.ssa.definitions())  # warm the cache
+        loop = p.nest.loop_of_header("L1")
+        records = strength_reduce(p.ssa, p.result, loop)
+        assert records, "workload must actually reduce a multiply"
+
+        after = p.ssa.definitions()
+        assert records[0].new_phi not in before
+        assert records[0].new_phi in after
+        assert set(after) == all_results(p.ssa)
+
+    def test_def_site_sees_inserted_defs(self):
+        p = analyze(SOURCE)
+        p.ssa.def_site("i.2")  # warm the site index
+        loop = p.nest.loop_of_header("L1")
+        records = strength_reduce(p.ssa, p.result, loop)
+        assert records
+
+        new_phi = records[0].new_phi
+        assert p.ssa.def_site(new_phi) == fresh_scan_site(p.ssa, new_phi)
+        # every definition in the mutated function resolves correctly
+        for name in all_results(p.ssa):
+            assert p.ssa.def_site(name) == fresh_scan_site(p.ssa, name)
+
+
+class TestDCEInvalidates:
+    def build(self):
+        """An analyzed function with a dead instruction appended."""
+        p = analyze("k = 0\nL1: for i = 1 to n do\n  k = k + 2\nendfor\nreturn k")
+        # warm both caches
+        p.ssa.definitions()
+        p.ssa.def_site("k.2")
+        # plant a dead def in the entry block (before the terminator)
+        entry = p.ssa.entry
+        entry.instructions.insert(len(entry.instructions) - 1, Assign("dead.1", Const(7)))
+        return p
+
+    def test_fingerprint_catches_insertion(self):
+        # the insert above bypassed dirty(); the structural fingerprint
+        # (block/instruction counts) must still invalidate the caches
+        p = self.build()
+        assert "dead.1" in p.ssa.definitions()
+        assert p.ssa.def_site("dead.1") == fresh_scan_site(p.ssa, "dead.1")
+
+    def test_definitions_sees_removal(self):
+        p = self.build()
+        assert "dead.1" in p.ssa.definitions()
+        removed = eliminate_dead_code(p.ssa)
+        assert removed >= 1
+        assert "dead.1" not in p.ssa.definitions()
+        assert p.ssa.def_site("dead.1") is None
+        assert set(p.ssa.definitions()) == all_results(p.ssa)
+
+    def test_def_site_positions_shift_after_removal(self):
+        p = analyze("k = 0\nL1: for i = 1 to n do\n  k = k + 2\nendfor\nreturn k")
+        entry = p.ssa.entry
+        # dead def *above* live ones shifts later positions when removed
+        entry.instructions.insert(0, Assign("dead.1", Const(7)))
+        p.ssa.dirty()
+        warm = {name: p.ssa.def_site(name) for name in all_results(p.ssa)}
+        assert warm["dead.1"] == (entry.label, 0)
+
+        eliminate_dead_code(p.ssa)
+        for name in all_results(p.ssa):
+            assert p.ssa.def_site(name) == fresh_scan_site(p.ssa, name)
+
+
+class TestVersionCounter:
+    def test_dirty_bumps_version(self):
+        p = analyze(SOURCE)
+        v0 = p.ssa.version
+        p.ssa.dirty()
+        assert p.ssa.version == v0 + 1
+
+    def test_mutating_passes_bump_version(self):
+        p = analyze(SOURCE)
+        v0 = p.ssa.version
+        loop = p.nest.loop_of_header("L1")
+        strength_reduce(p.ssa, p.result, loop)
+        assert p.ssa.version > v0
+
+    def test_caching_disabled_still_correct(self):
+        prior = function_module.set_caching(False)
+        try:
+            p = analyze(SOURCE)
+            loop = p.nest.loop_of_header("L1")
+            records = strength_reduce(p.ssa, p.result, loop)
+            assert records
+            for name in all_results(p.ssa):
+                assert p.ssa.def_site(name) == fresh_scan_site(p.ssa, name)
+        finally:
+            function_module.set_caching(prior)
