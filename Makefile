@@ -1,10 +1,13 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-check bench-baseline report
+.PHONY: test lint bench bench-check bench-baseline report
 
 test:
 	$(PYTHON) -m pytest -m "not bench" -q
+
+lint:
+	$(PYTHON) -m repro lint --strict examples/
 
 bench:
 	$(PYTHON) -m pytest benchmarks --benchmark-only

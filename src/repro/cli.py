@@ -14,6 +14,18 @@ Options::
     --dot-cfg          emit the CFG in Graphviz DOT instead of a report
     --dot-ssa          emit the SSA graph in DOT
     --dot-deps         emit the dependence graph in DOT
+    --verify           re-verify the final SSA, collect-all, report findings
+    --lint             append the semantic-lint findings to the report
+    --strict           with --verify/--lint: exit 1 on error-severity findings
+    --sanitize         run the pipeline with the pass sanitizer enabled
+    --version          print the package version and exit
+
+Lint mode (``python -m repro lint``)::
+
+    python -m repro lint [--format=text|json] [--strict] [--no-exec] PATH...
+
+Paths may be ``.loop`` files, Python files with embedded programs
+(harvested like ``examples/``), or directories of either.
 """
 
 from __future__ import annotations
@@ -22,6 +34,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import __version__
 from repro.pipeline import analyze
 from repro.report import format_report
 
@@ -31,6 +44,9 @@ def build_argument_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="SSA-based loop variable classification "
         "(Wolfe, 'Beyond Induction Variables', PLDI 1992)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     parser.add_argument("file", help="loop-language source file, or - for stdin")
     parser.add_argument("--dump-ir", action="store_true", help="include the SSA IR")
@@ -45,10 +61,100 @@ def build_argument_parser() -> argparse.ArgumentParser:
     parser.add_argument("--dot-cfg", action="store_true", help="emit CFG as DOT")
     parser.add_argument("--dot-ssa", action="store_true", help="emit SSA graph as DOT")
     parser.add_argument("--dot-deps", action="store_true", help="emit dep graph as DOT")
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="verify the final SSA (collect-all) and report the findings",
+    )
+    parser.add_argument(
+        "--lint",
+        action="store_true",
+        help="run the semantic lints and append their findings to the report",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when --verify/--lint report error-severity findings",
+    )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="re-verify the IR and audit caches after every pipeline pass",
+    )
     return parser
 
 
+def build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Lint loop-language programs: IR verification, pipeline "
+        "sanitizing, and classification-soundness checks",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        metavar="PATH",
+        help=".loop file, Python file with embedded programs, or directory",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="format",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when any error-severity finding is reported",
+    )
+    parser.add_argument(
+        "--no-exec",
+        action="store_true",
+        help="skip the execution lints (interpreter cross-checks)",
+    )
+    return parser
+
+
+def lint_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro lint``."""
+    from repro.diagnostics import render_json, render_text
+    from repro.diagnostics.diagnostic import DiagnosticCollector
+    from repro.diagnostics.driver import collect_targets, lint_source
+
+    args = build_lint_parser().parse_args(argv)
+    try:
+        targets = collect_targets(args.paths)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not targets:
+        print("error: no lint targets found", file=sys.stderr)
+        return 2
+
+    collector = DiagnosticCollector()
+    for target in targets:
+        lint_source(
+            target.source,
+            origin=target.origin,
+            collector=collector,
+            execution=not args.no_exec,
+        )
+
+    if args.format == "json":
+        print(render_json(collector.sorted()))
+    else:
+        print(render_text(collector.sorted()))
+    if args.strict and collector.has_errors:
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        return lint_main(argv[1:])
     args = build_argument_parser().parse_args(argv)
     if args.file == "-":
         source = sys.stdin.read()
@@ -61,7 +167,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
 
     try:
-        program = analyze(source, optimize=not args.no_opt)
+        program = analyze(source, optimize=not args.no_opt, sanitize=args.sanitize)
     except Exception as error:  # frontend/IR errors carry positions
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -88,14 +194,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(dependence_graph_to_dot(build_dependence_graph(program.result)))
         return 0
 
+    diagnostics = None
+    if args.verify or args.lint:
+        from repro.diagnostics.diagnostic import DiagnosticCollector
+        from repro.diagnostics.verifier import verify_collect
+
+        collector = DiagnosticCollector()
+        verify_collect(program.ssa, ssa=True, collector=collector)
+        if args.lint:
+            from repro.diagnostics.lints import lint_program
+
+            lint_program(program, collector=collector)
+        diagnostics = collector.sorted()
+
     print(
         format_report(
             program,
             show_temporaries=args.temps,
             show_dependences=not args.no_deps,
             show_ir=args.dump_ir,
+            diagnostics=diagnostics,
         )
     )
+    if args.strict and diagnostics is not None and any(d.is_error for d in diagnostics):
+        return 1
     return 0
 
 

@@ -1,0 +1,75 @@
+"""Diagnostics subsystem: collect-all verification, sanitizing, linting.
+
+Layers (each usable on its own):
+
+* :mod:`repro.diagnostics.diagnostic` -- the :class:`Diagnostic` model,
+  :class:`Severity` scale and :class:`DiagnosticCollector`;
+* :mod:`repro.diagnostics.registry` -- every diagnostic code, its default
+  severity and description (``docs/DIAGNOSTICS.md`` is the catalogue);
+* :mod:`repro.diagnostics.verifier` -- the collect-all structural/SSA
+  verifier (:func:`verify_collect`); ``repro.ir.verify.verify_function``
+  is its raise-on-first compatibility wrapper;
+* :mod:`repro.diagnostics.sanitizer` -- opt-in re-verification after
+  every pipeline pass plus cache-staleness cross-checks
+  (:func:`sanitizing`, :func:`checkpoint`);
+* :mod:`repro.diagnostics.lints` -- semantic audits of classification
+  results against the reference interpreter and the algebra laws;
+* :mod:`repro.diagnostics.driver` -- the ``repro lint`` engine over
+  files, directories and embedded example programs.
+
+``lints`` and ``driver`` import the pipeline, so they are exposed lazily
+(PEP 562) to keep ``repro.pipeline -> repro.diagnostics.sanitizer``
+import-cycle-free.
+"""
+
+from repro.diagnostics.diagnostic import Diagnostic, DiagnosticCollector, Severity
+from repro.diagnostics.registry import CheckInfo, all_checks, all_codes, check_info
+from repro.diagnostics.render import render_json, render_summary, render_text
+from repro.diagnostics.sanitizer import (
+    SanitizerError,
+    audit_caches,
+    checkpoint,
+    sanitizing,
+)
+from repro.diagnostics.verifier import verify_collect
+
+__all__ = [
+    "CheckInfo",
+    "Diagnostic",
+    "DiagnosticCollector",
+    "SanitizerError",
+    "Severity",
+    "all_checks",
+    "all_codes",
+    "audit_caches",
+    "check_info",
+    "checkpoint",
+    "collect_targets",
+    "harvest_python",
+    "lint_paths",
+    "lint_program",
+    "lint_source",
+    "render_json",
+    "render_summary",
+    "render_text",
+    "sanitizing",
+    "verify_collect",
+]
+
+_LAZY = {
+    "lint_program": ("repro.diagnostics.lints", "lint_program"),
+    "lint_source": ("repro.diagnostics.driver", "lint_source"),
+    "lint_paths": ("repro.diagnostics.driver", "lint_paths"),
+    "collect_targets": ("repro.diagnostics.driver", "collect_targets"),
+    "harvest_python": ("repro.diagnostics.driver", "harvest_python"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

@@ -1,0 +1,154 @@
+"""The diagnostic model: one finding, a severity scale, and a collector.
+
+Every checker in the diagnostics subsystem -- the structural/SSA verifier
+(:mod:`repro.diagnostics.verifier`), the pipeline sanitizer
+(:mod:`repro.diagnostics.sanitizer`) and the semantic lints
+(:mod:`repro.diagnostics.lints`) -- reports through the same vocabulary: a
+:class:`Diagnostic` carries a stable code (``IR004``, ``SAN201``,
+``CLS301``...), a severity, the IR location (function / block / value
+name), the pipeline stage that produced it, a human message and an
+optional fix hint.  Codes are declared once in
+:mod:`repro.diagnostics.registry`; ``docs/DIAGNOSTICS.md`` catalogues them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, List, Optional
+
+
+class Severity(enum.IntEnum):
+    """Ordered severity scale (higher is worse)."""
+
+    NOTE = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR"
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding.
+
+    ``code`` identifies the check (see :mod:`repro.diagnostics.registry`);
+    ``function``/``block``/``name`` locate it in the IR; ``stage`` records
+    the pipeline pass after which the sanitizer observed it; ``origin`` is
+    the source file (or embedded-program label) the lint driver was
+    processing.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    function: Optional[str] = None
+    block: Optional[str] = None
+    name: Optional[str] = None
+    stage: Optional[str] = None
+    origin: Optional[str] = None
+    hint: Optional[str] = None
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity >= Severity.ERROR
+
+    def located(self) -> str:
+        """``function/block`` location prefix (empty when unknown)."""
+        parts = [p for p in (self.function, self.block) if p]
+        return "/".join(parts)
+
+    def with_stage(self, stage: str) -> "Diagnostic":
+        return replace(self, stage=stage)
+
+    def with_origin(self, origin: str) -> "Diagnostic":
+        return replace(self, origin=origin)
+
+    def sort_key(self) -> tuple:
+        return (
+            self.origin or "",
+            self.function or "",
+            self.block or "",
+            self.code,
+            self.name or "",
+            self.message,
+        )
+
+    def to_dict(self) -> dict:
+        out = {"code": self.code, "severity": str(self.severity), "message": self.message}
+        for key in ("function", "block", "name", "stage", "origin", "hint"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        return out
+
+
+@dataclass
+class DiagnosticCollector:
+    """Accumulates diagnostics across checks (and pipeline stages)."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def emit(
+        self,
+        code: str,
+        message: str,
+        *,
+        severity: Optional[Severity] = None,
+        function: Optional[str] = None,
+        block: Optional[str] = None,
+        name: Optional[str] = None,
+        stage: Optional[str] = None,
+        origin: Optional[str] = None,
+        hint: Optional[str] = None,
+    ) -> Diagnostic:
+        """Record a finding; severity defaults to the registered one."""
+        from repro.diagnostics.registry import check_info
+
+        info = check_info(code)
+        diagnostic = Diagnostic(
+            code=code,
+            severity=severity if severity is not None else info.severity,
+            message=message,
+            function=function,
+            block=block,
+            name=name,
+            stage=stage,
+            origin=origin,
+            hint=hint if hint is not None else None,
+        )
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    # -- queries -----------------------------------------------------------
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity >= Severity.ERROR]
+
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.WARNING]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity >= Severity.ERROR for d in self.diagnostics)
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def codes(self) -> List[str]:
+        return sorted({d.code for d in self.diagnostics})
+
+    def sorted(self) -> List[Diagnostic]:
+        return sorted(self.diagnostics, key=Diagnostic.sort_key)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __bool__(self) -> bool:
+        return bool(self.diagnostics)

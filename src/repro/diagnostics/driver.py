@@ -1,0 +1,150 @@
+"""The lint driver: run every check over whole programs (``repro lint``).
+
+:func:`lint_source` takes one loop-language program through the full
+pipeline with the sanitizer active, verifies the resulting SSA, and runs
+the semantic lints.  :func:`lint_paths` extends that to files and
+directories: ``*.loop`` files are linted directly, and ``*.py`` files are
+*harvested* -- every string constant that parses as a loop-language
+program containing a loop (the repo's ``examples/`` embed their programs
+that way) becomes a lint target labelled ``file.py:LINE``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.diagnostics.diagnostic import Diagnostic, DiagnosticCollector
+from repro.diagnostics.lints import DEFAULT_SAMPLES, lint_program
+from repro.diagnostics.sanitizer import sanitizing
+from repro.diagnostics.verifier import verify_collect
+
+
+@dataclass(frozen=True)
+class LintTarget:
+    """One program to lint: its origin label and source text."""
+
+    origin: str
+    source: str
+
+
+def lint_source(
+    source: str,
+    origin: Optional[str] = None,
+    collector: Optional[DiagnosticCollector] = None,
+    execution: bool = True,
+    samples: Sequence[int] = DEFAULT_SAMPLES,
+) -> List[Diagnostic]:
+    """Lint one program; returns (and optionally collects) all findings."""
+    from repro.pipeline import analyze
+
+    out = collector if collector is not None else DiagnosticCollector()
+    local = DiagnosticCollector()
+    try:
+        with sanitizing(strict=False, collector=local):
+            program = analyze(source)
+    except Exception as error:
+        local.emit("LNT001", f"analysis failed: {error}")
+        return _publish(local, out, origin)
+
+    seen = {(d.code, d.message) for d in local}
+    for diagnostic in verify_collect(program.ssa, ssa=True):
+        if (diagnostic.code, diagnostic.message) not in seen:
+            local.diagnostics.append(diagnostic)
+
+    if execution:
+        lint_program(program, collector=local, samples=samples)
+    else:
+        from repro.diagnostics.lints import lint_lattice, lint_source as lint_src
+
+        lint_lattice(program, local)
+        lint_src(program, local)
+    return _publish(local, out, origin)
+
+
+def _publish(
+    local: DiagnosticCollector, out: DiagnosticCollector, origin: Optional[str]
+) -> List[Diagnostic]:
+    published = [
+        d.with_origin(origin) if origin and d.origin is None else d for d in local
+    ]
+    out.extend(published)
+    return published
+
+
+# ----------------------------------------------------------------------
+# target discovery
+# ----------------------------------------------------------------------
+def harvest_python(path: str) -> List[LintTarget]:
+    """Extract embedded loop-language programs from a Python file.
+
+    Any string constant (module level or nested) that the loop-language
+    parser accepts and that contains a loop (``do``) is a target; this is
+    how ``examples/*.py`` carry their programs.
+    """
+    from repro.frontend.parser import parse_program
+
+    with open(path) as handle:
+        text = handle.read()
+    targets: List[LintTarget] = []
+    try:
+        tree = ast.parse(text)
+    except SyntaxError:
+        return targets
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Constant) or not isinstance(node.value, str):
+            continue
+        source = node.value
+        if "\n" not in source or " do" not in source:
+            continue
+        try:
+            parse_program(source)
+        except Exception:
+            continue
+        targets.append(LintTarget(f"{path}:{node.lineno}", source))
+    return targets
+
+
+def collect_targets(paths: Sequence[str]) -> List[LintTarget]:
+    """Expand files and directories into lint targets.
+
+    Directories contribute every ``*.loop`` file plus the programs
+    harvested from every ``*.py`` file (non-recursively obvious dirs are
+    walked recursively).  A ``.py`` path is harvested; any other file is
+    read as loop-language source.
+    """
+    targets: List[LintTarget] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                for filename in sorted(filenames):
+                    full = os.path.join(dirpath, filename)
+                    if filename.endswith(".py"):
+                        targets.extend(harvest_python(full))
+                    elif filename.endswith(".loop"):
+                        targets.append(_file_target(full))
+        elif path.endswith(".py"):
+            targets.extend(harvest_python(path))
+        else:
+            targets.append(_file_target(path))
+    return targets
+
+
+def _file_target(path: str) -> LintTarget:
+    with open(path) as handle:
+        return LintTarget(path, handle.read())
+
+
+def lint_paths(
+    paths: Sequence[str],
+    collector: Optional[DiagnosticCollector] = None,
+    execution: bool = True,
+) -> DiagnosticCollector:
+    """Lint every program found under ``paths``; returns the collector."""
+    out = collector if collector is not None else DiagnosticCollector()
+    for target in collect_targets(paths):
+        lint_source(target.source, origin=target.origin, collector=out, execution=execution)
+    return out

@@ -1,0 +1,213 @@
+"""The check registry: every diagnostic code, declared once.
+
+A :class:`CheckInfo` gives each code its default severity, a category and
+a one-line description.  The registry is the single source of truth the
+collector (default severities), the renderers (titles) and the docs test
+(``docs/DIAGNOSTICS.md`` must catalogue every code) all consult.
+
+Code ranges:
+
+* ``IR0xx``  -- structural well-formedness of any IR (named or SSA)
+* ``IR1xx``  -- SSA-form invariants
+* ``SAN2xx`` -- pipeline sanitizer (stale caches, pass broke the IR)
+* ``CLS3xx`` -- classification soundness (closed forms vs. execution,
+  algebra-lattice laws, wrap-around/periodic bookkeeping)
+* ``SRC4xx`` -- source-level findings (hoistable code, dead stores,
+  non-affine subscripts)
+* ``LNT0xx`` -- lint-driver level problems (a program failed to analyze)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.diagnostics.diagnostic import Severity
+
+
+@dataclass(frozen=True)
+class CheckInfo:
+    code: str
+    title: str
+    severity: Severity
+    category: str
+    description: str
+
+
+_REGISTRY: Dict[str, CheckInfo] = {}
+
+
+def register(code: str, title: str, severity: Severity, category: str, description: str) -> None:
+    if code in _REGISTRY:
+        raise ValueError(f"diagnostic code {code!r} registered twice")
+    _REGISTRY[code] = CheckInfo(code, title, severity, category, description)
+
+
+def check_info(code: str) -> CheckInfo:
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        raise KeyError(f"unknown diagnostic code {code!r}") from None
+
+
+def all_checks() -> List[CheckInfo]:
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def all_codes() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# structural checks (any IR)
+# ----------------------------------------------------------------------
+register(
+    "IR001", "no-blocks", Severity.ERROR, "structural",
+    "The function has no basic blocks at all.",
+)
+register(
+    "IR002", "missing-entry", Severity.ERROR, "structural",
+    "The function's entry label does not name one of its blocks.",
+)
+register(
+    "IR003", "unknown-branch-target", Severity.ERROR, "structural",
+    "A terminator targets a label that is not a block of the function.",
+)
+register(
+    "IR004", "missing-terminator", Severity.ERROR, "structural",
+    "A basic block has no terminator (jump / branch / return).",
+)
+register(
+    "IR005", "phi-after-non-phi", Severity.ERROR, "structural",
+    "A phi instruction appears after a non-phi; phis must form a block prefix.",
+)
+register(
+    "IR006", "unreachable-block", Severity.WARNING, "structural",
+    "A block is unreachable from the entry block.",
+)
+register(
+    "IR007", "phi-in-entry", Severity.ERROR, "structural",
+    "The entry block contains a phi; the entry has no predecessors to merge.",
+)
+
+# ----------------------------------------------------------------------
+# SSA-form checks
+# ----------------------------------------------------------------------
+register(
+    "IR101", "duplicate-definition", Severity.ERROR, "ssa",
+    "The same SSA name is defined by more than one instruction.",
+)
+register(
+    "IR102", "parameter-shadowed", Severity.ERROR, "ssa",
+    "An instruction defines a name that is already a function parameter.",
+)
+register(
+    "IR103", "phi-predecessor-mismatch", Severity.ERROR, "ssa",
+    "A phi's incoming labels do not match the block's predecessors.",
+)
+register(
+    "IR104", "undominated-use", Severity.ERROR, "ssa",
+    "An instruction uses a value whose definition does not dominate the use.",
+)
+register(
+    "IR105", "phi-edge-value-unavailable", Severity.ERROR, "ssa",
+    "A phi's incoming value is not available at the end of that incoming edge's "
+    "predecessor.",
+)
+register(
+    "IR106", "undominated-terminator-use", Severity.ERROR, "ssa",
+    "A terminator uses a value whose definition does not dominate the block end.",
+)
+register(
+    "IR107", "undefined-use", Severity.ERROR, "ssa",
+    "An instruction references a name with no definition anywhere in the "
+    "function (and it is not a parameter).",
+)
+register(
+    "IR108", "self-referential-def", Severity.ERROR, "ssa",
+    "A non-phi instruction uses its own result; in SSA only phis may close "
+    "cycles.",
+)
+
+# ----------------------------------------------------------------------
+# pipeline sanitizer
+# ----------------------------------------------------------------------
+register(
+    "SAN201", "stale-definitions-cache", Severity.ERROR, "sanitizer",
+    "Function.definitions() disagrees with a fresh recomputation: a mutating "
+    "pass changed instructions without calling Function.dirty().",
+)
+register(
+    "SAN202", "stale-defsite-cache", Severity.ERROR, "sanitizer",
+    "Function.def_site() disagrees with a fresh recomputation: an in-place "
+    "move or rename skipped Function.dirty().",
+)
+register(
+    "SAN203", "pass-broke-ir", Severity.ERROR, "sanitizer",
+    "The IR failed verification directly after a pipeline pass ran.",
+)
+
+# ----------------------------------------------------------------------
+# classification-soundness lints
+# ----------------------------------------------------------------------
+register(
+    "CLS301", "closed-form-mismatch", Severity.ERROR, "classification",
+    "A reported closed form, evaluated at iteration h, disagrees with the "
+    "value the reference interpreter observed.",
+)
+register(
+    "CLS302", "monotonic-contradicted", Severity.ERROR, "classification",
+    "A monotonic verdict (direction or strictness) is contradicted by the "
+    "observed value sequence.",
+)
+register(
+    "CLS303", "algebra-law-violation", Severity.WARNING, "classification",
+    "An algebra-lattice law failed: e.g. IV + invariant did not classify as "
+    "an IV with the summed closed form.",
+)
+register(
+    "CLS304", "wraparound-simplifiable", Severity.NOTE, "classification",
+    "A wrap-around's pre-values all fit its steady-state sequence; it should "
+    "have simplified to the inner class.",
+)
+register(
+    "CLS305", "periodic-constant", Severity.NOTE, "classification",
+    "A periodic classification cycles through identical values; it should "
+    "have simplified to an invariant.",
+)
+register(
+    "CLS306", "wraparound-order-mismatch", Severity.ERROR, "classification",
+    "A wrap-around's order does not match its number of recorded pre-values.",
+)
+
+# ----------------------------------------------------------------------
+# source-level lints
+# ----------------------------------------------------------------------
+register(
+    "SRC401", "hoistable-invariant", Severity.NOTE, "source",
+    "A loop-invariant computation executes inside the loop; it could be "
+    "hoisted to the preheader (LICM).",
+)
+register(
+    "SRC402", "dead-store", Severity.WARNING, "source",
+    "A store is overwritten by a later store to the same cell in the same "
+    "block with no intervening load of the array.",
+)
+register(
+    "SRC403", "non-affine-subscript", Severity.WARNING, "source",
+    "An array subscript is neither affine in the loop counters nor one of the "
+    "extended classes; dependence tests fall back to assuming a dependence.",
+)
+register(
+    "SRC404", "unused-definition", Severity.NOTE, "source",
+    "A pure definition is never used by any instruction, terminator or store "
+    "(dead-code-elimination candidate).",
+)
+
+# ----------------------------------------------------------------------
+# lint driver
+# ----------------------------------------------------------------------
+register(
+    "LNT001", "analysis-failed", Severity.ERROR, "driver",
+    "The program failed to parse or analyze, so no checks could run.",
+)

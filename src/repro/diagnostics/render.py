@@ -1,0 +1,72 @@
+"""Render diagnostics as human-readable text or machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Sequence
+
+from repro.diagnostics.diagnostic import Diagnostic, Severity
+from repro.diagnostics.registry import check_info
+
+
+def render_diagnostic(diagnostic: Diagnostic) -> str:
+    """One line: ``origin: location: severity CODE [stage]: message``."""
+    parts: List[str] = []
+    if diagnostic.origin:
+        parts.append(f"{diagnostic.origin}:")
+    location = diagnostic.located()
+    if location:
+        parts.append(f"{location}:")
+    head = f"{diagnostic.severity} {diagnostic.code}"
+    if diagnostic.stage:
+        head += f" [{diagnostic.stage}]"
+    parts.append(f"{head}:")
+    parts.append(diagnostic.message)
+    line = " ".join(parts)
+    if diagnostic.hint:
+        line += f"\n    hint: {diagnostic.hint}"
+    return line
+
+
+def render_text(diagnostics: Sequence[Diagnostic], summary: bool = True) -> str:
+    """All diagnostics, sorted, plus a per-severity summary line."""
+    ordered = sorted(diagnostics, key=Diagnostic.sort_key)
+    lines = [render_diagnostic(d) for d in ordered]
+    if summary:
+        lines.append(render_summary(ordered))
+    return "\n".join(lines)
+
+
+def render_summary(diagnostics: Sequence[Diagnostic]) -> str:
+    counts: Dict[Severity, int] = {}
+    for diagnostic in diagnostics:
+        counts[diagnostic.severity] = counts.get(diagnostic.severity, 0) + 1
+    if not counts:
+        return "no findings"
+    parts = [
+        f"{counts[severity]} {severity}{'s' if counts[severity] != 1 else ''}"
+        for severity in sorted(counts, reverse=True)
+    ]
+    return ", ".join(parts)
+
+
+def render_json(diagnostics: Sequence[Diagnostic], indent: int = 2) -> str:
+    """A JSON document: findings plus the registry titles they refer to."""
+    ordered = sorted(diagnostics, key=Diagnostic.sort_key)
+    payload = {
+        "findings": [d.to_dict() for d in ordered],
+        "counts": _count_by_severity(ordered),
+        "codes": {
+            code: check_info(code).title
+            for code in sorted({d.code for d in ordered})
+        },
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def _count_by_severity(diagnostics: Iterable[Diagnostic]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for diagnostic in diagnostics:
+        key = str(diagnostic.severity)
+        counts[key] = counts.get(key, 0) + 1
+    return counts

@@ -1,0 +1,196 @@
+"""The pipeline sanitizer: re-verify the IR after every pass.
+
+PR 1 made :meth:`repro.ir.function.Function.definitions` and
+:meth:`~repro.ir.function.Function.def_site` cached indexes whose
+invalidation rests on a contract: every mutating pass calls
+:meth:`~repro.ir.function.Function.dirty`.  The structural fingerprint
+catches insertions and deletions automatically, but a same-size in-place
+*move* or *rename* that skips ``dirty()`` silently serves stale analysis
+results.  The sanitizer is the opt-in safety harness for that contract
+(and for SSA form in general): under an active :func:`sanitizing` context,
+every :func:`checkpoint` placed in ``pipeline.analyze`` and at the end of
+each transform re-runs the collect-all verifier *and* cross-checks both
+cached indexes against a fresh recomputation.
+
+Usage::
+
+    from repro.diagnostics import sanitizing
+
+    with sanitizing():                   # strict: raise on first violation
+        program = analyze(source)
+
+    collector = DiagnosticCollector()
+    with sanitizing(strict=False, collector=collector):
+        hoist_invariants(fn, analysis, loop)
+    print(collector.codes())             # e.g. ['SAN202']
+
+Checkpoints are no-ops when no context is active, so leaving them wired
+into the hot path costs one global read per pass.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.diagnostics.diagnostic import Diagnostic, DiagnosticCollector, Severity
+from repro.diagnostics.verifier import verify_collect
+from repro.ir.function import Function
+
+
+class SanitizerError(Exception):
+    """Raised by a strict checkpoint; carries the diagnostics found."""
+
+    def __init__(self, stage: str, diagnostics: List[Diagnostic]):
+        self.stage = stage
+        self.diagnostics = diagnostics
+        lines = "; ".join(d.message for d in diagnostics[:5])
+        super().__init__(f"sanitizer failed after {stage!r}: {lines}")
+
+
+@dataclass
+class SanitizerState:
+    collector: DiagnosticCollector
+    strict: bool = True
+    ssa_checks: bool = True
+    stages: List[str] = field(default_factory=list)
+
+
+_STATE: Optional[SanitizerState] = None
+
+
+def active() -> bool:
+    """True when a :func:`sanitizing` context is live."""
+    return _STATE is not None
+
+
+def current_collector() -> Optional[DiagnosticCollector]:
+    return _STATE.collector if _STATE is not None else None
+
+
+def stages_run() -> List[str]:
+    """The checkpoint stages observed by the active context (for tests)."""
+    return list(_STATE.stages) if _STATE is not None else []
+
+
+@contextmanager
+def sanitizing(
+    strict: bool = True,
+    collector: Optional[DiagnosticCollector] = None,
+    ssa_checks: bool = True,
+):
+    """Activate the sanitizer for the dynamic extent of the block.
+
+    ``strict`` raises :class:`SanitizerError` at the first checkpoint that
+    finds an error-severity diagnostic; with ``strict=False`` everything
+    accumulates in ``collector``.  Contexts do not nest: an inner
+    ``sanitizing()`` inside an active one reuses the outer state.
+    """
+    global _STATE
+    if _STATE is not None:
+        yield _STATE.collector
+        return
+    state = SanitizerState(
+        collector=collector if collector is not None else DiagnosticCollector(),
+        strict=strict,
+        ssa_checks=ssa_checks,
+    )
+    _STATE = state
+    try:
+        yield state.collector
+    finally:
+        _STATE = None
+
+
+def checkpoint(function: Function, stage: str, ssa: bool = True) -> List[Diagnostic]:
+    """Verify ``function`` and audit its caches, if a context is active.
+
+    Returns the diagnostics found at this checkpoint (empty when inactive
+    or clean).  ``ssa=False`` limits verification to structural checks
+    (for passes that run on named, pre-SSA IR).
+    """
+    state = _STATE
+    if state is None:
+        return []
+    state.stages.append(stage)
+    found: List[Diagnostic] = []
+    for diagnostic in verify_collect(function, ssa=ssa and state.ssa_checks):
+        if diagnostic.code == "IR006" and (diagnostic.block or "").startswith("dead"):
+            # the frontend parks unreachable code after break/continue/return
+            # in `dead*` landing blocks; SSA construction prunes them, so
+            # flagging them at pre-SSA checkpoints would be pure noise
+            continue
+        found.append(diagnostic.with_stage(stage))
+    if any(d.severity >= Severity.ERROR for d in found):
+        found.append(
+            Diagnostic(
+                code="SAN203",
+                severity=Severity.ERROR,
+                message=f"{function.name}: IR failed verification after pass {stage!r}",
+                function=function.name,
+                stage=stage,
+            )
+        )
+    found.extend(d.with_stage(stage) for d in audit_caches(function))
+    state.collector.extend(found)
+    if state.strict and any(d.severity >= Severity.ERROR for d in found):
+        raise SanitizerError(stage, found)
+    return found
+
+
+def audit_caches(function: Function) -> List[Diagnostic]:
+    """Cross-check the cached definition indexes against fresh recomputes.
+
+    Catches mutations that skipped :meth:`Function.dirty`: the cached
+    ``definitions()`` / ``def_site()`` answers must agree exactly with a
+    from-scratch walk of the instruction lists.
+    """
+    out = DiagnosticCollector()
+    fname = function.name
+    fresh_defs: Dict[str, tuple] = {}
+    fresh_sites: Dict[str, Tuple[str, int]] = {}
+    for block in function:
+        for position, inst in enumerate(block.instructions):
+            if inst.result is not None:
+                fresh_defs[inst.result] = (block.label, inst)
+                fresh_sites[inst.result] = (block.label, position)
+
+    cached_defs = function.definitions()
+    if cached_defs != fresh_defs:
+        missing = sorted(set(fresh_defs) - set(cached_defs))
+        spurious = sorted(set(cached_defs) - set(fresh_defs))
+        moved = sorted(
+            name
+            for name in set(fresh_defs) & set(cached_defs)
+            if cached_defs[name] != fresh_defs[name]
+        )
+        details = []
+        if missing:
+            details.append(f"missing {missing[:4]}")
+        if spurious:
+            details.append(f"spurious {spurious[:4]}")
+        if moved:
+            details.append(f"stale {moved[:4]}")
+        out.emit(
+            "SAN201",
+            f"{fname}: cached definitions() is stale ({'; '.join(details)})",
+            function=fname,
+            name=(missing + spurious + moved or [None])[0],
+            hint="a mutating pass changed instructions without calling Function.dirty()",
+        )
+
+    stale_sites = []
+    for name in sorted(set(fresh_sites) | set(cached_defs)):
+        if function.def_site(name) != fresh_sites.get(name):
+            stale_sites.append(name)
+    if stale_sites:
+        out.emit(
+            "SAN202",
+            f"{fname}: cached def_site() is stale for {stale_sites[:6]}",
+            function=fname,
+            name=stale_sites[0],
+            hint="a mutating pass moved or renamed instructions without "
+            "calling Function.dirty()",
+        )
+    return out.diagnostics

@@ -1,0 +1,283 @@
+"""Collect-all IR verifier.
+
+The original ``repro.ir.verify`` raised :class:`~repro.ir.function.IRError`
+on the *first* problem; this module reports *every* problem as a
+:class:`~repro.diagnostics.diagnostic.Diagnostic` so a broken pass can be
+diagnosed in one run.  ``repro.ir.verify.verify_function`` remains as the
+raise-on-first compatibility wrapper on top of :func:`verify_collect`.
+
+Checks, in emission order:
+
+* structural (any IR): blocks exist, entry exists, branch targets resolve,
+  every block has a terminator, phis form a block prefix, no phi in the
+  entry block, every block is reachable.
+* SSA (``ssa=True``, only when the structure is sound): unique
+  definitions, no parameter shadowing, phi arity matches predecessors,
+  no self-referential non-phi definitions, every use dominated by its
+  definition (phi uses checked at the incoming edge's predecessor), no
+  references to names that are defined nowhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.diagnostics.diagnostic import Diagnostic, DiagnosticCollector, Severity
+from repro.ir.function import Function
+from repro.ir.instructions import Phi, Ref
+
+
+def verify_collect(
+    function: Function,
+    ssa: bool = False,
+    collector: Optional[DiagnosticCollector] = None,
+) -> List[Diagnostic]:
+    """Run every applicable check; return the full list of findings.
+
+    When ``collector`` is given, findings are also appended to it.  SSA
+    checks are skipped if structural *errors* were found (the CFG is not
+    trustworthy enough to compute dominators on).
+    """
+    out = collector if collector is not None else DiagnosticCollector()
+    start = len(out.diagnostics)
+    _check_structure(function, out)
+    structural_errors = any(
+        d.severity >= Severity.ERROR for d in out.diagnostics[start:]
+    )
+    if ssa and not structural_errors:
+        _check_ssa(function, out)
+    return out.diagnostics[start:]
+
+
+# ----------------------------------------------------------------------
+# structural checks
+# ----------------------------------------------------------------------
+def _check_structure(function: Function, out: DiagnosticCollector) -> None:
+    fname = function.name
+    if not function.blocks:
+        out.emit("IR001", f"{fname}: function has no blocks", function=fname)
+        return
+    if function.entry_label not in function.blocks:
+        out.emit(
+            "IR002",
+            f"{fname}: entry label {function.entry_label!r} missing",
+            function=fname,
+        )
+
+    for block in function:
+        for succ in block.successors():
+            if succ not in function.blocks:
+                out.emit(
+                    "IR003",
+                    f"block {block.label!r} targets unknown label {succ!r}",
+                    function=fname,
+                    block=block.label,
+                )
+
+    for block in function:
+        if block.terminator is None:
+            out.emit(
+                "IR004",
+                f"{fname}/{block.label}: missing terminator",
+                function=fname,
+                block=block.label,
+            )
+        seen_non_phi = False
+        for inst in block:
+            if isinstance(inst, Phi):
+                if seen_non_phi:
+                    out.emit(
+                        "IR005",
+                        f"{fname}/{block.label}: phi after non-phi instruction",
+                        function=fname,
+                        block=block.label,
+                        name=inst.result,
+                    )
+            else:
+                seen_non_phi = True
+
+    entry = function.entry_label
+    if entry in function.blocks:
+        for phi in function.blocks[entry].phis():
+            out.emit(
+                "IR007",
+                f"{fname}/{entry}: phi %{phi.result} in entry block "
+                "(the entry has no predecessors)",
+                function=fname,
+                block=entry,
+                name=phi.result,
+                hint="phis merge predecessor values; the entry block has none",
+            )
+        for label in sorted(_unreachable_blocks(function)):
+            out.emit(
+                "IR006",
+                f"{fname}/{label}: block unreachable from entry",
+                function=fname,
+                block=label,
+                hint="delete the block or add an edge reaching it",
+            )
+
+
+def _unreachable_blocks(function: Function) -> Set[str]:
+    if function.entry_label not in function.blocks:
+        return set(function.blocks)
+    seen: Set[str] = set()
+    stack = [function.entry_label]
+    while stack:
+        label = stack.pop()
+        if label in seen:
+            continue
+        seen.add(label)
+        block = function.blocks.get(label)
+        if block is None:
+            continue
+        for succ in block.successors():
+            if succ in function.blocks and succ not in seen:
+                stack.append(succ)
+    return set(function.blocks) - seen
+
+
+# ----------------------------------------------------------------------
+# SSA checks
+# ----------------------------------------------------------------------
+def _check_ssa(function: Function, out: DiagnosticCollector) -> None:
+    from repro.analysis.dominators import dominator_tree
+
+    fname = function.name
+    preds = {label: [] for label in function.blocks}
+    for block in function:
+        for succ in block.successors():
+            preds[succ].append(block.label)
+
+    # unique definitions / parameter shadowing
+    defined_in: Dict[str, str] = {}
+    def_site: Dict[str, tuple] = {}
+    for block in function:
+        for position, inst in enumerate(block.instructions):
+            if inst.result is None:
+                continue
+            if inst.result in defined_in:
+                out.emit(
+                    "IR101",
+                    f"{fname}: {inst.result!r} defined in both "
+                    f"{defined_in[inst.result]!r} and {block.label!r}",
+                    function=fname,
+                    block=block.label,
+                    name=inst.result,
+                )
+            else:
+                defined_in[inst.result] = block.label
+                def_site[inst.result] = (block.label, position)
+            if inst.result in function.params:
+                out.emit(
+                    "IR102",
+                    f"{fname}: {inst.result!r} shadows a parameter",
+                    function=fname,
+                    block=block.label,
+                    name=inst.result,
+                )
+
+    # phi arity matches predecessors
+    for block in function:
+        block_preds = set(preds[block.label])
+        for phi in block.phis():
+            incoming = set(phi.incoming)
+            if incoming != block_preds:
+                out.emit(
+                    "IR103",
+                    f"{fname}/{block.label}: phi %{phi.result} incoming "
+                    f"{sorted(incoming)} != predecessors {sorted(block_preds)}",
+                    function=fname,
+                    block=block.label,
+                    name=phi.result,
+                )
+
+    # self-referential non-phi definitions
+    for block in function:
+        for inst in block:
+            if isinstance(inst, Phi) or inst.result is None:
+                continue
+            if any(
+                isinstance(v, Ref) and v.name == inst.result for v in inst.uses()
+            ):
+                out.emit(
+                    "IR108",
+                    f"{fname}/{block.label}: %{inst.result} uses its own result "
+                    "(only phis may be self-referential in SSA)",
+                    function=fname,
+                    block=block.label,
+                    name=inst.result,
+                )
+
+    # dominance of uses
+    domtree = dominator_tree(function)
+    reachable = set(function.blocks) - _unreachable_blocks(function)
+
+    def dominates_use(name: str, use_block: str, use_position: int) -> Optional[bool]:
+        """True/False, or None when the name is defined nowhere (IR107)."""
+        if name in function.params:
+            return True
+        if name not in def_site:
+            return None
+        def_block, def_position = def_site[name]
+        if def_block == use_block:
+            return def_position < use_position
+        if def_block not in reachable or use_block not in reachable:
+            return True  # IR006 already covers unreachable code
+        return domtree.dominates(def_block, use_block)
+
+    def check_use(name: str, use_block: str, use_position: int, code: str, message: str) -> None:
+        verdict = dominates_use(name, use_block, use_position)
+        if verdict is None:
+            out.emit(
+                "IR107",
+                f"{fname}/{use_block}: use of %{name}, which is defined nowhere",
+                function=fname,
+                block=use_block,
+                name=name,
+            )
+        elif not verdict:
+            out.emit(code, message, function=fname, block=use_block, name=name)
+
+    for block in function:
+        for position, inst in enumerate(block.instructions):
+            if isinstance(inst, Phi):
+                for pred_label, value in inst.incoming.items():
+                    if not isinstance(value, Ref) or pred_label not in function.blocks:
+                        continue
+                    pred_block = function.block(pred_label)
+                    check_use(
+                        value.name,
+                        pred_label,
+                        len(pred_block.instructions) + 1,
+                        "IR105",
+                        f"{fname}/{block.label}: phi %{inst.result} uses "
+                        f"%{value.name} not available on edge from {pred_label!r}",
+                    )
+                continue
+            if inst.result is not None and any(
+                isinstance(v, Ref) and v.name == inst.result for v in inst.uses()
+            ):
+                continue  # already reported as IR108; dominance is moot
+            for value in inst.uses():
+                if isinstance(value, Ref):
+                    check_use(
+                        value.name,
+                        block.label,
+                        position,
+                        "IR104",
+                        f"{fname}/{block.label}: use of %{value.name} "
+                        "not dominated by its definition",
+                    )
+        terminator = block.terminator
+        if terminator is not None:
+            for value in terminator.uses():
+                if isinstance(value, Ref):
+                    check_use(
+                        value.name,
+                        block.label,
+                        len(block.instructions),
+                        "IR106",
+                        f"{fname}/{block.label}: terminator uses %{value.name} "
+                        "not dominated by its definition",
+                    )

@@ -1,127 +1,41 @@
-"""IR well-formedness checks.
+"""IR well-formedness checks (raise-on-first compatibility wrapper).
+
+The actual checks live in :mod:`repro.diagnostics.verifier`, which
+*collects every* violation as structured
+:class:`~repro.diagnostics.diagnostic.Diagnostic` objects.  This module
+keeps the original contract -- raise :class:`IRError` on the first
+problem -- for callers that just want a pass/fail guard.
 
 Two levels:
 
 * structural (any IR): every block has a terminator, every branch target
-  exists, the entry block exists, no instruction follows a terminator.
-* SSA (``ssa=True``): unique definitions, phis only as block prefixes with
-  one incoming value per predecessor, and every use dominated by its
-  definition (phi uses checked at the incoming edge's predecessor).
+  exists, the entry block exists, phis form a block prefix, no phi in the
+  entry block, no unreachable blocks (reported as warnings, not raised).
+* SSA (``ssa=True``): unique definitions, phis with one incoming value per
+  predecessor, no self-referential non-phi definitions, and every use
+  dominated by its definition (phi uses checked at the incoming edge's
+  predecessor).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import List
 
 from repro.ir.function import Function, IRError
-from repro.ir.instructions import Phi, Ref
-from repro.ir.values import Const
 
 
 def verify_function(function: Function, ssa: bool = False) -> None:
-    """Raise :class:`IRError` on the first problem found."""
-    if not function.blocks:
-        raise IRError(f"{function.name}: function has no blocks")
-    if function.entry_label not in function.blocks:
-        raise IRError(f"{function.name}: entry label missing")
+    """Raise :class:`IRError` on the first error-severity problem found."""
+    from repro.diagnostics.diagnostic import Severity
+    from repro.diagnostics.verifier import verify_collect
 
-    preds = function.predecessors_map()  # also validates branch targets
-
-    for block in function:
-        if block.terminator is None:
-            raise IRError(f"{function.name}/{block.label}: missing terminator")
-        seen_non_phi = False
-        for inst in block:
-            if isinstance(inst, Phi):
-                if seen_non_phi:
-                    raise IRError(
-                        f"{function.name}/{block.label}: phi after non-phi instruction"
-                    )
-            else:
-                seen_non_phi = True
-
-    if ssa:
-        _verify_ssa(function, preds)
+    for diagnostic in verify_collect(function, ssa=ssa):
+        if diagnostic.severity >= Severity.ERROR:
+            raise IRError(diagnostic.message)
 
 
-def _verify_ssa(function: Function, preds: Dict[str, list]) -> None:
-    # unique definitions
-    defined_in: Dict[str, str] = {}
-    for block in function:
-        for inst in block:
-            if inst.result is None:
-                continue
-            if inst.result in defined_in:
-                raise IRError(
-                    f"{function.name}: {inst.result!r} defined in both "
-                    f"{defined_in[inst.result]!r} and {block.label!r}"
-                )
-            if inst.result in function.params:
-                raise IRError(
-                    f"{function.name}: {inst.result!r} shadows a parameter"
-                )
-            defined_in[inst.result] = block.label
+def verify_diagnostics(function: Function, ssa: bool = False) -> List:
+    """Collect-all variant: every violation as a :class:`Diagnostic`."""
+    from repro.diagnostics.verifier import verify_collect
 
-    # phi arity matches predecessors
-    for block in function:
-        block_preds = set(preds[block.label])
-        for phi in block.phis():
-            incoming = set(phi.incoming)
-            if incoming != block_preds:
-                raise IRError(
-                    f"{function.name}/{block.label}: phi %{phi.result} incoming "
-                    f"{sorted(incoming)} != predecessors {sorted(block_preds)}"
-                )
-
-    # dominance of uses
-    from repro.analysis.dominators import dominator_tree
-
-    domtree = dominator_tree(function)
-    def_site: Dict[str, tuple] = {}
-    for block in function:
-        for position, inst in enumerate(block.instructions):
-            if inst.result is not None:
-                def_site[inst.result] = (block.label, position)
-
-    def dominates_use(name: str, use_block: str, use_position: int) -> bool:
-        if name in function.params:
-            return True
-        if name not in def_site:
-            return False
-        def_block, def_position = def_site[name]
-        if def_block == use_block:
-            return def_position < use_position
-        return domtree.dominates(def_block, use_block)
-
-    for block in function:
-        for position, inst in enumerate(block.instructions):
-            if isinstance(inst, Phi):
-                for pred_label, value in inst.incoming.items():
-                    if isinstance(value, Ref):
-                        pred_block = function.block(pred_label)
-                        if not dominates_use(
-                            value.name, pred_label, len(pred_block.instructions) + 1
-                        ):
-                            raise IRError(
-                                f"{function.name}/{block.label}: phi %{inst.result} uses "
-                                f"%{value.name} not available on edge from {pred_label!r}"
-                            )
-                continue
-            for value in inst.uses():
-                if isinstance(value, Ref) and not dominates_use(
-                    value.name, block.label, position
-                ):
-                    raise IRError(
-                        f"{function.name}/{block.label}: use of %{value.name} "
-                        f"not dominated by its definition"
-                    )
-        terminator = block.terminator
-        if terminator is not None:
-            for value in terminator.uses():
-                if isinstance(value, Ref) and not dominates_use(
-                    value.name, block.label, len(block.instructions)
-                ):
-                    raise IRError(
-                        f"{function.name}/{block.label}: terminator uses %{value.name} "
-                        f"not dominated by its definition"
-                    )
+    return verify_collect(function, ssa=ssa)

@@ -20,6 +20,7 @@ from repro.analysis.dominators import DominatorTree, dominator_tree
 from repro.analysis.loops import LoopNest, find_loops
 from repro.analysis.loopsimplify import simplify_loops
 from repro.core.driver import AnalysisResult, classify_function
+from repro.diagnostics import sanitizer
 from repro.frontend.lower import lower_program
 from repro.frontend.parser import parse_program
 from repro.ir.clone import clone_function
@@ -67,27 +68,47 @@ class AnalyzedProgram:
         return out
 
 
-def analyze(source: str, name: str = "main", optimize: bool = True) -> AnalyzedProgram:
+def analyze(
+    source: str, name: str = "main", optimize: bool = True, sanitize: bool = False
+) -> AnalyzedProgram:
     """Compile and classify a source program.
 
     ``optimize`` runs SCCP / simplification / copy propagation before
     classification, resolving constant initial values the way the paper
     assumes ("the initial value ... can often be evaluated and substituted,
     using an algorithm such as constant propagation").
+
+    ``sanitize`` activates the pipeline sanitizer
+    (:mod:`repro.diagnostics.sanitizer`): the IR is re-verified and the
+    cached definition indexes are cross-checked after every pass, raising
+    :class:`~repro.diagnostics.SanitizerError` on the first violation.
     """
     program = parse_program(source)
     named = lower_program(program, name=name)
     simplify_loops(named)
-    return analyze_function(named, source=source, optimize=optimize)
+    sanitizer.checkpoint(named, "simplify-loops", ssa=False)
+    return analyze_function(named, source=source, optimize=optimize, sanitize=sanitize)
 
 
 def analyze_function(
-    named: Function, source: Optional[str] = None, optimize: bool = True
+    named: Function,
+    source: Optional[str] = None,
+    optimize: bool = True,
+    sanitize: bool = False,
 ) -> AnalyzedProgram:
     """Run SSA construction + classification on named IR.
 
     ``named`` is kept intact (a clone is converted to SSA).
     """
+    if sanitize and not sanitizer.active():
+        with sanitizer.sanitizing(strict=True):
+            return _analyze_function(named, source, optimize)
+    return _analyze_function(named, source, optimize)
+
+
+def _analyze_function(
+    named: Function, source: Optional[str], optimize: bool
+) -> AnalyzedProgram:
     from repro.scalar.copyprop import propagate_copies
     from repro.scalar.gvn import run_gvn
     from repro.scalar.sccp import run_sccp
@@ -95,14 +116,19 @@ def analyze_function(
 
     ssa = clone_function(named)
     ssa_info = construct_ssa(ssa)
+    sanitizer.checkpoint(ssa, "construct-ssa")
     if optimize:
         from repro.ir.verify import verify_function
 
         for _ in range(3):
             run_sccp(ssa)
+            sanitizer.checkpoint(ssa, "sccp")
             changed = simplify_instructions(ssa)
+            sanitizer.checkpoint(ssa, "simplify")
             changed += run_gvn(ssa)
+            sanitizer.checkpoint(ssa, "gvn")
             changed += propagate_copies(ssa)
+            sanitizer.checkpoint(ssa, "copyprop")
             if not changed:
                 break
         verify_function(ssa, ssa=True)

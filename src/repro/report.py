@@ -9,7 +9,7 @@ Used by the command-line interface (``python -m repro``).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.core.tripcount import TripCountKind
 from repro.dependence.graph import build_dependence_graph
@@ -22,6 +22,7 @@ def format_report(
     show_temporaries: bool = False,
     show_dependences: bool = True,
     show_ir: bool = False,
+    diagnostics: Optional[Sequence] = None,
 ) -> str:
     lines: List[str] = []
     result = program.result
@@ -35,6 +36,7 @@ def format_report(
 
     if not result.loops:
         lines.append("no loops found")
+        _append_diagnostics(lines, diagnostics)
         return "\n".join(lines)
 
     graph = build_dependence_graph(result) if show_dependences else None
@@ -88,4 +90,19 @@ def format_report(
                 lines.append(f"  {edge!r}{note}")
         else:
             lines.append("  no dependences")
+    _append_diagnostics(lines, diagnostics)
     return "\n".join(lines)
+
+
+def _append_diagnostics(lines: List[str], diagnostics: Optional[Sequence]) -> None:
+    """Append a ``== diagnostics ==`` section (for ``--verify``/``--lint``)."""
+    if diagnostics is None:
+        return
+    from repro.diagnostics.render import render_text
+
+    lines.append("")
+    lines.append("== diagnostics ==")
+    if not diagnostics:
+        lines.append("  clean: no findings")
+    else:
+        lines.append(render_text(diagnostics))

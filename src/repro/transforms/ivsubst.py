@@ -18,6 +18,7 @@ from typing import List
 from repro.analysis.loops import Loop
 from repro.core.classes import InductionVariable
 from repro.core.driver import AnalysisResult
+from repro.diagnostics.sanitizer import checkpoint
 from repro.ir.function import Function
 from repro.ir.instructions import Assign, BinOp, Phi
 from repro.ir.opcodes import BinaryOp
@@ -91,4 +92,6 @@ def substitute_induction_variables(
             continue
         rewritten.append(inst.result)
     function.dirty()
+    if rewritten:
+        checkpoint(function, "ivsubst")
     return rewritten

@@ -19,6 +19,7 @@ from repro.analysis.dominators import dominator_tree
 from repro.analysis.loops import Loop
 from repro.core.classes import Invariant
 from repro.core.driver import AnalysisResult
+from repro.diagnostics.sanitizer import checkpoint
 from repro.ir.function import Function
 from repro.ir.instructions import Assign, BinOp, Compare, Load, Phi, UnOp
 from repro.ir.opcodes import BinaryOp
@@ -102,4 +103,5 @@ def hoist_invariants(
         # a hoist moves an instruction between blocks without changing the
         # instruction count, which the fingerprint safety net cannot see
         function.dirty()
+        checkpoint(function, "licm")
     return hoisted

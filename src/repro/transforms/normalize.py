@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.analysis.loops import find_loops
+from repro.diagnostics.sanitizer import checkpoint
 from repro.ir.function import Function, IRError
 from repro.ir.instructions import Assign, BinOp, Branch, Compare
 from repro.ir.opcodes import BinaryOp, Relation
@@ -124,6 +125,7 @@ def normalize_loop(function: Function, header: str) -> Optional[str]:
     position = latch.instructions.index(increment)
     latch.instructions[position] = BinOp(counter, BinaryOp.ADD, Ref(counter), Const(1))
     function.dirty()
+    checkpoint(function, "normalize", ssa=False)
     return counter
 
 

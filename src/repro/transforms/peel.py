@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.analysis.loops import Loop, find_loops
+from repro.diagnostics.sanitizer import checkpoint
 from repro.ir.clone import _clone_instruction, _clone_terminator
 from repro.ir.function import Function, IRError
 
@@ -67,4 +68,5 @@ def peel_first_iteration(function: Function, header: str) -> List[str]:
 
     function.block(preheader).terminator.retarget(header, mapping[header])
     function.dirty()
+    checkpoint(function, "peel", ssa=False)
     return [mapping[label] for label in sorted(loop.body)]

@@ -23,6 +23,7 @@ from repro.analysis.loops import Loop
 from repro.core.algebra import class_closed_form
 from repro.core.classes import InductionVariable, Invariant
 from repro.core.driver import AnalysisResult
+from repro.diagnostics.sanitizer import checkpoint
 from repro.ir.function import Function
 from repro.ir.instructions import Assign, BinOp, Phi
 from repro.ir.opcodes import BinaryOp
@@ -81,6 +82,7 @@ def strength_reduce(
             reduced.append(record)
     if reduced:
         function.dirty()
+        checkpoint(function, "strengthreduce")
     return reduced
 
 

@@ -17,6 +17,7 @@ from typing import Optional
 
 from repro.analysis.loopsimplify import simplify_loops
 from repro.ir.clone import clone_function
+from repro.diagnostics.sanitizer import checkpoint
 from repro.ir.function import Function, IRError
 from repro.transforms.peel import peel_first_iteration
 
@@ -43,4 +44,5 @@ def fully_unroll(
     for _ in range(count):
         peel_first_iteration(function, header)
         simplify_loops(function)
+    checkpoint(function, "unroll", ssa=False)
     return count

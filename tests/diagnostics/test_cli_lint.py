@@ -1,0 +1,138 @@
+"""The lint driver and the ``repro lint`` / ``--verify`` CLI surfaces."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.diagnostics import DiagnosticCollector, render_json, render_text
+from repro.diagnostics.driver import (
+    collect_targets,
+    harvest_python,
+    lint_paths,
+    lint_source,
+)
+
+GOOD = """
+i = 0
+L1: while i < n do
+  i = i + 2
+  A[i] = A[i - 2] + 1
+endwhile
+return i
+"""
+
+BROKEN = "L1: while do\n"
+
+
+class TestDriver:
+    def test_lint_source_clean_program(self):
+        found = lint_source(GOOD, origin="good.loop")
+        assert not [d for d in found if d.is_error]
+        assert all(d.origin == "good.loop" for d in found)
+
+    def test_lnt001_on_unparsable_program(self):
+        found = lint_source(BROKEN, origin="bad.loop")
+        assert [d.code for d in found] == ["LNT001"]
+        assert found[0].is_error
+
+    def test_harvest_python(self, tmp_path):
+        py = tmp_path / "embedded.py"
+        py.write_text(f'PROGRAM = """{GOOD}"""\nNOT_A_PROGRAM = "hello"\n')
+        targets = harvest_python(str(py))
+        assert len(targets) == 1
+        assert targets[0].origin == f"{py}:1"
+        assert "while i < n do" in targets[0].source
+
+    def test_collect_targets_walks_directories(self, tmp_path):
+        (tmp_path / "a.loop").write_text(GOOD)
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        (sub / "b.loop").write_text(GOOD)
+        (sub / "c.py").write_text(f'SRC = """{GOOD}"""\n')
+        targets = collect_targets([str(tmp_path)])
+        assert len(targets) == 3
+
+    def test_lint_paths_aggregates(self, tmp_path):
+        (tmp_path / "good.loop").write_text(GOOD)
+        (tmp_path / "bad.loop").write_text(BROKEN)
+        collector = lint_paths([str(tmp_path)])
+        assert "LNT001" in collector.codes()
+        assert {d.origin for d in collector} == {
+            str(tmp_path / "good.loop"),
+            str(tmp_path / "bad.loop"),
+        }
+
+    def test_examples_lint_clean_in_strict_mode(self):
+        """Acceptance: every program under examples/ lints with zero errors."""
+        collector = lint_paths(["examples"])
+        assert len(collector.diagnostics) > 0  # the harvest found programs
+        assert not collector.has_errors, render_text(collector.errors())
+
+
+class TestRenderers:
+    def test_render_text_layout(self):
+        found = lint_source(BROKEN, origin="bad.loop")
+        text = render_text(found)
+        assert "bad.loop" in text
+        assert "error LNT001" in text
+        assert "1 error" in text
+
+    def test_render_json_payload(self):
+        found = lint_source(BROKEN, origin="bad.loop")
+        payload = json.loads(render_json(found))
+        assert payload["counts"] == {"error": 1}
+        assert payload["findings"][0]["code"] == "LNT001"
+        assert payload["findings"][0]["origin"] == "bad.loop"
+
+
+class TestCLI:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        from repro import __version__
+
+        assert __version__ in capsys.readouterr().out
+
+    def test_lint_clean_exit_zero(self, tmp_path, capsys):
+        path = tmp_path / "good.loop"
+        path.write_text(GOOD)
+        assert main(["lint", "--strict", str(path)]) == 0
+
+    def test_lint_strict_exit_one_on_errors(self, tmp_path, capsys):
+        path = tmp_path / "bad.loop"
+        path.write_text(BROKEN)
+        assert main(["lint", str(path)]) == 0  # findings reported, no gate
+        assert main(["lint", "--strict", str(path)]) == 1
+
+    def test_lint_missing_path_exit_two(self, capsys):
+        assert main(["lint", "definitely/not/a/path.loop"]) == 2
+
+    def test_lint_json_format(self, tmp_path, capsys):
+        path = tmp_path / "bad.loop"
+        path.write_text(BROKEN)
+        main(["lint", "--format=json", str(path)])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["codes"] == {"LNT001": "analysis-failed"}
+
+    def test_verify_flag_reports_clean(self, tmp_path, capsys):
+        path = tmp_path / "good.loop"
+        path.write_text(GOOD)
+        assert main([str(path), "--verify", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "== diagnostics ==" in out
+        assert "clean: no findings" in out
+
+    def test_lint_flag_appends_findings(self, tmp_path, capsys):
+        path = tmp_path / "good.loop"
+        path.write_text(GOOD)
+        assert main([str(path), "--lint"]) == 0
+        out = capsys.readouterr().out
+        assert "== diagnostics ==" in out
+        assert "SRC404" in out  # the dead initial copy is reported
+
+    def test_sanitize_flag_runs_clean(self, tmp_path, capsys):
+        path = tmp_path / "good.loop"
+        path.write_text(GOOD)
+        assert main([str(path), "--sanitize"]) == 0

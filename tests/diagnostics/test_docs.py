@@ -1,0 +1,44 @@
+"""docs/DIAGNOSTICS.md must catalogue every registered diagnostic code."""
+
+import os
+import re
+
+from repro.diagnostics import all_checks, all_codes, check_info
+
+DOCS = os.path.join(os.path.dirname(__file__), "..", "..", "docs", "DIAGNOSTICS.md")
+
+
+def read_docs():
+    with open(DOCS) as handle:
+        return handle.read()
+
+
+def test_every_code_has_a_catalogue_entry():
+    text = read_docs()
+    missing = [code for code in all_codes() if f"### {code}" not in text]
+    assert not missing, f"codes missing from docs/DIAGNOSTICS.md: {missing}"
+
+
+def test_headings_carry_title_and_severity():
+    text = read_docs()
+    for check in all_checks():
+        pattern = rf"^### {check.code} — {re.escape(check.title)} \({check.severity}\)$"
+        assert re.search(pattern, text, re.MULTILINE), (
+            f"heading for {check.code} must be "
+            f"'### {check.code} — {check.title} ({check.severity})'"
+        )
+
+
+def test_no_unregistered_codes_documented():
+    text = read_docs()
+    documented = re.findall(r"^### ([A-Z]{2,3}\d{3})", text, re.MULTILINE)
+    unknown = [code for code in documented if code not in all_codes()]
+    assert not unknown, f"docs mention unregistered codes: {unknown}"
+    assert len(documented) == len(set(documented)), "duplicate catalogue entries"
+
+
+def test_registry_lookup_round_trips():
+    for code in all_codes():
+        info = check_info(code)
+        assert info.code == code
+        assert info.description

@@ -1,0 +1,213 @@
+"""Collect-all verifier: every IR/SSA diagnostic code has a trigger."""
+
+import pytest
+
+from repro.diagnostics import DiagnosticCollector, verify_collect
+from repro.diagnostics.diagnostic import Severity
+from repro.ir.function import Function, IRError
+from repro.ir.instructions import Assign, BinOp, Branch, Jump, Phi, Return
+from repro.ir.opcodes import BinaryOp
+from repro.ir.parser import parse_function
+from repro.ir.values import Ref
+from repro.ir.verify import verify_diagnostics, verify_function
+
+
+def make_diamond():
+    return parse_function(
+        """
+func f(c) {
+entry:
+  branch %c, left, right
+left:
+  %x.1 = copy 1
+  jump join
+right:
+  %x.2 = copy 2
+  jump join
+join:
+  %x.3 = phi [left: %x.1, right: %x.2]
+  return %x.3
+}
+"""
+    )
+
+
+def codes(diags):
+    return [d.code for d in diags]
+
+
+class TestStructural:
+    def test_clean(self):
+        assert verify_collect(make_diamond(), ssa=True) == []
+
+    def test_ir001_no_blocks(self):
+        assert codes(verify_collect(Function("f"))) == ["IR001"]
+
+    def test_ir002_missing_entry(self):
+        f = Function("f")
+        f.add_block("start").terminator = Return()
+        f.entry_label = "nowhere"
+        assert "IR002" in codes(verify_collect(f))
+
+    def test_ir003_unknown_branch_target(self):
+        f = Function("f")
+        f.add_block("entry").terminator = Jump("nowhere")
+        assert "IR003" in codes(verify_collect(f))
+
+    def test_ir004_missing_terminator(self):
+        f = Function("f")
+        f.add_block("entry")
+        assert "IR004" in codes(verify_collect(f))
+
+    def test_ir005_phi_after_non_phi(self):
+        f = Function("f")
+        b = f.add_block("entry")
+        b.append(Assign("x", 1))
+        b.instructions.append(Phi("y", {}))
+        b.terminator = Return()
+        assert "IR005" in codes(verify_collect(f))
+
+    def test_ir006_unreachable_block(self):
+        f = make_diamond()
+        f.add_block("island").terminator = Return()
+        found = verify_collect(f)
+        assert codes(found) == ["IR006"]
+        assert found[0].severity is Severity.WARNING
+        assert found[0].block == "island"
+
+    def test_ir007_phi_in_entry(self):
+        f = make_diamond()
+        f.block("entry").instructions.insert(0, Phi("p", {}))
+        assert "IR007" in codes(verify_collect(f))
+
+    def test_collects_all_not_just_first(self):
+        f = Function("f")
+        f.add_block("entry")  # no terminator
+        f.add_block("b").terminator = Jump("nowhere")
+        found = verify_collect(f)
+        assert "IR003" in codes(found)
+        assert "IR004" in codes(found)
+        assert "IR006" in codes(found)  # `b` is unreachable too
+
+
+class TestSSA:
+    def test_ir101_duplicate_definition(self):
+        f = make_diamond()
+        f.block("right").append(Assign("x.1", 3))
+        assert "IR101" in codes(verify_collect(f, ssa=True))
+
+    def test_ir102_parameter_shadowed(self):
+        f = make_diamond()
+        f.block("left").append(Assign("c", 3))
+        assert "IR102" in codes(verify_collect(f, ssa=True))
+
+    def test_ir103_phi_predecessor_mismatch(self):
+        f = make_diamond()
+        del f.block("join").phis()[0].incoming["left"]
+        assert "IR103" in codes(verify_collect(f, ssa=True))
+
+    def test_ir104_undominated_use(self):
+        f = make_diamond()
+        f.block("right").append(BinOp("y", BinaryOp.ADD, Ref("x.1"), 1))
+        assert "IR104" in codes(verify_collect(f, ssa=True))
+
+    def test_ir104_use_before_def_same_block(self):
+        f = Function("f")
+        b = f.add_block("entry")
+        b.append(BinOp("a", BinaryOp.ADD, Ref("b"), 1))
+        b.append(Assign("b", 1))
+        b.terminator = Return()
+        assert "IR104" in codes(verify_collect(f, ssa=True))
+
+    def test_ir105_phi_edge_value_unavailable(self):
+        f = make_diamond()
+        f.block("join").phis()[0].incoming["left"] = Ref("x.2")
+        assert "IR105" in codes(verify_collect(f, ssa=True))
+
+    def test_ir106_undominated_terminator_use(self):
+        f = make_diamond()
+        f.block("join").terminator = Return(Ref("x.1"))
+        assert "IR106" in codes(verify_collect(f, ssa=True))
+
+    def test_ir107_undefined_use(self):
+        f = Function("f")
+        f.add_block("entry").terminator = Branch(Ref("ghost"), "a", "a")
+        f.add_block("a").terminator = Return()
+        assert "IR107" in codes(verify_collect(f, ssa=True))
+
+    def test_ir108_self_referential_def(self):
+        f = Function("f")
+        b = f.add_block("entry")
+        b.append(BinOp("x.1", BinaryOp.ADD, Ref("x.1"), 1))
+        b.terminator = Return()
+        found = verify_collect(f, ssa=True)
+        assert codes(found) == ["IR108"]  # no IR104 double-report
+
+    def test_self_reference_legal_in_named_ir(self):
+        f = Function("f")
+        b = f.add_block("entry")
+        b.append(Assign("i", 0))
+        b.append(BinOp("i", BinaryOp.ADD, Ref("i"), 1))
+        b.terminator = Return()
+        assert verify_collect(f, ssa=False) == []
+
+    def test_ssa_checks_skipped_on_structural_errors(self):
+        f = make_diamond()
+        f.block("left").terminator = None  # structural break
+        f.block("right").append(Assign("x.1", 3))  # would be IR101
+        found = verify_collect(f, ssa=True)
+        assert "IR004" in codes(found)
+        assert "IR101" not in codes(found)
+
+    def test_collects_multiple_ssa_errors(self):
+        f = make_diamond()
+        f.block("right").append(Assign("x.1", 3))
+        f.block("left").append(Assign("c", 3))
+        found = verify_collect(f, ssa=True)
+        assert "IR101" in codes(found)
+        assert "IR102" in codes(found)
+
+    def test_unreachable_block_does_not_crash_dominance(self):
+        f = make_diamond()
+        island = f.add_block("island")
+        island.append(BinOp("z", BinaryOp.ADD, Ref("x.1"), 1))
+        island.terminator = Return()
+        found = verify_collect(f, ssa=True)
+        assert codes(found) == ["IR006"]
+
+
+class TestCollectorIntegration:
+    def test_collector_accumulates(self):
+        out = DiagnosticCollector()
+        verify_collect(Function("f"), collector=out)
+        verify_collect(Function("g"), collector=out)
+        assert codes(out.diagnostics) == ["IR001", "IR001"]
+        assert out.has_errors
+
+    def test_diagnostics_are_located(self):
+        f = Function("f")
+        f.add_block("entry")
+        (diag,) = verify_collect(f)
+        assert diag.function == "f"
+        assert diag.block == "entry"
+        assert diag.is_error
+
+
+class TestCompatWrapper:
+    def test_verify_function_raises_first_error(self):
+        f = Function("f")
+        f.add_block("entry")
+        with pytest.raises(IRError, match="terminator"):
+            verify_function(f)
+
+    def test_verify_function_ignores_warnings(self):
+        f = make_diamond()
+        f.add_block("island").terminator = Return()
+        verify_function(f, ssa=True)  # IR006 is warning-severity: no raise
+
+    def test_verify_diagnostics_collects(self):
+        f = make_diamond()
+        f.block("right").append(Assign("x.1", 3))
+        f.block("left").append(Assign("c", 3))
+        found = verify_diagnostics(f, ssa=True)
+        assert {"IR101", "IR102"} <= set(codes(found))

@@ -106,10 +106,17 @@ class TestSSA:
         with pytest.raises(IRError, match="dominated"):
             verify_function(f, ssa=True)
 
-    def test_terminator_use_checked(self):
+    def test_terminator_use_of_undefined_name(self):
         f = Function("f")
         e = f.add_block("entry")
         e.terminator = Branch(Ref("ghost"), "a", "a")
         f.add_block("a").terminator = Return()
+        with pytest.raises(IRError, match="defined nowhere"):
+            verify_function(f, ssa=True)
+
+    def test_terminator_use_checked(self):
+        # %x.1 is defined in `left`, which does not dominate `join`
+        f = make_diamond()
+        f.block("join").terminator = Return(Ref("x.1"))
         with pytest.raises(IRError, match="terminator uses"):
             verify_function(f, ssa=True)
