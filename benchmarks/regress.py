@@ -15,6 +15,13 @@ turns that claim into a checked-in, machine-readable baseline:
 Timing uses best-of-N (default 5) to suppress scheduler noise; the 1.5x
 threshold leaves headroom for machine-to-machine variance while still
 catching accidentally super-linear hot paths.
+
+Schema v2 additionally records, per workload, a ``phases`` breakdown
+(seconds per pipeline span, from one run under ``repro.obs`` tracing) and
+a ``counters`` snapshot (classification distribution, Tarjan graph sizes,
+Expr memo hits).  Both are informational: the tracked wall-time metrics
+are still measured with observability off, and ``--check`` only compares
+the metrics present in the *baseline*, so v1 baselines keep working.
 """
 
 from __future__ import annotations
@@ -29,9 +36,10 @@ from typing import Callable, Dict, List, Tuple
 
 from benchmarks.workloads import deep_chain_loop, mixed_class_loop, straightline_iv_loop
 from repro.core.driver import classify_function
+from repro.obs import observing
 from repro.pipeline import analyze
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: metrics compared by ``--check`` (lower is better for all of them)
 TRACKED_METRICS = ("classify_s", "pipeline_s", "time_per_node_s")
@@ -73,8 +81,22 @@ def _best_of(fn: Callable[[], object], repeats: int) -> float:
     return best
 
 
+def _observe_workload(source: str) -> Tuple[Dict[str, float], Dict[str, int]]:
+    """One traced + metered run: (seconds per span name, counter snapshot)."""
+    with observing() as obs:
+        analyze(source)
+    phases = {name: round(total, 9) for name, total in obs.tracer.phase_totals().items()}
+    counters = obs.metrics.snapshot()["counters"]
+    return phases, counters
+
+
 def measure(repeats: int = 5) -> Dict:
-    """Measure every tracked workload; returns the JSON-serializable report."""
+    """Measure every tracked workload; returns the JSON-serializable report.
+
+    The tracked wall-time metrics are measured with observability *off*
+    (the instrumented hot paths pay only their disabled-hook cost); the
+    ``phases``/``counters`` breakdown comes from one extra observed run.
+    """
     results: Dict[str, Dict] = {}
     for name, source in workloads():
         program = analyze(source)  # warm compile; classify_s times analysis only
@@ -82,11 +104,14 @@ def measure(repeats: int = 5) -> Dict:
         pipeline_s = _best_of(lambda: analyze(source), max(3, repeats * 2 // 3))
         result = classify_function(program.ssa)
         graph_size = sum(s.graph_size for s in result.loops.values())
+        phases, counters = _observe_workload(source)
         results[name] = {
             "classify_s": classify_s,
             "pipeline_s": pipeline_s,
             "graph_size": graph_size,
             "time_per_node_s": classify_s / max(1, graph_size),
+            "phases": phases,
+            "counters": counters,
         }
     return {
         "schema": SCHEMA_VERSION,

@@ -42,7 +42,7 @@ from repro.core import (
 )
 from repro.dependence import build_dependence_graph, test_dependence
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "analyze",

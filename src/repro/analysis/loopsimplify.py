@@ -18,7 +18,10 @@ from repro.analysis.loops import find_loops
 from repro.ir.function import Function
 from repro.ir.instructions import Jump
 
+from repro.obs.trace import traced
 
+
+@traced("analysis.loop-simplify")
 def simplify_loops(function: Function) -> bool:
     """Insert preheaders/latches where needed.  Returns True if changed.
 

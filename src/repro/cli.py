@@ -18,11 +18,28 @@ Options::
     --lint             append the semantic-lint findings to the report
     --strict           with --verify/--lint: exit 1 on error-severity findings
     --sanitize         run the pipeline with the pass sanitizer enabled
+    --trace FILE       write a Chrome trace of this run (chrome://tracing)
+    --metrics FILE     write this run's metrics snapshot as JSON
+    --explain VAR      append VAR's classification derivation chain
+                       (repeatable); see ``repro.obs.explain``
     --version          print the package version and exit
+
+``python -m repro report ...`` is an explicit alias for the default
+report mode.
 
 Lint mode (``python -m repro lint``)::
 
     python -m repro lint [--format=text|json] [--strict] [--no-exec] PATH...
+
+Trace mode (``python -m repro trace``)::
+
+    python -m repro trace [--format=chrome|jsonl] [--out FILE]
+                          [--metrics FILE] [--no-opt] PATH...
+
+runs the full pipeline over every program found under the given paths
+with span tracing and metrics collection enabled, then exports the trace
+(Chrome trace-event JSON by default, validated before writing) and,
+optionally, the metrics snapshot.
 
 Paths may be ``.loop`` files, Python files with embedded programs
 (harvested like ``examples/``), or directories of either.
@@ -80,6 +97,26 @@ def build_argument_parser() -> argparse.ArgumentParser:
         "--sanitize",
         action="store_true",
         help="re-verify the IR and audit caches after every pipeline pass",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a Chrome trace-event JSON of this run to FILE",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        default=None,
+        help="write this run's metrics snapshot as JSON to FILE",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="VAR",
+        action="append",
+        default=None,
+        help="append the classification derivation chain of VAR "
+        "(source variable or SSA name); may be repeated",
     )
     return parser
 
@@ -150,11 +187,102 @@ def lint_main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Run the analysis pipeline with span tracing and "
+        "metrics collection enabled, then export the records",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        metavar="PATH",
+        help=".loop file, Python file with embedded programs, or directory",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("chrome", "jsonl"),
+        default="chrome",
+        dest="format",
+        help="trace output format (default: chrome)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="trace output file (default: trace.json / trace.jsonl)",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        default=None,
+        help="also write the metrics snapshot as JSON to FILE",
+    )
+    parser.add_argument("--no-opt", action="store_true", help="skip SCCP/simplify")
+    return parser
+
+
+def trace_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro trace``."""
+    from repro.diagnostics.driver import collect_targets
+    from repro.obs import observing, span
+    from repro.obs.export import (
+        chrome_trace,
+        validate_chrome_trace,
+        write_chrome,
+        write_jsonl,
+        write_metrics,
+    )
+
+    args = build_trace_parser().parse_args(argv)
+    try:
+        targets = collect_targets(args.paths)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not targets:
+        print("error: no trace targets found", file=sys.stderr)
+        return 2
+
+    failures = 0
+    with observing() as obs:
+        for target in targets:
+            with span("trace.target", target=target.origin):
+                try:
+                    analyze(target.source, optimize=not args.no_opt)
+                except Exception as error:
+                    failures += 1
+                    print(f"warning: {target.origin}: {error}", file=sys.stderr)
+
+    out = args.out or ("trace.json" if args.format == "chrome" else "trace.jsonl")
+    if args.format == "chrome":
+        problem = validate_chrome_trace(chrome_trace(obs.tracer))
+        if problem is not None:  # pragma: no cover - structural self-check
+            print(f"error: invalid chrome trace: {problem}", file=sys.stderr)
+            return 1
+        write_chrome(obs.tracer, out)
+    else:
+        write_jsonl(obs.tracer, out)
+    if args.metrics:
+        write_metrics(obs.metrics, args.metrics)
+
+    traced_ok = len(targets) - failures
+    print(
+        f"traced {traced_ok}/{len(targets)} programs -> {out} "
+        f"({len(obs.tracer.spans)} spans, {len(obs.tracer.events)} events)"
+    )
+    return 0 if failures == 0 else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "lint":
         return lint_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
+    if argv and argv[0] == "report":
+        argv = argv[1:]
     args = build_argument_parser().parse_args(argv)
     if args.file == "-":
         source = sys.stdin.read()
@@ -166,11 +294,28 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 2
 
+    observation = None
     try:
-        program = analyze(source, optimize=not args.no_opt, sanitize=args.sanitize)
+        if args.trace or args.metrics:
+            from repro.obs import observing
+
+            with observing() as observation:
+                program = analyze(
+                    source, optimize=not args.no_opt, sanitize=args.sanitize
+                )
+        else:
+            program = analyze(source, optimize=not args.no_opt, sanitize=args.sanitize)
     except Exception as error:  # frontend/IR errors carry positions
         print(f"error: {error}", file=sys.stderr)
         return 1
+
+    if observation is not None:
+        from repro.obs.export import write_chrome, write_metrics
+
+        if args.trace:
+            write_chrome(observation.tracer, args.trace)
+        if args.metrics:
+            write_metrics(observation.metrics, args.metrics)
 
     if args.dump_named_ir:
         from repro.ir.printer import print_function
@@ -216,6 +361,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             diagnostics=diagnostics,
         )
     )
+    if args.explain:
+        from repro.obs.explain import explain
+
+        for var in args.explain:
+            print()
+            print(f"== explain {var} ==")
+            print(explain(program, var))
     if args.strict and diagnostics is not None and any(d.is_error for d in diagnostics):
         return 1
     return 0

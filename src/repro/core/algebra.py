@@ -27,7 +27,7 @@ arithmetic:
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.core.classes import (
     Classification,
@@ -49,6 +49,7 @@ from repro.ir.instructions import (
     UnOp,
 )
 from repro.ir.opcodes import BinaryOp
+from repro.ir.values import Const, Ref
 from repro.symbolic.closedform import ClosedForm
 from repro.symbolic.expr import Expr
 
@@ -225,11 +226,64 @@ def _lcm(a: int, b: int) -> int:
 # ----------------------------------------------------------------------
 # per-operator classification of non-cyclic nodes
 # ----------------------------------------------------------------------
+def operator_provenance(node, ctx) -> Tuple[str, Tuple]:
+    """(rule, operand summary) of an operator node, for ``--explain``.
+
+    Pure derivation from the finished region context -- the classifier
+    itself pays nothing for it.
+    """
+    return _operator_rule(node.inst), _operand_summary(node, ctx)
+
+
+_BINOP_RULE = {op: f"algebra.{op.name.lower()}" for op in BinaryOp}
+
+
+def _operator_rule(inst) -> str:
+    """The algebra-rule name for one instruction kind (explain output)."""
+    if inst is None:
+        return "algebra.exit-value"
+    if isinstance(inst, BinOp):
+        return _BINOP_RULE[inst.op]
+    return _RULE_BY_TYPE.get(type(inst), f"algebra.{type(inst).__name__.lower()}")
+
+
+_RULE_BY_TYPE = {
+    Assign: "algebra.copy",
+    UnOp: "algebra.neg",
+    Phi: "algebra.phi-merge",
+    Load: "algebra.load",
+    Compare: "algebra.compare",
+    Store: "algebra.store",
+}
+
+
+def _operand_summary(node, ctx):
+    """(label, classification) pairs of the node's operands."""
+    inst = node.inst
+    out = []
+    if inst is None:
+        if node.exit_expr is not None:
+            for sym in sorted(node.exit_expr.free_symbols()):
+                out.append((sym, ctx.operand_class(Ref(sym))))
+        return tuple(out)
+    for value in inst.uses():
+        if isinstance(value, Ref):
+            out.append((value.name, ctx.operand_class(value)))
+        elif isinstance(value, Const):
+            out.append((f"const {value.value}", ctx.operand_class(value)))
+    return tuple(out)
+
+
 def classify_operator(node, ctx) -> Classification:
     """Classify one non-cyclic region node from its operand classes.
 
     ``node`` is a :class:`repro.core.driver.RegionNode`; ``ctx`` a
     :class:`repro.core.driver.RegionContext`.
+
+    This is the per-node hot path, so it records nothing: the derivation
+    (rule + operand classes) is reconstructed on demand by
+    :func:`operator_provenance` from the region context the loop summary
+    retains.
     """
     inst = node.inst
     if inst is None:

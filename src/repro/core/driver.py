@@ -44,6 +44,9 @@ from repro.core.tripcount import TripCount, TripCountKind, compute_trip_count
 from repro.ir.function import Function, IRError
 from repro.ir.instructions import Phi, Store
 from repro.ir.values import Const, Ref, Value
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.obs.provenance import remember
 from repro.symbolic.closedform import ClosedFormError
 from repro.symbolic.expr import Expr
 
@@ -93,6 +96,15 @@ class RegionContext:
         self.result = result
         self.classifications: Dict[str, Classification] = {}
         self._stored_arrays: Optional[Set[str]] = None
+        # memo for constant / loop-external operand classes: those are
+        # rebuilt for every use site otherwise (str names and const
+        # values never collide as dict keys)
+        self._operand_memo: Dict[object, Classification] = {}
+        # names classified by the SCR rules (cycles, wrap-around phis):
+        # their derivation lives on the classification object itself;
+        # everything else is an operator node whose provenance is derived
+        # on demand from this context (see repro.obs.explain)
+        self.scr_classified: Set[str] = set()
 
     # -- graph access ----------------------------------------------------
     def node(self, name: str) -> Optional[RegionNode]:
@@ -128,16 +140,33 @@ class RegionContext:
     # -- operand classification -------------------------------------------
     def operand_class(self, value: Value) -> Classification:
         if isinstance(value, Const):
-            return Invariant(Expr.const(value.value), loop=self.loop_label)
+            cached = self._operand_memo.get(value.value)
+            if cached is None:
+                cached = remember(
+                    Invariant(Expr.const(value.value), loop=self.loop_label),
+                    "algebra.const",
+                )
+                self._operand_memo[value.value] = cached
+            return cached
         if isinstance(value, Ref):
             if value.name in self.nodes:
                 return self.classification(value.name)
+            cached = self._operand_memo.get(value.name)
+            if cached is not None:
+                return cached
             block = self.result._def_block.get(value.name)
             if block is not None and block in self.loop.body:
                 # defined inside the loop (in a nested loop) but never
                 # summarized into this region: not invariant here
-                return Unknown("unsummarized inner-loop value")
-            return Invariant(Expr.sym(value.name), loop=self.loop_label)
+                cached = Unknown("unsummarized inner-loop value")
+            else:
+                cached = remember(
+                    Invariant(Expr.sym(value.name), loop=self.loop_label),
+                    "algebra.loop-invariant",
+                    note=f"defined outside loop {self.loop_label}",
+                )
+            self._operand_memo[value.name] = cached
+            return cached
         return Unknown("bad operand")
 
     # scr.py uses this alias
@@ -177,6 +206,11 @@ class LoopSummary:
     trip: TripCount
     graph_size: int = 0
     scr_count: int = 0
+    #: the classification-time region context, kept for provenance
+    #: resolution (``--explain``); not part of the summary's value
+    region_ctx: Optional[RegionContext] = field(
+        default=None, repr=False, compare=False
+    )
 
     def classification_of(self, name: str) -> Optional[Classification]:
         return self.classifications.get(name)
@@ -239,7 +273,11 @@ class AnalysisResult:
         """
         loop = self.defining_loop(name)
         if loop is None:
-            return Invariant(Expr.sym(name))
+            return remember(
+                Invariant(Expr.sym(name)),
+                "algebra.top-level-invariant",
+                note="defined outside every loop",
+            )
         summary = self.loops.get(loop.header)
         if summary is None:
             return Unknown("loop not analyzed")
@@ -382,8 +420,17 @@ def classify_function(
     if nest is None:
         nest = find_loops(function, domtree)
     result = AnalysisResult(function, nest, domtree)
-    for loop in nest.inner_to_outer():
-        result.loops[loop.header] = _analyze_loop(function, loop, result)
+    with _trace.span("classify", function=function.name):
+        for loop in nest.inner_to_outer():
+            with _trace.span("classify.loop", loop=loop.header):
+                result.loops[loop.header] = _analyze_loop(function, loop, result)
+    registry = _metrics.active()
+    if registry is not None:
+        registry.inc("classify.loops", len(result.loops))
+        for summary in result.loops.values():
+            registry.inc("classify.names", len(summary.classifications))
+            for cls in summary.classifications.values():
+                registry.inc(f"classify.class.{type(cls).__name__}")
     return result
 
 
@@ -434,18 +481,37 @@ def _analyze_loop(function: Function, loop: Loop, result: AnalysisResult) -> Loo
         for name, node in nodes.items()
     }
 
+    # one lookup per loop, not per SCR: the tracer cannot appear or
+    # vanish mid-analysis (``observing`` wraps whole pipeline calls)
+    tracer = _trace.active()
+
     def on_scr(members: List[str], is_cycle: bool) -> None:
         if is_cycle:
+            ctx.scr_classified.update(members)
             ctx.classifications.update(classify_cycle_scr(members, ctx))
-            return
-        name = members[0]
-        node = nodes[name]
-        if ctx.is_header_phi(name):
-            ctx.classifications[name] = classify_trivial_header_phi(node, ctx)
         else:
-            ctx.classifications[name] = classify_operator(node, ctx)
+            name = members[0]
+            node = nodes[name]
+            if ctx.is_header_phi(name):
+                ctx.scr_classified.add(name)
+                ctx.classifications[name] = classify_trivial_header_phi(node, ctx)
+            else:
+                ctx.classifications[name] = classify_operator(node, ctx)
+        if tracer is not None:
+            _trace.event(
+                "classify.scr",
+                loop=loop.header,
+                members=list(members),
+                cycle=is_cycle,
+                classes={m: ctx.classifications[m].describe() for m in members},
+            )
 
     stats = tarjan_scrs(nodes, adjacency.__getitem__, on_scr, prefiltered=True)
+    registry = _metrics.active()
+    if registry is not None:
+        registry.inc("tarjan.nodes", stats.node_count)
+        registry.inc("tarjan.edges", stats.edge_count)
+        registry.inc("tarjan.scrs", stats.scr_count)
 
     def class_of_value(value: Value) -> Classification:
         return ctx.operand_class(value)
@@ -459,6 +525,7 @@ def _analyze_loop(function: Function, loop: Loop, result: AnalysisResult) -> Loo
         trip=trip,
         graph_size=stats.node_count + stats.edge_count,
         scr_count=stats.scr_count,
+        region_ctx=ctx,
     )
 
 

@@ -48,6 +48,7 @@ from repro.core.algebra import cf_to_class, class_closed_form
 from repro.ir.instructions import Assign, BinOp, Phi, UnOp
 from repro.ir.opcodes import BinaryOp
 from repro.ir.values import Const, Ref, Value
+from repro.obs.provenance import remember
 from repro.symbolic.closedform import ClosedForm, solve_affine_recurrence
 from repro.symbolic.expr import Expr
 
@@ -290,10 +291,51 @@ class _Expander:
 
 
 # ----------------------------------------------------------------------
+# provenance helpers (repro.obs explain layer)
+# ----------------------------------------------------------------------
+def _value_label(value: Value) -> str:
+    if isinstance(value, Ref):
+        return value.name
+    if isinstance(value, Const):
+        return f"const {value.value}"
+    return repr(value)
+
+
+def _recurrence_rule(mult: Fraction, addend: ClosedForm) -> str:
+    """Which solver rule produced a unique-effect cycle's header class."""
+    if mult == 1:
+        if addend.is_zero:
+            return "scr.invariant-cycle"
+        if addend.is_invariant:
+            return "scr.linear-recurrence"
+        return "scr.polynomial-recurrence"
+    if mult == -1 and addend.is_invariant:
+        return "scr.flip-flop"
+    if mult == 0:
+        return "scr.wrap-around"
+    return "scr.geometric-recurrence"
+
+
+# ----------------------------------------------------------------------
 # trivial SCR: wrap-around variables (section 4.1)
 # ----------------------------------------------------------------------
 def classify_trivial_header_phi(node, ctx) -> Classification:
     """A loop-header phi in an SCR by itself: (n+1)-order wrap-around."""
+    cls = _classify_trivial_header_phi(node, ctx)
+    init_value, carried_value = ctx.phi_split(node.inst)
+    return remember(
+        cls,
+        "scr.wrap-around",
+        (
+            (_value_label(init_value), ctx.operand_class_of_value(init_value)),
+            (_value_label(carried_value), ctx.operand_class_of_value(carried_value)),
+        ),
+        note="loop-header phi alone in its SCR (section 4.1); "
+        "value(h) = carried(h-1) after the first iteration",
+    )
+
+
+def _classify_trivial_header_phi(node, ctx) -> Classification:
     loop = ctx.loop_label
     init_value, carried_value = ctx.phi_split(node.inst)
     init = ctx.value_expr(init_value)
@@ -352,6 +394,14 @@ def classify_cycle_scr(members: List[str], ctx) -> Dict[str, Classification]:
         mult, addend = next(iter(unique))
         header_class = _solve_unique(loop, mult, addend, init)
         if header_class is not None:
+            remember(
+                header_class,
+                _recurrence_rule(mult, addend),
+                ((_value_label(init_value), ctx.operand_class_of_value(init_value)),),
+                note=lambda mult=mult, addend=addend, init=init: (
+                    f"solved x' = {mult}*x + ({addend}); x(0) = {init}"
+                ),
+            )
             return _classify_members(loop, members, header, header_class, expander, init)
     return _classify_monotonic(loop, members, header, carried_effects, expander, init, ctx)
 
@@ -420,6 +470,15 @@ def _classify_members(
             out[member] = cls_add(loop, scaled, cf_to_class(loop, addend))
         else:
             out[member] = Unknown("member of unrepresentable family")
+        remember(
+            out[member],
+            "scr.member",
+            ((header, header_class),),
+            # lazy: str(ClosedForm) per member is too hot for attach time
+            note=lambda member=member, mult=mult, header=header, addend=addend: (
+                f"{member} = {mult}*{header} + ({addend}) each iteration"
+            ),
+        )
     return out
 
 
@@ -478,7 +537,14 @@ def _classify_periodic_family(
             current = sigma[current]
         if current != phi_name:
             return failure  # not a single rotation cycle
-        out[phi_name] = Periodic(loop, tuple(values)).simplify()
+        out[phi_name] = remember(
+            Periodic(loop, tuple(values)).simplify(),
+            "scr.periodic-family",
+            tuple(
+                (p, Invariant(inits[p], loop=loop)) for p in header_phis
+            ),
+            note=f"{period} header phis rotating through copies (section 4.2)",
+        )
 
     # copies take the classification of their source
     remaining = dict(copies)
@@ -538,22 +604,36 @@ def _classify_monotonic(
     out: Dict[str, Classification] = {}
     additive = all(pe.mult == 1 for pe in carried_effects)
     header_strict = additive and all(strict_of(pe.addend) == 1 for pe in carried_effects)
-    out[header] = Monotonic(loop, direction, header_strict, init=init, family=header)
+    out[header] = remember(
+        Monotonic(loop, direction, header_strict, init=init, family=header),
+        "scr.monotonic-family",
+        ((f"x(0) = {init}", Invariant(init, loop=loop)),),
+        note=(
+            f"{len(carried_effects)} carried path(s), every one moves the "
+            f"value {'up' if direction > 0 else 'down'} (section 4.4)"
+        ),
+    )
 
     for member in members:
         if member == header:
             continue
         if not additive:
             out[member] = _multiplicative_member(loop, member, direction, expander, header)
-            continue
-        try:
-            effects = expander.expand(member)
-        except _ExpansionFailure as failure:
-            out[member] = Unknown(str(failure))
-            continue
-        out[member] = _additive_member(
-            loop, member, direction, effects, carried_effects, sign_of, strict_of, header,
-            all_paths_relevant=_unconditional_in_loop(ctx, member),
+        else:
+            try:
+                effects = expander.expand(member)
+            except _ExpansionFailure as failure:
+                out[member] = Unknown(str(failure))
+                continue
+            out[member] = _additive_member(
+                loop, member, direction, effects, carried_effects, sign_of, strict_of, header,
+                all_paths_relevant=_unconditional_in_loop(ctx, member),
+            )
+        remember(
+            out[member],
+            "scr.monotonic-member",
+            ((header, out[header]),),
+            note="per-member strictness rule of Figure 10",
         )
     return out
 

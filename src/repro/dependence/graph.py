@@ -17,6 +17,8 @@ from repro.core.driver import AnalysisResult
 from repro.dependence.testing import DependenceResult, RefSite, test_dependence
 from repro.ir.function import Function
 from repro.ir.instructions import Load, Store
+from repro.obs import metrics as _metrics
+from repro.obs.trace import traced
 
 
 class DependenceKind(enum.Enum):
@@ -85,6 +87,7 @@ def collect_references(function: Function) -> List[RefSite]:
     return refs
 
 
+@traced("dependence.graph")
 def build_dependence_graph(
     analysis: AnalysisResult,
     include_input: bool = False,
@@ -100,6 +103,7 @@ def build_dependence_graph(
                 continue
             if not (a.is_write or b.is_write) and not include_input:
                 continue
+            _metrics.inc("dependence.pairs")
             for source, sink in _orientations(a, b):
                 order = _intra_iteration_order(analysis, source, sink)
                 result = test_dependence(analysis, source, sink, source_first=order)

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.driver import AnalysisResult
 from repro.dependence.banerjee import banerjee_feasible
+from repro.obs.trace import traced
 from repro.dependence.direction import (
     ANY,
     EQ,
@@ -111,6 +112,7 @@ def common_loop_prefix(
     return tuple(common)
 
 
+@traced("dependence.test")
 def test_dependence(
     analysis: AnalysisResult,
     source: RefSite,

@@ -37,6 +37,8 @@ from typing import Dict, List, Optional, Tuple
 from repro.diagnostics.diagnostic import Diagnostic, DiagnosticCollector, Severity
 from repro.diagnostics.verifier import verify_collect
 from repro.ir.function import Function
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 
 
 class SanitizerError(Exception):
@@ -114,6 +116,8 @@ def checkpoint(function: Function, stage: str, ssa: bool = True) -> List[Diagnos
     if state is None:
         return []
     state.stages.append(stage)
+    _metrics.inc("sanitizer.checkpoints")
+    _trace.event("sanitizer.checkpoint", stage=stage, function=function.name)
     found: List[Diagnostic] = []
     for diagnostic in verify_collect(function, ssa=ssa and state.ssa_checks):
         if diagnostic.code == "IR006" and (diagnostic.block or "").startswith("dead"):

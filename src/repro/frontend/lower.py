@@ -41,6 +41,8 @@ from repro.ir.instructions import (
 from repro.ir.opcodes import BinaryOp, Relation
 from repro.ir.values import Const, Ref, Value
 
+from repro.obs.trace import traced
+
 _BINOPS = {
     "+": BinaryOp.ADD,
     "-": BinaryOp.SUB,
@@ -376,6 +378,7 @@ class _Lowerer:
         self.set_current(exit_block)
 
 
+@traced("frontend.lower")
 def lower_program(program: ast.Program, name: str = "main") -> Function:
     """Lower an AST to named IR (with a final implicit ``return``)."""
     lowerer = _Lowerer(name, program)

@@ -28,6 +28,8 @@ from typing import List, Optional
 from repro.frontend import ast
 from repro.frontend.lexer import FrontendError, Token, TokenKind, tokenize
 
+from repro.obs.trace import traced
+
 _RELATIONS = {"<", "<=", ">", ">=", "==", "!="}
 _BLOCK_ENDERS = {"endloop", "endwhile", "endfor", "endif", "else"}
 
@@ -339,6 +341,7 @@ class _Parser:
         raise FrontendError(token.line, token.column, f"unexpected {token.text!r}")
 
 
+@traced("frontend.parse")
 def parse_program(source: str) -> ast.Program:
     """Parse source text into an AST."""
     return _Parser(tokenize(source)).parse_program()

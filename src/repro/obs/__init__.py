@@ -1,0 +1,200 @@
+"""Observability: pipeline tracing, metrics, and classification provenance.
+
+Three always-available, zero-cost-when-disabled layers over the pipeline:
+
+* **span tracing** (:mod:`repro.obs.trace`) -- nested, timed spans for
+  every pipeline phase plus per-SCR classification events, activated with
+  :func:`tracing`;
+* **metrics** (:mod:`repro.obs.metrics`) -- counters / gauges / histograms
+  (class distribution, Tarjan graph sizes, Expr memo hit rates, matrix
+  inversions, sanitizer checkpoints, per-phase timings), activated with
+  :func:`collecting`;
+* **provenance** (:mod:`repro.obs.provenance` / :mod:`repro.obs.explain`)
+  -- every classification records the algebra rule and operand classes
+  that produced it, rendered by :func:`explain` as a derivation chain.
+
+Quick start::
+
+    from repro import analyze
+    from repro.obs import observing, explain
+    from repro.obs.export import write_chrome, write_metrics
+
+    with observing() as obs:
+        program = analyze(source)
+    write_chrome(obs.tracer, "trace.json")      # chrome://tracing
+    write_metrics(obs.metrics, "metrics.json")
+    print(explain(program, "i"))                # derivation chain
+
+``SPAN_NAMES``, ``EVENT_NAMES``, ``METRIC_NAMES`` and ``RULE_NAMES`` are
+the authoritative catalogues of everything the built-in instrumentation
+may emit (documented one-for-one in ``docs/OBSERVABILITY.md``; the
+doc-sync test enforces both directions).  Metric names ending in ``.``
+are prefixes for families with dynamic suffixes (classification class
+names, span names).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import NamedTuple, Optional
+
+from repro.obs.explain import explain, explain_lines
+from repro.obs.export import (
+    chrome_trace,
+    jsonl_lines,
+    metrics_json,
+    validate_chrome_trace,
+    write_chrome,
+    write_jsonl,
+    write_metrics,
+)
+from repro.obs.metrics import MetricsRegistry, collecting
+from repro.obs.provenance import Provenance, provenance_of, remember
+from repro.obs.trace import Tracer, event, span, traced, tracing
+
+#: every span name the built-in instrumentation can open
+SPAN_NAMES = frozenset(
+    {
+        "pipeline.analyze",
+        "pipeline.optimize",
+        "frontend.parse",
+        "frontend.lower",
+        "analysis.loop-simplify",
+        "ssa.construct",
+        "scalar.sccp",
+        "scalar.simplify",
+        "scalar.gvn",
+        "scalar.copyprop",
+        "scalar.dce",
+        "scalar.mem2reg",
+        "classify",
+        "classify.loop",
+        "dependence.graph",
+        "dependence.test",
+        "transform.strength-reduce",
+        "transform.ivsubst",
+        "transform.licm",
+        "transform.peel",
+        "transform.normalize",
+        "transform.unroll",
+        "trace.target",
+    }
+)
+
+#: every event name the built-in instrumentation can emit
+EVENT_NAMES = frozenset({"classify.scr", "sanitizer.checkpoint"})
+
+#: every derivation-rule name provenance records / ``--explain`` prints:
+#: ``algebra.*`` for per-operator classification and the axioms,
+#: ``scr.*`` for the cyclic-SCR constructions of sections 4.1-4.4
+RULE_NAMES = frozenset(
+    {
+        # axioms (operand classification)
+        "algebra.const",
+        "algebra.loop-invariant",
+        "algebra.top-level-invariant",
+        # per-operator rules (one per instruction kind)
+        "algebra.copy",
+        "algebra.neg",
+        "algebra.phi-merge",
+        "algebra.load",
+        "algebra.compare",
+        "algebra.store",
+        "algebra.exit-value",
+        "algebra.add",
+        "algebra.sub",
+        "algebra.mul",
+        "algebra.div",
+        "algebra.exp",
+        "algebra.mod",
+        # cyclic-SCR constructions
+        "scr.wrap-around",
+        "scr.invariant-cycle",
+        "scr.linear-recurrence",
+        "scr.polynomial-recurrence",
+        "scr.flip-flop",
+        "scr.geometric-recurrence",
+        "scr.member",
+        "scr.periodic-family",
+        "scr.monotonic-family",
+        "scr.monotonic-member",
+    }
+)
+
+#: metric names (exact, plus ``...`` families whose suffix is dynamic:
+#: ``classify.class.<Classification>`` and ``time.<span>_s``)
+METRIC_NAMES = frozenset(
+    {
+        "classify.class.",  # family: one counter per classification class
+        "classify.loops",
+        "classify.names",
+        "tarjan.nodes",
+        "tarjan.edges",
+        "tarjan.scrs",
+        "expr.cache.sym.hits",
+        "expr.cache.sym.misses",
+        "expr.cache.subst.hits",
+        "expr.cache.subst.misses",
+        "expr.cache.const.hits",
+        "expr.cache.const.misses",
+        "expr.cache.size",
+        "closedform.matrix_inversions",
+        "sanitizer.checkpoints",
+        "dependence.pairs",
+        "time.",  # family: one histogram per span name
+    }
+)
+
+
+class Observation(NamedTuple):
+    """The tracer + registry pair of one :func:`observing` context."""
+
+    tracer: Tracer
+    metrics: MetricsRegistry
+
+
+@contextmanager
+def observing(
+    tracer: Optional[Tracer] = None, metrics: Optional[MetricsRegistry] = None
+):
+    """Activate tracing *and* metrics collection together."""
+    with tracing(tracer) as active_tracer:
+        with collecting(metrics) as active_metrics:
+            yield Observation(active_tracer, active_metrics)
+
+
+def known_metric(name: str) -> bool:
+    """True when ``name`` is in the catalogue (exact or family prefix)."""
+    if name in METRIC_NAMES:
+        return True
+    return any(name.startswith(prefix) for prefix in METRIC_NAMES if prefix.endswith("."))
+
+
+__all__ = [
+    "EVENT_NAMES",
+    "METRIC_NAMES",
+    "RULE_NAMES",
+    "MetricsRegistry",
+    "Observation",
+    "Provenance",
+    "SPAN_NAMES",
+    "Tracer",
+    "chrome_trace",
+    "collecting",
+    "event",
+    "explain",
+    "explain_lines",
+    "jsonl_lines",
+    "known_metric",
+    "metrics_json",
+    "observing",
+    "provenance_of",
+    "remember",
+    "span",
+    "traced",
+    "tracing",
+    "validate_chrome_trace",
+    "write_chrome",
+    "write_jsonl",
+    "write_metrics",
+]

@@ -1,0 +1,150 @@
+"""Human-readable classification derivations (``--explain``).
+
+Renders the provenance chain recorded by :mod:`repro.obs.provenance` as an
+indented derivation tree: each step shows the classification in the
+paper's tuple notation, the algebra rule that produced it, and the operand
+classifications the rule consumed -- recursively, down to the axioms
+(constants, loop-invariant symbols).
+
+::
+
+    i.2: (L1, 0, 2)
+      rule: scr.linear-recurrence -- x' = 1*x + (2); x(0) = 0
+      from init 0: invariant 0
+        rule: algebra.const
+      from i.3: (L1, 2, 2)
+        rule: scr.member -- i.3 = 1*header + (2)
+        ...
+
+The walker is purely a consumer of ``AnalyzedProgram`` /
+``AnalysisResult`` attributes, so it imports nothing from the core.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from repro.obs.provenance import Provenance, provenance_of
+
+__all__ = ["explain", "explain_lines"]
+
+_MAX_DEPTH = 10
+
+
+def _provenance_for(result, label: str, cls) -> Optional[Provenance]:
+    """The derivation of ``label``'s classification.
+
+    SCR-classified names (cycles, wrap-around phis) and axioms (consts,
+    loop-external symbols) carry their record on the classification object
+    itself; operator nodes record nothing at classification time, so their
+    rule + operand summary is reconstructed here from the region context
+    the loop summary retains.
+    """
+    if result is not None:
+        try:
+            loop = result.defining_loop(label)
+        except Exception:
+            loop = None
+        if loop is not None:
+            summary = result.loops.get(loop.header)
+            ctx = getattr(summary, "region_ctx", None)
+            if (
+                ctx is not None
+                and label in ctx.nodes
+                and label not in ctx.scr_classified
+            ):
+                # runtime-only import; this module must not pull the core
+                # in at import time
+                from repro.core.algebra import operator_provenance
+
+                rule, operands = operator_provenance(ctx.nodes[label], ctx)
+                return Provenance(rule, operands)
+    return provenance_of(cls)
+
+
+def _resolve_names(program, var: str) -> List[str]:
+    """SSA names to explain for ``var`` (a source variable or SSA name)."""
+    try:
+        names = list(program.ssa_names(var))
+    except Exception:
+        names = []
+    if names:
+        classified = [
+            name
+            for name in names
+            if any(name in s.classifications for s in program.result.loops.values())
+        ]
+        return classified or names
+    for summary in program.result.loops.values():
+        if var in summary.classifications:
+            return [var]
+    try:
+        if var in program.ssa.definitions():
+            return [var]
+    except Exception:
+        pass
+    return []
+
+
+def explain_lines(program, var: str, max_depth: int = _MAX_DEPTH) -> List[str]:
+    """The derivation chain of ``var`` as a list of text lines."""
+    names = _resolve_names(program, var)
+    if not names:
+        return [f"no classification recorded for {var!r}"]
+    lines: List[str] = []
+    for i, name in enumerate(names):
+        if i:
+            lines.append("")
+        cls = program.result.classification_of(name)
+        _render(
+            name, cls, lines, indent=0, seen=set(), depth=max_depth,
+            result=program.result,
+        )
+    return lines
+
+
+def explain(program, var: str, max_depth: int = _MAX_DEPTH) -> str:
+    """The derivation chain of ``var`` as one printable string."""
+    return "\n".join(explain_lines(program, var, max_depth))
+
+
+def _render(
+    label: str,
+    cls,
+    lines: List[str],
+    indent: int,
+    seen: Set[str],
+    depth: int,
+    result=None,
+    prefix: str = "",
+) -> None:
+    pad = "  " * indent
+    describe = cls.describe() if cls is not None else "<no classification>"
+    lines.append(f"{pad}{prefix}{label}: {describe}")
+    if cls is None:
+        return
+    prov = _provenance_for(result, label, cls)
+    if prov is None:
+        lines.append(f"{pad}  rule: <unrecorded>")
+        return
+    note = f" -- {prov.note}" if prov.note else ""
+    lines.append(f"{pad}  rule: {prov.rule}{note}")
+    if depth <= 0 and prov.operands:
+        lines.append(f"{pad}  ... (depth limit)")
+        return
+    for operand_label, operand_cls in prov.operands:
+        if operand_label in seen:
+            shown = operand_cls.describe() if operand_cls is not None else "?"
+            lines.append(f"{pad}  from {operand_label}: {shown}  (already shown)")
+            continue
+        seen.add(operand_label)
+        _render(
+            operand_label,
+            operand_cls,
+            lines,
+            indent + 1,
+            seen,
+            depth - 1,
+            result=result,
+            prefix="from ",
+        )

@@ -1,0 +1,176 @@
+"""Trace and metrics exporters: JSON-lines and Chrome trace-event format.
+
+``chrome_trace`` renders a :class:`~repro.obs.trace.Tracer` as the Chrome
+trace-event JSON object (the format ``chrome://tracing`` and Perfetto
+load): spans become complete (``"ph": "X"``) events with microsecond
+``ts``/``dur``, instant events become ``"ph": "i"`` events, and a metadata
+record names the process.  ``jsonl_lines`` renders the same records as one
+self-describing JSON object per line, the shape log pipelines ingest.
+
+All attribute values are passed through :func:`_jsonable`, which keeps
+JSON-native values as-is and falls back to ``str`` for anything else
+(classifications, Exprs), so emit sites may attach rich objects freely.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "chrome_trace",
+    "jsonl_lines",
+    "metrics_json",
+    "write_chrome",
+    "write_jsonl",
+    "write_metrics",
+]
+
+_PID = 1
+_TID = 1
+
+
+def _jsonable(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+def _args(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    return {str(k): _jsonable(v) for k, v in attrs.items()}
+
+
+def chrome_trace(tracer: Tracer, process_name: str = "repro") -> Dict[str, Any]:
+    """The tracer's records as a Chrome trace-event JSON object."""
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": _TID,
+            "args": {"name": process_name},
+        }
+    ]
+    for record in tracer.spans:
+        events.append(
+            {
+                "name": record.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": record.start_ns / 1000.0,
+                "dur": record.duration_ns / 1000.0,
+                "pid": _PID,
+                "tid": _TID,
+                "args": _args(record.attrs),
+            }
+        )
+    for record in tracer.events:
+        events.append(
+            {
+                "name": record.name,
+                "cat": "repro",
+                "ph": "i",
+                "s": "t",
+                "ts": record.ts_ns / 1000.0,
+                "pid": _PID,
+                "tid": _TID,
+                "args": _args(record.attrs),
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome(tracer: Tracer, path: str, process_name: str = "repro") -> None:
+    """Write a ``chrome://tracing``-loadable JSON file."""
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(tracer, process_name), handle, indent=1)
+        handle.write("\n")
+
+
+def jsonl_lines(tracer: Tracer) -> Iterator[str]:
+    """One JSON object per span/event, in timestamp order."""
+    records: List[Dict[str, Any]] = []
+    for record in tracer.spans:
+        records.append(
+            {
+                "type": "span",
+                "name": record.name,
+                "ts_ns": record.start_ns,
+                "dur_ns": record.duration_ns,
+                "depth": record.depth,
+                "parent": record.parent,
+                "attrs": _args(record.attrs),
+            }
+        )
+    for record in tracer.events:
+        records.append(
+            {
+                "type": "event",
+                "name": record.name,
+                "ts_ns": record.ts_ns,
+                "depth": record.depth,
+                "parent": record.parent,
+                "attrs": _args(record.attrs),
+            }
+        )
+    records.sort(key=lambda r: r["ts_ns"])
+    for record in records:
+        yield json.dumps(record, sort_keys=True)
+
+
+def write_jsonl(tracer: Tracer, path: str) -> None:
+    with open(path, "w") as handle:
+        for line in jsonl_lines(tracer):
+            handle.write(line)
+            handle.write("\n")
+
+
+def metrics_json(registry: MetricsRegistry) -> str:
+    """The registry snapshot as stable, diff-friendly JSON text."""
+    return json.dumps(registry.snapshot(), indent=2, sort_keys=True)
+
+
+def write_metrics(registry: MetricsRegistry, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(metrics_json(registry))
+        handle.write("\n")
+
+
+def validate_chrome_trace(document: Any) -> Optional[str]:
+    """Structural validation of a Chrome trace object; None when loadable.
+
+    Checks the invariants ``chrome://tracing`` relies on: a ``traceEvents``
+    list whose entries carry ``name``/``ph``/``pid``/``tid``, numeric
+    non-negative ``ts`` on every timed event, and ``dur`` on complete
+    (``"X"``) events.  Used by the tests and by ``repro trace`` before
+    writing the output file.
+    """
+    if not isinstance(document, dict):
+        return "top level must be an object"
+    events = document.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return "traceEvents must be a non-empty list"
+    for i, entry in enumerate(events):
+        if not isinstance(entry, dict):
+            return f"traceEvents[{i}] is not an object"
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in entry:
+                return f"traceEvents[{i}] lacks {key!r}"
+        phase = entry["ph"]
+        if phase == "M":
+            continue
+        ts = entry.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            return f"traceEvents[{i}] has bad ts {ts!r}"
+        if phase == "X":
+            dur = entry.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                return f"traceEvents[{i}] has bad dur {dur!r}"
+    return None

@@ -1,0 +1,197 @@
+"""The metrics registry: counters, gauges, and histograms.
+
+Collection follows the same pay-for-use contract as span tracing
+(:mod:`repro.obs.trace`): the active registry lives in a context variable
+defaulting to ``None``, and every emission helper (:func:`inc`,
+:func:`gauge`, :func:`observe`) is a no-op costing one context-var read
+when no :func:`collecting` context is live.
+
+What the pipeline records (see ``docs/OBSERVABILITY.md`` for the full
+name catalogue):
+
+* ``classify.class.<Name>`` -- how many SSA names landed in each
+  classification class (the paper's table-2 distribution);
+* ``tarjan.nodes`` / ``tarjan.edges`` / ``tarjan.scrs`` -- the
+  :class:`~repro.core.tarjan.TraversalStats` totals;
+* ``expr.cache.*`` -- hash-consed :class:`~repro.symbolic.expr.Expr`
+  memo-table hit/miss deltas;
+* ``closedform.matrix_inversions`` -- coefficient-matrix inversions of the
+  paper's fitting method;
+* ``sanitizer.checkpoints`` -- pipeline-sanitizer checkpoints executed;
+* ``time.<span>_s`` -- one histogram per span name, fed by the tracer.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Dict, Optional, Union
+
+Number = Union[int, float]
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "active",
+    "collecting",
+    "gauge",
+    "inc",
+    "observe",
+]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Optional[Number] = None
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming summary of observations: count / sum / min / max."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: Number) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+
+class MetricsRegistry:
+    """Holds every metric collected during one :func:`collecting` context."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- get-or-create --------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        metric = self.counters.get(name)
+        if metric is None:
+            metric = self.counters[name] = Counter()
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self.gauges.get(name)
+        if metric is None:
+            metric = self.gauges[name] = Gauge()
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self.histograms.get(name)
+        if metric is None:
+            metric = self.histograms[name] = Histogram()
+        return metric
+
+    # -- emission shortcuts ---------------------------------------------
+    def inc(self, name: str, amount: Number = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: Number) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: Number) -> None:
+        self.histogram(name).observe(value)
+
+    # -- export ---------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-serializable view of everything collected so far."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self.counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self.gauges.items())},
+            "histograms": {
+                k: {
+                    "count": h.count,
+                    "sum": h.total,
+                    "min": h.min,
+                    "max": h.max,
+                    "mean": h.mean,
+                }
+                for k, h in sorted(self.histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+
+# ----------------------------------------------------------------------
+# the context-var registry
+# ----------------------------------------------------------------------
+_REGISTRY: ContextVar[Optional[MetricsRegistry]] = ContextVar(
+    "repro_obs_metrics", default=None
+)
+
+
+def active() -> Optional[MetricsRegistry]:
+    """The registry of the innermost :func:`collecting` context, or None."""
+    return _REGISTRY.get()
+
+
+@contextmanager
+def collecting(registry: Optional[MetricsRegistry] = None):
+    """Activate metrics collection for the dynamic extent of the block."""
+    current = registry if registry is not None else MetricsRegistry()
+    token = _REGISTRY.set(current)
+    try:
+        yield current
+    finally:
+        _REGISTRY.reset(token)
+
+
+def inc(name: str, amount: Number = 1) -> None:
+    """Bump a counter (no-op when collection is off)."""
+    registry = _REGISTRY.get()
+    if registry is not None:
+        registry.inc(name, amount)
+
+
+def gauge(name: str, value: Number) -> None:
+    """Set a gauge (no-op when collection is off)."""
+    registry = _REGISTRY.get()
+    if registry is not None:
+        registry.set_gauge(name, value)
+
+
+def observe(name: str, value: Number) -> None:
+    """Record one histogram observation (no-op when collection is off)."""
+    registry = _REGISTRY.get()
+    if registry is not None:
+        registry.observe(name, value)

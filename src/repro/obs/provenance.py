@@ -1,0 +1,99 @@
+"""Classification provenance: which algebra rule produced each class.
+
+The paper's driver classifies every SCR "at the time the SCR is
+identified", so the whole analysis is a sequence of rule applications --
+``cls_add`` on two operand classes, the affine-recurrence solver on a
+cycle's cumulative effect, the wrap-around construction on a lone header
+phi.  This module records that derivation: every
+:class:`~repro.core.classes.Classification` produced at a decision point
+gets a :class:`Provenance` attached (``cls.provenance``) naming the rule
+and carrying the operand classes it consumed.
+
+The attachment is a plain attribute (classification instances carry a
+``__dict__`` through their slot-less base class) and is deliberately
+excluded from ``__eq__`` / ``__hash__``: provenance never changes what a
+classification *is*, only how it was derived.  The human-readable
+rendering lives in :mod:`repro.obs.explain`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = ["Provenance", "provenance_of", "remember"]
+
+
+class Provenance:
+    """One derivation step.
+
+    ``rule``     -- the algebra rule applied (e.g. ``algebra.add``,
+                    ``scr.linear-recurrence``, ``scr.wrap-around``).
+    ``operands`` -- ``(label, classification)`` pairs the rule consumed;
+                    the label is an SSA name, ``const N``, or a synthetic
+                    description such as ``init``/``carried``.
+    ``note``     -- extra human-readable detail (the recurrence solved,
+                    the wrap-around order, ...).
+
+    A plain ``__slots__`` class, not a dataclass: one is allocated per
+    classification decision, so construction cost matters.
+    """
+
+    __slots__ = ("rule", "operands", "note")
+
+    def __init__(self, rule: str, operands: Tuple = (), note: str = ""):
+        self.rule = rule
+        self.operands = tuple(operands)
+        self.note = note
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Provenance):
+            return NotImplemented
+        return (
+            self.rule == other.rule
+            and self.operands == other.operands
+            and self.note == other.note
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Provenance({self.rule!r}, {self.operands!r}, {self.note!r})"
+
+
+def remember(cls, rule: str, operands: Tuple = (), note: str = ""):
+    """Attach provenance to ``cls``; returns ``cls``.
+
+    The record is stored in raw (tuple) form and only promoted to a
+    :class:`Provenance` when :func:`provenance_of` first reads it -- the
+    attach sites sit on the classification path, the read site is a
+    human asking ``--explain``.  ``note`` may be a zero-argument callable
+    (evaluated at first read) so callers can defer string formatting too.
+
+    Never raises: a classification that cannot carry attributes (there is
+    none today) would simply stay provenance-free.
+    """
+    try:
+        cls.provenance = (rule, operands, note)
+    except (AttributeError, TypeError):  # pragma: no cover - defensive
+        pass
+    return cls
+
+
+def provenance_of(cls):
+    """The classification's :class:`Provenance`, or ``None``.
+
+    Resolves (and caches back) the raw record stored by :func:`remember`.
+    Operator-node classifications carry no record at all -- their
+    derivation is reconstructed from the loop's region context by
+    :mod:`repro.obs.explain`.
+    """
+    raw = getattr(cls, "provenance", None)
+    if raw is None or isinstance(raw, Provenance):
+        return raw
+    rule, operands, note = raw
+    if callable(note):
+        note = note()
+    resolved = Provenance(rule, operands, note)
+    try:
+        cls.provenance = resolved
+    except (AttributeError, TypeError):  # pragma: no cover - defensive
+        pass
+    return resolved

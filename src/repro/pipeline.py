@@ -25,6 +25,8 @@ from repro.frontend.lower import lower_program
 from repro.frontend.parser import parse_program
 from repro.ir.clone import clone_function
 from repro.ir.function import Function
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.ssa.construct import SSAInfo, construct_ssa
 
 
@@ -60,11 +62,23 @@ class AnalyzedProgram:
         return self.result.classification_of(name)
 
     def describe_all(self) -> Dict[str, str]:
-        """Readable classification of every loop variable."""
+        """Readable classification of every variable.
+
+        Covers every name classified in a loop summary *plus* the
+        top-level names defined outside every loop -- those are invariant
+        over the whole function (``AnalysisResult.classification_of``
+        semantics) and used to be silently dropped.
+        """
         out = {}
         for summary in self.result.loops.values():
             for name, cls in sorted(summary.classifications.items()):
                 out[name] = cls.describe()
+        for name in sorted(self.ssa.definitions()):
+            if name in out:
+                continue
+            if self.result.defining_loop(name) is not None:
+                continue  # inside a loop but unclassified: not invariant
+            out[name] = self.result.classification_of(name).describe()
         return out
 
 
@@ -83,11 +97,14 @@ def analyze(
     cached definition indexes are cross-checked after every pass, raising
     :class:`~repro.diagnostics.SanitizerError` on the first violation.
     """
-    program = parse_program(source)
-    named = lower_program(program, name=name)
-    simplify_loops(named)
-    sanitizer.checkpoint(named, "simplify-loops", ssa=False)
-    return analyze_function(named, source=source, optimize=optimize, sanitize=sanitize)
+    with _trace.span("pipeline.analyze"):
+        program = parse_program(source)
+        named = lower_program(program, name=name)
+        simplify_loops(named)
+        sanitizer.checkpoint(named, "simplify-loops", ssa=False)
+        return analyze_function(
+            named, source=source, optimize=optimize, sanitize=sanitize
+        )
 
 
 def analyze_function(
@@ -106,6 +123,34 @@ def analyze_function(
     return _analyze_function(named, source, optimize)
 
 
+def _expr_cache_totals() -> Dict[str, int]:
+    """Flattened hit/miss totals of the Expr memo tables (for deltas)."""
+    from repro.symbolic.expr import cache_stats
+
+    stats = cache_stats()
+    return {
+        f"{table}.{kind}": stats[table][kind]
+        for table in ("sym", "subst", "const")
+        for kind in ("hits", "misses")
+    }
+
+
+def _record_expr_cache_delta(before: Dict[str, int]) -> None:
+    """Feed this run's Expr memo hit/miss deltas into the metrics registry."""
+    from repro.symbolic.expr import cache_stats
+
+    registry = _metrics.active()
+    if registry is None:
+        return
+    after = _expr_cache_totals()
+    for key, value in after.items():
+        registry.inc(f"expr.cache.{key}", value - before[key])
+    stats = cache_stats()
+    registry.set_gauge(
+        "expr.cache.size", sum(stats[table]["size"] for table in stats)
+    )
+
+
 def _analyze_function(
     named: Function, source: Optional[str], optimize: bool
 ) -> AnalyzedProgram:
@@ -114,27 +159,32 @@ def _analyze_function(
     from repro.scalar.sccp import run_sccp
     from repro.scalar.simplify import simplify_instructions
 
+    cache_before = _expr_cache_totals() if _metrics.active() is not None else None
+
     ssa = clone_function(named)
     ssa_info = construct_ssa(ssa)
     sanitizer.checkpoint(ssa, "construct-ssa")
     if optimize:
         from repro.ir.verify import verify_function
 
-        for _ in range(3):
-            run_sccp(ssa)
-            sanitizer.checkpoint(ssa, "sccp")
-            changed = simplify_instructions(ssa)
-            sanitizer.checkpoint(ssa, "simplify")
-            changed += run_gvn(ssa)
-            sanitizer.checkpoint(ssa, "gvn")
-            changed += propagate_copies(ssa)
-            sanitizer.checkpoint(ssa, "copyprop")
-            if not changed:
-                break
+        with _trace.span("pipeline.optimize"):
+            for _ in range(3):
+                run_sccp(ssa)
+                sanitizer.checkpoint(ssa, "sccp")
+                changed = simplify_instructions(ssa)
+                sanitizer.checkpoint(ssa, "simplify")
+                changed += run_gvn(ssa)
+                sanitizer.checkpoint(ssa, "gvn")
+                changed += propagate_copies(ssa)
+                sanitizer.checkpoint(ssa, "copyprop")
+                if not changed:
+                    break
         verify_function(ssa, ssa=True)
     domtree = dominator_tree(ssa)
     nest = find_loops(ssa, domtree)
     result = classify_function(ssa, nest, domtree)
+    if cache_before is not None:
+        _record_expr_cache_delta(cache_before)
     return AnalyzedProgram(
         source=source,
         named_ir=named,

@@ -13,7 +13,10 @@ from repro.ir.function import Function
 from repro.ir.instructions import Assign
 from repro.ir.values import Const, Ref, Value
 
+from repro.obs.trace import traced
 
+
+@traced("scalar.copyprop")
 def propagate_copies(function: Function) -> int:
     """Replace uses of copy results by their (transitive) sources."""
     forward: Dict[str, Value] = {}

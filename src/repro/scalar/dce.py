@@ -12,7 +12,10 @@ from repro.ir.function import Function
 from repro.ir.instructions import Store
 from repro.ir.values import Ref
 
+from repro.obs.trace import traced
 
+
+@traced("scalar.dce")
 def eliminate_dead_code(function: Function) -> int:
     """Delete dead value definitions.  Returns how many were removed."""
     live: Set[str] = set()

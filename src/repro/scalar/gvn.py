@@ -26,6 +26,8 @@ from repro.ir.instructions import Assign, BinOp, Compare, Load, Phi, Store, UnOp
 from repro.ir.opcodes import BinaryOp
 from repro.ir.values import Const, Ref, Value
 
+from repro.obs.trace import traced
+
 _COMMUTATIVE = {BinaryOp.ADD, BinaryOp.MUL}
 
 
@@ -59,6 +61,7 @@ def _instruction_key(inst, numbering: Dict[str, str]) -> Optional[Tuple]:
     return None
 
 
+@traced("scalar.gvn")
 def run_gvn(function: Function, domtree: Optional[DominatorTree] = None) -> int:
     """Value-number ``function`` (SSA form) in place.
 

@@ -22,7 +22,10 @@ from typing import List, Set
 from repro.ir.function import Function
 from repro.ir.instructions import Assign, Load, Store
 
+from repro.obs.trace import traced
 
+
+@traced("scalar.mem2reg")
 def promote_scalars(function: Function) -> List[str]:
     """Rewrite unsubscripted loads/stores into copies (named IR, in place).
 

@@ -32,6 +32,8 @@ from repro.ir.interp import _apply as apply_binop  # reference integer semantics
 from repro.ir.opcodes import BinaryOp
 from repro.ir.values import Const, Ref, Value
 
+from repro.obs.trace import traced
+
 TOP = "top"
 BOTTOM = "bottom"
 # lattice values: TOP | int | BOTTOM
@@ -49,6 +51,7 @@ class SCCPResult:
         return None
 
 
+@traced("scalar.sccp")
 def run_sccp(function: Function, apply: bool = True) -> SCCPResult:
     """Run SCCP; if ``apply``, rewrite constant uses in place."""
     values: Dict[str, object] = {}

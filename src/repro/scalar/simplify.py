@@ -12,7 +12,10 @@ from repro.ir.instructions import Assign, BinOp, Phi, UnOp
 from repro.ir.opcodes import BinaryOp
 from repro.ir.values import Const, Ref, Value
 
+from repro.obs.trace import traced
 
+
+@traced("scalar.simplify")
 def simplify_instructions(function: Function) -> int:
     """Apply local identities in place.  Returns number of rewrites."""
     count = 0

@@ -26,6 +26,8 @@ from repro.ir.function import Function, IRError
 from repro.ir.instructions import Phi
 from repro.ir.values import Ref
 
+from repro.obs.trace import traced
+
 
 @dataclass
 class SSAInfo:
@@ -45,6 +47,7 @@ class SSAInfo:
         return [name for name, source in self.origin.items() if source == var]
 
 
+@traced("ssa.construct")
 def construct_ssa(function: Function) -> SSAInfo:
     """Convert ``function`` (in place) from named form to SSA form."""
     for block in function:

@@ -21,6 +21,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.obs import metrics as _metrics
 from repro.symbolic.expr import Expr, Rat
 from repro.symbolic.rational import Matrix, MatrixError
 
@@ -345,6 +346,7 @@ class ClosedForm:
             raise ClosedFormError("cannot fit a polynomial through no values")
         n = len(vals)
         inverse = Matrix.vandermonde(range(n), n - 1).inverse()
+        _metrics.inc("closedform.matrix_inversions")
         coeffs = _mat_mul_exprs(inverse, vals)
         return ClosedForm(coeffs)
 
@@ -377,6 +379,7 @@ class ClosedForm:
             inverse = Matrix(rows).inverse()
         except MatrixError:
             return None
+        _metrics.inc("closedform.matrix_inversions")
         solution = _mat_mul_exprs(inverse, vals)
         coeffs = solution[: degree + 1]
         geo = {base: solution[degree + 1 + i] for i, base in enumerate(nbases)}

@@ -97,7 +97,9 @@ class Expr:
         if _MEMO_ENABLED and isinstance(value, int):
             cached = _CONST_CACHE.get(value)
             if cached is not None:
+                _STATS["const_hits"] += 1
                 return cached
+            _STATS["const_misses"] += 1
         return Expr({_ONE_MONO: _as_fraction(value)})
 
     @staticmethod
@@ -108,7 +110,9 @@ class Expr:
         if _MEMO_ENABLED:
             cached = _SYM_CACHE.get(name)
             if cached is not None:
+                _STATS["sym_hits"] += 1
                 return cached
+            _STATS["sym_misses"] += 1
             if len(_SYM_CACHE) >= _CACHE_LIMIT:
                 _SYM_CACHE.clear()
             expr = Expr({((name, 1),): Fraction(1)})
@@ -351,7 +355,9 @@ class Expr:
             key = (self, tuple((sym, mapping[sym]) for sym in sorted(relevant)))
             cached = _SUBST_CACHE.get(key)
             if cached is not None:
+                _STATS["subst_hits"] += 1
                 return cached
+            _STATS["subst_misses"] += 1
         result = Expr.zero()
         for mono, coeff in self._terms.items():
             term = Expr.const(coeff)
@@ -461,6 +467,50 @@ _CONST_CACHE: Dict[int, Expr] = {
 }
 _SYM_CACHE: Dict[str, Expr] = {}
 _SUBST_CACHE: Dict[tuple, Expr] = {}
+
+#: hit/miss tallies of the memo tables above, served by :func:`cache_stats`
+_STATS: Dict[str, int] = {
+    "sym_hits": 0,
+    "sym_misses": 0,
+    "subst_hits": 0,
+    "subst_misses": 0,
+    "const_hits": 0,
+    "const_misses": 0,
+}
+
+
+def cache_stats() -> Dict[str, Dict[str, int]]:
+    """Hit/miss/size counts of the hash-consing memo tables.
+
+    Returns ``{"sym": {"hits", "misses", "size"}, "subst": {...},
+    "const": {...}}``.  Hits and misses accumulate since process start (or
+    the last :func:`reset_cache_stats`); ``size`` is the current number of
+    interned entries.  The observability layer records per-``analyze``
+    deltas of these counters into the metrics registry.
+    """
+    return {
+        "sym": {
+            "hits": _STATS["sym_hits"],
+            "misses": _STATS["sym_misses"],
+            "size": len(_SYM_CACHE),
+        },
+        "subst": {
+            "hits": _STATS["subst_hits"],
+            "misses": _STATS["subst_misses"],
+            "size": len(_SUBST_CACHE),
+        },
+        "const": {
+            "hits": _STATS["const_hits"],
+            "misses": _STATS["const_misses"],
+            "size": len(_CONST_CACHE),
+        },
+    }
+
+
+def reset_cache_stats() -> None:
+    """Zero the hit/miss tallies (the caches themselves are untouched)."""
+    for key in _STATS:
+        _STATS[key] = 0
 
 
 def set_memoization(enabled: bool) -> bool:

@@ -25,7 +25,10 @@ from repro.ir.opcodes import BinaryOp
 from repro.ir.values import Const, Ref
 from repro.transforms.materialize import MaterializeError, materialize_expr
 
+from repro.obs.trace import traced
 
+
+@traced("transform.ivsubst")
 def substitute_induction_variables(
     function: Function, analysis: AnalysisResult, loop: Loop
 ) -> List[str]:

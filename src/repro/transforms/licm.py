@@ -25,10 +25,13 @@ from repro.ir.instructions import Assign, BinOp, Compare, Load, Phi, UnOp
 from repro.ir.opcodes import BinaryOp
 from repro.ir.values import Ref
 
+from repro.obs.trace import traced
+
 
 HOISTABLE = (Assign, BinOp, UnOp, Load, Compare)
 
 
+@traced("transform.licm")
 def hoist_invariants(
     function: Function, analysis: AnalysisResult, loop: Loop
 ) -> List[str]:

@@ -31,7 +31,10 @@ from repro.ir.instructions import Assign, BinOp, Branch, Compare
 from repro.ir.opcodes import BinaryOp, Relation
 from repro.ir.values import Const, Ref, Value
 
+from repro.obs.trace import traced
 
+
+@traced("transform.normalize")
 def normalize_loop(function: Function, header: str) -> Optional[str]:
     """Normalize the counted loop at ``header``; returns the new counter
     variable name, or None if the loop does not match the counted shape."""

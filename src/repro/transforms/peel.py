@@ -26,7 +26,10 @@ from repro.diagnostics.sanitizer import checkpoint
 from repro.ir.clone import _clone_instruction, _clone_terminator
 from repro.ir.function import Function, IRError
 
+from repro.obs.trace import traced
 
+
+@traced("transform.peel")
 def peel_first_iteration(function: Function, header: str) -> List[str]:
     """Peel one iteration of the loop headed at ``header`` (named IR).
 

@@ -31,6 +31,8 @@ from repro.ir.values import Const, Ref, Value
 from repro.symbolic.expr import Expr
 from repro.transforms.materialize import MaterializeError, materialize_expr
 
+from repro.obs.trace import traced
+
 
 @dataclass
 class ReducedMultiply:
@@ -41,6 +43,7 @@ class ReducedMultiply:
     new_phi: str
 
 
+@traced("transform.strength-reduce")
 def strength_reduce(
     function: Function, analysis: AnalysisResult, loop: Loop
 ) -> List[ReducedMultiply]:

@@ -21,7 +21,10 @@ from repro.diagnostics.sanitizer import checkpoint
 from repro.ir.function import Function, IRError
 from repro.transforms.peel import peel_first_iteration
 
+from repro.obs.trace import traced
 
+
+@traced("transform.unroll")
 def fully_unroll(
     function: Function, header: str, max_trips: int = 32
 ) -> Optional[int]:

@@ -1,0 +1,112 @@
+"""The ``repro trace`` CLI mode and the report-mode observability flags."""
+
+import json
+
+from repro.cli import main
+from repro.obs.export import validate_chrome_trace
+
+SOURCE = """\
+j = 1
+iml = n
+L14: for i = 1 to n do
+  A[i] = A[iml] + 1
+  j = j + i
+  iml = i
+endfor
+"""
+
+
+def write_program(tmp_path, name="prog.loop", source=SOURCE):
+    path = tmp_path / name
+    path.write_text(source)
+    return str(path)
+
+
+class TestTraceMode:
+    def test_chrome_output_is_loadable(self, tmp_path, capsys):
+        program = write_program(tmp_path)
+        out = tmp_path / "trace.json"
+        assert main(["trace", program, "--out", str(out)]) == 0
+        document = json.loads(out.read_text())
+        assert validate_chrome_trace(document) is None
+        names = {e["name"] for e in document["traceEvents"]}
+        assert "trace.target" in names
+        assert "pipeline.analyze" in names
+        assert "classify.scr" in names
+        assert "traced 1/1 programs" in capsys.readouterr().out
+
+    def test_jsonl_output(self, tmp_path):
+        program = write_program(tmp_path)
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", program, "--format", "jsonl", "--out", str(out)]) == 0
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        assert any(r["type"] == "span" for r in records)
+        assert any(r["type"] == "event" for r in records)
+
+    def test_metrics_snapshot(self, tmp_path):
+        program = write_program(tmp_path)
+        out = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        assert main(
+            ["trace", program, "--out", str(out), "--metrics", str(metrics)]
+        ) == 0
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["counters"]["classify.loops"] >= 1
+        assert "time.pipeline.analyze_s" in snapshot["histograms"]
+
+    def test_directory_of_programs(self, tmp_path, capsys):
+        write_program(tmp_path, "a.loop")
+        write_program(tmp_path, "b.loop", "L1: for i = 1 to n do\n  x = i\nendfor\n")
+        out = tmp_path / "trace.json"
+        assert main(["trace", str(tmp_path), "--out", str(out)]) == 0
+        assert "traced 2/2 programs" in capsys.readouterr().out
+
+    def test_missing_target(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["trace", str(tmp_path / "nope"), "--out", str(out)]) == 2
+
+    def test_broken_program_reported_not_fatal(self, tmp_path, capsys):
+        good = write_program(tmp_path, "good.loop")
+        bad = write_program(tmp_path, "bad.loop", "L1: for i = 1 to\n")
+        out = tmp_path / "trace.json"
+        assert main(["trace", good, bad, "--out", str(out)]) == 1
+        captured = capsys.readouterr()
+        assert "traced 1/2 programs" in captured.out
+        assert "warning" in captured.err
+        # the trace written so far is still loadable
+        assert validate_chrome_trace(json.loads(out.read_text())) is None
+
+
+class TestReportFlags:
+    def test_explain_flag_prints_derivation(self, tmp_path, capsys):
+        program = write_program(tmp_path)
+        assert main(["report", program, "--explain", "j"]) == 0
+        out = capsys.readouterr().out
+        assert "== explain j ==" in out
+        assert "rule: scr.polynomial-recurrence" in out
+        assert "solved x' = 1*x + (1 + h); x(0) = 1" in out
+
+    def test_explain_repeats(self, tmp_path, capsys):
+        program = write_program(tmp_path)
+        assert main([program, "--explain", "i", "--explain", "iml"]) == 0
+        out = capsys.readouterr().out
+        assert "rule: scr.linear-recurrence" in out
+        assert "rule: scr.wrap-around" in out
+
+    def test_trace_and_metrics_flags(self, tmp_path, capsys):
+        program = write_program(tmp_path)
+        trace = tmp_path / "report-trace.json"
+        metrics = tmp_path / "report-metrics.json"
+        assert main(
+            [program, "--trace", str(trace), "--metrics", str(metrics)]
+        ) == 0
+        assert validate_chrome_trace(json.loads(trace.read_text())) is None
+        assert json.loads(metrics.read_text())["counters"]["classify.loops"] >= 1
+        # the report itself still prints
+        assert "(L14, 1, 1)" in capsys.readouterr().out
+
+    def test_report_without_flags_unchanged(self, tmp_path, capsys):
+        program = write_program(tmp_path)
+        assert main([program]) == 0
+        out = capsys.readouterr().out
+        assert "rule:" not in out

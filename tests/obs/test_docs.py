@@ -1,0 +1,75 @@
+"""docs/OBSERVABILITY.md must catalogue every span/event/metric/rule name.
+
+Mirror of ``tests/diagnostics/test_docs.py``: the doc and the Python
+catalogues (``repro.obs.SPAN_NAMES`` etc.) are checked in both
+directions, so neither can drift from the other.
+"""
+
+import os
+import re
+
+import pytest
+
+from repro.obs import EVENT_NAMES, METRIC_NAMES, RULE_NAMES, SPAN_NAMES
+
+DOCS = os.path.join(
+    os.path.dirname(__file__), "..", "..", "docs", "OBSERVABILITY.md"
+)
+
+SECTIONS = {
+    "Span catalogue": SPAN_NAMES,
+    "Event catalogue": EVENT_NAMES,
+    "Metric catalogue": METRIC_NAMES,
+    "Rule catalogue": RULE_NAMES,
+}
+
+
+def read_docs():
+    with open(DOCS) as handle:
+        return handle.read()
+
+
+def section_text(heading):
+    text = read_docs()
+    match = re.search(
+        rf"^###? {re.escape(heading)}$(.*?)(?=^##)", text, re.MULTILINE | re.DOTALL
+    )
+    assert match, f"docs/OBSERVABILITY.md lacks a {heading!r} section"
+    return match.group(1)
+
+
+def documented_names(heading):
+    """Backticked names from the section's bullet labels (before the dash)."""
+    names = []
+    for line in section_text(heading).splitlines():
+        if not line.startswith("- `"):
+            continue
+        label = line.split(" — ")[0]
+        for name in re.findall(r"`([^`]+)`", label):
+            # `classify.class.<Classification>` / `time.<span>_s` document
+            # dynamic-suffix families whose catalogue entry is the prefix
+            names.append(name.split("<")[0] if "<" in name else name)
+    return names
+
+
+@pytest.mark.parametrize("heading", sorted(SECTIONS))
+def test_every_catalogued_name_is_documented(heading):
+    documented = set(documented_names(heading))
+    missing = SECTIONS[heading] - documented
+    assert not missing, f"{heading}: missing from docs: {sorted(missing)}"
+
+
+@pytest.mark.parametrize("heading", sorted(SECTIONS))
+def test_no_undocumented_names(heading):
+    documented = documented_names(heading)
+    unknown = [name for name in documented if name not in SECTIONS[heading]]
+    assert not unknown, f"{heading}: docs mention unknown names: {unknown}"
+    assert len(documented) == len(set(documented)), f"{heading}: duplicate entries"
+
+
+def test_linked_from_readme_and_api_reference():
+    root = os.path.join(os.path.dirname(__file__), "..", "..")
+    with open(os.path.join(root, "README.md")) as handle:
+        assert "docs/OBSERVABILITY.md" in handle.read()
+    with open(os.path.join(root, "docs", "API.md")) as handle:
+        assert "OBSERVABILITY.md" in handle.read()

@@ -1,0 +1,102 @@
+"""Classification provenance and the ``--explain`` derivation renderer."""
+
+from repro.core.classes import Invariant
+from repro.obs.explain import explain, explain_lines
+from repro.obs.provenance import Provenance, provenance_of, remember
+from repro.symbolic.expr import Expr
+from tests.conftest import analyze_src
+
+SOURCE = """
+j = 1
+iml = n
+L14: for i = 1 to n do
+  k = iml + 1
+  A[i] = A[iml] + k
+  j = j + i
+  iml = i
+endfor
+"""
+
+
+class TestProvenance:
+    def test_remember_then_read(self):
+        cls = Invariant(Expr.const(3))
+        assert remember(cls, "algebra.const") is cls
+        prov = provenance_of(cls)
+        assert isinstance(prov, Provenance)
+        assert prov.rule == "algebra.const"
+        assert prov.operands == ()
+
+    def test_raw_record_promotes_once(self):
+        cls = Invariant(Expr.const(3))
+        remember(cls, "r", note=lambda: "lazy")
+        # stored raw (no string built yet), promoted at first read
+        assert isinstance(cls.provenance, tuple)
+        prov = provenance_of(cls)
+        assert prov.note == "lazy"
+        assert cls.provenance is prov  # cached back
+        assert provenance_of(cls) is prov
+
+    def test_unrecorded_classification_has_none(self):
+        assert provenance_of(Invariant(Expr.const(1))) is None
+
+    def test_provenance_excluded_from_equality(self):
+        a = Invariant(Expr.const(5))
+        b = Invariant(Expr.const(5))
+        remember(a, "algebra.const")
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestExplain:
+    def test_linear_induction_variable(self):
+        text = explain(analyze_src(SOURCE), "i")
+        assert "i.2: (L14, 1, 1)" in text
+        assert "rule: scr.linear-recurrence" in text
+        assert "solved x' = 1*x + (1); x(0) = 1" in text
+        assert "rule: algebra.const" in text
+        # the incremented copy derives from the header via the member rule
+        assert "rule: scr.member" in text
+
+    def test_polynomial_induction_variable(self):
+        text = explain(analyze_src(SOURCE), "j")
+        assert "j.2: (L14, 1, 1/2, 1/2)" in text
+        assert "rule: scr.polynomial-recurrence" in text
+        assert "solved x' = 1*x + (1 + h); x(0) = 1" in text
+
+    def test_wrap_around_variable(self):
+        text = explain(analyze_src(SOURCE), "iml")
+        assert "wraparound(order 1; [n]; then (L14, 0, 1))" in text
+        assert "rule: scr.wrap-around" in text
+        assert "section 4.1" in text
+        # the chain reaches both the invariant init and the linear carried value
+        assert "rule: algebra.loop-invariant" in text
+        assert "rule: scr.linear-recurrence" in text
+
+    def test_operator_node_derived_from_region_context(self):
+        # k = iml + 1 is classified per-operator (no SCR rule); explain
+        # reconstructs the rule from the loop's retained region context
+        text = explain(analyze_src(SOURCE), "k")
+        assert "rule: algebra.add" in text
+        assert "from iml.2" in text
+
+    def test_copy_rule(self):
+        text = explain(analyze_src(SOURCE), "iml")
+        assert "rule: algebra.copy" in text  # iml.3 = i.2
+
+    def test_top_level_name_is_invariant_axiom(self):
+        text = explain(analyze_src(SOURCE), "n")
+        assert "rule: algebra.top-level-invariant" in text
+
+    def test_duplicate_operands_render_once(self):
+        lines = explain_lines(analyze_src(SOURCE), "k")
+        shown = [line for line in lines if "(already shown)" in line]
+        assert shown  # "const 1" appears in both the add and the chain below
+
+    def test_unknown_variable(self):
+        text = explain(analyze_src(SOURCE), "nosuch")
+        assert "no classification recorded" in text
+
+    def test_depth_limit_stops_recursion(self):
+        lines = explain_lines(analyze_src(SOURCE), "k", max_depth=1)
+        assert any("(depth limit)" in line for line in lines)

@@ -1,0 +1,116 @@
+"""Exporters: Chrome trace-event output, JSON-lines, metrics JSON."""
+
+import json
+
+from repro.obs.export import (
+    chrome_trace,
+    jsonl_lines,
+    metrics_json,
+    validate_chrome_trace,
+    write_chrome,
+    write_jsonl,
+    write_metrics,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import event, span, tracing
+
+
+def traced_sample():
+    with tracing() as tracer:
+        with span("outer", function="main"):
+            with span("inner", loop="L1"):
+                event("decision", members=["i.2"], cycle=True)
+    return tracer
+
+
+class TestChromeTrace:
+    def test_round_trip_structure(self):
+        tracer = traced_sample()
+        document = chrome_trace(tracer)
+        assert validate_chrome_trace(document) is None
+        events = document["traceEvents"]
+        phases = [entry["ph"] for entry in events]
+        assert phases.count("M") == 1  # process_name metadata
+        assert phases.count("X") == 2  # two complete spans
+        assert phases.count("i") == 1  # one instant event
+        by_name = {entry["name"]: entry for entry in events}
+        assert by_name["outer"]["args"] == {"function": "main"}
+        assert by_name["inner"]["dur"] >= 0
+        assert by_name["decision"]["args"]["members"] == ["i.2"]
+
+    def test_written_file_is_loadable_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome(traced_sample(), str(path))
+        document = json.loads(path.read_text())
+        assert validate_chrome_trace(document) is None
+        assert document["displayTimeUnit"] == "ms"
+
+    def test_attrs_fall_back_to_str(self):
+        class Opaque:
+            def __str__(self):
+                return "<opaque>"
+
+        with tracing() as tracer:
+            with span("s", obj=Opaque()):
+                pass
+        document = chrome_trace(tracer)
+        json.dumps(document)  # nothing unserializable leaks through
+        span_entry = [e for e in document["traceEvents"] if e["ph"] == "X"][0]
+        assert span_entry["args"]["obj"] == "<opaque>"
+
+
+class TestValidateChromeTrace:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([]) is not None
+
+    def test_rejects_empty_trace(self):
+        assert validate_chrome_trace({"traceEvents": []}) is not None
+
+    def test_rejects_missing_keys(self):
+        document = {"traceEvents": [{"name": "x", "ph": "X", "pid": 1}]}
+        assert "tid" in validate_chrome_trace(document)
+
+    def test_rejects_bad_timestamps(self):
+        document = {
+            "traceEvents": [
+                {"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": -5, "dur": 1}
+            ]
+        }
+        assert "ts" in validate_chrome_trace(document)
+
+    def test_rejects_complete_event_without_duration(self):
+        document = {
+            "traceEvents": [{"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": 0}]
+        }
+        assert "dur" in validate_chrome_trace(document)
+
+
+class TestJsonl:
+    def test_one_object_per_record_in_timestamp_order(self):
+        tracer = traced_sample()
+        records = [json.loads(line) for line in jsonl_lines(tracer)]
+        assert len(records) == 3
+        assert [r["ts_ns"] for r in records] == sorted(r["ts_ns"] for r in records)
+        assert {r["type"] for r in records} == {"span", "event"}
+        outer = [r for r in records if r["name"] == "outer"][0]
+        assert outer["depth"] == 0 and outer["parent"] is None
+
+    def test_write_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(traced_sample(), str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            json.loads(line)
+
+
+class TestMetricsExport:
+    def test_metrics_json_round_trips(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.inc("tarjan.nodes", 12)
+        registry.observe("time.classify_s", 0.25)
+        text = metrics_json(registry)
+        assert json.loads(text)["counters"]["tarjan.nodes"] == 12
+        path = tmp_path / "metrics.json"
+        write_metrics(registry, str(path))
+        assert json.loads(path.read_text()) == json.loads(text)

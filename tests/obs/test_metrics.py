@@ -1,0 +1,94 @@
+"""The metrics registry and its pay-for-use emission helpers."""
+
+from repro.obs import known_metric
+from repro.obs.metrics import (
+    MetricsRegistry,
+    active,
+    collecting,
+    gauge,
+    inc,
+    observe,
+)
+
+
+class TestRegistry:
+    def test_counters_accumulate(self):
+        registry = MetricsRegistry()
+        registry.inc("c")
+        registry.inc("c", 4)
+        assert registry.counters["c"].value == 5
+
+    def test_gauges_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("g", 1)
+        registry.set_gauge("g", 7)
+        assert registry.gauges["g"].value == 7
+
+    def test_histograms_summarize(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 3.0, 2.0):
+            registry.observe("h", value)
+        histogram = registry.histograms["h"]
+        assert histogram.count == 3
+        assert histogram.total == 6.0
+        assert histogram.min == 1.0
+        assert histogram.max == 3.0
+        assert histogram.mean == 2.0
+
+    def test_snapshot_is_json_shaped(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.inc("c", 2)
+        registry.set_gauge("g", 3)
+        registry.observe("h", 1.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 2}
+        assert snapshot["gauges"] == {"g": 3}
+        assert snapshot["histograms"]["h"]["count"] == 1
+        json.dumps(snapshot)  # must be serializable as-is
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.inc("c")
+        registry.observe("h", 1)
+        registry.reset()
+        assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestContextHelpers:
+    def test_helpers_record_into_active_registry(self):
+        with collecting() as registry:
+            inc("c", 2)
+            gauge("g", 9)
+            observe("h", 0.5)
+        assert registry.counters["c"].value == 2
+        assert registry.gauges["g"].value == 9
+        assert registry.histograms["h"].count == 1
+
+    def test_helpers_are_noops_when_disabled(self):
+        assert active() is None
+        inc("c")
+        gauge("g", 1)
+        observe("h", 1)
+        # a later context starts empty: nothing leaked from above
+        with collecting() as registry:
+            pass
+        assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_nested_contexts_restore(self):
+        with collecting() as outer:
+            with collecting() as inner:
+                inc("c")
+                assert active() is inner
+            assert active() is outer
+        assert outer.counters == {}
+        assert inner.counters["c"].value == 1
+
+
+class TestCatalogue:
+    def test_known_metric_exact_and_family(self):
+        assert known_metric("tarjan.nodes")
+        assert known_metric("classify.class.InductionVariable")
+        assert known_metric("time.pipeline.analyze_s")
+        assert not known_metric("bogus.metric")
