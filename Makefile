@@ -1,13 +1,18 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench bench-check bench-baseline report
+.PHONY: test lint chaos bench bench-check bench-baseline report
 
 test:
 	$(PYTHON) -m pytest -m "not bench" -q
 
 lint:
 	$(PYTHON) -m repro lint --strict examples/
+
+chaos:
+	for seed in 101 202 303; do \
+		CHAOS_SEED=$$seed $(PYTHON) -m pytest tests/resilience -q || exit 1; \
+	done
 
 bench:
 	$(PYTHON) -m pytest benchmarks --benchmark-only

@@ -41,13 +41,29 @@ from repro.core import (
     classify_function,
 )
 from repro.dependence import build_dependence_graph, test_dependence
+from repro.resilience import (
+    AnalysisBudget,
+    BudgetExceeded,
+    DegradationRecord,
+    FaultPlan,
+    ReproError,
+    injecting,
+    strict_errors,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "analyze",
     "analyze_function",
     "AnalyzedProgram",
+    "AnalysisBudget",
+    "BudgetExceeded",
+    "DegradationRecord",
+    "FaultPlan",
+    "ReproError",
+    "injecting",
+    "strict_errors",
     "AnalysisResult",
     "Classification",
     "InductionVariable",

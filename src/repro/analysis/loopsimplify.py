@@ -19,6 +19,7 @@ from repro.ir.function import Function
 from repro.ir.instructions import Jump
 
 from repro.obs.trace import traced
+from repro.resilience.faultinject import fault_point
 
 
 @traced("analysis.loop-simplify")
@@ -27,6 +28,7 @@ def simplify_loops(function: Function) -> bool:
 
     Iterates because inserting blocks invalidates the loop analysis.
     """
+    fault_point("analysis.loop-simplify")
     changed_any = False
     for _ in range(len(function.blocks) + 2):
         changed = _simplify_once(function)

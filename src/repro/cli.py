@@ -17,6 +17,11 @@ Options::
     --verify           re-verify the final SSA, collect-all, report findings
     --lint             append the semantic-lint findings to the report
     --strict           with --verify/--lint: exit 1 on error-severity findings
+    --strict-errors    disable failure isolation: raise on the first
+                       internal error instead of degrading to Unknown
+    --inject POINT     arm the deterministic fault-injection harness at a
+                       named fault point (see repro.resilience.FAULT_POINTS;
+                       repeatable) -- for testing degraded behaviour
     --sanitize         run the pipeline with the pass sanitizer enabled
     --trace FILE       write a Chrome trace of this run (chrome://tracing)
     --metrics FILE     write this run's metrics snapshot as JSON
@@ -92,6 +97,22 @@ def build_argument_parser() -> argparse.ArgumentParser:
         "--strict",
         action="store_true",
         help="exit 1 when --verify/--lint report error-severity findings",
+    )
+    parser.add_argument(
+        "--strict-errors",
+        action="store_true",
+        dest="strict_errors",
+        help="disable failure isolation: raise on the first internal error "
+        "instead of degrading the affected loop/phase to Unknown",
+    )
+    parser.add_argument(
+        "--inject",
+        metavar="POINT",
+        action="append",
+        default=None,
+        dest="inject",
+        help="arm the fault-injection harness at a named fault point "
+        "(repeatable; 'list' prints the catalogue)",
     )
     parser.add_argument(
         "--sanitize",
@@ -294,17 +315,46 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 2
 
+    from contextlib import nullcontext
+
+    inject_ctx = nullcontext()
+    if args.inject:
+        from repro.resilience import FaultPlan, all_fault_points, injecting
+
+        if "list" in args.inject:
+            for point in all_fault_points():
+                print(point)
+            return 0
+        unknown = sorted(set(args.inject) - set(all_fault_points()))
+        if unknown:
+            print(
+                f"error: unknown fault point(s) {', '.join(unknown)} "
+                "(use --inject list)",
+                file=sys.stderr,
+            )
+            return 2
+        inject_ctx = injecting(FaultPlan(points=set(args.inject)))
+
     observation = None
     try:
-        if args.trace or args.metrics:
-            from repro.obs import observing
+        with inject_ctx:
+            if args.trace or args.metrics:
+                from repro.obs import observing
 
-            with observing() as observation:
+                with observing() as observation:
+                    program = analyze(
+                        source,
+                        optimize=not args.no_opt,
+                        sanitize=args.sanitize,
+                        strict=args.strict_errors,
+                    )
+            else:
                 program = analyze(
-                    source, optimize=not args.no_opt, sanitize=args.sanitize
+                    source,
+                    optimize=not args.no_opt,
+                    sanitize=args.sanitize,
+                    strict=args.strict_errors,
                 )
-        else:
-            program = analyze(source, optimize=not args.no_opt, sanitize=args.sanitize)
     except Exception as error:  # frontend/IR errors carry positions
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -343,6 +393,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.verify or args.lint:
         from repro.diagnostics.diagnostic import DiagnosticCollector
         from repro.diagnostics.verifier import verify_collect
+        from repro.resilience.isolation import diagnostics_of
 
         collector = DiagnosticCollector()
         verify_collect(program.ssa, ssa=True, collector=collector)
@@ -350,6 +401,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             from repro.diagnostics.lints import lint_program
 
             lint_program(program, collector=collector)
+        diagnostics_of(program.degradations, collector)
         diagnostics = collector.sorted()
 
     print(

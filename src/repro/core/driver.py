@@ -47,8 +47,24 @@ from repro.ir.values import Const, Ref, Value
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 from repro.obs.provenance import remember
+from repro.resilience import budget as _budget
+from repro.resilience import isolation as _isolation
+from repro.resilience.errors import RecoveryPolicy, ReproError, wrap_exception
+from repro.resilience.faultinject import fault_point
 from repro.symbolic.closedform import ClosedFormError
 from repro.symbolic.expr import Expr
+
+
+class IrreducibleError(ReproError, IRError):
+    """Irreducible control flow: classification would be unsound.
+
+    Subclasses :class:`~repro.ir.function.IRError` so pre-taxonomy callers
+    (and tests) that catch the historical type keep working; inside a
+    resilient pipeline its DEGRADE policy turns the whole function's
+    classification into an empty (all-Unknown) result instead.
+    """
+
+    default_code = "irreducible-cfg"
 
 
 class RegionNode:
@@ -214,6 +230,36 @@ class LoopSummary:
 
     def classification_of(self, name: str) -> Optional[Classification]:
         return self.classifications.get(name)
+
+    @property
+    def degraded(self) -> bool:
+        return False
+
+
+@dataclass
+class DegradedLoopSummary(LoopSummary):
+    """A loop whose classification failed and was contained.
+
+    Quacks like a :class:`LoopSummary` -- empty classifications (every
+    name in the loop reads as ``Unknown``) and an unknown trip count --
+    but carries the reason, so reports can say *why* the loop degraded.
+    """
+
+    reason: str = ""
+
+    @property
+    def degraded(self) -> bool:
+        return True
+
+
+def _degraded_summary(loop: Loop, reason: str) -> DegradedLoopSummary:
+    return DegradedLoopSummary(
+        loop=loop,
+        label=loop.header,
+        classifications={},
+        trip=TripCount(TripCountKind.UNKNOWN),
+        reason=reason,
+    )
 
 
 class AnalysisResult:
@@ -407,13 +453,14 @@ def classify_function(
     domtree: Optional[DominatorTree] = None,
 ) -> AnalysisResult:
     """Classify every scalar in every loop of an SSA-form function."""
+    fault_point("classify.function")
     if domtree is None:
         domtree = dominator_tree(function)
     from repro.analysis.reducibility import irreducible_edges
 
     offending = irreducible_edges(function, domtree)
     if offending:
-        raise IRError(
+        raise IrreducibleError(
             "irreducible control flow (retreating non-back edges "
             f"{offending}): natural-loop classification would be unsound"
         )
@@ -421,9 +468,12 @@ def classify_function(
         nest = find_loops(function, domtree)
     result = AnalysisResult(function, nest, domtree)
     with _trace.span("classify", function=function.name):
-        for loop in nest.inner_to_outer():
-            with _trace.span("classify.loop", loop=loop.header):
-                result.loops[loop.header] = _analyze_loop(function, loop, result)
+        with _budget.phase_deadline("classify"):
+            for loop in nest.inner_to_outer():
+                with _trace.span("classify.loop", loop=loop.header):
+                    result.loops[loop.header] = _classify_loop_contained(
+                        function, loop, result
+                    )
     registry = _metrics.active()
     if registry is not None:
         registry.inc("classify.loops", len(result.loops))
@@ -432,6 +482,45 @@ def classify_function(
             for cls in summary.classifications.values():
                 registry.inc(f"classify.class.{type(cls).__name__}")
     return result
+
+
+def _classify_loop_contained(
+    function: Function, loop: Loop, result: AnalysisResult
+) -> LoopSummary:
+    """Classify one loop, containing any failure to that loop.
+
+    Outside a resilient context (or under ``--strict-errors``) failures
+    propagate unchanged.  Inside one, a RETRY-policy error re-runs the
+    loop once; anything else (or a failed retry) degrades the loop: its
+    summary is a :class:`DegradedLoopSummary`, so every name it defines
+    reads as ``Unknown`` and -- because loops are processed inner-first --
+    enclosing regions see its exit values as unknown, which contains the
+    damage without further special-casing.
+    """
+    try:
+        fault_point("classify.loop")
+        _budget.check_deadline("classify")
+        return _analyze_loop(function, loop, result)
+    except Exception as error:  # noqa: BLE001 - the isolation boundary
+        wrapped = wrap_exception(error, "classify.loop")
+        if wrapped.policy is RecoveryPolicy.RETRY and _isolation.isolating():
+            log = _isolation.active_log()
+            log.record(
+                phase="classify.loop",
+                code=wrapped.code,
+                message=wrapped.message,
+                diag_code="RES504",
+                scope=loop.header,
+                action="retried",
+            )
+            try:
+                return _analyze_loop(function, loop, result)
+            except Exception as retry_error:  # noqa: BLE001
+                error = retry_error
+        _isolation.absorb(
+            error, "classify.loop", scope=loop.header, diag_code="RES501"
+        )
+        return _degraded_summary(loop, str(error) or type(error).__name__)
 
 
 def _analyze_loop(function: Function, loop: Loop, result: AnalysisResult) -> LoopSummary:
@@ -486,17 +575,30 @@ def _analyze_loop(function: Function, loop: Loop, result: AnalysisResult) -> Loo
     tracer = _trace.active()
 
     def on_scr(members: List[str], is_cycle: bool) -> None:
-        if is_cycle:
-            ctx.scr_classified.update(members)
-            ctx.classifications.update(classify_cycle_scr(members, ctx))
-        else:
-            name = members[0]
-            node = nodes[name]
-            if ctx.is_header_phi(name):
-                ctx.scr_classified.add(name)
-                ctx.classifications[name] = classify_trivial_header_phi(node, ctx)
+        try:
+            if is_cycle:
+                ctx.scr_classified.update(members)
+                ctx.classifications.update(classify_cycle_scr(members, ctx))
             else:
-                ctx.classifications[name] = classify_operator(node, ctx)
+                name = members[0]
+                node = nodes[name]
+                if ctx.is_header_phi(name):
+                    ctx.scr_classified.add(name)
+                    ctx.classifications[name] = classify_trivial_header_phi(node, ctx)
+                else:
+                    ctx.classifications[name] = classify_operator(node, ctx)
+        except Exception as error:  # noqa: BLE001 - per-SCR containment
+            _isolation.absorb(
+                error,
+                "classify.scr",
+                scope=f"{loop.header}:{members[0]}",
+                diag_code="RES501",
+            )
+            for member in members:
+                ctx.classifications[member] = Unknown(
+                    "classification degraded: " + (str(error) or type(error).__name__),
+                    loop=loop.header,
+                )
         if tracer is not None:
             _trace.event(
                 "classify.scr",
@@ -516,7 +618,14 @@ def _analyze_loop(function: Function, loop: Loop, result: AnalysisResult) -> Loo
     def class_of_value(value: Value) -> Classification:
         return ctx.operand_class(value)
 
-    trip = compute_trip_count(function, loop, class_of_value, result.opaque)
+    try:
+        fault_point("classify.tripcount")
+        trip = compute_trip_count(function, loop, class_of_value, result.opaque)
+    except Exception as error:  # noqa: BLE001 - keep the classifications
+        _isolation.absorb(
+            error, "classify.tripcount", scope=loop.header, diag_code="RES501"
+        )
+        trip = TripCount(TripCountKind.UNKNOWN)
 
     return LoopSummary(
         loop=loop,

@@ -19,6 +19,7 @@ from repro.ir.function import Function
 from repro.ir.instructions import Load, Store
 from repro.obs import metrics as _metrics
 from repro.obs.trace import traced
+from repro.resilience.faultinject import fault_point
 
 
 class DependenceKind(enum.Enum):
@@ -93,6 +94,7 @@ def build_dependence_graph(
     include_input: bool = False,
 ) -> DependenceGraph:
     """Test all conflicting reference pairs of the analyzed function."""
+    fault_point("dependence.graph")
     function = analysis.function
     refs = collect_references(function)
     graph = DependenceGraph(refs)

@@ -54,6 +54,11 @@ def lint_source(
         if (diagnostic.code, diagnostic.message) not in seen:
             local.diagnostics.append(diagnostic)
 
+    if program.degradations:
+        from repro.resilience.isolation import diagnostics_of
+
+        diagnostics_of(program.degradations, local)
+
     if execution:
         lint_program(program, collector=local, samples=samples)
     else:

@@ -15,6 +15,8 @@ Code ranges:
 * ``SRC4xx`` -- source-level findings (hoistable code, dead stores,
   non-affine subscripts)
 * ``LNT0xx`` -- lint-driver level problems (a program failed to analyze)
+* ``RES5xx`` -- resilience degradations (a failure was contained by the
+  fault-tolerant pipeline; see :mod:`repro.resilience`)
 """
 
 from __future__ import annotations
@@ -210,4 +212,34 @@ register(
 register(
     "LNT001", "analysis-failed", Severity.ERROR, "driver",
     "The program failed to parse or analyze, so no checks could run.",
+)
+
+# ----------------------------------------------------------------------
+# resilience degradations (see repro.resilience / docs/ROBUSTNESS.md)
+# ----------------------------------------------------------------------
+register(
+    "RES501", "degraded-loop", Severity.WARNING, "resilience",
+    "A loop, SCR, or trip count failed to classify; the failure was "
+    "contained and the affected names read as Unknown.",
+)
+register(
+    "RES502", "skipped-phase", Severity.WARNING, "resilience",
+    "An optional pipeline phase (scalar pass, transform, dependence "
+    "graph, lint) failed and was skipped; analysis continued without it.",
+)
+register(
+    "RES503", "budget-exhausted", Severity.WARNING, "resilience",
+    "An AnalysisBudget limit (expression terms, matrix dimension, unroll "
+    "factor, phase deadline) was reached; the affected scope degraded.",
+)
+register(
+    "RES504", "retried-phase", Severity.NOTE, "resilience",
+    "A phase failed with a transient (RETRY-policy) error and was re-run; "
+    "the retry outcome is reported separately if it also failed.",
+)
+register(
+    "RES505", "degraded-function", Severity.ERROR, "resilience",
+    "A required phase (frontend under fault injection, SSA construction, "
+    "whole-function classification) failed; the entire function degraded "
+    "to an empty classification.",
 )

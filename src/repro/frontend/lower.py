@@ -42,6 +42,7 @@ from repro.ir.opcodes import BinaryOp, Relation
 from repro.ir.values import Const, Ref, Value
 
 from repro.obs.trace import traced
+from repro.resilience.faultinject import fault_point
 
 _BINOPS = {
     "+": BinaryOp.ADD,
@@ -381,6 +382,7 @@ class _Lowerer:
 @traced("frontend.lower")
 def lower_program(program: ast.Program, name: str = "main") -> Function:
     """Lower an AST to named IR (with a final implicit ``return``)."""
+    fault_point("frontend.lower")
     lowerer = _Lowerer(name, program)
     lowerer.lower_body(program.body)
     if lowerer.current.terminator is None:

@@ -29,6 +29,7 @@ from repro.frontend import ast
 from repro.frontend.lexer import FrontendError, Token, TokenKind, tokenize
 
 from repro.obs.trace import traced
+from repro.resilience.faultinject import fault_point
 
 _RELATIONS = {"<", "<=", ">", ">=", "==", "!="}
 _BLOCK_ENDERS = {"endloop", "endwhile", "endfor", "endif", "else"}
@@ -344,4 +345,5 @@ class _Parser:
 @traced("frontend.parse")
 def parse_program(source: str) -> ast.Program:
     """Parse source text into an AST."""
+    fault_point("frontend.parse")
     return _Parser(tokenize(source)).parse_program()

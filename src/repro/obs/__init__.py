@@ -82,7 +82,9 @@ SPAN_NAMES = frozenset(
 )
 
 #: every event name the built-in instrumentation can emit
-EVENT_NAMES = frozenset({"classify.scr", "sanitizer.checkpoint"})
+EVENT_NAMES = frozenset(
+    {"classify.scr", "sanitizer.checkpoint", "resilience.degraded"}
+)
 
 #: every derivation-rule name provenance records / ``--explain`` prints:
 #: ``algebra.*`` for per-operator classification and the axioms,
@@ -139,8 +141,11 @@ METRIC_NAMES = frozenset(
         "expr.cache.const.misses",
         "expr.cache.size",
         "closedform.matrix_inversions",
+        "closedform.degraded",
         "sanitizer.checkpoints",
         "dependence.pairs",
+        "resilience.degraded.",  # family: one counter per degraded phase
+        "resilience.faults.injected",
         "time.",  # family: one histogram per span name
     }
 )

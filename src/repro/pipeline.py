@@ -9,11 +9,25 @@
 ... ''')
 >>> program.result.describe(program.ssa_name("i", "L1"))
 '(L1, 0, 2)'
+
+:func:`analyze` is **fault tolerant** by default: it runs inside a
+resilient context (:mod:`repro.resilience.isolation`), so an internal
+failure in any phase is contained at the nearest boundary -- a failing
+SCR classifies as ``Unknown``, a failing loop degrades to a
+:class:`~repro.core.driver.DegradedLoopSummary`, a failing optimize pass
+falls back to the unoptimized SSA, and only an unanalyzable function
+degrades to an empty classification.  Every containment is recorded in
+``AnalyzedProgram.degradations``.  ``strict=True`` (the CLI's
+``--strict-errors``) restores raise-on-first-error; genuine *input*
+errors (:class:`~repro.frontend.lexer.FrontendError`) and sanitizer
+violations always raise.  An optional
+:class:`~repro.resilience.AnalysisBudget` bounds worst-case symbolic
+work for the same dynamic extent.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.analysis.dominators import DominatorTree, dominator_tree
@@ -25,8 +39,18 @@ from repro.frontend.lower import lower_program
 from repro.frontend.parser import parse_program
 from repro.ir.clone import clone_function
 from repro.ir.function import Function
+from repro.ir.instructions import Return
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
+from repro.resilience import budget as _budget
+from repro.resilience import isolation as _isolation
+from repro.resilience.budget import AnalysisBudget
+from repro.resilience.errors import (
+    MissingPhiError,
+    RecoveryPolicy,
+    wrap_exception,
+)
+from repro.resilience.isolation import DegradationRecord
 from repro.ssa.construct import SSAInfo, construct_ssa
 
 
@@ -41,8 +65,15 @@ class AnalyzedProgram:
     domtree: DominatorTree
     nest: LoopNest
     result: AnalysisResult
+    #: every failure contained during analysis (empty on a clean run)
+    degradations: List[DegradationRecord] = field(default_factory=list)
 
     # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """True when any phase, loop, or SCR was degraded or skipped."""
+        return bool(self.degradations)
+
     def ssa_names(self, var: str) -> List[str]:
         """All SSA names of one source variable."""
         return self.ssa_info.names_of(var)
@@ -52,11 +83,25 @@ class AnalyzedProgram:
 
         This is "the first member of the family" (section 3.1): the name the
         paper's tuples describe, e.g. ``i2`` in ``i2 = phi(i1, i3)``.
+
+        Raises :class:`~repro.resilience.errors.MissingPhiError` (a
+        ``KeyError`` subclass) when no such phi exists -- including when
+        the loop itself is unknown or the analysis degraded before phi
+        placement.
         """
-        for phi in self.ssa.block(loop_header).phis():
+        try:
+            block = self.ssa.block(loop_header)
+        except Exception as error:
+            raise MissingPhiError(
+                f"no loop-header phi for {var!r} at {loop_header!r}: "
+                f"{error}"
+            ) from error
+        for phi in block.phis():
             if self.ssa_info.origin.get(phi.result) == var:
                 return phi.result
-        raise KeyError(f"no loop-header phi for {var!r} at {loop_header!r}")
+        raise MissingPhiError(
+            f"no loop-header phi for {var!r} at {loop_header!r}"
+        )
 
     def classification(self, name: str):
         return self.result.classification_of(name)
@@ -83,7 +128,12 @@ class AnalyzedProgram:
 
 
 def analyze(
-    source: str, name: str = "main", optimize: bool = True, sanitize: bool = False
+    source: str,
+    name: str = "main",
+    optimize: bool = True,
+    sanitize: bool = False,
+    strict: bool = False,
+    budget: Optional[AnalysisBudget] = None,
 ) -> AnalyzedProgram:
     """Compile and classify a source program.
 
@@ -96,15 +146,36 @@ def analyze(
     (:mod:`repro.diagnostics.sanitizer`): the IR is re-verified and the
     cached definition indexes are cross-checked after every pass, raising
     :class:`~repro.diagnostics.SanitizerError` on the first violation.
+
+    ``strict`` disables failure isolation: the first internal error
+    propagates to the caller (the CLI's ``--strict-errors``).
+
+    ``budget`` caps worst-case symbolic work (see
+    :class:`~repro.resilience.AnalysisBudget`); exhaustion degrades the
+    affected scope rather than raising.
     """
-    with _trace.span("pipeline.analyze"):
-        program = parse_program(source)
-        named = lower_program(program, name=name)
-        simplify_loops(named)
+    with _trace.span("pipeline.analyze"), _isolation.resilient() as log, \
+            _isolation.strict_errors(strict), _budget.budgeted(budget):
+        try:
+            program = parse_program(source)
+            named = lower_program(program, name=name)
+        except Exception as error:  # noqa: BLE001 - FrontendError re-raises
+            _isolation.absorb(error, "frontend", diag_code="RES505")
+            return _degraded_program(source, name, log)
+        try:
+            simplify_loops(named)
+        except Exception as error:  # noqa: BLE001
+            _isolation.absorb(
+                error,
+                "analysis.loop-simplify",
+                action="skipped",
+                diag_code="RES502",
+            )
+            # simplify_loops mutates in place: re-lower to discard any
+            # half-canonicalized CFG and analyze the raw form instead
+            named = lower_program(program, name=name)
         sanitizer.checkpoint(named, "simplify-loops", ssa=False)
-        return analyze_function(
-            named, source=source, optimize=optimize, sanitize=sanitize
-        )
+        return _analyze_function(named, source, optimize, log)
 
 
 def analyze_function(
@@ -112,15 +183,22 @@ def analyze_function(
     source: Optional[str] = None,
     optimize: bool = True,
     sanitize: bool = False,
+    strict: bool = False,
+    budget: Optional[AnalysisBudget] = None,
 ) -> AnalyzedProgram:
     """Run SSA construction + classification on named IR.
 
-    ``named`` is kept intact (a clone is converted to SSA).
+    ``named`` is kept intact (a clone is converted to SSA).  Failure
+    isolation, strict mode, and budgets work as in :func:`analyze`.
     """
     if sanitize and not sanitizer.active():
         with sanitizer.sanitizing(strict=True):
-            return _analyze_function(named, source, optimize)
-    return _analyze_function(named, source, optimize)
+            return analyze_function(
+                named, source, optimize, strict=strict, budget=budget
+            )
+    with _isolation.resilient() as log, _isolation.strict_errors(strict), \
+            _budget.budgeted(budget):
+        return _analyze_function(named, source, optimize, log)
 
 
 def _expr_cache_totals() -> Dict[str, int]:
@@ -151,38 +229,140 @@ def _record_expr_cache_delta(before: Dict[str, int]) -> None:
     )
 
 
-def _analyze_function(
-    named: Function, source: Optional[str], optimize: bool
+def _degraded_program(
+    source: Optional[str],
+    name: str,
+    log: _isolation.DegradationLog,
 ) -> AnalyzedProgram:
+    """The maximally degraded (but structurally valid) result.
+
+    Used when even the frontend could not produce IR under fault
+    injection: an empty function whose every query answers honestly
+    (no names, no loops, all-Unknown classifications).
+    """
+    named = Function(name)
+    named.add_block("entry").terminator = Return()
+    return _degraded_from_named(named, source, log)
+
+
+def _degraded_from_named(
+    named: Function,
+    source: Optional[str],
+    log: _isolation.DegradationLog,
+) -> AnalyzedProgram:
+    """Degrade to a classification-free result over intact named IR."""
+    ssa = clone_function(named)
+    domtree = dominator_tree(ssa)
+    nest = find_loops(ssa, domtree)
+    ssa_info = SSAInfo(ssa, domtree)
+    result = AnalysisResult(ssa, nest, domtree)
+    return AnalyzedProgram(
+        source=source,
+        named_ir=named,
+        ssa=ssa,
+        ssa_info=ssa_info,
+        domtree=domtree,
+        nest=nest,
+        result=result,
+        degradations=list(log.records),
+    )
+
+
+def _run_scalar_passes(ssa: Function) -> None:
+    """The optimize phase body (raises; isolation is the caller's job)."""
+    from repro.ir.verify import verify_function
     from repro.scalar.copyprop import propagate_copies
     from repro.scalar.gvn import run_gvn
     from repro.scalar.sccp import run_sccp
     from repro.scalar.simplify import simplify_instructions
 
+    with _trace.span("pipeline.optimize"), _budget.phase_deadline("optimize"):
+        for _ in range(3):
+            _budget.check_deadline("optimize")
+            run_sccp(ssa)
+            sanitizer.checkpoint(ssa, "sccp")
+            changed = simplify_instructions(ssa)
+            sanitizer.checkpoint(ssa, "simplify")
+            changed += run_gvn(ssa)
+            sanitizer.checkpoint(ssa, "gvn")
+            changed += propagate_copies(ssa)
+            sanitizer.checkpoint(ssa, "copyprop")
+            if not changed:
+                break
+    verify_function(ssa, ssa=True)
+
+
+def _analyze_function(
+    named: Function,
+    source: Optional[str],
+    optimize: bool,
+    log: Optional[_isolation.DegradationLog] = None,
+) -> AnalyzedProgram:
+    if log is None:
+        log = _isolation.DegradationLog()
+
     cache_before = _expr_cache_totals() if _metrics.active() is not None else None
 
-    ssa = clone_function(named)
-    ssa_info = construct_ssa(ssa)
+    try:
+        ssa = clone_function(named)
+        ssa_info = construct_ssa(ssa)
+    except Exception as error:  # noqa: BLE001 - whole-function boundary
+        _isolation.absorb(error, "ssa.construct", diag_code="RES505")
+        return _degraded_from_named(named, source, log)
     sanitizer.checkpoint(ssa, "construct-ssa")
     if optimize:
-        from repro.ir.verify import verify_function
-
-        with _trace.span("pipeline.optimize"):
-            for _ in range(3):
-                run_sccp(ssa)
-                sanitizer.checkpoint(ssa, "sccp")
-                changed = simplify_instructions(ssa)
-                sanitizer.checkpoint(ssa, "simplify")
-                changed += run_gvn(ssa)
-                sanitizer.checkpoint(ssa, "gvn")
-                changed += propagate_copies(ssa)
-                sanitizer.checkpoint(ssa, "copyprop")
-                if not changed:
-                    break
-        verify_function(ssa, ssa=True)
-    domtree = dominator_tree(ssa)
-    nest = find_loops(ssa, domtree)
-    result = classify_function(ssa, nest, domtree)
+        try:
+            _run_scalar_passes(ssa)
+        except Exception as error:  # noqa: BLE001 - phase boundary
+            wrapped = wrap_exception(error, "pipeline.optimize")
+            retry_ok = False
+            if (
+                wrapped.policy is RecoveryPolicy.RETRY
+                and _isolation.isolating()
+            ):
+                log.record(
+                    phase=wrapped.phase or "pipeline.optimize",
+                    code=wrapped.code,
+                    message=wrapped.message,
+                    diag_code="RES504",
+                    action="retried",
+                )
+                # the failed passes mutated ``ssa`` in place: rebuild from
+                # the intact named IR before re-running them
+                try:
+                    ssa = clone_function(named)
+                    ssa_info = construct_ssa(ssa)
+                    _run_scalar_passes(ssa)
+                    retry_ok = True
+                except Exception as retry_error:  # noqa: BLE001
+                    error = retry_error
+                    wrapped = wrap_exception(error, "pipeline.optimize")
+            if not retry_ok:
+                _isolation.absorb(
+                    error,
+                    wrapped.phase or "pipeline.optimize",
+                    action="skipped",
+                    diag_code="RES502",
+                )
+                try:
+                    ssa = clone_function(named)
+                    ssa_info = construct_ssa(ssa)
+                except Exception as rebuild_error:  # noqa: BLE001
+                    _isolation.absorb(
+                        rebuild_error, "ssa.construct", diag_code="RES505"
+                    )
+                    return _degraded_from_named(named, source, log)
+    try:
+        domtree = dominator_tree(ssa)
+        nest = find_loops(ssa, domtree)
+    except Exception as error:  # noqa: BLE001 - whole-function boundary
+        _isolation.absorb(error, "analysis.loops", diag_code="RES505")
+        return _degraded_from_named(named, source, log)
+    try:
+        result = classify_function(ssa, nest, domtree)
+    except Exception as error:  # noqa: BLE001 - whole-function boundary
+        _isolation.absorb(error, "classify.function", diag_code="RES505")
+        result = AnalysisResult(ssa, nest, domtree)
     if cache_before is not None:
         _record_expr_cache_delta(cache_before)
     return AnalyzedProgram(
@@ -193,4 +373,5 @@ def _analyze_function(
         domtree=domtree,
         nest=nest,
         result=result,
+        degradations=list(log.records),
     )

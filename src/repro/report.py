@@ -5,6 +5,11 @@ program -- per-loop classifications (in the paper's tuple notation), trip
 counts, exit values, the dependence graph and per-loop parallelism
 verdicts -- the way a compiler's ``-fdump-loop-analysis`` would.
 Used by the command-line interface (``python -m repro``).
+
+Degradations recorded by the fault-tolerant pipeline are rendered in a
+``== resilience ==`` section; degraded loops are flagged inline.  The
+dependence-graph build itself runs as an *optional phase*: if it fails,
+the report notes the skip instead of crashing.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from repro.core.tripcount import TripCountKind
 from repro.dependence.graph import build_dependence_graph
 from repro.dependence.loopinfo import analyze_parallelism
 from repro.pipeline import AnalyzedProgram
+from repro.resilience import isolation as _isolation
 
 
 def format_report(
@@ -36,17 +42,26 @@ def format_report(
 
     if not result.loops:
         lines.append("no loops found")
+        _append_resilience(lines, program)
         _append_diagnostics(lines, diagnostics)
         return "\n".join(lines)
 
-    graph = build_dependence_graph(result) if show_dependences else None
+    graph = None
+    if show_dependences:
+        with _isolation.resilient(_report_log(program)):
+            graph = _isolation.run_optional(
+                "dependence.graph",
+                lambda: build_dependence_graph(result),
+                diag_code="RES502",
+            )
     parallelism = analyze_parallelism(result, graph) if graph is not None else {}
 
     for loop in sorted(result.loops.values(), key=lambda s: s.loop.depth):
         summary = loop
         header = summary.label
         indent = "  " * (summary.loop.depth - 1)
-        lines.append(f"{indent}loop {header} (depth {summary.loop.depth}):")
+        flag = "  [degraded]" if summary.degraded else ""
+        lines.append(f"{indent}loop {header} (depth {summary.loop.depth}):{flag}")
 
         trip = summary.trip
         if trip.kind is TripCountKind.FINITE:
@@ -82,16 +97,49 @@ def format_report(
                 )
         lines.append("")
 
-    if graph is not None:
+    if show_dependences:
         lines.append("== dependence graph ==")
-        if graph.edges:
+        if graph is None:
+            lines.append("  skipped (dependence analysis degraded)")
+        elif graph.edges:
             for edge in graph.edges:
                 note = f"   [{edge.result.notes[-1]}]" if edge.result.notes else ""
                 lines.append(f"  {edge!r}{note}")
         else:
             lines.append("  no dependences")
+    _append_resilience(lines, program)
     _append_diagnostics(lines, diagnostics)
     return "\n".join(lines)
+
+
+def _report_log(program: AnalyzedProgram) -> _isolation.DegradationLog:
+    """A log whose records land in ``program.degradations``.
+
+    Report-time optional phases (the dependence graph) degrade into the
+    same list the pipeline filled, so one ``== resilience ==`` section
+    covers both.
+    """
+    log = _isolation.DegradationLog()
+    log.records = program.degradations
+    return log
+
+
+def _append_resilience(lines: List[str], program: AnalyzedProgram) -> None:
+    """Append a ``== resilience ==`` section when anything degraded."""
+    if not program.degradations:
+        return
+    lines.append("")
+    lines.append("== resilience ==")
+    lines.append(
+        f"  {len(program.degradations)} degradation(s); results are "
+        "partial (re-run with --strict-errors to see the first failure)"
+    )
+    for record in program.degradations:
+        where = f" at {record.scope}" if record.scope else ""
+        lines.append(
+            f"  [{record.diag_code}] {record.phase}{where}: "
+            f"{record.action} ({record.code}) -- {record.message}"
+        )
 
 
 def _append_diagnostics(lines: List[str], diagnostics: Optional[Sequence]) -> None:

@@ -1,0 +1,175 @@
+"""Resource budgets: bound the pipeline's worst-case symbolic work.
+
+The paper's machinery is small in the common case -- "the matrices
+involved are tiny" -- but adversarial inputs can drive it arbitrarily
+far: polynomial multiplication grows term counts quadratically, the
+section 4.3 coefficient matrices grow with recurrence order, full
+unrolling multiplies the IR by the trip count, and a pathological loop
+nest can hold one phase hostage indefinitely.  An :class:`AnalysisBudget`
+caps each of those at its choke point; exhausting a budget raises
+:class:`~repro.resilience.errors.BudgetExceeded` (policy DEGRADE), which
+the isolation layer converts into an ``Unknown`` classification -- never
+a crash.
+
+The active budget lives in a context variable (``None`` = unbudgeted,
+the library default).  The hot-path check in
+:mod:`repro.symbolic.expr` reads the module-level mirror
+:data:`_EXPR_TERM_CAP` instead -- one attribute read, zero cost when no
+budget is installed.  :data:`SERVICE_BUDGET` is a documented
+production-service default.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.resilience.errors import BudgetExceeded
+
+__all__ = [
+    "AnalysisBudget",
+    "SERVICE_BUDGET",
+    "active",
+    "budgeted",
+    "charge_expr_terms",
+    "check_deadline",
+    "matrix_dim_allowed",
+    "phase_deadline",
+    "unroll_cap",
+]
+
+
+@dataclass(frozen=True)
+class AnalysisBudget:
+    """Per-analysis resource caps (``None`` disables the individual cap).
+
+    * ``max_expr_terms`` -- monomial count of any single
+      :class:`~repro.symbolic.expr.Expr` built by multiplication or
+      substitution;
+    * ``max_matrix_dim`` -- dimension of the section 4.3 coefficient
+      matrices (polynomial degree + geometric bases + 1);
+    * ``max_unroll_trips`` -- trip count beyond which unroll/peel
+      transforms refuse to expand the IR;
+    * ``phase_deadline_s`` -- wall-clock seconds any single pipeline
+      phase (optimize, classify) may run.
+    """
+
+    max_expr_terms: Optional[int] = None
+    max_matrix_dim: Optional[int] = None
+    max_unroll_trips: Optional[int] = None
+    phase_deadline_s: Optional[float] = None
+
+
+#: a sane default for services: generous enough for every program in the
+#: paper (and ``examples/``), tight enough that no request monopolizes a
+#: worker.
+SERVICE_BUDGET = AnalysisBudget(
+    max_expr_terms=4096,
+    max_matrix_dim=12,
+    max_unroll_trips=256,
+    phase_deadline_s=10.0,
+)
+
+_BUDGET: ContextVar[Optional[AnalysisBudget]] = ContextVar(
+    "repro_resilience_budget", default=None
+)
+_DEADLINE: ContextVar[Optional[float]] = ContextVar(
+    "repro_resilience_deadline", default=None
+)
+
+#: module-level mirror of the innermost budget's ``max_expr_terms``, read
+#: directly by the Expr hot paths (an attribute load beats a context-var
+#: lookup there; budgets are installed per-analysis, not per-thread)
+_EXPR_TERM_CAP: Optional[int] = None
+
+
+def active() -> Optional[AnalysisBudget]:
+    """The innermost installed budget, or ``None`` (unbudgeted)."""
+    return _BUDGET.get()
+
+
+@contextmanager
+def budgeted(budget: Optional[AnalysisBudget]):
+    """Install ``budget`` for the dynamic extent of the block.
+
+    ``budgeted(None)`` is a no-op context, so callers can pass an optional
+    budget through unconditionally.
+    """
+    global _EXPR_TERM_CAP
+    if budget is None:
+        yield None
+        return
+    token = _BUDGET.set(budget)
+    previous_cap = _EXPR_TERM_CAP
+    _EXPR_TERM_CAP = budget.max_expr_terms
+    try:
+        yield budget
+    finally:
+        _EXPR_TERM_CAP = previous_cap
+        _BUDGET.reset(token)
+
+
+def charge_expr_terms(nterms: int) -> None:
+    """Raise when a freshly built Expr exceeds the term cap."""
+    cap = _EXPR_TERM_CAP
+    if cap is not None and nterms > cap:
+        raise BudgetExceeded(
+            f"expression grew to {nterms} terms (budget {cap})",
+            code="budget-expr-terms",
+        )
+
+
+def matrix_dim_allowed(dim: int) -> bool:
+    """True when a ``dim x dim`` coefficient matrix fits the budget.
+
+    The closed-form fitters *degrade* (return ``None``) rather than raise
+    on an oversized system, so this is a predicate, not a charge.
+    """
+    budget = _BUDGET.get()
+    return (
+        budget is None
+        or budget.max_matrix_dim is None
+        or dim <= budget.max_matrix_dim
+    )
+
+
+def unroll_cap(requested: int) -> int:
+    """The effective unroll limit: ``requested`` clamped by the budget."""
+    budget = _BUDGET.get()
+    if budget is None or budget.max_unroll_trips is None:
+        return requested
+    return min(requested, budget.max_unroll_trips)
+
+
+@contextmanager
+def phase_deadline(phase: str):
+    """Start the per-phase deadline clock for the dynamic extent.
+
+    No-op without a budget (or without ``phase_deadline_s``).  The clock
+    is *checked* cooperatively -- :func:`check_deadline` at loop
+    boundaries inside the phase -- so granularity is one unit of phase
+    work, not a hard preemption.
+    """
+    budget = _BUDGET.get()
+    if budget is None or budget.phase_deadline_s is None:
+        yield
+        return
+    token = _DEADLINE.set(time.monotonic() + budget.phase_deadline_s)
+    try:
+        yield
+    finally:
+        _DEADLINE.reset(token)
+
+
+def check_deadline(phase: str) -> None:
+    """Raise when the current phase has run past its deadline."""
+    deadline = _DEADLINE.get()
+    if deadline is not None and time.monotonic() > deadline:
+        raise BudgetExceeded(
+            f"phase {phase!r} ran past its deadline",
+            code="budget-deadline",
+            phase=phase,
+        )

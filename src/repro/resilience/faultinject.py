@@ -1,0 +1,167 @@
+"""Deterministic fault injection: prove degradation, don't hope for it.
+
+Every pipeline phase declares a **named fault point** (the catalogue is
+:data:`FAULT_POINTS`; ``docs/ROBUSTNESS.md`` documents it one-for-one).
+A fault point is one call -- ``fault_point("scalar.sccp")`` -- costing a
+single context-var read when no injection plan is armed, exactly the
+pay-for-use contract of the obs layer.
+
+A :class:`FaultPlan` decides *deterministically* which invocations trip:
+
+* ``FaultPlan(points={"classify.loop"})`` -- every hit of those points;
+* ``FaultPlan(points=..., only_first=True)`` -- only the first hit (the
+  retry-policy proof: the re-run succeeds);
+* ``FaultPlan(seed=202, rate=0.3)`` -- a seeded pseudo-random sweep: the
+  k-th invocation of each point trips iff the seeded stream says so, so
+  the same seed over the same corpus always injects the same faults.
+
+The chaos suite (``tests/resilience/test_chaos.py``) arms every point in
+turn over the ``examples/`` corpus and asserts that ``analyze()`` always
+returns a degraded-but-valid :class:`~repro.pipeline.AnalyzedProgram`.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.obs import metrics as _metrics
+from repro.resilience.errors import InjectedFault, TransientFault
+
+__all__ = [
+    "FAULT_POINTS",
+    "FaultPlan",
+    "all_fault_points",
+    "fault_point",
+    "injecting",
+]
+
+#: every named fault point, with the phase it interrupts.  Call sites and
+#: this catalogue are kept in sync by ``tests/resilience/test_faultinject.py``
+#: (every point must be reachable) and the docs by
+#: ``tests/resilience/test_docs.py``.
+FAULT_POINTS: Dict[str, str] = {
+    "frontend.parse": "lexing/parsing the loop-language source",
+    "frontend.lower": "lowering the AST to named IR",
+    "analysis.loop-simplify": "preheader/latch canonicalization",
+    "ssa.construct": "phi placement and renaming",
+    "scalar.sccp": "sparse conditional constant propagation",
+    "scalar.simplify": "algebraic instruction simplification",
+    "scalar.gvn": "global value numbering",
+    "scalar.copyprop": "copy propagation",
+    "classify.function": "whole-function classification setup",
+    "classify.loop": "per-loop region build + SCR classification",
+    "classify.tripcount": "trip-count computation of one loop",
+    "closedform.fit": "section 4.3 coefficient-matrix fitting",
+    "closedform.recurrence": "affine recurrence solving",
+    "dependence.graph": "dependence-graph construction",
+    "transform.strength-reduce": "strength reduction",
+    "transform.ivsubst": "induction-variable substitution",
+    "transform.licm": "loop-invariant code motion",
+    "transform.peel": "first-iteration peeling",
+    "transform.normalize": "loop normalization",
+    "transform.unroll": "full unrolling",
+    "transform.materialize": "exit-value materialization",
+}
+
+
+def all_fault_points() -> List[str]:
+    return sorted(FAULT_POINTS)
+
+
+class FaultPlan:
+    """A deterministic decision procedure over fault-point invocations.
+
+    ``points`` restricts which named points may trip (``None`` = all).
+    With a ``seed``, each invocation consults a :class:`random.Random`
+    stream (deterministic for a fixed seed and call sequence) against
+    ``rate``; without one, every eligible invocation trips.
+    ``only_first`` trips just the first eligible invocation per point.
+    ``transient`` raises :class:`TransientFault` (policy RETRY) instead
+    of :class:`InjectedFault` (policy DEGRADE).
+    """
+
+    def __init__(
+        self,
+        points: Optional[Iterable[str]] = None,
+        seed: Optional[int] = None,
+        rate: float = 1.0,
+        only_first: bool = False,
+        transient: bool = False,
+    ):
+        if points is None:
+            self.points: Optional[Set[str]] = None
+        else:
+            self.points = set(points)
+            unknown = self.points - set(FAULT_POINTS)
+            if unknown:
+                raise ValueError(f"unknown fault points: {sorted(unknown)}")
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be within [0, 1]")
+        self.seed = seed
+        self.rate = rate
+        self.only_first = only_first
+        self.transient = transient
+        self._rng = random.Random(seed) if seed is not None else None
+        self.hits: Dict[str, int] = {}
+        #: every (point, invocation index) that actually tripped
+        self.fired: List[Tuple[str, int]] = []
+
+    def should_trip(self, point: str) -> bool:
+        if self.points is not None and point not in self.points:
+            return False
+        index = self.hits.get(point, 0)
+        self.hits[point] = index + 1
+        if self.only_first and index > 0:
+            return False
+        if self._rng is not None and self._rng.random() >= self.rate:
+            return False
+        self.fired.append((point, index))
+        return True
+
+
+_PLAN: ContextVar[Optional[FaultPlan]] = ContextVar(
+    "repro_resilience_faultplan", default=None
+)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    return _PLAN.get()
+
+
+@contextmanager
+def injecting(plan: Union[FaultPlan, str, None]):
+    """Arm a fault plan (or one point by name) for the dynamic extent."""
+    if isinstance(plan, str):
+        plan = FaultPlan(points={plan})
+    token = _PLAN.set(plan)
+    try:
+        yield plan
+    finally:
+        _PLAN.reset(token)
+
+
+def fault_point(name: str) -> None:
+    """Declare a named fault point; trips when an armed plan says so.
+
+    One context-var read when no plan is armed.  Unknown names only fail
+    when a plan is armed (the hot path never pays for validation).
+    """
+    plan = _PLAN.get()
+    if plan is None:
+        return
+    if name not in FAULT_POINTS:
+        raise ValueError(f"fault_point({name!r}) is not in FAULT_POINTS")
+    if plan.should_trip(name):
+        _metrics.inc("resilience.faults.injected")
+        description = FAULT_POINTS[name]
+        if plan.transient:
+            raise TransientFault(
+                f"injected transient fault at {name} ({description})",
+                phase=name,
+            )
+        raise InjectedFault(
+            f"injected fault at {name} ({description})", phase=name
+        )

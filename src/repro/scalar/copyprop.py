@@ -14,11 +14,13 @@ from repro.ir.instructions import Assign
 from repro.ir.values import Const, Ref, Value
 
 from repro.obs.trace import traced
+from repro.resilience.faultinject import fault_point
 
 
 @traced("scalar.copyprop")
 def propagate_copies(function: Function) -> int:
     """Replace uses of copy results by their (transitive) sources."""
+    fault_point("scalar.copyprop")
     forward: Dict[str, Value] = {}
     for block in function:
         for inst in block:

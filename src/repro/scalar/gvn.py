@@ -27,6 +27,7 @@ from repro.ir.opcodes import BinaryOp
 from repro.ir.values import Const, Ref, Value
 
 from repro.obs.trace import traced
+from repro.resilience.faultinject import fault_point
 
 _COMMUTATIVE = {BinaryOp.ADD, BinaryOp.MUL}
 
@@ -69,6 +70,7 @@ def run_gvn(function: Function, domtree: Optional[DominatorTree] = None) -> int:
     equivalent, and all uses are forwarded.  Returns the number of
     instructions eliminated.
     """
+    fault_point("scalar.gvn")
     if domtree is None:
         domtree = dominator_tree(function)
 

@@ -33,6 +33,7 @@ from repro.ir.opcodes import BinaryOp
 from repro.ir.values import Const, Ref, Value
 
 from repro.obs.trace import traced
+from repro.resilience.faultinject import fault_point
 
 TOP = "top"
 BOTTOM = "bottom"
@@ -54,6 +55,7 @@ class SCCPResult:
 @traced("scalar.sccp")
 def run_sccp(function: Function, apply: bool = True) -> SCCPResult:
     """Run SCCP; if ``apply``, rewrite constant uses in place."""
+    fault_point("scalar.sccp")
     values: Dict[str, object] = {}
     for name in function.definitions():
         values[name] = TOP

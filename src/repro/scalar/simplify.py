@@ -13,11 +13,13 @@ from repro.ir.opcodes import BinaryOp
 from repro.ir.values import Const, Ref, Value
 
 from repro.obs.trace import traced
+from repro.resilience.faultinject import fault_point
 
 
 @traced("scalar.simplify")
 def simplify_instructions(function: Function) -> int:
     """Apply local identities in place.  Returns number of rewrites."""
+    fault_point("scalar.simplify")
     count = 0
     for block in function:
         converted_phi = False

@@ -27,6 +27,7 @@ from repro.ir.instructions import Phi
 from repro.ir.values import Ref
 
 from repro.obs.trace import traced
+from repro.resilience.faultinject import fault_point
 
 
 @dataclass
@@ -50,6 +51,7 @@ class SSAInfo:
 @traced("ssa.construct")
 def construct_ssa(function: Function) -> SSAInfo:
     """Convert ``function`` (in place) from named form to SSA form."""
+    fault_point("ssa.construct")
     for block in function:
         if block.phis():
             raise IRError("construct_ssa expects phi-free named IR")

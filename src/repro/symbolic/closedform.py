@@ -22,6 +22,8 @@ from fractions import Fraction
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.obs import metrics as _metrics
+from repro.resilience.budget import matrix_dim_allowed
+from repro.resilience.faultinject import fault_point
 from repro.symbolic.expr import Expr, Rat
 from repro.symbolic.rational import Matrix, MatrixError
 
@@ -303,7 +305,7 @@ class ClosedForm:
         geo = {base: coeff * (Fraction(base) ** offset) for base, coeff in self.geo.items()}
         return ClosedForm(coeffs, geo)
 
-    def prefix_sum(self) -> "ClosedForm":
+    def prefix_sum(self) -> Optional["ClosedForm"]:
         """``S(h) = sum_{t=0}^{h-1} value(t)`` with ``S(0) = 0``.
 
         This solves the pure accumulation recurrence ``x_{h+1} = x_h + d(h)``
@@ -311,6 +313,10 @@ class ClosedForm:
         order (section 4.3).  The polynomial part is fitted with the paper's
         matrix-inversion method; geometric terms sum analytically as
         ``g * (b**h - 1) / (b - 1)``.
+
+        Returns ``None`` when the polynomial fit degrades (singular or
+        over-budget coefficient system); the classifier then falls back to
+        the monotonic/unknown rules.
         """
         poly_part = ClosedForm(self.coeffs)
         degree = poly_part.degree if poly_part.coeffs else 0
@@ -323,7 +329,10 @@ class ClosedForm:
             for h in range(npoints):
                 values.append(acc)
                 acc = acc + poly_part.value_at(h)
-            result = result + ClosedForm.fit_polynomial(values)
+            fitted = ClosedForm.fit_polynomial(values)
+            if fitted is None:
+                return None
+            result = result + fitted
         for base, coeff in self.geo.items():
             scale = Fraction(1, base - 1)
             # sum_{t<h} b**t = (b**h - 1)/(b - 1)
@@ -334,18 +343,31 @@ class ClosedForm:
     # coefficient recovery (the paper's section 4.3 machinery)
     # ------------------------------------------------------------------
     @staticmethod
-    def fit_polynomial(values: Sequence[Union[Expr, Rat]]) -> "ClosedForm":
+    def fit_polynomial(values: Sequence[Union[Expr, Rat]]) -> Optional["ClosedForm"]:
         """Fit a degree ``len(values)-1`` polynomial through
         ``value(h) = values[h]`` for ``h = 0 .. n-1``.
 
         This is precisely the paper's method: invert the integer matrix
         ``a[i][j] = i**j`` and multiply by the first values.
+
+        Returns ``None`` (and counts ``closedform.degraded``) instead of
+        raising when the system cannot be solved: the matrix is singular
+        or larger than the active budget's ``max_matrix_dim``.  Callers
+        fall back to monotonic/unknown classification.
         """
+        fault_point("closedform.fit")
         vals = [_as_expr(v) for v in values]
         if not vals:
             raise ClosedFormError("cannot fit a polynomial through no values")
         n = len(vals)
-        inverse = Matrix.vandermonde(range(n), n - 1).inverse()
+        if not matrix_dim_allowed(n):
+            _metrics.inc("closedform.degraded")
+            return None
+        try:
+            inverse = Matrix.vandermonde(range(n), n - 1).inverse()
+        except MatrixError:
+            _metrics.inc("closedform.degraded")
+            return None
         _metrics.inc("closedform.matrix_inversions")
         coeffs = _mat_mul_exprs(inverse, vals)
         return ClosedForm(coeffs)
@@ -359,8 +381,10 @@ class ClosedForm:
         """Fit ``sum_{k<=degree} s_k h**k + sum_b g_b b**h`` through values.
 
         ``len(values)`` must equal ``degree + 1 + len(bases)``.  Returns
-        ``None`` if the basis matrix is singular on the sample points.
+        ``None`` if the basis matrix is singular on the sample points or
+        exceeds the active budget's ``max_matrix_dim``.
         """
+        fault_point("closedform.fit")
         vals = [_as_expr(v) for v in values]
         nbases = list(bases)
         n = degree + 1 + len(nbases)
@@ -370,6 +394,9 @@ class ClosedForm:
             raise ClosedFormError("geometric base must not be 0 or 1")
         if len(set(nbases)) != len(nbases):
             raise ClosedFormError("duplicate geometric bases")
+        if not matrix_dim_allowed(n):
+            _metrics.inc("closedform.degraded")
+            return None
         rows = []
         for h in range(n):
             row: List[Fraction] = [Fraction(h) ** k for k in range(degree + 1)]
@@ -378,6 +405,7 @@ class ClosedForm:
         try:
             inverse = Matrix(rows).inverse()
         except MatrixError:
+            _metrics.inc("closedform.degraded")
             return None
         _metrics.inc("closedform.matrix_inversions")
         solution = _mat_mul_exprs(inverse, vals)
@@ -479,9 +507,13 @@ def solve_affine_recurrence(
       conservatively includes a quadratic term and discovers its coefficient
       is zero; we reproduce exactly that).
     """
+    fault_point("closedform.recurrence")
     x0 = _as_expr(init)
     if multiplier == 1:
-        return ClosedForm.invariant(x0) + addend.prefix_sum()
+        summed = addend.prefix_sum()
+        if summed is None:
+            return None
+        return ClosedForm.invariant(x0) + summed
     if multiplier == 0:
         return None
     bases = set(addend.geo)

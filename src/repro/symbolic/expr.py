@@ -28,6 +28,8 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
 
+from repro.resilience import budget as _budget
+
 Rat = Union[int, Fraction]
 # A monomial is a sorted tuple of (symbol, exponent) pairs with exponent >= 1.
 Monomial = Tuple[Tuple[str, int], ...]
@@ -282,6 +284,8 @@ class Expr:
                     out[mono] = total
                 elif mono in out:
                     del out[mono]
+        if _budget._EXPR_TERM_CAP is not None:
+            _budget.charge_expr_terms(len(out))
         return Expr._raw(out)
 
     __rmul__ = __mul__
@@ -367,6 +371,8 @@ class Expr:
                     base = Expr.sym(sym)
                 term = term * (base**exp)
             result = result + term
+        if _budget._EXPR_TERM_CAP is not None:
+            _budget.charge_expr_terms(len(result._terms))
         if key is not None:
             if len(_SUBST_CACHE) >= _CACHE_LIMIT:
                 _SUBST_CACHE.clear()

@@ -26,6 +26,7 @@ from repro.ir.values import Const, Ref
 from repro.transforms.materialize import MaterializeError, materialize_expr
 
 from repro.obs.trace import traced
+from repro.resilience.faultinject import fault_point
 
 
 @traced("transform.ivsubst")
@@ -33,6 +34,7 @@ def substitute_induction_variables(
     function: Function, analysis: AnalysisResult, loop: Loop
 ) -> List[str]:
     """Rewrite linear IVs of ``loop`` in closed form.  Returns rewritten names."""
+    fault_point("transform.ivsubst")
     preheader_label = loop.preheader(function)
     if preheader_label is None or len(loop.latches) != 1:
         return []

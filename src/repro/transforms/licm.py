@@ -24,6 +24,7 @@ from repro.ir.function import Function
 from repro.ir.instructions import Assign, BinOp, Compare, Load, Phi, UnOp
 from repro.ir.opcodes import BinaryOp
 from repro.ir.values import Ref
+from repro.resilience.faultinject import fault_point
 
 from repro.obs.trace import traced
 
@@ -41,6 +42,7 @@ def hoist_invariants(
     the result remains valid SSA (a hoisted definition dominates strictly
     more of the function than before).
     """
+    fault_point("transform.licm")
     preheader_label = loop.preheader(function)
     if preheader_label is None:
         return []

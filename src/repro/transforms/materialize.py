@@ -18,6 +18,7 @@ from repro.ir.function import Function
 from repro.ir.instructions import BinOp, Instruction
 from repro.ir.opcodes import BinaryOp
 from repro.ir.values import Const, Ref, Value
+from repro.resilience.faultinject import fault_point
 from repro.symbolic.expr import Expr
 
 
@@ -37,6 +38,7 @@ def materialize_expr(
     Returns ``(value, next_position)``; ``value`` is a Const for constant
     expressions (no instructions emitted).
     """
+    fault_point("transform.materialize")
     instructions: List[Instruction] = []
 
     def fresh() -> str:

@@ -32,12 +32,14 @@ from repro.ir.opcodes import BinaryOp, Relation
 from repro.ir.values import Const, Ref, Value
 
 from repro.obs.trace import traced
+from repro.resilience.faultinject import fault_point
 
 
 @traced("transform.normalize")
 def normalize_loop(function: Function, header: str) -> Optional[str]:
     """Normalize the counted loop at ``header``; returns the new counter
     variable name, or None if the loop does not match the counted shape."""
+    fault_point("transform.normalize")
     nest = find_loops(function)
     loop = nest.loop_of_header(header)
     if loop is None:

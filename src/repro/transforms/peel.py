@@ -27,6 +27,7 @@ from repro.ir.clone import _clone_instruction, _clone_terminator
 from repro.ir.function import Function, IRError
 
 from repro.obs.trace import traced
+from repro.resilience.faultinject import fault_point
 
 
 @traced("transform.peel")
@@ -36,6 +37,7 @@ def peel_first_iteration(function: Function, header: str) -> List[str]:
     Returns the labels of the cloned blocks.  Requires a canonical loop
     (dedicated preheader; run ``simplify_loops`` first).
     """
+    fault_point("transform.peel")
     for block in function:
         for inst in block:
             from repro.ir.instructions import Phi

@@ -32,6 +32,7 @@ from repro.symbolic.expr import Expr
 from repro.transforms.materialize import MaterializeError, materialize_expr
 
 from repro.obs.trace import traced
+from repro.resilience.faultinject import fault_point
 
 
 @dataclass
@@ -48,6 +49,7 @@ def strength_reduce(
     function: Function, analysis: AnalysisResult, loop: Loop
 ) -> List[ReducedMultiply]:
     """Reduce all eligible multiplications in ``loop``.  Returns records."""
+    fault_point("transform.strength-reduce")
     preheader_label = loop.preheader(function)
     if preheader_label is None or len(loop.latches) != 1:
         return []

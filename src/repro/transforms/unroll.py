@@ -19,6 +19,8 @@ from repro.analysis.loopsimplify import simplify_loops
 from repro.ir.clone import clone_function
 from repro.diagnostics.sanitizer import checkpoint
 from repro.ir.function import Function, IRError
+from repro.resilience.budget import unroll_cap
+from repro.resilience.faultinject import fault_point
 from repro.transforms.peel import peel_first_iteration
 
 from repro.obs.trace import traced
@@ -32,16 +34,19 @@ def fully_unroll(
 
     Returns the number of peeled iterations, or None when the trip count
     is unknown, inexact, symbolic, or above ``max_trips`` (the function is
-    left untouched in that case).
+    left untouched in that case).  An active
+    :class:`~repro.resilience.AnalysisBudget` additionally clamps
+    ``max_trips`` to ``max_unroll_trips``, bounding the IR expansion.
     """
     from repro.pipeline import analyze_function
 
+    fault_point("transform.unroll")
     probe = analyze_function(clone_function(function))
     if header not in probe.result.loops:
         raise IRError(f"no loop headed at {header!r}")
     trip = probe.result.trip_count(header)
     count = trip.constant()
-    if count is None or not trip.exact or count > max_trips:
+    if count is None or not trip.exact or count > unroll_cap(max_trips):
         return None
 
     for _ in range(count):

@@ -1,0 +1,99 @@
+"""Chaos suite: inject every fault point across the examples corpus.
+
+The contract under test is the tentpole guarantee: **no single injected
+fault can make ``analyze()`` escape with an exception** -- the result is
+always a structurally valid :class:`~repro.pipeline.AnalyzedProgram`
+where every SSA name still answers ``classification_of`` (possibly
+``Unknown``) and the containment is visible in ``degradations``.
+
+``CHAOS_SEED=<int>`` narrows the seeded sweep to one seed (CI runs the
+three defaults in separate jobs).
+"""
+
+import os
+
+import pytest
+
+from repro.diagnostics.driver import collect_targets
+from repro.pipeline import AnalyzedProgram, analyze
+from repro.resilience.errors import InjectedFault
+from repro.resilience.faultinject import FAULT_POINTS, FaultPlan, injecting
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+CORPUS = collect_targets([EXAMPLES])
+
+DEFAULT_SEEDS = [101, 202, 303]
+SEEDS = (
+    [int(os.environ["CHAOS_SEED"])]
+    if os.environ.get("CHAOS_SEED")
+    else DEFAULT_SEEDS
+)
+
+
+def assert_valid(program, origin):
+    """The degraded-but-valid contract for one analyzed program."""
+    assert isinstance(program, AnalyzedProgram), origin
+    for name in program.ssa.definitions():
+        classification = program.result.classification_of(name)
+        assert classification is not None, (origin, name)
+        assert isinstance(classification.describe(), str), (origin, name)
+    assert isinstance(program.describe_all(), dict), origin
+    for summary in program.result.loops.values():
+        assert summary.trip is not None, origin
+
+
+def test_corpus_is_substantial():
+    # the harvest must keep finding the embedded example programs
+    assert len(CORPUS) >= 10
+
+
+@pytest.mark.parametrize("point", sorted(FAULT_POINTS))
+def test_single_point_never_escapes_analyze(point):
+    """Arm one point at full rate over the whole corpus: no escape."""
+    for target in CORPUS:
+        with injecting(FaultPlan(points={point})) as plan:
+            program = analyze(target.source)
+        assert_valid(program, target.origin)
+        if plan.fired:
+            assert program.degraded, (point, target.origin)
+            assert any(
+                record.code in ("injected-fault", "internal-error")
+                for record in program.degradations
+            ), (point, target.origin)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_seeded_sweep_never_escapes_analyze(seed):
+    """A pseudo-random multi-point sweep (rate 0.3) over the corpus."""
+    fired_total = 0
+    for target in CORPUS:
+        with injecting(FaultPlan(seed=seed, rate=0.3)) as plan:
+            program = analyze(target.source)
+        assert_valid(program, target.origin)
+        fired_total += len(plan.fired)
+        if plan.fired:
+            assert program.degraded, (seed, target.origin)
+    assert fired_total > 0  # the sweep must actually inject something
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_seeded_sweep_is_deterministic(seed):
+    """Same seed + same corpus = byte-identical injection decisions."""
+
+    def sweep():
+        fired = []
+        for target in CORPUS:
+            with injecting(FaultPlan(seed=seed, rate=0.3)) as plan:
+                analyze(target.source)
+            fired.append(tuple(plan.fired))
+        return fired
+
+    assert sweep() == sweep()
+
+
+def test_strict_mode_escapes_on_injection():
+    """--strict-errors must surface the injected fault, corpus-wide."""
+    target = CORPUS[0]
+    with injecting(FaultPlan(points={"classify.function"})):
+        with pytest.raises(InjectedFault):
+            analyze(target.source, strict=True)

@@ -1,0 +1,67 @@
+"""The report-mode resilience flags: ``--inject`` and ``--strict-errors``."""
+
+from repro.cli import main
+from repro.resilience.errors import InjectedFault
+from repro.resilience.faultinject import all_fault_points
+
+SOURCE = """\
+i = 0
+x = 0
+L1: while i < 10 do
+  x = x + i
+  i = i + 1
+endwhile
+"""
+
+
+def write_program(tmp_path, name="prog.loop", source=SOURCE):
+    path = tmp_path / name
+    path.write_text(source)
+    return str(path)
+
+
+class TestInjectFlag:
+    def test_inject_list_prints_the_catalogue(self, tmp_path, capsys):
+        program = write_program(tmp_path)
+        assert main([program, "--inject", "list"]) == 0
+        out = capsys.readouterr().out
+        for point in all_fault_points():
+            assert point in out
+
+    def test_unknown_point_is_a_usage_error(self, tmp_path, capsys):
+        program = write_program(tmp_path)
+        assert main([program, "--inject", "no.such"]) == 2
+        assert "unknown fault point" in capsys.readouterr().err
+
+    def test_injection_degrades_and_reports(self, tmp_path, capsys):
+        program = write_program(tmp_path)
+        assert main([program, "--inject", "classify.loop"]) == 0
+        out = capsys.readouterr().out
+        assert "== resilience ==" in out
+        assert "[RES501]" in out
+        assert "[degraded]" in out
+
+    def test_injection_surfaces_in_lint_diagnostics(self, tmp_path, capsys):
+        program = write_program(tmp_path)
+        assert main([program, "--inject", "classify.loop", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "RES501" in out
+
+    def test_clean_run_has_no_resilience_section(self, tmp_path, capsys):
+        program = write_program(tmp_path)
+        assert main([program]) == 0
+        assert "== resilience ==" not in capsys.readouterr().out
+
+
+class TestStrictErrorsFlag:
+    def test_strict_propagates_the_injected_fault(self, tmp_path, capsys):
+        program = write_program(tmp_path)
+        assert main(
+            [program, "--inject", "classify.loop", "--strict-errors"]
+        ) == 1
+        assert "injected fault" in capsys.readouterr().err
+
+    def test_strict_clean_run_succeeds(self, tmp_path, capsys):
+        program = write_program(tmp_path)
+        assert main([program, "--strict-errors"]) == 0
+        assert "loop L1" in capsys.readouterr().out
