@@ -1,13 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint chaos bench bench-check bench-baseline report
+.PHONY: test lint ranges chaos bench bench-check bench-baseline report
 
 test:
 	$(PYTHON) -m pytest -m "not bench" -q
 
 lint:
 	$(PYTHON) -m repro lint --strict examples/
+
+ranges:
+	$(PYTHON) -m repro lint --strict --ranges examples/
 
 chaos:
 	for seed in 101 202 303; do \

@@ -22,6 +22,12 @@ a ``counters`` snapshot (classification distribution, Tarjan graph sizes,
 Expr memo hits).  Both are informational: the tracked wall-time metrics
 are still measured with observability off, and ``--check`` only compares
 the metrics present in the *baseline*, so v1 baselines keep working.
+
+Schema v3 adds the ``ranges_s`` tracked metric (wall time of
+``repro.ranges.compute_ranges`` over the classified result) and runs the
+observed pass with ``ranges=True`` so the ``ranges`` span appears in the
+``phases`` breakdown.  v1/v2 baselines lack ``ranges_s`` and keep
+passing ``--check`` unchanged (the comparison is baseline-driven).
 """
 
 from __future__ import annotations
@@ -38,11 +44,12 @@ from benchmarks.workloads import deep_chain_loop, mixed_class_loop, straightline
 from repro.core.driver import classify_function
 from repro.obs import observing
 from repro.pipeline import analyze
+from repro.ranges import compute_ranges
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: metrics compared by ``--check`` (lower is better for all of them)
-TRACKED_METRICS = ("classify_s", "pipeline_s", "time_per_node_s")
+TRACKED_METRICS = ("classify_s", "pipeline_s", "time_per_node_s", "ranges_s")
 
 #: structural metrics that must match *exactly* between baseline and current
 EXACT_METRICS = ("graph_size",)
@@ -84,7 +91,7 @@ def _best_of(fn: Callable[[], object], repeats: int) -> float:
 def _observe_workload(source: str) -> Tuple[Dict[str, float], Dict[str, int]]:
     """One traced + metered run: (seconds per span name, counter snapshot)."""
     with observing() as obs:
-        analyze(source)
+        analyze(source, ranges=True)
     phases = {name: round(total, 9) for name, total in obs.tracer.phase_totals().items()}
     counters = obs.metrics.snapshot()["counters"]
     return phases, counters
@@ -104,11 +111,13 @@ def measure(repeats: int = 5) -> Dict:
         pipeline_s = _best_of(lambda: analyze(source), max(3, repeats * 2 // 3))
         result = classify_function(program.ssa)
         graph_size = sum(s.graph_size for s in result.loops.values())
+        ranges_s = _best_of(lambda: compute_ranges(result), repeats)
         phases, counters = _observe_workload(source)
         results[name] = {
             "classify_s": classify_s,
             "pipeline_s": pipeline_s,
             "graph_size": graph_size,
+            "ranges_s": ranges_s,
             "time_per_node_s": classify_s / max(1, graph_size),
             "phases": phases,
             "counters": counters,

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Range-tightened dependence testing: a symbolic trip count proven small.
+
+The loop below writes ``A[i + 100]`` and reads ``A[i]``.  With an
+unknown trip count the strong-SIV test must assume the dependence
+distance 100 can be realized, so the loop stays serial.  The ``assume``
+declarations bound ``n`` to at most 50 iterations: the value-range
+analysis derives trip(L1) in [1, 50], the distance 100 can never fit
+inside the iteration space, and the Banerjee/SIV machinery proves
+independence -- the loop flips to DOALL.
+
+Run:  python examples/assumed_bounds.py
+"""
+
+from repro import analyze
+from repro.dependence import analyze_parallelism
+
+SOURCE = """
+assume n >= 1
+assume n <= 50
+array A[200]
+L1: for i = 1 to n do
+  A[i + 100] = A[i] + 1
+endfor
+return n
+"""
+
+
+def main() -> None:
+    print("=== without ranges: distance 100 might be realized ===")
+    program = analyze(SOURCE)
+    verdict = analyze_parallelism(program.result)["L1"]
+    print(f"  {verdict!r}")
+
+    print("\n=== with ranges: trip in [1, 50] rules the distance out ===")
+    program = analyze(SOURCE, ranges=True)
+    info = program.result.ranges
+    print(f"  trip(L1) = {info.trips['L1']}")
+    for name in ("n", "i.2"):
+        print(f"  {name:4} in {info.range_of(name)}")
+    verdict = analyze_parallelism(program.result)["L1"]
+    print(f"  {verdict!r}")
+
+
+if __name__ == "__main__":
+    main()

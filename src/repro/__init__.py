@@ -41,6 +41,7 @@ from repro.core import (
     classify_function,
 )
 from repro.dependence import build_dependence_graph, test_dependence
+from repro.ranges import Bound, Interval, RangeInfo, check_ranges, compute_ranges
 from repro.resilience import (
     AnalysisBudget,
     BudgetExceeded,
@@ -51,7 +52,7 @@ from repro.resilience import (
     strict_errors,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "analyze",
@@ -77,5 +78,10 @@ __all__ = [
     "classify_function",
     "build_dependence_graph",
     "test_dependence",
+    "Bound",
+    "Interval",
+    "RangeInfo",
+    "check_ranges",
+    "compute_ranges",
     "__version__",
 ]

@@ -16,6 +16,9 @@ Options::
     --dot-deps         emit the dependence graph in DOT
     --verify           re-verify the final SSA, collect-all, report findings
     --lint             append the semantic-lint findings to the report
+    --ranges           run the value-range analysis: report predicted
+                       intervals per loop, run the RNG6xx checks with
+                       --verify/--lint, and tighten dependence tests
     --strict           with --verify/--lint: exit 1 on error-severity findings
     --strict-errors    disable failure isolation: raise on the first
                        internal error instead of degrading to Unknown
@@ -34,7 +37,8 @@ report mode.
 
 Lint mode (``python -m repro lint``)::
 
-    python -m repro lint [--format=text|json] [--strict] [--no-exec] PATH...
+    python -m repro lint [--format=text|json] [--strict] [--no-exec]
+                         [--ranges] PATH...
 
 Trace mode (``python -m repro trace``)::
 
@@ -92,6 +96,13 @@ def build_argument_parser() -> argparse.ArgumentParser:
         "--lint",
         action="store_true",
         help="run the semantic lints and append their findings to the report",
+    )
+    parser.add_argument(
+        "--ranges",
+        action="store_true",
+        help="run the value-range analysis: report predicted intervals, "
+        "run the RNG6xx checks with --verify/--lint, and let dependence "
+        "tests use symbolic trip-count bounds",
     )
     parser.add_argument(
         "--strict",
@@ -171,6 +182,12 @@ def build_lint_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the execution lints (interpreter cross-checks)",
     )
+    parser.add_argument(
+        "--ranges",
+        action="store_true",
+        help="also run the value-range analysis and its RNG6xx checks "
+        "(out-of-bounds subscripts, division by zero, empty loops)",
+    )
     return parser
 
 
@@ -197,6 +214,7 @@ def lint_main(argv: Optional[List[str]] = None) -> int:
             origin=target.origin,
             collector=collector,
             execution=not args.no_exec,
+            ranges=args.ranges,
         )
 
     if args.format == "json":
@@ -347,6 +365,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         optimize=not args.no_opt,
                         sanitize=args.sanitize,
                         strict=args.strict_errors,
+                        ranges=args.ranges,
                     )
             else:
                 program = analyze(
@@ -354,6 +373,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     optimize=not args.no_opt,
                     sanitize=args.sanitize,
                     strict=args.strict_errors,
+                    ranges=args.ranges,
                 )
     except Exception as error:  # frontend/IR errors carry positions
         print(f"error: {error}", file=sys.stderr)
@@ -401,6 +421,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             from repro.diagnostics.lints import lint_program
 
             lint_program(program, collector=collector)
+        if args.ranges and program.result.ranges is not None:
+            from repro.ranges import check_ranges
+
+            check_ranges(program.result, program.result.ranges, collector)
         diagnostics_of(program.degradations, collector)
         diagnostics = collector.sorted()
 

@@ -270,6 +270,9 @@ class AnalysisResult:
         self.nest = nest
         self.domtree = domtree
         self.loops: Dict[str, LoopSummary] = {}
+        #: optional RangeInfo attached by the pipeline's ranges phase;
+        #: dependence testing consults it for symbolic trip-count bounds
+        self.ranges = None
         self._opaque: Dict[tuple, Expr] = {}
         self.opaque_definitions: Dict[str, tuple] = {}
         self._def_block: Dict[str, str] = {

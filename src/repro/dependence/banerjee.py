@@ -12,81 +12,28 @@ ranges.  The per-direction term bounds use the decoupled relaxation
 
 which over-approximates the true polytope (sound: a superset of achievable
 values can only miss independence, never fabricate it).
+
+The interval arithmetic itself lives in :mod:`repro.ranges.interval` --
+one algebra shared with the value-range analysis; this module re-exports
+:class:`Interval`, :class:`Bound` and the infinities for its callers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, FrozenSet, Optional, Sequence, Tuple
+from typing import FrozenSet, Optional, Sequence, Tuple
 
-NEG_INF = "-inf"
-POS_INF = "+inf"
-Bound = object  # Fraction | NEG_INF | POS_INF
+from repro.ranges.interval import NEG_INF, POS_INF, Bound, Interval
 
-
-@dataclass(frozen=True)
-class Interval:
-    """A closed interval with possibly infinite endpoints; may be empty."""
-
-    lo: Bound
-    hi: Bound
-    empty: bool = False
-
-    @staticmethod
-    def point(value: Fraction) -> "Interval":
-        return Interval(value, value)
-
-    @staticmethod
-    def empty_interval() -> "Interval":
-        return Interval(Fraction(0), Fraction(0), empty=True)
-
-    def __add__(self, other: "Interval") -> "Interval":
-        if self.empty or other.empty:
-            return Interval.empty_interval()
-        return Interval(_add(self.lo, other.lo), _add(self.hi, other.hi))
-
-    def union(self, other: "Interval") -> "Interval":
-        if self.empty:
-            return other
-        if other.empty:
-            return self
-        return Interval(_min(self.lo, other.lo), _max(self.hi, other.hi))
-
-    def contains(self, value: Fraction) -> bool:
-        if self.empty:
-            return False
-        lo_ok = self.lo is NEG_INF or (self.lo is not POS_INF and self.lo <= value)
-        hi_ok = self.hi is POS_INF or (self.hi is not NEG_INF and value <= self.hi)
-        return lo_ok and hi_ok
-
-
-def _add(a: Bound, b: Bound) -> Bound:
-    if a is NEG_INF or b is NEG_INF:
-        return NEG_INF
-    if a is POS_INF or b is POS_INF:
-        return POS_INF
-    return a + b
-
-
-def _min(a: Bound, b: Bound) -> Bound:
-    if a is NEG_INF or b is NEG_INF:
-        return NEG_INF
-    if a is POS_INF:
-        return b
-    if b is POS_INF:
-        return a
-    return min(a, b)
-
-
-def _max(a: Bound, b: Bound) -> Bound:
-    if a is POS_INF or b is POS_INF:
-        return POS_INF
-    if a is NEG_INF:
-        return b
-    if b is NEG_INF:
-        return a
-    return max(a, b)
+__all__ = [
+    "Bound",
+    "Interval",
+    "NEG_INF",
+    "POS_INF",
+    "banerjee_feasible",
+    "direction_term_interval",
+    "scaled_range",
+]
 
 
 def scaled_range(coeff: Fraction, lo: int, hi: Optional[int]) -> Interval:

@@ -67,10 +67,19 @@ def analyze_parallelism(
     """DOALL verdict for every loop of the function."""
     if graph is None:
         graph = build_dependence_graph(analysis)
+    ranges = getattr(analysis, "ranges", None)
     verdicts: Dict[str, LoopParallelism] = {}
     for header in analysis.loops:
         carried = [e for e in graph.edges if edge_carried_by(e, header)]
-        verdicts[header] = LoopParallelism(header, not carried, carried)
+        parallel = not carried
+        if not parallel and ranges is not None:
+            # a loop that provably runs at most once cannot carry a
+            # dependence: there is no second iteration to depend on
+            bound = ranges.trip_upper_bound(header)
+            if bound is not None and bound <= 1:
+                parallel = True
+                carried = []
+        verdicts[header] = LoopParallelism(header, parallel, carried)
     return verdicts
 
 

@@ -177,9 +177,15 @@ def _dispatch(
             d_source, d_sink, common, source_first,
             analysis=analysis, source_site=source,
         )
-    return DependenceResult.conservative(
-        common, f"no test for {kinds[0].value} vs {kinds[1].value}"
-    )
+    note = f"no test for {kinds[0].value} vs {kinds[1].value}"
+    reasons = [
+        d.reason
+        for d in (d_source, d_sink)
+        if d.kind is SubscriptKind.UNKNOWN and d.reason
+    ]
+    if reasons:
+        note += " (" + "; ".join(dict.fromkeys(reasons)) + ")"
+    return DependenceResult.conservative(common, note)
 
 
 # ----------------------------------------------------------------------
@@ -193,10 +199,21 @@ def solve_linear(
     holds_after: int = 0,
 ) -> DependenceResult:
     delta_expr = d_sink.const - d_source.const
+    ranges = getattr(analysis, "ranges", None)
+    used_range_bound = False
     trips: Dict[str, Optional[int]] = {}
     for header in set(common) | set(d_source.coeffs) | set(d_sink.coeffs):
         summary = analysis.loops.get(header)
         trips[header] = summary.trip.constant() if summary is not None else None
+        if trips[header] is None and ranges is not None:
+            # a symbolic trip count with a known finite range: any upper
+            # bound is sound here (iteration variables span [0, trips-1],
+            # and a superset of that span can only hide independence, not
+            # fabricate it)
+            bound = ranges.trip_upper_bound(header)
+            if bound is not None:
+                trips[header] = bound
+                used_range_bound = True
 
     # private loops (not common to both references)
     private: List[Tuple[Fraction, Optional[int]]] = []
@@ -208,6 +225,11 @@ def solve_linear(
             private.append((-coeff, trips.get(header)))
 
     pairs = [(d_source.coeff(h), d_sink.coeff(h), trips.get(h)) for h in common]
+
+    def annotate(result: DependenceResult) -> DependenceResult:
+        if used_range_bound:
+            result.notes.append("trip bounds tightened by value ranges")
+        return result
 
     if not delta_expr.is_constant:
         if delta_expr.is_zero:
@@ -242,7 +264,7 @@ def solve_linear(
         siv = _siv_dispatch(a, b, delta, trip)
         if siv is not None:
             if siv.independent:
-                return DependenceResult.independent(common, siv.note)
+                return annotate(DependenceResult.independent(common, siv.note))
             vectors = []
             for vec in siv.directions or []:
                 elements = [ANY] * len(common)
@@ -253,18 +275,20 @@ def solve_linear(
                 distances: List[Optional[int]] = [None] * len(common)
                 distances[level] = siv.distance
                 distance = DistanceVector(distances)
-            return DependenceResult(
-                True,
-                common,
-                vectors,
-                distance=distance,
-                exact=True,
-                holds_after=holds_after,
-                notes=[siv.note],
+            return annotate(
+                DependenceResult(
+                    True,
+                    common,
+                    vectors,
+                    distance=distance,
+                    exact=True,
+                    holds_after=holds_after,
+                    notes=[siv.note],
+                )
             )
 
     # MIV: hierarchical direction-vector refinement with GCD + Banerjee
-    return _refine_directions(pairs, private, delta, common, holds_after)
+    return annotate(_refine_directions(pairs, private, delta, common, holds_after))
 
 
 def _siv_dispatch(a: Fraction, b: Fraction, delta: Fraction, trip: Optional[int]):

@@ -36,15 +36,21 @@ def lint_source(
     collector: Optional[DiagnosticCollector] = None,
     execution: bool = True,
     samples: Sequence[int] = DEFAULT_SAMPLES,
+    ranges: bool = False,
 ) -> List[Diagnostic]:
-    """Lint one program; returns (and optionally collects) all findings."""
+    """Lint one program; returns (and optionally collects) all findings.
+
+    ``ranges`` additionally runs the value-range analysis and its RNG6xx
+    checker suite (out-of-bounds subscripts, possible division by zero,
+    provably empty loops, ...; see ``docs/RANGES.md``).
+    """
     from repro.pipeline import analyze
 
     out = collector if collector is not None else DiagnosticCollector()
     local = DiagnosticCollector()
     try:
         with sanitizing(strict=False, collector=local):
-            program = analyze(source)
+            program = analyze(source, ranges=ranges)
     except Exception as error:
         local.emit("LNT001", f"analysis failed: {error}")
         return _publish(local, out, origin)
@@ -66,6 +72,11 @@ def lint_source(
 
         lint_lattice(program, local)
         lint_src(program, local)
+
+    if ranges and program.result.ranges is not None:
+        from repro.ranges import check_ranges
+
+        check_ranges(program.result, program.result.ranges, local)
     return _publish(local, out, origin)
 
 
@@ -147,9 +158,16 @@ def lint_paths(
     paths: Sequence[str],
     collector: Optional[DiagnosticCollector] = None,
     execution: bool = True,
+    ranges: bool = False,
 ) -> DiagnosticCollector:
     """Lint every program found under ``paths``; returns the collector."""
     out = collector if collector is not None else DiagnosticCollector()
     for target in collect_targets(paths):
-        lint_source(target.source, origin=target.origin, collector=out, execution=execution)
+        lint_source(
+            target.source,
+            origin=target.origin,
+            collector=out,
+            execution=execution,
+            ranges=ranges,
+        )
     return out

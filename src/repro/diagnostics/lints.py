@@ -305,6 +305,7 @@ def lint_source(program, out: DiagnosticCollector) -> None:
     _lint_dead_stores(program, out)
     _lint_unused_definitions(program, out)
     _lint_subscripts(program, out)
+    _lint_imprecise_dependences(program, out)
 
 
 def _lint_hoistable(program, out: DiagnosticCollector) -> None:
@@ -413,6 +414,38 @@ def _lint_unused_definitions(program, out: DiagnosticCollector) -> None:
                     name=inst.result,
                     hint="eliminate_dead_code() removes it",
                 )
+
+
+def _lint_imprecise_dependences(program, out: DiagnosticCollector) -> None:
+    """Dependence tests that fell back to the conservative answer because a
+    subscript classified as Unknown (SRC405).  SRC403 flags the subscript
+    itself; this flags the *pairs* whose verdict lost precision, with the
+    descriptor's reason carried through the result notes."""
+    from repro.dependence.graph import build_dependence_graph
+
+    try:
+        graph = build_dependence_graph(program.result)
+    except Exception:
+        return  # the graph is itself an optional phase; nothing to report
+    seen: Set[Tuple[str, str, str]] = set()
+    for edge in graph.edges:
+        for note in edge.result.notes:
+            if "unknown" not in note or not note.startswith("no test for"):
+                continue
+            key = (edge.source.block, edge.sink.block, note)
+            if key in seen:
+                continue
+            seen.add(key)
+            out.emit(
+                "SRC405",
+                f"dependence between @{edge.source.array} references in "
+                f"{edge.source.block} and {edge.sink.block} assumed "
+                f"conservatively: {note}",
+                function=program.ssa.name,
+                block=edge.source.block,
+                hint="the verdict is sound but not exact; see SRC403 for "
+                "the offending subscript",
+            )
 
 
 def _lint_subscripts(program, out: DiagnosticCollector) -> None:

@@ -17,6 +17,8 @@ Code ranges:
 * ``LNT0xx`` -- lint-driver level problems (a program failed to analyze)
 * ``RES5xx`` -- resilience degradations (a failure was contained by the
   fault-tolerant pipeline; see :mod:`repro.resilience`)
+* ``RNG6xx`` -- value-range findings (subscript bounds, division by
+  zero, empty loops, constant branches; see :mod:`repro.ranges`)
 """
 
 from __future__ import annotations
@@ -205,6 +207,12 @@ register(
     "A pure definition is never used by any instruction, terminator or store "
     "(dead-code-elimination candidate).",
 )
+register(
+    "SRC405", "imprecise-dependence", Severity.WARNING, "source",
+    "A dependence test between two references fell back to the conservative "
+    "answer because a subscript classified as Unknown; the descriptor's "
+    "reason says why precision was lost.",
+)
 
 # ----------------------------------------------------------------------
 # lint driver
@@ -242,4 +250,39 @@ register(
     "A required phase (frontend under fault injection, SSA construction, "
     "whole-function classification) failed; the entire function degraded "
     "to an empty classification.",
+)
+
+# ----------------------------------------------------------------------
+# value-range checks (see repro.ranges / docs/RANGES.md)
+# ----------------------------------------------------------------------
+register(
+    "RNG601", "subscript-out-of-bounds", Severity.ERROR, "ranges",
+    "A subscript's value range never intersects the valid index range "
+    "[0, extent - 1] of the array's declared extent: every execution that "
+    "reaches it is out of bounds.",
+)
+register(
+    "RNG602", "subscript-in-bounds", Severity.NOTE, "ranges",
+    "Every subscript of a reference is provably inside [0, extent - 1] for "
+    "every possible extent value (a bounds-check-elimination receipt).",
+)
+register(
+    "RNG603", "possible-division-by-zero", Severity.WARNING, "ranges",
+    "A division or modulo has a divisor whose (non-trivial) value range "
+    "contains zero.",
+)
+register(
+    "RNG604", "zero-step-self-update", Severity.WARNING, "ranges",
+    "A loop-carried self-update adds or subtracts a provably zero step; the "
+    "variable never changes across iterations.",
+)
+register(
+    "RNG605", "provably-empty-loop", Severity.WARNING, "ranges",
+    "A loop's trip-count range excludes every positive count; its body never "
+    "executes.",
+)
+register(
+    "RNG606", "constant-branch-condition", Severity.WARNING, "ranges",
+    "A conditional branch's condition has a single-constant value range, so "
+    "one successor edge is never taken.",
 )

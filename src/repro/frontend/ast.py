@@ -137,5 +137,22 @@ class Return(Statement):
 
 
 @dataclass
+class AssumeStmt(Statement):
+    """``assume n <= 50``: a range fact about a parameter, no code."""
+
+    name: str
+    relation: str  # '<', '<=', '>', '>=', '=='
+    bound: int
+
+
+@dataclass
+class ArrayDecl(Statement):
+    """``array A[10]`` / ``array A[n, 20]``: declared extents, no code."""
+
+    array: str
+    extents: Tuple[object, ...]  # int literals or parameter names
+
+
+@dataclass
 class Program:
     body: List[Statement]

@@ -47,6 +47,8 @@ KEYWORDS = {
     "or",
     "not",
     "mod",
+    "assume",
+    "array",
 }
 
 # multi-character operators first (longest match wins)

@@ -129,6 +129,13 @@ def analyze_names(program: ast.Program) -> Tuple[List[str], List[str]]:
             elif isinstance(stmt, ast.Return):
                 if stmt.value is not None:
                     walk_expr(stmt.value)
+            elif isinstance(stmt, ast.AssumeStmt):
+                note_read(stmt.name)
+            elif isinstance(stmt, ast.ArrayDecl):
+                note_array(stmt.array)
+                for extent in stmt.extents:
+                    if isinstance(extent, str):
+                        note_read(extent)
 
     walk_body(program.body)
     clash = set(params) & set(arrays)
@@ -279,6 +286,16 @@ class _Lowerer:
             value = self.lower_expr(stmt.value) if stmt.value is not None else None
             self.current.terminator = Return(value)
             self.set_current(self.new_block("dead"))
+        elif isinstance(stmt, ast.AssumeStmt):
+            # declarations, not code: recorded as function metadata
+            if stmt.name in self.arrays:
+                raise FrontendError(0, 0, f"cannot assume a range for array {stmt.name!r}")
+            self.function.assumptions.append((stmt.name, stmt.relation, stmt.bound))
+        elif isinstance(stmt, ast.ArrayDecl):
+            if stmt.array not in self.arrays:
+                self.arrays.add(stmt.array)
+                self.function.arrays.append(stmt.array)
+            self.function.array_extents[stmt.array] = stmt.extents
         else:
             raise FrontendError(0, 0, f"cannot lower statement {stmt!r}")
 

@@ -12,6 +12,9 @@ Grammar (newline-separated statements)::
               |  NAME '[' expr ']' '=' expr
               |  'if' cond 'then' NEWLINE body ['else' NEWLINE body] 'endif'
               |  'break' | 'return' [expr]
+              |  'assume' NAME REL ['-'] NUMBER
+              |  'array' NAME '[' extent { ',' extent } ']'
+    extent   :=  NUMBER | NAME
     cond     :=  orcond ;  orcond := andcond { 'or' andcond }
     andcond  :=  notcond { 'and' notcond }
     notcond  :=  'not' notcond | '(' cond ')' | expr REL expr
@@ -161,6 +164,10 @@ class _Parser:
                 value = self.parse_expression()
                 self.end_statement()
                 return ast.Return(value)
+            if token.text == "assume":
+                return self.parse_assume()
+            if token.text == "array":
+                return self.parse_array_decl()
             raise FrontendError(token.line, token.column, f"unexpected {token.text!r}")
         if label is not None:
             raise FrontendError(token.line, token.column, "labels may only precede loops")
@@ -209,6 +216,52 @@ class _Parser:
         self.expect("endfor")
         self.end_statement()
         return ast.ForLoop(var, start, stop, body, downward=downward, step=step, label=label)
+
+    def parse_assume(self) -> ast.AssumeStmt:
+        """``assume n <= 50``: a parameter fact consumed by repro.ranges."""
+        self.expect("assume")
+        name = self.expect_name()
+        relation = None
+        for rel in ("<=", ">=", "==", "<", ">"):
+            if self.accept(rel):
+                relation = rel
+                break
+        if relation is None:
+            token = self.peek()
+            raise FrontendError(
+                token.line, token.column, "expected a relation after 'assume'"
+            )
+        negative = self.accept("-")
+        token = self.peek()
+        if token.kind is not TokenKind.NUMBER:
+            raise FrontendError(
+                token.line, token.column, "assume bounds must be integer literals"
+            )
+        bound = int(self.advance().text)
+        self.end_statement()
+        return ast.AssumeStmt(name, relation, -bound if negative else bound)
+
+    def parse_array_decl(self) -> ast.ArrayDecl:
+        """``array A[10]`` / ``array A[n, 20]``: declared extents."""
+        self.expect("array")
+        name = self.expect_name()
+        self.expect("[")
+        extents: List[object] = [self.parse_extent()]
+        while self.accept(","):
+            extents.append(self.parse_extent())
+        self.expect("]")
+        self.end_statement()
+        return ast.ArrayDecl(name, tuple(extents))
+
+    def parse_extent(self):
+        token = self.peek()
+        if token.kind is TokenKind.NUMBER:
+            return int(self.advance().text)
+        if token.kind is TokenKind.NAME:
+            return self.advance().text
+        raise FrontendError(
+            token.line, token.column, "array extents must be numbers or names"
+        )
 
     def parse_if(self) -> ast.If:
         self.expect("if")

@@ -21,6 +21,8 @@ from repro.ir.instructions import (
 def clone_function(function: Function, name: str = None) -> Function:
     """Structural deep copy (values are immutable and shared)."""
     out = Function(name or function.name, params=function.params, arrays=function.arrays)
+    out.array_extents = dict(function.array_extents)
+    out.assumptions = list(function.assumptions)
     for block in function:
         new_block = out.add_block(block.label)
         for inst in block:

@@ -53,6 +53,11 @@ class Function:
         self.name = name
         self.params: List[str] = list(params)
         self.arrays: List[str] = list(arrays)
+        #: declared per-dimension extents (``array A[10]``): name -> tuple
+        #: of int literals or parameter names; consumed by repro.ranges
+        self.array_extents: Dict[str, tuple] = {}
+        #: source-level ``assume`` facts: (name, relation, bound) triples
+        self.assumptions: List[Tuple[str, str, int]] = []
         self.blocks: Dict[str, BasicBlock] = {}
         self.entry_label: Optional[str] = None
         self._version = 0

@@ -78,6 +78,7 @@ SPAN_NAMES = frozenset(
         "transform.normalize",
         "transform.unroll",
         "trace.target",
+        "ranges",
     }
 )
 
@@ -146,6 +147,10 @@ METRIC_NAMES = frozenset(
         "dependence.pairs",
         "resilience.degraded.",  # family: one counter per degraded phase
         "resilience.faults.injected",
+        "ranges.values",
+        "ranges.nontrivial",
+        "ranges.loops",
+        "ranges.trips.bounded",
         "time.",  # family: one histogram per span name
     }
 )

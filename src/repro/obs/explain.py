@@ -121,6 +121,11 @@ def _render(
     pad = "  " * indent
     describe = cls.describe() if cls is not None else "<no classification>"
     lines.append(f"{pad}{prefix}{label}: {describe}")
+    info = getattr(result, "ranges", None) if result is not None else None
+    if info is not None:
+        interval = info.range_of(label)
+        if not interval.is_top:
+            lines.append(f"{pad}  range: {interval}")
     if cls is None:
         return
     prov = _provenance_for(result, label, cls)

@@ -134,6 +134,7 @@ def analyze(
     sanitize: bool = False,
     strict: bool = False,
     budget: Optional[AnalysisBudget] = None,
+    ranges: bool = False,
 ) -> AnalyzedProgram:
     """Compile and classify a source program.
 
@@ -153,6 +154,12 @@ def analyze(
     ``budget`` caps worst-case symbolic work (see
     :class:`~repro.resilience.AnalysisBudget`); exhaustion degrades the
     affected scope rather than raising.
+
+    ``ranges`` additionally runs the value-range analysis
+    (:mod:`repro.ranges`) and attaches its :class:`RangeInfo` to
+    ``program.result.ranges``, where dependence testing picks up trip
+    bounds.  The phase is optional and isolated: on failure it degrades
+    to all-top ranges without aborting analysis.
     """
     with _trace.span("pipeline.analyze"), _isolation.resilient() as log, \
             _isolation.strict_errors(strict), _budget.budgeted(budget):
@@ -175,7 +182,7 @@ def analyze(
             # half-canonicalized CFG and analyze the raw form instead
             named = lower_program(program, name=name)
         sanitizer.checkpoint(named, "simplify-loops", ssa=False)
-        return _analyze_function(named, source, optimize, log)
+        return _analyze_function(named, source, optimize, log, ranges=ranges)
 
 
 def analyze_function(
@@ -185,20 +192,23 @@ def analyze_function(
     sanitize: bool = False,
     strict: bool = False,
     budget: Optional[AnalysisBudget] = None,
+    ranges: bool = False,
 ) -> AnalyzedProgram:
     """Run SSA construction + classification on named IR.
 
     ``named`` is kept intact (a clone is converted to SSA).  Failure
-    isolation, strict mode, and budgets work as in :func:`analyze`.
+    isolation, strict mode, budgets, and the optional ranges phase work
+    as in :func:`analyze`.
     """
     if sanitize and not sanitizer.active():
         with sanitizer.sanitizing(strict=True):
             return analyze_function(
-                named, source, optimize, strict=strict, budget=budget
+                named, source, optimize, strict=strict, budget=budget,
+                ranges=ranges,
             )
     with _isolation.resilient() as log, _isolation.strict_errors(strict), \
             _budget.budgeted(budget):
-        return _analyze_function(named, source, optimize, log)
+        return _analyze_function(named, source, optimize, log, ranges=ranges)
 
 
 def _expr_cache_totals() -> Dict[str, int]:
@@ -297,6 +307,7 @@ def _analyze_function(
     source: Optional[str],
     optimize: bool,
     log: Optional[_isolation.DegradationLog] = None,
+    ranges: bool = False,
 ) -> AnalyzedProgram:
     if log is None:
         log = _isolation.DegradationLog()
@@ -363,6 +374,16 @@ def _analyze_function(
     except Exception as error:  # noqa: BLE001 - whole-function boundary
         _isolation.absorb(error, "classify.function", diag_code="RES505")
         result = AnalysisResult(ssa, nest, domtree)
+    if ranges:
+        from repro.ranges.analysis import RangeInfo, compute_ranges
+
+        # optional + isolated: a failure degrades to all-top ranges (every
+        # query answers the full interval) and analysis continues
+        result.ranges = _isolation.run_optional(
+            "ranges.compute",
+            lambda: compute_ranges(result),
+            default=RangeInfo.top_info(function=ssa.name),
+        )
     if cache_before is not None:
         _record_expr_cache_delta(cache_before)
     return AnalyzedProgram(

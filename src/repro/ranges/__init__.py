@@ -1,0 +1,34 @@
+"""Symbolic value-range analysis over the classification lattice.
+
+The classifier (section 4) turns SSA values into *facts*: a linear IV
+with a known trip count has an exact value range, a monotonic variable
+has a one-sided bound, a periodic variable takes finitely many values.
+This package makes those facts queryable:
+
+* :mod:`repro.ranges.interval` -- the shared interval algebra (exact
+  :class:`~fractions.Fraction` endpoints, a proper :class:`Bound` type
+  for the infinities) used both here and by the Banerjee bound tester;
+* :mod:`repro.ranges.analysis` -- :func:`compute_ranges`, mapping every
+  classified SSA value to an interval and propagating through operator
+  nodes to a fixpoint;
+* :mod:`repro.ranges.checks` -- the ``RNG6xx`` checker suite (subscript
+  bounds, division by zero, empty loops, dead branches).
+
+The analysis is *optional and isolated*: ``analyze(..., ranges=True)``
+runs it behind a resilience boundary (fault point ``ranges.compute``);
+on failure every query degrades to the full interval.
+"""
+
+from repro.ranges.analysis import RangeInfo, compute_ranges
+from repro.ranges.checks import check_ranges
+from repro.ranges.interval import NEG_INF, POS_INF, Bound, Interval
+
+__all__ = [
+    "Bound",
+    "Interval",
+    "NEG_INF",
+    "POS_INF",
+    "RangeInfo",
+    "check_ranges",
+    "compute_ranges",
+]

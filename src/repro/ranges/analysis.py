@@ -1,0 +1,556 @@
+"""Value-range analysis over the classification lattice.
+
+Every classified SSA value already *is* a range fact (section 4's whole
+point): an ``Invariant(e)`` is the point ``[e, e]``; a linear IV with a
+known trip count spans exactly ``[init, init + step*(n-1)]`` (sign
+aware); polynomial and geometric IVs are bounded by endpoint plus
+interior-extremum evaluation over ``h in [0, n-1]``; a monotonic
+variable is half-bounded from its initial value; wrap-around and
+periodic variables take finitely many values; ``Unknown`` is the full
+interval.  :func:`compute_ranges` seeds every name from its class, then
+propagates through the operator nodes (phi = union, arithmetic =
+interval algebra, compare = ``[0, 1]``) to a decreasing fixpoint --
+operator information only ever *intersects* what the lattice already
+proved, so each step stays a sound over-approximation.
+
+Parameter facts come from source-level ``assume`` declarations
+(:attr:`~repro.ir.function.Function.assumptions`); trip-count ranges are
+derived per loop from its :class:`~repro.core.tripcount.TripCount`, so a
+symbolic count like ``n`` with ``assume n <= 50`` yields the finite trip
+bound the Banerjee tester needs.
+
+Everything degrades safely: an unknown symbol, an unevaluable closed
+form, or an injected fault (point ``ranges.compute``) answers the full
+interval and analysis continues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Optional
+
+from repro.core.classes import (
+    Classification,
+    InductionVariable,
+    Invariant,
+    Monotonic,
+    Periodic,
+    Unknown,
+    WrapAround,
+)
+from repro.core.driver import AnalysisResult
+from repro.core.tripcount import TripCount, TripCountKind
+from repro.ir.function import Function
+from repro.ir.instructions import Assign, BinOp, Compare, Instruction, Load, Phi, UnOp
+from repro.ir.opcodes import BinaryOp, Relation
+from repro.ir.values import Const, Ref, Value
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.ranges.interval import NEG_INF, POS_INF, Bound, Interval
+from repro.resilience.faultinject import fault_point
+from repro.symbolic.closedform import ClosedForm, ClosedFormError
+from repro.symbolic.expr import Expr
+
+TOP = Interval.top()
+
+#: fixpoint pass cap for the operator propagation
+MAX_PASSES = 8
+#: largest finite iteration span enumerated exactly for closed forms
+MAX_ENUM = 64
+#: largest exponent interval-powered before giving up
+MAX_POWER = 16
+
+
+@dataclass
+class RangeInfo:
+    """Queryable result of one value-range analysis.
+
+    ``values`` maps SSA names (and parameters) to intervals; ``trips``
+    maps loop headers to trip-*count* intervals.  Missing entries -- and
+    everything on a ``degraded`` instance -- answer the full interval,
+    which is the safe default the resilience boundary degrades to.
+    """
+
+    function: str = ""
+    values: Dict[str, Interval] = field(default_factory=dict)
+    trips: Dict[str, Interval] = field(default_factory=dict)
+    degraded: bool = False
+
+    def range_of(self, name: str) -> Interval:
+        return self.values.get(name, TOP)
+
+    def value_interval(self, value: Value) -> Interval:
+        """Range of an IR operand (constants are points)."""
+        if isinstance(value, Const):
+            return Interval.point(value.value)
+        if isinstance(value, Ref):
+            return self.range_of(value.name)
+        return TOP
+
+    def trip_range(self, header: str) -> Interval:
+        return self.trips.get(header, Interval.at_least(0))
+
+    def trip_upper_bound(self, header: str) -> Optional[int]:
+        """Largest possible trip count of ``header``, or None if unbounded.
+
+        This is what tightens the Banerjee tests: iteration variables
+        range over ``[0, bound - 1]``, and any upper bound on the trip
+        count is sound there.
+        """
+        upper = self.trip_range(header).int_upper()
+        if upper is None:
+            return None
+        return max(upper, 0)
+
+    def nontrivial(self) -> int:
+        """How many tracked values have a better-than-full interval."""
+        return sum(1 for iv in self.values.values() if not iv.is_top)
+
+    @staticmethod
+    def top_info(function: str = "", degraded: bool = True) -> "RangeInfo":
+        """The all-top fallback used when the ranges phase degrades."""
+        return RangeInfo(function=function, degraded=degraded)
+
+
+# ----------------------------------------------------------------------
+# assumptions and expression evaluation
+# ----------------------------------------------------------------------
+def assumption_env(function: Function) -> Dict[str, Interval]:
+    """Intervals implied by the source's ``assume`` declarations."""
+    env: Dict[str, Interval] = {}
+    for name, relation, bound in getattr(function, "assumptions", ()):
+        if relation == "<=":
+            fact = Interval.at_most(bound)
+        elif relation == "<":
+            fact = Interval.at_most(bound - 1)
+        elif relation == ">=":
+            fact = Interval.at_least(bound)
+        elif relation == ">":
+            fact = Interval.at_least(bound + 1)
+        elif relation == "==":
+            fact = Interval.point(bound)
+        else:
+            continue
+        env[name] = env.get(name, TOP).intersect(fact)
+    return env
+
+
+def _power(interval: Interval, exponent: int) -> Interval:
+    if exponent < 0 or exponent > MAX_POWER:
+        return TOP
+    out = Interval.point(1)
+    for _ in range(exponent):
+        out = out * interval
+    if exponent and exponent % 2 == 0:
+        # an even power is never negative, even when the base straddles 0
+        out = out.intersect(Interval.at_least(0))
+    return out
+
+
+def eval_expr(expr: Expr, env: Dict[str, Interval]) -> Interval:
+    """Interval of ``expr`` under per-symbol intervals (unknown = full)."""
+    total = Interval.point(0)
+    for mono, coeff in expr.terms().items():
+        term = Interval.point(coeff)
+        for symbol, exponent in mono:
+            term = term * _power(env.get(symbol, TOP), exponent)
+        total = total + term
+    return total
+
+
+# ----------------------------------------------------------------------
+# trip-count ranges
+# ----------------------------------------------------------------------
+def trip_interval(
+    trip: Optional[TripCount],
+    env: Dict[str, Interval],
+    result: Optional[AnalysisResult] = None,
+) -> Interval:
+    """Sound interval of a loop's dynamic trip count.
+
+    The paper's formula clamps at zero (``tripcount = 0 if i <= 0``), so
+    a symbolic count expression is an upper bound wherever non-negative:
+    the true count always lies in ``[0, max(count, 0)]``.
+    """
+    if trip is None or trip.kind is TripCountKind.UNKNOWN:
+        return Interval.at_least(0)
+    if trip.kind is TripCountKind.ZERO:
+        return Interval.point(0)
+    if trip.kind is TripCountKind.INFINITE:
+        return Interval.at_least(0)
+    constant = trip.constant()
+    if constant is not None:
+        if trip.exact:
+            return Interval.point(constant)
+        return Interval(0, max(constant, 0))
+    if trip.count is None:
+        return Interval.at_least(0)
+    count = eval_expr(trip.count, env)
+    count = _refine_opaque_count(trip.count, count, env, result)
+    if count.empty:
+        return Interval.at_least(0)
+    if trip.exact and count.int_lower() is not None and count.int_lower() >= 1:
+        # the count expression is provably positive: it is exact
+        return count.intersect(Interval.at_least(0))
+    upper = count.int_upper()
+    if upper is None:
+        return Interval.at_least(0)
+    return Interval(0, max(upper, 0))
+
+
+def _refine_opaque_count(
+    count: Expr,
+    evaluated: Interval,
+    env: Dict[str, Interval],
+    result: Optional[AnalysisResult],
+) -> Interval:
+    """Bound an opaque ``$k = ceil(init / d)`` symbol through its definition."""
+    if result is None or not evaluated.is_top:
+        return evaluated
+    symbols = count.free_symbols()
+    if len(symbols) != 1:
+        return evaluated
+    definition = result.opaque_definitions.get(next(iter(symbols)))
+    if not definition or definition[0] != "ceildiv":
+        return evaluated
+    _tag, init, divisor = definition
+    inner = eval_expr(init, env)
+    if inner.empty or divisor <= 0:
+        return evaluated
+    # ceil(x / d) lies within [x/d, x/d + 1)
+    lo = Bound.of(inner.lo.value / divisor) if inner.lo.is_finite else NEG_INF
+    hi = Bound.of(inner.hi.value / divisor + 1) if inner.hi.is_finite else POS_INF
+    return Interval(lo, hi)
+
+
+def _iteration_interval(trip: Interval) -> Interval:
+    """``h in [0, trips - 1]`` for the iterations that actually execute."""
+    upper = trip.int_upper()
+    if upper is None:
+        return Interval.at_least(0)
+    return Interval(0, max(upper - 1, 0))
+
+
+def _phi_iteration_interval(trip: Interval) -> Interval:
+    """``h in [0, trips]``: header phis see one extra evaluation.
+
+    The guarded header runs once more than the body -- the evaluation
+    whose guard fails and exits the loop -- so a header phi's closed form
+    must also cover ``h = trips`` (e.g. ``i`` reaches 11 leaving
+    ``for i = 1 to 10``).
+    """
+    upper = trip.int_upper()
+    if upper is None:
+        return Interval.at_least(0)
+    return Interval(0, max(upper, 0))
+
+
+# ----------------------------------------------------------------------
+# per-class intervals
+# ----------------------------------------------------------------------
+def class_interval(
+    cls: Classification, h: Interval, env: Dict[str, Interval]
+) -> Interval:
+    """Interval of a classified value over the iteration space ``h``."""
+    if isinstance(cls, Invariant):
+        return eval_expr(cls.expr, env)
+    if isinstance(cls, InductionVariable):
+        return closedform_interval(cls.form, h, env)
+    if isinstance(cls, WrapAround):
+        out = class_interval(cls.inner, h, env)
+        upper = h.int_upper()
+        for index, pre in enumerate(cls.pre_values):
+            if upper is not None and index > upper:
+                break
+            out = out.union(eval_expr(pre, env))
+        return out
+    if isinstance(cls, Periodic):
+        out = Interval.empty_interval()
+        for value in cls.values:
+            out = out.union(eval_expr(value, env))
+        return out if not out.empty else TOP
+    if isinstance(cls, Monotonic):
+        if cls.init is None:
+            return TOP
+        start = eval_expr(cls.init, env)
+        if start.empty:
+            return TOP
+        if cls.direction > 0:
+            return Interval(start.lo, POS_INF)
+        return Interval(NEG_INF, start.hi)
+    return TOP  # Unknown and anything new
+
+
+def closedform_interval(
+    form: ClosedForm, h: Interval, env: Dict[str, Interval]
+) -> Interval:
+    """Interval of ``form(h)`` over an integer iteration interval."""
+    lower = h.int_lower()
+    upper = h.int_upper()
+    if (
+        lower is not None
+        and upper is not None
+        and upper - lower <= MAX_ENUM
+    ):
+        out = Interval.empty_interval()
+        for point in range(lower, upper + 1):
+            try:
+                value = form.value_at(point)
+            except ClosedFormError:
+                out = None
+                break
+            out = out.union(eval_expr(value, env))
+        if out is not None:
+            return out if not out.empty else TOP
+
+    if _is_constant_quadratic(form) and lower is not None and upper is not None:
+        return _quadratic_hull(form, lower, upper)
+
+    # general interval arithmetic over the polynomial + geometric parts
+    total = Interval.point(0)
+    for power, coeff in enumerate(form.coeffs):
+        total = total + eval_expr(coeff, env) * _power(h, power)
+    for base, coeff in form.geo.items():
+        total = total + eval_expr(coeff, env) * _geo_power(base, lower, upper)
+    return total
+
+
+def _is_constant_quadratic(form: ClosedForm) -> bool:
+    return (
+        not form.geo
+        and form.degree == 2
+        and all(c.is_constant for c in form.coeffs)
+    )
+
+
+def _quadratic_hull(form: ClosedForm, lower: int, upper: int) -> Interval:
+    """Exact hull of a constant quadratic: endpoints + interior extremum.
+
+    A quadratic over an integer interval attains its extrema at the
+    endpoints or at the integers adjacent to the real vertex.
+    """
+    c0 = form.coeff(0).constant_value()
+    c1 = form.coeff(1).constant_value()
+    c2 = form.coeff(2).constant_value()
+
+    def value(h: int) -> Fraction:
+        return c0 + c1 * h + c2 * h * h
+
+    points = {lower, upper}
+    if c2 != 0:
+        vertex = -c1 / (2 * c2)
+        for candidate in (int(vertex), int(vertex) + 1, int(vertex) - 1):
+            if lower <= candidate <= upper:
+                points.add(candidate)
+    return Interval.hull(value(h) for h in points)
+
+
+def _geo_power(base: int, lower: Optional[int], upper: Optional[int]) -> Interval:
+    """Interval of ``base ** h`` for integer ``h`` in ``[lower, upper]``."""
+    if lower is None:
+        lower = 0
+    lower = max(lower, 0)
+    if base == 0:
+        return Interval(0, 1)  # 0**0 == 1, 0**h == 0 afterwards
+    if base >= 1:
+        if upper is None:
+            return Interval(base**lower, POS_INF) if base > 1 else Interval.point(1)
+        return Interval(base**lower, base**upper)
+    # negative base: alternating sign, magnitude bounded by |base|**upper
+    if upper is None:
+        return TOP
+    magnitude = abs(base) ** upper
+    return Interval(-magnitude, magnitude)
+
+
+# ----------------------------------------------------------------------
+# operator transfer functions
+# ----------------------------------------------------------------------
+def _div_interval(a: Interval, b: Interval) -> Interval:
+    """Truncating integer division: ``trunc(a / b)``.
+
+    Truncation moves toward zero, so the quotient always lies in the hull
+    of the dividend's range and zero; a constant divisor gives the exact
+    monotone image.
+    """
+    if a.empty or b.empty:
+        return Interval.empty_interval()
+    coarse = a.union(Interval.point(0))
+    if b.is_point and b.lo.is_finite and b.lo.value != 0:
+        divisor = b.lo.value
+        lo = a.lo
+        hi = a.hi
+        if lo.is_finite and hi.is_finite:
+            corners = [_trunc(lo.value / divisor), _trunc(hi.value / divisor)]
+            return Interval(min(corners), max(corners))
+    return coarse
+
+
+def _trunc(value: Fraction) -> int:
+    return int(value)  # int() truncates toward zero for Fractions
+
+
+def _mod_interval(a: Interval, b: Interval) -> Interval:
+    """Remainder with the dividend's sign (``|r| < |b|`` and ``|r| <= |a|``)."""
+    if a.empty or b.empty:
+        return Interval.empty_interval()
+    out = a.union(Interval.point(0))
+    if b.lo.is_finite and b.hi.is_finite:
+        magnitude = max(abs(b.lo.value), abs(b.hi.value))
+        if magnitude > 0:
+            out = out.intersect(Interval(-(magnitude - 1), magnitude - 1))
+    return out
+
+
+def _compare_interval(relation: Relation, a: Interval, b: Interval) -> Interval:
+    if a.empty or b.empty:
+        return Interval(0, 1)
+    definitely = _relation_definitely(relation, a, b)
+    if definitely is True:
+        return Interval.point(1)
+    if definitely is False:
+        return Interval.point(0)
+    return Interval(0, 1)
+
+
+def _relation_definitely(relation: Relation, a: Interval, b: Interval):
+    """True/False when every value pair decides the relation; else None."""
+    if relation is Relation.LT:
+        if a.hi < b.lo:
+            return True
+        if a.lo >= b.hi:
+            return False
+    elif relation is Relation.LE:
+        if a.hi <= b.lo:
+            return True
+        if a.lo > b.hi:
+            return False
+    elif relation is Relation.GT:
+        return _relation_definitely(Relation.LT, b, a)
+    elif relation is Relation.GE:
+        return _relation_definitely(Relation.LE, b, a)
+    elif relation is Relation.EQ:
+        if a.is_point and b.is_point and a.lo == b.lo:
+            return True
+        if not a.intersects(b):
+            return False
+    elif relation is Relation.NE:
+        inverse = _relation_definitely(Relation.EQ, a, b)
+        if inverse is not None:
+            return not inverse
+    return None
+
+
+def _transfer(inst: Instruction, info: RangeInfo) -> Optional[Interval]:
+    value_of = info.value_interval
+    if isinstance(inst, Assign):
+        return value_of(inst.src)
+    if isinstance(inst, UnOp):
+        return -value_of(inst.operand)
+    if isinstance(inst, BinOp):
+        a = value_of(inst.lhs)
+        b = value_of(inst.rhs)
+        if inst.op is BinaryOp.ADD:
+            return a + b
+        if inst.op is BinaryOp.SUB:
+            return a - b
+        if inst.op is BinaryOp.MUL:
+            return a * b
+        if inst.op is BinaryOp.DIV:
+            return _div_interval(a, b)
+        if inst.op is BinaryOp.MOD:
+            return _mod_interval(a, b)
+        if inst.op is BinaryOp.EXP:
+            if b.is_point and b.lo.is_finite:
+                exponent = b.lo.value
+                if exponent.denominator == 1 and 0 <= exponent <= MAX_POWER:
+                    return _power(a, int(exponent))
+            return TOP
+        return TOP
+    if isinstance(inst, Compare):
+        return _compare_interval(inst.relation, value_of(inst.lhs), value_of(inst.rhs))
+    if isinstance(inst, Phi):
+        out = Interval.empty_interval()
+        for value in inst.uses():
+            out = out.union(value_of(value))
+        return out if not out.empty else TOP
+    if isinstance(inst, Load):
+        return TOP
+    return None
+
+
+# ----------------------------------------------------------------------
+# the driver
+# ----------------------------------------------------------------------
+def compute_ranges(result: AnalysisResult) -> RangeInfo:
+    """Map every classified SSA value of ``result`` to a sound interval."""
+    fault_point("ranges.compute")
+    function = result.function
+    with _trace.span("ranges", function=function.name):
+        info = _compute(function, result)
+    registry = _metrics.active()
+    if registry is not None:
+        registry.inc("ranges.values", len(info.values))
+        registry.inc("ranges.nontrivial", info.nontrivial())
+        registry.inc("ranges.loops", len(info.trips))
+        registry.inc(
+            "ranges.trips.bounded",
+            sum(1 for iv in info.trips.values() if iv.int_upper() is not None),
+        )
+    return info
+
+
+def _compute(function: Function, result: AnalysisResult) -> RangeInfo:
+    info = RangeInfo(function=function.name, values=assumption_env(function))
+    env = info.values
+
+    # seed classification-derived ranges, outermost loops first: an inner
+    # (symbolic) trip count mentions outer names whose ranges must exist
+    for loop in reversed(list(result.nest.inner_to_outer())):
+        summary = result.loops.get(loop.header)
+        trip = trip_interval(
+            summary.trip if summary is not None else None, env, result
+        )
+        info.trips[loop.header] = trip
+        if summary is None:
+            continue
+        h = _iteration_interval(trip)
+        h_phi = _phi_iteration_interval(trip)
+        header = function.blocks.get(loop.header)
+        phi_names = (
+            {phi.result for phi in header.phis()} if header is not None else set()
+        )
+        for name, cls in summary.classifications.items():
+            try:
+                defining = result.defining_loop(name)
+            except Exception:  # noqa: BLE001 - treat as not-in-a-loop
+                defining = None
+            if defining is not None and defining.header != loop.header:
+                # an enclosing summary sees an inner loop's name only as
+                # its exit value; the inner summary covers every value it
+                # actually takes, so only that one may seed the range
+                continue
+            derived = class_interval(
+                cls, h_phi if name in phi_names else h, env
+            )
+            env[name] = env.get(name, TOP).intersect(derived)
+
+    # operator propagation: a decreasing fixpoint (intersection only)
+    for _ in range(MAX_PASSES):
+        changed = False
+        for block in function:
+            for inst in block:
+                if inst.result is None:
+                    continue
+                derived = _transfer(inst, info)
+                if derived is None:
+                    continue
+                old = env.get(inst.result, TOP)
+                new = old.intersect(derived)
+                if new != old:
+                    env[inst.result] = new
+                    changed = True
+        if not changed:
+            break
+    return info

@@ -1,0 +1,270 @@
+"""The ``RNG6xx`` checker suite: safety facts read off value ranges.
+
+Each check is a one-directional proof over the intervals produced by
+:func:`repro.ranges.analysis.compute_ranges`:
+
+* **RNG601** -- a subscript whose entire range misses every valid index
+  (given the array's declared extent) is *provably* out of bounds;
+* **RNG602** -- a subscript contained in ``[0, extent - 1]`` for every
+  possible extent is provably in bounds (a note, useful as a receipt);
+* **RNG603** -- a divisor whose range contains zero (but is not simply
+  unknown) may divide by zero;
+* **RNG604** -- a loop-carried self-update whose step is provably zero
+  never changes the variable;
+* **RNG605** -- a loop whose trip-count range excludes every positive
+  count never runs its body;
+* **RNG606** -- a conditional branch whose condition is a provable
+  constant always (or never) takes its true edge.
+
+Ranges are over-approximations, so the *negative* direction never fires
+falsely: an interval that excludes all valid indices excludes all
+*reachable* indices too.  A degraded (all-top) :class:`RangeInfo`
+trivially proves nothing and the suite stays silent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.core.driver import AnalysisResult
+from repro.diagnostics.diagnostic import DiagnosticCollector
+from repro.ir.instructions import Assign, BinOp, Branch, Load, Store
+from repro.ir.opcodes import BinaryOp
+from repro.ir.values import Const, Ref, Value
+from repro.ranges.analysis import RangeInfo
+from repro.ranges.interval import Interval
+
+STAGE = "ranges"
+
+_ZERO = Interval.point(0)
+
+
+def check_ranges(
+    result: AnalysisResult, info: RangeInfo, collector: DiagnosticCollector
+) -> int:
+    """Run the whole suite; returns how many diagnostics were emitted."""
+    before = len(collector.diagnostics)
+    function = result.function
+    _check_subscripts(function, info, collector)
+    _check_divisions(function, info, collector)
+    _check_self_updates(result, info, collector)
+    _check_empty_loops(result, info, collector)
+    _check_branches(function, info, collector)
+    return len(collector.diagnostics) - before
+
+
+# ----------------------------------------------------------------------
+# RNG601 / RNG602: subscript bounds
+# ----------------------------------------------------------------------
+def _extent_interval(
+    extent: Union[int, str], info: RangeInfo
+) -> Interval:
+    if isinstance(extent, int):
+        return Interval.point(extent)
+    return info.range_of(extent)
+
+
+def _check_subscripts(function, info: RangeInfo, collector) -> None:
+    extents = getattr(function, "array_extents", {})
+    if not extents:
+        return
+    for block in function:
+        for inst in block:
+            if isinstance(inst, (Load, Store)) and inst.indices is not None:
+                declared = extents.get(inst.array)
+                if declared is None:
+                    continue
+                _check_reference(inst, declared, block.label, info, collector)
+
+
+def _check_reference(inst, declared, label: str, info: RangeInfo, collector) -> None:
+    if len(inst.indices) != len(declared):
+        return  # rank mismatch is the sanitizer's business, not ours
+    proofs: List[str] = []
+    for dim, (index, extent) in enumerate(zip(inst.indices, declared)):
+        index_iv = info.value_interval(index)
+        if index_iv.empty:
+            continue  # dead code: no reachable index to judge
+        extent_iv = _extent_interval(extent, info)
+        # widest the valid region can be: [0, max-extent - 1]
+        widest_hi = extent_iv.int_upper()
+        if widest_hi is not None:
+            widest = Interval(0, max(widest_hi - 1, -1))
+            if not index_iv.intersects(widest.intersect(Interval.at_least(0))):
+                collector.emit(
+                    "RNG601",
+                    f"subscript {dim + 1} of @{inst.array} is provably out of "
+                    f"bounds: index range {index_iv} never meets valid "
+                    f"indices [0, {extent} - 1]",
+                    function=info.function,
+                    block=label,
+                    name=inst.result,
+                    stage=STAGE,
+                    hint="widen the array extent or fix the subscript",
+                )
+                return
+        # narrowest the valid region can be: [0, min-extent - 1]
+        narrow_hi = extent_iv.int_lower()
+        if narrow_hi is not None and narrow_hi >= 1:
+            narrowest = Interval(0, narrow_hi - 1)
+            if narrowest.contains_interval(index_iv):
+                proofs.append(f"dim {dim + 1} in [0, {extent} - 1]")
+    if proofs and len(proofs) == len(declared):
+        collector.emit(
+            "RNG602",
+            f"every subscript of @{inst.array} is provably in bounds "
+            f"({'; '.join(proofs)})",
+            function=info.function,
+            block=label,
+            name=inst.result,
+            stage=STAGE,
+        )
+
+
+# ----------------------------------------------------------------------
+# RNG603: division by zero
+# ----------------------------------------------------------------------
+def _check_divisions(function, info: RangeInfo, collector) -> None:
+    for block in function:
+        for inst in block:
+            if (
+                isinstance(inst, BinOp)
+                and inst.op in (BinaryOp.DIV, BinaryOp.MOD)
+                and not isinstance(inst.rhs, Const)
+            ):
+                divisor = info.value_interval(inst.rhs)
+                if divisor.empty or divisor.is_top:
+                    continue  # unknown divisors would make this pure noise
+                if divisor.contains(0):
+                    op = "division" if inst.op is BinaryOp.DIV else "modulo"
+                    collector.emit(
+                        "RNG603",
+                        f"possible {op} by zero: divisor range {divisor} "
+                        f"contains 0",
+                        function=info.function,
+                        block=block.label,
+                        name=inst.result,
+                        stage=STAGE,
+                        hint="guard the division or assume the divisor's sign",
+                    )
+
+
+# ----------------------------------------------------------------------
+# RNG604: zero-step self-update
+# ----------------------------------------------------------------------
+def _resolve_copy(name: str, function) -> Optional[str]:
+    """Follow SSA copies back to the original defining name."""
+    seen = set()
+    while name not in seen:
+        seen.add(name)
+        site = function.def_site(name)
+        if site is None:
+            return name
+        block, position = site
+        inst = function.blocks[block].instructions[position]
+        if isinstance(inst, Assign) and isinstance(inst.src, Ref):
+            name = inst.src.name
+            continue
+        return name
+    return name
+
+
+def _check_self_updates(result: AnalysisResult, info: RangeInfo, collector) -> None:
+    function = result.function
+    for loop in result.nest.inner_to_outer():
+        header = function.blocks.get(loop.header)
+        if header is None:
+            continue
+        for phi in header.phis():
+            for label, incoming in phi.incoming.items():
+                if label not in loop.body or not isinstance(incoming, Ref):
+                    continue
+                step = _self_update_step(phi.result, incoming.name, function)
+                if step is None:
+                    continue
+                if info.value_interval(step) == _ZERO:
+                    collector.emit(
+                        "RNG604",
+                        f"self-update of %{phi.result} adds a provably zero "
+                        f"step: the value never changes across iterations "
+                        f"of {loop.header}",
+                        function=info.function,
+                        block=loop.header,
+                        name=phi.result,
+                        stage=STAGE,
+                        hint="the loop-carried update is a no-op; was a "
+                        "different step intended?",
+                    )
+                break
+
+
+def _self_update_step(phi_name: str, carried: str, function) -> Optional[Value]:
+    """The step operand of ``x = phi +- step`` (through copies), if any."""
+    site = function.def_site(_resolve_copy(carried, function))
+    if site is None:
+        return None
+    block, position = site
+    inst = function.blocks[block].instructions[position]
+    if not isinstance(inst, BinOp) or inst.op not in (BinaryOp.ADD, BinaryOp.SUB):
+        return None
+    lhs_is_phi = (
+        isinstance(inst.lhs, Ref)
+        and _resolve_copy(inst.lhs.name, function) == phi_name
+    )
+    rhs_is_phi = (
+        isinstance(inst.rhs, Ref)
+        and _resolve_copy(inst.rhs.name, function) == phi_name
+    )
+    if lhs_is_phi and not rhs_is_phi:
+        return inst.rhs
+    if rhs_is_phi and not lhs_is_phi and inst.op is BinaryOp.ADD:
+        return inst.lhs
+    return None
+
+
+# ----------------------------------------------------------------------
+# RNG605: provably-empty loops
+# ----------------------------------------------------------------------
+def _check_empty_loops(result: AnalysisResult, info: RangeInfo, collector) -> None:
+    for header, trip in info.trips.items():
+        upper = trip.int_upper()
+        if upper is not None and upper < 1:
+            collector.emit(
+                "RNG605",
+                f"loop {header} is provably empty: trip-count range {trip} "
+                f"excludes every positive count",
+                function=info.function,
+                block=header,
+                stage=STAGE,
+                hint="the body never executes; check the loop bounds",
+            )
+
+
+# ----------------------------------------------------------------------
+# RNG606: always/never-taken branches
+# ----------------------------------------------------------------------
+def _check_branches(function, info: RangeInfo, collector) -> None:
+    for block in function:
+        term = block.terminator
+        if not isinstance(term, Branch) or term.true_target == term.false_target:
+            continue
+        cond = info.value_interval(term.cond)
+        if not cond.is_point:
+            continue
+        if cond == Interval.point(1):
+            verdict, dead = "always taken", term.false_target
+        elif cond == _ZERO:
+            verdict, dead = "never taken", term.true_target
+        else:
+            continue
+        name = term.cond.name if isinstance(term.cond, Ref) else None
+        collector.emit(
+            "RNG606",
+            f"branch condition in {block.label} is {verdict}: "
+            f"{dead} is unreachable from here",
+            function=info.function,
+            block=block.label,
+            name=name,
+            stage=STAGE,
+            hint="the condition's range is a single constant",
+        )

@@ -1,0 +1,282 @@
+"""The shared interval algebra: exact endpoints, typed infinities.
+
+One implementation serves both consumers: the Banerjee bound tester
+(:mod:`repro.dependence.banerjee`) and the value-range analysis
+(:mod:`repro.ranges.analysis`).  Endpoints are exact -- a finite
+:class:`Bound` wraps a :class:`~fractions.Fraction`; the infinities are
+the module constants :data:`NEG_INF` and :data:`POS_INF` rather than
+sentinel strings, so arithmetic and comparisons are total and typed.
+
+Multiplication uses the hull convention ``0 * inf = 0`` (sound for
+interval products: the zero factor pins the result).  ``+inf + -inf``
+is a programming error and raises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from math import ceil, floor
+from typing import Iterable, Optional, Union
+
+__all__ = ["Bound", "Interval", "NEG_INF", "POS_INF"]
+
+Finite = Union[int, Fraction]
+
+
+@dataclass(frozen=True, eq=False)
+class Bound:
+    """One interval endpoint: a finite rational or an infinity.
+
+    ``infinite`` is -1 (negative infinity), 0 (finite, ``value`` valid)
+    or +1 (positive infinity).
+    """
+
+    value: Fraction = Fraction(0)
+    infinite: int = 0
+
+    @staticmethod
+    def of(value: Union["Bound", Finite]) -> "Bound":
+        if isinstance(value, Bound):
+            return value
+        return Bound(Fraction(value))
+
+    @property
+    def is_finite(self) -> bool:
+        return self.infinite == 0
+
+    def _key(self):
+        if self.infinite:
+            return (self.infinite, Fraction(0))
+        return (0, self.value)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Bound):
+            return self._key() == other._key()
+        if isinstance(other, (int, Fraction)):
+            return self.infinite == 0 and self.value == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __lt__(self, other) -> bool:
+        return self._key() < Bound.of(other)._key()
+
+    def __le__(self, other) -> bool:
+        return self._key() <= Bound.of(other)._key()
+
+    def __gt__(self, other) -> bool:
+        return self._key() > Bound.of(other)._key()
+
+    def __ge__(self, other) -> bool:
+        return self._key() >= Bound.of(other)._key()
+
+    def __neg__(self) -> "Bound":
+        if self.infinite:
+            return Bound(infinite=-self.infinite)
+        return Bound(-self.value)
+
+    def __add__(self, other: Union["Bound", Finite]) -> "Bound":
+        other = Bound.of(other)
+        if self.infinite and other.infinite and self.infinite != other.infinite:
+            raise ValueError("indeterminate bound sum: +inf + -inf")
+        if self.infinite:
+            return self
+        if other.infinite:
+            return other
+        return Bound(self.value + other.value)
+
+    def __sub__(self, other: Union["Bound", Finite]) -> "Bound":
+        return self + (-Bound.of(other))
+
+    def __mul__(self, other: Union["Bound", Finite]) -> "Bound":
+        other = Bound.of(other)
+        # hull convention: a zero factor pins the product at zero
+        if (self.is_finite and self.value == 0) or (
+            other.is_finite and other.value == 0
+        ):
+            return Bound(Fraction(0))
+        if self.infinite or other.infinite:
+            sign_a = self.infinite or (1 if self.value > 0 else -1)
+            sign_b = other.infinite or (1 if other.value > 0 else -1)
+            return Bound(infinite=sign_a * sign_b)
+        return Bound(self.value * other.value)
+
+    def floor_int(self) -> Optional[int]:
+        """Largest integer <= this bound, or None when infinite."""
+        return None if self.infinite else floor(self.value)
+
+    def ceil_int(self) -> Optional[int]:
+        """Smallest integer >= this bound, or None when infinite."""
+        return None if self.infinite else ceil(self.value)
+
+    def __repr__(self) -> str:
+        if self.infinite > 0:
+            return "+inf"
+        if self.infinite < 0:
+            return "-inf"
+        return str(self.value)
+
+
+#: the typed infinities (the old string sentinels are gone)
+NEG_INF = Bound(infinite=-1)
+POS_INF = Bound(infinite=1)
+
+
+def _bmin(a: Bound, b: Bound) -> Bound:
+    return a if a <= b else b
+
+
+def _bmax(a: Bound, b: Bound) -> Bound:
+    return a if a >= b else b
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval with possibly infinite endpoints; may be empty.
+
+    The constructor coerces ints / Fractions, so ``Interval(0, 10)`` and
+    ``Interval(Fraction(0), Bound(Fraction(10)))`` are the same value.
+    """
+
+    lo: Bound
+    hi: Bound
+    empty: bool = False
+
+    def __post_init__(self):
+        object.__setattr__(self, "lo", Bound.of(self.lo))
+        object.__setattr__(self, "hi", Bound.of(self.hi))
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def point(value: Finite) -> "Interval":
+        bound = Bound.of(value)
+        return Interval(bound, bound)
+
+    @staticmethod
+    def empty_interval() -> "Interval":
+        return Interval(Bound(Fraction(0)), Bound(Fraction(0)), empty=True)
+
+    @staticmethod
+    def top() -> "Interval":
+        return Interval(NEG_INF, POS_INF)
+
+    @staticmethod
+    def at_least(value: Finite) -> "Interval":
+        return Interval(Bound.of(value), POS_INF)
+
+    @staticmethod
+    def at_most(value: Finite) -> "Interval":
+        return Interval(NEG_INF, Bound.of(value))
+
+    @staticmethod
+    def hull(values: Iterable[Finite]) -> "Interval":
+        """Smallest interval containing every value (empty for none)."""
+        result = Interval.empty_interval()
+        for value in values:
+            result = result.union(Interval.point(value))
+        return result
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+    @property
+    def is_top(self) -> bool:
+        return not self.empty and not self.lo.is_finite and not self.hi.is_finite
+
+    @property
+    def is_point(self) -> bool:
+        return not self.empty and self.lo == self.hi
+
+    def contains(self, value: Finite) -> bool:
+        if self.empty:
+            return False
+        return self.lo <= Fraction(value) and Bound.of(Fraction(value)) <= self.hi
+
+    def contains_interval(self, other: "Interval") -> bool:
+        if other.empty:
+            return True
+        if self.empty:
+            return False
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def intersects(self, other: "Interval") -> bool:
+        meet = self.intersect(other)
+        return not meet.empty
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def __add__(self, other: "Interval") -> "Interval":
+        if self.empty or other.empty:
+            return Interval.empty_interval()
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def __neg__(self) -> "Interval":
+        if self.empty:
+            return self
+        return Interval(-self.hi, -self.lo)
+
+    def __sub__(self, other: "Interval") -> "Interval":
+        return self + (-other)
+
+    def __mul__(self, other: "Interval") -> "Interval":
+        if self.empty or other.empty:
+            return Interval.empty_interval()
+        corners = [
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        ]
+        lo = corners[0]
+        hi = corners[0]
+        for corner in corners[1:]:
+            lo = _bmin(lo, corner)
+            hi = _bmax(hi, corner)
+        return Interval(lo, hi)
+
+    def scale(self, factor: Finite) -> "Interval":
+        return self * Interval.point(factor)
+
+    def union(self, other: "Interval") -> "Interval":
+        if self.empty:
+            return other
+        if other.empty:
+            return self
+        return Interval(_bmin(self.lo, other.lo), _bmax(self.hi, other.hi))
+
+    def intersect(self, other: "Interval") -> "Interval":
+        if self.empty or other.empty:
+            return Interval.empty_interval()
+        lo = _bmax(self.lo, other.lo)
+        hi = _bmin(self.hi, other.hi)
+        if lo > hi:
+            return Interval.empty_interval()
+        return Interval(lo, hi)
+
+    # ------------------------------------------------------------------
+    # integer views
+    # ------------------------------------------------------------------
+    def int_lower(self) -> Optional[int]:
+        """Smallest integer in the interval, or None when unbounded/empty."""
+        if self.empty:
+            return None
+        return self.lo.ceil_int()
+
+    def int_upper(self) -> Optional[int]:
+        """Largest integer in the interval, or None when unbounded/empty."""
+        if self.empty:
+            return None
+        return self.hi.floor_int()
+
+    def __repr__(self) -> str:
+        if self.empty:
+            return "Interval(empty)"
+        return f"[{self.lo!r}, {self.hi!r}]"
+
+
+TOP = Interval.top()

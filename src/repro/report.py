@@ -70,6 +70,11 @@ def format_report(
             lines.append(f"{indent}  trip count: {trip.count}{extra}{assumption}")
         else:
             lines.append(f"{indent}  trip count: {trip.kind.value}")
+        ranges = result.ranges
+        if ranges is not None and header in ranges.trips:
+            interval = ranges.trips[header]
+            if not interval.is_top:
+                lines.append(f"{indent}  trip range: {interval}")
 
         lines.append(f"{indent}  SSA graph size: {summary.graph_size}, "
                      f"SCRs: {summary.scr_count}")
@@ -107,6 +112,7 @@ def format_report(
                 lines.append(f"  {edge!r}{note}")
         else:
             lines.append("  no dependences")
+    _append_ranges(lines, program, show_temporaries)
     _append_resilience(lines, program)
     _append_diagnostics(lines, diagnostics)
     return "\n".join(lines)
@@ -122,6 +128,31 @@ def _report_log(program: AnalyzedProgram) -> _isolation.DegradationLog:
     log = _isolation.DegradationLog()
     log.records = program.degradations
     return log
+
+
+def _append_ranges(
+    lines: List[str], program: AnalyzedProgram, show_temporaries: bool
+) -> None:
+    """Append a ``== value ranges ==`` section when the phase ran."""
+    info = program.result.ranges
+    if info is None:
+        return
+    lines.append("")
+    lines.append("== value ranges ==")
+    if info.degraded:
+        lines.append("  degraded: every value spans [-inf, +inf]")
+        return
+    shown = 0
+    for name in sorted(info.values):
+        if not show_temporaries and name.startswith("$"):
+            continue
+        interval = info.values[name]
+        if interval.is_top:
+            continue
+        lines.append(f"  {name:12} {interval}")
+        shown += 1
+    if not shown:
+        lines.append("  no nontrivial ranges")
 
 
 def _append_resilience(lines: List[str], program: AnalyzedProgram) -> None:

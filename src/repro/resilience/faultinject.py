@@ -64,6 +64,7 @@ FAULT_POINTS: Dict[str, str] = {
     "transform.normalize": "loop normalization",
     "transform.unroll": "full unrolling",
     "transform.materialize": "exit-value materialization",
+    "ranges.compute": "value-range analysis over the classification lattice",
 }
 
 

@@ -3,6 +3,8 @@
 from fractions import Fraction
 
 from repro.dependence.banerjee import (
+    NEG_INF,
+    POS_INF,
     Interval,
     banerjee_feasible,
     direction_term_interval,
@@ -22,9 +24,9 @@ class TestIntervals:
 
     def test_scaled_range_infinite(self):
         up = scaled_range(F(3), 1, None)
-        assert up.lo == F(3) and up.hi == "+inf"
+        assert up.lo == F(3) and up.hi == POS_INF
         down = scaled_range(F(-3), 1, None)
-        assert down.lo == "-inf" and down.hi == F(-3)
+        assert down.lo == NEG_INF and down.hi == F(-3)
 
     def test_scaled_range_empty(self):
         assert scaled_range(F(1), 1, 0).empty

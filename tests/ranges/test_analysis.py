@@ -1,0 +1,298 @@
+"""The value-range analysis: per-class intervals, trips, pipeline wiring."""
+
+import pytest
+
+from repro.pipeline import analyze
+from repro.ranges import RangeInfo, compute_ranges
+from repro.ranges.interval import Interval
+from repro.resilience.faultinject import FaultPlan, injecting
+
+ASSUMED = """
+assume n >= 1
+assume n <= 50
+array A[200]
+L1: for i = 1 to n do
+  A[i + 100] = A[i] + 1
+endfor
+return n
+"""
+
+
+def ranges_of(source, **kwargs):
+    program = analyze(source, ranges=True, **kwargs)
+    assert program.result.ranges is not None
+    return program, program.result.ranges
+
+
+class TestAssumptions:
+    def test_assume_bounds_parameters(self):
+        _, info = ranges_of(ASSUMED)
+        assert info.range_of("n") == Interval(1, 50)
+
+    def test_relations(self):
+        source = """
+assume a < 10
+assume b > 0
+assume c == 7
+x = a + b + c
+L1: for i = 1 to 2 do
+  x = x + 1
+endfor
+"""
+        _, info = ranges_of(source)
+        assert info.range_of("a") == Interval.at_most(9)
+        assert info.range_of("b") == Interval.at_least(1)
+        assert info.range_of("c") == Interval.point(7)
+
+    def test_conflicting_assumes_intersect(self):
+        source = """
+assume n >= 5
+assume n >= 10
+L1: for i = 1 to n do
+  x = i
+endfor
+"""
+        _, info = ranges_of(source)
+        assert info.range_of("n") == Interval.at_least(10)
+
+
+class TestTripRanges:
+    def test_constant_trip_is_a_point(self):
+        _, info = ranges_of("L1: for i = 1 to 10 do\n  x = i\nendfor")
+        assert info.trips["L1"] == Interval.point(10)
+        assert info.trip_upper_bound("L1") == 10
+
+    def test_symbolic_trip_uses_assumptions(self):
+        _, info = ranges_of(ASSUMED)
+        assert info.trips["L1"] == Interval(1, 50)
+        assert info.trip_upper_bound("L1") == 50
+
+    def test_unbounded_symbolic_trip(self):
+        _, info = ranges_of("L1: for i = 1 to n do\n  x = i\nendfor")
+        assert info.trip_upper_bound("L1") is None
+        assert info.trip_range("L1").contains(0)
+
+    def test_missing_header_defaults_to_nonnegative(self):
+        info = RangeInfo(function="f")
+        assert info.trip_range("L9") == Interval.at_least(0)
+        assert info.trip_upper_bound("L9") is None
+
+
+class TestClassIntervals:
+    def test_linear_iv_exact_span(self):
+        program, info = ranges_of("L1: for i = 1 to 10 do\n  x = i\nendfor")
+        name = program.ssa_name("i", "L1")
+        # the header phi covers the exiting evaluation too: i leaves at 11
+        assert info.range_of(name) == Interval(1, 11)
+        # a body use sees only the executed iterations
+        assert info.range_of("x.1") == Interval(1, 10)
+
+    def test_polynomial_iv_enumerated(self):
+        source = """
+x = 0
+L1: for i = 1 to 10 do
+  x = x + i
+endfor
+"""
+        program, info = ranges_of(source)
+        name = program.ssa_name("x", "L1")
+        # x takes 0, 1, 3, ..., 45 across executed iterations and exits at 55
+        assert info.range_of(name) == Interval(0, 55)
+
+    def test_geometric_iv_bounded_below(self):
+        source = """
+j = 1
+L1: for i = 1 to 5 do
+  j = 2 * j + 1
+endfor
+"""
+        program, info = ranges_of(source)
+        name = program.ssa_name("j", "L1")
+        # j at the header: 1, 3, 7, 15, 31, exiting at 63
+        assert info.range_of(name) == Interval(1, 63)
+
+    def test_periodic_flip_flop_hull(self):
+        source = """
+x = 1
+L1: for i = 1 to n do
+  x = 5 - x
+endfor
+"""
+        program, info = ranges_of(source)
+        name = program.ssa_name("x", "L1")
+        # x alternates 1, 4, 1, 4, ... -- finite hull despite unknown trips
+        assert info.range_of(name) == Interval(1, 4)
+
+    def test_monotonic_half_bounded(self):
+        source = """
+k = 0
+L1: for i = 1 to n do
+  if i < 5 then
+    k = k + 2
+  endif
+  x = k
+endfor
+"""
+        program, info = ranges_of(source)
+        name = program.ssa_name("k", "L1")
+        interval = info.range_of(name)
+        assert interval.lo == 0 and not interval.hi.is_finite
+
+    def test_invariant_is_a_point(self):
+        source = """
+c = 7
+L1: for i = 1 to n do
+  x = c + 1
+endfor
+"""
+        _, info = ranges_of(source)
+        assert info.range_of("c.1") == Interval.point(7)
+        assert info.range_of("x.1") == Interval.point(8)
+
+
+class TestOperatorPropagation:
+    def test_compare_result_is_boolean(self):
+        program, info = ranges_of("L1: for i = 1 to 10 do\n  x = i\nendfor")
+        booleans = [
+            iv
+            for name, iv in info.values.items()
+            if name.startswith("$") and iv == Interval(0, 1)
+        ]
+        assert booleans, "no compare temporary got the [0, 1] range"
+
+    def test_arithmetic_follows_operands(self):
+        _, info = ranges_of(ASSUMED)
+        # the store address temp: i + 100 over i in [1, 50]
+        assert any(
+            iv == Interval(101, 150) for iv in info.values.values()
+        ), sorted(info.values.items())
+
+    def test_propagation_only_narrows(self):
+        # every operator pass intersects, so re-running compute_ranges on
+        # the same result is idempotent
+        program = analyze(ASSUMED, ranges=True)
+        again = compute_ranges(program.result)
+        assert again.values == program.result.ranges.values
+
+
+class TestPipelineWiring:
+    def test_off_by_default(self):
+        program = analyze(ASSUMED)
+        assert program.result.ranges is None
+
+    def test_attached_when_requested(self):
+        program = analyze(ASSUMED, ranges=True)
+        assert isinstance(program.result.ranges, RangeInfo)
+        assert not program.result.ranges.degraded
+
+    def test_fault_degrades_to_top_without_aborting(self):
+        with injecting(FaultPlan(points={"ranges.compute"})):
+            program = analyze(ASSUMED, ranges=True)
+        info = program.result.ranges
+        assert info is not None and info.degraded
+        assert info.range_of("n").is_top
+        assert info.trip_upper_bound("L1") is None
+        assert program.degraded
+        assert any(r.phase == "ranges.compute" for r in program.degradations)
+
+    def test_metrics_counted(self):
+        from repro.obs.metrics import MetricsRegistry, collecting
+
+        with collecting(MetricsRegistry()) as registry:
+            analyze(ASSUMED, ranges=True)
+        counters = registry.snapshot()["counters"]
+        assert counters["ranges.values"] > 0
+        assert counters["ranges.loops"] == 1
+        assert counters["ranges.trips.bounded"] == 1
+
+    def test_span_traced(self):
+        from repro.obs.trace import Tracer, tracing
+
+        with tracing(Tracer()) as tracer:
+            analyze(ASSUMED, ranges=True)
+        assert any(span.name == "ranges" for span in tracer.spans)
+
+
+class TestRangeTightenedDependence:
+    def test_serial_without_ranges_doall_with(self):
+        from repro.dependence.loopinfo import analyze_parallelism
+
+        plain = analyze(ASSUMED)
+        assert not analyze_parallelism(plain.result)["L1"].parallelizable
+
+        ranged = analyze(ASSUMED, ranges=True)
+        verdict = analyze_parallelism(ranged.result)["L1"]
+        assert verdict.parallelizable
+        assert not verdict.carried
+
+    def test_tightened_edges_are_annotated(self):
+        from repro.dependence.graph import build_dependence_graph
+
+        source = """
+assume n >= 1
+assume n <= 50
+L1: for i = 1 to n do
+  A[i] = A[i] + 1
+endfor
+"""
+        program = analyze(source, ranges=True)
+        graph = build_dependence_graph(program.result)
+        notes = [note for edge in graph.edges for note in edge.result.notes]
+        assert "trip bounds tightened by value ranges" in notes
+
+    def test_single_trip_loop_cannot_carry(self):
+        from repro.dependence.loopinfo import analyze_parallelism
+
+        source = """
+assume n <= 1
+L1: for i = 2 to n do
+  A[i] = A[i - 1] + 1
+endfor
+"""
+        plain = analyze(source)
+        assert not analyze_parallelism(plain.result)["L1"].parallelizable
+        ranged = analyze(source, ranges=True)
+        assert analyze_parallelism(ranged.result)["L1"].parallelizable
+
+
+class TestFrontendDeclarations:
+    def test_assumptions_recorded(self):
+        program = analyze(ASSUMED)
+        assert ("n", ">=", 1) in program.named_ir.assumptions
+        assert ("n", "<=", 50) in program.named_ir.assumptions
+
+    def test_array_extents_recorded(self):
+        program = analyze(ASSUMED)
+        assert program.named_ir.array_extents["A"] == (200,)
+        assert program.ssa.array_extents["A"] == (200,)
+
+    def test_symbolic_extent(self):
+        source = """
+array A[n, 20]
+L1: for i = 1 to 5 do
+  A[i, i] = 1
+endfor
+"""
+        program = analyze(source)
+        assert program.ssa.array_extents["A"] == ("n", 20)
+
+    def test_negative_assume_bound(self):
+        source = """
+assume t >= -3
+L1: for i = 1 to 2 do
+  x = t
+endfor
+"""
+        _, info = ranges_of(source)
+        assert info.range_of("t") == Interval.at_least(-3)
+
+    def test_assume_on_array_rejected(self):
+        source = """
+array A[10]
+assume A >= 1
+L1: for i = 1 to 2 do
+  A[i] = 1
+endfor
+"""
+        with pytest.raises(Exception):
+            analyze(source)

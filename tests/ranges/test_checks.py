@@ -1,0 +1,230 @@
+"""The RNG6xx checker suite against crafted programs."""
+
+import pytest
+
+from repro.diagnostics.diagnostic import DiagnosticCollector
+from repro.pipeline import analyze
+from repro.ranges import check_ranges
+
+
+def run_checks(source, **kwargs):
+    program = analyze(source, ranges=True, **kwargs)
+    collector = DiagnosticCollector()
+    emitted = check_ranges(program.result, program.result.ranges, collector)
+    assert emitted == len(collector.diagnostics)
+    return collector.diagnostics
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+class TestSubscriptBounds:
+    def test_rng601_provably_out_of_bounds(self):
+        diagnostics = run_checks(
+            """
+array A[10]
+L1: for i = 20 to 30 do
+  A[i] = 1
+endfor
+"""
+        )
+        assert "RNG601" in codes(diagnostics)
+        finding = next(d for d in diagnostics if d.code == "RNG601")
+        assert finding.severity.name == "ERROR"
+        assert "out of bounds" in finding.message
+
+    def test_rng602_provably_in_bounds(self):
+        diagnostics = run_checks(
+            """
+assume n >= 1
+assume n <= 50
+array A[200]
+L1: for i = 1 to n do
+  A[i + 100] = A[i] + 1
+endfor
+return n
+"""
+        )
+        assert codes(diagnostics).count("RNG602") == 2  # one load, one store
+        assert "RNG601" not in codes(diagnostics)
+
+    def test_symbolic_extent_uses_its_range(self):
+        diagnostics = run_checks(
+            """
+assume m >= 100
+array A[m]
+L1: for i = 1 to 50 do
+  A[i] = 1
+endfor
+"""
+        )
+        # the narrowest possible extent is 100, so i in [1, 50] is in bounds
+        assert "RNG602" in codes(diagnostics)
+        assert "RNG601" not in codes(diagnostics)
+
+    def test_no_finding_without_extent_declaration(self):
+        diagnostics = run_checks(
+            """
+L1: for i = 20 to 30 do
+  A[i] = 1
+endfor
+"""
+        )
+        assert "RNG601" not in codes(diagnostics)
+        assert "RNG602" not in codes(diagnostics)
+
+    def test_unknown_index_is_not_judged(self):
+        diagnostics = run_checks(
+            """
+array A[10]
+L1: for i = 1 to n do
+  A[B[i]] = 1
+endfor
+"""
+        )
+        assert "RNG601" not in codes(diagnostics)
+
+
+class TestDivisionByZero:
+    def test_rng603_divisor_straddles_zero(self):
+        diagnostics = run_checks(
+            """
+assume d >= -2
+assume d <= 3
+L1: for i = 1 to 5 do
+  x = 10 / d
+endfor
+""",
+            optimize=False,
+        )
+        assert "RNG603" in codes(diagnostics)
+
+    def test_silent_when_divisor_excludes_zero(self):
+        diagnostics = run_checks(
+            """
+assume d >= 1
+assume d <= 3
+L1: for i = 1 to 5 do
+  x = 10 / d
+endfor
+""",
+            optimize=False,
+        )
+        assert "RNG603" not in codes(diagnostics)
+
+    def test_silent_on_unknown_divisor(self):
+        # an unconstrained divisor would fire on every division: pure noise
+        diagnostics = run_checks(
+            """
+L1: for i = 1 to 5 do
+  x = 10 / d
+endfor
+""",
+            optimize=False,
+        )
+        assert "RNG603" not in codes(diagnostics)
+
+
+class TestSelfUpdates:
+    def test_rng604_zero_step(self):
+        diagnostics = run_checks(
+            """
+s = 4
+L1: for i = 1 to n do
+  s = s + 0
+endfor
+""",
+            optimize=False,
+        )
+        assert "RNG604" in codes(diagnostics)
+
+    def test_silent_on_nonzero_step(self):
+        diagnostics = run_checks(
+            """
+s = 4
+L1: for i = 1 to n do
+  s = s + 1
+endfor
+""",
+            optimize=False,
+        )
+        assert "RNG604" not in codes(diagnostics)
+
+
+class TestEmptyLoops:
+    def test_rng605_provably_empty(self):
+        diagnostics = run_checks(
+            """
+assume n <= 0
+L1: for i = 1 to n do
+  x = i
+endfor
+"""
+        )
+        assert "RNG605" in codes(diagnostics)
+
+    def test_silent_when_possibly_nonempty(self):
+        diagnostics = run_checks(
+            """
+assume n <= 5
+L1: for i = 1 to n do
+  x = i
+endfor
+"""
+        )
+        assert "RNG605" not in codes(diagnostics)
+
+
+class TestBranches:
+    def test_rng606_never_taken(self):
+        diagnostics = run_checks(
+            """
+assume n >= 10
+x = 0
+if n < 5 then
+  x = 1
+endif
+L1: for i = 1 to n do
+  y = x
+endfor
+""",
+            optimize=False,
+        )
+        assert "RNG606" in codes(diagnostics)
+        finding = next(d for d in diagnostics if d.code == "RNG606")
+        assert "never taken" in finding.message
+
+    def test_silent_on_undecided_branch(self):
+        diagnostics = run_checks(
+            """
+x = 0
+if n < 5 then
+  x = 1
+endif
+L1: for i = 1 to n do
+  y = x
+endfor
+""",
+            optimize=False,
+        )
+        assert "RNG606" not in codes(diagnostics)
+
+
+class TestDegradedInfo:
+    def test_all_top_info_proves_nothing(self):
+        from repro.ranges import RangeInfo
+
+        program = analyze(
+            """
+array A[10]
+L1: for i = 20 to 30 do
+  A[i] = 1
+endfor
+"""
+        )
+        collector = DiagnosticCollector()
+        emitted = check_ranges(
+            program.result, RangeInfo.top_info("main"), collector
+        )
+        assert emitted == 0

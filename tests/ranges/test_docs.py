@@ -1,0 +1,96 @@
+"""docs/RANGES.md must catalogue every RNG6xx check and stay linked.
+
+Mirror of ``tests/resilience/test_docs.py``: the doc and the diagnostics
+registry (category ``ranges``) are checked in both directions so neither
+can drift from the other.
+"""
+
+import os
+import re
+
+import pytest
+
+from repro.diagnostics.registry import all_checks, check_info
+
+ROOT = os.path.join(os.path.dirname(__file__), "..", "..")
+DOCS = os.path.join(ROOT, "docs", "RANGES.md")
+
+RANGE_CODES = {info.code for info in all_checks() if info.category == "ranges"}
+
+CLASS_NAMES = [
+    "Invariant",
+    "InductionVariable",
+    "WrapAround",
+    "Periodic",
+    "Monotonic",
+    "Unknown",
+]
+
+
+def read_docs():
+    with open(DOCS) as handle:
+        return handle.read()
+
+
+def checker_section():
+    match = re.search(
+        r"^## The RNG6xx checker suite$(.*?)(?=^##)",
+        read_docs(),
+        re.MULTILINE | re.DOTALL,
+    )
+    assert match, "docs/RANGES.md lacks the RNG6xx checker-suite section"
+    return match.group(1)
+
+
+def documented_codes():
+    """Backticked codes from the section's bullet labels (before the dash)."""
+    codes = []
+    for line in checker_section().splitlines():
+        if not line.startswith("- `"):
+            continue
+        label = line.split(" — ")[0]
+        codes.extend(re.findall(r"`([^`]+)`", label))
+    return codes
+
+
+def test_every_registered_range_code_is_documented():
+    missing = RANGE_CODES - set(documented_codes())
+    assert not missing, f"missing from docs/RANGES.md: {sorted(missing)}"
+
+
+def test_no_undocumented_or_duplicate_codes():
+    documented = documented_codes()
+    unknown = [code for code in documented if code not in RANGE_CODES]
+    assert not unknown, f"docs mention unregistered codes: {unknown}"
+    assert len(documented) == len(set(documented)), "duplicate bullets"
+
+
+def test_documented_severities_match_the_registry():
+    """Each bullet states its severity as ``(error|warning|note)``."""
+    for line in checker_section().splitlines():
+        match = re.match(r"- `([^`]+)` — \((error|warning|note)\)", line)
+        if not match and line.startswith("- `"):
+            pytest.fail(f"bullet lacks a severity annotation: {line!r}")
+        if match:
+            code, severity = match.groups()
+            assert check_info(code).severity.name.lower() == severity, code
+
+
+def test_derivation_table_covers_every_classification():
+    text = read_docs()
+    for name in CLASS_NAMES:
+        assert f"`{name}`" in text, f"{name} missing from derivation table"
+
+
+def test_linked_from_readme_and_related_docs():
+    with open(os.path.join(ROOT, "README.md")) as handle:
+        assert "docs/RANGES.md" in handle.read()
+    for doc in ("API.md", "LANGUAGE.md", "DIAGNOSTICS.md", "OBSERVABILITY.md"):
+        with open(os.path.join(ROOT, "docs", doc)) as handle:
+            assert "RANGES.md" in handle.read(), f"docs/{doc} lacks the link"
+
+
+def test_ranges_doc_links_back():
+    text = read_docs()
+    for doc in ("LANGUAGE.md", "DIAGNOSTICS.md", "OBSERVABILITY.md", "ROBUSTNESS.md"):
+        assert f"({doc})" in text, f"docs/RANGES.md does not link {doc}"

@@ -174,6 +174,9 @@ class TestReachability:
                 program.ssa, summary.label
             ),
             "transform.materialize": lambda: _materialize(),
+            "ranges.compute": lambda: __import__(
+                "repro.ranges", fromlist=["compute_ranges"]
+            ).compute_ranges(program.result),
         }
         with injecting(FaultPlan(points={point})) as plan:
             with pytest.raises(InjectedFault):
