@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint ranges chaos bench bench-check bench-baseline report
+.PHONY: test lint ranges chaos bench bench-check bench-baseline bench-diff report
 
 test:
 	$(PYTHON) -m pytest -m "not bench" -q
@@ -25,6 +25,9 @@ bench-check:
 
 bench-baseline:
 	$(PYTHON) -m benchmarks.regress --emit BENCH_0001.json
+
+bench-diff:
+	$(PYTHON) -m benchmarks.regress --compare BENCH_0003.json BENCH_0004.json
 
 report:
 	$(PYTHON) -m benchmarks.make_report

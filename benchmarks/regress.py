@@ -28,6 +28,22 @@ Schema v3 adds the ``ranges_s`` tracked metric (wall time of
 observed pass with ``ranges=True`` so the ``ranges`` span appears in the
 ``phases`` breakdown.  v1/v2 baselines lack ``ranges_s`` and keep
 passing ``--check`` unchanged (the comparison is baseline-driven).
+
+Schema v4 measures ``pipeline_s`` **with ranges enabled**
+(``analyze(source, ranges=True)``) -- the "ranges are free" claim is
+that the full pipeline including value ranges now beats the old
+pipeline without them -- and the observed run's ``counters`` pick up
+the new ``ranges.fixpoint.*`` visit counters and ``interval.cache.*``
+interning stats.  v1-v3 baselines keep passing ``--check`` unchanged
+(v4 current numbers are compared against whatever metrics the baseline
+recorded, and the only redefined metric, ``pipeline_s``, got *larger*
+in scope -- a pass against an old baseline is conservative).
+
+``--compare OLD.json NEW.json`` prints a per-workload percent-delta
+table of two recorded baselines (no re-measuring) for the headline
+metrics; ``--only SUBSTRING`` restricts ``--emit``/``--check`` to
+matching workloads (the CI perf-smoke job uses it to keep the gate
+fast).
 """
 
 from __future__ import annotations
@@ -38,7 +54,7 @@ import json
 import platform
 import sys
 import time
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from benchmarks.workloads import deep_chain_loop, mixed_class_loop, straightline_iv_loop
 from repro.core.driver import classify_function
@@ -46,7 +62,7 @@ from repro.obs import observing
 from repro.pipeline import analyze
 from repro.ranges import compute_ranges
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: metrics compared by ``--check`` (lower is better for all of them)
 TRACKED_METRICS = ("classify_s", "pipeline_s", "time_per_node_s", "ranges_s")
@@ -97,18 +113,23 @@ def _observe_workload(source: str) -> Tuple[Dict[str, float], Dict[str, int]]:
     return phases, counters
 
 
-def measure(repeats: int = 5) -> Dict:
+def measure(repeats: int = 5, only: Optional[str] = None) -> Dict:
     """Measure every tracked workload; returns the JSON-serializable report.
 
     The tracked wall-time metrics are measured with observability *off*
     (the instrumented hot paths pay only their disabled-hook cost); the
     ``phases``/``counters`` breakdown comes from one extra observed run.
+    ``only`` restricts measurement to workloads whose name contains it.
     """
     results: Dict[str, Dict] = {}
     for name, source in workloads():
+        if only and only not in name:
+            continue
         program = analyze(source)  # warm compile; classify_s times analysis only
         classify_s = _best_of(lambda: classify_function(program.ssa), repeats)
-        pipeline_s = _best_of(lambda: analyze(source), max(3, repeats * 2 // 3))
+        pipeline_s = _best_of(
+            lambda: analyze(source, ranges=True), max(3, repeats * 2 // 3)
+        )
         result = classify_function(program.ssa)
         graph_size = sum(s.graph_size for s in result.loops.values())
         ranges_s = _best_of(lambda: compute_ranges(result), repeats)
@@ -130,14 +151,21 @@ def measure(repeats: int = 5) -> Dict:
     }
 
 
-def compare(current: Dict, baseline: Dict, threshold: float = 1.5) -> List[str]:
+def compare(
+    current: Dict, baseline: Dict, threshold: float = 1.5, only: Optional[str] = None
+) -> List[str]:
     """Compare a fresh measurement against a baseline report.
 
     Returns a list of human-readable regression messages (empty = pass).
     Prints a per-workload ratio table to stdout as a side effect.
+    ``only`` restricts the comparison to matching baseline workloads.
     """
     failures: List[str] = []
-    base_workloads = baseline.get("workloads", {})
+    base_workloads = {
+        name: data
+        for name, data in baseline.get("workloads", {}).items()
+        if not only or only in name
+    }
     cur_workloads = current.get("workloads", {})
     header = f"{'workload':>26} | " + " | ".join(f"{m:>16}" for m in TRACKED_METRICS)
     print(header)
@@ -171,6 +199,40 @@ def compare(current: Dict, baseline: Dict, threshold: float = 1.5) -> List[str]:
     return failures
 
 
+#: metrics shown by ``--compare`` (the headline wall-time numbers)
+DIFF_METRICS = ("pipeline_s", "classify_s", "ranges_s")
+
+
+def diff_table(old: Dict, new: Dict) -> List[str]:
+    """Per-workload percent-delta lines between two recorded reports.
+
+    Negative percentages are improvements (new is faster).  Workloads or
+    metrics absent from either side print ``n/a``.  Returns the lines so
+    tests can assert on them; the caller prints.
+    """
+    old_workloads = old.get("workloads", {})
+    new_workloads = new.get("workloads", {})
+    header = f"{'workload':>26} | " + " | ".join(f"{m:>20}" for m in DIFF_METRICS)
+    lines = [header, "-" * len(header)]
+    for name in old_workloads:
+        old_metrics = old_workloads[name]
+        new_metrics = new_workloads.get(name, {})
+        cells = []
+        for metric in DIFF_METRICS:
+            old_value = old_metrics.get(metric)
+            new_value = new_metrics.get(metric)
+            if not old_value or new_value is None:
+                cells.append(f"{'n/a':>20}")
+                continue
+            delta = (new_value / old_value - 1.0) * 100.0
+            cells.append(f"{new_value:>9.2e} {delta:>+7.1f}%")
+        lines.append(f"{name:>26} | " + " | ".join(cells))
+    for name in new_workloads:
+        if name not in old_workloads:
+            lines.append(f"{name:>26} | (not in old baseline)")
+    return lines
+
+
 def write_document(report: Dict, path: str) -> None:
     """Write a measurement document as stable, diff-friendly JSON."""
     with open(path, "w") as handle:
@@ -185,15 +247,34 @@ def main(argv: List[str] = None) -> int:
     mode = parser.add_mutually_exclusive_group(required=True)
     mode.add_argument("--emit", metavar="PATH", help="measure and write a baseline JSON")
     mode.add_argument("--check", metavar="PATH", help="measure and compare against a baseline JSON")
+    mode.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
+                      help="print a percent-delta table between two recorded "
+                           "baseline JSONs (no re-measuring)")
     parser.add_argument("--threshold", type=float, default=1.5,
                         help="max allowed slowdown ratio per metric (default 1.5)")
     parser.add_argument("--repeats", type=int, default=None,
                         help="best-of-N timing repeats (default 5; --check "
                              "defaults to the baseline's recorded repeats)")
+    parser.add_argument("--only", metavar="SUBSTRING", default=None,
+                        help="restrict --emit/--check to workloads whose name "
+                             "contains SUBSTRING")
     args = parser.parse_args(argv)
 
+    if args.compare:
+        try:
+            with open(args.compare[0]) as handle:
+                old = json.load(handle)
+            with open(args.compare[1]) as handle:
+                new = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"error: cannot read baseline: {error}", file=sys.stderr)
+            return 2
+        for line in diff_table(old, new):
+            print(line)
+        return 0
+
     if args.emit:
-        report = measure(repeats=args.repeats or 5)
+        report = measure(repeats=args.repeats or 5, only=args.only)
         write_document(report, args.emit)
         print(f"wrote baseline for {len(report['workloads'])} workloads to {args.emit}")
         return 0
@@ -209,8 +290,8 @@ def main(argv: List[str] = None) -> int:
         return 2
     # measure with the same best-of-N protocol the baseline was recorded
     # with, so both sides see the same noise floor
-    report = measure(repeats=args.repeats or baseline.get("repeats", 5))
-    failures = compare(report, baseline, threshold=args.threshold)
+    report = measure(repeats=args.repeats or baseline.get("repeats", 5), only=args.only)
+    failures = compare(report, baseline, threshold=args.threshold, only=args.only)
     if failures:
         print("\nREGRESSIONS:", file=sys.stderr)
         for failure in failures:

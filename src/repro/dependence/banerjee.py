@@ -24,6 +24,7 @@ from fractions import Fraction
 from typing import FrozenSet, Optional, Sequence, Tuple
 
 from repro.ranges.interval import NEG_INF, POS_INF, Bound, Interval
+from repro.ranges.interval import _canonical as _num
 
 __all__ = [
     "Bound",
@@ -42,9 +43,10 @@ def scaled_range(coeff: Fraction, lo: int, hi: Optional[int]) -> Interval:
     Empty when hi is not None and hi < lo.
     """
     if coeff == 0:
-        return Interval.point(Fraction(0))
+        return Interval.point(0)
     if hi is not None and hi < lo:
         return Interval.empty_interval()
+    coeff = _num(coeff)  # integral coefficients take the int fast path
     low_end = coeff * lo
     if hi is None:
         if coeff > 0:
@@ -92,7 +94,7 @@ def banerjee_feasible(
     (sign convention: already folded so the equation reads
     ``sum common-terms + sum coeff*v = delta``).
     """
-    total = Interval.point(Fraction(0))
+    total = Interval.point(0)
     for (a, b, trip), signs in zip(common, signs_per_level):
         total = total + direction_term_interval(a, b, trip, signs)
         if total.empty:

@@ -192,22 +192,26 @@ def _check_ssa(function: Function, out: DiagnosticCollector) -> None:
                     name=phi.result,
                 )
 
-    # self-referential non-phi definitions
+    # self-referential non-phi definitions (remembered so the dominance
+    # sweep below skips them without re-scanning the uses)
+    self_referential: Set[int] = set()
     for block in function:
         for inst in block:
             if isinstance(inst, Phi) or inst.result is None:
                 continue
-            if any(
-                isinstance(v, Ref) and v.name == inst.result for v in inst.uses()
-            ):
-                out.emit(
-                    "IR108",
-                    f"{fname}/{block.label}: %{inst.result} uses its own result "
-                    "(only phis may be self-referential in SSA)",
-                    function=fname,
-                    block=block.label,
-                    name=inst.result,
-                )
+            result = inst.result
+            for v in inst.uses():
+                if isinstance(v, Ref) and v.name == result:
+                    self_referential.add(id(inst))
+                    out.emit(
+                        "IR108",
+                        f"{fname}/{block.label}: %{result} uses its own result "
+                        "(only phis may be self-referential in SSA)",
+                        function=fname,
+                        block=block.label,
+                        name=result,
+                    )
+                    break
 
     # dominance of uses
     domtree = dominator_tree(function)
@@ -255,9 +259,7 @@ def _check_ssa(function: Function, out: DiagnosticCollector) -> None:
                         f"%{value.name} not available on edge from {pred_label!r}",
                     )
                 continue
-            if inst.result is not None and any(
-                isinstance(v, Ref) and v.name == inst.result for v in inst.uses()
-            ):
+            if id(inst) in self_referential:
                 continue  # already reported as IR108; dominance is moot
             for value in inst.uses():
                 if isinstance(value, Ref):

@@ -151,6 +151,14 @@ METRIC_NAMES = frozenset(
         "ranges.nontrivial",
         "ranges.loops",
         "ranges.trips.bounded",
+        "ranges.fixpoint.insts",
+        "ranges.fixpoint.visits",
+        "ranges.fixpoint.narrowed",
+        "interval.cache.bound.hits",
+        "interval.cache.bound.misses",
+        "interval.cache.point.hits",
+        "interval.cache.point.misses",
+        "interval.cache.size",
         "time.",  # family: one histogram per span name
     }
 )

@@ -1,10 +1,13 @@
 """The metrics registry: counters, gauges, and histograms.
 
 Collection follows the same pay-for-use contract as span tracing
-(:mod:`repro.obs.trace`): the active registry lives in a context variable
-defaulting to ``None``, and every emission helper (:func:`inc`,
-:func:`gauge`, :func:`observe`) is a no-op costing one context-var read
-when no :func:`collecting` context is live.
+(:mod:`repro.obs.trace`): a module-level ``_COLLECTING`` flag mirrors
+whether any :func:`collecting` context is live, so every emission helper
+(:func:`inc`, :func:`gauge`, :func:`observe`) is a no-op costing one
+module attribute read when collection is off.  The context variable
+holding the active registry remains the source of truth when the flag is
+set; the mirror is per-process, not per-thread (the same trade the
+expression-budget cap in :mod:`repro.resilience.budget` makes).
 
 What the pipeline records (see ``docs/OBSERVABILITY.md`` for the full
 name catalogue):
@@ -159,6 +162,10 @@ _REGISTRY: ContextVar[Optional[MetricsRegistry]] = ContextVar(
     "repro_obs_metrics", default=None
 )
 
+#: module-level mirror of "is any collecting() context live?" -- the
+#: single gate every disabled emission helper reads.
+_COLLECTING: bool = False
+
 
 def active() -> Optional[MetricsRegistry]:
     """The registry of the innermost :func:`collecting` context, or None."""
@@ -168,16 +175,22 @@ def active() -> Optional[MetricsRegistry]:
 @contextmanager
 def collecting(registry: Optional[MetricsRegistry] = None):
     """Activate metrics collection for the dynamic extent of the block."""
+    global _COLLECTING
     current = registry if registry is not None else MetricsRegistry()
     token = _REGISTRY.set(current)
+    previous = _COLLECTING
+    _COLLECTING = True
     try:
         yield current
     finally:
+        _COLLECTING = previous
         _REGISTRY.reset(token)
 
 
 def inc(name: str, amount: Number = 1) -> None:
     """Bump a counter (no-op when collection is off)."""
+    if not _COLLECTING:
+        return
     registry = _REGISTRY.get()
     if registry is not None:
         registry.inc(name, amount)
@@ -185,6 +198,8 @@ def inc(name: str, amount: Number = 1) -> None:
 
 def gauge(name: str, value: Number) -> None:
     """Set a gauge (no-op when collection is off)."""
+    if not _COLLECTING:
+        return
     registry = _REGISTRY.get()
     if registry is not None:
         registry.set_gauge(name, value)
@@ -192,6 +207,8 @@ def gauge(name: str, value: Number) -> None:
 
 def observe(name: str, value: Number) -> None:
     """Record one histogram observation (no-op when collection is off)."""
+    if not _COLLECTING:
+        return
     registry = _REGISTRY.get()
     if registry is not None:
         registry.observe(name, value)

@@ -5,10 +5,17 @@ one per phase, per scalar pass, per transform, per classified loop) and
 **instant events** (per-SCR classification decisions).  Instrumentation is
 one line per site -- either ``@traced("phase.name")`` on the phase's entry
 point or ``with span("phase.name"):`` around a region -- and is strictly
-pay-for-use: the active tracer lives in a :class:`contextvars.ContextVar`
-that defaults to ``None``, so a disabled hook is a single context-var read
-(``span`` additionally returns one shared no-op context manager, allocating
-nothing).
+pay-for-use: a module-level ``_TRACING_ENABLED`` flag mirrors whether any
+:func:`tracing` context is live, so a disabled hook is a single module
+attribute read -- no context-var machinery at all (``span`` additionally
+returns one shared no-op context manager, allocating nothing).  The
+:class:`contextvars.ContextVar` holding the active tracer remains the
+source of truth when the flag is set; the flag is only a fast
+"definitely off" gate.  Like the expression-budget mirror in
+:mod:`repro.resilience.budget`, the flag is per-process, not per-thread:
+it matches the pipeline's one-analysis-at-a-time execution model, and a
+thread outside the tracing context still falls through to the (``None``)
+context-var and records nothing.
 
 Usage::
 
@@ -167,6 +174,10 @@ class Tracer:
 # ----------------------------------------------------------------------
 _TRACER: ContextVar[Optional[Tracer]] = ContextVar("repro_obs_tracer", default=None)
 
+#: module-level mirror of "is any tracing() context live?" -- the single
+#: gate every disabled hook reads (the PR 4 module-mirror trick).
+_TRACING_ENABLED: bool = False
+
 
 def _metrics_registry():
     """The active metrics registry (lazy import to avoid a module cycle)."""
@@ -183,11 +194,15 @@ def active() -> Optional[Tracer]:
 @contextmanager
 def tracing(tracer: Optional[Tracer] = None):
     """Activate span tracing for the dynamic extent of the block."""
+    global _TRACING_ENABLED
     current = tracer if tracer is not None else Tracer()
     token = _TRACER.set(current)
+    previous = _TRACING_ENABLED
+    _TRACING_ENABLED = True
     try:
         yield current
     finally:
+        _TRACING_ENABLED = previous
         _TRACER.reset(token)
 
 
@@ -224,6 +239,8 @@ class _SpanContext:
 
 def span(name: str, **attrs: Any):
     """A context manager recording one span (no-op when tracing is off)."""
+    if not _TRACING_ENABLED:
+        return NULL_SPAN
     tracer = _TRACER.get()
     if tracer is None:
         return NULL_SPAN
@@ -232,6 +249,8 @@ def span(name: str, **attrs: Any):
 
 def event(name: str, **attrs: Any) -> None:
     """Record one instant event (no-op when tracing is off)."""
+    if not _TRACING_ENABLED:
+        return
     tracer = _TRACER.get()
     if tracer is not None:
         tracer.event(name, attrs)
@@ -241,7 +260,7 @@ def traced(name: str) -> Callable:
     """Decorator: run the function inside a span named ``name``.
 
     The one-line instrumentation hook for whole phases.  When no tracer is
-    active the wrapper costs one context-var read and falls straight
+    active the wrapper costs one module attribute read and falls straight
     through to the wrapped function.
     """
 
@@ -250,6 +269,8 @@ def traced(name: str) -> Callable:
 
         @functools.wraps(fn)
         def wrapper(*args, **kwargs):
+            if not _TRACING_ENABLED:
+                return fn(*args, **kwargs)
             tracer = _TRACER.get()
             if tracer is None:
                 return fn(*args, **kwargs)

@@ -19,6 +19,15 @@ derived per loop from its :class:`~repro.core.tripcount.TripCount`, so a
 symbolic count like ``n`` with ``assume n <= 50`` yields the finite trip
 bound the Banerjee tester needs.
 
+The operator fixpoint runs on a **def-use worklist** seeded in
+topological (block) order: an instruction re-runs its transfer function
+only when an operand's interval actually narrowed, so the cost is
+proportional to the narrowings that happen rather than to
+``passes * instructions``.  The result is the unique greatest fixpoint
+below the seed (every transfer function is monotone and intersection
+only descends), bit-identical to the old whole-function re-sweep
+retained as :func:`_fixpoint_resweep` for the equivalence tests.
+
 Everything degrades safely: an unknown symbol, an unevaluable closed
 form, or an injected fault (point ``ranges.compute``) answers the full
 interval and analysis continues.
@@ -26,9 +35,10 @@ interval and analysis continues.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.classes import (
     Classification,
@@ -47,14 +57,17 @@ from repro.ir.opcodes import BinaryOp, Relation
 from repro.ir.values import Const, Ref, Value
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
-from repro.ranges.interval import NEG_INF, POS_INF, Bound, Interval
+from repro.ranges import interval as _interval
+from repro.ranges.interval import NEG_INF, POS_INF, Bound, Finite, Interval
+from repro.ranges.interval import _canonical as _num
 from repro.resilience.faultinject import fault_point
 from repro.symbolic.closedform import ClosedForm, ClosedFormError
 from repro.symbolic.expr import Expr
 
 TOP = Interval.top()
+_ONE = Interval.point(1)
 
-#: fixpoint pass cap for the operator propagation
+#: fixpoint pass cap of the reference re-sweep (:func:`_fixpoint_resweep`)
 MAX_PASSES = 8
 #: largest finite iteration span enumerated exactly for closed forms
 MAX_ENUM = 64
@@ -76,6 +89,11 @@ class RangeInfo:
     values: Dict[str, Interval] = field(default_factory=dict)
     trips: Dict[str, Interval] = field(default_factory=dict)
     degraded: bool = False
+    #: worklist statistics of the run that produced this info (exported
+    #: as the ``ranges.fixpoint.*`` metrics)
+    fixpoint_visits: int = 0
+    fixpoint_narrowed: int = 0
+    fixpoint_insts: int = 0
 
     def range_of(self, name: str) -> Interval:
         return self.values.get(name, TOP)
@@ -85,7 +103,7 @@ class RangeInfo:
         if isinstance(value, Const):
             return Interval.point(value.value)
         if isinstance(value, Ref):
-            return self.range_of(value.name)
+            return self.values.get(value.name, TOP)
         return TOP
 
     def trip_range(self, header: str) -> Interval:
@@ -137,26 +155,31 @@ def assumption_env(function: Function) -> Dict[str, Interval]:
 
 
 def _power(interval: Interval, exponent: int) -> Interval:
+    if exponent == 1:
+        return interval
     if exponent < 0 or exponent > MAX_POWER:
         return TOP
-    out = Interval.point(1)
+    out = _ONE
     for _ in range(exponent):
         out = out * interval
     if exponent and exponent % 2 == 0:
         # an even power is never negative, even when the base straddles 0
-        out = out.intersect(Interval.at_least(0))
+        out = out.intersect(_NONNEG)
     return out
+
+
+_NONNEG = Interval.at_least(0)
 
 
 def eval_expr(expr: Expr, env: Dict[str, Interval]) -> Interval:
     """Interval of ``expr`` under per-symbol intervals (unknown = full)."""
-    total = Interval.point(0)
-    for mono, coeff in expr.terms().items():
+    total: Optional[Interval] = None
+    for mono, coeff in expr.iter_terms():
         term = Interval.point(coeff)
         for symbol, exponent in mono:
             term = term * _power(env.get(symbol, TOP), exponent)
-        total = total + term
-    return total
+        total = term if total is None else total + term
+    return total if total is not None else Interval.point(0)
 
 
 # ----------------------------------------------------------------------
@@ -219,8 +242,16 @@ def _refine_opaque_count(
     if inner.empty or divisor <= 0:
         return evaluated
     # ceil(x / d) lies within [x/d, x/d + 1)
-    lo = Bound.of(inner.lo.value / divisor) if inner.lo.is_finite else NEG_INF
-    hi = Bound.of(inner.hi.value / divisor + 1) if inner.hi.is_finite else POS_INF
+    lo = (
+        Bound.of(Fraction(inner.lo.value) / divisor)
+        if inner.lo.is_finite
+        else NEG_INF
+    )
+    hi = (
+        Bound.of(Fraction(inner.hi.value) / divisor + 1)
+        if inner.hi.is_finite
+        else POS_INF
+    )
     return Interval(lo, hi)
 
 
@@ -288,6 +319,24 @@ def closedform_interval(
     """Interval of ``form(h)`` over an integer iteration interval."""
     lower = h.int_lower()
     upper = h.int_upper()
+
+    # fast path: a constant-coefficient polynomial of degree <= 2 has an
+    # exact hull from its endpoints (plus the interior vertex for the
+    # quadratic) -- identical to the enumeration below, without the
+    # MAX_ENUM per-point evaluations
+    if not form.geo and len(form.coeffs) <= 3:
+        constant = all(c.is_constant for c in form.coeffs)
+        if constant and form.degree <= 1:
+            c0 = _num(form.coeff(0).constant_value())
+            c1 = _num(form.coeff(1).constant_value()) if form.degree == 1 else 0
+            if c1 == 0:
+                return Interval.point(c0)
+            if lower is not None and upper is not None:
+                return Interval.hull((c0 + c1 * lower, c0 + c1 * upper))
+            return h.scale(c1) + Interval.point(c0)
+        if constant and form.degree == 2 and lower is not None and upper is not None:
+            return _quadratic_hull(form, lower, upper)
+
     if (
         lower is not None
         and upper is not None
@@ -308,11 +357,19 @@ def closedform_interval(
         return _quadratic_hull(form, lower, upper)
 
     # general interval arithmetic over the polynomial + geometric parts
+    # (constant coefficients scale directly -- no point-interval products)
     total = Interval.point(0)
     for power, coeff in enumerate(form.coeffs):
-        total = total + eval_expr(coeff, env) * _power(h, power)
+        if coeff.is_constant:
+            total = total + _power(h, power).scale(coeff.constant_value())
+        else:
+            total = total + eval_expr(coeff, env) * _power(h, power)
     for base, coeff in form.geo.items():
-        total = total + eval_expr(coeff, env) * _geo_power(base, lower, upper)
+        term = _geo_power(base, lower, upper)
+        if coeff.is_constant:
+            total = total + term.scale(coeff.constant_value())
+        else:
+            total = total + eval_expr(coeff, env) * term
     return total
 
 
@@ -330,16 +387,16 @@ def _quadratic_hull(form: ClosedForm, lower: int, upper: int) -> Interval:
     A quadratic over an integer interval attains its extrema at the
     endpoints or at the integers adjacent to the real vertex.
     """
-    c0 = form.coeff(0).constant_value()
-    c1 = form.coeff(1).constant_value()
-    c2 = form.coeff(2).constant_value()
+    c0 = _num(form.coeff(0).constant_value())
+    c1 = _num(form.coeff(1).constant_value())
+    c2 = _num(form.coeff(2).constant_value())
 
-    def value(h: int) -> Fraction:
-        return c0 + c1 * h + c2 * h * h
+    def value(h: int) -> Finite:
+        return c0 + (c1 + c2 * h) * h
 
     points = {lower, upper}
     if c2 != 0:
-        vertex = -c1 / (2 * c2)
+        vertex = Fraction(-c1, 2 * c2) if type(c1) is int and type(c2) is int else -c1 / (2 * c2)
         for candidate in (int(vertex), int(vertex) + 1, int(vertex) - 1):
             if lower <= candidate <= upper:
                 points.add(candidate)
@@ -382,13 +439,19 @@ def _div_interval(a: Interval, b: Interval) -> Interval:
         lo = a.lo
         hi = a.hi
         if lo.is_finite and hi.is_finite:
-            corners = [_trunc(lo.value / divisor), _trunc(hi.value / divisor)]
+            corners = [_trunc_div(lo.value, divisor), _trunc_div(hi.value, divisor)]
             return Interval(min(corners), max(corners))
     return coarse
 
 
-def _trunc(value: Fraction) -> int:
-    return int(value)  # int() truncates toward zero for Fractions
+def _trunc_div(a, b) -> int:
+    """Exact ``trunc(a / b)`` without intermediate Fraction allocation."""
+    if type(a) is int and type(b) is int:
+        quotient = a // b
+        if quotient < 0 and quotient * b != a:
+            quotient += 1  # floor -> trunc for inexact negative quotients
+        return quotient
+    return int(Fraction(a) / b)  # int() truncates toward zero for Fractions
 
 
 def _mod_interval(a: Interval, b: Interval) -> Interval:
@@ -403,15 +466,18 @@ def _mod_interval(a: Interval, b: Interval) -> Interval:
     return out
 
 
+_BOOL = Interval(0, 1)
+
+
 def _compare_interval(relation: Relation, a: Interval, b: Interval) -> Interval:
     if a.empty or b.empty:
-        return Interval(0, 1)
+        return _BOOL
     definitely = _relation_definitely(relation, a, b)
     if definitely is True:
         return Interval.point(1)
     if definitely is False:
         return Interval.point(0)
-    return Interval(0, 1)
+    return _BOOL
 
 
 def _relation_definitely(relation: Relation, a: Interval, b: Interval):
@@ -487,9 +553,10 @@ def compute_ranges(result: AnalysisResult) -> RangeInfo:
     """Map every classified SSA value of ``result`` to a sound interval."""
     fault_point("ranges.compute")
     function = result.function
+    registry = _metrics.active()
+    cache_before = _interval_cache_totals() if registry is not None else None
     with _trace.span("ranges", function=function.name):
         info = _compute(function, result)
-    registry = _metrics.active()
     if registry is not None:
         registry.inc("ranges.values", len(info.values))
         registry.inc("ranges.nontrivial", info.nontrivial())
@@ -498,10 +565,53 @@ def compute_ranges(result: AnalysisResult) -> RangeInfo:
             "ranges.trips.bounded",
             sum(1 for iv in info.trips.values() if iv.int_upper() is not None),
         )
+        registry.inc("ranges.fixpoint.insts", info.fixpoint_insts)
+        registry.inc("ranges.fixpoint.visits", info.fixpoint_visits)
+        registry.inc("ranges.fixpoint.narrowed", info.fixpoint_narrowed)
+        _record_interval_cache_delta(registry, cache_before)
     return info
 
 
+def _interval_cache_totals() -> Dict[str, int]:
+    """Flattened hit/miss totals of the interval memo tables (for deltas)."""
+    stats = _interval.cache_stats()
+    return {
+        f"{table}.{kind}": stats[table][kind]
+        for table in ("bound", "point")
+        for kind in ("hits", "misses")
+    }
+
+
+def _record_interval_cache_delta(registry, before: Dict[str, int]) -> None:
+    """Feed this run's interning hit/miss deltas into the metrics registry."""
+    after = _interval_cache_totals()
+    for key, value in after.items():
+        registry.inc(f"interval.cache.{key}", value - before[key])
+    stats = _interval.cache_stats()
+    registry.set_gauge(
+        "interval.cache.size", sum(stats[table]["size"] for table in stats)
+    )
+
+
 def _compute(function: Function, result: AnalysisResult) -> RangeInfo:
+    """Seed from the classification lattice, then run the worklist fixpoint."""
+    info = _seed(function, result)
+    _fixpoint_worklist(function, info)
+    return info
+
+
+def _compute_resweep(function: Function, result: AnalysisResult) -> RangeInfo:
+    """Reference implementation: seed, then the old whole-function re-sweep.
+
+    Kept (not exported) purely so the equivalence tests can assert the
+    worklist fixpoint is bit-identical to the historical behavior.
+    """
+    info = _seed(function, result)
+    _fixpoint_resweep(function, info)
+    return info
+
+
+def _seed(function: Function, result: AnalysisResult) -> RangeInfo:
     info = RangeInfo(function=function.name, values=assumption_env(function))
     env = info.values
 
@@ -535,8 +645,63 @@ def _compute(function: Function, result: AnalysisResult) -> RangeInfo:
                 cls, h_phi if name in phi_names else h, env
             )
             env[name] = env.get(name, TOP).intersect(derived)
+    return info
 
-    # operator propagation: a decreasing fixpoint (intersection only)
+
+def _fixpoint_worklist(function: Function, info: RangeInfo) -> None:
+    """Operator propagation on a def-use worklist (intersection only).
+
+    Every result-producing instruction is queued once in topological
+    (block) order; after that, an instruction re-enters the queue only
+    when one of its operands' intervals actually narrowed.  Transfer
+    functions are monotone and intersection only descends, so this
+    converges to the unique greatest fixpoint below the seed -- the same
+    intervals :func:`_fixpoint_resweep` computes, visiting a fraction of
+    the instructions.
+    """
+    env = info.values
+    insts: List[Instruction] = []
+    for block in function:
+        for inst in block:
+            if inst.result is not None:
+                insts.append(inst)
+    users: Dict[str, List[int]] = {}
+    for pos, inst in enumerate(insts):
+        for value in inst.uses():
+            if isinstance(value, Ref):
+                users.setdefault(value.name, []).append(pos)
+
+    count = len(insts)
+    pending = deque(range(count))
+    queued = bytearray(b"\x01") * count
+    visits = narrowed = 0
+    while pending:
+        pos = pending.popleft()
+        queued[pos] = 0
+        inst = insts[pos]
+        visits += 1
+        derived = _transfer(inst, info)
+        if derived is None:
+            continue
+        name = inst.result
+        old = env.get(name, TOP)
+        new = old.intersect(derived)
+        if new is old or new == old:
+            continue
+        env[name] = new
+        narrowed += 1
+        for user in users.get(name, ()):
+            if not queued[user]:
+                queued[user] = 1
+                pending.append(user)
+    info.fixpoint_insts = count
+    info.fixpoint_visits = visits
+    info.fixpoint_narrowed = narrowed
+
+
+def _fixpoint_resweep(function: Function, info: RangeInfo) -> None:
+    """The historical intersect-only re-sweep (reference for equivalence)."""
+    env = info.values
     for _ in range(MAX_PASSES):
         changed = False
         for block in function:
@@ -553,4 +718,3 @@ def _compute(function: Function, result: AnalysisResult) -> RangeInfo:
                     changed = True
         if not changed:
             break
-    return info

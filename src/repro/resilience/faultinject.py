@@ -3,8 +3,10 @@
 Every pipeline phase declares a **named fault point** (the catalogue is
 :data:`FAULT_POINTS`; ``docs/ROBUSTNESS.md`` documents it one-for-one).
 A fault point is one call -- ``fault_point("scalar.sccp")`` -- costing a
-single context-var read when no injection plan is armed, exactly the
-pay-for-use contract of the obs layer.
+single module attribute read when no injection plan is armed (a
+module-level ``_ARMED`` flag mirrors the context variable, exactly the
+pay-for-use contract of the obs layer and the budget cap's
+module-mirror trick; per-process, not per-thread).
 
 A :class:`FaultPlan` decides *deterministically* which invocations trip:
 
@@ -127,6 +129,10 @@ _PLAN: ContextVar[Optional[FaultPlan]] = ContextVar(
     "repro_resilience_faultplan", default=None
 )
 
+#: module-level mirror of "is a (non-None) plan armed?" -- the single
+#: gate every un-armed fault point reads.
+_ARMED: bool = False
+
 
 def active_plan() -> Optional[FaultPlan]:
     return _PLAN.get()
@@ -135,21 +141,27 @@ def active_plan() -> Optional[FaultPlan]:
 @contextmanager
 def injecting(plan: Union[FaultPlan, str, None]):
     """Arm a fault plan (or one point by name) for the dynamic extent."""
+    global _ARMED
     if isinstance(plan, str):
         plan = FaultPlan(points={plan})
     token = _PLAN.set(plan)
+    previous = _ARMED
+    _ARMED = plan is not None
     try:
         yield plan
     finally:
+        _ARMED = previous
         _PLAN.reset(token)
 
 
 def fault_point(name: str) -> None:
     """Declare a named fault point; trips when an armed plan says so.
 
-    One context-var read when no plan is armed.  Unknown names only fail
-    when a plan is armed (the hot path never pays for validation).
+    One module attribute read when no plan is armed.  Unknown names only
+    fail when a plan is armed (the hot path never pays for validation).
     """
+    if not _ARMED:
+        return
     plan = _PLAN.get()
     if plan is None:
         return

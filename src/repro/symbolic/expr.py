@@ -147,11 +147,11 @@ class Expr:
         """The value of a constant expression; raises if symbolic."""
         if not self.is_constant:
             raise ExprError(f"{self} is not constant")
-        return self._terms.get(_ONE_MONO, Fraction(0))
+        return self._terms.get(_ONE_MONO, _F0)
 
     def constant_term(self) -> Fraction:
         """The coefficient of the constant monomial (0 if absent)."""
-        return self._terms.get(_ONE_MONO, Fraction(0))
+        return self._terms.get(_ONE_MONO, _F0)
 
     def as_int(self) -> int:
         """The value of an integer constant expression; raises otherwise."""
@@ -221,6 +221,14 @@ class Expr:
     def terms(self) -> Dict[Monomial, Fraction]:
         """A copy of the internal monomial -> coefficient map."""
         return dict(self._terms)
+
+    def iter_terms(self):
+        """Iterate ``(monomial, coefficient)`` pairs without copying.
+
+        The hot-path companion of :meth:`terms` -- the returned view must
+        not be mutated and must not outlive the expression.
+        """
+        return self._terms.items()
 
     # ------------------------------------------------------------------
     # arithmetic

@@ -1,0 +1,115 @@
+"""Interning semantics: hash-consing must be observationally invisible.
+
+``Bound``/``Interval`` interning (and the int fast path underneath it)
+may only change identity and speed -- never ``==``, ``hash``, or any
+analysis result.  These tests pin that contract, the ``cache_stats()``
+surface, and the absence of cross-function state in the memo tables.
+"""
+
+from fractions import Fraction
+
+from repro.obs import observing
+from repro.pipeline import analyze
+from repro.ranges.interval import (
+    EMPTY,
+    NEG_INF,
+    POS_INF,
+    TOP,
+    Bound,
+    Interval,
+    cache_stats,
+    reset_cache_stats,
+    set_interning,
+)
+
+
+class TestValueSemantics:
+    def test_interned_equals_fresh(self):
+        assert Bound.of(3) == Bound(Fraction(3))
+        assert hash(Bound.of(3)) == hash(Bound(Fraction(3)))
+        assert Interval.point(3) == Interval(Fraction(3), Fraction(3))
+        assert hash(Interval.point(3)) == hash(Interval(Fraction(3), Fraction(3)))
+
+    def test_integral_fractions_collapse_to_ints(self):
+        bound = Bound.of(Fraction(6, 2))
+        assert type(bound.value) is int and bound.value == 3
+        assert bound == Bound.of(3) and hash(bound) == hash(Bound.of(3))
+        half = Bound.of(Fraction(1, 2))
+        assert isinstance(half.value, Fraction)
+
+    def test_singletons(self):
+        assert Interval.top() is TOP
+        assert Interval.empty_interval() is EMPTY
+        assert Bound.of(0) is Bound.of(0)
+        assert Interval.point(5) is Interval.point(5)
+        assert -POS_INF is NEG_INF and -NEG_INF is POS_INF
+
+
+class TestCacheStats:
+    def test_hit_and_miss_accounting(self):
+        reset_cache_stats()
+        Bound.of(7)  # pre-populated small-int table
+        assert cache_stats()["bound"]["hits"] >= 1
+        before = cache_stats()["bound"]["misses"]
+        Bound.of(10**9)  # far outside the interned range
+        assert cache_stats()["bound"]["misses"] == before + 1
+        reset_cache_stats()
+        stats = cache_stats()
+        assert stats["bound"]["hits"] == stats["bound"]["misses"] == 0
+        assert stats["bound"]["size"] > 0 and stats["point"]["size"] > 0
+
+    def test_metrics_exported_during_observed_analyze(self):
+        source = "x = 0\nL1: for i = 1 to 10 do\n  x = x + 2\nendfor"
+        with observing() as obs:
+            analyze(source, ranges=True)
+        counters = obs.metrics.snapshot()["counters"]
+        assert "interval.cache.bound.hits" in counters
+        assert "interval.cache.point.hits" in counters
+        assert counters["ranges.fixpoint.insts"] > 0
+        assert counters["ranges.fixpoint.visits"] >= counters["ranges.fixpoint.insts"]
+        gauges = obs.metrics.snapshot()["gauges"]
+        assert gauges["interval.cache.size"] > 0
+
+
+def _range_values(source, intern):
+    previous = set_interning(intern)
+    try:
+        program = analyze(source, ranges=True)
+        return dict(program.result.ranges.values)
+    finally:
+        set_interning(previous)
+
+
+class TestInterningInvisibility:
+    def test_disabled_interning_still_equal(self):
+        previous = set_interning(False)
+        try:
+            a = Interval.point(3)
+            b = Interval.point(3)
+            assert a is not b and a == b
+            assert Interval.top() is not TOP and Interval.top() == TOP
+            assert Interval.empty_interval() == EMPTY
+        finally:
+            set_interning(previous)
+
+    def test_analysis_identical_with_and_without_interning(self):
+        source = "\n".join(
+            [
+                "assume n <= 20",
+                "x = 0",
+                "y = 100",
+                "L1: for i = 1 to n do",
+                "  x = x + 3",
+                "  y = y - 2",
+                "endfor",
+            ]
+        )
+        assert _range_values(source, True) == _range_values(source, False)
+
+    def test_no_cross_function_cache_leakage(self):
+        first = "x = 0\nL1: for i = 1 to 10 do\n  x = x + 2\nendfor"
+        second = "y = 5\nL1: for i = 1 to 3 do\n  y = y - 1\nendfor"
+        _range_values(first, True)  # warm the interned tables with another program
+        warmed = _range_values(second, True)
+        isolated = _range_values(second, False)  # no shared tables at all
+        assert warmed == isolated
