@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint ranges chaos bench bench-check bench-baseline bench-diff report
+.PHONY: test lint ranges invariants chaos bench bench-check bench-baseline bench-diff report
 
 test:
 	$(PYTHON) -m pytest -m "not bench" -q
@@ -12,8 +12,11 @@ lint:
 ranges:
 	$(PYTHON) -m repro lint --strict --ranges examples/
 
+invariants:
+	$(PYTHON) -m repro lint --strict --ranges --invariants examples/
+
 chaos:
-	for seed in 101 202 303; do \
+	for seed in 101 202 303 404; do \
 		CHAOS_SEED=$$seed $(PYTHON) -m pytest tests/resilience -q || exit 1; \
 	done
 
@@ -27,7 +30,7 @@ bench-baseline:
 	$(PYTHON) -m benchmarks.regress --emit BENCH_0001.json
 
 bench-diff:
-	$(PYTHON) -m benchmarks.regress --compare BENCH_0003.json BENCH_0004.json
+	$(PYTHON) -m benchmarks.regress --compare BENCH_0004.json BENCH_0005.json
 
 report:
 	$(PYTHON) -m benchmarks.make_report

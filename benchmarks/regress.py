@@ -39,6 +39,15 @@ interning stats.  v1-v3 baselines keep passing ``--check`` unchanged
 recorded, and the only redefined metric, ``pipeline_s``, got *larger*
 in scope -- a pass against an old baseline is conservative).
 
+Schema v5 adds the ``invariants_s`` tracked metric (wall time of
+``repro.invariants.compute_invariants`` over the classified result:
+path enumeration, symbolic execution, and nullspace-based polynomial
+invariant generation) and runs the observed pass with
+``invariants=True`` so the ``invariants`` span appears in the
+``phases`` breakdown and the ``invariants.*`` counters in ``counters``.
+``pipeline_s`` keeps its v4 definition (``analyze(source,
+ranges=True)``), so v4 baselines keep passing ``--check`` unchanged.
+
 ``--compare OLD.json NEW.json`` prints a per-workload percent-delta
 table of two recorded baselines (no re-measuring) for the headline
 metrics; ``--only SUBSTRING`` restricts ``--emit``/``--check`` to
@@ -58,14 +67,17 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from benchmarks.workloads import deep_chain_loop, mixed_class_loop, straightline_iv_loop
 from repro.core.driver import classify_function
+from repro.invariants import compute_invariants
 from repro.obs import observing
 from repro.pipeline import analyze
 from repro.ranges import compute_ranges
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 #: metrics compared by ``--check`` (lower is better for all of them)
-TRACKED_METRICS = ("classify_s", "pipeline_s", "time_per_node_s", "ranges_s")
+TRACKED_METRICS = (
+    "classify_s", "pipeline_s", "time_per_node_s", "ranges_s", "invariants_s"
+)
 
 #: structural metrics that must match *exactly* between baseline and current
 EXACT_METRICS = ("graph_size",)
@@ -107,7 +119,7 @@ def _best_of(fn: Callable[[], object], repeats: int) -> float:
 def _observe_workload(source: str) -> Tuple[Dict[str, float], Dict[str, int]]:
     """One traced + metered run: (seconds per span name, counter snapshot)."""
     with observing() as obs:
-        analyze(source, ranges=True)
+        analyze(source, ranges=True, invariants=True)
     phases = {name: round(total, 9) for name, total in obs.tracer.phase_totals().items()}
     counters = obs.metrics.snapshot()["counters"]
     return phases, counters
@@ -133,12 +145,14 @@ def measure(repeats: int = 5, only: Optional[str] = None) -> Dict:
         result = classify_function(program.ssa)
         graph_size = sum(s.graph_size for s in result.loops.values())
         ranges_s = _best_of(lambda: compute_ranges(result), repeats)
+        invariants_s = _best_of(lambda: compute_invariants(result), repeats)
         phases, counters = _observe_workload(source)
         results[name] = {
             "classify_s": classify_s,
             "pipeline_s": pipeline_s,
             "graph_size": graph_size,
             "ranges_s": ranges_s,
+            "invariants_s": invariants_s,
             "time_per_node_s": classify_s / max(1, graph_size),
             "phases": phases,
             "counters": counters,
@@ -200,7 +214,7 @@ def compare(
 
 
 #: metrics shown by ``--compare`` (the headline wall-time numbers)
-DIFF_METRICS = ("pipeline_s", "classify_s", "ranges_s")
+DIFF_METRICS = ("pipeline_s", "classify_s", "ranges_s", "invariants_s")
 
 
 def diff_table(old: Dict, new: Dict) -> List[str]:

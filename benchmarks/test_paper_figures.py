@@ -10,7 +10,13 @@ import pytest
 
 pytestmark = pytest.mark.bench
 
-from repro.core.classes import InductionVariable, Monotonic, Periodic, WrapAround
+from repro.core.classes import (
+    BranchDependent,
+    InductionVariable,
+    Monotonic,
+    Periodic,
+    WrapAround,
+)
 from repro.pipeline import analyze
 
 FIGURES = {
@@ -60,10 +66,10 @@ EXPECTED_CLASS = {
     "E03_fig4_wraparound": ("k", "L10", WrapAround),
     "E04_fig5_periodic": ("j", "L13", Periodic),
     "E05_l14_polynomial_geometric": ("k", "L14", InductionVariable),
-    "E07_fig6_monotonic": ("k", "L16", Monotonic),
+    "E07_fig6_monotonic": ("k", "L16", BranchDependent),
     "E08_fig7_8_nested": ("k", "L17", InductionVariable),
     "E09_fig9_triangular": ("j", "L19", InductionVariable),
-    "E10_fig10_mixed_monotonic": ("k", "L15", Monotonic),
+    "E10_fig10_mixed_monotonic": ("k", "L15", BranchDependent),
 }
 
 

@@ -19,6 +19,10 @@ Options::
     --ranges           run the value-range analysis: report predicted
                        intervals per loop, run the RNG6xx checks with
                        --verify/--lint, and tighten dependence tests
+    --invariants       run the path-sensitive invariants phase: report
+                       per-path updates and polynomial equalities per
+                       loop, and run the INV7xx replay checks with
+                       --verify/--lint
     --strict           with --verify/--lint: exit 1 on error-severity findings
     --strict-errors    disable failure isolation: raise on the first
                        internal error instead of degrading to Unknown
@@ -38,7 +42,7 @@ report mode.
 Lint mode (``python -m repro lint``)::
 
     python -m repro lint [--format=text|json] [--strict] [--no-exec]
-                         [--ranges] PATH...
+                         [--ranges] [--invariants] PATH...
 
 Trace mode (``python -m repro trace``)::
 
@@ -103,6 +107,13 @@ def build_argument_parser() -> argparse.ArgumentParser:
         help="run the value-range analysis: report predicted intervals, "
         "run the RNG6xx checks with --verify/--lint, and let dependence "
         "tests use symbolic trip-count bounds",
+    )
+    parser.add_argument(
+        "--invariants",
+        action="store_true",
+        help="run the path-sensitive invariants phase: report per-path "
+        "updates and polynomial equalities, and run the INV7xx replay "
+        "checks with --verify/--lint",
     )
     parser.add_argument(
         "--strict",
@@ -188,6 +199,12 @@ def build_lint_parser() -> argparse.ArgumentParser:
         help="also run the value-range analysis and its RNG6xx checks "
         "(out-of-bounds subscripts, division by zero, empty loops)",
     )
+    parser.add_argument(
+        "--invariants",
+        action="store_true",
+        help="also run the polynomial-invariant phase and its INV7xx "
+        "replay checks (equalities and step bounds vs. the interpreter)",
+    )
     return parser
 
 
@@ -215,6 +232,7 @@ def lint_main(argv: Optional[List[str]] = None) -> int:
             collector=collector,
             execution=not args.no_exec,
             ranges=args.ranges,
+            invariants=args.invariants,
         )
 
     if args.format == "json":
@@ -366,6 +384,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         sanitize=args.sanitize,
                         strict=args.strict_errors,
                         ranges=args.ranges,
+                        invariants=args.invariants,
                     )
             else:
                 program = analyze(
@@ -374,6 +393,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     sanitize=args.sanitize,
                     strict=args.strict_errors,
                     ranges=args.ranges,
+                    invariants=args.invariants,
                 )
     except Exception as error:  # frontend/IR errors carry positions
         print(f"error: {error}", file=sys.stderr)
@@ -425,6 +445,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             from repro.ranges import check_ranges
 
             check_ranges(program.result, program.result.ranges, collector)
+        if args.invariants and program.result.invariants is not None:
+            from repro.invariants import check_invariants
+
+            check_invariants(program, collector)
         diagnostics_of(program.degradations, collector)
         diagnostics = collector.sorted()
 

@@ -30,6 +30,7 @@ from fractions import Fraction
 from typing import Optional, Tuple
 
 from repro.core.classes import (
+    BranchDependent,
     Classification,
     InductionVariable,
     Invariant,
@@ -106,7 +107,14 @@ def cls_add(loop: str, a: Classification, b: Classification) -> Classification:
     if isinstance(b, Periodic) and not isinstance(a, (WrapAround, Periodic)):
         a, b = b, a
         form_a, form_b = form_b, form_a
-    if isinstance(b, Monotonic) and not isinstance(a, (WrapAround, Periodic, Monotonic)):
+    if isinstance(b, BranchDependent) and not isinstance(
+        a, (WrapAround, Periodic, BranchDependent)
+    ):
+        a, b = b, a
+        form_a, form_b = form_b, form_a
+    if isinstance(b, Monotonic) and not isinstance(
+        a, (WrapAround, Periodic, BranchDependent, Monotonic)
+    ):
         a, b = b, a
         form_a, form_b = form_b, form_a
 
@@ -146,6 +154,9 @@ def cls_add(loop: str, a: Classification, b: Classification) -> Classification:
             return Periodic(loop, values).simplify()
         return Unknown()
 
+    if isinstance(a, BranchDependent):
+        return _branch_dependent_add(loop, a, b)
+
     if isinstance(a, Monotonic):
         if isinstance(b, Invariant):
             return Monotonic(loop, a.direction, a.strict)
@@ -160,6 +171,60 @@ def cls_add(loop: str, a: Classification, b: Classification) -> Classification:
             return Unknown()
         return Unknown()
 
+    return Unknown()
+
+
+#: most distinct per-path steps a combined branch-dependent class may carry
+MAX_COMBINED_STEPS = 8
+
+
+def _dedupe_steps(steps) -> Tuple[Expr, ...]:
+    """Distinct steps in first-seen order (Expr is hash-consed)."""
+    seen = []
+    for step in steps:
+        if step not in seen:
+            seen.append(step)
+    return tuple(seen)
+
+
+def _branch_dependent_add(
+    loop: str, a: BranchDependent, b: Classification
+) -> Classification:
+    """``branch-dependent + b``: shift the step set when that is exact."""
+    if isinstance(b, Invariant):
+        init = a.init + b.expr if a.init is not None else None
+        return BranchDependent(loop, a.steps, init=init)
+    if isinstance(b, InductionVariable) and b.is_linear:
+        step = b.form.coeff(1)
+        steps = _dedupe_steps(d + step for d in a.steps)
+        if len(steps) >= 2:
+            init = a.init + b.init if a.init is not None else None
+            return BranchDependent(loop, steps, init=init)
+    if isinstance(b, BranchDependent):
+        # per iteration the sum adds d_a + d_b for *some* pair, whatever
+        # the correlation between the two branch choices
+        steps = _dedupe_steps(da + db for da in a.steps for db in b.steps)
+        if 2 <= len(steps) <= MAX_COMBINED_STEPS:
+            init = (
+                a.init + b.init
+                if a.init is not None and b.init is not None
+                else None
+            )
+            return BranchDependent(loop, steps, init=init)
+        if a.direction is not None and a.direction == b.direction:
+            return Monotonic(loop, a.direction, a.strict or b.strict)
+        return Unknown()
+    # direction-only fallbacks (the classic monotonic rules)
+    if a.direction is None:
+        return Unknown()
+    if isinstance(b, Monotonic):
+        if a.direction == b.direction:
+            return Monotonic(loop, a.direction, a.strict or b.strict)
+        return Unknown()
+    if isinstance(b, InductionVariable):
+        direction = iv_direction(b)
+        if direction is not None and direction in (0, a.direction):
+            return Monotonic(loop, a.direction, a.strict or iv_is_strict(b))
     return Unknown()
 
 
@@ -189,6 +254,12 @@ def cls_scale(loop: str, a: Classification, factor: Expr) -> Classification:
         ).simplify()
     if isinstance(a, Periodic):
         return Periodic(loop, tuple(v * factor for v in a.values))
+    if isinstance(a, BranchDependent):
+        steps = _dedupe_steps(d * factor for d in a.steps)
+        if len(steps) >= 2:
+            init = a.init * factor if a.init is not None else None
+            return BranchDependent(loop, steps, init=init)
+        return Unknown()
     if isinstance(a, Monotonic):
         sign = factor.known_sign()
         if sign is None or sign == 0:

@@ -13,6 +13,14 @@ Every integer scalar SSA name in a loop is classified as one of:
   (section 4.2); flip-flops are period 2.
 * :class:`Monotonic` -- never decreases (or never increases); possibly
   strictly (section 4.4).
+* :class:`BranchDependent` -- the per-path refinement of section 4.4's
+  conditionally updated variables: each trip around the loop adds one
+  value from a *finite set* of loop-invariant steps, one per acyclic
+  path through the body.  Where every step has the same sign this is a
+  monotonic variable that additionally knows its step set (and hence a
+  min/max step for value ranges and dependence tightening); with mixed
+  signs it still bounds the per-iteration change where the classic
+  lattice drops to :class:`Unknown`.
 * :class:`Unknown` -- bottom.
 
 The paper's tuple notation ``(L, init, step)`` / ``(L, s0, s1, ..., sm)``
@@ -318,6 +326,96 @@ class Monotonic(Classification):
 
     def __hash__(self) -> int:
         return hash(("mono", self.loop, self.direction, self.strict))
+
+
+class BranchDependent(Classification):
+    """Per-path updates: every iteration adds one of finitely many steps.
+
+    ``x' = x + d_p`` where ``d_p`` is the loop-invariant full-cycle step
+    of the acyclic path ``p`` taken on that iteration.  ``steps`` is the
+    (distinct, deterministic-order) step set; ``direction``/``strict``
+    are derived from the provable signs of the steps: all non-negative
+    with at least one positive gives ``direction == 1`` (strict when
+    every step is strictly positive), mirrored for negative, and
+    ``None`` when the signs are mixed or unknown -- the case the classic
+    monotonic rule cannot represent at all.
+
+    ``init`` and ``family`` follow :class:`Monotonic`'s conventions (the
+    family is the SCR's header-phi name; arithmetic drops both) and are
+    excluded from equality.
+    """
+
+    __slots__ = ("loop", "steps", "init", "family", "direction", "strict")
+
+    def __init__(
+        self,
+        loop: str,
+        steps: Tuple[Expr, ...],
+        init: Optional[Expr] = None,
+        family: Optional[str] = None,
+    ):
+        steps = tuple(steps)
+        if len(steps) < 2:
+            raise ValueError("branch-dependent needs at least two distinct steps")
+        self.loop = loop
+        self.steps = steps
+        self.init = init
+        self.family = family
+        signs = {step.known_sign() for step in steps}
+        if None in signs:
+            self.direction: Optional[int] = None
+            self.strict = False
+        elif signs <= {0, 1}:
+            self.direction = 1
+            self.strict = 0 not in signs
+        elif signs <= {0, -1}:
+            self.direction = -1
+            self.strict = 0 not in signs
+        else:
+            self.direction = None
+            self.strict = False
+
+    # -- step bounds (value ranges, dependence, property oracles) ----------
+    def constant_steps(self) -> Optional[Tuple[Fraction, ...]]:
+        """The step set as exact numbers, or None if any step is symbolic."""
+        if all(step.is_constant for step in self.steps):
+            return tuple(step.constant_value() for step in self.steps)
+        return None
+
+    def min_step(self) -> Optional[Fraction]:
+        steps = self.constant_steps()
+        return min(steps) if steps is not None else None
+
+    def max_step(self) -> Optional[Fraction]:
+        steps = self.constant_steps()
+        return max(steps) if steps is not None else None
+
+    def as_monotonic(self) -> Optional["Monotonic"]:
+        """The monotonic view, when every step moves one way."""
+        if self.direction is None:
+            return None
+        return Monotonic(
+            self.loop, self.direction, self.strict, init=self.init, family=self.family
+        )
+
+    def delayed(self) -> "BranchDependent":
+        # one iteration later the value follows the same step set; the
+        # delayed initial value is not representable
+        return BranchDependent(self.loop, self.steps, init=None, family=self.family)
+
+    def describe(self) -> str:
+        steps = ", ".join(str(step) for step in self.steps)
+        return f"branch-dependent({self.loop}, steps {{{steps}}})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, BranchDependent)
+            and self.loop == other.loop
+            and frozenset(self.steps) == frozenset(other.steps)
+        )
+
+    def __hash__(self) -> int:
+        return hash(("branch", self.loop, frozenset(self.steps)))
 
 
 class Unknown(Classification):

@@ -227,6 +227,12 @@ class LoopSummary:
     region_ctx: Optional[RegionContext] = field(
         default=None, repr=False, compare=False
     )
+    #: per-path update summary attached by the optional invariants phase
+    #: (a :class:`repro.invariants.paths.PathSummary`, or None)
+    path_summary: object = field(default=None, repr=False, compare=False)
+    #: polynomial equalities attached by the optional invariants phase
+    #: (a tuple of :class:`repro.invariants.poly.LoopInvariant`)
+    invariants: tuple = field(default=(), repr=False, compare=False)
 
     def classification_of(self, name: str) -> Optional[Classification]:
         return self.classifications.get(name)
@@ -252,11 +258,15 @@ class DegradedLoopSummary(LoopSummary):
         return True
 
 
-def _degraded_summary(loop: Loop, reason: str) -> DegradedLoopSummary:
+def _degraded_summary(
+    loop: Loop,
+    reason: str,
+    classifications: Optional[Dict[str, Classification]] = None,
+) -> DegradedLoopSummary:
     return DegradedLoopSummary(
         loop=loop,
         label=loop.header,
-        classifications={},
+        classifications=dict(classifications) if classifications else {},
         trip=TripCount(TripCountKind.UNKNOWN),
         reason=reason,
     )
@@ -273,6 +283,8 @@ class AnalysisResult:
         #: optional RangeInfo attached by the pipeline's ranges phase;
         #: dependence testing consults it for symbolic trip-count bounds
         self.ranges = None
+        #: optional InvariantInfo attached by the pipeline's invariants phase
+        self.invariants = None
         self._opaque: Dict[tuple, Expr] = {}
         self.opaque_definitions: Dict[str, tuple] = {}
         self._def_block: Dict[str, str] = {
@@ -500,10 +512,11 @@ def _classify_loop_contained(
     enclosing regions see its exit values as unknown, which contains the
     damage without further special-casing.
     """
+    partial: Dict[str, Classification] = {}
     try:
         fault_point("classify.loop")
         _budget.check_deadline("classify")
-        return _analyze_loop(function, loop, result)
+        return _analyze_loop(function, loop, result, partial=partial)
     except Exception as error:  # noqa: BLE001 - the isolation boundary
         wrapped = wrap_exception(error, "classify.loop")
         if wrapped.policy is RecoveryPolicy.RETRY and _isolation.isolating():
@@ -517,16 +530,27 @@ def _classify_loop_contained(
                 action="retried",
             )
             try:
-                return _analyze_loop(function, loop, result)
+                partial.clear()
+                return _analyze_loop(function, loop, result, partial=partial)
             except Exception as retry_error:  # noqa: BLE001
                 error = retry_error
         _isolation.absorb(
             error, "classify.loop", scope=loop.header, diag_code="RES501"
         )
-        return _degraded_summary(loop, str(error) or type(error).__name__)
+        # keep whatever per-SCR classifications were computed before the
+        # failure: each one was sound when made (SCRs classify in
+        # dependence order), so partial beats bare Unknown
+        return _degraded_summary(
+            loop, str(error) or type(error).__name__, classifications=partial
+        )
 
 
-def _analyze_loop(function: Function, loop: Loop, result: AnalysisResult) -> LoopSummary:
+def _analyze_loop(
+    function: Function,
+    loop: Loop,
+    result: AnalysisResult,
+    partial: Optional[Dict[str, Classification]] = None,
+) -> LoopSummary:
     own_blocks = set(loop.body)
     for child in loop.children:
         own_blocks -= child.body
@@ -564,6 +588,10 @@ def _analyze_loop(function: Function, loop: Loop, result: AnalysisResult) -> Loo
         # names defined outside loop.body stay external (invariant)
 
     ctx = RegionContext(function, loop, nodes, result)
+    if partial is not None:
+        # alias the context's classification map so the containment
+        # boundary can salvage whatever was classified before a failure
+        ctx.classifications = partial
 
     # the region's adjacency, built exactly once: operand edges restricted
     # to region members.  Tarjan consumes it directly (prefiltered) and the

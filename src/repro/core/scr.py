@@ -34,6 +34,7 @@ from fractions import Fraction
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.classes import (
+    BranchDependent,
     Classification,
     InductionVariable,
     Invariant,
@@ -360,6 +361,9 @@ def _classify_trivial_header_phi(node, ctx) -> Classification:
         # the value is monotonic from the second iteration on
         inner = Monotonic(loop, carried.direction, carried.strict, init=None)
         return WrapAround(loop, 1, inner, (init,))
+    if isinstance(carried, BranchDependent):
+        # same step set, one iteration later
+        return WrapAround(loop, 1, carried.delayed(), (init,))
     return Unknown("wrap-around of unhandled class")
 
 
@@ -403,6 +407,12 @@ def classify_cycle_scr(members: List[str], ctx) -> Dict[str, Classification]:
                 ),
             )
             return _classify_members(loop, members, header, header_class, expander, init)
+    branch_class = _branch_dependent_header(loop, header, unique, init)
+    if branch_class is not None:
+        return _classify_branch_dependent(
+            loop, members, header, branch_class, carried_effects, expander,
+            init, ctx, init_value,
+        )
     return _classify_monotonic(loop, members, header, carried_effects, expander, init, ctx)
 
 
@@ -559,6 +569,99 @@ def _classify_periodic_family(
             for member in remaining:
                 out[member] = Unknown("unresolvable copy chain")
             break
+    return out
+
+
+# ----------------------------------------------------------------------
+# branch-dependent cycles (path-sensitive refinement of section 4.4)
+# ----------------------------------------------------------------------
+def _step_sort_key(expr: Expr):
+    """Deterministic step order: numeric steps first, then by rendering."""
+    if expr.is_constant:
+        return (0, expr.constant_value(), "")
+    return (1, Fraction(0), str(expr))
+
+
+def _branch_dependent_header(
+    loop: str, header: str, unique, init: Expr
+) -> Optional[BranchDependent]:
+    """Several differing path effects, each ``x' = x + d_p`` with an
+    invariant step ``d_p``: the header is branch dependent -- per
+    iteration it adds one value from the finite step set."""
+    if len(unique) < 2:
+        return None
+    if not all(mult == 1 and addend.is_invariant for mult, addend in unique):
+        return None
+    steps = tuple(
+        sorted((addend.init for _mult, addend in unique), key=_step_sort_key)
+    )
+    return BranchDependent(loop, steps, init=init, family=header)
+
+
+def _classify_branch_dependent(
+    loop: str,
+    members: List[str],
+    header: str,
+    header_class: BranchDependent,
+    carried_effects: List[PathEffect],
+    expander: _Expander,
+    init: Expr,
+    ctx,
+    init_value: Value,
+) -> Dict[str, Classification]:
+    """Header = branch dependent; members via Figure 10 where possible."""
+    remember(
+        header_class,
+        "scr.branch-dependent",
+        ((_value_label(init_value), ctx.operand_class_of_value(init_value)),),
+        note=lambda header_class=header_class: (
+            f"{len(header_class.steps)} distinct per-path updates "
+            f"{{{', '.join(str(s) for s in header_class.steps)}}}; "
+            "every carried path is x' = x + step (path-sensitive section 4.4)"
+        ),
+    )
+    if header_class.direction is not None:
+        # all steps move one way: members keep the per-member strictness
+        # analysis of Figure 10; only the header carries the step set
+        out = _classify_monotonic(
+            loop, members, header, carried_effects, expander, init, ctx
+        )
+        out[header] = header_class
+        return out
+
+    # mixed-sign steps: the classic rules have nothing; a member still
+    # follows the header exactly when its offset is path independent
+    out: Dict[str, Classification] = {header: header_class}
+    for member in members:
+        if member == header:
+            continue
+        try:
+            effects = expander.expand(member)
+        except _ExpansionFailure as failure:
+            out[member] = Unknown(str(failure))
+            continue
+        unique_m = {(pe.mult, pe.addend) for pe in effects}
+        if len(unique_m) == 1:
+            mult, addend = next(iter(unique_m))
+            if mult == 1 and addend.is_invariant:
+                out[member] = BranchDependent(
+                    loop,
+                    header_class.steps,
+                    init=init + addend.init,
+                    family=header,
+                )
+            else:
+                out[member] = Unknown(
+                    "member with multiplier in branch-dependent cycle"
+                )
+        else:
+            out[member] = Unknown("branch-dependent member differs between paths")
+        remember(
+            out[member],
+            "scr.branch-member",
+            ((header, header_class),),
+            note="path-independent offset from a branch-dependent header",
+        )
     return out
 
 

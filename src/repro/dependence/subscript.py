@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.algebra import iv_is_strict
 from repro.core.classes import (
+    BranchDependent,
     Classification,
     InductionVariable,
     Invariant,
@@ -195,6 +196,17 @@ def _resolve_special(
                 offset=offset,
             )
         return None
+    if isinstance(cls, BranchDependent):
+        # the degraded view of a branch-dependent sequence: when every
+        # per-path step agrees in sign it is still (strictly) monotonic
+        mono = cls.as_monotonic()
+        if mono is None:
+            return None
+        if mono.family is None:
+            mono = Monotonic(mono.loop, mono.direction, mono.strict, init=mono.init, family=name)
+        return SubscriptDescriptor(
+            SubscriptKind.MONOTONIC, chain, cls=mono, base_name=base, scale=scale, offset=offset
+        )
     if isinstance(cls, Periodic):
         return SubscriptDescriptor(
             SubscriptKind.PERIODIC, chain, cls=cls, base_name=base, scale=scale, offset=offset

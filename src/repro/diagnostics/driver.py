@@ -37,12 +37,18 @@ def lint_source(
     execution: bool = True,
     samples: Sequence[int] = DEFAULT_SAMPLES,
     ranges: bool = False,
+    invariants: bool = False,
 ) -> List[Diagnostic]:
     """Lint one program; returns (and optionally collects) all findings.
 
     ``ranges`` additionally runs the value-range analysis and its RNG6xx
     checker suite (out-of-bounds subscripts, possible division by zero,
     provably empty loops, ...; see ``docs/RANGES.md``).
+
+    ``invariants`` additionally runs the polynomial-invariant phase and
+    its INV7xx replay suite (every emitted equality and branch-dependent
+    step bound is held against the interpreter; see
+    ``docs/INVARIANTS.md``).
     """
     from repro.pipeline import analyze
 
@@ -50,7 +56,7 @@ def lint_source(
     local = DiagnosticCollector()
     try:
         with sanitizing(strict=False, collector=local):
-            program = analyze(source, ranges=ranges)
+            program = analyze(source, ranges=ranges, invariants=invariants)
     except Exception as error:
         local.emit("LNT001", f"analysis failed: {error}")
         return _publish(local, out, origin)
@@ -77,6 +83,11 @@ def lint_source(
         from repro.ranges import check_ranges
 
         check_ranges(program.result, program.result.ranges, local)
+
+    if invariants and program.result.invariants is not None:
+        from repro.invariants import check_invariants
+
+        check_invariants(program, local, samples=samples)
     return _publish(local, out, origin)
 
 
@@ -159,6 +170,7 @@ def lint_paths(
     collector: Optional[DiagnosticCollector] = None,
     execution: bool = True,
     ranges: bool = False,
+    invariants: bool = False,
 ) -> DiagnosticCollector:
     """Lint every program found under ``paths``; returns the collector."""
     out = collector if collector is not None else DiagnosticCollector()
@@ -169,5 +181,6 @@ def lint_paths(
             collector=out,
             execution=execution,
             ranges=ranges,
+            invariants=invariants,
         )
     return out

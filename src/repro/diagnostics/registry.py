@@ -19,6 +19,9 @@ Code ranges:
   fault-tolerant pipeline; see :mod:`repro.resilience`)
 * ``RNG6xx`` -- value-range findings (subscript bounds, division by
   zero, empty loops, constant branches; see :mod:`repro.ranges`)
+* ``INV7xx`` -- polynomial-invariant replay (emitted equalities and
+  branch-dependent step bounds vs. the interpreter; see
+  :mod:`repro.invariants`)
 """
 
 from __future__ import annotations
@@ -285,4 +288,25 @@ register(
     "RNG606", "constant-branch-condition", Severity.WARNING, "ranges",
     "A conditional branch's condition has a single-constant value range, so "
     "one successor edge is never taken.",
+)
+
+# ----------------------------------------------------------------------
+# invariant replay checks (see repro.invariants / docs/INVARIANTS.md)
+# ----------------------------------------------------------------------
+register(
+    "INV701", "invariant-violated", Severity.ERROR, "invariants",
+    "An emitted polynomial loop invariant is violated by a concrete header "
+    "state observed during interpreter replay: the generator (or a "
+    "transform it trusted) is unsound for this loop.",
+)
+register(
+    "INV702", "invariant-verified", Severity.NOTE, "invariants",
+    "An emitted polynomial loop invariant held on every interpreter-observed "
+    "header state (and was checked on at least one).",
+)
+register(
+    "INV703", "branch-step-out-of-bounds", Severity.ERROR, "invariants",
+    "A branch-dependent variable's observed per-iteration delta falls "
+    "outside the [min step, max step] bound claimed by its per-path "
+    "summary.",
 )

@@ -1,0 +1,183 @@
+"""The ``INV7xx`` checker suite: replay invariant claims on the interpreter.
+
+Every polynomial equality :func:`~repro.invariants.poly.generate_invariants`
+emits is a *claim* about all executions; the reference interpreter
+observes particular ones.  These checks run the function on a few
+concrete parameter samples and hold each claim against every recorded
+header state:
+
+* **INV701** -- an emitted equality that a concrete header state
+  *violates*: the generator (or a transform it trusted) is wrong;
+* **INV702** -- an equality verified on at least one state and violated
+  on none (a note: the receipt the docs call interpreter replay);
+* **INV703** -- a ``BranchDependent`` header phi whose observed
+  per-iteration delta falls outside the claimed ``[min_step, max_step]``
+  bound.
+
+Header-phi histories record one value per header evaluation, so states
+align index-by-index across the loop's phis.  Only top-level loops are
+checked: an inner loop's history interleaves entries from every outer
+iteration, but its invariants are re-established at each entry so the
+per-state check would still be fine -- the *initial value* however
+changes per entry, and ``inv.value`` only describes the first one.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.classes import BranchDependent
+from repro.diagnostics.diagnostic import DiagnosticCollector
+from repro.diagnostics.lints import DEFAULT_SAMPLES, FUEL, MAX_TRIPS, _sample_arguments
+from repro.ir.interp import Interpreter, InterpreterError
+from repro.symbolic.expr import ExprError
+
+STAGE = "invariants"
+
+
+def check_invariants(
+    program,
+    collector: DiagnosticCollector,
+    samples: Sequence[int] = DEFAULT_SAMPLES,
+) -> int:
+    """Run the whole suite; returns how many diagnostics were emitted."""
+    info = getattr(program.result, "invariants", None)
+    if info is None or info.degraded:
+        return 0
+    before = len(collector.diagnostics)
+    function = program.ssa
+    result = program.result
+
+    # (header, invariant index) -> [verified states, violated message]
+    status: Dict[Tuple[str, int], list] = {}
+    # (header, phi) -> first out-of-bounds step message
+    step_violations: Dict[Tuple[str, str], str] = {}
+
+    for args in _sample_arguments(function.params, samples):
+        try:
+            run = Interpreter(function, fuel=FUEL, record_history=True).run(args)
+        except InterpreterError:
+            continue  # e.g. division by zero under this sample: not a lint
+
+        env: Dict[str, Fraction] = {}
+        for name, values in run.value_history.items():
+            if len(values) == 1:
+                env.setdefault(name, Fraction(values[0]))
+        for name, value in run.scalars.items():
+            env.setdefault(name, Fraction(value))
+
+        for header, invariants in info.by_loop.items():
+            summary = result.loops.get(header)
+            if summary is None or summary.loop.parent is not None:
+                continue
+            _replay_loop(header, invariants, run, env, args, status)
+        _replay_steps(result, run, args, step_violations)
+
+    for (header, position), (verified, violated) in sorted(status.items()):
+        invariant = info.by_loop[header][position]
+        if violated is not None:
+            collector.emit(
+                "INV701",
+                f"invariant {invariant.describe()} of {header} is violated: "
+                f"{violated}",
+                function=function.name,
+                block=header,
+                stage=STAGE,
+                hint="the generator (or a transform it trusted) is unsound "
+                "for this loop",
+            )
+        elif verified:
+            collector.emit(
+                "INV702",
+                f"invariant {invariant.describe()} of {header} verified on "
+                f"{verified} interpreter state(s)",
+                function=function.name,
+                block=header,
+                stage=STAGE,
+            )
+    for (header, phi), message in sorted(step_violations.items()):
+        collector.emit(
+            "INV703",
+            message,
+            function=function.name,
+            block=header,
+            name=phi,
+            stage=STAGE,
+            hint="the per-path step summary misses an update the loop "
+            "actually performs",
+        )
+    return len(collector.diagnostics) - before
+
+
+def _replay_loop(header, invariants, run, env, args, status) -> None:
+    """Judge each invariant of one loop against this run's header states."""
+    for position, invariant in enumerate(invariants):
+        entry = status.setdefault((header, position), [0, None])
+        if entry[1] is not None:
+            continue  # already violated: keep the first counterexample
+        phis = [v for v in invariant.variables if v in run.value_history]
+        histories = {phi: run.value_history[phi] for phi in phis}
+        if not histories:
+            continue
+        trips = min(len(h) for h in histories.values())
+        try:
+            expected = invariant.value.evaluate(env)
+        except ExprError:
+            continue  # entry state not observable under this sample
+        for h in range(min(trips, MAX_TRIPS)):
+            state = dict(env)
+            for phi, history in histories.items():
+                state[phi] = Fraction(history[h])
+            try:
+                observed = invariant.poly.evaluate(state)
+            except ExprError:
+                break  # a free symbol is unobservable: cannot judge
+            if observed != expected:
+                entry[1] = (
+                    f"header state {h} (args {_fmt_args(args)}) gives "
+                    f"{observed} != {expected}"
+                )
+                break
+            entry[0] += 1
+
+
+def _replay_steps(result, run, args, violations) -> None:
+    """INV703: observed header-phi deltas vs. BranchDependent step bounds."""
+    for summary in result.loops.values():
+        if summary.loop.parent is not None:
+            continue  # interleaved histories: deltas span outer iterations
+        header_phis = {
+            phi.result for phi in _header_phis(result.function, summary.loop)
+        }
+        for name, cls in summary.classifications.items():
+            if name not in header_phis or not isinstance(cls, BranchDependent):
+                continue
+            if (summary.label, name) in violations:
+                continue
+            lo, hi = cls.min_step(), cls.max_step()
+            if lo is None or hi is None:
+                continue  # symbolic steps: no numeric bound to check
+            history = run.value_history.get(name, [])
+            for h, (earlier, later) in enumerate(
+                zip(history[:MAX_TRIPS], history[1:MAX_TRIPS + 1])
+            ):
+                delta = Fraction(later) - Fraction(earlier)
+                if not (lo <= delta <= hi):
+                    violations[(summary.label, name)] = (
+                        f"%{name} classified {cls.describe()} but step "
+                        f"{h} -> {h + 1} moved by {delta}, outside "
+                        f"[{lo}, {hi}] (args {_fmt_args(args)})"
+                    )
+                    break
+
+
+def _header_phis(function, loop) -> List:
+    header = function.blocks.get(loop.header)
+    return list(header.phis()) if header is not None else []
+
+
+def _fmt_args(args: Dict[str, int]) -> str:
+    if not args:
+        return "{}"
+    return "{" + ", ".join(f"{k}={v}" for k, v in sorted(args.items())) + "}"

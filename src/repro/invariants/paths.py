@@ -1,0 +1,246 @@
+"""Acyclic-path enumeration and per-path symbolic update maps.
+
+A loop body without nested loops is a DAG once the back edge is removed
+(any other cycle would be a second natural loop), so its iterations are
+exactly the acyclic header-to-latch paths.  :func:`enumerate_paths` walks
+them, executes each one symbolically over the header-phi symbols, and
+records what one trip down that path does to every loop-carried value:
+
+    if c then i = i + 1 else i = i + 3 endif
+    =>  path L1,then,endif:  i.2 -> i.2 + 1
+        path L1,else,endif:  i.2 -> i.2 + 3
+
+The per-path update maps are what the polynomial invariant generator
+(:mod:`repro.invariants.poly`) consumes, and the path-summary set rides
+on :class:`~repro.core.driver.LoopSummary` for reports and ``explain()``.
+
+Dead paths are pruned *before* summarization when a
+:class:`~repro.ranges.analysis.RangeInfo` is supplied: a branch condition
+with a single-constant range (the RNG606 verdict) makes one successor
+edge unreachable, and every path through it is skipped (counted in
+``pruned_paths``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.loops import Loop
+from repro.ir.function import Function
+from repro.ir.instructions import Assign, BinOp, Branch, Phi, UnOp
+from repro.ir.opcodes import BinaryOp
+from repro.ir.values import Const, Ref, Value
+from repro.ranges.interval import Interval
+from repro.symbolic.expr import Expr, ExprError
+
+#: cap on enumerated paths per loop (2**4 two-way branches)
+MAX_PATHS = 16
+#: cap on the total degree of any symbolic intermediate
+MAX_DEGREE = 4
+
+_POINT_TRUE = Interval.point(1)
+_POINT_FALSE = Interval.point(0)
+
+
+@dataclass(frozen=True)
+class LoopPath:
+    """One acyclic header-to-latch path and its joint update map.
+
+    ``updates`` maps each header-phi name to the symbolic value flowing
+    back to it after one trip down this path -- an expression over the
+    header-phi symbols and loop-invariant names -- or ``None`` when the
+    path computes something the symbolic executor cannot express
+    (division, loads, comparisons...).
+    """
+
+    blocks: Tuple[str, ...]
+    updates: Tuple[Tuple[str, Optional[Expr]], ...]
+
+    def update_of(self, name: str) -> Optional[Expr]:
+        for phi, expr in self.updates:
+            if phi == name:
+                return expr
+        return None
+
+    @property
+    def affine(self) -> bool:
+        """True when every update is a known affine expression."""
+        return all(
+            expr is not None and expr.as_affine() is not None
+            for _, expr in self.updates
+        )
+
+    def describe(self) -> str:
+        steps = ", ".join(
+            f"{phi} -> {expr if expr is not None else '?'}"
+            for phi, expr in self.updates
+        )
+        return f"[{' -> '.join(self.blocks)}] {{{steps}}}"
+
+
+@dataclass
+class PathSummary:
+    """Every enumerated path of one loop, plus the enumeration's caveats."""
+
+    loop: str
+    phis: Tuple[str, ...]
+    paths: Tuple[LoopPath, ...] = ()
+    #: dead edges skipped thanks to RNG606 constant-branch verdicts
+    pruned_paths: int = 0
+    #: True when the MAX_PATHS cap stopped the enumeration: the path set
+    #: is a subset, so only may-facts (not must-facts) survive
+    truncated: bool = False
+
+    @property
+    def complete(self) -> bool:
+        return bool(self.paths) and not self.truncated
+
+    @property
+    def affine(self) -> bool:
+        """Every path known, every update affine: invariants may be run."""
+        return self.complete and all(path.affine for path in self.paths)
+
+    def notes(self) -> List[str]:
+        out = [f"{len(self.paths)} path(s)"]
+        if self.pruned_paths:
+            out.append(f"pruned_paths={self.pruned_paths}")
+        if self.truncated:
+            out.append(f"truncated at {MAX_PATHS}")
+        return out
+
+
+def enumerate_paths(
+    function: Function,
+    loop: Loop,
+    ranges=None,
+    max_paths: int = MAX_PATHS,
+) -> Optional[PathSummary]:
+    """Enumerate the acyclic header-to-latch paths of ``loop``.
+
+    Returns ``None`` for loops containing nested loops (their region is
+    not a path DAG; the classifier already summarizes them through exit
+    values).  ``ranges`` (a ``RangeInfo``) enables dead-edge pruning.
+    """
+    if loop.children:
+        return None
+    header = function.blocks.get(loop.header)
+    if header is None:
+        return None
+    phis = tuple(sorted(phi.result for phi in header.phis()))
+    summary = PathSummary(loop=loop.header, phis=phis)
+    if not phis:
+        return summary
+
+    prune = ranges is not None and not getattr(ranges, "degraded", True)
+    paths: List[Tuple[str, ...]] = []
+
+    # iterative DFS over in-loop successors; a back edge to the header
+    # completes one path, an exit edge abandons the trip
+    stack: List[Tuple[str, Tuple[str, ...]]] = [(loop.header, (loop.header,))]
+    while stack:
+        label, path = stack.pop()
+        if len(paths) >= max_paths:
+            summary.truncated = True
+            break
+        block = function.blocks.get(label)
+        if block is None or block.terminator is None:
+            continue
+        successors = list(block.terminator.successors())
+        if prune and isinstance(block.terminator, Branch) and len(successors) == 2:
+            cond = ranges.value_interval(block.terminator.cond)
+            if cond == _POINT_TRUE:
+                successors = [block.terminator.true_target]
+                summary.pruned_paths += 1
+            elif cond == _POINT_FALSE:
+                successors = [block.terminator.false_target]
+                summary.pruned_paths += 1
+        for succ in successors:
+            if succ == loop.header:
+                paths.append(path)
+            elif succ in loop.body and succ not in path:
+                stack.append((succ, path + (succ,)))
+            # exit edges (and the impossible in-path revisit) end the walk
+
+    executed = []
+    for path in sorted(paths):
+        executed.append(_execute_path(function, path, phis))
+    summary.paths = tuple(executed)
+    return summary
+
+
+def _execute_path(
+    function: Function, path: Tuple[str, ...], phis: Tuple[str, ...]
+) -> LoopPath:
+    """Joint symbolic execution of one path over the header-phi symbols."""
+    state: Dict[str, Optional[Expr]] = {phi: Expr.sym(phi) for phi in phis}
+    for position, label in enumerate(path):
+        block = function.block(label)
+        if position > 0:
+            predecessor = path[position - 1]
+            staged = {
+                phi.result: _value_expr(phi.incoming.get(predecessor), state)
+                for phi in block.phis()
+            }
+            state.update(staged)
+        for inst in block.instructions:
+            if isinstance(inst, Phi) or inst.result is None:
+                continue
+            state[inst.result] = _symbolic(inst, state)
+
+    latch = path[-1]
+    header_block = function.block(path[0])
+    updates = []
+    for phi in header_block.phis():
+        if phi.result not in phis:
+            continue
+        updates.append((phi.result, _value_expr(phi.incoming.get(latch), state)))
+    updates.sort()
+    return LoopPath(blocks=path, updates=tuple(updates))
+
+
+def _value_expr(
+    value: Optional[Value], state: Dict[str, Optional[Expr]]
+) -> Optional[Expr]:
+    if isinstance(value, Const):
+        return Expr.const(value.value)
+    if isinstance(value, Ref):
+        if value.name in state:
+            return state[value.name]
+        # not defined on this path: by SSA dominance it is defined outside
+        # the loop, i.e. loop invariant
+        return Expr.sym(value.name)
+    return None
+
+
+def _symbolic(inst, state: Dict[str, Optional[Expr]]) -> Optional[Expr]:
+    """Transfer function of one instruction; ``None`` = not polynomial."""
+    if isinstance(inst, Assign):
+        return _value_expr(inst.src, state)
+    if isinstance(inst, UnOp):
+        operand = _value_expr(inst.operand, state)
+        return -operand if operand is not None else None
+    if isinstance(inst, BinOp):
+        lhs = _value_expr(inst.lhs, state)
+        rhs = _value_expr(inst.rhs, state)
+        if lhs is None or rhs is None:
+            return None
+        try:
+            if inst.op is BinaryOp.ADD:
+                return lhs + rhs
+            if inst.op is BinaryOp.SUB:
+                return lhs - rhs
+            if inst.op is BinaryOp.MUL:
+                product = lhs * rhs
+                return product if product.degree() <= MAX_DEGREE else None
+            if inst.op is BinaryOp.EXP and rhs.is_constant:
+                exponent = rhs.constant_value()
+                if exponent.denominator == 1 and 0 <= exponent <= MAX_DEGREE:
+                    power = Expr.one()
+                    for _ in range(int(exponent)):
+                        power = power * lhs
+                    return power if power.degree() <= MAX_DEGREE else None
+        except ExprError:
+            return None
+        return None  # DIV / MOD / symbolic EXP: not polynomial
+    return None  # Compare, Load, ... : opaque

@@ -79,6 +79,7 @@ SPAN_NAMES = frozenset(
         "transform.unroll",
         "trace.target",
         "ranges",
+        "invariants",
     }
 )
 
@@ -121,6 +122,8 @@ RULE_NAMES = frozenset(
         "scr.periodic-family",
         "scr.monotonic-family",
         "scr.monotonic-member",
+        "scr.branch-dependent",
+        "scr.branch-member",
     }
 )
 
@@ -154,6 +157,12 @@ METRIC_NAMES = frozenset(
         "ranges.fixpoint.insts",
         "ranges.fixpoint.visits",
         "ranges.fixpoint.narrowed",
+        "invariants.loops",
+        "invariants.paths",
+        "invariants.pruned_paths",
+        "invariants.equalities",
+        "invariants.affine_loops",
+        "invariants.range_refinements",
         "interval.cache.bound.hits",
         "interval.cache.bound.misses",
         "interval.cache.point.hits",

@@ -126,6 +126,12 @@ def _render(
         interval = info.range_of(label)
         if not interval.is_top:
             lines.append(f"{pad}  range: {interval}")
+    inv_info = getattr(result, "invariants", None) if result is not None else None
+    if inv_info is not None and not inv_info.degraded:
+        for invariants in inv_info.by_loop.values():
+            for invariant in invariants:
+                if label in invariant.variables:
+                    lines.append(f"{pad}  invariant: {invariant.describe()}")
     if cls is None:
         return
     prov = _provenance_for(result, label, cls)

@@ -135,6 +135,7 @@ def analyze(
     strict: bool = False,
     budget: Optional[AnalysisBudget] = None,
     ranges: bool = False,
+    invariants: bool = False,
 ) -> AnalyzedProgram:
     """Compile and classify a source program.
 
@@ -160,6 +161,14 @@ def analyze(
     ``program.result.ranges``, where dependence testing picks up trip
     bounds.  The phase is optional and isolated: on failure it degrades
     to all-top ranges without aborting analysis.
+
+    ``invariants`` additionally runs the path-sensitive invariants phase
+    (:mod:`repro.invariants`): per-path update summaries and polynomial
+    loop invariants attach to each :class:`LoopSummary` and to
+    ``program.result.invariants``.  Combine with ``ranges=True`` to also
+    prune provably-dead paths and tighten ranges with invariant-implied
+    bounds.  Optional and isolated: on failure it degrades to a
+    no-invariants :class:`InvariantInfo`.
     """
     with _trace.span("pipeline.analyze"), _isolation.resilient() as log, \
             _isolation.strict_errors(strict), _budget.budgeted(budget):
@@ -182,7 +191,9 @@ def analyze(
             # half-canonicalized CFG and analyze the raw form instead
             named = lower_program(program, name=name)
         sanitizer.checkpoint(named, "simplify-loops", ssa=False)
-        return _analyze_function(named, source, optimize, log, ranges=ranges)
+        return _analyze_function(
+            named, source, optimize, log, ranges=ranges, invariants=invariants
+        )
 
 
 def analyze_function(
@@ -193,6 +204,7 @@ def analyze_function(
     strict: bool = False,
     budget: Optional[AnalysisBudget] = None,
     ranges: bool = False,
+    invariants: bool = False,
 ) -> AnalyzedProgram:
     """Run SSA construction + classification on named IR.
 
@@ -204,11 +216,13 @@ def analyze_function(
         with sanitizer.sanitizing(strict=True):
             return analyze_function(
                 named, source, optimize, strict=strict, budget=budget,
-                ranges=ranges,
+                ranges=ranges, invariants=invariants,
             )
     with _isolation.resilient() as log, _isolation.strict_errors(strict), \
             _budget.budgeted(budget):
-        return _analyze_function(named, source, optimize, log, ranges=ranges)
+        return _analyze_function(
+            named, source, optimize, log, ranges=ranges, invariants=invariants
+        )
 
 
 def _expr_cache_totals() -> Dict[str, int]:
@@ -308,6 +322,7 @@ def _analyze_function(
     optimize: bool,
     log: Optional[_isolation.DegradationLog] = None,
     ranges: bool = False,
+    invariants: bool = False,
 ) -> AnalyzedProgram:
     if log is None:
         log = _isolation.DegradationLog()
@@ -383,6 +398,16 @@ def _analyze_function(
             "ranges.compute",
             lambda: compute_ranges(result),
             default=RangeInfo.top_info(function=ssa.name),
+        )
+    if invariants:
+        from repro.invariants.analysis import InvariantInfo, compute_invariants
+
+        # optional + isolated: a failure degrades to a no-invariants info
+        # (every query answers "no claim") and analysis continues
+        result.invariants = _isolation.run_optional(
+            "invariants.compute",
+            lambda: compute_invariants(result),
+            default=InvariantInfo.degraded_info(function=ssa.name),
         )
     if cache_before is not None:
         _record_expr_cache_delta(cache_before)

@@ -41,6 +41,7 @@ from fractions import Fraction
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.classes import (
+    BranchDependent,
     Classification,
     InductionVariable,
     Invariant,
@@ -169,6 +170,7 @@ def _power(interval: Interval, exponent: int) -> Interval:
 
 
 _NONNEG = Interval.at_least(0)
+_NONPOS = Interval.at_most(0)
 
 
 def eval_expr(expr: Expr, env: Dict[str, Interval]) -> Interval:
@@ -310,6 +312,27 @@ def class_interval(
         if cls.direction > 0:
             return Interval(start.lo, POS_INF)
         return Interval(NEG_INF, start.hi)
+    if isinstance(cls, BranchDependent):
+        # after h full trips the value lies in ``init + h * [min, max]``
+        # over the per-path step set: an affine hull for bounded h, a
+        # half-line for one-signed steps, top only when nothing is known
+        if cls.init is None:
+            return TOP
+        start = eval_expr(cls.init, env)
+        if start.empty:
+            return TOP
+        step = Interval.empty_interval()
+        for candidate in cls.steps:
+            step = step.union(eval_expr(candidate, env))
+        if step.empty:
+            return TOP
+        # every step's sign is part of the classification: fold it in even
+        # when the step expressions themselves evaluate unbounded
+        if cls.direction == 1:
+            step = step.intersect(_NONNEG)
+        elif cls.direction == -1:
+            step = step.intersect(_NONPOS)
+        return start + h * step
     return TOP  # Unknown and anything new
 
 

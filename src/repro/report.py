@@ -113,6 +113,7 @@ def format_report(
         else:
             lines.append("  no dependences")
     _append_ranges(lines, program, show_temporaries)
+    _append_invariants(lines, program)
     _append_resilience(lines, program)
     _append_diagnostics(lines, diagnostics)
     return "\n".join(lines)
@@ -153,6 +154,28 @@ def _append_ranges(
         shown += 1
     if not shown:
         lines.append("  no nontrivial ranges")
+
+
+def _append_invariants(lines: List[str], program: AnalyzedProgram) -> None:
+    """Append an ``== invariants ==`` section when the phase ran."""
+    info = getattr(program.result, "invariants", None)
+    if info is None:
+        return
+    lines.append("")
+    lines.append("== invariants ==")
+    if info.degraded:
+        lines.append("  degraded: no path summaries or equalities available")
+        return
+    if not info.path_summaries:
+        lines.append("  no loop admitted path enumeration")
+        return
+    for header in sorted(info.path_summaries):
+        summary = info.path_summaries[header]
+        lines.append(f"  {header}: {', '.join(summary.notes())}")
+        for path in summary.paths:
+            lines.append(f"    path {path.describe()}")
+        for invariant in info.invariants_of(header):
+            lines.append(f"    invariant {invariant.describe()}")
 
 
 def _append_resilience(lines: List[str], program: AnalyzedProgram) -> None:

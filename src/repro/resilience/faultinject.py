@@ -67,6 +67,7 @@ FAULT_POINTS: Dict[str, str] = {
     "transform.unroll": "full unrolling",
     "transform.materialize": "exit-value materialization",
     "ranges.compute": "value-range analysis over the classification lattice",
+    "invariants.compute": "path-sensitive summaries and polynomial invariant generation",
 }
 
 

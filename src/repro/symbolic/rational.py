@@ -216,6 +216,46 @@ class Matrix:
                     work[r] = [a - factor * b for a, b in zip(work[r], work[col])]
         return [work[i][n] for i in range(n)]
 
+    def nullspace(self) -> List[List[Fraction]]:
+        """A basis for the right kernel ``{x : A x = 0}``.
+
+        Works for rectangular matrices: reduce to RREF, then read one basis
+        vector per free column (the standard back-substitution construction).
+        Returns an empty list when the kernel is trivial.
+        """
+        work = [list(row) for row in self._data]
+        nrows, ncols = self.rows, self.ncols
+        pivot_cols: List[int] = []
+        r = 0
+        for col in range(ncols):
+            if r >= nrows:
+                break
+            pivot_row = None
+            for i in range(r, nrows):
+                if work[i][col] != 0:
+                    pivot_row = i
+                    break
+            if pivot_row is None:
+                continue
+            work[r], work[pivot_row] = work[pivot_row], work[r]
+            pivot = work[r][col]
+            work[r] = [x / pivot for x in work[r]]
+            for i in range(nrows):
+                if i != r and work[i][col] != 0:
+                    factor = work[i][col]
+                    work[i] = [a - factor * b for a, b in zip(work[i], work[r])]
+            pivot_cols.append(col)
+            r += 1
+        free_cols = [c for c in range(ncols) if c not in pivot_cols]
+        basis: List[List[Fraction]] = []
+        for free in free_cols:
+            vec = [Fraction(0)] * ncols
+            vec[free] = Fraction(1)
+            for row_idx, col in enumerate(pivot_cols):
+                vec[col] = -work[row_idx][free]
+            basis.append(vec)
+        return basis
+
     def determinant(self) -> Fraction:
         """Determinant by fraction-free-ish elimination (exact anyway)."""
         if not self.is_square:

@@ -2,7 +2,13 @@
 grandchild exit values, degenerate SCR shapes."""
 
 from tests.conftest import analyze_src, classification_by_var
-from repro.core.classes import InductionVariable, Invariant, Monotonic, Unknown
+from repro.core.classes import (
+    BranchDependent,
+    InductionVariable,
+    Invariant,
+    Monotonic,
+    Unknown,
+)
 
 
 class TestPathExplosion:
@@ -35,7 +41,8 @@ class TestPathExplosion:
         source = "s = 0\nL1: for i = 1 to n do\n" + "\n".join(body) + "\nendfor"
         p = analyze_src(source)
         s = classification_by_var(p, "s", "L1")
-        assert isinstance(s, Monotonic) and s.strict
+        assert isinstance(s, BranchDependent) and s.strict
+        assert s.direction == 1
 
 
 class TestNonlinearCycles:

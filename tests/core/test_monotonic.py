@@ -1,7 +1,7 @@
 """Monotonic variable detection (paper section 4.4, Figure 10)."""
 
 from tests.conftest import analyze_src, assert_closed_forms_match_execution, classification_by_var
-from repro.core.classes import Monotonic, Unknown
+from repro.core.classes import BranchDependent, Monotonic, Unknown
 
 
 class TestBasicMonotonic:
@@ -11,8 +11,9 @@ class TestBasicMonotonic:
             "k = 0\nL15: for i = 1 to n do\n  if A[i] > 0 then\n    k = k + 1\n    B[k] = A[i]\n  endif\nendfor"
         )
         k = classification_by_var(p, "k", "L15")
-        assert isinstance(k, Monotonic)
+        assert isinstance(k, BranchDependent)
         assert k.direction == 1 and not k.strict
+        assert (k.min_step(), k.max_step()) == (0, 1)
 
     def test_figure6_strictly_increasing(self):
         """Figure 6 (loop L16): +1 or +2 on every path -> strictly."""
@@ -20,8 +21,9 @@ class TestBasicMonotonic:
             "k = 0\nL16: for i = 1 to n do\n  if A[i] > 0 then\n    k = k + 1\n  else\n    k = k + 2\n  endif\n  B[k] = i\nendfor"
         )
         k = classification_by_var(p, "k", "L16")
-        assert isinstance(k, Monotonic)
+        assert isinstance(k, BranchDependent)
         assert k.strict
+        assert (k.min_step(), k.max_step()) == (1, 2)
         assert_closed_forms_match_execution(p, {"n": 6})
 
     def test_figure10_member_strictness(self):
@@ -32,13 +34,17 @@ class TestBasicMonotonic:
         )
         classes = {n: p.classification(n) for n in p.ssa_names("k")}
         by_strict = {
-            name: cls.strict for name, cls in classes.items() if isinstance(cls, Monotonic)
+            name: cls.strict
+            for name, cls in classes.items()
+            if isinstance(cls, (Monotonic, BranchDependent))
         }
         assert sum(by_strict.values()) == 1  # exactly k3
         assert len(by_strict) == 3
         # all in one family
         families = {
-            cls.family for cls in classes.values() if isinstance(cls, Monotonic)
+            cls.family
+            for cls in classes.values()
+            if isinstance(cls, (Monotonic, BranchDependent))
         }
         assert len(families) == 1
 
@@ -47,8 +53,9 @@ class TestBasicMonotonic:
             "k = 100\nL1: for i = 1 to n do\n  if A[i] > 0 then\n    k = k - 2\n  endif\n  B[k] = i\nendfor"
         )
         k = classification_by_var(p, "k", "L1")
-        assert isinstance(k, Monotonic)
+        assert isinstance(k, BranchDependent)
         assert k.direction == -1 and not k.strict
+        assert (k.min_step(), k.max_step()) == (-2, 0)
 
     def test_strictly_decreasing(self):
         p = analyze_src(
@@ -58,20 +65,26 @@ class TestBasicMonotonic:
         assert k.direction == -1 and k.strict
         assert_closed_forms_match_execution(p, {"n": 5})
 
-    def test_mixed_signs_unknown(self):
+    def test_mixed_signs_branch_dependent(self):
+        """+1 or -1: not monotonic, but the step set is still known."""
         p = analyze_src(
             "k = 0\nL1: for i = 1 to n do\n  if A[i] > 0 then\n    k = k + 1\n  else\n    k = k - 1\n  endif\n  B[k] = i\nendfor"
         )
         k = classification_by_var(p, "k", "L1")
-        assert isinstance(k, Unknown)
+        assert isinstance(k, BranchDependent)
+        assert k.direction is None and not k.strict
+        assert (k.min_step(), k.max_step()) == (-1, 1)
 
-    def test_symbolic_increment_unknown(self):
-        """Without sign information on s, conservatively unknown."""
+    def test_symbolic_increment_no_direction(self):
+        """Without sign information on s, no direction -- but the per-path
+        step set {0, s} is still recorded."""
         p = analyze_src(
             "k = 0\nL1: for i = 1 to n do\n  if A[i] > 0 then\n    k = k + s\n  endif\n  B[k] = i\nendfor"
         )
         k = classification_by_var(p, "k", "L1")
-        assert isinstance(k, Unknown)
+        assert isinstance(k, BranchDependent)
+        assert k.direction is None
+        assert k.min_step() is None  # symbolic step: no numeric bound
 
     def test_increment_by_iv(self):
         """k += i with i a non-negative IV: monotonic (step varies)."""

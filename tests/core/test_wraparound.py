@@ -1,7 +1,15 @@
 """Wrap-around variable detection (paper section 4.1)."""
 
 from tests.conftest import analyze_src, assert_closed_forms_match_execution, classification_by_var
-from repro.core.classes import InductionVariable, Invariant, Monotonic, Periodic, Unknown, WrapAround
+from repro.core.classes import (
+    BranchDependent,
+    InductionVariable,
+    Invariant,
+    Monotonic,
+    Periodic,
+    Unknown,
+    WrapAround,
+)
 
 
 class TestFirstOrder:
@@ -116,7 +124,7 @@ class TestWrappedOtherClasses:
         )
         m = classification_by_var(p, "m", "L1")
         assert isinstance(m, WrapAround)
-        assert isinstance(m.inner, Monotonic)
+        assert isinstance(m.inner, BranchDependent)
         assert m.inner.direction == 1
 
     def test_wraparound_of_unknown_is_unknown(self):

@@ -11,6 +11,7 @@ import pytest
 
 from tests.conftest import analyze_src, assert_closed_forms_match_execution, classification_by_var
 from repro.core.classes import (
+    BranchDependent,
     InductionVariable,
     Invariant,
     Monotonic,
@@ -139,7 +140,8 @@ class TestE07_Figure6:
             "  if k > n then\n    break\n  endif\nendloop"
         )
         k = classification_by_var(p, "k", "L16")
-        assert isinstance(k, Monotonic) and k.strict and k.direction == 1
+        assert isinstance(k, BranchDependent) and k.strict and k.direction == 1
+        assert (k.min_step(), k.max_step()) == (1, 2)
 
 
 class TestE08_Figures7and8:
@@ -238,9 +240,13 @@ class TestE10_Figure10:
     def test_classifications(self):
         p = analyze_src(self.SOURCE)
         classes = [p.classification(n) for n in p.ssa_names("k")]
-        monotonic = [c for c in classes if isinstance(c, Monotonic)]
+        monotonic = [
+            c for c in classes if isinstance(c, (Monotonic, BranchDependent))
+        ]
         assert len(monotonic) == 3
         assert sum(c.strict for c in monotonic) == 1  # k3 only
+        # the header phi itself now carries the per-path step set
+        assert any(isinstance(c, BranchDependent) for c in classes)
 
     def test_dependence_directions(self):
         p = analyze_src(self.SOURCE)

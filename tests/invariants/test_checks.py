@@ -1,0 +1,127 @@
+"""The INV7xx replay checks against crafted (and sabotaged) programs."""
+
+from repro.core.classes import BranchDependent
+from repro.diagnostics.diagnostic import DiagnosticCollector
+from repro.invariants.checks import check_invariants
+from repro.invariants.poly import LoopInvariant
+from repro.pipeline import analyze
+from repro.symbolic.expr import Expr
+
+GOOD = """
+i = 0
+j = 0
+s = 0
+L1: while i < n do
+  if A[i] > 0 then
+    i = i + 1
+    j = j + 2
+    s = s + i
+  else
+    i = i + 2
+    j = j + 4
+    s = s + 2 * i - 1
+  endif
+endwhile
+B[0] = j
+B[1] = s
+"""
+
+
+def run_checks(program):
+    collector = DiagnosticCollector()
+    emitted = check_invariants(program, collector)
+    assert emitted == len(collector.diagnostics)
+    return collector.diagnostics
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+class TestVerification:
+    def test_good_invariants_earn_inv702_notes(self):
+        program = analyze(GOOD, ranges=True, invariants=True)
+        diagnostics = run_checks(program)
+        assert codes(diagnostics).count("INV702") >= 2
+        assert "INV701" not in codes(diagnostics)
+        assert "INV703" not in codes(diagnostics)
+        note = next(d for d in diagnostics if d.code == "INV702")
+        assert note.severity.name == "NOTE"
+        assert "verified on" in note.message
+
+    def test_no_info_emits_nothing(self):
+        program = analyze(GOOD, ranges=True)  # invariants phase off
+        assert run_checks(program) == []
+
+    def test_degraded_info_emits_nothing(self):
+        from repro.resilience.faultinject import FaultPlan, injecting
+
+        with injecting(FaultPlan(points={"invariants.compute"})):
+            program = analyze(GOOD, ranges=True, invariants=True)
+        assert program.result.invariants.degraded
+        assert run_checks(program) == []
+
+
+class TestViolations:
+    def test_wrong_equality_fires_inv701(self):
+        program = analyze(GOOD, ranges=True, invariants=True)
+        info = program.result.invariants
+        genuine = info.by_loop["L1"][0]
+        bogus = LoopInvariant(
+            loop="L1",
+            poly=genuine.poly,
+            value=genuine.value + Expr.const(7),  # off by seven: must trip
+            variables=genuine.variables,
+            degree=genuine.degree,
+        )
+        info.by_loop["L1"] = (bogus,)
+        diagnostics = run_checks(program)
+        assert "INV701" in codes(diagnostics)
+        finding = next(d for d in diagnostics if d.code == "INV701")
+        assert finding.severity.name == "ERROR"
+        assert "violated" in finding.message
+
+    def test_wrong_step_bounds_fire_inv703(self):
+        # the program steps by 5 or 9; the sabotaged claim says [1, 2]
+        source = """
+i = 0
+L1: while i < n do
+  if A[i] > 0 then
+    i = i + 5
+  else
+    i = i + 9
+  endif
+endwhile
+"""
+        program = analyze(source, ranges=True, invariants=True)
+        summary = program.result.loops["L1"]
+        phi, genuine = next(
+            (name, cls)
+            for name, cls in summary.classifications.items()
+            if isinstance(cls, BranchDependent)
+        )
+        summary.classifications[phi] = BranchDependent(
+            genuine.loop,
+            (Expr.const(1), Expr.const(2)),
+            init=genuine.init,
+            family=genuine.family,
+        )
+        diagnostics = run_checks(program)
+        assert "INV703" in codes(diagnostics)
+        finding = next(d for d in diagnostics if d.code == "INV703")
+        assert finding.severity.name == "ERROR"
+        assert "outside" in finding.message
+
+    def test_honest_step_bounds_stay_quiet(self):
+        source = """
+i = 0
+L1: while i < n do
+  if A[i] > 0 then
+    i = i + 5
+  else
+    i = i + 9
+  endif
+endwhile
+"""
+        program = analyze(source, ranges=True, invariants=True)
+        assert "INV703" not in codes(run_checks(program))

@@ -1,0 +1,119 @@
+"""docs/INVARIANTS.md must catalogue every INV7xx check and stay linked.
+
+Mirror of ``tests/ranges/test_docs.py``: the doc and the diagnostics
+registry (category ``invariants``) are checked in both directions so
+neither can drift from the other.
+"""
+
+import os
+import re
+
+import pytest
+
+from repro.diagnostics.registry import all_checks, check_info
+
+ROOT = os.path.join(os.path.dirname(__file__), "..", "..")
+DOCS = os.path.join(ROOT, "docs", "INVARIANTS.md")
+
+INV_CODES = {
+    info.code for info in all_checks() if info.category == "invariants"
+}
+
+
+def read_docs():
+    with open(DOCS) as handle:
+        return handle.read()
+
+
+def checker_headings():
+    """``### CODE — title (severity)`` headings of the checker section."""
+    return re.findall(
+        r"^### (INV\d+) — ([a-z-]+) \((error|warning|note)\)$",
+        read_docs(),
+        re.MULTILINE,
+    )
+
+
+def test_the_suite_is_nonempty():
+    assert INV_CODES, "no category-'invariants' checks registered"
+
+
+def test_every_registered_code_is_documented():
+    documented = {code for code, _title, _sev in checker_headings()}
+    missing = INV_CODES - documented
+    assert not missing, f"missing from docs/INVARIANTS.md: {sorted(missing)}"
+
+
+def test_no_undocumented_or_duplicate_codes():
+    documented = [code for code, _title, _sev in checker_headings()]
+    unknown = [code for code in documented if code not in INV_CODES]
+    assert not unknown, f"docs mention unregistered codes: {unknown}"
+    assert len(documented) == len(set(documented)), "duplicate headings"
+
+
+def test_documented_titles_and_severities_match_the_registry():
+    for code, title, severity in checker_headings():
+        info = check_info(code)
+        assert info.title == title, code
+        assert info.severity.name.lower() == severity, code
+
+
+def test_derivation_table_names_every_stage():
+    text = read_docs()
+    for stage in (
+        "enumerate",
+        "prune",
+        "execute",
+        "lift",
+        "solve",
+        "anchor",
+        "verify",
+        "refine",
+    ):
+        assert f"| {stage} |" in text, f"{stage} missing from the table"
+
+
+def test_caps_are_documented_with_their_real_values():
+    from repro.invariants.paths import MAX_DEGREE, MAX_PATHS
+    from repro.invariants.poly import MAX_INVARIANTS, MAX_VARIABLES
+
+    text = read_docs()
+    assert f"`MAX_PATHS = {MAX_PATHS}`" in text
+    assert f"`MAX_DEGREE = {MAX_DEGREE}`" in text
+    assert f"`MAX_VARIABLES = {MAX_VARIABLES}`" in text
+    assert f"`MAX_INVARIANTS = {MAX_INVARIANTS}`" in text
+
+
+def test_committed_example_output_is_current():
+    """The doc's committed report lines match the live tool output."""
+    from repro.pipeline import analyze
+    from repro.report import format_report
+
+    with open(os.path.join(ROOT, "examples", "branchy_counters.loop")) as f:
+        source = f.read()
+    report = format_report(analyze(source, ranges=True, invariants=True))
+    text = read_docs()
+    for line in (
+        "i.2          branch-dependent(L1, steps {1, 2})",
+        "k.2          branch-dependent(L2, steps {1, 2, 3})",
+        "invariant -2*i.2 + j.2 == 0",
+        "invariant i.2 - 2*s.2 + i.2^2 == 0",
+        "L1: 2 path(s)",
+        "L2: 3 path(s)",
+    ):
+        assert line in report, f"stale vs tool: {line!r}"
+        assert line in text, f"stale vs doc: {line!r}"
+
+
+def test_linked_from_readme_and_related_docs():
+    with open(os.path.join(ROOT, "README.md")) as handle:
+        assert "docs/INVARIANTS.md" in handle.read()
+    for doc in ("API.md", "RANGES.md", "DIAGNOSTICS.md", "OBSERVABILITY.md"):
+        with open(os.path.join(ROOT, "docs", doc)) as handle:
+            assert "INVARIANTS.md" in handle.read(), f"docs/{doc} lacks the link"
+
+
+def test_invariants_doc_links_back():
+    text = read_docs()
+    for doc in ("RANGES.md", "DIAGNOSTICS.md", "OBSERVABILITY.md", "ROBUSTNESS.md"):
+        assert f"({doc})" in text, f"docs/INVARIANTS.md does not link {doc}"

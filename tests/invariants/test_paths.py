@@ -1,0 +1,179 @@
+"""Acyclic-path enumeration and per-path symbolic update maps."""
+
+from repro.invariants.paths import MAX_PATHS, enumerate_paths
+from repro.pipeline import analyze
+from repro.symbolic.expr import Expr
+
+TWO_PATH = """
+i = 0
+j = 0
+L1: while i < n do
+  if A[i] > 0 then
+    i = i + 1
+    j = j + 2
+  else
+    i = i + 3
+    j = j + 6
+  endif
+endwhile
+"""
+
+THREE_PATH = """
+k = 0
+L1: while k < n do
+  if A[k] > 0 then
+    k = k + 1
+  else
+    if A[k] < 0 then
+      k = k + 2
+    else
+      k = k + 3
+    endif
+  endif
+endwhile
+"""
+
+
+def summarize(source, loop="L1", ranges=None, **kwargs):
+    program = analyze(source, **kwargs)
+    loop_obj = program.result.loops[loop].loop
+    return enumerate_paths(program.ssa, loop_obj, ranges)
+
+
+def phi_named(summary, stem):
+    return next(phi for phi in summary.phis if phi.startswith(stem + "."))
+
+
+class TestEnumeration:
+    def test_two_path_loop(self):
+        summary = summarize(TWO_PATH)
+        assert len(summary.paths) == 2
+        assert summary.complete and not summary.truncated
+        assert summary.pruned_paths == 0
+
+    def test_three_path_loop(self):
+        summary = summarize(THREE_PATH)
+        assert len(summary.paths) == 3
+        assert summary.complete
+
+    def test_single_path_loop(self):
+        summary = summarize("s = 0\nL1: for i = 1 to n do\n  s = s + 2\nendfor")
+        assert len(summary.paths) == 1
+        assert summary.complete
+
+    def test_nested_loop_yields_none(self):
+        source = """
+L1: for i = 1 to n do
+  L2: for j = 1 to n do
+    x = i + j
+  endfor
+endfor
+"""
+        assert summarize(source, loop="L1") is None
+        inner = summarize(source, loop="L2")
+        assert inner is not None and inner.complete
+
+    def test_truncation_at_max_paths(self):
+        # 5 independent two-way branches = 32 paths > MAX_PATHS
+        arms = "\n".join(
+            f"  if A[i + {k}] > 0 then\n    s = s + {k + 1}\n  endif"
+            for k in range(5)
+        )
+        source = f"s = 0\nL1: for i = 1 to n do\n{arms}\nendfor"
+        summary = summarize(source)
+        assert summary.truncated
+        assert len(summary.paths) <= MAX_PATHS
+        assert not summary.complete and not summary.affine
+        assert any("truncated" in note for note in summary.notes())
+
+
+class TestUpdateMaps:
+    def test_updates_are_per_path_symbolic_steps(self):
+        summary = summarize(TWO_PATH)
+        i = phi_named(summary, "i")
+        j = phi_named(summary, "j")
+        steps = sorted(
+            (path.update_of(i) - Expr.sym(i)).constant_value()
+            for path in summary.paths
+        )
+        assert steps == [1, 3]
+        for path in summary.paths:
+            di = (path.update_of(i) - Expr.sym(i)).constant_value()
+            dj = (path.update_of(j) - Expr.sym(j)).constant_value()
+            assert dj == 2 * di  # each path preserves j == 2*i
+
+    def test_affine_updates(self):
+        summary = summarize(TWO_PATH)
+        assert summary.affine
+        for path in summary.paths:
+            assert path.affine
+
+    def test_polynomial_update_is_not_affine(self):
+        summary = summarize(
+            "p = m\nL1: for i = 1 to n do\n  p = p * p\nendfor"
+        )
+        p = phi_named(summary, "p")
+        (path,) = summary.paths
+        update = path.update_of(p)
+        assert update is not None and update.degree() == 2
+        assert not summary.affine
+
+    def test_division_update_is_opaque(self):
+        summary = summarize(
+            "h = n\nL1: for i = 1 to n do\n  h = h / 2\nendfor"
+        )
+        h = phi_named(summary, "h")
+        (path,) = summary.paths
+        assert path.update_of(h) is None
+        assert not path.affine and not summary.affine
+
+    def test_loop_invariant_refs_stay_symbolic(self):
+        summary = summarize(
+            "j = 0\nL1: for i = 1 to n do\n  j = j + m\nendfor"
+        )
+        j = phi_named(summary, "j")
+        (path,) = summary.paths
+        update = path.update_of(j)
+        assert "m" in {s.split(".")[0] for s in update.free_symbols()}
+
+    def test_describe_mentions_blocks_and_updates(self):
+        summary = summarize(TWO_PATH)
+        text = summary.paths[0].describe()
+        assert "L1" in text and "->" in text
+
+
+class TestPruning:
+    PRUNABLE = """
+assume c == 1
+i = 0
+L1: while i < n do
+  if c > 0 then
+    i = i + 1
+  else
+    i = i + 5
+  endif
+endwhile
+"""
+
+    def test_constant_branch_prunes_dead_path(self):
+        program = analyze(self.PRUNABLE, ranges=True)
+        loop = program.result.loops["L1"].loop
+        summary = enumerate_paths(
+            program.ssa, loop, program.result.ranges
+        )
+        assert summary.pruned_paths >= 1
+        assert len(summary.paths) == 1
+        assert any("pruned_paths" in note for note in summary.notes())
+
+    def test_no_ranges_means_no_pruning(self):
+        summary = summarize(self.PRUNABLE)
+        assert summary.pruned_paths == 0
+        assert len(summary.paths) == 2
+
+    def test_degraded_ranges_disable_pruning(self):
+        program = analyze(self.PRUNABLE, ranges=True)
+        program.result.ranges.degraded = True
+        loop = program.result.loops["L1"].loop
+        summary = enumerate_paths(program.ssa, loop, program.result.ranges)
+        assert summary.pruned_paths == 0
+        assert len(summary.paths) == 2

@@ -1,0 +1,131 @@
+"""Pipeline, report, explain, lint-driver, and CLI wiring for invariants."""
+
+import pytest
+
+from repro.cli import lint_main, main
+from repro.diagnostics.driver import lint_source
+from repro.obs.explain import explain
+from repro.pipeline import analyze
+from repro.report import format_report
+
+BRANCHY = """
+i = 0
+j = 0
+L1: while i < n do
+  if A[i] > 0 then
+    i = i + 1
+    j = j + 2
+  else
+    i = i + 2
+    j = j + 4
+  endif
+endwhile
+B[0] = j
+"""
+
+
+@pytest.fixture()
+def branchy_file(tmp_path):
+    path = tmp_path / "branchy.loop"
+    path.write_text(BRANCHY)
+    return str(path)
+
+
+class TestReportSection:
+    def test_invariants_section_renders(self):
+        program = analyze(BRANCHY, ranges=True, invariants=True)
+        report = format_report(program)
+        assert "== invariants ==" in report
+        assert "path [" in report
+        assert "invariant " in report
+        assert "== 0" in report
+
+    def test_section_absent_when_phase_off(self):
+        program = analyze(BRANCHY, ranges=True)
+        assert "== invariants ==" not in format_report(program)
+
+    def test_degraded_phase_is_reported(self):
+        from repro.resilience.faultinject import FaultPlan, injecting
+
+        with injecting(FaultPlan(points={"invariants.compute"})):
+            program = analyze(BRANCHY, ranges=True, invariants=True)
+        report = format_report(program)
+        assert "== invariants ==" in report
+        assert "degraded" in report
+
+
+class TestExplain:
+    def test_explain_shows_invariants_of_the_variable(self):
+        program = analyze(BRANCHY, ranges=True, invariants=True)
+        phi = next(
+            name
+            for name in program.result.loops["L1"].classifications
+            if name.startswith("j.")
+        )
+        text = explain(program, phi)
+        assert "invariant:" in text
+        assert "branch-dependent" in text
+
+    def test_explain_silent_without_the_phase(self):
+        program = analyze(BRANCHY, ranges=True)
+        phi = next(
+            name
+            for name in program.result.loops["L1"].classifications
+            if name.startswith("j.")
+        )
+        assert "invariant:" not in explain(program, phi)
+
+
+class TestLintDriver:
+    def test_lint_source_emits_inv702(self):
+        found = lint_source(BRANCHY, ranges=True, invariants=True)
+        assert any(d.code == "INV702" for d in found)
+        assert not [d for d in found if d.is_error]
+
+    def test_lint_source_off_by_default(self):
+        found = lint_source(BRANCHY, ranges=True)
+        assert not any(d.code.startswith("INV") for d in found)
+
+
+class TestCli:
+    def test_report_flag(self, branchy_file, capsys):
+        assert main([branchy_file, "--ranges", "--invariants"]) == 0
+        out = capsys.readouterr().out
+        assert "== invariants ==" in out
+        assert "branch-dependent" in out
+
+    def test_verify_includes_inv_codes(self, branchy_file, capsys):
+        assert main([branchy_file, "--invariants", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "INV702" in out
+
+    def test_lint_flag(self, branchy_file, capsys):
+        assert lint_main([branchy_file, "--ranges", "--invariants"]) == 0
+        out = capsys.readouterr().out
+        assert "INV702" in out
+
+    def test_strict_lint_stays_green(self, branchy_file):
+        assert (
+            lint_main([branchy_file, "--strict", "--ranges", "--invariants"])
+            == 0
+        )
+
+
+class TestExamplesCorpus:
+    def test_branchy_counters_example_meets_the_issue_bar(self):
+        import os
+
+        path = os.path.join(
+            os.path.dirname(__file__), "..", "..", "examples",
+            "branchy_counters.loop",
+        )
+        with open(path) as handle:
+            source = handle.read()
+        program = analyze(source, ranges=True, invariants=True)
+        info = program.result.invariants
+        assert len(info.invariants_of("L1")) >= 2
+        summary = info.path_summary_of("L2")
+        assert summary is not None and len(summary.paths) == 3
+        found = lint_source(source, ranges=True, invariants=True)
+        assert any(d.code == "INV702" for d in found)
+        assert not [d for d in found if d.is_error]

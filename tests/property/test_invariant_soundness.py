@@ -1,0 +1,236 @@
+"""Soundness oracles for the invariants phase.
+
+Two claims are held against the reference interpreter on randomly
+branch-biased loops:
+
+* every polynomial equality :func:`repro.invariants.poly.generate_invariants`
+  emits must hold at **every** interpreter-observed header state (the
+  invariants may be *missing* -- fewer equalities is always allowed --
+  but never *wrong*);
+* every :class:`~repro.core.classes.BranchDependent` header phi with
+  numeric step bounds must move by a per-iteration delta inside
+  ``[min_step, max_step]`` on every observed consecutive pair of header
+  states.
+"""
+
+from fractions import Fraction
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.classes import BranchDependent
+from repro.ir.interp import Interpreter, InterpreterError
+from repro.pipeline import analyze
+from repro.symbolic.expr import ExprError
+
+VARS = ["a", "b", "c", "d"]
+FUEL = 200_000
+
+
+def _run(program, args):
+    try:
+        return Interpreter(program.ssa, fuel=FUEL, record_history=True).run(
+            args
+        )
+    except InterpreterError:
+        return None  # e.g. out of fuel: nothing observed, nothing to check
+
+
+def _entry_env(run):
+    """Observable loop-entry environment: single-valued names + scalars."""
+    env = {}
+    for name, values in run.value_history.items():
+        if len(values) == 1:
+            env.setdefault(name, Fraction(values[0]))
+    for name, value in run.scalars.items():
+        env.setdefault(name, Fraction(value))
+    return env
+
+
+def assert_invariants_hold(program, args):
+    """Every emitted equality holds at every observed header state."""
+    info = program.result.invariants
+    assert info is not None
+    if info.degraded:
+        return
+    run = _run(program, args)
+    if run is None:
+        return
+    env = _entry_env(run)
+    for header, invariants in info.by_loop.items():
+        summary = program.result.loops.get(header)
+        if summary is None or summary.loop.parent is not None:
+            continue  # inner-loop histories interleave outer iterations
+        for invariant in invariants:
+            histories = {
+                v: run.value_history[v]
+                for v in invariant.variables
+                if v in run.value_history
+            }
+            if not histories:
+                continue
+            try:
+                expected = invariant.value.evaluate(env)
+            except ExprError:
+                continue  # entry state not observable under these args
+            trips = min(len(h) for h in histories.values())
+            for h in range(trips):
+                state = dict(env)
+                for phi, history in histories.items():
+                    state[phi] = Fraction(history[h])
+                try:
+                    observed = invariant.poly.evaluate(state)
+                except ExprError:
+                    break
+                assert observed == expected, (
+                    f"invariant {invariant.describe()} of {header} violated "
+                    f"at header state {h}: {observed} != {expected}\n"
+                    f"args={args}"
+                )
+
+
+def assert_step_bounds_sound(program, args):
+    """Observed header-phi deltas stay inside BranchDependent bounds."""
+    run = _run(program, args)
+    if run is None:
+        return
+    for summary in program.result.loops.values():
+        if summary.loop.parent is not None:
+            continue
+        header = program.ssa.blocks.get(summary.loop.header)
+        header_phis = (
+            {phi.result for phi in header.phis()} if header is not None else set()
+        )
+        for name, cls in summary.classifications.items():
+            if name not in header_phis or not isinstance(cls, BranchDependent):
+                continue
+            lo, hi = cls.min_step(), cls.max_step()
+            if lo is None or hi is None:
+                continue  # symbolic steps carry no numeric claim
+            history = run.value_history.get(name, [])
+            for h, (earlier, later) in enumerate(zip(history, history[1:])):
+                delta = Fraction(later) - Fraction(earlier)
+                assert lo <= delta <= hi, (
+                    f"{name} classified {cls.describe()} moved by {delta} "
+                    f"at step {h} -> {h + 1}, outside [{lo}, {hi}]\n"
+                    f"args={args}"
+                )
+
+
+@st.composite
+def arm_statements(draw):
+    """One statement for a branch arm: steps, couplings, accumulations."""
+    kind = draw(st.sampled_from(["inc", "dec", "couple", "accum"]))
+    target = draw(st.sampled_from(VARS))
+    source = draw(st.sampled_from(VARS))
+    const = draw(st.integers(min_value=0, max_value=4))
+    if kind == "inc":
+        return f"{target} = {target} + {const}"
+    if kind == "dec":
+        return f"{target} = {target} - {const}"
+    if kind == "couple":
+        return f"{target} = {target} + {source}"
+    if kind == "accum":
+        return f"{target} = {target} + {const} * i"
+    raise AssertionError(kind)
+
+
+@st.composite
+def branchy_loops(draw):
+    """A bounded loop whose body branches between biased update arms."""
+    inits = [f"{v} = {draw(st.integers(min_value=-3, max_value=3))}" for v in VARS]
+    cond_kind = draw(st.sampled_from(["mod", "cmp", "varcmp"]))
+    if cond_kind == "mod":
+        cond = f"i % {draw(st.integers(2, 4))} == {draw(st.integers(0, 2))}"
+    elif cond_kind == "cmp":
+        cond = f"i > {draw(st.integers(0, 5))}"
+    else:
+        cond = f"{draw(st.sampled_from(VARS))} > {draw(st.sampled_from(VARS))}"
+    then_arm = [f"    {draw(arm_statements())}" for _ in range(draw(st.integers(1, 2)))]
+    else_arm = [f"    {draw(arm_statements())}" for _ in range(draw(st.integers(1, 2)))]
+    tail = [f"  {draw(arm_statements())}" for _ in range(draw(st.integers(0, 1)))]
+    trips = draw(st.integers(min_value=0, max_value=8))
+    lines = (
+        inits
+        + [f"L1: for i = 1 to {trips} do", f"  if {cond} then"]
+        + then_arm
+        + ["  else"]
+        + else_arm
+        + ["  endif"]
+        + tail
+        + ["endfor"]
+    )
+    return "\n".join(lines)
+
+
+@settings(max_examples=60, deadline=None)
+@given(branchy_loops())
+def test_emitted_equalities_hold_on_every_observed_state(source):
+    program = analyze(source, ranges=True, invariants=True)
+    assert_invariants_hold(program, {})
+
+
+@settings(max_examples=60, deadline=None)
+@given(branchy_loops())
+def test_branch_dependent_step_bounds_are_sound(source):
+    program = analyze(source, ranges=True, invariants=True)
+    assert_step_bounds_sound(program, {})
+
+
+@st.composite
+def biased_counter_loops(draw):
+    """While loops counting up by one of several strictly positive steps."""
+    steps = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=5),
+            min_size=2,
+            max_size=3,
+            unique=True,
+        )
+    )
+    factor = draw(st.integers(min_value=1, max_value=3))
+    bound = draw(st.integers(min_value=1, max_value=12))
+    arms = [f"    x = x + {steps[0]}", f"    y = y + {factor * steps[0]}"]
+    alt = [f"    x = x + {steps[1]}", f"    y = y + {factor * steps[1]}"]
+    lines = (
+        ["x = 0", "y = 0", f"L1: while x < {bound} do", "  if a % 2 == 0 then"]
+        + arms
+        + ["  else"]
+        + alt
+        + ["  endif", "  a = a + 1", "endwhile"]
+    )
+    value = draw(st.integers(min_value=-4, max_value=4))
+    return "\n".join(lines), value
+
+
+@settings(max_examples=40, deadline=None)
+@given(biased_counter_loops())
+def test_while_counters_prove_and_keep_the_coupling(case):
+    source, a = case
+    program = analyze(source, ranges=True, invariants=True)
+    assert_invariants_hold(program, {"a": a})
+    assert_step_bounds_sound(program, {"a": a})
+    # the coupling y == factor*x is linear and must actually be found
+    # (unless ranges proved the whole loop dead and pruned every path)
+    summary = program.result.invariants.path_summary_of("L1")
+    if summary is not None and summary.complete:
+        assert any(
+            inv.degree == 1
+            for inv in program.result.invariants.invariants_of("L1")
+        )
+
+
+def test_examples_corpus_is_sound():
+    """Every embedded example passes both oracles on fixed samples."""
+    import os
+
+    from repro.diagnostics.driver import collect_targets
+
+    examples = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+    for target in collect_targets([examples]):
+        program = analyze(target.source, ranges=True, invariants=True)
+        params = program.ssa.params
+        for seed in (1, 3, 7):
+            args = {param: seed for param in params}
+            assert_invariants_hold(program, args)
+            assert_step_bounds_sound(program, args)

@@ -22,7 +22,7 @@ from repro.resilience.faultinject import FAULT_POINTS, FaultPlan, injecting
 EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
 CORPUS = collect_targets([EXAMPLES])
 
-DEFAULT_SEEDS = [101, 202, 303]
+DEFAULT_SEEDS = [101, 202, 303, 404]
 SEEDS = (
     [int(os.environ["CHAOS_SEED"])]
     if os.environ.get("CHAOS_SEED")
@@ -51,8 +51,9 @@ def test_corpus_is_substantial():
 def test_single_point_never_escapes_analyze(point):
     """Arm one point at full rate over the whole corpus: no escape."""
     for target in CORPUS:
+        # every optional phase on, so every fault point is reachable
         with injecting(FaultPlan(points={point})) as plan:
-            program = analyze(target.source)
+            program = analyze(target.source, ranges=True, invariants=True)
         assert_valid(program, target.origin)
         if plan.fired:
             assert program.degraded, (point, target.origin)
@@ -68,7 +69,7 @@ def test_seeded_sweep_never_escapes_analyze(seed):
     fired_total = 0
     for target in CORPUS:
         with injecting(FaultPlan(seed=seed, rate=0.3)) as plan:
-            program = analyze(target.source)
+            program = analyze(target.source, ranges=True, invariants=True)
         assert_valid(program, target.origin)
         fired_total += len(plan.fired)
         if plan.fired:
@@ -84,7 +85,7 @@ def test_seeded_sweep_is_deterministic(seed):
         fired = []
         for target in CORPUS:
             with injecting(FaultPlan(seed=seed, rate=0.3)) as plan:
-                analyze(target.source)
+                analyze(target.source, ranges=True, invariants=True)
             fired.append(tuple(plan.fired))
         return fired
 

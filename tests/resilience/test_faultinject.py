@@ -177,6 +177,9 @@ class TestReachability:
             "ranges.compute": lambda: __import__(
                 "repro.ranges", fromlist=["compute_ranges"]
             ).compute_ranges(program.result),
+            "invariants.compute": lambda: __import__(
+                "repro.invariants", fromlist=["compute_invariants"]
+            ).compute_invariants(program.result),
         }
         with injecting(FaultPlan(points={point})) as plan:
             with pytest.raises(InjectedFault):
