@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint ranges invariants chaos bench bench-check bench-baseline bench-diff report
+.PHONY: test lint ranges invariants chaos stats bench bench-check bench-baseline bench-diff report
 
 test:
 	$(PYTHON) -m pytest -m "not bench" -q
@@ -19,6 +19,11 @@ chaos:
 	for seed in 101 202 303 404; do \
 		CHAOS_SEED=$$seed $(PYTHON) -m pytest tests/resilience -q || exit 1; \
 	done
+
+stats:
+	rm -rf .repro/runs
+	$(PYTHON) -m repro examples/ --ranges --runlog > /dev/null
+	$(PYTHON) -m repro stats --strict
 
 bench:
 	$(PYTHON) -m pytest benchmarks --benchmark-only

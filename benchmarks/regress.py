@@ -216,13 +216,48 @@ def compare(
 #: metrics shown by ``--compare`` (the headline wall-time numbers)
 DIFF_METRICS = ("pipeline_s", "classify_s", "ranges_s", "invariants_s")
 
+#: counter families whose per-workload deltas ``--compare`` also reports
+#: (work counters: a wall-time delta with a matching work-counter delta is
+#: an algorithmic change, without one it is probably noise)
+DIFF_COUNTER_PREFIXES = (
+    "ranges.fixpoint.",
+    "expr.cache.",
+    "interval.cache.",
+    "dependence.pairs",
+    "tarjan.",
+)
+
+
+def _counter_delta_lines(old_counters: Dict, new_counters: Dict) -> List[str]:
+    """Indented delta rows for the tracked counter families (changed only)."""
+    lines: List[str] = []
+    for name in sorted(set(old_counters) | set(new_counters)):
+        if not any(name.startswith(prefix) for prefix in DIFF_COUNTER_PREFIXES):
+            continue
+        old_value = old_counters.get(name)
+        new_value = new_counters.get(name)
+        if old_value == new_value:
+            continue
+        if old_value is None or new_value is None:
+            shown = f"{old_value} -> {new_value}"
+        elif old_value:
+            delta = (new_value / old_value - 1.0) * 100.0
+            shown = f"{old_value} -> {new_value} ({delta:+.1f}%)"
+        else:
+            shown = f"{old_value} -> {new_value}"
+        lines.append(f"{'':>28}counter {name:<28} {shown}")
+    return lines
+
 
 def diff_table(old: Dict, new: Dict) -> List[str]:
     """Per-workload percent-delta lines between two recorded reports.
 
     Negative percentages are improvements (new is faster).  Workloads or
-    metrics absent from either side print ``n/a``.  Returns the lines so
-    tests can assert on them; the caller prints.
+    metrics absent from either side print ``n/a``.  Below each workload's
+    wall-time row, changed work counters from the tracked families
+    (``ranges.fixpoint.*``, ``expr.cache.*``, ...) get their own delta
+    rows.  Returns the lines so tests can assert on them; the caller
+    prints.
     """
     old_workloads = old.get("workloads", {})
     new_workloads = new.get("workloads", {})
@@ -241,6 +276,11 @@ def diff_table(old: Dict, new: Dict) -> List[str]:
             delta = (new_value / old_value - 1.0) * 100.0
             cells.append(f"{new_value:>9.2e} {delta:>+7.1f}%")
         lines.append(f"{name:>26} | " + " | ".join(cells))
+        lines.extend(
+            _counter_delta_lines(
+                old_metrics.get("counters", {}), new_metrics.get("counters", {})
+            )
+        )
     for name in new_workloads:
         if name not in old_workloads:
             lines.append(f"{name:>26} | (not in old baseline)")

@@ -32,12 +32,32 @@ Options::
     --sanitize         run the pipeline with the pass sanitizer enabled
     --trace FILE       write a Chrome trace of this run (chrome://tracing)
     --metrics FILE     write this run's metrics snapshot as JSON
+    --prom FILE        write this run's metrics in Prometheus text format
+    --runlog [DIR]     append one flight-recorder record per analyzed
+                       function to a run-log store (default .repro/runs);
+                       aggregate later with ``repro stats``
     --explain VAR      append VAR's classification derivation chain
                        (repeatable); see ``repro.obs.explain``
     --version          print the package version and exit
 
 ``python -m repro report ...`` is an explicit alias for the default
-report mode.
+report mode.  When the positional path is a **directory** (or a Python
+file with embedded programs), report mode runs over every harvested
+program -- a corpus run -- printing one report per input; combined with
+``--runlog`` this populates a store for ``repro stats``.
+
+Stats mode (``python -m repro stats``)::
+
+    python -m repro stats [STORE] [--format=text|json] [--strict]
+    python -m repro stats --diff RUN_A RUN_B [--format=text|json]
+
+aggregates the run-log records of a store (directory of ``.jsonl`` run
+files, or one run file) into corpus-scale statistics: class-distribution
+histograms, DOALL/serial fractions with the why-not-DOALL attribution
+table, degradation rollups, and p50/p99 per-phase latencies.
+``--strict`` exits 1 on malformed or schema-drifted records and on any
+serial loop whose structured reason chain is empty; ``--diff`` compares
+two stores or run files.
 
 Lint mode (``python -m repro lint``)::
 
@@ -78,7 +98,11 @@ def build_argument_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {__version__}"
     )
-    parser.add_argument("file", help="loop-language source file, or - for stdin")
+    parser.add_argument(
+        "file",
+        help="loop-language source file, - for stdin, or a directory / "
+        "Python file of embedded programs (corpus mode)",
+    )
     parser.add_argument("--dump-ir", action="store_true", help="include the SSA IR")
     parser.add_argument(
         "--dump-named-ir", action="store_true", help="print pre-SSA IR and exit"
@@ -154,6 +178,23 @@ def build_argument_parser() -> argparse.ArgumentParser:
         help="write this run's metrics snapshot as JSON to FILE",
     )
     parser.add_argument(
+        "--prom",
+        metavar="FILE",
+        default=None,
+        help="write this run's metrics in Prometheus text exposition "
+        "format to FILE",
+    )
+    parser.add_argument(
+        "--runlog",
+        metavar="DIR",
+        nargs="?",
+        const="",
+        default=None,
+        help="record one flight-recorder record per analyzed function "
+        "into a run-log store (default: .repro/runs); aggregate with "
+        "'repro stats'",
+    )
+    parser.add_argument(
         "--explain",
         metavar="VAR",
         action="append",
@@ -224,16 +265,21 @@ def lint_main(argv: Optional[List[str]] = None) -> int:
         print("error: no lint targets found", file=sys.stderr)
         return 2
 
+    from repro.obs import metrics as metrics_mod
+
     collector = DiagnosticCollector()
     for target in targets:
-        lint_source(
-            target.source,
-            origin=target.origin,
-            collector=collector,
-            execution=not args.no_exec,
-            ranges=args.ranges,
-            invariants=args.invariants,
-        )
+        # scope any live metrics registry per input: counters from one
+        # file must not bleed into the next file's snapshot
+        with metrics_mod.isolated():
+            lint_source(
+                target.source,
+                origin=target.origin,
+                collector=collector,
+                execution=not args.no_exec,
+                ranges=args.ranges,
+                invariants=args.invariants,
+            )
 
     if args.format == "json":
         print(render_json(collector.sorted()))
@@ -301,10 +347,15 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
         print("error: no trace targets found", file=sys.stderr)
         return 2
 
+    from repro.obs import metrics as metrics_mod
+
     failures = 0
     with observing() as obs:
         for target in targets:
-            with span("trace.target", target=target.origin):
+            # per-input registry scope (merged back into obs.metrics) so
+            # one target's counters never bleed into the next target's
+            # per-input snapshots
+            with span("trace.target", target=target.origin), metrics_mod.isolated():
                 try:
                     analyze(target.source, optimize=not args.no_opt)
                 except Exception as error:
@@ -331,6 +382,189 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
     return 0 if failures == 0 else 1
 
 
+def build_stats_parser() -> argparse.ArgumentParser:
+    from repro.obs.runlog import DEFAULT_STORE
+
+    parser = argparse.ArgumentParser(
+        prog="repro stats",
+        description="Aggregate flight-recorder run logs into corpus-scale "
+        "statistics: class distributions, why-not-DOALL attribution, "
+        "degradation rollups, and phase latencies",
+    )
+    parser.add_argument(
+        "store",
+        nargs="?",
+        default=DEFAULT_STORE,
+        metavar="STORE",
+        help="run-log store: a directory of .jsonl run files or one run "
+        f"file (default: {DEFAULT_STORE})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="format",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on malformed or schema-drifted records, capture "
+        "errors, or serial loops with an empty why-not-DOALL chain",
+    )
+    parser.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("RUN_A", "RUN_B"),
+        default=None,
+        help="compare two stores (or run files) instead of aggregating one",
+    )
+    return parser
+
+
+def stats_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro stats``."""
+    import repro.obs.aggregate as agg
+
+    args = build_stats_parser().parse_args(argv)
+    if args.diff:
+        try:
+            old = agg.aggregate(agg.load_records(args.diff[0]))
+            new = agg.aggregate(agg.load_records(args.diff[1]))
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        diff = agg.diff_stats(old, new)
+        if args.format == "json":
+            import json
+
+            print(json.dumps(diff, indent=2, sort_keys=True))
+        else:
+            print(agg.render_diff_text(diff))
+        return 0
+
+    try:
+        records = agg.load_records(args.store)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    stats = agg.aggregate(records)
+    if args.format == "json":
+        print(agg.render_json(stats))
+    else:
+        print(agg.render_text(stats))
+    if args.strict:
+        problems = agg.strict_problems(records)
+        if problems:
+            for problem in problems:
+                print(f"strict: {problem}", file=sys.stderr)
+            return 1
+    return 0
+
+
+def _corpus_report(args, observation_wanted: bool) -> int:
+    """Report mode over a directory / embedded-program corpus.
+
+    Runs the pipeline on every harvested program, printing one report per
+    input.  Each input gets its own metrics scope
+    (:func:`repro.obs.metrics.isolated`) and run-log origin label, so
+    ``--runlog`` produces per-input flight-recorder records that
+    ``repro stats`` can attribute.
+    """
+    from contextlib import ExitStack
+
+    from repro.diagnostics.driver import collect_targets
+    from repro.obs import metrics as metrics_mod, observing
+    from repro.obs import runlog as runlog_mod
+
+    for flag, name in (
+        (args.dump_named_ir, "--dump-named-ir"),
+        (args.dot_cfg, "--dot-cfg"),
+        (args.dot_ssa, "--dot-ssa"),
+        (args.dot_deps, "--dot-deps"),
+        (args.explain, "--explain"),
+    ):
+        if flag:
+            print(
+                f"error: {name} is not supported with a directory input",
+                file=sys.stderr,
+            )
+            return 2
+
+    try:
+        targets = collect_targets([args.file])
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not targets:
+        print("error: no programs found", file=sys.stderr)
+        return 2
+
+    failures = 0
+    with ExitStack() as stack:
+        observation = None
+        if observation_wanted:
+            observation = stack.enter_context(observing())
+        writer = None
+        if args.runlog is not None:
+            from repro.obs.runlog import DEFAULT_STORE
+
+            writer = stack.enter_context(
+                runlog_mod.recording(args.runlog or DEFAULT_STORE)
+            )
+        for index, target in enumerate(targets):
+            with metrics_mod.isolated(), runlog_mod.origin(target.origin):
+                try:
+                    program = analyze(
+                        target.source,
+                        optimize=not args.no_opt,
+                        sanitize=args.sanitize,
+                        strict=args.strict_errors,
+                        ranges=args.ranges,
+                        invariants=args.invariants,
+                    )
+                except Exception as error:
+                    failures += 1
+                    print(f"warning: {target.origin}: {error}", file=sys.stderr)
+                    continue
+            if index:
+                print()
+            print(f"== {target.origin} ==")
+            print(
+                format_report(
+                    program,
+                    show_temporaries=args.temps,
+                    show_dependences=not args.no_deps,
+                    show_ir=args.dump_ir,
+                )
+            )
+        _write_observation_files(args, observation)
+    if writer is not None:
+        print(
+            f"recorded {writer.records_written} record(s) -> {writer.path}",
+            file=sys.stderr,
+        )
+    return 0 if failures == 0 else 1
+
+
+def _write_observation_files(args, observation) -> None:
+    """Export --trace / --metrics / --prom files after a run."""
+    if observation is None:
+        return
+    if args.trace:
+        from repro.obs.export import write_chrome
+
+        write_chrome(observation.tracer, args.trace)
+    if args.metrics:
+        from repro.obs.export import write_metrics
+
+        write_metrics(observation.metrics, args.metrics)
+    if args.prom:
+        from repro.obs.promexport import write_prometheus
+
+        write_prometheus(observation.metrics, args.prom)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -338,9 +572,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         return lint_main(argv[1:])
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "stats":
+        return stats_main(argv[1:])
     if argv and argv[0] == "report":
         argv = argv[1:]
     args = build_argument_parser().parse_args(argv)
+
+    observation_wanted = bool(
+        args.trace or args.metrics or args.prom or args.runlog is not None
+    )
+    import os
+
+    if args.file != "-" and (
+        os.path.isdir(args.file) or args.file.endswith(".py")
+    ):
+        return _corpus_report(args, observation_wanted)
+
     if args.file == "-":
         source = sys.stdin.read()
     else:
@@ -373,39 +620,33 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     observation = None
     try:
-        with inject_ctx:
-            if args.trace or args.metrics:
+        from contextlib import ExitStack
+
+        with inject_ctx, ExitStack() as stack:
+            if observation_wanted:
                 from repro.obs import observing
 
-                with observing() as observation:
-                    program = analyze(
-                        source,
-                        optimize=not args.no_opt,
-                        sanitize=args.sanitize,
-                        strict=args.strict_errors,
-                        ranges=args.ranges,
-                        invariants=args.invariants,
-                    )
-            else:
-                program = analyze(
-                    source,
-                    optimize=not args.no_opt,
-                    sanitize=args.sanitize,
-                    strict=args.strict_errors,
-                    ranges=args.ranges,
-                    invariants=args.invariants,
+                observation = stack.enter_context(observing())
+            if args.runlog is not None:
+                from repro.obs import runlog as runlog_mod
+
+                stack.enter_context(
+                    runlog_mod.recording(args.runlog or runlog_mod.DEFAULT_STORE)
                 )
+                stack.enter_context(runlog_mod.origin(args.file))
+            program = analyze(
+                source,
+                optimize=not args.no_opt,
+                sanitize=args.sanitize,
+                strict=args.strict_errors,
+                ranges=args.ranges,
+                invariants=args.invariants,
+            )
     except Exception as error:  # frontend/IR errors carry positions
         print(f"error: {error}", file=sys.stderr)
         return 1
 
-    if observation is not None:
-        from repro.obs.export import write_chrome, write_metrics
-
-        if args.trace:
-            write_chrome(observation.tracer, args.trace)
-        if args.metrics:
-            write_metrics(observation.metrics, args.metrics)
+    _write_observation_files(args, observation)
 
     if args.dump_named_ir:
         from repro.ir.printer import print_function

@@ -36,11 +36,15 @@ def test_wraparound(analysis, d_source, d_sink, common, source, sink, source_fir
     stripped_sink, k2 = _strip_wraparound(analysis, d_sink)
     holds_after = max(k1, k2)
     if stripped_source is None or stripped_sink is None:
-        return DependenceResult.conservative(common, "wrap-around with unknown inner class")
+        return DependenceResult.conservative(
+            common, "wrap-around with unknown inner class", cause="wraparound"
+        )
     result = _dispatch(
         analysis, stripped_source, stripped_sink, common, source, sink, source_first
     )
     result.holds_after = max(result.holds_after, holds_after)
+    if result.dependent and result.cause is None:
+        result.cause = "wraparound"
     if holds_after:
         result.notes.append(
             f"valid after the first {holds_after} iteration(s); peel to be exact"
@@ -113,9 +117,13 @@ def test_periodic(d_source, d_sink, common) -> DependenceResult:
     sink_cls = d_sink.cls
     assert isinstance(source_cls, Periodic) and isinstance(sink_cls, Periodic)
     if source_cls.loop != sink_cls.loop or source_cls.loop not in common:
-        return DependenceResult.conservative(common, "periodic in different loops")
+        return DependenceResult.conservative(
+            common, "periodic in different loops", cause="periodic"
+        )
     if source_cls.period != sink_cls.period:
-        return DependenceResult.conservative(common, "different periods")
+        return DependenceResult.conservative(
+            common, "different periods", cause="periodic"
+        )
     period = source_cls.period
     level = common.index(source_cls.loop)
 
@@ -137,7 +145,8 @@ def test_periodic(d_source, d_sink, common) -> DependenceResult:
     else:
         exact = False
     return DependenceResult(
-        True, common, [DirectionVector(elements)], exact=exact, notes=notes
+        True, common, [DirectionVector(elements)], exact=exact, notes=notes,
+        cause="periodic",
     )
 
 
@@ -186,14 +195,20 @@ def test_monotonic(
     sink_cls = d_sink.cls
     assert isinstance(source_cls, Monotonic) and isinstance(sink_cls, Monotonic)
     if source_cls.loop != sink_cls.loop or source_cls.loop not in common:
-        return DependenceResult.conservative(common, "monotonic in different loops")
+        return DependenceResult.conservative(
+            common, "monotonic in different loops", cause="monotonic"
+        )
     if source_cls.direction != sink_cls.direction:
-        return DependenceResult.conservative(common, "opposite monotonic directions")
+        return DependenceResult.conservative(
+            common, "opposite monotonic directions", cause="monotonic"
+        )
     same_family = (
         source_cls.family is not None and source_cls.family == sink_cls.family
     )
     if not same_family:
-        return DependenceResult.conservative(common, "unrelated monotonic variables")
+        return DependenceResult.conservative(
+            common, "unrelated monotonic variables", cause="monotonic"
+        )
 
     level = common.index(source_cls.loop)
     elements = [ANY] * len(common)
@@ -227,5 +242,6 @@ def test_monotonic(
         notes.append("monotonic decreasing: dependence direction (>=)")
         exact = False
     return DependenceResult(
-        True, common, [DirectionVector(elements)], exact=exact, notes=notes
+        True, common, [DirectionVector(elements)], exact=exact, notes=notes,
+        cause="monotonic",
     )

@@ -32,6 +32,10 @@ class LoopParallelism:
     header: str
     parallelizable: bool
     carried: List[DependenceEdge] = field(default_factory=list)
+    #: structured why-not-DOALL chain, one
+    #: :class:`~repro.obs.attribution.BlockReason` per carried edge
+    #: (always non-empty for a serial verdict)
+    blockers: List = field(default_factory=list)
 
     def __repr__(self) -> str:
         verdict = "DOALL" if self.parallelizable else "serial"
@@ -67,6 +71,8 @@ def analyze_parallelism(
     """DOALL verdict for every loop of the function."""
     if graph is None:
         graph = build_dependence_graph(analysis)
+    from repro.obs.attribution import why_not_doall
+
     ranges = getattr(analysis, "ranges", None)
     verdicts: Dict[str, LoopParallelism] = {}
     for header in analysis.loops:
@@ -79,7 +85,8 @@ def analyze_parallelism(
             if bound is not None and bound <= 1:
                 parallel = True
                 carried = []
-        verdicts[header] = LoopParallelism(header, parallel, carried)
+        blockers = [] if parallel else why_not_doall(analysis, header, carried)
+        verdicts[header] = LoopParallelism(header, parallel, carried, blockers)
     return verdicts
 
 

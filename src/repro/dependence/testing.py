@@ -74,19 +74,25 @@ class DependenceResult:
     holds_after: int = 0  # wrap-around: valid only after this many iterations
     exact: bool = False
     notes: List[str] = field(default_factory=list)
+    #: why-not-DOALL attribution slug (see ``repro.obs.attribution``):
+    #: which decision site failed to disprove this dependence
+    cause: Optional[str] = None
 
     @staticmethod
     def independent(common: Tuple[str, ...] = (), note: str = "") -> "DependenceResult":
         return DependenceResult(False, common, [], exact=True, notes=[note] if note else [])
 
     @staticmethod
-    def conservative(common: Tuple[str, ...], note: str) -> "DependenceResult":
+    def conservative(
+        common: Tuple[str, ...], note: str, cause: str = "no-direction-info"
+    ) -> "DependenceResult":
         return DependenceResult(
             True,
             common,
             [DirectionVector.star(len(common))],
             exact=False,
             notes=[note],
+            cause=cause,
         )
 
     def __repr__(self) -> str:
@@ -129,10 +135,14 @@ def test_dependence(
         return DependenceResult.independent(note="different arrays")
     common = common_loop_prefix(analysis, source.block, sink.block)
     if source.indices is None or sink.indices is None:
-        result = DependenceResult.conservative(common, "unsubscripted reference")
+        result = DependenceResult.conservative(
+            common, "unsubscripted reference", cause="unsubscripted"
+        )
         return _filter_plausible(result, source_first)
     if len(source.indices) != len(sink.indices):
-        result = DependenceResult.conservative(common, "rank mismatch")
+        result = DependenceResult.conservative(
+            common, "rank mismatch", cause="rank-mismatch"
+        )
         return _filter_plausible(result, source_first)
 
     # subscript-by-subscript: each dimension constrains the same iteration
@@ -185,7 +195,8 @@ def _dispatch(
     ]
     if reasons:
         note += " (" + "; ".join(dict.fromkeys(reasons)) + ")"
-    return DependenceResult.conservative(common, note)
+    cause = "non-affine" if SubscriptKind.UNKNOWN in kinds else "mixed-kinds"
+    return DependenceResult.conservative(common, note, cause=cause)
 
 
 # ----------------------------------------------------------------------
@@ -235,7 +246,9 @@ def solve_linear(
         if delta_expr.is_zero:
             delta = Fraction(0)
         else:
-            result = DependenceResult.conservative(common, "symbolic constant difference")
+            result = DependenceResult.conservative(
+                common, "symbolic constant difference", cause="symbolic-delta"
+            )
             result.holds_after = holds_after
             return result
     else:
@@ -254,6 +267,7 @@ def solve_linear(
                 exact=True,
                 holds_after=holds_after,
                 notes=["ZIV: always the same element"],
+                cause="ziv",
             )
         return DependenceResult.independent(common, "ZIV: constant difference nonzero")
 
@@ -284,6 +298,7 @@ def solve_linear(
                     exact=True,
                     holds_after=holds_after,
                     notes=[siv.note],
+                    cause="siv",
                 )
             )
 
@@ -327,10 +342,13 @@ def _refine_directions(
         return DependenceResult(
             True, common, [DirectionVector([])], exact=False,
             holds_after=holds_after, notes=["loop-independent overlap possible"],
+            cause="miv",
         )
 
     if levels > MAX_ENUMERATED_LEVELS:
-        result = DependenceResult.conservative(common, "too many levels to enumerate")
+        result = DependenceResult.conservative(
+            common, "too many levels to enumerate", cause="too-many-levels"
+        )
         result.holds_after = holds_after
         return result
 
@@ -355,6 +373,7 @@ def _refine_directions(
         exact=False,
         holds_after=holds_after,
         notes=["direction hierarchy (GCD + Banerjee)"],
+        cause="miv",
     )
 
 
@@ -389,6 +408,7 @@ def _intersect(a: DependenceResult, b: DependenceResult) -> DependenceResult:
         holds_after=max(a.holds_after, b.holds_after),
         exact=a.exact and b.exact,
         notes=a.notes + b.notes,
+        cause=a.cause or b.cause,
     )
 
 

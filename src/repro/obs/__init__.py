@@ -13,6 +13,23 @@ Three always-available, zero-cost-when-disabled layers over the pipeline:
   -- every classification records the algebra rule and operand classes
   that produced it, rendered by :func:`explain` as a derivation chain.
 
+Built on top of those three, the second generation:
+
+* **why-not-DOALL attribution** (:mod:`repro.obs.attribution`) -- every
+  serial parallelism verdict carries structured :class:`BlockReason`
+  chains (blocking dependence pair, subscript kinds, direction vector,
+  whether a ⊤ trip range or an Unknown classification blocked
+  refinement), surfaced in reports, ``explain("L1")``, and the
+  ``dep.blocked.<reason>`` metric family;
+* **the flight recorder** (:mod:`repro.obs.runlog`) -- :func:`recording`
+  appends one structured JSON record per analyzed function to a
+  ``.repro/runs`` store;
+* **corpus statistics** (:mod:`repro.obs.aggregate`, ``repro stats``) --
+  folds a store into class-distribution histograms, attribution tables,
+  degradation rollups, and p50/p99 phase latencies;
+* **Prometheus export** (:mod:`repro.obs.promexport`) --
+  :func:`prometheus_text` renders a registry in text exposition format.
+
 Quick start::
 
     from repro import analyze
@@ -38,6 +55,8 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import NamedTuple, Optional
 
+from repro.obs import aggregate as _aggregate_module  # noqa: F401 - submodule
+from repro.obs.attribution import REASON_SLUGS, BlockReason, why_not_doall
 from repro.obs.explain import explain, explain_lines
 from repro.obs.export import (
     chrome_trace,
@@ -48,8 +67,10 @@ from repro.obs.export import (
     write_jsonl,
     write_metrics,
 )
-from repro.obs.metrics import MetricsRegistry, collecting
+from repro.obs.metrics import MetricsRegistry, collecting, isolated
+from repro.obs.promexport import prometheus_text, write_prometheus
 from repro.obs.provenance import Provenance, provenance_of, remember
+from repro.obs.runlog import RUNLOG_SCHEMA, RunLogWriter, capture, origin, recording
 from repro.obs.trace import Tracer, event, span, traced, tracing
 
 #: every span name the built-in instrumentation can open
@@ -168,6 +189,8 @@ METRIC_NAMES = frozenset(
         "interval.cache.point.hits",
         "interval.cache.point.misses",
         "interval.cache.size",
+        "dep.blocked.",  # family: one counter per why-not-DOALL reason slug
+        "obs.overhead.",  # family: the observability layer's own cost
         "time.",  # family: one histogram per span name
     }
 )
@@ -198,30 +221,41 @@ def known_metric(name: str) -> bool:
 
 
 __all__ = [
+    "BlockReason",
     "EVENT_NAMES",
     "METRIC_NAMES",
-    "RULE_NAMES",
     "MetricsRegistry",
     "Observation",
     "Provenance",
+    "REASON_SLUGS",
+    "RULE_NAMES",
+    "RUNLOG_SCHEMA",
+    "RunLogWriter",
     "SPAN_NAMES",
     "Tracer",
+    "capture",
     "chrome_trace",
     "collecting",
     "event",
     "explain",
     "explain_lines",
+    "isolated",
     "jsonl_lines",
     "known_metric",
     "metrics_json",
     "observing",
+    "origin",
+    "prometheus_text",
     "provenance_of",
+    "recording",
     "remember",
     "span",
     "traced",
     "tracing",
     "validate_chrome_trace",
+    "why_not_doall",
     "write_chrome",
     "write_jsonl",
     "write_metrics",
+    "write_prometheus",
 ]

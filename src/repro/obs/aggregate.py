@@ -1,0 +1,359 @@
+"""Corpus-scale aggregation of flight-recorder run logs (``repro stats``).
+
+Folds the JSONL records a :mod:`repro.obs.runlog` store accumulated into
+one statistics document: class-distribution histograms (the paper's
+table-2 view at corpus scale), DOALL/serial fractions with a ranked
+why-not-DOALL attribution table, degradation and fault rollups, p50/p99
+per-phase latencies, and summed counters.  ``diff_stats`` compares two
+stores (or single run files) for regression tracking.
+
+``strict_problems`` is the CI gate: it reports malformed or
+schema-mismatched records, capture-error records, and -- the attribution
+invariant -- any serial loop whose structured reason chain is empty.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.obs.runlog import RUNLOG_SCHEMA
+
+__all__ = [
+    "aggregate",
+    "diff_stats",
+    "load_records",
+    "percentile",
+    "render_diff_text",
+    "render_json",
+    "render_text",
+    "strict_problems",
+    "validate_record",
+]
+
+
+# ----------------------------------------------------------------------
+# loading + validation
+# ----------------------------------------------------------------------
+def record_files(path: str) -> List[str]:
+    """The run files of a store: a directory's sorted ``*.jsonl``, or the
+    file itself."""
+    if os.path.isdir(path):
+        return sorted(
+            os.path.join(path, name)
+            for name in os.listdir(path)
+            if name.endswith(".jsonl")
+        )
+    return [path]
+
+
+def load_records(path: str) -> List[Dict[str, Any]]:
+    """Every record in a store.  Unparseable lines become error records
+    (kept, so ``--strict`` can fail on them) instead of raising."""
+    records: List[Dict[str, Any]] = []
+    for filename in record_files(path):
+        with open(filename) as handle:
+            for lineno, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as error:
+                    record = {"error": f"unparseable record: {error}"}
+                if not isinstance(record, dict):
+                    record = {"error": "record is not an object"}
+                record.setdefault("_file", f"{os.path.basename(filename)}:{lineno}")
+                records.append(record)
+    return records
+
+
+def validate_record(record: Dict[str, Any]) -> Optional[str]:
+    """The first structural problem of one record, or None when clean."""
+    if "error" in record:
+        return f"capture error: {record['error']}"
+    schema = record.get("schema")
+    if schema != RUNLOG_SCHEMA:
+        return f"schema mismatch: {schema!r} (expected {RUNLOG_SCHEMA})"
+    for key in ("fingerprint", "loops", "classes", "parallel", "blocked"):
+        if key not in record:
+            return f"missing field {key!r}"
+    if not isinstance(record["loops"], list):
+        return "loops is not a list"
+    for loop in record["loops"]:
+        if loop.get("parallel") is False and not loop.get("blocked_by"):
+            return (
+                f"serial loop {loop.get('header')!r} has an empty "
+                "why-not-DOALL reason chain"
+            )
+    return None
+
+
+def strict_problems(records: List[Dict[str, Any]]) -> List[str]:
+    """Everything ``repro stats --strict`` fails on."""
+    if not records:
+        return ["empty store: no run-log records found"]
+    problems: List[str] = []
+    for record in records:
+        problem = validate_record(record)
+        if problem is not None:
+            where = record.get("origin") or record.get("_file", "<record>")
+            problems.append(f"{where}: {problem}")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# aggregation
+# ----------------------------------------------------------------------
+def percentile(values: List[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile (q in [0, 100]) of an unsorted list."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def _bump(table: Dict[str, int], key: str, amount: int = 1) -> None:
+    table[key] = table.get(key, 0) + amount
+
+
+def aggregate(records: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold run-log records into one corpus statistics document."""
+    classes: Dict[str, int] = {}
+    blocked: Dict[str, int] = {}
+    blocked_examples: Dict[str, str] = {}
+    degradations: Dict[str, int] = {}
+    counters: Dict[str, float] = {}
+    phase_samples: Dict[str, List[float]] = {}
+    parallel = {"doall": 0, "serial": 0, "undecided": 0}
+    ranges = {"records": 0, "values": 0, "nontrivial": 0, "trips_bounded": 0}
+    invariants = {"records": 0, "loops": 0, "equalities": 0}
+    fingerprints = set()
+    loops = errors = 0
+
+    for record in records:
+        if "error" in record:
+            errors += 1
+            continue
+        fingerprints.add(record.get("fingerprint"))
+        for kind, count in record.get("classes", {}).items():
+            _bump(classes, kind, count)
+        for key in parallel:
+            parallel[key] += record.get("parallel", {}).get(key, 0)
+        origin = record.get("origin") or record.get("_file", "")
+        for loop in record.get("loops", []):
+            loops += 1
+            for reason_record in loop.get("blocked_by", []):
+                reason = reason_record.get("reason", "no-direction-info")
+                _bump(blocked, reason)
+                blocked_examples.setdefault(
+                    reason, f"{origin} {loop.get('header', '?')}".strip()
+                )
+        for degradation in record.get("degradations", []):
+            _bump(degradations, degradation.get("phase", "?"))
+        for name, value in record.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for span, seconds in record.get("phases", {}).items():
+            phase_samples.setdefault(span, []).append(float(seconds))
+        for stats, key in ((ranges, "ranges"), (invariants, "invariants")):
+            section = record.get(key)
+            if section:
+                stats["records"] += 1
+                for field in stats:
+                    if field != "records":
+                        stats[field] += section.get(field, 0)
+
+    phases = {
+        span: {
+            "count": len(samples),
+            "total_s": round(sum(samples), 9),
+            "p50_s": round(percentile(samples, 50), 9),
+            "p99_s": round(percentile(samples, 99), 9),
+            "max_s": round(max(samples), 9),
+        }
+        for span, samples in sorted(phase_samples.items())
+    }
+    decided = parallel["doall"] + parallel["serial"]
+    return {
+        "schema": RUNLOG_SCHEMA,
+        "records": len(records),
+        "errors": errors,
+        "functions": len(fingerprints),
+        "loops": loops,
+        "classes": dict(sorted(classes.items())),
+        "parallel": parallel,
+        "doall_fraction": (parallel["doall"] / decided) if decided else None,
+        "blocked": dict(sorted(blocked.items())),
+        "blocked_examples": blocked_examples,
+        "degradations": dict(sorted(degradations.items())),
+        "counters": dict(sorted(counters.items())),
+        "phases": phases,
+    }
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+_BAR_WIDTH = 24
+
+
+def _bar(count: int, total: int) -> str:
+    if total <= 0:
+        return ""
+    filled = int(round(_BAR_WIDTH * count / total))
+    return "#" * max(filled, 1 if count else 0)
+
+
+def render_text(stats: Dict[str, Any]) -> str:
+    """The corpus statistics as a human-readable report."""
+    lines: List[str] = []
+    lines.append("== corpus ==")
+    lines.append(
+        f"  records: {stats['records']} ({stats['errors']} capture error(s)), "
+        f"distinct functions: {stats['functions']}, loops: {stats['loops']}"
+    )
+    lines.append("")
+    lines.append("== class distribution ==")
+    total_names = sum(stats["classes"].values())
+    if not stats["classes"]:
+        lines.append("  no classifications recorded")
+    for kind, count in sorted(
+        stats["classes"].items(), key=lambda item: (-item[1], item[0])
+    ):
+        share = 100.0 * count / total_names if total_names else 0.0
+        lines.append(
+            f"  {kind:<18} {count:>6}  {share:5.1f}%  {_bar(count, total_names)}"
+        )
+    lines.append("")
+    lines.append("== parallelism ==")
+    parallel = stats["parallel"]
+    fraction = stats["doall_fraction"]
+    shown = "n/a" if fraction is None else f"{100.0 * fraction:.1f}%"
+    lines.append(
+        f"  DOALL {parallel['doall']}, serial {parallel['serial']}, "
+        f"undecided {parallel['undecided']}  (DOALL share: {shown})"
+    )
+    lines.append("")
+    lines.append("== why not DOALL ==")
+    if not stats["blocked"]:
+        lines.append("  every decided loop is parallelizable")
+    else:
+        lines.append(f"  {'reason':<18} {'blocks':>6}  example")
+        for reason, count in sorted(
+            stats["blocked"].items(), key=lambda item: (-item[1], item[0])
+        ):
+            example = stats["blocked_examples"].get(reason, "")
+            lines.append(f"  {reason:<18} {count:>6}  {example}")
+    lines.append("")
+    lines.append("== degradations ==")
+    if not stats["degradations"]:
+        lines.append("  none")
+    for phase, count in sorted(stats["degradations"].items()):
+        lines.append(f"  {phase:<28} {count:>6}")
+    if stats["phases"]:
+        lines.append("")
+        lines.append("== phase latencies (s) ==")
+        lines.append(
+            f"  {'span':<24} {'count':>5} {'p50':>12} {'p99':>12} {'total':>12}"
+        )
+        for span, row in stats["phases"].items():
+            lines.append(
+                f"  {span:<24} {row['count']:>5} {row['p50_s']:>12.6f} "
+                f"{row['p99_s']:>12.6f} {row['total_s']:>12.6f}"
+            )
+    return "\n".join(lines)
+
+
+def render_json(stats: Dict[str, Any]) -> str:
+    return json.dumps(stats, indent=2, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# regression diff
+# ----------------------------------------------------------------------
+def _table_diff(old: Dict[str, int], new: Dict[str, int]) -> Dict[str, Dict]:
+    out: Dict[str, Dict] = {}
+    for key in sorted(set(old) | set(new)):
+        before, after = old.get(key, 0), new.get(key, 0)
+        if before != after:
+            out[key] = {"old": before, "new": after, "delta": after - before}
+    return out
+
+
+def diff_stats(old: Dict[str, Any], new: Dict[str, Any]) -> Dict[str, Any]:
+    """Structured comparison of two aggregated statistics documents."""
+    phases: Dict[str, Dict] = {}
+    for span in sorted(set(old.get("phases", {})) | set(new.get("phases", {}))):
+        before = old.get("phases", {}).get(span)
+        after = new.get("phases", {}).get(span)
+        if before is None or after is None:
+            phases[span] = {"old_p50_s": before and before["p50_s"],
+                            "new_p50_s": after and after["p50_s"], "delta_pct": None}
+            continue
+        if before["p50_s"]:
+            delta = (after["p50_s"] / before["p50_s"] - 1.0) * 100.0
+        else:
+            delta = None
+        phases[span] = {
+            "old_p50_s": before["p50_s"],
+            "new_p50_s": after["p50_s"],
+            "delta_pct": None if delta is None else round(delta, 1),
+        }
+    return {
+        "records": {"old": old["records"], "new": new["records"]},
+        "loops": {"old": old["loops"], "new": new["loops"]},
+        "doall_fraction": {
+            "old": old["doall_fraction"],
+            "new": new["doall_fraction"],
+        },
+        "classes": _table_diff(old["classes"], new["classes"]),
+        "blocked": _table_diff(old["blocked"], new["blocked"]),
+        "degradations": _table_diff(old["degradations"], new["degradations"]),
+        "phases": phases,
+    }
+
+
+def render_diff_text(diff: Dict[str, Any]) -> str:
+    lines: List[str] = []
+    lines.append("== run diff ==")
+    lines.append(
+        f"  records {diff['records']['old']} -> {diff['records']['new']}, "
+        f"loops {diff['loops']['old']} -> {diff['loops']['new']}"
+    )
+    old_frac, new_frac = (
+        diff["doall_fraction"]["old"], diff["doall_fraction"]["new"]
+    )
+    fmt = lambda f: "n/a" if f is None else f"{100.0 * f:.1f}%"  # noqa: E731
+    lines.append(f"  DOALL share {fmt(old_frac)} -> {fmt(new_frac)}")
+    for title, key in (
+        ("class distribution", "classes"),
+        ("why-not-DOALL reasons", "blocked"),
+        ("degradations", "degradations"),
+    ):
+        lines.append("")
+        lines.append(f"== {title} ==")
+        table = diff[key]
+        if not table:
+            lines.append("  unchanged")
+        for name, row in table.items():
+            lines.append(
+                f"  {name:<24} {row['old']:>6} -> {row['new']:<6} "
+                f"({row['delta']:+d})"
+            )
+    changed = {
+        span: row
+        for span, row in diff["phases"].items()
+        if row["delta_pct"] is not None and abs(row["delta_pct"]) >= 0.1
+    }
+    if changed:
+        lines.append("")
+        lines.append("== phase p50 latencies ==")
+        for span, row in changed.items():
+            lines.append(
+                f"  {span:<24} {row['old_p50_s']:.6f}s -> "
+                f"{row['new_p50_s']:.6f}s ({row['delta_pct']:+.1f}%)"
+            )
+    return "\n".join(lines)

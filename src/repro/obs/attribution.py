@@ -1,0 +1,186 @@
+"""Structured why-not-DOALL attribution.
+
+Every serial parallelism verdict carries a chain of :class:`BlockReason`
+records -- one per carried dependence edge -- naming the blocking
+reference pair, the subscript kinds on both sides (the SIV/MIV/non-affine
+distinction), the surviving direction vectors, and whether a top trip
+range or an ``Unknown`` classification blocked refinement.  The chains
+are surfaced three ways:
+
+* ``format_report`` prints a ``blocked by:`` line per reason under the
+  ``parallelizable: no`` verdict;
+* ``explain(program, "L1")`` (a loop header instead of a variable)
+  renders the full chain;
+* each reason bumps a ``dep.blocked.<reason>`` counter, so corpus-scale
+  aggregation (``repro stats``) can rank what keeps loops serial.
+
+The *reason slugs* are a closed catalogue (:data:`REASON_SLUGS`): they
+come from the ``cause`` field every dependent
+:class:`~repro.dependence.testing.DependenceResult` now records at the
+decision site that failed to disprove the dependence.
+
+Everything below the dataclass is a pure consumer of the dependence
+layer; imports of it stay inside functions so this module can be loaded
+from ``repro.obs.__init__`` without an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs import metrics as _metrics
+
+__all__ = ["REASON_SLUGS", "BlockReason", "attribute_edge", "why_not_doall"]
+
+#: every ``cause`` slug a dependent DependenceResult may record -- the
+#: dynamic suffixes of the ``dep.blocked.<reason>`` counter family
+REASON_SLUGS = frozenset(
+    {
+        "unsubscripted",  # scalar memory / unsubscripted reference
+        "rank-mismatch",  # different subscript counts
+        "non-affine",  # an unclassifiable (Unknown) subscript
+        "mixed-kinds",  # no test for this kind combination
+        "ziv",  # loop-invariant subscripts address one element
+        "siv",  # an exact single-index test proved the dependence
+        "miv",  # the GCD/Banerjee hierarchy could not disprove
+        "symbolic-delta",  # symbolic constant difference
+        "too-many-levels",  # direction enumeration capped
+        "wraparound",  # wrap-around translation stayed dependent
+        "periodic",  # periodic-collision test stayed dependent
+        "monotonic",  # monotonic translation stayed dependent
+        "no-direction-info",  # conservative fallback without a cause
+    }
+)
+
+
+@dataclass(frozen=True)
+class BlockReason:
+    """One structured reason a loop is not DOALL."""
+
+    reason: str  # slug from REASON_SLUGS
+    kind: str  # dependence kind: flow / anti / output
+    array: str
+    source: str  # repr of the source RefSite
+    sink: str  # repr of the sink RefSite
+    subscripts: Tuple[str, str]  # subscript kinds, source side / sink side
+    direction: str  # surviving direction vectors
+    carrier: str  # the loop header carrying the dependence
+    range_blocked: bool  # a top trip range blocked refinement
+    unknown_blocked: bool  # an Unknown classification blocked the subscript
+    detail: str = ""  # the decisive human-readable note
+
+    def describe(self) -> str:
+        """One-line rendering for reports and ``explain``."""
+        qualifiers = [self.reason]
+        if self.range_blocked:
+            qualifiers.append("trip range ⊤")
+        if self.unknown_blocked:
+            qualifiers.append("Unknown subscript")
+        return (
+            f"{self.kind} {self.source} -> {self.sink} "
+            f"dir {self.direction} [{'; '.join(qualifiers)}]"
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-ready form (the shape run-log records store)."""
+        return {
+            "reason": self.reason,
+            "kind": self.kind,
+            "array": self.array,
+            "source": self.source,
+            "sink": self.sink,
+            "subscripts": list(self.subscripts),
+            "direction": self.direction,
+            "carrier": self.carrier,
+            "range_blocked": self.range_blocked,
+            "unknown_blocked": self.unknown_blocked,
+            "detail": self.detail,
+        }
+
+
+def _subscript_kinds(analysis, site) -> Tuple[str, bool]:
+    """(comma-joined per-dimension kinds, saw-Unknown) for one reference."""
+    from repro.dependence.subscript import SubscriptKind, describe_subscript
+
+    if site.indices is None:
+        return "scalar", False
+    kinds: List[str] = []
+    saw_unknown = False
+    for index in site.indices:
+        try:
+            descriptor = describe_subscript(analysis, index, site.block)
+        except Exception:
+            kinds.append("unknown")
+            saw_unknown = True
+            continue
+        kinds.append(descriptor.kind.value)
+        if descriptor.kind is SubscriptKind.UNKNOWN:
+            saw_unknown = True
+    return ",".join(kinds) or "scalar", saw_unknown
+
+
+def _range_blocked(analysis, carrier: str) -> bool:
+    """True when refinement wanted a trip bound the ranges could not give.
+
+    A constant trip count needs no range; otherwise the value-range phase
+    either did not run, degraded, or derived only the top interval.
+    """
+    summary = analysis.loops.get(carrier)
+    if summary is not None and summary.trip.constant() is not None:
+        return False
+    ranges = getattr(analysis, "ranges", None)
+    if ranges is None:
+        return True
+    return ranges.trip_upper_bound(carrier) is None
+
+
+def attribute_edge(analysis, edge, carrier: str) -> BlockReason:
+    """The structured reason one carried dependence edge blocks ``carrier``."""
+    result = edge.result
+    cause = getattr(result, "cause", None) or "no-direction-info"
+    src_kinds, src_unknown = _subscript_kinds(analysis, edge.source)
+    sink_kinds, sink_unknown = _subscript_kinds(analysis, edge.sink)
+    directions = " | ".join(repr(v) for v in result.directions) or "(*)"
+    return BlockReason(
+        reason=cause,
+        kind=str(edge.kind),
+        array=edge.source.array,
+        source=repr(edge.source),
+        sink=repr(edge.sink),
+        subscripts=(src_kinds, sink_kinds),
+        direction=directions,
+        carrier=carrier,
+        range_blocked=_range_blocked(analysis, carrier),
+        unknown_blocked=src_unknown or sink_unknown,
+        detail=result.notes[-1] if result.notes else "",
+    )
+
+
+def why_not_doall(analysis, header: str, carried) -> List[BlockReason]:
+    """Attribution chain for a serial loop: one reason per carried edge.
+
+    Also bumps the ``dep.blocked.<reason>`` counter family (a no-op when
+    metrics collection is off).
+    """
+    reasons: List[BlockReason] = []
+    for edge in carried:
+        try:
+            reason = attribute_edge(analysis, edge, header)
+        except Exception:
+            # attribution must never break the verdict it annotates
+            reason = BlockReason(
+                reason="no-direction-info",
+                kind=str(edge.kind),
+                array=edge.source.array,
+                source=repr(edge.source),
+                sink=repr(edge.sink),
+                subscripts=("?", "?"),
+                direction="(*)",
+                carrier=header,
+                range_blocked=False,
+                unknown_blocked=False,
+            )
+        reasons.append(reason)
+        _metrics.inc(f"dep.blocked.{reason.reason}")
+    return reasons

@@ -86,8 +86,62 @@ def _resolve_names(program, var: str) -> List[str]:
     return []
 
 
+def _explain_loop(program, header: str) -> List[str]:
+    """The parallelism verdict of loop ``header`` with its why-not chain.
+
+    ``explain(program, "L1")`` with a loop header instead of a variable
+    renders the DOALL verdict and, when serial, the structured
+    why-not-DOALL attribution (one reason per carried dependence).
+    """
+    from repro.dependence.graph import build_dependence_graph
+    from repro.dependence.loopinfo import analyze_parallelism
+
+    summary = program.result.loops[header]
+    lines = [f"loop {header} (depth {summary.loop.depth})"]
+    try:
+        verdicts = analyze_parallelism(
+            program.result, build_dependence_graph(program.result)
+        )
+    except Exception as error:  # degraded analyses may lack a graph
+        lines.append(f"  parallelism undecided: dependence analysis failed ({error})")
+        return lines
+    verdict = verdicts.get(header)
+    if verdict is None:
+        lines.append("  parallelism undecided: no verdict for this loop")
+        return lines
+    if verdict.parallelizable:
+        lines.append("  parallelizable: yes (DOALL) -- no carried dependence")
+        return lines
+    lines.append(
+        f"  parallelizable: no ({len(verdict.carried)} carried dependence(s))"
+    )
+    for blocker in verdict.blockers:
+        lines.append(f"  blocked by {blocker.kind} {blocker.source} -> {blocker.sink}")
+        lines.append(f"    reason: {blocker.reason} -- {blocker.detail}")
+        lines.append(
+            f"    subscripts: {blocker.subscripts[0]} vs {blocker.subscripts[1]}"
+        )
+        lines.append(f"    direction: {blocker.direction}")
+        if blocker.range_blocked:
+            lines.append(
+                "    range refinement: blocked (trip range is ⊤; "
+                "re-run with --ranges or add assume bounds)"
+            )
+        if blocker.unknown_blocked:
+            lines.append(
+                "    classification: an Unknown subscript blocked the exact tests"
+            )
+    return lines
+
+
 def explain_lines(program, var: str, max_depth: int = _MAX_DEPTH) -> List[str]:
-    """The derivation chain of ``var`` as a list of text lines."""
+    """The derivation chain of ``var`` as a list of text lines.
+
+    When ``var`` names a loop header the lines are the loop's parallelism
+    verdict and why-not-DOALL attribution instead.
+    """
+    if var in getattr(program.result, "loops", {}):
+        return _explain_loop(program, var)
     names = _resolve_names(program, var)
     if not names:
         return [f"no classification recorded for {var!r}"]

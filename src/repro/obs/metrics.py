@@ -41,6 +41,7 @@ __all__ = [
     "collecting",
     "gauge",
     "inc",
+    "isolated",
     "observe",
 ]
 
@@ -154,6 +155,31 @@ class MetricsRegistry:
         self.gauges.clear()
         self.histograms.clear()
 
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one.
+
+        Counters add, gauges take the other side's last write, histograms
+        combine their streaming summaries.  This is how per-input scoped
+        registries (:func:`isolated`) roll up into the invocation-wide
+        aggregate.
+        """
+        for name, counter in other.counters.items():
+            self.counter(name).inc(counter.value)
+        for name, gauge_metric in other.gauges.items():
+            if gauge_metric.value is not None:
+                self.gauge(name).set(gauge_metric.value)
+        for name, histogram in other.histograms.items():
+            mine = self.histogram(name)
+            mine.count += histogram.count
+            mine.total += histogram.total
+            for bound in (histogram.min, histogram.max):
+                if bound is None:
+                    continue
+                if mine.min is None or bound < mine.min:
+                    mine.min = bound
+                if mine.max is None or bound > mine.max:
+                    mine.max = bound
+
 
 # ----------------------------------------------------------------------
 # the context-var registry
@@ -185,6 +211,28 @@ def collecting(registry: Optional[MetricsRegistry] = None):
     finally:
         _COLLECTING = previous
         _REGISTRY.reset(token)
+
+
+@contextmanager
+def isolated():
+    """A fresh registry for one input, merged into the parent on exit.
+
+    Multi-input CLI invocations (``repro lint``/``report``/``trace`` over
+    a directory) wrap each input in this context so per-input snapshots
+    -- run-log records, per-target counters -- do not accumulate state
+    from earlier inputs, while the enclosing registry still sees the
+    invocation-wide totals.  A no-op yielding ``None`` when collection is
+    off.
+    """
+    parent = _REGISTRY.get()
+    if parent is None:
+        yield None
+        return
+    with collecting(MetricsRegistry()) as inner:
+        try:
+            yield inner
+        finally:
+            parent.merge(inner)
 
 
 def inc(name: str, amount: Number = 1) -> None:

@@ -1,0 +1,175 @@
+"""Prometheus text-exposition export of a metrics registry.
+
+Renders a :class:`~repro.obs.metrics.MetricsRegistry` snapshot in the
+Prometheus text format (version 0.0.4) so a scrape endpoint, pushgateway
+job, or node-exporter textfile collector can ingest the analysis
+telemetry unchanged.
+
+Mapping rules:
+
+* every name is prefixed ``repro_`` and dots become underscores;
+* dynamic-suffix families become labels -- ``classify.class.<Name>`` is
+  ``repro_classify_class_total{class="Name"}``, ``dep.blocked.<reason>``
+  is ``repro_dep_blocked_total{reason="..."}``, and
+  ``resilience.degraded.<phase>`` is
+  ``repro_resilience_degraded_total{phase="..."}``;
+* counters get the conventional ``_total`` suffix;
+* histograms export ``_count`` and ``_sum`` series (the streaming summary
+  keeps no buckets) plus ``_min`` / ``_max`` gauges; the ``time.<span>_s``
+  family becomes ``repro_time_seconds_*{span="..."}``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["prometheus_text", "write_prometheus"]
+
+_PREFIX = "repro_"
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: dynamic-suffix counter families -> (prometheus family, label key)
+_LABELLED_FAMILIES: Tuple[Tuple[str, str, str], ...] = (
+    ("classify.class.", "classify_class", "class"),
+    ("dep.blocked.", "dep_blocked", "reason"),
+    ("resilience.degraded.", "resilience_degraded", "phase"),
+)
+
+
+def _sanitize(name: str) -> str:
+    return _INVALID.sub("_", name)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _format_value(value) -> str:
+    number = float(value)
+    if number.is_integer():
+        return str(int(number))
+    return repr(number)
+
+
+def _split_family(name: str) -> Optional[Tuple[str, str, str]]:
+    """(family, label key, label value) when ``name`` is a labelled family
+    member, else None."""
+    for prefix, family, label in _LABELLED_FAMILIES:
+        if name.startswith(prefix) and len(name) > len(prefix):
+            return family, label, name[len(prefix):]
+    return None
+
+
+def _emit(
+    lines: List[str],
+    family: str,
+    kind: str,
+    help_text: str,
+    samples: List[Tuple[Optional[Tuple[str, str]], object]],
+    emitted: Dict[str, None],
+) -> None:
+    """Append one family's HELP/TYPE header and its samples."""
+    if family not in emitted:
+        emitted[family] = None
+        lines.append(f"# HELP {family} {help_text}")
+        lines.append(f"# TYPE {family} {kind}")
+    for label_pair, value in samples:
+        if label_pair is None:
+            lines.append(f"{family} {_format_value(value)}")
+        else:
+            key, label_value = label_pair
+            lines.append(
+                f'{family}{{{key}="{_escape_label(label_value)}"}} '
+                f"{_format_value(value)}"
+            )
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry snapshot in Prometheus text exposition format."""
+    lines: List[str] = []
+    emitted: Dict[str, None] = {}
+
+    # counters -- labelled families grouped, the rest one family each
+    grouped: Dict[str, List[Tuple[Optional[Tuple[str, str]], object]]] = {}
+    plain: List[Tuple[str, object]] = []
+    for name, counter in sorted(registry.counters.items()):
+        split = _split_family(name)
+        if split is None:
+            plain.append((name, counter.value))
+        else:
+            family, label, label_value = split
+            grouped.setdefault(family, []).append(
+                ((label, label_value), counter.value)
+            )
+    for family, samples in sorted(grouped.items()):
+        _emit(
+            lines,
+            f"{_PREFIX}{family}_total",
+            "counter",
+            f"repro {family.replace('_', '.')} counter family",
+            samples,
+            emitted,
+        )
+    for name, value in plain:
+        _emit(
+            lines,
+            f"{_PREFIX}{_sanitize(name)}_total",
+            "counter",
+            f"repro counter {name}",
+            [(None, value)],
+            emitted,
+        )
+
+    for name, gauge in sorted(registry.gauges.items()):
+        if gauge.value is None:
+            continue
+        _emit(
+            lines,
+            f"{_PREFIX}{_sanitize(name)}",
+            "gauge",
+            f"repro gauge {name}",
+            [(None, gauge.value)],
+            emitted,
+        )
+
+    # histograms -- collect per-family sample lists first so each family's
+    # samples stay contiguous under one HELP/TYPE header (the text format
+    # forbids interleaving)
+    histogram_families: Dict[
+        Tuple[str, str, str],
+        List[Tuple[Optional[Tuple[str, str]], object]],
+    ] = {}
+    for name, histogram in sorted(registry.histograms.items()):
+        label_pair: Optional[Tuple[str, str]] = None
+        if name.startswith("time.") and name.endswith("_s"):
+            family = f"{_PREFIX}time_seconds"
+            label_pair = ("span", name[len("time."):-len("_s")])
+            help_text = "repro per-span wall time histogram"
+        else:
+            family = f"{_PREFIX}{_sanitize(name)}"
+            help_text = f"repro histogram {name}"
+        samples: List[Tuple[str, str, str, object]] = [
+            ("count", "counter", "observation count", histogram.count),
+            ("sum", "counter", "observation sum", histogram.total),
+        ]
+        for stat, value in (("min", histogram.min), ("max", histogram.max)):
+            if value is not None:
+                samples.append((stat, "gauge", stat, value))
+        for suffix, kind, what, value in samples:
+            key = (f"{family}_{suffix}", kind, f"{help_text} ({what})")
+            histogram_families.setdefault(key, []).append((label_pair, value))
+    for (family, kind, help_text), family_samples in sorted(
+        histogram_families.items()
+    ):
+        _emit(lines, family, kind, help_text, family_samples, emitted)
+
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(registry: MetricsRegistry, path: str) -> None:
+    """Write the registry to ``path`` in Prometheus text format."""
+    with open(path, "w") as handle:
+        handle.write(prometheus_text(registry))

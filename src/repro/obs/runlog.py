@@ -1,0 +1,328 @@
+"""The analysis flight recorder: persistent, append-only run logs.
+
+Every analyzed function produces one structured JSON record -- class
+distribution, per-loop verdicts with why-not-DOALL attribution chains,
+degradations, range/invariant statistics, per-phase timings, a source
+fingerprint -- appended as one line to a ``.repro/runs/<run-id>.jsonl``
+store.  ``repro stats`` (:mod:`repro.obs.aggregate`) folds a store into
+corpus-scale distributions.
+
+Recording follows the same single-gate pay-for-use contract as tracing
+and metrics: a module-level ``_RECORDING`` bool mirrors whether any
+:func:`recording` context is live, so the :func:`capture` hook the
+pipeline calls on every ``analyze()`` costs one module attribute read
+when recording is off.  The context variable holding the active writer
+remains the source of truth when the flag is set.
+
+Self-profiling: every capture measures its own cost and publishes it as
+the ``obs.overhead.runlog_s`` gauge plus an ``obs.overhead.runlog.records``
+counter (when metrics collection is live), so the telemetry's own price
+is visible in the same registry it serves.
+
+Usage::
+
+    from repro.obs import runlog
+
+    with runlog.recording(".repro/runs") as writer:
+        with runlog.origin("examples/foo.loop"):
+            analyze(source)          # capture happens inside the pipeline
+    print(writer.path, writer.records_written)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Dict, List, Optional
+
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
+__all__ = [
+    "DEFAULT_STORE",
+    "RUNLOG_SCHEMA",
+    "RunLogWriter",
+    "build_record",
+    "capture",
+    "origin",
+    "recording",
+    "source_fingerprint",
+]
+
+#: bump when the record shape changes; ``repro stats`` validates it
+RUNLOG_SCHEMA = 1
+
+#: where run logs land unless the caller picks a directory
+DEFAULT_STORE = os.path.join(".repro", "runs")
+
+
+def source_fingerprint(source: Optional[str], function=None) -> str:
+    """A short stable fingerprint of the analyzed input.
+
+    The sha256 of the source text when available; otherwise a structural
+    fingerprint of the IR (so re-submitted identical programs can be
+    deduplicated / cache-keyed by later aggregation and serving layers).
+    """
+    if source is not None:
+        return hashlib.sha256(source.encode("utf-8")).hexdigest()[:16]
+    if function is not None:
+        shape = repr(sorted((b.label, len(b.instructions)) for b in function))
+        return "ir-" + hashlib.sha256(shape.encode("utf-8")).hexdigest()[:14]
+    return "unknown"
+
+
+class RunLogWriter:
+    """Appends one JSON record per line to a run file inside a store."""
+
+    def __init__(self, directory: str = DEFAULT_STORE, run_id: Optional[str] = None):
+        os.makedirs(directory, exist_ok=True)
+        if run_id is None:
+            run_id = "run-%s-%d" % (
+                time.strftime("%Y%m%dT%H%M%S", time.gmtime()),
+                os.getpid(),
+            )
+        self.directory = directory
+        self.run_id = run_id
+        self.path = os.path.join(directory, f"{run_id}.jsonl")
+        self.records_written = 0
+        #: phase totals at the previous capture -- records carry per-input
+        #: deltas even though the tracer accumulates across a corpus run
+        self.phase_baseline: Dict[str, float] = {}
+
+    def write(self, record: Dict[str, Any]) -> None:
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(record, sort_keys=True, default=str))
+            handle.write("\n")
+        self.records_written += 1
+
+
+# ----------------------------------------------------------------------
+# the context-var writer + single-gate mirror
+# ----------------------------------------------------------------------
+_WRITER: ContextVar[Optional[RunLogWriter]] = ContextVar(
+    "repro_obs_runlog", default=None
+)
+_ORIGIN: ContextVar[Optional[str]] = ContextVar(
+    "repro_obs_runlog_origin", default=None
+)
+
+#: module-level mirror of "is any recording() context live?" -- the single
+#: gate the pipeline's capture hook reads when recording is off.
+_RECORDING: bool = False
+
+
+def active() -> Optional[RunLogWriter]:
+    """The writer of the innermost :func:`recording` context, or None."""
+    return _WRITER.get()
+
+
+@contextmanager
+def recording(
+    directory: str = DEFAULT_STORE, writer: Optional[RunLogWriter] = None
+):
+    """Activate run-log recording for the dynamic extent of the block."""
+    global _RECORDING
+    current = writer if writer is not None else RunLogWriter(directory)
+    token = _WRITER.set(current)
+    previous = _RECORDING
+    _RECORDING = True
+    try:
+        yield current
+    finally:
+        _RECORDING = previous
+        _WRITER.reset(token)
+
+
+@contextmanager
+def origin(label: Optional[str]):
+    """Label records captured inside the block with their input's origin."""
+    token = _ORIGIN.set(label)
+    try:
+        yield
+    finally:
+        _ORIGIN.reset(token)
+
+
+# ----------------------------------------------------------------------
+# record construction
+# ----------------------------------------------------------------------
+def _loop_record(result, summary, verdict) -> Dict[str, Any]:
+    class_counts: Dict[str, int] = {}
+    classes: Dict[str, str] = {}
+    for name, cls in summary.classifications.items():
+        kind = type(cls).__name__
+        class_counts[kind] = class_counts.get(kind, 0) + 1
+        if not name.startswith("$"):
+            classes[name] = cls.describe()
+    trip = summary.trip
+    record: Dict[str, Any] = {
+        "header": summary.label,
+        "depth": summary.loop.depth,
+        "degraded": bool(summary.degraded),
+        "trip": {
+            "kind": trip.kind.value,
+            "count": str(trip.count) if trip.count is not None else None,
+            "constant": trip.constant(),
+        },
+        "graph_size": summary.graph_size,
+        "scr_count": summary.scr_count,
+        "class_counts": class_counts,
+        "classes": classes,
+    }
+    if verdict is None:
+        record["parallel"] = None
+        record["blocked_by"] = []
+    else:
+        record["parallel"] = bool(verdict.parallelizable)
+        record["blocked_by"] = [b.to_json() for b in verdict.blockers]
+    return record
+
+
+def _parallelism(program):
+    """Per-loop verdicts for the record, or None when the graph fails."""
+    if not program.result.loops:
+        return {}
+    try:
+        from repro.dependence.graph import build_dependence_graph
+        from repro.dependence.loopinfo import analyze_parallelism
+
+        graph = build_dependence_graph(program.result)
+        return analyze_parallelism(program.result, graph)
+    except Exception:
+        return None
+
+
+def _ranges_stats(result) -> Optional[Dict[str, Any]]:
+    info = getattr(result, "ranges", None)
+    if info is None:
+        return None
+    bounded = sum(
+        1 for header in info.trips if info.trip_upper_bound(header) is not None
+    )
+    return {
+        "degraded": bool(info.degraded),
+        "values": len(info.values),
+        "nontrivial": info.nontrivial(),
+        "trips_bounded": bounded,
+    }
+
+
+def _invariant_stats(result) -> Optional[Dict[str, Any]]:
+    info = getattr(result, "invariants", None)
+    if info is None:
+        return None
+    return {
+        "degraded": bool(info.degraded),
+        "loops": len(info.path_summaries),
+        "equalities": info.total(),
+    }
+
+
+def build_record(
+    program,
+    origin_label: Optional[str] = None,
+    phase_baseline: Optional[Dict[str, float]] = None,
+) -> Dict[str, Any]:
+    """The flight-recorder record of one analyzed program (JSON-ready)."""
+    result = program.result
+    verdicts = _parallelism(program)
+    loops: List[Dict[str, Any]] = []
+    classes_total: Dict[str, int] = {}
+    blocked_total: Dict[str, int] = {}
+    doall = serial = undecided = 0
+    for summary in sorted(
+        result.loops.values(), key=lambda s: (s.loop.depth, s.label)
+    ):
+        verdict = None if verdicts is None else verdicts.get(summary.label)
+        loop_record = _loop_record(result, summary, verdict)
+        loops.append(loop_record)
+        for kind, count in loop_record["class_counts"].items():
+            classes_total[kind] = classes_total.get(kind, 0) + count
+        if loop_record["parallel"] is None:
+            undecided += 1
+        elif loop_record["parallel"]:
+            doall += 1
+        else:
+            serial += 1
+            for blocker in loop_record["blocked_by"]:
+                reason = blocker["reason"]
+                blocked_total[reason] = blocked_total.get(reason, 0) + 1
+
+    record: Dict[str, Any] = {
+        "schema": RUNLOG_SCHEMA,
+        "ts": time.time(),
+        "origin": origin_label,
+        "function": program.ssa.name,
+        "fingerprint": source_fingerprint(program.source, program.ssa),
+        "loops": loops,
+        "classes": classes_total,
+        "parallel": {"doall": doall, "serial": serial, "undecided": undecided},
+        "blocked": blocked_total,
+        "degradations": [
+            {
+                "phase": d.phase,
+                "code": d.code,
+                "action": d.action,
+                "scope": d.scope,
+                "diag_code": d.diag_code,
+                "message": d.message,
+            }
+            for d in program.degradations
+        ],
+        "ranges": _ranges_stats(result),
+        "invariants": _invariant_stats(result),
+    }
+    tracer = _trace.active()
+    if tracer is not None:
+        base = phase_baseline or {}
+        record["phases"] = {
+            name: round(delta, 9)
+            for name, total in tracer.phase_totals().items()
+            if (delta := total - base.get(name, 0.0)) > 0.0
+        }
+    registry = _metrics.active()
+    if registry is not None:
+        record["counters"] = dict(
+            sorted((k, c.value) for k, c in registry.counters.items())
+        )
+    return record
+
+
+def capture(program) -> Optional[Dict[str, Any]]:
+    """Record one analyzed program (the pipeline's per-function hook).
+
+    Costs one module attribute read when no :func:`recording` context is
+    live.  Never raises: a capture failure degrades to an error record so
+    the flight recorder cannot break the analysis it observes.
+    """
+    if not _RECORDING:
+        return None
+    writer = _WRITER.get()
+    if writer is None:
+        return None
+    started = time.perf_counter()
+    origin_label = _ORIGIN.get()
+    try:
+        record = build_record(program, origin_label, writer.phase_baseline)
+    except Exception as error:  # noqa: BLE001 - observability must not raise
+        record = {
+            "schema": RUNLOG_SCHEMA,
+            "ts": time.time(),
+            "origin": origin_label,
+            "error": f"{type(error).__name__}: {error}",
+        }
+    tracer = _trace.active()
+    if tracer is not None:
+        writer.phase_baseline = dict(tracer.phase_totals())
+    try:
+        writer.write(record)
+    except OSError:
+        return None
+    elapsed = time.perf_counter() - started
+    _metrics.gauge("obs.overhead.runlog_s", elapsed)
+    _metrics.inc("obs.overhead.runlog.records")
+    return record

@@ -41,6 +41,7 @@ from repro.ir.clone import clone_function
 from repro.ir.function import Function
 from repro.ir.instructions import Return
 from repro.obs import metrics as _metrics
+from repro.obs import runlog as _runlog
 from repro.obs import trace as _trace
 from repro.resilience import budget as _budget
 from repro.resilience import isolation as _isolation
@@ -280,7 +281,7 @@ def _degraded_from_named(
     nest = find_loops(ssa, domtree)
     ssa_info = SSAInfo(ssa, domtree)
     result = AnalysisResult(ssa, nest, domtree)
-    return AnalyzedProgram(
+    program = AnalyzedProgram(
         source=source,
         named_ir=named,
         ssa=ssa,
@@ -290,6 +291,8 @@ def _degraded_from_named(
         result=result,
         degradations=list(log.records),
     )
+    _runlog.capture(program)  # one bool read when recording is off
+    return program
 
 
 def _run_scalar_passes(ssa: Function) -> None:
@@ -411,7 +414,7 @@ def _analyze_function(
         )
     if cache_before is not None:
         _record_expr_cache_delta(cache_before)
-    return AnalyzedProgram(
+    program = AnalyzedProgram(
         source=source,
         named_ir=named,
         ssa=ssa,
@@ -421,3 +424,5 @@ def _analyze_function(
         result=result,
         degradations=list(log.records),
     )
+    _runlog.capture(program)  # one bool read when recording is off
+    return program

@@ -100,6 +100,8 @@ def format_report(
                     f"{indent}  parallelizable: no "
                     f"({len(verdict.carried)} carried dependence(s))"
                 )
+                for blocker in verdict.blockers:
+                    lines.append(f"{indent}    blocked by: {blocker.describe()}")
         lines.append("")
 
     if show_dependences:

@@ -1,0 +1,60 @@
+"""``benchmarks.regress --compare``: wall-time and work-counter deltas."""
+
+from benchmarks.regress import DIFF_COUNTER_PREFIXES, diff_table
+
+
+def report(pipeline_s, counters):
+    return {
+        "schema": 5,
+        "workloads": {
+            "mixed_class_loop/200": {
+                "pipeline_s": pipeline_s,
+                "classify_s": pipeline_s / 2,
+                "counters": counters,
+            }
+        },
+    }
+
+
+class TestCounterDeltas:
+    def test_changed_tracked_counters_get_rows(self):
+        old = report(1.0, {"ranges.fixpoint.visits": 100, "expr.cache.sym.hits": 50})
+        new = report(0.8, {"ranges.fixpoint.visits": 60, "expr.cache.sym.hits": 50})
+        lines = diff_table(old, new)
+        (counter_line,) = [l for l in lines if "counter " in l]
+        assert "ranges.fixpoint.visits" in counter_line
+        assert "100 -> 60" in counter_line
+        assert "-40.0%" in counter_line
+
+    def test_unchanged_counters_are_silent(self):
+        counters = {"ranges.fixpoint.visits": 100}
+        lines = diff_table(report(1.0, counters), report(1.0, dict(counters)))
+        assert not any("counter " in l for l in lines)
+
+    def test_untracked_counters_are_ignored(self):
+        lines = diff_table(
+            report(1.0, {"classify.names": 10}),
+            report(1.0, {"classify.names": 99}),
+        )
+        assert not any("counter " in l for l in lines)
+
+    def test_counter_present_on_one_side_only(self):
+        lines = diff_table(
+            report(1.0, {}), report(1.0, {"interval.cache.size": 7})
+        )
+        (counter_line,) = [l for l in lines if "counter " in l]
+        assert "None -> 7" in counter_line
+
+    def test_wall_time_row_still_rendered(self):
+        lines = diff_table(report(1.0, {}), report(0.5, {}))
+        assert any("-50.0%" in l for l in lines)
+
+    def test_tracked_prefixes_cover_the_hot_counters(self):
+        for name in (
+            "ranges.fixpoint.visits",
+            "expr.cache.sym.hits",
+            "interval.cache.bound.hits",
+            "dependence.pairs",
+            "tarjan.nodes",
+        ):
+            assert any(name.startswith(p) for p in DIFF_COUNTER_PREFIXES)

@@ -1,0 +1,125 @@
+"""End-to-end ``repro stats``: corpus run over examples/, aggregate, gate.
+
+This is the PR's acceptance test: ``repro stats`` over the examples
+corpus must report the class distribution and the why-not-DOALL table in
+both text and JSON, and **every serial loop must carry a non-empty
+structured reason chain** (the ``--strict`` gate).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.obs.attribution import REASON_SLUGS
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    """One corpus run over examples/ with run-logging on."""
+    directory = str(tmp_path_factory.mktemp("stats") / "runs")
+    exit_code = main([EXAMPLES, "--ranges", "--runlog", directory])
+    assert exit_code == 0
+    return directory
+
+
+def run_stats(capsys, argv):
+    code = main(["stats"] + argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestAcceptance:
+    def test_every_serial_loop_has_reason_chain(self, store):
+        serial_loops = 0
+        for name in os.listdir(store):
+            with open(os.path.join(store, name)) as handle:
+                for line in handle:
+                    record = json.loads(line)
+                    assert "error" not in record, record
+                    for loop in record["loops"]:
+                        if loop["parallel"] is False:
+                            serial_loops += 1
+                            assert loop["blocked_by"], (
+                                record["origin"], loop["header"],
+                            )
+                            for blocker in loop["blocked_by"]:
+                                assert blocker["reason"] in REASON_SLUGS
+        assert serial_loops > 0  # the corpus does contain serial loops
+
+    def test_text_report(self, store, capsys):
+        code, out, _ = run_stats(capsys, [store])
+        assert code == 0
+        assert "== class distribution ==" in out
+        assert "InductionVariable" in out
+        assert "== why not DOALL ==" in out
+        assert "DOALL" in out
+        assert "== phase latencies (s) ==" in out
+
+    def test_json_report(self, store, capsys):
+        code, out, _ = run_stats(capsys, [store, "--format=json"])
+        assert code == 0
+        stats = json.loads(out)
+        assert stats["records"] > 0
+        assert stats["classes"]
+        assert stats["blocked"]
+        assert set(stats["blocked"]) <= REASON_SLUGS
+        assert stats["parallel"]["serial"] > 0
+
+    def test_strict_gate_passes(self, store, capsys):
+        code, _, err = run_stats(capsys, [store, "--strict"])
+        assert code == 0, err
+
+    def test_strict_fails_on_gutted_chains(self, store, tmp_path, capsys):
+        gutted = tmp_path / "gutted.jsonl"
+        with open(os.path.join(store, os.listdir(store)[0])) as handle:
+            records = [json.loads(line) for line in handle]
+        for record in records:
+            for loop in record.get("loops", []):
+                loop["blocked_by"] = []
+        gutted.write_text("".join(json.dumps(r) + "\n" for r in records))
+        code, _, err = run_stats(capsys, [str(gutted), "--strict"])
+        assert code == 1
+        assert "reason chain" in err
+
+    def test_strict_fails_on_empty_store(self, tmp_path, capsys):
+        empty = tmp_path / "empty-store"
+        empty.mkdir()
+        code, _, err = run_stats(capsys, [str(empty), "--strict"])
+        assert code == 1
+        assert "empty store" in err
+
+    def test_diff_of_identical_stores(self, store, capsys):
+        code, out, _ = run_stats(capsys, ["--diff", store, store])
+        assert code == 0
+        assert "== run diff ==" in out
+        assert "unchanged" in out
+
+    def test_diff_json(self, store, capsys):
+        code, out, _ = run_stats(
+            capsys, ["--diff", store, store, "--format=json"]
+        )
+        assert code == 0
+        diff = json.loads(out)
+        assert diff["classes"] == {}
+
+
+class TestCorpusReport:
+    def test_reports_every_example(self, store, capsys):
+        code = main([EXAMPLES])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count(".loop ==") + out.count(".py:") >= 2
+        assert "parallelizable" in out
+
+    def test_prom_export_from_corpus(self, tmp_path, capsys):
+        prom = tmp_path / "metrics.prom"
+        code = main([EXAMPLES, "--prom", str(prom)])
+        capsys.readouterr()
+        assert code == 0
+        text = prom.read_text()
+        assert "repro_classify_class_total{" in text
+        assert "repro_time_seconds_count{" in text

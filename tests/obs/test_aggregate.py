@@ -1,0 +1,141 @@
+"""Corpus aggregation of run-log stores (``repro stats`` internals)."""
+
+import json
+
+import pytest
+
+from tests.conftest import analyze_src
+
+import repro.obs.aggregate as agg
+from repro.obs.runlog import RUNLOG_SCHEMA, recording, origin
+
+SERIAL = """
+L1: for i = 1 to n do
+  A[i] = A[i-1] + 1
+endfor
+"""
+
+DOALL = """
+L1: for i = 1 to n do
+  A[i] = B[i] + 1
+endfor
+"""
+
+
+@pytest.fixture
+def store(tmp_path):
+    directory = str(tmp_path / "runs")
+    with recording(directory):
+        with origin("a.loop"):
+            analyze_src(SERIAL)
+        with origin("b.loop"):
+            analyze_src(DOALL)
+    return directory
+
+
+class TestLoad:
+    def test_loads_directory_and_single_file(self, store):
+        records = agg.load_records(store)
+        assert len(records) == 2
+        (run_file,) = agg.record_files(store)
+        assert agg.load_records(run_file) == records
+
+    def test_unparseable_line_becomes_error_record(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"schema": 1}\nnot json\n')
+        records = agg.load_records(str(path))
+        assert len(records) == 2
+        assert "error" in records[1]
+
+
+class TestAggregate:
+    def test_counts(self, store):
+        stats = agg.aggregate(agg.load_records(store))
+        assert stats["records"] == 2
+        assert stats["errors"] == 0
+        assert stats["functions"] == 2
+        assert stats["loops"] == 2
+        assert stats["parallel"] == {"doall": 1, "serial": 1, "undecided": 0}
+        assert stats["doall_fraction"] == 0.5
+        assert stats["blocked"] == {"siv": 1}
+        assert "a.loop" in stats["blocked_examples"]["siv"]
+        assert stats["classes"]["InductionVariable"] >= 2
+
+    def test_empty(self):
+        stats = agg.aggregate([])
+        assert stats["records"] == 0
+        assert stats["doall_fraction"] is None
+
+    def test_percentile(self):
+        values = [float(v) for v in range(1, 101)]
+        assert agg.percentile(values, 50) == 50.0
+        assert agg.percentile(values, 99) == 99.0
+        assert agg.percentile([], 50) is None
+        assert agg.percentile([3.0], 99) == 3.0
+
+
+class TestRender:
+    def test_text_sections(self, store):
+        text = agg.render_text(agg.aggregate(agg.load_records(store)))
+        assert "== class distribution ==" in text
+        assert "== why not DOALL ==" in text
+        assert "siv" in text
+        assert "InductionVariable" in text
+
+    def test_json_round_trip(self, store):
+        stats = agg.aggregate(agg.load_records(store))
+        assert json.loads(agg.render_json(stats)) == json.loads(
+            json.dumps(stats)
+        )
+
+
+class TestStrict:
+    def test_clean_store_has_no_problems(self, store):
+        assert agg.strict_problems(agg.load_records(store)) == []
+
+    def test_empty_store(self):
+        assert agg.strict_problems([]) == ["empty store: no run-log records found"]
+
+    def test_schema_drift(self, store):
+        records = agg.load_records(store)
+        records[0]["schema"] = RUNLOG_SCHEMA + 1
+        problems = agg.strict_problems(records)
+        assert any("schema mismatch" in p for p in problems)
+
+    def test_capture_error_record(self, store):
+        records = agg.load_records(store) + [{"error": "boom", "origin": "x"}]
+        problems = agg.strict_problems(records)
+        assert any("capture error" in p for p in problems)
+
+    def test_serial_loop_with_empty_chain(self, store):
+        records = agg.load_records(store)
+        for record in records:
+            for loop in record["loops"]:
+                loop["blocked_by"] = []
+        problems = agg.strict_problems(records)
+        assert any("empty" in p and "reason chain" in p for p in problems)
+
+
+class TestDiff:
+    def test_diff_shape_and_rendering(self, store, tmp_path):
+        other = str(tmp_path / "runs-b")
+        with recording(other):
+            with origin("a.loop"):
+                analyze_src(SERIAL)
+            with origin("c.loop"):
+                analyze_src(SERIAL)
+        old = agg.aggregate(agg.load_records(store))
+        new = agg.aggregate(agg.load_records(other))
+        diff = agg.diff_stats(old, new)
+        assert diff["blocked"]["siv"] == {"old": 1, "new": 2, "delta": 1}
+        assert diff["doall_fraction"] == {"old": 0.5, "new": 0.0}
+        text = agg.render_diff_text(diff)
+        assert "siv" in text
+        assert "+1" in text
+
+    def test_identical_stores_diff_clean(self, store):
+        stats = agg.aggregate(agg.load_records(store))
+        diff = agg.diff_stats(stats, stats)
+        assert diff["classes"] == {}
+        assert diff["blocked"] == {}
+        assert "unchanged" in agg.render_diff_text(diff)

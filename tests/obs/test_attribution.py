@@ -1,0 +1,145 @@
+"""Why-not-DOALL attribution: structured reason chains on serial verdicts."""
+
+from tests.conftest import analyze_src
+
+from repro.dependence.graph import build_dependence_graph
+from repro.dependence.loopinfo import analyze_parallelism
+from repro.obs import observing
+from repro.obs.attribution import REASON_SLUGS, BlockReason, why_not_doall
+from repro.obs.explain import explain
+from repro.report import format_report
+
+SERIAL = """
+L1: for i = 1 to n do
+  A[i] = A[i-1] + 1
+endfor
+"""
+
+DOALL = """
+L1: for i = 1 to n do
+  A[i] = B[i] + 1
+endfor
+"""
+
+WRAPAROUND = """
+j = 1
+iml = n
+L14: for i = 1 to n do
+  A[i] = A[iml] + 1
+  j = j + i
+  iml = i
+endfor
+"""
+
+
+def verdicts_of(program):
+    return analyze_parallelism(
+        program.result, build_dependence_graph(program.result)
+    )
+
+
+class TestBlockReason:
+    def test_serial_loop_has_nonempty_chain(self):
+        program = analyze_src(SERIAL)
+        verdict = verdicts_of(program)["L1"]
+        assert not verdict.parallelizable
+        assert verdict.blockers
+        for blocker in verdict.blockers:
+            assert isinstance(blocker, BlockReason)
+            assert blocker.reason in REASON_SLUGS
+            assert blocker.carrier == "L1"
+
+    def test_doall_loop_has_empty_chain(self):
+        program = analyze_src(DOALL)
+        verdict = verdicts_of(program)["L1"]
+        assert verdict.parallelizable
+        assert verdict.blockers == []
+
+    def test_siv_cause_and_subscript_kinds(self):
+        program = analyze_src(SERIAL)
+        blocker = verdicts_of(program)["L1"].blockers[0]
+        assert blocker.reason == "siv"
+        assert blocker.array == "A"
+        assert "linear" in blocker.subscripts[0]
+
+    def test_range_blocked_without_ranges_phase(self):
+        # symbolic trip count, no --ranges: refinement is range-blocked
+        program = analyze_src(SERIAL)
+        blocker = verdicts_of(program)["L1"].blockers[0]
+        assert blocker.range_blocked
+
+    def test_ranges_phase_clears_range_blocked_flag_shape(self):
+        program = analyze_src(SERIAL, ranges=True)
+        verdict = verdicts_of(program)["L1"]
+        # still serial (a true flow dependence), but the attribution must
+        # reflect whether a trip bound existed
+        blockers = verdict.blockers
+        assert blockers
+        upper = program.result.ranges.trip_upper_bound("L1")
+        assert all(b.range_blocked == (upper is None) for b in blockers)
+
+    def test_describe_and_to_json_round_trip(self):
+        program = analyze_src(SERIAL)
+        blocker = verdicts_of(program)["L1"].blockers[0]
+        text = blocker.describe()
+        assert blocker.reason in text
+        assert "->" in text
+        as_json = blocker.to_json()
+        assert as_json["reason"] == blocker.reason
+        assert as_json["subscripts"] == list(blocker.subscripts)
+        assert set(as_json) >= {
+            "reason", "kind", "array", "source", "sink", "subscripts",
+            "direction", "carrier", "range_blocked", "unknown_blocked",
+        }
+
+    def test_wraparound_loop_attributes_with_known_slug(self):
+        program = analyze_src(WRAPAROUND)
+        verdict = verdicts_of(program)["L14"]
+        assert not verdict.parallelizable
+        assert all(b.reason in REASON_SLUGS for b in verdict.blockers)
+
+
+class TestSurfaces:
+    def test_report_prints_blocked_by_lines(self):
+        program = analyze_src(SERIAL)
+        report = format_report(program)
+        assert "parallelizable: no" in report
+        assert "blocked by:" in report
+
+    def test_doall_report_has_no_blocked_by(self):
+        program = analyze_src(DOALL)
+        assert "blocked by:" not in format_report(program)
+
+    def test_explain_loop_header_renders_chain(self):
+        program = analyze_src(SERIAL)
+        text = explain(program, "L1")
+        assert "loop L1" in text
+        assert "parallelizable: no" in text
+        assert "reason: siv" in text
+        assert "subscripts:" in text
+
+    def test_explain_doall_loop(self):
+        program = analyze_src(DOALL)
+        text = explain(program, "L1")
+        assert "DOALL" in text
+
+    def test_metrics_family_emitted(self):
+        with observing() as obs:
+            program = analyze_src(SERIAL)
+            why_not_doall(
+                program.result, "L1", verdicts_of(program)["L1"].carried
+            )
+        counters = obs.metrics.snapshot()["counters"]
+        blocked = {k: v for k, v in counters.items() if k.startswith("dep.blocked.")}
+        assert blocked
+        assert all(key.split("dep.blocked.")[1] in REASON_SLUGS for key in blocked)
+
+
+class TestFallback:
+    def test_attribution_never_raises(self):
+        program = analyze_src(SERIAL)
+        carried = verdicts_of(program)["L1"].carried
+
+        reasons = why_not_doall(object(), "L1", carried)  # bogus analysis
+        assert len(reasons) == len(carried)
+        assert all(r.reason in REASON_SLUGS for r in reasons)

@@ -1,0 +1,68 @@
+"""The observability layer's own cost: near-zero when off, measured when on.
+
+The flight recorder follows the same single-gate contract as tracing and
+metrics: with no ``recording()`` context live, the pipeline's per-function
+``capture()`` hook is one module attribute read.  These smoke tests keep
+that contract honest with generous absolute bounds (CI machines are
+noisy; real regressions -- accidentally building the record with the gate
+off -- are orders of magnitude past them).
+"""
+
+import os
+import time
+
+from tests.conftest import analyze_src
+
+from repro.obs import observing
+from repro.obs.runlog import capture, recording
+
+SOURCE = """
+L1: for i = 1 to n do
+  A[i] = A[i-1] + 1
+endfor
+"""
+
+
+class TestDisabledPath:
+    def test_disabled_capture_is_cheap(self):
+        program = analyze_src(SOURCE)
+        calls = 20_000
+        start = time.perf_counter()
+        for _ in range(calls):
+            capture(program)
+        elapsed = time.perf_counter() - start
+        # one bool read + return per call; 25us/call is ~100x headroom
+        assert elapsed < calls * 25e-6, f"{elapsed / calls * 1e6:.2f}us per call"
+
+    def test_disabled_run_touches_no_store(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        analyze_src(SOURCE, ranges=True, invariants=True)
+        assert ".repro" not in os.listdir(str(tmp_path))
+
+    def test_disabled_capture_returns_none_and_writes_nothing(self, tmp_path):
+        program = analyze_src(SOURCE)
+        store = tmp_path / "runs"
+        with recording(str(store)):
+            pass  # context closed: gate back off
+        assert capture(program) is None
+        for run_file in store.iterdir():
+            assert run_file.stat().st_size == 0
+
+
+class TestEnabledPath:
+    def test_overhead_gauges_emitted_when_on(self, tmp_path):
+        with observing() as obs:
+            with recording(str(tmp_path / "runs")):
+                analyze_src(SOURCE)
+                analyze_src(SOURCE)
+        snapshot = obs.metrics.snapshot()
+        assert snapshot["counters"]["obs.overhead.runlog.records"] == 2
+        assert snapshot["gauges"]["obs.overhead.runlog_s"] > 0
+
+    def test_capture_cost_is_bounded(self, tmp_path):
+        # the recorder's own gauge should report a sane per-record cost
+        # (a record build is one dependence-graph pass over a tiny loop)
+        with observing() as obs:
+            with recording(str(tmp_path / "runs")):
+                analyze_src(SOURCE)
+        assert obs.metrics.snapshot()["gauges"]["obs.overhead.runlog_s"] < 1.0

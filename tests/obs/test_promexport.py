@@ -1,0 +1,104 @@
+"""Prometheus text-exposition export of the metrics registry."""
+
+import re
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promexport import prometheus_text, write_prometheus
+
+#: sample line: name, optional {labels}, space, value
+SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_]+=\"[^\"]*\"\})? -?[0-9.e+-]+$"
+)
+
+
+def sample_lines(text):
+    return [line for line in text.splitlines() if not line.startswith("#")]
+
+
+class TestFormat:
+    def test_empty_registry(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_every_sample_line_is_well_formed(self):
+        registry = MetricsRegistry()
+        registry.inc("classify.loops", 3)
+        registry.inc("classify.class.InductionVariable", 7)
+        registry.inc("dep.blocked.siv", 2)
+        registry.set_gauge("expr.cache.size", 41)
+        registry.observe("time.classify_s", 0.25)
+        registry.observe("time.classify_s", 0.75)
+        text = prometheus_text(registry)
+        for line in sample_lines(text):
+            assert SAMPLE.match(line), line
+
+    def test_counter_gets_total_suffix(self):
+        registry = MetricsRegistry()
+        registry.inc("classify.loops", 3)
+        assert "repro_classify_loops_total 3" in prometheus_text(registry)
+
+    def test_family_counters_become_labels(self):
+        registry = MetricsRegistry()
+        registry.inc("classify.class.InductionVariable", 7)
+        registry.inc("classify.class.Unknown", 2)
+        registry.inc("dep.blocked.siv", 1)
+        registry.inc("resilience.degraded.ranges", 1)
+        text = prometheus_text(registry)
+        assert 'repro_classify_class_total{class="InductionVariable"} 7' in text
+        assert 'repro_classify_class_total{class="Unknown"} 2' in text
+        assert 'repro_dep_blocked_total{reason="siv"} 1' in text
+        assert 'repro_resilience_degraded_total{phase="ranges"} 1' in text
+        # one HELP/TYPE header per family, not per member
+        assert text.count("# TYPE repro_classify_class_total") == 1
+
+    def test_gauge(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("obs.overhead.runlog_s", 0.001)
+        text = prometheus_text(registry)
+        assert "# TYPE repro_obs_overhead_runlog_s gauge" in text
+        assert "repro_obs_overhead_runlog_s 0.001" in text
+
+    def test_unset_gauge_omitted(self):
+        registry = MetricsRegistry()
+        registry.gauge("obs.overhead.runlog_s")  # created, never set
+        assert prometheus_text(registry) == ""
+
+    def test_time_histograms_share_a_labelled_family(self):
+        registry = MetricsRegistry()
+        registry.observe("time.classify_s", 0.25)
+        registry.observe("time.classify_s", 0.75)
+        registry.observe("time.ranges_s", 0.5)
+        text = prometheus_text(registry)
+        assert 'repro_time_seconds_count{span="classify"} 2' in text
+        assert 'repro_time_seconds_sum{span="classify"} 1' in text
+        assert 'repro_time_seconds_count{span="ranges"} 1' in text
+        assert 'repro_time_seconds_min{span="classify"} 0.25' in text
+        assert 'repro_time_seconds_max{span="classify"} 0.75' in text
+        # contiguous families: every _count sample under one header
+        assert text.count("# TYPE repro_time_seconds_count") == 1
+
+    def test_families_are_contiguous(self):
+        registry = MetricsRegistry()
+        registry.observe("time.classify_s", 0.25)
+        registry.observe("time.ranges_s", 0.5)
+        text = prometheus_text(registry)
+        families = []
+        for line in sample_lines(text):
+            name = line.split("{")[0].split(" ")[0]
+            if not families or families[-1] != name:
+                families.append(name)
+        assert len(families) == len(set(families))
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.inc('classify.class.We"ird', 1)
+        text = prometheus_text(registry)
+        assert 'class="We\\"ird"' in text
+
+    def test_write(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.inc("classify.loops")
+        path = tmp_path / "metrics.prom"
+        write_prometheus(registry, str(path))
+        content = path.read_text()
+        assert content.endswith("\n")
+        assert "repro_classify_loops_total 1" in content

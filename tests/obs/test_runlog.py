@@ -1,0 +1,162 @@
+"""The flight recorder: run-log records, gating, and the pipeline hook."""
+
+import json
+import os
+
+from tests.conftest import analyze_src
+
+from repro.obs import observing
+from repro.obs import runlog
+from repro.obs.runlog import (
+    RUNLOG_SCHEMA,
+    RunLogWriter,
+    build_record,
+    capture,
+    recording,
+    source_fingerprint,
+)
+from repro.resilience import FaultPlan, injecting
+
+SERIAL = """
+L1: for i = 1 to n do
+  A[i] = A[i-1] + 1
+endfor
+"""
+
+DOALL = """
+L1: for i = 1 to n do
+  A[i] = B[i] + 1
+endfor
+"""
+
+
+def read_store(writer):
+    with open(writer.path) as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+class TestGating:
+    def test_off_by_default(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        program = analyze_src(DOALL)
+        assert capture(program) is None
+        assert not os.path.exists(str(tmp_path / ".repro"))
+
+    def test_recording_captures_each_analyze(self, tmp_path):
+        with recording(str(tmp_path / "runs")) as writer:
+            analyze_src(DOALL)
+            analyze_src(SERIAL)
+        assert writer.records_written == 2
+        assert len(read_store(writer)) == 2
+
+    def test_gate_restored_after_context(self, tmp_path):
+        with recording(str(tmp_path / "runs")):
+            pass
+        assert runlog._RECORDING is False
+        assert capture(analyze_src(DOALL)) is None
+
+    def test_origin_labels_records(self, tmp_path):
+        with recording(str(tmp_path / "runs")) as writer:
+            with runlog.origin("examples/x.loop"):
+                analyze_src(DOALL)
+            analyze_src(SERIAL)
+        records = read_store(writer)
+        assert records[0]["origin"] == "examples/x.loop"
+        assert records[1]["origin"] is None
+
+
+class TestRecordShape:
+    def test_fields(self, tmp_path):
+        with recording(str(tmp_path / "runs")) as writer:
+            analyze_src(SERIAL)
+        (record,) = read_store(writer)
+        assert record["schema"] == RUNLOG_SCHEMA
+        assert record["fingerprint"] == source_fingerprint(SERIAL)
+        assert record["parallel"] == {"doall": 0, "serial": 1, "undecided": 0}
+        assert record["blocked"] == {"siv": 1}
+        (loop,) = record["loops"]
+        assert loop["header"] == "L1"
+        assert loop["parallel"] is False
+        assert loop["blocked_by"]
+        assert loop["blocked_by"][0]["reason"] == "siv"
+        assert loop["trip"]["count"] == "n"
+        assert loop["class_counts"]
+        assert record["degradations"] == []
+
+    def test_doall_record(self, tmp_path):
+        with recording(str(tmp_path / "runs")) as writer:
+            analyze_src(DOALL)
+        (record,) = read_store(writer)
+        assert record["parallel"]["doall"] == 1
+        assert record["blocked"] == {}
+        assert record["loops"][0]["blocked_by"] == []
+
+    def test_ranges_and_invariants_sections(self, tmp_path):
+        with recording(str(tmp_path / "runs")) as writer:
+            analyze_src(SERIAL, ranges=True, invariants=True)
+        (record,) = read_store(writer)
+        assert record["ranges"]["values"] > 0
+        assert record["invariants"] is not None
+
+    def test_degraded_program_still_recorded(self, tmp_path):
+        with recording(str(tmp_path / "runs")) as writer:
+            with injecting(FaultPlan(points={"classify.loop"})):
+                analyze_src(DOALL)
+        (record,) = read_store(writer)
+        assert record["degradations"]
+        assert record["degradations"][0]["phase"]
+
+    def test_phases_and_counters_under_observation(self, tmp_path):
+        with observing() as obs:
+            with recording(str(tmp_path / "runs")) as writer:
+                analyze_src(DOALL)
+                analyze_src(DOALL)
+            total_parse = obs.tracer.phase_totals()["frontend.parse"]
+        first, second = read_store(writer)
+        assert first["phases"]["frontend.parse"] > 0
+        # phases are per-record deltas against the shared tracer: the two
+        # records partition the cumulative total instead of repeating it
+        recorded = (
+            first["phases"]["frontend.parse"] + second["phases"]["frontend.parse"]
+        )
+        assert abs(recorded - total_parse) < 1e-6
+        assert first["counters"]["classify.loops"] >= 1
+
+    def test_overhead_self_profiling(self, tmp_path):
+        with observing() as obs:
+            with recording(str(tmp_path / "runs")):
+                analyze_src(DOALL)
+        snapshot = obs.metrics.snapshot()
+        assert snapshot["counters"]["obs.overhead.runlog.records"] == 1
+        assert snapshot["gauges"]["obs.overhead.runlog_s"] >= 0
+
+
+class TestFingerprint:
+    def test_stable_and_distinct(self):
+        assert source_fingerprint(DOALL) == source_fingerprint(DOALL)
+        assert source_fingerprint(DOALL) != source_fingerprint(SERIAL)
+
+    def test_ir_fallback(self):
+        program = analyze_src(DOALL)
+        fp = source_fingerprint(None, program.ssa)
+        assert fp.startswith("ir-")
+        assert fp == source_fingerprint(None, program.ssa)
+
+    def test_unknown(self):
+        assert source_fingerprint(None, None) == "unknown"
+
+
+class TestResilience:
+    def test_capture_error_degrades_to_error_record(self, tmp_path):
+        writer = RunLogWriter(str(tmp_path / "runs"))
+        with recording(writer=writer):
+            record = capture(object())  # not an AnalyzedProgram
+        assert "error" in record
+        (stored,) = read_store(writer)
+        assert stored["schema"] == RUNLOG_SCHEMA
+        assert "error" in stored
+
+    def test_build_record_is_json_serializable(self):
+        program = analyze_src(SERIAL, ranges=True, invariants=True)
+        record = build_record(program, "test")
+        json.dumps(record)  # must not raise
