@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint ranges invariants chaos stats bench bench-check bench-baseline bench-diff report
+.PHONY: test lint ranges invariants chaos stats bench bench-check bench-baseline bench-diff report serve loadtest
 
 test:
 	$(PYTHON) -m pytest -m "not bench" -q
@@ -16,7 +16,7 @@ invariants:
 	$(PYTHON) -m repro lint --strict --ranges --invariants examples/
 
 chaos:
-	for seed in 101 202 303 404; do \
+	for seed in 101 202 303 404 505; do \
 		CHAOS_SEED=$$seed $(PYTHON) -m pytest tests/resilience -q || exit 1; \
 	done
 
@@ -39,3 +39,10 @@ bench-diff:
 
 report:
 	$(PYTHON) -m benchmarks.make_report
+
+serve:
+	$(PYTHON) -m repro serve --port 7457 --workers 2
+
+loadtest:
+	$(PYTHON) -m benchmarks.loadtest --clients 6 --requests 20 --workers 2 \
+		--crash-rate 0.5 --seed 7

@@ -38,6 +38,9 @@ Options::
                        aggregate later with ``repro stats``
     --explain VAR      append VAR's classification derivation chain
                        (repeatable); see ``repro.obs.explain``
+    --deadline-s S     wall-clock budget for each input's whole analysis;
+                       overrun degrades instead of failing (also on lint)
+    --max-expr-terms N cap symbolic expression growth (also on lint)
     --version          print the package version and exit
 
 ``python -m repro report ...`` is an explicit alias for the default
@@ -68,6 +71,19 @@ Trace mode (``python -m repro trace``)::
 
     python -m repro trace [--format=chrome|jsonl] [--out FILE]
                           [--metrics FILE] [--no-opt] PATH...
+
+Serve mode (``python -m repro serve``)::
+
+    python -m repro serve [--host H] [--port P] [--workers N]
+                          [--timeout-s S] [--cache N] [--runlog [DIR]]
+                          [--inject POINT ...] [--deadline-s S]
+
+runs the fault-tolerant analysis service: a TCP daemon speaking
+length-prefixed JSON that shards analysis requests across a pool of
+worker processes with bounded retries, hung-worker kill/respawn,
+per-fingerprint circuit breaking, result caching, and graceful SIGTERM
+drain.  Worker crashes degrade the affected request (RES506) -- they
+never kill the server.  See ``docs/SERVICE.md``.
 
 runs the full pipeline over every program found under the given paths
 with span tracing and metrics collection enabled, then exports the trace
@@ -202,7 +218,46 @@ def build_argument_parser() -> argparse.ArgumentParser:
         help="append the classification derivation chain of VAR "
         "(source variable or SSA name); may be repeated",
     )
+    _add_budget_arguments(parser)
     return parser
+
+
+def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
+    """The resource-budget flags shared by report, lint, and serve."""
+    parser.add_argument(
+        "--deadline-s",
+        metavar="SECONDS",
+        type=float,
+        default=None,
+        dest="deadline_s",
+        help="wall-clock budget for the whole analysis of each input; "
+        "overrun degrades the remaining phases (RES503) instead of "
+        "failing the run",
+    )
+    parser.add_argument(
+        "--max-expr-terms",
+        metavar="N",
+        type=int,
+        default=None,
+        dest="max_expr_terms",
+        help="cap the monomial count of any symbolic expression; "
+        "exhaustion degrades the affected loop to Unknown (RES503)",
+    )
+
+
+def _budget_from_args(args):
+    """The :class:`AnalysisBudget` the budget flags describe (or None)."""
+    deadline = getattr(args, "deadline_s", None)
+    terms = getattr(args, "max_expr_terms", None)
+    if deadline is None and terms is None:
+        return None
+    from repro.resilience.budget import AnalysisBudget
+
+    return AnalysisBudget(
+        max_expr_terms=terms,
+        phase_deadline_s=deadline,
+        request_deadline_s=deadline,
+    )
 
 
 def build_lint_parser() -> argparse.ArgumentParser:
@@ -246,6 +301,7 @@ def build_lint_parser() -> argparse.ArgumentParser:
         help="also run the polynomial-invariant phase and its INV7xx "
         "replay checks (equalities and step bounds vs. the interpreter)",
     )
+    _add_budget_arguments(parser)
     return parser
 
 
@@ -267,6 +323,7 @@ def lint_main(argv: Optional[List[str]] = None) -> int:
 
     from repro.obs import metrics as metrics_mod
 
+    budget = _budget_from_args(args)
     collector = DiagnosticCollector()
     for target in targets:
         # scope any live metrics registry per input: counters from one
@@ -279,6 +336,7 @@ def lint_main(argv: Optional[List[str]] = None) -> int:
                 execution=not args.no_exec,
                 ranges=args.ranges,
                 invariants=args.invariants,
+                budget=budget,
             )
 
     if args.format == "json":
@@ -462,6 +520,221 @@ def stats_main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run the fault-tolerant analysis service: a TCP "
+        "daemon sharding requests across a worker-process pool with "
+        "retry/timeout/backoff, circuit breaking, result caching, and "
+        "graceful degradation (see docs/SERVICE.md)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=7457,
+        help="TCP port (0 picks a free one; default: %(default)s)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="analysis worker processes (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--timeout-s",
+        type=float,
+        default=10.0,
+        dest="timeout_s",
+        metavar="SECONDS",
+        help="hung-worker backstop: a job with no response within this "
+        "window is killed, respawned, and degraded (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--cache",
+        type=int,
+        default=256,
+        metavar="N",
+        help="result-cache capacity in entries; 0 disables "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        metavar="N",
+        help="consecutive worker-level failures on one fingerprint "
+        "before its circuit opens (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--breaker-cooldown-s",
+        type=float,
+        default=30.0,
+        dest="breaker_cooldown_s",
+        metavar="SECONDS",
+        help="seconds an open circuit sheds before one half-open trial "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--grace-s",
+        type=float,
+        default=5.0,
+        dest="grace_s",
+        metavar="SECONDS",
+        help="drain window on SIGTERM/SIGINT (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--runlog",
+        metavar="DIR",
+        nargs="?",
+        const="",
+        default=None,
+        help="append one flight-recorder record per analyzed program "
+        "to a run-log store (default: .repro/runs)",
+    )
+    parser.add_argument(
+        "--inject",
+        metavar="POINT",
+        action="append",
+        default=None,
+        help="arm fault injection inside the workers at a named point "
+        "(repeatable; 'list' prints the catalogue); the chaos harness "
+        "of the load test and CI",
+    )
+    parser.add_argument(
+        "--inject-rate",
+        type=float,
+        default=1.0,
+        dest="inject_rate",
+        metavar="P",
+        help="per-hit trip probability for --inject (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--inject-seed",
+        type=int,
+        default=None,
+        dest="inject_seed",
+        metavar="SEED",
+        help="deterministic RNG seed for rate-based --inject",
+    )
+    parser.add_argument(
+        "--inject-transient",
+        action="store_true",
+        dest="inject_transient",
+        help="make injected faults transient (retryable) instead of "
+        "hard crashes",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        default=None,
+        help="write the server's final metrics snapshot as JSON on drain",
+    )
+    parser.add_argument(
+        "--prom",
+        metavar="FILE",
+        default=None,
+        help="write the final metrics in Prometheus text format on drain",
+    )
+    _add_budget_arguments(parser)
+    return parser
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro serve``."""
+    import signal
+    import threading
+
+    from repro.obs import observing
+    from repro.obs.runlog import DEFAULT_STORE
+    from repro.resilience import all_fault_points
+    from repro.resilience.budget import SERVICE_BUDGET
+    from repro.service import AnalysisServer
+
+    args = build_serve_parser().parse_args(argv)
+
+    fault_spec = None
+    if args.inject:
+        if "list" in args.inject:
+            for point in all_fault_points():
+                print(point)
+            return 0
+        unknown = sorted(set(args.inject) - set(all_fault_points()))
+        if unknown:
+            print(
+                f"error: unknown fault point(s) {', '.join(unknown)} "
+                "(use --inject list)",
+                file=sys.stderr,
+            )
+            return 2
+        fault_spec = {
+            "points": list(args.inject),
+            "rate": args.inject_rate,
+            "seed": args.inject_seed,
+            "transient": args.inject_transient,
+        }
+
+    budget = _budget_from_args(args)
+    if budget is not None:
+        import dataclasses as _dc
+
+        # the flags tighten the documented service default, they do not
+        # replace its other caps
+        overrides = {
+            key: value
+            for key, value in _dc.asdict(budget).items()
+            if value is not None
+        }
+        budget = _dc.replace(SERVICE_BUDGET, **overrides)
+    else:
+        budget = SERVICE_BUDGET
+
+    stop_requested = threading.Event()
+
+    def _request_stop(signum, frame):  # noqa: ARG001 - signal signature
+        stop_requested.set()
+
+    previous_handlers = {
+        signal.SIGTERM: signal.signal(signal.SIGTERM, _request_stop),
+        signal.SIGINT: signal.signal(signal.SIGINT, _request_stop),
+    }
+    try:
+        with observing() as observation:
+            server = AnalysisServer(
+                host=args.host,
+                port=args.port,
+                pool_size=args.workers,
+                request_timeout_s=args.timeout_s,
+                cache_capacity=args.cache,
+                breaker_threshold=args.breaker_threshold,
+                breaker_cooldown_s=args.breaker_cooldown_s,
+                fault_spec=fault_spec,
+                runlog_dir=(
+                    (args.runlog or DEFAULT_STORE)
+                    if args.runlog is not None
+                    else None
+                ),
+                default_budget=budget,
+            )
+            try:
+                host, port = server.start()
+            except OSError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            print(f"listening on {host}:{port}", flush=True)
+            while not stop_requested.is_set():
+                stop_requested.wait(0.2)
+            print("draining...", file=sys.stderr)
+            server.stop(grace_s=args.grace_s)
+            _write_observation_files(args, observation)
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
+    print("drained", file=sys.stderr)
+    return 0
+
+
 def _corpus_report(args, observation_wanted: bool) -> int:
     """Report mode over a directory / embedded-program corpus.
 
@@ -512,6 +785,7 @@ def _corpus_report(args, observation_wanted: bool) -> int:
             writer = stack.enter_context(
                 runlog_mod.recording(args.runlog or DEFAULT_STORE)
             )
+        budget = _budget_from_args(args)
         for index, target in enumerate(targets):
             with metrics_mod.isolated(), runlog_mod.origin(target.origin):
                 try:
@@ -522,6 +796,7 @@ def _corpus_report(args, observation_wanted: bool) -> int:
                         strict=args.strict_errors,
                         ranges=args.ranges,
                         invariants=args.invariants,
+                        budget=budget,
                     )
                 except Exception as error:
                     failures += 1
@@ -551,7 +826,7 @@ def _write_observation_files(args, observation) -> None:
     """Export --trace / --metrics / --prom files after a run."""
     if observation is None:
         return
-    if args.trace:
+    if getattr(args, "trace", None):
         from repro.obs.export import write_chrome
 
         write_chrome(observation.tracer, args.trace)
@@ -574,6 +849,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return trace_main(argv[1:])
     if argv and argv[0] == "stats":
         return stats_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     if argv and argv[0] == "report":
         argv = argv[1:]
     args = build_argument_parser().parse_args(argv)
@@ -641,6 +918,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 strict=args.strict_errors,
                 ranges=args.ranges,
                 invariants=args.invariants,
+                budget=_budget_from_args(args),
             )
     except Exception as error:  # frontend/IR errors carry positions
         print(f"error: {error}", file=sys.stderr)

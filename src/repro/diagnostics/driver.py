@@ -38,8 +38,13 @@ def lint_source(
     samples: Sequence[int] = DEFAULT_SAMPLES,
     ranges: bool = False,
     invariants: bool = False,
+    budget=None,
 ) -> List[Diagnostic]:
     """Lint one program; returns (and optionally collects) all findings.
+
+    ``budget`` (an :class:`~repro.resilience.AnalysisBudget`) caps the
+    underlying analysis; exhaustion degrades the affected scope and
+    surfaces as RES5xx diagnostics rather than failing the lint run.
 
     ``ranges`` additionally runs the value-range analysis and its RNG6xx
     checker suite (out-of-bounds subscripts, possible division by zero,
@@ -56,7 +61,9 @@ def lint_source(
     local = DiagnosticCollector()
     try:
         with sanitizing(strict=False, collector=local):
-            program = analyze(source, ranges=ranges, invariants=invariants)
+            program = analyze(
+                source, ranges=ranges, invariants=invariants, budget=budget
+            )
     except Exception as error:
         local.emit("LNT001", f"analysis failed: {error}")
         return _publish(local, out, origin)

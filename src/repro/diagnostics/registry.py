@@ -254,6 +254,23 @@ register(
     "whole-function classification) failed; the entire function degraded "
     "to an empty classification.",
 )
+register(
+    "RES506", "worker-crashed", Severity.WARNING, "resilience",
+    "An analysis worker process died while running this request; the "
+    "serving layer respawned it and, after bounded retries, returned a "
+    "degraded partial response instead of failing the server.",
+)
+register(
+    "RES507", "request-timed-out", Severity.WARNING, "resilience",
+    "A dispatched job outlived the serving layer's request timeout; the "
+    "hung worker was killed and respawned and the request degraded.",
+)
+register(
+    "RES508", "load-shed", Severity.WARNING, "resilience",
+    "The circuit breaker was open for this request's fingerprint after "
+    "repeated worker failures, so the request was shed with a structured "
+    "degraded response instead of being dispatched.",
+)
 
 # ----------------------------------------------------------------------
 # value-range checks (see repro.ranges / docs/RANGES.md)

@@ -101,12 +101,18 @@ SPAN_NAMES = frozenset(
         "trace.target",
         "ranges",
         "invariants",
+        "service.request",
     }
 )
 
 #: every event name the built-in instrumentation can emit
 EVENT_NAMES = frozenset(
-    {"classify.scr", "sanitizer.checkpoint", "resilience.degraded"}
+    {
+        "classify.scr",
+        "sanitizer.checkpoint",
+        "resilience.degraded",
+        "service.retry",
+    }
 )
 
 #: every derivation-rule name provenance records / ``--explain`` prints:
@@ -192,6 +198,24 @@ METRIC_NAMES = frozenset(
         "dep.blocked.",  # family: one counter per why-not-DOALL reason slug
         "obs.overhead.",  # family: the observability layer's own cost
         "time.",  # family: one histogram per span name
+        # the analysis service (repro serve)
+        "service.connections",
+        "service.requests",
+        "service.requests.degraded",
+        "service.requests.failed",
+        "service.errors",
+        "service.retries",
+        "service.latency",
+        "service.timeouts",
+        "service.worker.crashes",
+        "service.worker.respawns",
+        "service.cache.hits",
+        "service.cache.misses",
+        "service.cache.evictions",
+        "service.cache.errors",
+        "service.breaker.opened",
+        "service.breaker.shed",
+        "service.runlog.errors",
     }
 )
 

@@ -51,22 +51,36 @@ def record_files(path: str) -> List[str]:
 
 def load_records(path: str) -> List[Dict[str, Any]]:
     """Every record in a store.  Unparseable lines become error records
-    (kept, so ``--strict`` can fail on them) instead of raising."""
+    (kept, so ``--strict`` can fail on them) instead of raising.
+
+    Torn-write recovery: the writer appends each record as one atomic
+    ``O_APPEND`` write, so a crash (SIGKILLed server, dead worker) can
+    leave at most one truncated line -- the file's *last*.  An
+    unparseable final line is therefore marked ``_torn`` and skipped by
+    aggregation and ``--strict`` (counted, not fatal), while a bad line
+    anywhere else is real corruption and stays an error record.
+    """
     records: List[Dict[str, Any]] = []
     for filename in record_files(path):
         with open(filename) as handle:
-            for lineno, line in enumerate(handle, 1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError as error:
+            lines = handle.readlines()
+        for lineno, raw in enumerate(lines, 1):
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                if lineno == len(lines) and not raw.endswith("\n"):
+                    # a crash mid-append truncates the newline along with
+                    # the line; a bad-but-complete line is real corruption
+                    record = {"_torn": f"truncated tail line: {error}"}
+                else:
                     record = {"error": f"unparseable record: {error}"}
-                if not isinstance(record, dict):
-                    record = {"error": "record is not an object"}
-                record.setdefault("_file", f"{os.path.basename(filename)}:{lineno}")
-                records.append(record)
+            if not isinstance(record, dict):
+                record = {"error": "record is not an object"}
+            record.setdefault("_file", f"{os.path.basename(filename)}:{lineno}")
+            records.append(record)
     return records
 
 
@@ -97,6 +111,8 @@ def strict_problems(records: List[Dict[str, Any]]) -> List[str]:
         return ["empty store: no run-log records found"]
     problems: List[str] = []
     for record in records:
+        if "_torn" in record:
+            continue  # recovered crash artifact, not corruption
         problem = validate_record(record)
         if problem is not None:
             where = record.get("origin") or record.get("_file", "<record>")
@@ -132,9 +148,12 @@ def aggregate(records: List[Dict[str, Any]]) -> Dict[str, Any]:
     ranges = {"records": 0, "values": 0, "nontrivial": 0, "trips_bounded": 0}
     invariants = {"records": 0, "loops": 0, "equalities": 0}
     fingerprints = set()
-    loops = errors = 0
+    loops = errors = torn = 0
 
     for record in records:
+        if "_torn" in record:
+            torn += 1
+            continue
         if "error" in record:
             errors += 1
             continue
@@ -179,8 +198,9 @@ def aggregate(records: List[Dict[str, Any]]) -> Dict[str, Any]:
     decided = parallel["doall"] + parallel["serial"]
     return {
         "schema": RUNLOG_SCHEMA,
-        "records": len(records),
+        "records": len(records) - torn,
         "errors": errors,
+        "torn": torn,
         "functions": len(fingerprints),
         "loops": loops,
         "classes": dict(sorted(classes.items())),
@@ -211,8 +231,11 @@ def render_text(stats: Dict[str, Any]) -> str:
     """The corpus statistics as a human-readable report."""
     lines: List[str] = []
     lines.append("== corpus ==")
+    torn = stats.get("torn", 0)
+    torn_note = f", {torn} torn line(s) skipped" if torn else ""
     lines.append(
-        f"  records: {stats['records']} ({stats['errors']} capture error(s)), "
+        f"  records: {stats['records']} ({stats['errors']} capture error(s)"
+        f"{torn_note}), "
         f"distinct functions: {stats['functions']}, loops: {stats['loops']}"
     )
     lines.append("")

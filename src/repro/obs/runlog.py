@@ -94,9 +94,25 @@ class RunLogWriter:
         self.phase_baseline: Dict[str, float] = {}
 
     def write(self, record: Dict[str, Any]) -> None:
-        with open(self.path, "a") as handle:
-            handle.write(json.dumps(record, sort_keys=True, default=str))
-            handle.write("\n")
+        """Append one record crash-safely.
+
+        The line is serialized first and appended with a **single**
+        ``os.write`` on an ``O_APPEND`` descriptor: a process killed
+        mid-append (crashed worker, SIGKILLed server) can truncate at
+        most the final line, never interleave two writers' records, and
+        a serialization failure raises before any byte lands in the log.
+        ``repro stats`` skips-and-counts the one possibly-torn tail line.
+        """
+        line = (
+            json.dumps(record, sort_keys=True, default=str) + "\n"
+        ).encode("utf-8")
+        fd = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(fd, line)
+        finally:
+            os.close(fd)
         self.records_written += 1
 
 

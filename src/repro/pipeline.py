@@ -388,6 +388,10 @@ def _analyze_function(
         _isolation.absorb(error, "analysis.loops", diag_code="RES505")
         return _degraded_from_named(named, source, log)
     try:
+        # a request over its whole-analysis deadline degrades here rather
+        # than starting classification it cannot finish (the serving
+        # layer's per-request budget; a no-op without one)
+        _budget.check_request_deadline("classify.function")
         result = classify_function(ssa, nest, domtree)
     except Exception as error:  # noqa: BLE001 - whole-function boundary
         _isolation.absorb(error, "classify.function", diag_code="RES505")
@@ -397,9 +401,13 @@ def _analyze_function(
 
         # optional + isolated: a failure degrades to all-top ranges (every
         # query answers the full interval) and analysis continues
+        def _ranges_phase():
+            _budget.check_request_deadline("ranges.compute")
+            return compute_ranges(result)
+
         result.ranges = _isolation.run_optional(
             "ranges.compute",
-            lambda: compute_ranges(result),
+            _ranges_phase,
             default=RangeInfo.top_info(function=ssa.name),
         )
     if invariants:
@@ -407,9 +415,13 @@ def _analyze_function(
 
         # optional + isolated: a failure degrades to a no-invariants info
         # (every query answers "no claim") and analysis continues
+        def _invariants_phase():
+            _budget.check_request_deadline("invariants.compute")
+            return compute_invariants(result)
+
         result.invariants = _isolation.run_optional(
             "invariants.compute",
-            lambda: compute_invariants(result),
+            _invariants_phase,
             default=InvariantInfo.degraded_info(function=ssa.name),
         )
     if cache_before is not None:

@@ -36,6 +36,7 @@ __all__ = [
     "budgeted",
     "charge_expr_terms",
     "check_deadline",
+    "check_request_deadline",
     "matrix_dim_allowed",
     "phase_deadline",
     "unroll_cap",
@@ -54,13 +55,18 @@ class AnalysisBudget:
     * ``max_unroll_trips`` -- trip count beyond which unroll/peel
       transforms refuse to expand the IR;
     * ``phase_deadline_s`` -- wall-clock seconds any single pipeline
-      phase (optimize, classify) may run.
+      phase (optimize, classify) may run;
+    * ``request_deadline_s`` -- wall-clock seconds the *whole* analysis
+      may run (the serving layer's per-request budget); checked at phase
+      boundaries, so overrun degrades the remaining phases rather than
+      the finished ones.
     """
 
     max_expr_terms: Optional[int] = None
     max_matrix_dim: Optional[int] = None
     max_unroll_trips: Optional[int] = None
     phase_deadline_s: Optional[float] = None
+    request_deadline_s: Optional[float] = None
 
 
 #: a sane default for services: generous enough for every program in the
@@ -71,6 +77,7 @@ SERVICE_BUDGET = AnalysisBudget(
     max_matrix_dim=12,
     max_unroll_trips=256,
     phase_deadline_s=10.0,
+    request_deadline_s=30.0,
 )
 
 _BUDGET: ContextVar[Optional[AnalysisBudget]] = ContextVar(
@@ -78,6 +85,9 @@ _BUDGET: ContextVar[Optional[AnalysisBudget]] = ContextVar(
 )
 _DEADLINE: ContextVar[Optional[float]] = ContextVar(
     "repro_resilience_deadline", default=None
+)
+_REQUEST_DEADLINE: ContextVar[Optional[float]] = ContextVar(
+    "repro_resilience_request_deadline", default=None
 )
 
 #: module-level mirror of the innermost budget's ``max_expr_terms``, read
@@ -103,12 +113,19 @@ def budgeted(budget: Optional[AnalysisBudget]):
         yield None
         return
     token = _BUDGET.set(budget)
+    request_token = None
+    if budget.request_deadline_s is not None:
+        request_token = _REQUEST_DEADLINE.set(
+            time.monotonic() + budget.request_deadline_s
+        )
     previous_cap = _EXPR_TERM_CAP
     _EXPR_TERM_CAP = budget.max_expr_terms
     try:
         yield budget
     finally:
         _EXPR_TERM_CAP = previous_cap
+        if request_token is not None:
+            _REQUEST_DEADLINE.reset(request_token)
         _BUDGET.reset(token)
 
 
@@ -165,11 +182,29 @@ def phase_deadline(phase: str):
 
 
 def check_deadline(phase: str) -> None:
-    """Raise when the current phase has run past its deadline."""
+    """Raise when the current phase (or whole request) ran past its deadline."""
     deadline = _DEADLINE.get()
     if deadline is not None and time.monotonic() > deadline:
         raise BudgetExceeded(
             f"phase {phase!r} ran past its deadline",
             code="budget-deadline",
+            phase=phase,
+        )
+    check_request_deadline(phase)
+
+
+def check_request_deadline(phase: str) -> None:
+    """Raise when the whole request ran past ``request_deadline_s``.
+
+    Called at phase boundaries by the pipeline (and inside
+    :func:`check_deadline`), so an over-budget request degrades its
+    *remaining* phases -- the finished ones stand -- and the serving
+    layer can respond before its own hung-worker timeout fires.
+    """
+    deadline = _REQUEST_DEADLINE.get()
+    if deadline is not None and time.monotonic() > deadline:
+        raise BudgetExceeded(
+            f"request ran past its deadline (at phase {phase!r})",
+            code="budget-request-deadline",
             phase=phase,
         )

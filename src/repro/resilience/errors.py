@@ -125,6 +125,39 @@ _register(
     "An injected (or genuinely transient) failure that is expected to "
     "succeed on retry; the phase is re-run once before degrading.",
 )
+_register(
+    "budget-request-deadline", RecoveryPolicy.DEGRADE,
+    "A whole analysis request ran past AnalysisBudget.request_deadline_s; "
+    "the remaining phases degrade so the response returns on time.",
+)
+_register(
+    "worker-crash", RecoveryPolicy.RETRY,
+    "An analysis worker process died mid-job (crash, OOM kill, injected "
+    "serve.worker fault); the job is retried on a respawned worker with "
+    "backoff, then degrades to a partial response.",
+)
+_register(
+    "request-timeout", RecoveryPolicy.DEGRADE,
+    "A dispatched job outlived the serving layer's request timeout; the "
+    "hung worker is killed and respawned and the request degrades (a "
+    "re-run would hang the same way).",
+)
+_register(
+    "circuit-open", RecoveryPolicy.DEGRADE,
+    "The circuit breaker is open for this fingerprint after repeated "
+    "worker failures; the request is shed with a structured degraded "
+    "response instead of burning another worker.",
+)
+_register(
+    "malformed-request", RecoveryPolicy.ABORT,
+    "A service request failed to parse or lacked required fields; the "
+    "client gets a structured error response (the input is wrong).",
+)
+_register(
+    "request-overflow", RecoveryPolicy.ABORT,
+    "A service request exceeded the protocol's maximum message size; the "
+    "client gets a structured error response and the connection closes.",
+)
 
 
 class ReproError(Exception):

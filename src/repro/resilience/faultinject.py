@@ -68,6 +68,9 @@ FAULT_POINTS: Dict[str, str] = {
     "transform.materialize": "exit-value materialization",
     "ranges.compute": "value-range analysis over the classification lattice",
     "invariants.compute": "path-sensitive summaries and polynomial invariant generation",
+    "serve.dispatch": "handing a service request's job to the worker pool",
+    "serve.worker": "job execution inside an analysis worker process",
+    "serve.cache": "fingerprint-keyed result cache lookup/store",
 }
 
 

@@ -1,0 +1,129 @@
+"""Retry policy: bounded attempts, exponential backoff, seeded jitter.
+
+The serving layer (:mod:`repro.service`) re-runs failed work -- a job
+lost to a worker crash, an injected transient fault -- but only when the
+failure's **recovery policy** says so: the error code is looked up in
+the :data:`~repro.resilience.errors.ERROR_CODES` taxonomy, and only
+``RETRY``-policy codes are eligible for another attempt.  ``DEGRADE``
+codes degrade immediately (a retry would just fail the same way) and
+``ABORT`` codes propagate to the caller (the input is wrong).
+
+Backoff is exponential with full jitter: attempt *k* sleeps
+``min(max_delay_s, base_delay_s * multiplier**k)`` scaled by a random
+factor in ``[1 - jitter, 1]``.  Determinism matters here exactly the way
+it does for fault injection, so the jitter stream comes from a seedable
+:class:`random.Random` -- the same seed yields the same delays.
+
+:func:`call_with_retry` is the generic driver: it runs a callable,
+classifies any raised exception through the taxonomy (via
+:func:`~repro.resilience.errors.wrap_exception`), sleeps, and re-runs
+until the policy gives up, at which point the last error propagates for
+the caller's isolation boundary to absorb.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, TypeVar
+
+from repro.obs import metrics as _metrics
+from repro.resilience.errors import (
+    ERROR_CODES,
+    RecoveryPolicy,
+    ReproError,
+    wrap_exception,
+)
+
+T = TypeVar("T")
+
+__all__ = ["RetryPolicy", "SERVICE_RETRY", "call_with_retry"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to re-run retryable work, and how long to wait.
+
+    * ``max_attempts`` -- total attempts including the first (so ``1``
+      disables retries entirely);
+    * ``base_delay_s`` / ``multiplier`` / ``max_delay_s`` -- exponential
+      backoff: attempt *k* (0-based retry index) waits
+      ``base_delay_s * multiplier**k``, capped at ``max_delay_s``;
+    * ``jitter`` -- fraction of each delay that is randomized away
+      (``0.5`` means the actual sleep is uniform in ``[0.5d, d]``);
+      ``0`` makes delays fully deterministic.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+
+    # ------------------------------------------------------------------
+    def delay_s(self, retry_index: int, rng: Optional[random.Random] = None) -> float:
+        """The backoff before retry ``retry_index`` (0-based)."""
+        delay = min(
+            self.max_delay_s, self.base_delay_s * (self.multiplier ** retry_index)
+        )
+        if self.jitter and rng is not None:
+            delay *= 1.0 - self.jitter * rng.random()
+        return delay
+
+    def retryable(self, code: str) -> bool:
+        """True when the taxonomy marks ``code`` as RETRY-policy."""
+        info = ERROR_CODES.get(code)
+        return info is not None and info.policy is RecoveryPolicy.RETRY
+
+
+#: the serving layer's default: one quick retry, one slower one, then
+#: degrade -- bounded so a crashing fingerprint costs at most three jobs.
+SERVICE_RETRY = RetryPolicy(
+    max_attempts=3, base_delay_s=0.05, multiplier=4.0, max_delay_s=1.0, jitter=0.5
+)
+
+
+def call_with_retry(
+    fn: Callable[[], T],
+    policy: RetryPolicy = SERVICE_RETRY,
+    phase: str = "retry",
+    rng: Optional[random.Random] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[Callable[[ReproError, int], None]] = None,
+) -> T:
+    """Run ``fn``, retrying RETRY-policy failures with backoff.
+
+    Any exception is classified through the taxonomy; only codes whose
+    registered policy is ``RETRY`` earn another attempt.  When attempts
+    run out (or the code is not retryable) the *original* exception
+    propagates, so the caller's isolation boundary sees the real error.
+    ``on_retry(error, retry_index)`` is called before each backoff sleep.
+    """
+    last: Optional[BaseException] = None
+    for attempt in range(policy.max_attempts):
+        try:
+            return fn()
+        except Exception as error:  # noqa: BLE001 - classification boundary
+            last = error
+            wrapped = wrap_exception(error, phase)
+            if (
+                attempt + 1 >= policy.max_attempts
+                or not policy.retryable(wrapped.code)
+            ):
+                raise
+            _metrics.inc("service.retries")
+            if on_retry is not None:
+                on_retry(wrapped, attempt)
+            delay = policy.delay_s(attempt, rng)
+            if delay > 0:
+                sleep(delay)
+    raise last  # pragma: no cover - loop always returns or raises

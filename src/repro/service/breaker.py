@@ -1,0 +1,151 @@
+"""Per-fingerprint circuit breaker: shed load that keeps killing workers.
+
+A program that crashes a worker once will usually crash the respawned
+worker too -- same bytes, same bug.  Without a breaker, a single
+pathological fingerprint submitted in a loop turns into a crash-respawn
+treadmill that starves every healthy request.  The breaker is the
+standard three-state machine, keyed by source fingerprint:
+
+* **closed** -- requests flow; consecutive failures are counted, and
+  hitting ``threshold`` opens the circuit;
+* **open** -- requests for that fingerprint are *shed*: the server
+  answers immediately with a structured degraded response
+  (``circuit-open`` / RES508) instead of burning another worker;
+* **half-open** -- after ``cooldown_s`` one trial request is let
+  through; success closes the circuit, failure re-opens it for another
+  cooldown.
+
+Failures that count are worker-level ones (crash, timeout, internal
+error after retries).  Client-input errors (``frontend-error``,
+``malformed-request``) never trip the breaker: they cost microseconds
+and shedding them would punish a *valid* fingerprint that happens to
+hash near a bad one.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict
+
+from repro.obs import metrics as _metrics
+
+__all__ = ["CircuitBreaker"]
+
+_CLOSED = "closed"
+_OPEN = "open"
+_HALF_OPEN = "half-open"
+
+
+class _Circuit:
+    __slots__ = ("state", "failures", "opened_at", "opened_count")
+
+    def __init__(self) -> None:
+        self.state = _CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+        self.opened_count = 0
+
+
+class CircuitBreaker:
+    """Thread-safe per-key circuit breaker.
+
+    ``clock`` is injectable (tests pass a fake) and defaults to
+    :func:`time.monotonic`.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._circuits: Dict[str, _Circuit] = {}
+        self._lock = threading.Lock()
+        self.shed_total = 0
+
+    # ------------------------------------------------------------------
+    def allow(self, key: str) -> bool:
+        """True when a request for ``key`` may be dispatched.
+
+        An open circuit past its cooldown transitions to half-open and
+        admits exactly one trial; a shed is counted against
+        ``service.breaker.shed``.
+        """
+        with self._lock:
+            circuit = self._circuits.get(key)
+            if circuit is None or circuit.state == _CLOSED:
+                return True
+            if circuit.state == _OPEN:
+                if self._clock() - circuit.opened_at >= self.cooldown_s:
+                    circuit.state = _HALF_OPEN
+                    return True
+                self.shed_total += 1
+                _metrics.inc("service.breaker.shed")
+                return False
+            # half-open: one trial is already in flight; shed the rest
+            self.shed_total += 1
+            _metrics.inc("service.breaker.shed")
+            return False
+
+    def record_success(self, key: str) -> None:
+        with self._lock:
+            circuit = self._circuits.get(key)
+            if circuit is None:
+                return
+            circuit.state = _CLOSED
+            circuit.failures = 0
+
+    def record_failure(self, key: str) -> None:
+        with self._lock:
+            circuit = self._circuits.setdefault(key, _Circuit())
+            if circuit.state == _HALF_OPEN:
+                # the trial failed: straight back to open
+                circuit.state = _OPEN
+                circuit.opened_at = self._clock()
+                circuit.opened_count += 1
+                _metrics.inc("service.breaker.opened")
+                return
+            circuit.failures += 1
+            if circuit.state == _CLOSED and circuit.failures >= self.threshold:
+                circuit.state = _OPEN
+                circuit.opened_at = self._clock()
+                circuit.opened_count += 1
+                _metrics.inc("service.breaker.opened")
+
+    # ------------------------------------------------------------------
+    def state(self, key: str) -> str:
+        with self._lock:
+            circuit = self._circuits.get(key)
+            return _CLOSED if circuit is None else circuit.state
+
+    def retry_after_s(self, key: str) -> float:
+        """Seconds until an open circuit's next half-open trial (0 if closed)."""
+        with self._lock:
+            circuit = self._circuits.get(key)
+            if circuit is None or circuit.state != _OPEN:
+                return 0.0
+            return max(
+                0.0, self.cooldown_s - (self._clock() - circuit.opened_at)
+            )
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Aggregate state for ``ready``/``stats`` responses."""
+        with self._lock:
+            open_keys = sorted(
+                key
+                for key, circuit in self._circuits.items()
+                if circuit.state != _CLOSED
+            )
+            return {
+                "tracked": len(self._circuits),
+                "open": open_keys,
+                "shed_total": self.shed_total,
+                "threshold": self.threshold,
+                "cooldown_s": self.cooldown_s,
+            }

@@ -1,0 +1,114 @@
+"""Fingerprint-keyed result cache: bounded, LRU, crash-tolerant.
+
+A re-submitted program is byte-identical far more often than not (CI
+runs, editor save-loops), so the server caches **clean** analysis
+responses keyed on ``(source fingerprint, canonicalized options)`` --
+the same fingerprint :mod:`repro.obs.runlog` stamps on flight-recorder
+records.  Degraded or errored responses are never cached: a crash is
+not a result, and caching one would pin a transient failure onto a
+fingerprint for the cache's whole lifetime.
+
+The cache is an ordinary LRU over an :class:`~collections.OrderedDict`
+behind a lock (connection threads share it).  It sits behind the
+``serve.cache`` fault point, and the server treats any cache failure as
+a miss -- the cache is an accelerator, never a dependency, so a broken
+cache degrades throughput, not correctness.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from repro.obs import metrics as _metrics
+from repro.resilience.faultinject import fault_point
+
+__all__ = ["ResultCache", "cache_key"]
+
+
+def cache_key(fingerprint: str, options: Optional[Dict[str, Any]] = None) -> str:
+    """The cache key of one program under one option set.
+
+    Options change what the analysis computes (ranges, invariants,
+    optimize, budget caps), so they are part of the key -- canonicalized
+    through sorted-key JSON, which is stable across dict orderings.
+    """
+    if not options:
+        return fingerprint
+    return fingerprint + "|" + json.dumps(options, sort_keys=True, default=str)
+
+
+class ResultCache:
+    """A thread-safe bounded LRU of clean analysis responses."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached response for ``key``, refreshed to most-recent, or None."""
+        fault_point("serve.cache")
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                _metrics.inc("service.cache.misses")
+                return None
+            self._entries.move_to_end(key)
+            _metrics.inc("service.cache.hits")
+            return entry
+
+    def put(self, key: str, value: Dict[str, Any]) -> None:
+        """Insert (or refresh) ``key``, evicting the least-recently used."""
+        fault_point("serve.cache")
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                _metrics.inc("service.cache.evictions")
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Size/capacity for ``ready``/``stats`` responses."""
+        with self._lock:
+            return {"entries": len(self._entries), "capacity": self.capacity}
+
+
+def safe_lookup(cache: ResultCache, key: str) -> Tuple[Optional[Dict[str, Any]], bool]:
+    """``cache.get`` with containment: a cache failure reads as a miss.
+
+    Returns ``(value, cache_ok)``; ``cache_ok`` is False when the lookup
+    itself failed (injected ``serve.cache`` fault, internal error), which
+    the server counts but otherwise ignores -- graceful degradation of
+    the accelerator, not the request.
+    """
+    try:
+        return cache.get(key), True
+    except Exception:  # noqa: BLE001 - the cache must never fail a request
+        _metrics.inc("service.cache.errors")
+        return None, False
+
+
+def safe_store(cache: ResultCache, key: str, value: Dict[str, Any]) -> bool:
+    """``cache.put`` with the same containment as :func:`safe_lookup`."""
+    try:
+        cache.put(key, value)
+        return True
+    except Exception:  # noqa: BLE001
+        _metrics.inc("service.cache.errors")
+        return False

@@ -1,0 +1,109 @@
+"""A minimal blocking client for the analysis service.
+
+Used by the load-test harness, the service tests, and anyone scripting
+against ``repro serve``.  One :class:`ServiceClient` wraps one TCP
+connection; requests are serialized on it (the protocol is strict
+request/response), so concurrent callers should each open their own
+client -- exactly what :mod:`benchmarks.loadtest` does with one client
+per simulated user.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, List, Optional
+
+from repro.service.protocol import (
+    MAX_MESSAGE_BYTES,
+    ProtocolError,
+    recv_message,
+    send_message,
+)
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """A blocking request/response client over one connection."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout_s: float = 30.0,
+        max_message_bytes: int = MAX_MESSAGE_BYTES,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.max_message_bytes = max_message_bytes
+        self._sock: Optional[socket.socket] = None
+
+    # ------------------------------------------------------------------
+    def connect(self) -> "ServiceClient":
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout_s
+            )
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request and wait for its response.
+
+        Raises :class:`ProtocolError` if the server closes without
+        answering (the load-test counts that as a protocol failure --
+        the serving contract says it must never happen).
+        """
+        self.connect()
+        assert self._sock is not None
+        send_message(self._sock, payload)
+        response = recv_message(self._sock, self.max_message_bytes)
+        if response is None:
+            raise ProtocolError("server closed the connection mid-exchange")
+        return response
+
+    def analyze(
+        self,
+        source: str,
+        name: str = "main",
+        options: Optional[Dict[str, Any]] = None,
+        **extra: Any,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"op": "analyze", "source": source, "name": name}
+        if options:
+            payload["options"] = options
+        payload.update(extra)
+        return self.request(payload)
+
+    def analyze_batch(
+        self,
+        programs: List[Dict[str, Any]],
+        options: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"op": "analyze", "programs": programs}
+        if options:
+            payload["options"] = options
+        return self.request(payload)
+
+    def health(self) -> Dict[str, Any]:
+        return self.request({"op": "health"})
+
+    def ready(self) -> Dict[str, Any]:
+        return self.request({"op": "ready"})
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request({"op": "stats"})

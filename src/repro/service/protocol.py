@@ -1,0 +1,135 @@
+"""The service wire protocol: length-prefixed JSON frames.
+
+One message is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON.  The framing is deliberately dumb -- no streaming,
+no chunking, no content negotiation -- because the failure modes of dumb
+framing are *enumerable*: a frame can be oversized (the length header
+exceeds :data:`MAX_MESSAGE_BYTES`), truncated (the peer died mid-frame),
+or undecodable (not JSON / not an object).  Each of those maps onto a
+structured error the server can answer instead of dying.
+
+Requests are JSON objects with an ``op`` field::
+
+    {"op": "analyze", "source": "...", "options": {"ranges": true}}
+    {"op": "analyze", "programs": [{"name": "f", "source": "..."}]}
+    {"op": "health"} | {"op": "ready"} | {"op": "stats"}
+
+Responses always carry ``status`` (``ok`` / ``degraded`` / ``error``)
+and echo ``op``; ``analyze`` responses carry per-program ``results``
+with the flight-recorder record, degradations, and RES5xx diagnostics.
+A ``degraded`` response is a *successful* protocol exchange -- the
+serving contract is that only a malformed or oversized request yields
+``status: error``, and nothing short of a dead TCP connection yields no
+response at all.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "MAX_MESSAGE_BYTES",
+    "OversizedMessage",
+    "ProtocolError",
+    "error_response",
+    "recv_message",
+    "send_message",
+]
+
+#: ceiling on one frame's payload; a generous multiple of the largest
+#: example corpus request, small enough that a length-header typo cannot
+#: make the server buffer gigabytes
+MAX_MESSAGE_BYTES = 4 * 1024 * 1024
+
+_HEADER = struct.Struct("!I")
+
+
+class ProtocolError(Exception):
+    """A frame violated the protocol (bad JSON, truncated, not an object)."""
+
+    code = "malformed-request"
+
+
+class OversizedMessage(ProtocolError):
+    """A frame's length header exceeded the negotiated maximum."""
+
+    code = "request-overflow"
+
+    def __init__(self, size: int, limit: int):
+        super().__init__(
+            f"message of {size} bytes exceeds the {limit}-byte limit"
+        )
+        self.size = size
+        self.limit = limit
+
+
+def send_message(sock: socket.socket, obj: Dict[str, Any]) -> None:
+    """Serialize ``obj`` and send it as one frame."""
+    body = json.dumps(obj, sort_keys=True, default=str).encode("utf-8")
+    sock.sendall(_HEADER.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes, or None on clean EOF at a boundary.
+
+    EOF *inside* a frame is a protocol violation (the peer died
+    mid-message), distinct from the clean close between frames.
+    """
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 65536))
+        if not chunk:
+            if remaining == count:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({count - remaining}/{count} "
+                "bytes received)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(
+    sock: socket.socket, max_bytes: int = MAX_MESSAGE_BYTES
+) -> Optional[Dict[str, Any]]:
+    """Receive one frame; None on clean EOF.
+
+    Raises :class:`OversizedMessage` without reading the body (the
+    caller answers the error and closes -- draining an attacker-sized
+    body would be a resource hole), and :class:`ProtocolError` for
+    truncation or undecodable payloads.
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (size,) = _HEADER.unpack(header)
+    if size > max_bytes:
+        raise OversizedMessage(size, max_bytes)
+    body = _recv_exact(sock, size)
+    if body is None:  # EOF exactly between header and body
+        raise ProtocolError("connection closed after frame header")
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable frame: {error}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError("frame payload is not a JSON object")
+    return obj
+
+
+def error_response(
+    code: str, message: str, op: Optional[str] = None
+) -> Dict[str, Any]:
+    """The structured ``status: error`` response for a request-level fault."""
+    response: Dict[str, Any] = {
+        "status": "error",
+        "error": {"code": code, "message": message},
+    }
+    if op is not None:
+        response["op"] = op
+    return response

@@ -1,0 +1,523 @@
+"""The ``repro serve`` daemon: accept, shard, degrade, never die.
+
+:class:`AnalysisServer` listens on a TCP socket speaking the
+length-prefixed JSON protocol of :mod:`repro.service.protocol` and runs
+every analysis inside the :mod:`repro.service.pool` worker processes.
+The serving contract, in one line: **only a malformed or oversized
+request yields** ``status: error``; every analysis failure -- worker
+crash, hang, budget blow-out, open circuit -- comes back as a
+``status: degraded`` response carrying the same
+:class:`~repro.resilience.isolation.DegradationRecord` / RES5xx payload
+the CLI's degradation machinery produces, and the server itself stays
+up.
+
+Per ``analyze`` request the server:
+
+1. validates and fingerprints each submitted program (a batch request
+   shards its independent programs across the pool by fingerprint);
+2. consults the per-fingerprint :class:`CircuitBreaker` -- open circuits
+   shed immediately with ``circuit-open`` / RES508;
+3. consults the :class:`ResultCache` (clean results only; any cache
+   failure reads as a miss);
+4. dispatches through :func:`~repro.resilience.retry.call_with_retry`,
+   so a crashed worker (``worker-crash``, policy RETRY) gets bounded
+   retries with backoff on the respawned shard, while a hung worker
+   (``request-timeout``, policy DEGRADE) is killed once and degraded;
+5. wraps the whole exchange in a per-request
+   :func:`repro.obs.metrics.isolated` registry, so one request's
+   counters never bleed into another's while invocation-wide totals
+   still accumulate in the server registry.
+
+Graceful drain: SIGTERM/SIGINT (wired by the CLI) call
+:meth:`AnalysisServer.stop`, which stops accepting, lets in-flight
+connections finish within a grace period, drains the pool, and exits
+cleanly.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import dataclasses
+import socket
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs import metrics as _metrics
+from repro.obs.runlog import RunLogWriter, source_fingerprint
+from repro.obs.trace import event as _trace_event
+from repro.obs.trace import span as _trace_span
+from repro.resilience.budget import SERVICE_BUDGET, AnalysisBudget
+from repro.resilience.errors import ReproError, RecoveryPolicy, error_code_info
+from repro.resilience.isolation import DegradationLog
+from repro.resilience.retry import SERVICE_RETRY, RetryPolicy, call_with_retry
+from repro.service.breaker import CircuitBreaker
+from repro.service.cache import ResultCache, cache_key, safe_lookup, safe_store
+from repro.service.pool import JobOutcome, WorkerPool
+from repro.service.protocol import (
+    MAX_MESSAGE_BYTES,
+    OversizedMessage,
+    ProtocolError,
+    error_response,
+    recv_message,
+    send_message,
+)
+
+__all__ = ["AnalysisServer"]
+
+#: serve-layer error code -> RES5xx diagnostic surfaced on the response
+_DIAG_FOR_CODE = {
+    "worker-crash": "RES506",
+    "request-timeout": "RES507",
+    "circuit-open": "RES508",
+}
+
+
+def _degradation_payload(log: DegradationLog) -> List[Dict[str, Any]]:
+    return [dataclasses.asdict(record) for record in log.records]
+
+
+class AnalysisServer:
+    """A fault-tolerant analysis service over a sharded worker pool."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        pool_size: int = 2,
+        request_timeout_s: float = 10.0,
+        cache_capacity: int = 256,
+        breaker_threshold: int = 3,
+        breaker_cooldown_s: float = 30.0,
+        retry_policy: RetryPolicy = SERVICE_RETRY,
+        fault_spec: Optional[Dict[str, Any]] = None,
+        runlog_dir: Optional[str] = None,
+        default_budget: AnalysisBudget = SERVICE_BUDGET,
+        max_message_bytes: int = MAX_MESSAGE_BYTES,
+    ):
+        self.host = host
+        self.port = port
+        self.request_timeout_s = request_timeout_s
+        self.retry_policy = retry_policy
+        self.default_budget = default_budget
+        self.max_message_bytes = max_message_bytes
+        self.pool = WorkerPool(
+            size=pool_size,
+            request_timeout_s=request_timeout_s,
+            fault_spec=fault_spec,
+            budget_spec=dataclasses.asdict(default_budget),
+        )
+        self.cache = ResultCache(capacity=cache_capacity)
+        self.breaker = CircuitBreaker(
+            threshold=breaker_threshold, cooldown_s=breaker_cooldown_s
+        )
+        self.runlog: Optional[RunLogWriter] = (
+            RunLogWriter(runlog_dir) if runlog_dir else None
+        )
+        self.address: Optional[Tuple[str, int]] = None
+        self.started_at: Optional[float] = None
+        self.requests_served = 0
+        self._socket: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._conn_threads: List[threading.Thread] = []
+        self._conn_lock = threading.Lock()
+        self._shutdown = threading.Event()
+        self._drained = threading.Event()
+        self._job_seq = 0
+        self._seq_lock = threading.Lock()
+        # captured at start(): connection threads re-enter the obs /
+        # fault-injection contexts the server was started under
+        # (contextvars do not propagate into threads by themselves)
+        self._base_context: Optional[contextvars.Context] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> Tuple[str, int]:
+        """Bind, start the pool, and begin accepting (returns the address)."""
+        if self._socket is not None:
+            return self.address  # type: ignore[return-value]
+        self._base_context = contextvars.copy_context()
+        self.pool.start()
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(64)
+        # closing a listener does NOT wake a thread blocked in accept();
+        # a short timeout lets the accept loop notice the shutdown flag
+        listener.settimeout(0.2)
+        self._socket = listener
+        self.address = listener.getsockname()[:2]
+        self.started_at = time.monotonic()
+        self._accept_thread = threading.Thread(
+            target=self._base_context.copy().run,
+            args=(self._accept_loop,),
+            name="repro-serve-accept",
+            daemon=True,
+        )
+        self._accept_thread.start()
+        return self.address
+
+    def stop(self, grace_s: float = 5.0) -> None:
+        """Graceful drain: stop accepting, finish in-flight work, stop the pool."""
+        if self._shutdown.is_set():
+            self._drained.wait(timeout=grace_s)
+            return
+        self._shutdown.set()
+        if self._socket is not None:
+            try:
+                self._socket.close()  # unblocks accept()
+            except OSError:  # pragma: no cover
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=grace_s)
+        deadline = time.monotonic() + grace_s
+        with self._conn_lock:
+            pending = list(self._conn_threads)
+        for thread in pending:
+            thread.join(timeout=max(0.1, deadline - time.monotonic()))
+        self.pool.shutdown(grace_s=grace_s)
+        self._drained.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the server has fully drained (the CLI's foreground)."""
+        return self._drained.wait(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # accept / connection loop
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._socket is not None
+        while not self._shutdown.is_set():
+            try:
+                conn, _peer = self._socket.accept()
+            except socket.timeout:
+                continue  # periodic shutdown-flag check
+            except OSError:
+                return  # listener closed by stop()
+            conn.settimeout(None)  # accepted sockets inherit the timeout
+            _metrics.inc("service.connections")
+            context = (
+                self._base_context.copy()
+                if self._base_context is not None
+                else contextvars.copy_context()
+            )
+            thread = threading.Thread(
+                target=context.run,
+                args=(self._serve_connection, conn),
+                name="repro-serve-conn",
+                daemon=True,
+            )
+            with self._conn_lock:
+                self._conn_threads = [
+                    t for t in self._conn_threads if t.is_alive()
+                ]
+                self._conn_threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    request = recv_message(conn, self.max_message_bytes)
+                except OversizedMessage as error:
+                    # cannot resync the stream without draining the huge
+                    # body: answer, then close
+                    _metrics.inc("service.errors")
+                    send_message(
+                        conn, error_response(error.code, str(error))
+                    )
+                    return
+                except ProtocolError as error:
+                    _metrics.inc("service.errors")
+                    try:
+                        send_message(
+                            conn, error_response(error.code, str(error))
+                        )
+                    except OSError:
+                        pass
+                    return
+                if request is None:
+                    return  # clean EOF between frames
+                response = self._handle_request(request)
+                send_message(conn, response)
+        except OSError:
+            return  # peer vanished; nothing to answer
+        finally:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    # ------------------------------------------------------------------
+    # request dispatch
+    # ------------------------------------------------------------------
+    def _handle_request(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        op = request.get("op")
+        with _trace_span("service.request"):
+            if op == "health":
+                return {"status": "ok", "op": "health", "alive": True}
+            if op == "ready":
+                return self._handle_ready()
+            if op == "stats":
+                return self._handle_stats()
+            if op == "analyze":
+                self.requests_served += 1
+                _metrics.inc("service.requests")
+                return self._handle_analyze(request)
+            _metrics.inc("service.errors")
+            return error_response(
+                "malformed-request", f"unknown op {op!r}", op=str(op)
+            )
+
+    def _handle_ready(self) -> Dict[str, Any]:
+        pool = self.pool.snapshot()
+        ready = not self._shutdown.is_set() and pool["alive"] == pool["size"]
+        return {
+            "status": "ok" if ready else "degraded",
+            "op": "ready",
+            "ready": ready,
+            "pool": pool,
+            "cache": self.cache.snapshot(),
+            "breaker": self.breaker.snapshot(),
+        }
+
+    def _handle_stats(self) -> Dict[str, Any]:
+        uptime = (
+            time.monotonic() - self.started_at
+            if self.started_at is not None
+            else 0.0
+        )
+        registry = _metrics.active()
+        return {
+            "status": "ok",
+            "op": "stats",
+            "uptime_s": round(uptime, 3),
+            "requests": self.requests_served,
+            "pool": self.pool.snapshot(),
+            "cache": self.cache.snapshot(),
+            "breaker": self.breaker.snapshot(),
+            "metrics": registry.snapshot() if registry is not None else {},
+        }
+
+    def _handle_analyze(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        programs = request.get("programs")
+        if programs is None:
+            programs = [
+                {
+                    "name": request.get("name", "main"),
+                    "source": request.get("source"),
+                    "chaos_sleep_s": request.get("chaos_sleep_s"),
+                }
+            ]
+        if not isinstance(programs, list) or not programs:
+            _metrics.inc("service.errors")
+            return error_response(
+                "malformed-request",
+                "request needs 'source' or a non-empty 'programs' list",
+                op="analyze",
+            )
+        for index, program in enumerate(programs):
+            if not isinstance(program, dict) or not isinstance(
+                program.get("source"), str
+            ):
+                _metrics.inc("service.errors")
+                return error_response(
+                    "malformed-request",
+                    f"programs[{index}] lacks a string 'source'",
+                    op="analyze",
+                )
+        options = request.get("options") or {}
+        if not isinstance(options, dict):
+            _metrics.inc("service.errors")
+            return error_response(
+                "malformed-request", "'options' must be an object", op="analyze"
+            )
+        started = time.perf_counter()
+        # one registry per request: counters (cache hits, retries,
+        # degradations) scoped to this exchange, merged up on exit
+        with _metrics.isolated() as registry:
+            results = [
+                self._run_program(program, options) for program in programs
+            ]
+            request_metrics = registry.snapshot() if registry else {}
+        elapsed = time.perf_counter() - started
+        _metrics.observe("service.latency", elapsed)
+        worst = "ok"
+        if any(result["status"] == "degraded" for result in results):
+            worst = "degraded"
+            _metrics.inc("service.requests.degraded")
+        return {
+            "status": worst,
+            "op": "analyze",
+            "results": results,
+            "elapsed_s": round(elapsed, 6),
+            "metrics": request_metrics,
+        }
+
+    # ------------------------------------------------------------------
+    # one program through breaker -> cache -> retrying dispatch
+    # ------------------------------------------------------------------
+    def _next_job_id(self) -> int:
+        with self._seq_lock:
+            self._job_seq += 1
+            return self._job_seq
+
+    def _run_program(
+        self, program: Dict[str, Any], options: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        source = program["source"]
+        name = program.get("name") or "main"
+        fingerprint = source_fingerprint(source)
+        serve_log = DegradationLog()
+        base = {"name": name, "fingerprint": fingerprint}
+
+        if not self.breaker.allow(fingerprint):
+            serve_log.record(
+                "serve.breaker",
+                code="circuit-open",
+                message=(
+                    f"circuit open for fingerprint {fingerprint}; "
+                    "request shed without dispatch"
+                ),
+                diag_code="RES508",
+                scope=fingerprint,
+                action="shed",
+            )
+            return dict(
+                base,
+                status="degraded",
+                error={"code": "circuit-open"},
+                degradations=_degradation_payload(serve_log),
+                diagnostics=[self._diagnostic("circuit-open", serve_log)],
+                retry_after_s=round(self.breaker.retry_after_s(fingerprint), 3),
+            )
+
+        key = cache_key(fingerprint, options)
+        cached, _cache_ok = safe_lookup(self.cache, key)
+        if cached is not None:
+            return dict(cached, cached=True)
+
+        job = {
+            "id": self._next_job_id(),
+            "name": name,
+            "source": source,
+            "origin": program.get("origin"),
+            "fingerprint": fingerprint,
+            "options": options,
+        }
+        if program.get("chaos_sleep_s"):
+            job["chaos_sleep_s"] = program["chaos_sleep_s"]
+
+        try:
+            outcome = call_with_retry(
+                lambda: self._dispatch(job),
+                policy=self.retry_policy,
+                phase="serve.worker",
+                on_retry=lambda error, attempt: _trace_event(
+                    "service.retry", code=error.code, attempt=attempt
+                ),
+            )
+        except ReproError as error:
+            return self._degraded_result(base, error, serve_log, fingerprint)
+
+        response = outcome.response or {}
+        if not response.get("ok"):
+            error_info = response.get("error") or {}
+            error = ReproError(
+                error_info.get("message", "worker reported failure"),
+                code=error_info.get("code", "internal-error"),
+                phase="serve.worker",
+            )
+            return self._degraded_result(base, error, serve_log, fingerprint)
+
+        self.breaker.record_success(fingerprint)
+        result = dict(
+            base,
+            status="degraded" if response.get("degraded") else "ok",
+            record=response.get("record"),
+            report=response.get("report"),
+            degradations=_degradation_payload(serve_log),
+            worker=outcome.worker_id,
+            elapsed_s=round(outcome.elapsed_s, 6),
+        )
+        self._write_runlog(response.get("record"))
+        if result["status"] == "ok":
+            # degraded results are never cached: a contained failure is
+            # not a result worth pinning to this fingerprint
+            safe_store(self.cache, key, result)
+        return result
+
+    def _dispatch(self, job: Dict[str, Any]) -> JobOutcome:
+        """One pool round-trip; failures become taxonomy errors for retry."""
+        deadline = (job.get("options") or {}).get("deadline_s")
+        outcome = self.pool.submit(
+            job, timeout_s=float(deadline) if deadline else None
+        )
+        if not outcome.ok:
+            raise ReproError(
+                outcome.error_message or outcome.error_code or "dispatch failed",
+                code=outcome.error_code or "internal-error",
+                phase="serve.worker",
+            )
+        response = outcome.response or {}
+        if not response.get("ok"):
+            error_info = response.get("error") or {}
+            code = error_info.get("code", "internal-error")
+            if error_code_info(code).policy is RecoveryPolicy.RETRY:
+                # e.g. transient-fault: surface as an exception so the
+                # retry loop re-dispatches it
+                raise ReproError(
+                    error_info.get("message", code),
+                    code=code,
+                    phase="serve.worker",
+                )
+        return outcome
+
+    def _degraded_result(
+        self,
+        base: Dict[str, Any],
+        error: ReproError,
+        serve_log: DegradationLog,
+        fingerprint: str,
+    ) -> Dict[str, Any]:
+        """The structured degraded response for a dispatch-level failure."""
+        code = error.code
+        diag_code = _DIAG_FOR_CODE.get(code, "RES501")
+        phase = error.phase or "serve.dispatch"
+        if code in ("worker-crash", "request-timeout"):
+            phase = "serve.worker"
+        serve_log.record(
+            phase,
+            code=code,
+            message=error.message,
+            diag_code=diag_code,
+            scope=fingerprint,
+            action="degraded",
+        )
+        # client-input errors never trip the breaker (they cost nothing
+        # and would punish a valid fingerprint); worker-level ones do
+        if code not in ("frontend-error", "malformed-request"):
+            self.breaker.record_failure(fingerprint)
+        _metrics.inc("service.requests.failed")
+        return dict(
+            base,
+            status="degraded",
+            error={"code": code, "message": error.message},
+            degradations=_degradation_payload(serve_log),
+            diagnostics=[self._diagnostic(code, serve_log)],
+        )
+
+    @staticmethod
+    def _diagnostic(code: str, serve_log: DegradationLog) -> Dict[str, Any]:
+        diag_code = _DIAG_FOR_CODE.get(code, "RES501")
+        message = serve_log.records[-1].message if serve_log.records else code
+        return {"code": diag_code, "error": code, "message": message}
+
+    def _write_runlog(self, record: Optional[Dict[str, Any]]) -> None:
+        if self.runlog is None or record is None:
+            return
+        try:
+            self.runlog.write(record)
+        except Exception:  # noqa: BLE001 - the log must never fail a request
+            _metrics.inc("service.runlog.errors")

@@ -1,0 +1,217 @@
+"""The analysis worker: one process, one job at a time, crash-isolated.
+
+A worker is a :mod:`multiprocessing` child running :func:`worker_main`:
+it receives job dicts over its pipe, runs the full pipeline under a
+per-request :class:`~repro.resilience.AnalysisBudget`, and sends back a
+JSON-ready response built on the flight recorder's record shape
+(:func:`repro.obs.runlog.build_record`), so a service response, a
+run-log line, and a ``repro stats`` input are all the same object.
+
+Process isolation is the whole point: a worker that segfaults, gets
+OOM-killed, or trips the injected ``serve.worker`` crash takes down
+*its process*, never the server.  The pool detects the broken pipe,
+respawns, and the request degrades.  The injected crash is a real
+``os._exit`` -- not an exception the worker could accidentally catch --
+because the recovery path being tested is the parent's, not the
+worker's.
+
+Jobs and responses (all plain dicts, JSON-serializable)::
+
+    job      {"id": 7, "name": "main", "source": "...", "origin": ...,
+              "fingerprint": "...", "options": {"ranges": true, ...}}
+    response {"id": 7, "ok": true, "degraded": false, "record": {...},
+              "report": "..." | null}
+    failure  {"id": 7, "ok": false,
+              "error": {"code": "frontend-error", "message": "..."}}
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional
+
+from repro.obs import observing
+from repro.obs.runlog import build_record
+from repro.pipeline import analyze
+from repro.resilience.budget import SERVICE_BUDGET, AnalysisBudget
+from repro.resilience.errors import InjectedFault, TransientFault
+from repro.resilience.faultinject import FaultPlan, fault_point, injecting
+
+__all__ = ["budget_from_options", "run_job", "worker_main"]
+
+#: exit status of a deliberately crashed worker (the injected
+#: ``serve.worker`` fault); distinct from interpreter failures so tests
+#: can tell the two apart
+CRASH_EXIT_CODE = 13
+
+
+def budget_from_options(
+    options: Optional[Dict[str, Any]],
+    default: AnalysisBudget = SERVICE_BUDGET,
+) -> AnalysisBudget:
+    """The request's :class:`AnalysisBudget`: the service default, tightened.
+
+    ``options["deadline_s"]`` caps both the per-phase and the
+    whole-request clocks (the CLI's ``--deadline-s`` semantics);
+    ``options["max_expr_terms"]`` caps symbolic growth.  A full override
+    dict may be passed as ``options["budget"]`` with any
+    :class:`AnalysisBudget` field.
+    """
+    options = options or {}
+    fields = {
+        "max_expr_terms": default.max_expr_terms,
+        "max_matrix_dim": default.max_matrix_dim,
+        "max_unroll_trips": default.max_unroll_trips,
+        "phase_deadline_s": default.phase_deadline_s,
+        "request_deadline_s": default.request_deadline_s,
+    }
+    deadline = options.get("deadline_s")
+    if deadline is not None:
+        fields["phase_deadline_s"] = float(deadline)
+        fields["request_deadline_s"] = float(deadline)
+    if options.get("max_expr_terms") is not None:
+        fields["max_expr_terms"] = int(options["max_expr_terms"])
+    override = options.get("budget")
+    if isinstance(override, dict):
+        for key in fields:
+            if key in override:
+                fields[key] = override[key]
+    return AnalysisBudget(**fields)
+
+
+def run_job(
+    job: Dict[str, Any], default_budget: AnalysisBudget = SERVICE_BUDGET
+) -> Dict[str, Any]:
+    """Run one analysis job (in-process; the worker loop calls this).
+
+    Sits behind the ``serve.worker`` fault point.  Raises
+    :class:`~repro.resilience.errors.InjectedFault` when that point is
+    armed -- the worker loop converts the non-transient flavor into a
+    hard ``os._exit`` crash -- and returns a structured failure dict
+    (never raises) for everything else.
+    """
+    fault_point("serve.worker")
+    chaos_sleep = job.get("chaos_sleep_s")
+    if chaos_sleep:  # loadtest/test hook: simulate a hung analysis
+        import time
+
+        time.sleep(float(chaos_sleep))
+    source = job.get("source")
+    if not isinstance(source, str):
+        return {
+            "id": job.get("id"),
+            "ok": False,
+            "error": {
+                "code": "malformed-request",
+                "message": "job lacks a string 'source'",
+            },
+        }
+    options = job.get("options") or {}
+    budget = budget_from_options(options, default_budget)
+    try:
+        with observing():
+            program = analyze(
+                source,
+                name=job.get("name") or "main",
+                optimize=bool(options.get("optimize", True)),
+                strict=False,
+                budget=budget,
+                ranges=bool(options.get("ranges", False)),
+                invariants=bool(options.get("invariants", False)),
+            )
+            record = build_record(program, origin_label=job.get("origin"))
+            report = None
+            if options.get("report"):
+                from repro.report import format_report
+
+                report = format_report(program)
+    except InjectedFault:
+        raise  # the worker loop decides: crash (plain) or retryable (transient)
+    except Exception as error:  # noqa: BLE001 - frontend/abort errors
+        from repro.resilience.errors import wrap_exception
+
+        wrapped = wrap_exception(error, "serve.worker")
+        return {
+            "id": job.get("id"),
+            "ok": False,
+            "error": {"code": wrapped.code, "message": wrapped.message},
+        }
+    return {
+        "id": job.get("id"),
+        "ok": True,
+        "degraded": bool(program.degraded),
+        "record": record,
+        "report": report,
+    }
+
+
+def worker_main(
+    conn,
+    worker_id: int,
+    fault_spec: Optional[Dict[str, Any]] = None,
+    budget_spec: Optional[Dict[str, Any]] = None,
+) -> None:
+    """The worker process entry point: recv job, run, send response.
+
+    ``fault_spec`` rebuilds a :class:`FaultPlan` inside the child (plans
+    hold an unpicklable RNG), arming the same deterministic injection
+    stream for the worker's whole lifetime -- so ``seed``/``rate`` plans
+    trip reproducibly across the jobs one worker handles.
+    ``budget_spec`` (a dict of :class:`AnalysisBudget` fields) sets the
+    server's default per-request budget; per-job options still tighten
+    it.  A ``None`` job is the graceful-drain sentinel.
+    """
+    default_budget = SERVICE_BUDGET
+    if budget_spec:
+        default_budget = AnalysisBudget(**budget_spec)
+    plan = None
+    if fault_spec:
+        plan = FaultPlan(
+            points=fault_spec.get("points"),
+            seed=fault_spec.get("seed"),
+            rate=fault_spec.get("rate", 1.0),
+            only_first=fault_spec.get("only_first", False),
+            transient=fault_spec.get("transient", False),
+        )
+    from contextlib import nullcontext
+
+    with injecting(plan) if plan is not None else nullcontext():
+        while True:
+            try:
+                job = conn.recv()
+            except (EOFError, OSError):
+                return
+            if job is None:
+                return
+            try:
+                response = run_job(job, default_budget)
+            except TransientFault as fault:
+                response = {
+                    "id": job.get("id"),
+                    "ok": False,
+                    "error": {"code": fault.code, "message": fault.message},
+                }
+            except InjectedFault as fault:
+                if fault.phase == "serve.worker":
+                    # simulate a hard crash: no response, no cleanup --
+                    # the parent sees a broken pipe, exactly like a real
+                    # segfault or OOM kill
+                    os._exit(CRASH_EXIT_CODE)
+                response = {
+                    "id": job.get("id"),
+                    "ok": False,
+                    "error": {"code": fault.code, "message": fault.message},
+                }
+            except Exception as error:  # noqa: BLE001 - last-ditch containment
+                response = {
+                    "id": job.get("id"),
+                    "ok": False,
+                    "error": {
+                        "code": "internal-error",
+                        "message": f"{type(error).__name__}: {error}",
+                    },
+                }
+            try:
+                conn.send(response)
+            except (BrokenPipeError, OSError):
+                return

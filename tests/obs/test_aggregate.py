@@ -48,6 +48,50 @@ class TestLoad:
         assert "error" in records[1]
 
 
+class TestTornWrites:
+    """A crash mid-append leaves a truncated *last* line; recovery skips it."""
+
+    def test_torn_tail_line_is_recovered_not_an_error(self, store):
+        (run_file,) = agg.record_files(store)
+        with open(run_file, "a") as handle:
+            handle.write('{"schema": 1, "function": "tor')  # no newline
+        records = agg.load_records(store)
+        assert len(records) == 3
+        assert "_torn" in records[-1]
+        stats = agg.aggregate(records)
+        assert stats["records"] == 2  # the torn line is not a record
+        assert stats["torn"] == 1
+        assert stats["errors"] == 0
+
+    def test_torn_tail_does_not_fail_strict_mode(self, store):
+        (run_file,) = agg.record_files(store)
+        with open(run_file, "a") as handle:
+            handle.write('{"trunca')
+        assert agg.strict_problems(agg.load_records(store)) == []
+
+    def test_mid_file_corruption_is_still_an_error(self, store):
+        (run_file,) = agg.record_files(store)
+        lines = open(run_file).read().splitlines()
+        lines.insert(1, '{"schema": 1, "corrupt')
+        with open(run_file, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        records = agg.load_records(store)
+        assert any("error" in r and "_torn" not in r for r in records)
+        problems = agg.strict_problems(records)
+        assert any("capture error" in p for p in problems)
+
+    def test_render_mentions_skipped_torn_lines(self, store):
+        (run_file,) = agg.record_files(store)
+        with open(run_file, "a") as handle:
+            handle.write('{"tor')
+        text = agg.render_text(agg.aggregate(agg.load_records(store)))
+        assert "1 torn line(s) skipped" in text
+
+    def test_clean_store_renders_without_torn_note(self, store):
+        text = agg.render_text(agg.aggregate(agg.load_records(store)))
+        assert "torn" not in text
+
+
 class TestAggregate:
     def test_counts(self, store):
         stats = agg.aggregate(agg.load_records(store))

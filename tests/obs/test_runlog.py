@@ -65,6 +65,38 @@ class TestGating:
         assert records[1]["origin"] is None
 
 
+class TestCrashSafeAppend:
+    def test_each_record_is_one_complete_line(self, tmp_path):
+        writer = RunLogWriter(str(tmp_path / "runs"))
+        writer.write({"schema": RUNLOG_SCHEMA, "n": 1})
+        writer.write({"schema": RUNLOG_SCHEMA, "n": 2})
+        with open(writer.path) as handle:
+            text = handle.read()
+        assert text.endswith("\n")
+        assert [json.loads(line)["n"] for line in text.splitlines()] == [1, 2]
+
+    def test_append_does_not_clobber_existing_records(self, tmp_path):
+        first = RunLogWriter(str(tmp_path / "runs"), run_id="r1")
+        first.write({"schema": RUNLOG_SCHEMA, "n": 1})
+        second = RunLogWriter(str(tmp_path / "runs"), run_id="r1")
+        second.write({"schema": RUNLOG_SCHEMA, "n": 2})
+        assert len(read_store(first)) == 2
+
+    def test_serialization_failure_writes_nothing(self, tmp_path):
+        # the record is serialized *before* the file is opened, so a
+        # bad record cannot leave a torn half-line behind
+        writer = RunLogWriter(str(tmp_path / "runs"))
+        writer.write({"schema": RUNLOG_SCHEMA, "n": 1})
+        circular = {}
+        circular["self"] = circular
+        try:
+            writer.write(circular)
+        except ValueError:
+            pass
+        assert len(read_store(writer)) == 1
+        assert writer.records_written == 1
+
+
 class TestRecordShape:
     def test_fields(self, tmp_path):
         with recording(str(tmp_path / "runs")) as writer:

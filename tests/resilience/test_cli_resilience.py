@@ -53,6 +53,41 @@ class TestInjectFlag:
         assert "== resilience ==" not in capsys.readouterr().out
 
 
+class TestBudgetFlags:
+    """``--deadline-s`` / ``--max-expr-terms`` degrade, never crash."""
+
+    def test_impossible_deadline_degrades_the_report(self, tmp_path, capsys):
+        program = write_program(tmp_path)
+        assert main([program, "--deadline-s", "0.0000001"]) == 0
+        out = capsys.readouterr().out
+        assert "== resilience ==" in out
+        assert "budget-request-deadline" in out
+        assert "[RES503]" in out
+
+    def test_impossible_deadline_degrades_lint_mode(self, tmp_path, capsys):
+        program = write_program(tmp_path)
+        assert main(["lint", program, "--deadline-s", "0.0000001"]) == 0
+        out = capsys.readouterr().out
+        assert "budget-request-deadline" in out
+        assert "RES503" in out
+
+    def test_generous_budget_leaves_the_run_clean(self, tmp_path, capsys):
+        program = write_program(tmp_path)
+        assert main(
+            [program, "--deadline-s", "600", "--max-expr-terms", "100000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "loop L1" in out
+        assert "== resilience ==" not in out
+
+    def test_strict_errors_propagates_the_deadline(self, tmp_path, capsys):
+        program = write_program(tmp_path)
+        assert main(
+            [program, "--deadline-s", "0.0000001", "--strict-errors"]
+        ) == 1
+        assert "deadline" in capsys.readouterr().err
+
+
 class TestStrictErrorsFlag:
     def test_strict_propagates_the_injected_fault(self, tmp_path, capsys):
         program = write_program(tmp_path)

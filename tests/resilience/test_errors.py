@@ -34,15 +34,20 @@ class TestRegistry:
             for code in all_error_codes()
             if error_code_info(code).policy is RecoveryPolicy.ABORT
         }
-        assert aborting == {"frontend-error", "sanitizer-violation"}
+        assert aborting == {
+            "frontend-error",
+            "sanitizer-violation",
+            "malformed-request",
+            "request-overflow",
+        }
 
-    def test_transient_fault_is_the_only_retry_code(self):
+    def test_retry_codes_are_exactly_the_transient_failures(self):
         retrying = {
             code
             for code in all_error_codes()
             if error_code_info(code).policy is RecoveryPolicy.RETRY
         }
-        assert retrying == {"transient-fault"}
+        assert retrying == {"transient-fault", "worker-crash"}
 
 
 class TestReproError:

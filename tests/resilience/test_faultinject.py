@@ -180,6 +180,17 @@ class TestReachability:
             "invariants.compute": lambda: __import__(
                 "repro.invariants", fromlist=["compute_invariants"]
             ).compute_invariants(program.result),
+            # the serving layer's points fire at their entry guards, so
+            # none of these need a started pool or a live server
+            "serve.dispatch": lambda: __import__(
+                "repro.service.pool", fromlist=["WorkerPool"]
+            ).WorkerPool(size=1).submit({"source": "i = 0\n"}),
+            "serve.worker": lambda: __import__(
+                "repro.service.worker", fromlist=["run_job"]
+            ).run_job({"source": "i = 0\n"}),
+            "serve.cache": lambda: __import__(
+                "repro.service.cache", fromlist=["ResultCache"]
+            ).ResultCache(4).get("k"),
         }
         with injecting(FaultPlan(points={point})) as plan:
             with pytest.raises(InjectedFault):

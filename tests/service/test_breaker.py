@@ -1,0 +1,124 @@
+"""The per-fingerprint circuit breaker state machine (fake clock)."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, collecting
+from repro.service.breaker import CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(threshold=3, cooldown_s=30.0, clock=clock)
+
+
+class TestClosed:
+    def test_unknown_key_is_allowed(self, breaker):
+        assert breaker.allow("fp")
+        assert breaker.state("fp") == "closed"
+        assert breaker.retry_after_s("fp") == 0.0
+
+    def test_failures_below_threshold_stay_closed(self, breaker):
+        breaker.record_failure("fp")
+        breaker.record_failure("fp")
+        assert breaker.state("fp") == "closed"
+        assert breaker.allow("fp")
+
+    def test_success_resets_the_failure_count(self, breaker):
+        breaker.record_failure("fp")
+        breaker.record_failure("fp")
+        breaker.record_success("fp")
+        breaker.record_failure("fp")
+        breaker.record_failure("fp")
+        assert breaker.state("fp") == "closed"
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+
+
+class TestOpen:
+    def test_threshold_failures_open_the_circuit(self, breaker):
+        with collecting(MetricsRegistry()) as registry:
+            for _ in range(3):
+                breaker.record_failure("fp")
+        assert breaker.state("fp") == "open"
+        assert registry.snapshot()["counters"]["service.breaker.opened"] == 1
+
+    def test_open_circuit_sheds(self, breaker):
+        for _ in range(3):
+            breaker.record_failure("fp")
+        with collecting(MetricsRegistry()) as registry:
+            assert not breaker.allow("fp")
+            assert not breaker.allow("fp")
+        assert breaker.shed_total == 2
+        assert registry.snapshot()["counters"]["service.breaker.shed"] == 2
+
+    def test_other_keys_are_unaffected(self, breaker):
+        for _ in range(3):
+            breaker.record_failure("bad")
+        assert breaker.allow("good")
+
+    def test_retry_after_counts_down(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure("fp")
+        assert breaker.retry_after_s("fp") == 30.0
+        clock.advance(12.0)
+        assert breaker.retry_after_s("fp") == 18.0
+
+
+class TestHalfOpen:
+    def test_cooldown_admits_one_trial(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure("fp")
+        clock.advance(30.0)
+        assert breaker.allow("fp")  # the trial
+        assert breaker.state("fp") == "half-open"
+        assert not breaker.allow("fp")  # trial in flight: shed
+
+    def test_trial_success_closes(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure("fp")
+        clock.advance(30.0)
+        assert breaker.allow("fp")
+        breaker.record_success("fp")
+        assert breaker.state("fp") == "closed"
+        assert breaker.allow("fp")
+
+    def test_trial_failure_reopens_immediately(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure("fp")
+        clock.advance(30.0)
+        assert breaker.allow("fp")
+        breaker.record_failure("fp")  # one failure, not threshold, reopens
+        assert breaker.state("fp") == "open"
+        assert not breaker.allow("fp")
+        clock.advance(30.0)
+        assert breaker.allow("fp")  # next cooldown, next trial
+
+
+class TestSnapshot:
+    def test_snapshot_lists_open_keys(self, breaker):
+        for _ in range(3):
+            breaker.record_failure("bad")
+        breaker.record_failure("meh")
+        snapshot = breaker.snapshot()
+        assert snapshot["tracked"] == 2
+        assert snapshot["open"] == ["bad"]
+        assert snapshot["threshold"] == 3
+        assert snapshot["cooldown_s"] == 30.0

@@ -1,0 +1,151 @@
+"""The wire protocol: framing, oversize, truncation, undecodable frames."""
+
+import json
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.service.protocol import (
+    MAX_MESSAGE_BYTES,
+    OversizedMessage,
+    ProtocolError,
+    error_response,
+    recv_message,
+    send_message,
+)
+
+_HEADER = struct.Struct("!I")
+
+
+def pair():
+    return socket.socketpair()
+
+
+class TestRoundTrip:
+    def test_send_then_recv(self):
+        left, right = pair()
+        try:
+            send_message(left, {"op": "health", "n": 7})
+            assert recv_message(right) == {"op": "health", "n": 7}
+        finally:
+            left.close()
+            right.close()
+
+    def test_multiple_frames_on_one_stream(self):
+        left, right = pair()
+        try:
+            for index in range(3):
+                send_message(left, {"id": index})
+            assert [recv_message(right)["id"] for _ in range(3)] == [0, 1, 2]
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_eof_between_frames_is_none(self):
+        left, right = pair()
+        try:
+            send_message(left, {"op": "health"})
+            left.close()
+            assert recv_message(right) == {"op": "health"}
+            assert recv_message(right) is None
+        finally:
+            right.close()
+
+    def test_large_frame_below_limit(self):
+        left, right = pair()
+        payload = {"source": "x" * 300000}
+        try:
+            writer = threading.Thread(target=send_message, args=(left, payload))
+            writer.start()
+            assert recv_message(right) == payload
+            writer.join()
+        finally:
+            left.close()
+            right.close()
+
+
+class TestFailureModes:
+    def test_oversized_header_raises_without_reading_body(self):
+        left, right = pair()
+        try:
+            left.sendall(_HEADER.pack(MAX_MESSAGE_BYTES + 1))
+            with pytest.raises(OversizedMessage) as info:
+                recv_message(right)
+            assert info.value.code == "request-overflow"
+            assert info.value.size == MAX_MESSAGE_BYTES + 1
+            assert info.value.limit == MAX_MESSAGE_BYTES
+        finally:
+            left.close()
+            right.close()
+
+    def test_custom_limit(self):
+        left, right = pair()
+        try:
+            send_message(left, {"op": "x" * 64})
+            with pytest.raises(OversizedMessage):
+                recv_message(right, max_bytes=16)
+        finally:
+            left.close()
+            right.close()
+
+    def test_eof_mid_body_is_a_protocol_error(self):
+        left, right = pair()
+        try:
+            body = json.dumps({"op": "health"}).encode()
+            left.sendall(_HEADER.pack(len(body)) + body[: len(body) // 2])
+            left.close()
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                recv_message(right)
+        finally:
+            right.close()
+
+    def test_eof_after_header_is_a_protocol_error(self):
+        left, right = pair()
+        try:
+            left.sendall(_HEADER.pack(10))
+            left.close()
+            with pytest.raises(ProtocolError):
+                recv_message(right)
+        finally:
+            right.close()
+
+    def test_undecodable_payload(self):
+        left, right = pair()
+        try:
+            body = b"not json at all"
+            left.sendall(_HEADER.pack(len(body)) + body)
+            with pytest.raises(ProtocolError, match="undecodable"):
+                recv_message(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_non_object_payload(self):
+        left, right = pair()
+        try:
+            body = json.dumps([1, 2, 3]).encode()
+            left.sendall(_HEADER.pack(len(body)) + body)
+            with pytest.raises(ProtocolError, match="not a JSON object"):
+                recv_message(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_protocol_error_codes(self):
+        assert ProtocolError.code == "malformed-request"
+        assert OversizedMessage.code == "request-overflow"
+
+
+class TestErrorResponse:
+    def test_shape(self):
+        response = error_response("malformed-request", "bad frame", op="analyze")
+        assert response == {
+            "status": "error",
+            "op": "analyze",
+            "error": {"code": "malformed-request", "message": "bad frame"},
+        }
+
+    def test_op_optional(self):
+        assert "op" not in error_response("request-overflow", "too big")

@@ -1,0 +1,135 @@
+"""Retry policy: attempt bounds, backoff shape, taxonomy classification."""
+
+import random
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, collecting
+from repro.resilience.errors import ReproError, TransientFault
+from repro.resilience.retry import SERVICE_RETRY, RetryPolicy, call_with_retry
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-1.0)
+
+    def test_deterministic_exponential_backoff(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay_s=0.1, multiplier=2.0,
+            max_delay_s=10.0, jitter=0.0,
+        )
+        assert [policy.delay_s(k) for k in range(4)] == [0.1, 0.2, 0.4, 0.8]
+
+    def test_delay_capped(self):
+        policy = RetryPolicy(
+            base_delay_s=1.0, multiplier=10.0, max_delay_s=3.0, jitter=0.0
+        )
+        assert policy.delay_s(5) == 3.0
+
+    def test_seeded_jitter_is_reproducible(self):
+        policy = RetryPolicy(base_delay_s=1.0, jitter=0.5)
+        first = [policy.delay_s(k, random.Random(7)) for k in range(3)]
+        second = [policy.delay_s(k, random.Random(7)) for k in range(3)]
+        assert first == second
+        assert all(0.5 <= d / policy.delay_s(k) <= 1.0
+                   for k, d in enumerate(first))
+
+    def test_retryable_follows_the_taxonomy(self):
+        policy = RetryPolicy()
+        assert policy.retryable("worker-crash")
+        assert policy.retryable("transient-fault")
+        assert not policy.retryable("request-timeout")  # DEGRADE
+        assert not policy.retryable("frontend-error")  # ABORT
+        assert not policy.retryable("no-such-code")
+
+    def test_service_default_is_bounded(self):
+        assert SERVICE_RETRY.max_attempts == 3
+        assert SERVICE_RETRY.max_delay_s <= 1.0
+
+
+class TestCallWithRetry:
+    def test_first_success_never_sleeps(self):
+        sleeps = []
+        assert call_with_retry(lambda: 42, sleep=sleeps.append) == 42
+        assert sleeps == []
+
+    def test_transient_failure_retried_to_success(self):
+        sleeps, retries = [], []
+        attempts = {"n": 0}
+
+        def flaky():
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise TransientFault("blip", phase="serve.worker")
+            return "done"
+
+        with collecting(MetricsRegistry()) as registry:
+            result = call_with_retry(
+                flaky,
+                policy=RetryPolicy(max_attempts=3, jitter=0.0),
+                sleep=sleeps.append,
+                on_retry=lambda error, attempt: retries.append(
+                    (error.code, attempt)
+                ),
+            )
+        assert result == "done"
+        assert attempts["n"] == 3
+        assert len(sleeps) == 2
+        assert retries == [("transient-fault", 0), ("transient-fault", 1)]
+        assert registry.snapshot()["counters"]["service.retries"] == 2
+
+    def test_non_retryable_code_raises_immediately(self):
+        attempts = {"n": 0}
+
+        def hopeless():
+            attempts["n"] += 1
+            raise ReproError("hung", code="request-timeout")
+
+        with pytest.raises(ReproError) as info:
+            call_with_retry(hopeless, sleep=lambda _s: None)
+        assert attempts["n"] == 1
+        assert info.value.code == "request-timeout"
+
+    def test_exhausted_attempts_raise_the_original_error(self):
+        attempts = {"n": 0}
+
+        def always_crashing():
+            attempts["n"] += 1
+            raise ReproError("worker died", code="worker-crash")
+
+        policy = RetryPolicy(max_attempts=3, jitter=0.0)
+        with pytest.raises(ReproError) as info:
+            call_with_retry(always_crashing, policy=policy, sleep=lambda _s: None)
+        assert attempts["n"] == 3
+        assert info.value.code == "worker-crash"
+
+    def test_unregistered_exception_classified_and_not_retried(self):
+        # plain exceptions wrap to internal-error (DEGRADE): no retry
+        attempts = {"n": 0}
+
+        def broken():
+            attempts["n"] += 1
+            raise KeyError("boom")
+
+        with pytest.raises(KeyError):
+            call_with_retry(broken, sleep=lambda _s: None)
+        assert attempts["n"] == 1
+
+    def test_max_attempts_one_disables_retries(self):
+        attempts = {"n": 0}
+
+        def crashing():
+            attempts["n"] += 1
+            raise ReproError("x", code="worker-crash")
+
+        with pytest.raises(ReproError):
+            call_with_retry(
+                crashing, policy=RetryPolicy(max_attempts=1),
+                sleep=lambda _s: None,
+            )
+        assert attempts["n"] == 1

@@ -1,0 +1,307 @@
+"""End-to-end server tests: the serving contract over real sockets.
+
+The contract under test: only a malformed or oversized request yields
+``status: error``; every analysis failure comes back ``status: degraded``
+with a matching DegradationRecord and RES5xx diagnostic; and the server
+survives all of it.
+"""
+
+import socket
+import struct
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, collecting
+from repro.obs.runlog import source_fingerprint
+from repro.resilience.retry import RetryPolicy
+from repro.service import AnalysisServer, ServiceClient
+from repro.service.protocol import recv_message
+
+GOOD = """\
+i = 0
+x = 0
+L1: while i < 10 do
+  x = x + i
+  i = i + 1
+endwhile
+"""
+
+BAD = "L1: while i <\n"
+
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay_s=0.01, max_delay_s=0.05)
+
+
+@pytest.fixture(scope="class")
+def served():
+    """One healthy server + its registry, shared across a test class."""
+    with collecting(MetricsRegistry()) as registry:
+        server = AnalysisServer(pool_size=2, retry_policy=FAST_RETRY)
+        host, port = server.start()
+        try:
+            yield server, host, port, registry
+        finally:
+            server.stop(grace_s=5.0)
+
+
+def client_for(served):
+    _server, host, port, _registry = served
+    return ServiceClient(host, port, timeout_s=30.0)
+
+
+class TestHappyPath:
+    def test_analyze_ok(self, served):
+        with client_for(served) as client:
+            response = client.analyze(GOOD)
+        assert response["status"] == "ok"
+        (result,) = response["results"]
+        assert result["status"] == "ok"
+        assert result["fingerprint"] == source_fingerprint(GOOD)
+        assert result["record"]["loops"]
+        assert result["degradations"] == []
+        assert response["elapsed_s"] >= 0
+
+    def test_repeat_request_is_served_from_cache(self, served):
+        source = GOOD.replace("10", "11")
+        with client_for(served) as client:
+            first = client.analyze(source)
+            second = client.analyze(source)
+        assert "cached" not in first["results"][0]
+        assert second["results"][0]["cached"] is True
+        assert second["status"] == "ok"
+
+    def test_options_key_the_cache(self, served):
+        source = GOOD.replace("10", "12")
+        with client_for(served) as client:
+            client.analyze(source)
+            report = client.analyze(source, options={"report": True})
+        # different options: a fresh analysis, not the cached plain one
+        assert "cached" not in report["results"][0]
+        assert "loop L1" in report["results"][0]["report"]
+
+    def test_batch_shards_across_the_pool(self, served):
+        programs = [
+            {"name": f"f{i}", "source": GOOD.replace("10", str(20 + i))}
+            for i in range(6)
+        ]
+        with client_for(served) as client:
+            response = client.analyze_batch(programs)
+        assert response["status"] == "ok"
+        assert len(response["results"]) == 6
+        assert {r["worker"] for r in response["results"]} == {0, 1}
+
+    def test_frontend_error_degrades_with_record(self, served):
+        with client_for(served) as client:
+            response = client.analyze(BAD)
+        assert response["status"] == "degraded"
+        (result,) = response["results"]
+        assert result["error"]["code"] == "frontend-error"
+        (record,) = result["degradations"]
+        assert record["phase"] == "serve.worker"
+        assert record["code"] == "frontend-error"
+        assert record["diag_code"] == "RES501"
+        assert result["diagnostics"][0]["code"] == "RES501"
+
+    def test_client_errors_do_not_trip_the_breaker(self, served):
+        server = served[0]
+        with client_for(served) as client:
+            for _ in range(4):
+                client.analyze(BAD)
+            response = client.analyze(BAD)
+        # still degraded (answered), never shed
+        assert response["results"][0]["error"]["code"] == "frontend-error"
+        assert server.breaker.snapshot()["open"] == []
+
+    def test_health_ready_stats(self, served):
+        with client_for(served) as client:
+            health = client.health()
+            ready = client.ready()
+            stats = client.stats()
+        assert health == {"status": "ok", "op": "health", "alive": True}
+        assert ready["ready"] is True
+        assert ready["pool"]["alive"] == 2
+        assert stats["uptime_s"] >= 0
+        assert stats["pool"]["size"] == 2
+        assert "service.requests" in stats["metrics"]["counters"]
+
+    def test_unknown_op_is_a_request_error(self, served):
+        with client_for(served) as client:
+            response = client.request({"op": "explode"})
+        assert response["status"] == "error"
+        assert response["error"]["code"] == "malformed-request"
+
+    def test_missing_source_is_a_request_error(self, served):
+        with client_for(served) as client:
+            response = client.request({"op": "analyze"})
+        assert response["status"] == "error"
+        assert response["error"]["code"] == "malformed-request"
+
+    def test_non_string_source_in_batch_is_a_request_error(self, served):
+        with client_for(served) as client:
+            response = client.analyze_batch([{"name": "f", "source": 42}])
+        assert response["status"] == "error"
+        assert "programs[0]" in response["error"]["message"]
+
+    def test_oversized_frame_is_answered_then_closed(self, served):
+        _server, host, port, _registry = served
+        with socket.create_connection((host, port), timeout=10.0) as sock:
+            sock.sendall(struct.pack("!I", 64 * 1024 * 1024))
+            response = recv_message(sock)
+        assert response["status"] == "error"
+        assert response["error"]["code"] == "request-overflow"
+
+    def test_garbage_bytes_are_answered_then_closed(self, served):
+        _server, host, port, _registry = served
+        with socket.create_connection((host, port), timeout=10.0) as sock:
+            body = b"\xff\xfe garbage"
+            sock.sendall(struct.pack("!I", len(body)) + body)
+            response = recv_message(sock)
+        assert response["status"] == "error"
+        assert response["error"]["code"] == "malformed-request"
+
+    def test_server_survives_all_of_the_above(self, served):
+        with client_for(served) as client:
+            assert client.health()["alive"] is True
+
+
+class TestPerRequestMetrics:
+    def test_request_metrics_are_isolated(self, served):
+        source_a = GOOD.replace("10", "31")
+        source_b = GOOD.replace("10", "32")
+        with client_for(served) as client:
+            first = client.analyze(source_a)
+            second = client.analyze(source_b)
+        # each response carries only its own request's counters
+        assert first["metrics"]["counters"]["service.cache.misses"] == 1
+        assert second["metrics"]["counters"]["service.cache.misses"] == 1
+
+    def test_degraded_response_counts_its_own_degradation(self, served):
+        with client_for(served) as client:
+            response = client.analyze(BAD)
+        counters = response["metrics"]["counters"]
+        assert counters["resilience.degraded.serve.worker"] == 1
+
+    def test_request_counters_merge_into_the_server_registry(self, served):
+        _server, _host, _port, registry = served
+        counters = registry.snapshot()["counters"]
+        assert counters["service.requests"] >= 1
+        assert counters["service.requests.degraded"] >= 1
+        assert counters["service.connections"] >= 1
+
+
+class TestCrashIsolation:
+    @pytest.fixture(scope="class")
+    def crashing(self):
+        with collecting(MetricsRegistry()) as registry:
+            server = AnalysisServer(
+                pool_size=1,
+                retry_policy=FAST_RETRY,
+                breaker_threshold=2,
+                breaker_cooldown_s=60.0,
+                fault_spec={"points": ["serve.worker"], "rate": 1.0},
+            )
+            host, port = server.start()
+            try:
+                yield server, host, port, registry
+            finally:
+                server.stop(grace_s=5.0)
+
+    def test_crash_degrades_with_res506_and_server_survives(self, crashing):
+        server, host, port, _registry = crashing
+        with ServiceClient(host, port, timeout_s=30.0) as client:
+            response = client.analyze(GOOD)
+            assert client.health()["alive"] is True
+        assert response["status"] == "degraded"
+        (result,) = response["results"]
+        assert result["error"]["code"] == "worker-crash"
+        (record,) = result["degradations"]
+        assert record["phase"] == "serve.worker"
+        assert record["code"] == "worker-crash"
+        assert record["diag_code"] == "RES506"
+        assert result["diagnostics"][0]["code"] == "RES506"
+        # all retry attempts burned a worker incarnation
+        assert server.pool.crashes >= FAST_RETRY.max_attempts
+        counters = response["metrics"]["counters"]
+        assert counters["resilience.degraded.serve.worker"] == 1
+        assert counters["service.retries"] == FAST_RETRY.max_attempts - 1
+
+    def test_repeated_crashes_open_the_circuit(self, crashing):
+        server, host, port, _registry = crashing
+        with ServiceClient(host, port, timeout_s=30.0) as client:
+            client.analyze(GOOD)  # failure #2 (test above was #1): opens
+            response = client.analyze(GOOD)
+        assert server.breaker.state(source_fingerprint(GOOD)) == "open"
+        (result,) = response["results"]
+        assert result["error"]["code"] == "circuit-open"
+        assert result["degradations"][0]["diag_code"] == "RES508"
+        assert result["degradations"][0]["action"] == "shed"
+        assert result["retry_after_s"] > 0
+        # a shed request costs no dispatch
+        assert result["diagnostics"][0]["code"] == "RES508"
+
+    def test_other_fingerprints_still_crash_independently(self, crashing):
+        _server, host, port, _registry = crashing
+        other = GOOD.replace("10", "41")
+        with ServiceClient(host, port, timeout_s=30.0) as client:
+            response = client.analyze(other)
+        assert response["results"][0]["error"]["code"] == "worker-crash"
+
+
+class TestHangIsolation:
+    def test_hang_degrades_with_res507_and_pool_recovers(self):
+        with collecting(MetricsRegistry()):
+            server = AnalysisServer(
+                pool_size=1, request_timeout_s=0.5, retry_policy=FAST_RETRY
+            )
+            host, port = server.start()
+            try:
+                with ServiceClient(host, port, timeout_s=30.0) as client:
+                    hung = client.analyze(GOOD, chaos_sleep_s=30.0)
+                    healthy = client.analyze(GOOD)
+            finally:
+                server.stop(grace_s=5.0)
+        (result,) = hung["results"]
+        assert result["error"]["code"] == "request-timeout"
+        assert result["degradations"][0]["diag_code"] == "RES507"
+        # request-timeout is DEGRADE policy: exactly one kill, no retry
+        assert server.pool.timeouts == 1
+        assert healthy["results"][0]["status"] == "ok"
+
+
+class TestDrain:
+    def test_stop_drains_and_is_idempotent(self):
+        server = AnalysisServer(pool_size=1, retry_policy=FAST_RETRY)
+        host, port = server.start()
+        with ServiceClient(host, port, timeout_s=10.0) as client:
+            assert client.analyze(GOOD)["status"] == "ok"
+        server.stop(grace_s=5.0)
+        assert server.wait(timeout=1.0)
+        assert server.pool.alive_count() == 0
+        with pytest.raises(OSError):
+            socket.create_connection((host, port), timeout=0.5)
+        server.stop(grace_s=1.0)  # no raise
+
+    def test_start_is_idempotent(self):
+        server = AnalysisServer(pool_size=1)
+        address = server.start()
+        assert server.start() == address
+        server.stop(grace_s=5.0)
+
+
+class TestRunlog:
+    def test_clean_results_are_recorded(self, tmp_path):
+        directory = str(tmp_path / "runs")
+        server = AnalysisServer(
+            pool_size=1, retry_policy=FAST_RETRY, runlog_dir=directory
+        )
+        host, port = server.start()
+        try:
+            with ServiceClient(host, port, timeout_s=10.0) as client:
+                client.analyze(GOOD)
+                client.analyze(BAD)  # degraded: not a record
+        finally:
+            server.stop(grace_s=5.0)
+        import repro.obs.aggregate as agg
+
+        records = agg.load_records(directory)
+        assert len(records) == 1
+        assert records[0]["fingerprint"] == source_fingerprint(GOOD)
