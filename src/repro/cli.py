@@ -552,6 +552,15 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "window is killed, respawned, and degraded (default: %(default)s)",
     )
     parser.add_argument(
+        "--idle-timeout-s",
+        type=float,
+        default=60.0,
+        dest="idle_timeout_s",
+        metavar="SECONDS",
+        help="drop a connection whose peer sends no (or only a partial) "
+        "frame for this long; 0 disables (default: %(default)s)",
+    )
+    parser.add_argument(
         "--cache",
         type=int,
         default=256,
@@ -706,6 +715,7 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
                 port=args.port,
                 pool_size=args.workers,
                 request_timeout_s=args.timeout_s,
+                idle_timeout_s=args.idle_timeout_s,
                 cache_capacity=args.cache,
                 breaker_threshold=args.breaker_threshold,
                 breaker_cooldown_s=args.breaker_cooldown_s,

@@ -271,6 +271,12 @@ register(
     "repeated worker failures, so the request was shed with a structured "
     "degraded response instead of being dispatched.",
 )
+register(
+    "RES509", "response-truncated", Severity.WARNING, "resilience",
+    "A service response serialized past the protocol's maximum message "
+    "size; the serving layer dropped the report/record payloads so the "
+    "client still receives a (degraded) response it can decode.",
+)
 
 # ----------------------------------------------------------------------
 # value-range checks (see repro.ranges / docs/RANGES.md)

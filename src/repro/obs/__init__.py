@@ -216,6 +216,8 @@ METRIC_NAMES = frozenset(
         "service.breaker.opened",
         "service.breaker.shed",
         "service.runlog.errors",
+        "service.idle_timeouts",
+        "service.responses.truncated",
     }
 )
 

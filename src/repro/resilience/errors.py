@@ -158,6 +158,12 @@ _register(
     "A service request exceeded the protocol's maximum message size; the "
     "client gets a structured error response and the connection closes.",
 )
+_register(
+    "response-overflow", RecoveryPolicy.DEGRADE,
+    "A service response serialized past the protocol's maximum message "
+    "size; the server drops the report/record payloads and answers a "
+    "truncated degraded response instead of an unreceivable frame.",
+)
 
 
 class ReproError(Exception):

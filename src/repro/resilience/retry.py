@@ -38,7 +38,17 @@ from repro.resilience.errors import (
 
 T = TypeVar("T")
 
-__all__ = ["RetryPolicy", "SERVICE_RETRY", "call_with_retry"]
+__all__ = ["RetryPolicy", "SERVICE_RETRY", "call_with_retry", "seed_retry_rng"]
+
+#: the jitter stream used when a caller passes no rng of its own --
+#: module-level so concurrent retry loops share (and de-correlate
+#: through) one stream, seeded so a fresh process is reproducible
+_DEFAULT_RNG = random.Random(0x5EED)
+
+
+def seed_retry_rng(seed: int) -> None:
+    """Re-seed the shared default jitter stream (tests, chaos harness)."""
+    _DEFAULT_RNG.seed(seed)
 
 
 @dataclass(frozen=True)
@@ -107,7 +117,13 @@ def call_with_retry(
     run out (or the code is not retryable) the *original* exception
     propagates, so the caller's isolation boundary sees the real error.
     ``on_retry(error, retry_index)`` is called before each backoff sleep.
+    ``rng`` defaults to the module's shared seeded stream, so the
+    policy's jitter applies even when the caller passes none (and
+    concurrent retry loops do not back off in lockstep); pass
+    ``jitter=0`` in the policy for fully deterministic delays.
     """
+    if rng is None:
+        rng = _DEFAULT_RNG
     last: Optional[BaseException] = None
     for attempt in range(policy.max_attempts):
         try:

@@ -13,7 +13,10 @@ standard three-state machine, keyed by source fingerprint:
   (``circuit-open`` / RES508) instead of burning another worker;
 * **half-open** -- after ``cooldown_s`` one trial request is let
   through; success closes the circuit, failure re-opens it for another
-  cooldown.
+  cooldown.  A trial that never reports back (its thread died, or the
+  request was answered from cache without a dispatch) expires after a
+  further ``cooldown_s``, admitting a fresh trial -- half-open can
+  never wedge a fingerprint into being shed forever.
 
 Failures that count are worker-level ones (crash, timeout, internal
 error after retries).  Client-input errors (``frontend-error``,
@@ -38,13 +41,14 @@ _HALF_OPEN = "half-open"
 
 
 class _Circuit:
-    __slots__ = ("state", "failures", "opened_at", "opened_count")
+    __slots__ = ("state", "failures", "opened_at", "opened_count", "trial_at")
 
     def __init__(self) -> None:
         self.state = _CLOSED
         self.failures = 0
         self.opened_at = 0.0
         self.opened_count = 0
+        self.trial_at = 0.0
 
 
 class CircuitBreaker:
@@ -84,11 +88,19 @@ class CircuitBreaker:
             if circuit.state == _OPEN:
                 if self._clock() - circuit.opened_at >= self.cooldown_s:
                     circuit.state = _HALF_OPEN
+                    circuit.trial_at = self._clock()
                     return True
                 self.shed_total += 1
                 _metrics.inc("service.breaker.shed")
                 return False
-            # half-open: one trial is already in flight; shed the rest
+            # half-open: one trial is in flight; shed the rest -- unless
+            # the trial is stale (its thread died, or it short-circuited
+            # without reporting), in which case a full cooldown since the
+            # trial started admits a fresh one so the key is never shed
+            # forever
+            if self._clock() - circuit.trial_at >= self.cooldown_s:
+                circuit.trial_at = self._clock()
+                return True
             self.shed_total += 1
             _metrics.inc("service.breaker.shed")
             return False

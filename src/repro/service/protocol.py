@@ -66,9 +66,23 @@ class OversizedMessage(ProtocolError):
         self.limit = limit
 
 
-def send_message(sock: socket.socket, obj: Dict[str, Any]) -> None:
-    """Serialize ``obj`` and send it as one frame."""
+def send_message(
+    sock: socket.socket,
+    obj: Dict[str, Any],
+    max_bytes: Optional[int] = None,
+) -> None:
+    """Serialize ``obj`` and send it as one frame.
+
+    With ``max_bytes`` set, raises :class:`OversizedMessage` *before*
+    sending anything when the serialized frame would exceed it -- the
+    sender can then shrink the payload and retry on a still-clean
+    stream.  The server bounds its responses this way so a peer
+    receiving with the same limit never chokes on a successful
+    exchange.
+    """
     body = json.dumps(obj, sort_keys=True, default=str).encode("utf-8")
+    if max_bytes is not None and len(body) > max_bytes:
+        raise OversizedMessage(len(body), max_bytes)
     sock.sendall(_HEADER.pack(len(body)) + body)
 
 

@@ -15,10 +15,11 @@ Per ``analyze`` request the server:
 
 1. validates and fingerprints each submitted program (a batch request
    shards its independent programs across the pool by fingerprint);
-2. consults the per-fingerprint :class:`CircuitBreaker` -- open circuits
+2. consults the :class:`ResultCache` (clean results only; any cache
+   failure reads as a miss) -- before the breaker, so a hit costs no
+   worker and never absorbs a half-open trial;
+3. consults the per-fingerprint :class:`CircuitBreaker` -- open circuits
    shed immediately with ``circuit-open`` / RES508;
-3. consults the :class:`ResultCache` (clean results only; any cache
-   failure reads as a miss);
 4. dispatches through :func:`~repro.resilience.retry.call_with_retry`,
    so a crashed worker (``worker-crash``, policy RETRY) gets bounded
    retries with backoff on the respawned shard, while a hung worker
@@ -38,6 +39,7 @@ from __future__ import annotations
 
 import contextvars
 import dataclasses
+import random
 import socket
 import threading
 import time
@@ -48,7 +50,12 @@ from repro.obs.runlog import RunLogWriter, source_fingerprint
 from repro.obs.trace import event as _trace_event
 from repro.obs.trace import span as _trace_span
 from repro.resilience.budget import SERVICE_BUDGET, AnalysisBudget
-from repro.resilience.errors import ReproError, RecoveryPolicy, error_code_info
+from repro.resilience.errors import (
+    ReproError,
+    RecoveryPolicy,
+    error_code_info,
+    wrap_exception,
+)
 from repro.resilience.isolation import DegradationLog
 from repro.resilience.retry import SERVICE_RETRY, RetryPolicy, call_with_retry
 from repro.service.breaker import CircuitBreaker
@@ -70,6 +77,7 @@ _DIAG_FOR_CODE = {
     "worker-crash": "RES506",
     "request-timeout": "RES507",
     "circuit-open": "RES508",
+    "response-overflow": "RES509",
 }
 
 
@@ -86,10 +94,12 @@ class AnalysisServer:
         port: int = 0,
         pool_size: int = 2,
         request_timeout_s: float = 10.0,
+        idle_timeout_s: Optional[float] = 60.0,
         cache_capacity: int = 256,
         breaker_threshold: int = 3,
         breaker_cooldown_s: float = 30.0,
         retry_policy: RetryPolicy = SERVICE_RETRY,
+        retry_rng: Optional[random.Random] = None,
         fault_spec: Optional[Dict[str, Any]] = None,
         runlog_dir: Optional[str] = None,
         default_budget: AnalysisBudget = SERVICE_BUDGET,
@@ -98,7 +108,12 @@ class AnalysisServer:
         self.host = host
         self.port = port
         self.request_timeout_s = request_timeout_s
+        # a connection that sends no (or only a partial) frame for this
+        # long is dropped: a dribbling client must not pin a thread
+        # forever (None / 0 disables -- tests of blocking behaviour)
+        self.idle_timeout_s = idle_timeout_s or None
         self.retry_policy = retry_policy
+        self.retry_rng = retry_rng
         self.default_budget = default_budget
         self.max_message_bytes = max_message_bytes
         self.pool = WorkerPool(
@@ -195,7 +210,9 @@ class AnalysisServer:
                 continue  # periodic shutdown-flag check
             except OSError:
                 return  # listener closed by stop()
-            conn.settimeout(None)  # accepted sockets inherit the timeout
+            # accepted sockets inherit the listener's 0.2s timeout;
+            # replace it with the per-connection idle/read timeout
+            conn.settimeout(self.idle_timeout_s)
             _metrics.inc("service.connections")
             context = (
                 self._base_context.copy()
@@ -220,6 +237,13 @@ class AnalysisServer:
             while not self._shutdown.is_set():
                 try:
                     request = recv_message(conn, self.max_message_bytes)
+                except socket.timeout:
+                    # idle/read timeout: the peer sent nothing (or
+                    # stalled mid-frame) for idle_timeout_s; a partial
+                    # frame cannot be answered mid-stream, so drop the
+                    # connection rather than pin this thread forever
+                    _metrics.inc("service.idle_timeouts")
+                    return
                 except OversizedMessage as error:
                     # cannot resync the stream without draining the huge
                     # body: answer, then close
@@ -239,8 +263,19 @@ class AnalysisServer:
                     return
                 if request is None:
                     return  # clean EOF between frames
-                response = self._handle_request(request)
-                send_message(conn, response)
+                try:
+                    response = self._handle_request(request)
+                except Exception as error:  # noqa: BLE001 - contract backstop
+                    # the serving contract: every valid frame gets a
+                    # response, whatever bug the handler just hit
+                    _metrics.inc("service.errors")
+                    response = error_response(
+                        "internal-error",
+                        "unexpected error handling request: "
+                        f"{type(error).__name__}: {error}",
+                        op=str(request.get("op")),
+                    )
+                self._send_response(conn, response)
         except OSError:
             return  # peer vanished; nothing to answer
         finally:
@@ -248,6 +283,85 @@ class AnalysisServer:
                 conn.close()
             except OSError:  # pragma: no cover
                 pass
+
+    def _send_response(
+        self, conn: socket.socket, response: Dict[str, Any]
+    ) -> None:
+        """Send one response frame no larger than the receive limit.
+
+        The client enforces the same ``max_message_bytes`` on receive
+        that the server enforces on requests, so an unbounded response
+        (a near-limit batch with ``report: true``) would make the
+        *client* choke on a successful exchange.  Oversized responses
+        are truncated -- report/record payloads dropped, a RES509
+        degradation appended -- and only if even the skeleton does not
+        fit does the exchange fall back to a bare error response.
+        """
+        try:
+            send_message(conn, response, max_bytes=self.max_message_bytes)
+            return
+        except OversizedMessage as error:
+            _metrics.inc("service.responses.truncated")
+            slim = self._truncated_response(response, error)
+        try:
+            send_message(conn, slim, max_bytes=self.max_message_bytes)
+        except OversizedMessage as error:  # pragma: no cover - huge batch
+            _metrics.inc("service.errors")
+            send_message(
+                conn,
+                error_response(
+                    "response-overflow",
+                    f"response of {error.size} bytes exceeds the "
+                    f"{error.limit}-byte frame limit even after "
+                    "truncation",
+                ),
+            )
+
+    def _truncated_response(
+        self, response: Dict[str, Any], error: OversizedMessage
+    ) -> Dict[str, Any]:
+        """The degraded skeleton of an oversized response."""
+        log = DegradationLog()
+        log.record(
+            "serve.protocol",
+            code="response-overflow",
+            message=(
+                f"response of {error.size} bytes exceeds the "
+                f"{error.limit}-byte frame limit; report/record "
+                "payloads dropped"
+            ),
+            diag_code="RES509",
+            action="truncated",
+        )
+        note = _degradation_payload(log)
+        diagnostic = {
+            "code": "RES509",
+            "error": "response-overflow",
+            "message": log.records[-1].message,
+        }
+        slim = dict(response)
+        slim.pop("metrics", None)
+        results = []
+        for result in slim.get("results") or []:
+            if not isinstance(result, dict):  # pragma: no cover
+                continue
+            trimmed = dict(result)
+            trimmed.pop("report", None)
+            trimmed.pop("record", None)
+            trimmed["status"] = "degraded"
+            trimmed["truncated"] = True
+            trimmed["degradations"] = (
+                list(trimmed.get("degradations") or []) + note
+            )
+            trimmed["diagnostics"] = (
+                list(trimmed.get("diagnostics") or []) + [diagnostic]
+            )
+            results.append(trimmed)
+        if results:
+            slim["results"] = results
+        if slim.get("status") == "ok":
+            slim["status"] = "degraded"
+        return slim
 
     # ------------------------------------------------------------------
     # request dispatch
@@ -333,6 +447,18 @@ class AnalysisServer:
             return error_response(
                 "malformed-request", "'options' must be an object", op="analyze"
             )
+        deadline = options.get("deadline_s")
+        if deadline is not None and (
+            isinstance(deadline, bool)
+            or not isinstance(deadline, (int, float))
+            or not deadline > 0  # "not >" also rejects NaN
+        ):
+            _metrics.inc("service.errors")
+            return error_response(
+                "malformed-request",
+                "'options.deadline_s' must be a positive number",
+                op="analyze",
+            )
         started = time.perf_counter()
         # one registry per request: counters (cache hits, retries,
         # degradations) scoped to this exchange, merged up on exit
@@ -369,8 +495,39 @@ class AnalysisServer:
         source = program["source"]
         name = program.get("name") or "main"
         fingerprint = source_fingerprint(source)
-        serve_log = DegradationLog()
         base = {"name": name, "fingerprint": fingerprint}
+        try:
+            return self._analyze_program(base, program, options, fingerprint)
+        except Exception as error:  # noqa: BLE001 - contract backstop
+            # an unexpected bug below must degrade the program, never
+            # escape to drop the whole connection
+            return self._degraded_result(
+                base,
+                wrap_exception(error, "serve.dispatch"),
+                DegradationLog(),
+                fingerprint,
+            )
+
+    def _analyze_program(
+        self,
+        base: Dict[str, Any],
+        program: Dict[str, Any],
+        options: Dict[str, Any],
+        fingerprint: str,
+    ) -> Dict[str, Any]:
+        source = program["source"]
+        name = base["name"]
+        serve_log = DegradationLog()
+
+        # cache first, breaker second: a hit costs no worker (so there
+        # is nothing for the breaker to protect) and, crucially, must
+        # not absorb the one half-open trial -- a cached options-set
+        # would otherwise leave a circuit opened by a *different*
+        # options-set stuck in half-open with its trial never reported
+        key = cache_key(fingerprint, options)
+        cached, _cache_ok = safe_lookup(self.cache, key)
+        if cached is not None:
+            return dict(cached, cached=True)
 
         if not self.breaker.allow(fingerprint):
             serve_log.record(
@@ -393,11 +550,6 @@ class AnalysisServer:
                 retry_after_s=round(self.breaker.retry_after_s(fingerprint), 3),
             )
 
-        key = cache_key(fingerprint, options)
-        cached, _cache_ok = safe_lookup(self.cache, key)
-        if cached is not None:
-            return dict(cached, cached=True)
-
         job = {
             "id": self._next_job_id(),
             "name": name,
@@ -414,6 +566,7 @@ class AnalysisServer:
                 lambda: self._dispatch(job),
                 policy=self.retry_policy,
                 phase="serve.worker",
+                rng=self.retry_rng,  # None -> retry.py's seeded default
                 on_retry=lambda error, attempt: _trace_event(
                     "service.retry", code=error.code, attempt=attempt
                 ),

@@ -111,6 +111,21 @@ class TestHalfOpen:
         clock.advance(30.0)
         assert breaker.allow("fp")  # next cooldown, next trial
 
+    def test_stale_trial_expires_into_a_fresh_one(self, breaker, clock):
+        """A trial that never reports back must not shed the key forever."""
+        for _ in range(3):
+            breaker.record_failure("fp")
+        clock.advance(30.0)
+        assert breaker.allow("fp")  # the trial -- which never reports
+        clock.advance(29.9)
+        assert not breaker.allow("fp")  # still within the trial's cooldown
+        clock.advance(0.1)
+        assert breaker.allow("fp")  # stale trial expired: fresh trial
+        assert breaker.state("fp") == "half-open"
+        assert not breaker.allow("fp")  # the fresh trial is now in flight
+        breaker.record_success("fp")
+        assert breaker.state("fp") == "closed"
+
 
 class TestSnapshot:
     def test_snapshot_lists_open_keys(self, breaker):

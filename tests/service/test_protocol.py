@@ -66,6 +66,32 @@ class TestRoundTrip:
             right.close()
 
 
+class TestSendLimit:
+    def test_oversized_frame_refused_before_sending(self):
+        left, right = pair()
+        try:
+            with pytest.raises(OversizedMessage) as info:
+                send_message(left, {"report": "x" * 256}, max_bytes=64)
+            assert info.value.limit == 64
+            # nothing hit the wire: the stream is still clean
+            send_message(left, {"op": "health"}, max_bytes=64)
+            assert recv_message(right) == {"op": "health"}
+        finally:
+            left.close()
+            right.close()
+
+    def test_frame_at_the_limit_is_sent(self):
+        left, right = pair()
+        payload = {"k": "v"}
+        limit = len(json.dumps(payload, sort_keys=True).encode())
+        try:
+            send_message(left, payload, max_bytes=limit)
+            assert recv_message(right) == payload
+        finally:
+            left.close()
+            right.close()
+
+
 class TestFailureModes:
     def test_oversized_header_raises_without_reading_body(self):
         left, right = pair()

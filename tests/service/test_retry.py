@@ -6,7 +6,12 @@ import pytest
 
 from repro.obs.metrics import MetricsRegistry, collecting
 from repro.resilience.errors import ReproError, TransientFault
-from repro.resilience.retry import SERVICE_RETRY, RetryPolicy, call_with_retry
+from repro.resilience.retry import (
+    SERVICE_RETRY,
+    RetryPolicy,
+    call_with_retry,
+    seed_retry_rng,
+)
 
 
 class TestPolicy:
@@ -119,6 +124,29 @@ class TestCallWithRetry:
         with pytest.raises(KeyError):
             call_with_retry(broken, sleep=lambda _s: None)
         assert attempts["n"] == 1
+
+    def test_default_rng_applies_the_policy_jitter(self):
+        """jitter > 0 must jitter even when the caller passes no rng."""
+        policy = RetryPolicy(
+            max_attempts=4, base_delay_s=1.0, multiplier=1.0,
+            max_delay_s=1.0, jitter=0.5,
+        )
+
+        def crashing():
+            raise ReproError("x", code="worker-crash")
+
+        def sleeps_for(seed):
+            seed_retry_rng(seed)
+            sleeps = []
+            with pytest.raises(ReproError):
+                call_with_retry(crashing, policy=policy, sleep=sleeps.append)
+            return sleeps
+
+        first = sleeps_for(7)
+        assert len(first) == 3
+        assert all(0.5 <= s <= 1.0 for s in first)
+        assert len(set(first)) > 1  # not backing off in lockstep
+        assert sleeps_for(7) == first  # seeded: reproducible
 
     def test_max_attempts_one_disables_retries(self):
         attempts = {"n": 0}

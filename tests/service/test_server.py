@@ -15,6 +15,7 @@ from repro.obs.metrics import MetricsRegistry, collecting
 from repro.obs.runlog import source_fingerprint
 from repro.resilience.retry import RetryPolicy
 from repro.service import AnalysisServer, ServiceClient
+from repro.service.cache import cache_key
 from repro.service.protocol import recv_message
 
 GOOD = """\
@@ -158,6 +159,28 @@ class TestHappyPath:
         assert response["status"] == "error"
         assert response["error"]["code"] == "malformed-request"
 
+    def test_non_numeric_deadline_is_a_request_error(self, served):
+        with client_for(served) as client:
+            response = client.analyze(GOOD, options={"deadline_s": "soon"})
+            assert response["status"] == "error"
+            assert response["error"]["code"] == "malformed-request"
+            assert "deadline_s" in response["error"]["message"]
+            # the connection survived: the same socket answers again
+            assert client.health()["alive"] is True
+
+    def test_bad_deadline_values_are_rejected(self, served):
+        with client_for(served) as client:
+            for bad in (True, -1, 0, "1.5", [1], float("nan")):
+                response = client.analyze(GOOD, options={"deadline_s": bad})
+                assert response["status"] == "error", bad
+                assert response["error"]["code"] == "malformed-request", bad
+
+    def test_numeric_deadline_is_accepted(self, served):
+        source = GOOD.replace("10", "55")
+        with client_for(served) as client:
+            response = client.analyze(source, options={"deadline_s": 30})
+        assert response["status"] == "ok"
+
     def test_server_survives_all_of_the_above(self, served):
         with client_for(served) as client:
             assert client.health()["alive"] is True
@@ -285,6 +308,126 @@ class TestDrain:
         address = server.start()
         assert server.start() == address
         server.stop(grace_s=5.0)
+
+
+class TestServingContractBackstops:
+    """Unexpected exceptions must be answered, never drop the connection."""
+
+    def test_handler_bug_is_answered_not_dropped(self, monkeypatch):
+        server = AnalysisServer(pool_size=1, retry_policy=FAST_RETRY)
+        host, port = server.start()
+
+        def raiser(request):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(server, "_handle_analyze", raiser)
+        try:
+            with ServiceClient(host, port, timeout_s=10.0) as client:
+                response = client.analyze(GOOD)
+                assert response["status"] == "error"
+                assert response["error"]["code"] == "internal-error"
+                assert "boom" in response["error"]["message"]
+                assert client.health()["alive"] is True
+        finally:
+            server.stop(grace_s=5.0)
+
+    def test_program_level_bug_degrades_the_program(self, monkeypatch):
+        # e.g. a dispatch-path TypeError: not a ReproError, not retryable
+        server = AnalysisServer(pool_size=1)
+
+        def boom(job):
+            raise TypeError("float() argument must be a number")
+
+        monkeypatch.setattr(server, "_dispatch", boom)
+        result = server._run_program({"name": "main", "source": GOOD}, {})
+        assert result["status"] == "degraded"
+        assert result["error"]["code"] == "internal-error"
+        assert result["degradations"][0]["code"] == "internal-error"
+        assert result["diagnostics"][0]["code"] == "RES501"
+
+
+class TestCacheBeforeBreaker:
+    def test_cache_hit_is_served_while_the_circuit_is_open(self):
+        """A hit costs no worker, so an open circuit must not shed it --
+        and a cached options-set must never absorb the half-open trial."""
+        server = AnalysisServer(pool_size=1)
+        fingerprint = source_fingerprint(GOOD)
+        cached = {
+            "name": "main", "fingerprint": fingerprint,
+            "status": "ok", "record": {},
+        }
+        server.cache.put(cache_key(fingerprint, {}), cached)
+        for _ in range(3):
+            server.breaker.record_failure(fingerprint)
+        assert server.breaker.state(fingerprint) == "open"
+        result = server._run_program({"name": "main", "source": GOOD}, {})
+        assert result["cached"] is True
+        assert result["status"] == "ok"
+        # an uncached options-set for the same fingerprint is still shed
+        shed = server._run_program(
+            {"name": "main", "source": GOOD}, {"report": True}
+        )
+        assert shed["error"]["code"] == "circuit-open"
+
+
+class TestIdleTimeout:
+    def test_stalled_connection_is_dropped_and_server_survives(self):
+        server = AnalysisServer(
+            pool_size=1, idle_timeout_s=0.3, retry_policy=FAST_RETRY
+        )
+        host, port = server.start()
+        try:
+            with socket.create_connection((host, port), timeout=5.0) as sock:
+                sock.sendall(b"\x00\x00")  # partial frame header, then stall
+                sock.settimeout(5.0)
+                assert sock.recv(1) == b""  # server dropped the connection
+            with ServiceClient(host, port, timeout_s=10.0) as client:
+                assert client.health()["alive"] is True
+        finally:
+            server.stop(grace_s=5.0)
+
+
+class TestResponseBounding:
+    def test_oversized_response_is_truncated_not_unreceivable(self):
+        server = AnalysisServer(pool_size=1, max_message_bytes=2048)
+        left, right = socket.socketpair()
+        response = {
+            "status": "ok",
+            "op": "analyze",
+            "results": [
+                {
+                    "name": "main", "fingerprint": "f", "status": "ok",
+                    "record": {"big": "x" * 4096}, "report": "y" * 4096,
+                    "degradations": [], "diagnostics": [],
+                }
+            ],
+            "metrics": {"counters": {}},
+        }
+        try:
+            server._send_response(left, response)
+            received = recv_message(right, 2048)  # same limit as the server
+        finally:
+            left.close()
+            right.close()
+        assert received["status"] == "degraded"
+        (result,) = received["results"]
+        assert result["truncated"] is True
+        assert "report" not in result and "record" not in result
+        assert result["degradations"][-1]["code"] == "response-overflow"
+        assert result["degradations"][-1]["diag_code"] == "RES509"
+        assert result["diagnostics"][-1]["code"] == "RES509"
+        assert "metrics" not in received
+
+    def test_fitting_response_is_untouched(self):
+        server = AnalysisServer(pool_size=1)
+        left, right = socket.socketpair()
+        response = {"status": "ok", "op": "health", "alive": True}
+        try:
+            server._send_response(left, response)
+            assert recv_message(right) == response
+        finally:
+            left.close()
+            right.close()
 
 
 class TestRunlog:
