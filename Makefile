@@ -1,13 +1,17 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint ranges invariants chaos stats bench bench-check bench-baseline bench-diff report serve loadtest
+.PHONY: test lint pylint ranges invariants chaos stats bench bench-check bench-baseline bench-diff report serve loadtest
 
 test:
 	$(PYTHON) -m pytest -m "not bench" -q
 
 lint:
 	$(PYTHON) -m repro lint --strict examples/
+
+pylint:
+	$(PYTHON) -m repro pylint src/repro tests/pyfront/corpus \
+		--fail-on error --out pylint-findings.json
 
 ranges:
 	$(PYTHON) -m repro lint --strict --ranges examples/

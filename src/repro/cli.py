@@ -67,6 +67,22 @@ Lint mode (``python -m repro lint``)::
     python -m repro lint [--format=text|json] [--strict] [--no-exec]
                          [--ranges] [--invariants] PATH...
 
+Pylint mode (``python -m repro pylint``)::
+
+    python -m repro pylint [--format=text|json] [--out FILE]
+                           [--fail-on error|warning|note|never]
+                           [--no-ranges] [--no-invariants]
+                           [--runlog [DIR]] PATH...
+
+compiles **real CPython functions** (the supported subset is catalogued
+in ``docs/PYTHON.md``) to repro IR via the stdlib ``ast`` module and
+runs the full analysis over each: classifications, RNG6xx range
+findings on real code, and provable-DOALL verdicts with why-not reason
+chains.  Unsupported constructs degrade to ``PYF4xx`` findings --
+pointing it at an arbitrary package reports instead of crashing.
+``--fail-on error`` is the CI gate; ``--out`` writes the JSON corpus
+report artifact.
+
 Trace mode (``python -m repro trace``)::
 
     python -m repro trace [--format=chrome|jsonl] [--out FILE]
@@ -245,6 +261,24 @@ def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _collect_or_fail(collect, what: str):
+    """Run a corpus-discovery callable with uniform error reporting.
+
+    All corpus walkers (report, lint, trace, pylint) agree this way: an
+    unreadable path prints ``error: ...`` and an empty harvest prints
+    ``error: no <what> found``; both return ``None`` (callers exit 2).
+    """
+    try:
+        targets = collect()
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return None
+    if not targets:
+        print(f"error: no {what} found", file=sys.stderr)
+        return None
+    return targets
+
+
 def _budget_from_args(args):
     """The :class:`AnalysisBudget` the budget flags describe (or None)."""
     deadline = getattr(args, "deadline_s", None)
@@ -312,13 +346,10 @@ def lint_main(argv: Optional[List[str]] = None) -> int:
     from repro.diagnostics.driver import collect_targets, lint_source
 
     args = build_lint_parser().parse_args(argv)
-    try:
-        targets = collect_targets(args.paths)
-    except OSError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    if not targets:
-        print("error: no lint targets found", file=sys.stderr)
+    targets = _collect_or_fail(
+        lambda: collect_targets(args.paths), "lint targets"
+    )
+    if targets is None:
         return 2
 
     from repro.obs import metrics as metrics_mod
@@ -345,6 +376,117 @@ def lint_main(argv: Optional[List[str]] = None) -> int:
         print(render_text(collector.sorted()))
     if args.strict and collector.has_errors:
         return 1
+    return 0
+
+
+def build_pylint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro pylint",
+        description="Compile real CPython functions to repro IR "
+        "(docs/PYTHON.md) and run the full analysis over a package: "
+        "classifications, value-range findings, provable-DOALL verdicts "
+        "with why-not reason chains.  Unsupported constructs degrade to "
+        "PYF4xx findings; the run never crashes on arbitrary code.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        metavar="PATH",
+        help="Python file or package directory (walked recursively)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="also write the JSON corpus report to FILE (the CI artifact)",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "note", "never"),
+        default="never",
+        dest="fail_on",
+        help="exit 1 when any finding is at or above this severity "
+        "(default: never); 'error' gates CI on real defects while "
+        "tolerating PYF4xx degradation warnings",
+    )
+    parser.add_argument(
+        "--no-ranges",
+        action="store_true",
+        help="skip the value-range phase and its RNG6xx checks",
+    )
+    parser.add_argument(
+        "--no-invariants",
+        action="store_true",
+        help="skip the polynomial-invariant phase",
+    )
+    parser.add_argument(
+        "--runlog",
+        metavar="DIR",
+        nargs="?",
+        const="",
+        default=None,
+        help="record one flight-recorder record per analyzed function "
+        "(tagged source_lang=python) into a run-log store (default: "
+        ".repro/runs); aggregate with 'repro stats'",
+    )
+    _add_budget_arguments(parser)
+    return parser
+
+
+def pylint_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro pylint``."""
+    from repro.diagnostics.diagnostic import Severity
+    from repro.diagnostics.driver import discover_files
+    from repro.obs import observing
+    from repro.obs import runlog as runlog_mod
+    from repro.pyfront import (
+        pylint_paths,
+        render_corpus_json,
+        render_corpus_text,
+    )
+
+    args = build_pylint_parser().parse_args(argv)
+    files = _collect_or_fail(
+        lambda: discover_files(args.paths, (".py",)), "Python files"
+    )
+    if files is None:
+        return 2
+
+    from contextlib import ExitStack
+
+    with ExitStack() as stack:
+        if args.runlog is not None:
+            from repro.obs.runlog import DEFAULT_STORE
+
+            stack.enter_context(observing())
+            stack.enter_context(
+                runlog_mod.recording(args.runlog or DEFAULT_STORE)
+            )
+        result = pylint_paths(
+            files,
+            ranges=not args.no_ranges,
+            invariants=not args.no_invariants,
+            budget=_budget_from_args(args),
+        )
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(render_corpus_json(result) + "\n")
+    if args.format == "json":
+        print(render_corpus_json(result))
+    else:
+        print(render_corpus_text(result))
+
+    if args.fail_on != "never":
+        threshold = Severity[args.fail_on.upper()]
+        if any(d.severity >= threshold for d in result.findings):
+            return 1
     return 0
 
 
@@ -396,13 +538,10 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
     )
 
     args = build_trace_parser().parse_args(argv)
-    try:
-        targets = collect_targets(args.paths)
-    except OSError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    if not targets:
-        print("error: no trace targets found", file=sys.stderr)
+    targets = _collect_or_fail(
+        lambda: collect_targets(args.paths), "trace targets"
+    )
+    if targets is None:
         return 2
 
     from repro.obs import metrics as metrics_mod
@@ -774,13 +913,8 @@ def _corpus_report(args, observation_wanted: bool) -> int:
             )
             return 2
 
-    try:
-        targets = collect_targets([args.file])
-    except OSError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    if not targets:
-        print("error: no programs found", file=sys.stderr)
+    targets = _collect_or_fail(lambda: collect_targets([args.file]), "programs")
+    if targets is None:
         return 2
 
     failures = 0
@@ -855,6 +989,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "lint":
         return lint_main(argv[1:])
+    if argv and argv[0] == "pylint":
+        return pylint_main(argv[1:])
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
     if argv and argv[0] == "stats":

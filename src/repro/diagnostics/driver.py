@@ -141,29 +141,46 @@ def harvest_python(path: str) -> List[LintTarget]:
     return targets
 
 
-def collect_targets(paths: Sequence[str]) -> List[LintTarget]:
-    """Expand files and directories into lint targets.
+def discover_files(paths: Sequence[str], suffixes: Sequence[str]) -> List[str]:
+    """Expand files and directories into a deterministic file list.
 
-    Directories contribute every ``*.loop`` file plus the programs
-    harvested from every ``*.py`` file (non-recursively obvious dirs are
-    walked recursively).  A ``.py`` path is harvested; any other file is
-    read as loop-language source.
+    The one corpus walker behind ``repro report``, ``repro lint``, and
+    ``repro pylint``: directories are walked recursively in sorted order
+    and contribute every file matching ``suffixes``; explicit file paths
+    are passed through untouched (whatever their suffix), so a user can
+    always point a mode at one specific file.  Missing paths raise
+    ``OSError`` like ``open`` would, so every caller reports absent
+    inputs the same way.
     """
-    targets: List[LintTarget] = []
+    out: List[str] = []
     for path in paths:
         if os.path.isdir(path):
             for dirpath, dirnames, filenames in os.walk(path):
                 dirnames.sort()
                 for filename in sorted(filenames):
-                    full = os.path.join(dirpath, filename)
-                    if filename.endswith(".py"):
-                        targets.extend(harvest_python(full))
-                    elif filename.endswith(".loop"):
-                        targets.append(_file_target(full))
-        elif path.endswith(".py"):
-            targets.extend(harvest_python(path))
+                    if filename.endswith(tuple(suffixes)):
+                        out.append(os.path.join(dirpath, filename))
+        elif os.path.exists(path):
+            out.append(path)
         else:
-            targets.append(_file_target(path))
+            raise OSError(f"no such file or directory: {path!r}")
+    return out
+
+
+def collect_targets(paths: Sequence[str]) -> List[LintTarget]:
+    """Expand files and directories into lint targets.
+
+    Directories contribute every ``*.loop`` file plus the programs
+    harvested from every ``*.py`` file (via :func:`discover_files`, the
+    shared corpus walker).  A ``.py`` path is harvested; any other file
+    is read as loop-language source.
+    """
+    targets: List[LintTarget] = []
+    for full in discover_files(paths, (".py", ".loop")):
+        if full.endswith(".py"):
+            targets.extend(harvest_python(full))
+        else:
+            targets.append(_file_target(full))
     return targets
 
 

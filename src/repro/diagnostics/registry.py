@@ -22,6 +22,9 @@ Code ranges:
 * ``INV7xx`` -- polynomial-invariant replay (emitted equalities and
   branch-dependent step bounds vs. the interpreter; see
   :mod:`repro.invariants`)
+* ``PYF4xx`` -- real-Python frontend degradations (an unsupported
+  CPython construct kept a function, statement, or expression from
+  lowering to IR; see :mod:`repro.pyfront` and ``docs/PYTHON.md``)
 """
 
 from __future__ import annotations
@@ -311,6 +314,53 @@ register(
     "RNG606", "constant-branch-condition", Severity.WARNING, "ranges",
     "A conditional branch's condition has a single-constant value range, so "
     "one successor edge is never taken.",
+)
+
+# ----------------------------------------------------------------------
+# real-Python frontend degradations (see repro.pyfront / docs/PYTHON.md)
+# ----------------------------------------------------------------------
+register(
+    "PYF401", "unsupported-statement", Severity.WARNING, "pyfront",
+    "A Python function contains a statement outside the supported subset "
+    "(class/try/with/del/raise, tuple targets, loop else-clauses, "
+    "non-constant range steps, ...); the function degraded instead of "
+    "lowering to IR.",
+)
+register(
+    "PYF402", "unsupported-expression", Severity.WARNING, "pyfront",
+    "A Python function uses an expression outside the supported integer "
+    "subset (float/str literals, attribute access, calls other than "
+    "range/len, slices, comprehensions, free variables, ...); the "
+    "function degraded instead of lowering to IR.",
+)
+register(
+    "PYF403", "unsupported-parameter", Severity.WARNING, "pyfront",
+    "A Python function's signature is outside the supported subset "
+    "(*args, **kwargs, or keyword-only parameters); the function "
+    "degraded instead of lowering to IR.",
+)
+register(
+    "PYF404", "type-confusion", Severity.WARNING, "pyfront",
+    "Usage-based type inference saw a name used both as an integer and "
+    "as a list (or a list created locally); only int scalars and "
+    "list-of-int parameters are modeled, so the function degraded.",
+)
+register(
+    "PYF405", "loop-variable-escape", Severity.WARNING, "pyfront",
+    "A for-loop's target is read after the loop or reassigned inside it; "
+    "the IR's counted-loop shape would diverge from CPython's post-loop "
+    "binding, so the function degraded instead of miscompiling.",
+)
+register(
+    "PYF406", "python-syntax-error", Severity.ERROR, "pyfront",
+    "A Python file failed to parse with the running interpreter's "
+    "``ast`` grammar; none of its functions could be considered.",
+)
+register(
+    "PYF407", "assert-dropped", Severity.NOTE, "pyfront",
+    "An assert statement was not of the ``assert name <op> literal`` / "
+    "``assert len(a) <op> literal`` bound-introducing shapes, so it was "
+    "dropped (the function still lowered, without that assumption).",
 )
 
 # ----------------------------------------------------------------------

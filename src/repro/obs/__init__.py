@@ -80,6 +80,7 @@ SPAN_NAMES = frozenset(
         "pipeline.optimize",
         "frontend.parse",
         "frontend.lower",
+        "pyfront.lower",
         "analysis.loop-simplify",
         "ssa.construct",
         "scalar.sccp",
@@ -196,6 +197,9 @@ METRIC_NAMES = frozenset(
         "interval.cache.point.misses",
         "interval.cache.size",
         "dep.blocked.",  # family: one counter per why-not-DOALL reason slug
+        # the real-Python frontend (repro pylint)
+        "pyfront.functions",
+        "pyfront.degraded",
         "obs.overhead.",  # family: the observability layer's own cost
         "time.",  # family: one histogram per span name
         # the analysis service (repro serve)

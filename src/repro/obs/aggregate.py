@@ -21,7 +21,13 @@ from typing import Any, Dict, List, Optional
 
 from repro.obs.runlog import RUNLOG_SCHEMA
 
+#: record schemas ``repro stats`` can read.  Schema 1 predates the
+#: ``source_lang`` field (added by the real-Python frontend); its records
+#: aggregate with the language defaulted to ``"loop"``.
+READABLE_SCHEMAS = frozenset({1, RUNLOG_SCHEMA})
+
 __all__ = [
+    "READABLE_SCHEMAS",
     "aggregate",
     "diff_stats",
     "load_records",
@@ -89,8 +95,9 @@ def validate_record(record: Dict[str, Any]) -> Optional[str]:
     if "error" in record:
         return f"capture error: {record['error']}"
     schema = record.get("schema")
-    if schema != RUNLOG_SCHEMA:
-        return f"schema mismatch: {schema!r} (expected {RUNLOG_SCHEMA})"
+    if schema not in READABLE_SCHEMAS:
+        readable = sorted(READABLE_SCHEMAS)
+        return f"schema mismatch: {schema!r} (readable: {readable})"
     for key in ("fingerprint", "loops", "classes", "parallel", "blocked"):
         if key not in record:
             return f"missing field {key!r}"
@@ -147,6 +154,7 @@ def aggregate(records: List[Dict[str, Any]]) -> Dict[str, Any]:
     parallel = {"doall": 0, "serial": 0, "undecided": 0}
     ranges = {"records": 0, "values": 0, "nontrivial": 0, "trips_bounded": 0}
     invariants = {"records": 0, "loops": 0, "equalities": 0}
+    languages: Dict[str, int] = {}
     fingerprints = set()
     loops = errors = torn = 0
 
@@ -158,6 +166,8 @@ def aggregate(records: List[Dict[str, Any]]) -> Dict[str, Any]:
             errors += 1
             continue
         fingerprints.add(record.get("fingerprint"))
+        # schema-1 records predate the field: they are all DSL runs
+        _bump(languages, record.get("source_lang") or "loop")
         for kind, count in record.get("classes", {}).items():
             _bump(classes, kind, count)
         for key in parallel:
@@ -202,6 +212,7 @@ def aggregate(records: List[Dict[str, Any]]) -> Dict[str, Any]:
         "errors": errors,
         "torn": torn,
         "functions": len(fingerprints),
+        "languages": dict(sorted(languages.items())),
         "loops": loops,
         "classes": dict(sorted(classes.items())),
         "parallel": parallel,
@@ -238,6 +249,10 @@ def render_text(stats: Dict[str, Any]) -> str:
         f"{torn_note}), "
         f"distinct functions: {stats['functions']}, loops: {stats['loops']}"
     )
+    languages = stats.get("languages") or {}
+    if languages:
+        shown = ", ".join(f"{lang} {count}" for lang, count in languages.items())
+        lines.append(f"  source languages: {shown}")
     lines.append("")
     lines.append("== class distribution ==")
     total_names = sum(stats["classes"].values())

@@ -51,10 +51,13 @@ __all__ = [
     "origin",
     "recording",
     "source_fingerprint",
+    "source_lang",
 ]
 
-#: bump when the record shape changes; ``repro stats`` validates it
-RUNLOG_SCHEMA = 1
+#: bump when the record shape changes; ``repro stats`` validates it.
+#: Schema 2 added ``source_lang`` (which frontend produced the IR);
+#: aggregation still reads schema-1 files, defaulting the field.
+RUNLOG_SCHEMA = 2
 
 #: where run logs land unless the caller picks a directory
 DEFAULT_STORE = os.path.join(".repro", "runs")
@@ -125,6 +128,9 @@ _WRITER: ContextVar[Optional[RunLogWriter]] = ContextVar(
 _ORIGIN: ContextVar[Optional[str]] = ContextVar(
     "repro_obs_runlog_origin", default=None
 )
+_SOURCE_LANG: ContextVar[Optional[str]] = ContextVar(
+    "repro_obs_runlog_source_lang", default=None
+)
 
 #: module-level mirror of "is any recording() context live?" -- the single
 #: gate the pipeline's capture hook reads when recording is off.
@@ -161,6 +167,21 @@ def origin(label: Optional[str]):
         yield
     finally:
         _ORIGIN.reset(token)
+
+
+@contextmanager
+def source_lang(label: Optional[str]):
+    """Tag records captured inside the block with their source language.
+
+    Frontends set this (e.g. ``"python"`` for :mod:`repro.pyfront`) so
+    ``repro stats`` can aggregate mixed-language corpora per language;
+    records captured outside any context default to ``"loop"``, the DSL.
+    """
+    token = _SOURCE_LANG.set(label)
+    try:
+        yield
+    finally:
+        _SOURCE_LANG.reset(token)
 
 
 # ----------------------------------------------------------------------
@@ -272,6 +293,7 @@ def build_record(
         "schema": RUNLOG_SCHEMA,
         "ts": time.time(),
         "origin": origin_label,
+        "source_lang": _SOURCE_LANG.get() or "loop",
         "function": program.ssa.name,
         "fingerprint": source_fingerprint(program.source, program.ssa),
         "loops": loops,

@@ -219,27 +219,36 @@ def run_optional(
         return default
 
 
-def diagnostics_of(records: List[DegradationRecord], collector=None):
+def diagnostics_of(
+    records: List[DegradationRecord],
+    collector=None,
+    origin: str = "resilience",
+    hint: Optional[str] = None,
+):
     """Publish degradation records as RES5xx diagnostics.
 
     Returns the collector (a fresh one when ``collector`` is ``None``).
     Imported lazily so the resilience core stays free of the diagnostics
-    package at import time.
+    package at import time.  ``origin``/``hint`` let frontends re-home
+    their own record families (the real-Python frontend labels PYF4xx
+    findings with the source file instead of ``"resilience"``).
     """
     from repro.diagnostics.diagnostic import DiagnosticCollector
 
     if collector is None:
         collector = DiagnosticCollector()
+    if hint is None:
+        hint = (
+            "re-run with --strict-errors to propagate the underlying "
+            "exception"
+        )
     for entry in records:
         collector.emit(
             entry.diag_code,
             f"[{entry.code}] {entry.message}",
             stage=entry.phase,
             name=entry.scope,
-            origin="resilience",
-            hint=(
-                "re-run with --strict-errors to propagate the underlying "
-                "exception"
-            ),
+            origin=origin,
+            hint=hint,
         )
     return collector

@@ -459,6 +459,14 @@ class AnalysisServer:
                 "'options.deadline_s' must be a positive number",
                 op="analyze",
             )
+        language = options.get("language")
+        if language is not None and language not in ("loop", "python"):
+            _metrics.inc("service.errors")
+            return error_response(
+                "malformed-request",
+                "'options.language' must be 'loop' or 'python'",
+                op="analyze",
+            )
         started = time.perf_counter()
         # one registry per request: counters (cache hits, retries,
         # degradations) scoped to this exchange, merged up on exit

@@ -108,6 +108,8 @@ def run_job(
         }
     options = job.get("options") or {}
     budget = budget_from_options(options, default_budget)
+    if options.get("language") == "python":
+        return _run_python_job(job, source, options, budget)
     try:
         with observing():
             program = analyze(
@@ -142,6 +144,137 @@ def run_job(
         "degraded": bool(program.degraded),
         "record": record,
         "report": report,
+    }
+
+
+def _run_python_job(
+    job: Dict[str, Any],
+    source: str,
+    options: Dict[str, Any],
+    budget: AnalysisBudget,
+) -> Dict[str, Any]:
+    """Analyze real-Python source: every function, merged into one record.
+
+    The ``language: "python"`` request path.  Each function the frontend
+    can carry (:mod:`repro.pyfront`) runs the same pipeline as a DSL
+    job; the response record concatenates their per-loop rows (headers
+    are line-numbered, hence unique within a module) and sums their
+    rollups, with a ``functions`` section counting lowered vs degraded.
+    Unsupported constructs appear as PYF4xx entries under
+    ``degradations`` -- a module that degrades entirely still answers
+    ``ok``.
+    """
+    import time
+
+    from repro.obs.runlog import RUNLOG_SCHEMA, source_fingerprint, source_lang
+
+    try:
+        with observing(), source_lang("python"):
+            from repro.analysis.loopsimplify import simplify_loops
+            from repro.ir.clone import clone_function
+            from repro.pipeline import analyze_function
+            from repro.pyfront.lower import compile_module
+
+            module = compile_module(source, origin=job.get("origin") or "<python>")
+            if module.error is not None:
+                return {
+                    "id": job.get("id"),
+                    "ok": False,
+                    "error": {
+                        "code": "python-syntax-error",
+                        "message": module.error.message,
+                    },
+                }
+            record: Dict[str, Any] = {
+                "schema": RUNLOG_SCHEMA,
+                "ts": time.time(),
+                "origin": job.get("origin"),
+                "source_lang": "python",
+                "function": job.get("name") or "module",
+                "fingerprint": source_fingerprint(source),
+                "loops": [],
+                "classes": {},
+                "parallel": {"doall": 0, "serial": 0, "undecided": 0},
+                "blocked": {},
+                "degradations": [],
+                "ranges": None,
+                "invariants": None,
+                "functions": {
+                    "total": len(module.functions),
+                    "lowered": 0,
+                    "degraded": 0,
+                },
+            }
+            reports = []
+            degraded = False
+            for compiled in module.functions:
+                record["degradations"].extend(
+                    {
+                        "phase": d.phase,
+                        "code": d.code,
+                        "action": d.action,
+                        "scope": d.scope,
+                        "diag_code": d.diag_code,
+                        "message": d.message,
+                    }
+                    for d in compiled.degradations
+                )
+                if not compiled.ok:
+                    record["functions"]["degraded"] += 1
+                    degraded = True
+                    continue
+                named = clone_function(compiled.function)
+                try:
+                    simplify_loops(named)
+                except Exception:  # noqa: BLE001 - analyze the raw shape
+                    named = clone_function(compiled.function)
+                program = analyze_function(
+                    named,
+                    source=compiled.source,
+                    optimize=bool(options.get("optimize", True)),
+                    budget=budget,
+                    ranges=bool(options.get("ranges", False)),
+                    invariants=bool(options.get("invariants", False)),
+                )
+                part = build_record(program, origin_label=compiled.origin)
+                record["functions"]["lowered"] += 1
+                record["loops"].extend(part["loops"])
+                for kind, count in part["classes"].items():
+                    record["classes"][kind] = (
+                        record["classes"].get(kind, 0) + count
+                    )
+                for key in record["parallel"]:
+                    record["parallel"][key] += part["parallel"][key]
+                for reason, count in part["blocked"].items():
+                    record["blocked"][reason] = (
+                        record["blocked"].get(reason, 0) + count
+                    )
+                record["degradations"].extend(part["degradations"])
+                degraded = degraded or bool(program.degraded)
+                if options.get("report"):
+                    from repro.report import format_report
+
+                    reports.append(
+                        f"== {compiled.qualname} ({compiled.origin}) ==\n"
+                        + format_report(program)
+                    )
+    except InjectedFault:
+        raise
+    except Exception as error:  # noqa: BLE001 - total-ingestion contract
+        from repro.resilience.errors import wrap_exception
+
+        wrapped = wrap_exception(error, "serve.worker")
+        return {
+            "id": job.get("id"),
+            "ok": False,
+            "error": {"code": wrapped.code, "message": wrapped.message},
+        }
+    return {
+        "id": job.get("id"),
+        "ok": True,
+        "degraded": degraded,
+        "record": record,
+        "report": "\n\n".join(reports) if reports else None,
     }
 
 

@@ -1,0 +1,57 @@
+"""docs/PYTHON.md must stay in lockstep with the frontend's surface."""
+
+import os
+import re
+
+from repro.diagnostics import all_codes
+from repro.pyfront import SUPPORTED
+
+DOCS = os.path.join(os.path.dirname(__file__), "..", "..", "docs", "PYTHON.md")
+
+
+def read_docs():
+    with open(DOCS, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def test_every_supported_construct_is_documented():
+    text = read_docs()
+    missing = [key for key in SUPPORTED if f"| `{key}` |" not in text]
+    assert not missing, f"constructs missing from docs/PYTHON.md: {missing}"
+
+
+def test_no_phantom_constructs_documented():
+    text = read_docs()
+    documented = re.findall(r"^\| `([a-z-]+)` \|", text, re.MULTILINE)
+    unknown = [key for key in documented if key not in SUPPORTED]
+    assert not unknown, f"docs table mentions unknown constructs: {unknown}"
+
+
+def test_every_pyf_code_is_documented():
+    text = read_docs()
+    pyf = [code for code in all_codes() if code.startswith("PYF")]
+    assert pyf, "PYF family missing from the registry"
+    missing = [code for code in pyf if code not in text]
+    assert not missing, f"PYF codes missing from docs/PYTHON.md: {missing}"
+
+
+def test_no_phantom_pyf_codes_documented():
+    text = read_docs()
+    documented = set(re.findall(r"PYF\d{3}", text))
+    unknown = documented - set(all_codes())
+    assert not unknown, f"docs mention unregistered PYF codes: {unknown}"
+
+
+def test_cross_links_exist():
+    text = read_docs()
+    for target in ("LANGUAGE.md", "DIAGNOSTICS.md", "SERVICE.md", "RANGES.md"):
+        assert target in text
+
+    here = os.path.dirname(DOCS)
+    for source in (
+        os.path.join(here, "LANGUAGE.md"),
+        os.path.join(here, "DIAGNOSTICS.md"),
+        os.path.join(here, os.pardir, "README.md"),
+    ):
+        with open(source, encoding="utf-8") as handle:
+            assert "PYTHON.md" in handle.read(), f"{source} must link PYTHON.md"

@@ -1,0 +1,155 @@
+"""Runlog schema 2: the source_lang field and schema-1 compatibility.
+
+The schema bump must not orphan existing stores: schema-1 records (which
+predate ``source_lang``) stay readable, aggregate as DSL runs, and diff
+cleanly against schema-2 stores.
+"""
+
+import json
+
+from repro.cli import main
+from repro.obs import runlog
+from repro.obs.aggregate import (
+    READABLE_SCHEMAS,
+    aggregate,
+    diff_stats,
+    load_records,
+    strict_problems,
+    validate_record,
+)
+from repro.obs.runlog import RUNLOG_SCHEMA
+from repro.pipeline import analyze
+
+DSL = """
+i = 0
+L1: for i = 1 to n do
+  A[i] = A[i] + 1
+endfor
+return i
+"""
+
+
+def schema1_record():
+    """A record as the previous release wrote it: schema 1, no source_lang."""
+    return {
+        "schema": 1,
+        "ts": 1700000000.0,
+        "origin": "legacy.loop",
+        "function": "legacy",
+        "fingerprint": "f" * 16,
+        "loops": [
+            {
+                "header": "L1",
+                "depth": 1,
+                "trip": None,
+                "parallel": True,
+                "blocked_by": [],
+                "class_counts": {"InductionVariable": 1},
+            }
+        ],
+        "classes": {"InductionVariable": 1},
+        "parallel": {"doall": 1, "serial": 0, "undecided": 0},
+        "blocked": {},
+        "degradations": [],
+        "ranges": None,
+        "invariants": None,
+    }
+
+
+def write_store(path, records):
+    path.mkdir(parents=True, exist_ok=True)
+    target = path / "legacy.jsonl"
+    with open(target, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+    return str(path)
+
+
+def test_schema_constants():
+    assert RUNLOG_SCHEMA == 2
+    assert READABLE_SCHEMAS == {1, 2}
+
+
+def test_schema1_record_still_validates():
+    assert validate_record(schema1_record()) is None
+
+
+def test_unknown_schema_is_still_rejected():
+    record = schema1_record()
+    record["schema"] = RUNLOG_SCHEMA + 1
+    problem = validate_record(record)
+    assert problem is not None and "schema mismatch" in problem
+
+
+def test_new_records_carry_source_lang(tmp_path):
+    store = tmp_path / "runs"
+    with runlog.recording(str(store)):
+        analyze(DSL)
+    (record,) = load_records(str(store))
+    assert record["schema"] == RUNLOG_SCHEMA
+    assert record["source_lang"] == "loop"
+
+
+def test_source_lang_context_overrides(tmp_path):
+    store = tmp_path / "runs"
+    with runlog.recording(str(store)), runlog.source_lang("python"):
+        analyze(DSL)
+    (record,) = load_records(str(store))
+    assert record["source_lang"] == "python"
+
+
+def test_schema1_records_aggregate_as_dsl_runs(tmp_path):
+    store = write_store(tmp_path / "legacy", [schema1_record()])
+    stats = aggregate(load_records(store))
+    assert stats["languages"] == {"loop": 1}
+
+
+def test_mixed_store_passes_strict(tmp_path):
+    store = tmp_path / "mixed"
+    with runlog.recording(str(store)):
+        analyze(DSL)
+    write_store(store, [schema1_record()])
+    records = load_records(str(store))
+    assert len(records) == 2
+    assert strict_problems(records) == []
+
+
+def test_diff_against_schema1_store(tmp_path):
+    old = write_store(tmp_path / "old", [schema1_record()])
+    new = tmp_path / "new"
+    with runlog.recording(str(new)), runlog.source_lang("python"):
+        analyze(DSL)
+    diff = diff_stats(aggregate(load_records(old)), aggregate(load_records(str(new))))
+    assert diff  # shape sanity; rendering below is the readability bar
+
+
+def test_stats_diff_cli_reads_schema1(tmp_path, capsys):
+    old = write_store(tmp_path / "old", [schema1_record()])
+    new = tmp_path / "new"
+    with runlog.recording(str(new)):
+        analyze(DSL)
+    assert main(["stats", "--diff", old, str(new)]) == 0
+    assert capsys.readouterr().out.strip()
+
+
+def test_languages_line_renders(tmp_path, capsys):
+    store = tmp_path / "runs"
+    with runlog.recording(str(store)), runlog.source_lang("python"):
+        analyze(DSL)
+    assert main(["stats", str(store)]) == 0
+    out = capsys.readouterr().out
+    assert "source languages" in out
+    assert "python" in out
+
+
+def test_torn_write_recovery_still_green_on_schema2(tmp_path):
+    store = tmp_path / "runs"
+    with runlog.recording(str(store)):
+        analyze(DSL)
+    files = sorted((store).glob("*.jsonl"))
+    assert files
+    # simulate a crash mid-write: append half a record to the tail
+    with open(files[0], "a", encoding="utf-8") as handle:
+        handle.write('{"schema": 2, "truncat')
+    records = load_records(str(store))
+    assert strict_problems(records) == []
